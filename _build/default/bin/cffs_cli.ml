@@ -1,0 +1,487 @@
+(* The command-line front end: create, inspect, exercise and repair C-FFS /
+   FFS images (raw files), and run the paper's experiments.
+
+   Images carry no timing: file-system commands run on an untimed memory
+   device loaded from the image.  The experiment commands build their own
+   simulated drives. *)
+
+module Blockdev = Cffs_blockdev.Blockdev
+module Errno = Cffs_vfs.Errno
+module Fs_intf = Cffs_vfs.Fs_intf
+module Report = Cffs_fsck.Report
+module Experiments = Cffs_harness.Experiments
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Image plumbing *)
+
+type mounted =
+  | M_cffs of Cffs.t
+  | M_ffs of Ffs.t
+
+let packed_of = function
+  | M_cffs fs -> Fs_intf.Packed ((module Cffs), fs)
+  | M_ffs fs -> Fs_intf.Packed ((module Ffs), fs)
+
+let mount_image path =
+  let dev = Blockdev.load_file path in
+  match Cffs.mount dev with
+  | Some fs -> Ok (M_cffs fs, dev)
+  | None -> begin
+      match Ffs.mount dev with
+      | Some fs -> Ok (M_ffs fs, dev)
+      | None -> Error (`Msg (path ^ ": no C-FFS or FFS superblock found"))
+    end
+
+let with_image path f =
+  match mount_image path with
+  | Error (`Msg m) ->
+      prerr_endline m;
+      1
+  | Ok (m, dev) -> begin
+      match f (packed_of m) m with
+      | Ok dirty ->
+          if dirty then begin
+            let (Fs_intf.Packed ((module F), fs)) = packed_of m in
+            F.sync fs;
+            Blockdev.save_file dev path
+          end;
+          0
+      | Error e ->
+          prerr_endline ("error: " ^ Errno.to_string e);
+          1
+    end
+
+(* ------------------------------------------------------------------ *)
+(* mkfs *)
+
+let mkfs_cmd =
+  let run image size_mb fs_kind no_embed no_grouping group_kb =
+    let nblocks = size_mb * 256 in
+    let dev = Blockdev.memory ~block_size:4096 ~nblocks in
+    (match fs_kind with
+    | "ffs" -> ignore (Ffs.format dev)
+    | "cffs" ->
+        let config =
+          {
+            Cffs.config_default with
+            Cffs.embed_inodes = not no_embed;
+            grouping = not no_grouping;
+            group_blocks = max 2 (group_kb / 4);
+          }
+        in
+        ignore (Cffs.format ~config dev)
+    | other -> failwith ("unknown file system: " ^ other));
+    Blockdev.save_file dev image;
+    Printf.printf "created %s: %d MB %s\n" image size_mb
+      (if fs_kind = "ffs" then "FFS" else "C-FFS");
+    0
+  in
+  let image = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE") in
+  let size = Arg.(value & opt int 64 & info [ "size-mb" ] ~doc:"Image size in MB.") in
+  let kind =
+    Arg.(value & opt string "cffs" & info [ "fs" ] ~doc:"File system: cffs or ffs.")
+  in
+  let no_embed =
+    Arg.(value & flag & info [ "no-embed" ] ~doc:"Disable embedded inodes.")
+  in
+  let no_grouping =
+    Arg.(value & flag & info [ "no-grouping" ] ~doc:"Disable explicit grouping.")
+  in
+  let group_kb =
+    Arg.(value & opt int 64 & info [ "group-kb" ] ~doc:"Group frame size in KB.")
+  in
+  Cmd.v
+    (Cmd.info "mkfs" ~doc:"Create a fresh file-system image.")
+    Term.(const run $ image $ size $ kind $ no_embed $ no_grouping $ group_kb)
+
+(* ------------------------------------------------------------------ *)
+(* fsck *)
+
+let fsck_cmd =
+  let run image repair =
+    match mount_image image with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        1
+    | Ok (m, dev) ->
+        let report =
+          match (m, repair) with
+          | M_cffs fs, false -> Cffs_fsck.Fsck_cffs.check fs
+          | M_cffs fs, true -> Cffs_fsck.Fsck_cffs.repair fs
+          | M_ffs fs, false -> Cffs_fsck.Fsck_ffs.check fs
+          | M_ffs fs, true -> Cffs_fsck.Fsck_ffs.repair fs
+        in
+        Format.printf "%a@." Report.pp report;
+        if repair then begin
+          (let (Fs_intf.Packed ((module F), fs)) = packed_of m in
+           F.sync fs);
+          Blockdev.save_file dev image
+        end;
+        if Report.clean report then 0 else 1
+  in
+  let image = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE") in
+  let repair = Arg.(value & flag & info [ "repair" ] ~doc:"Fix what can be fixed.") in
+  Cmd.v
+    (Cmd.info "fsck" ~doc:"Check (and optionally repair) an image.")
+    Term.(const run $ image $ repair)
+
+(* ------------------------------------------------------------------ *)
+(* Namespace commands *)
+
+let image_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE")
+let path_pos n docv = Arg.(required & pos n (some string) None & info [] ~docv)
+
+let ls_cmd =
+  let run image path =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) _ ->
+        match F.list_dir fs path with
+        | Error _ as e -> Result.map (fun _ -> false) e
+        | Ok names ->
+            List.iter
+              (fun n ->
+                let p = Cffs_vfs.Path.join path n in
+                match F.stat fs p with
+                | Ok st ->
+                    Printf.printf "%s %8d  %s\n"
+                      (match st.Fs_intf.st_kind with
+                      | Cffs_vfs.Inode.Directory -> "d"
+                      | _ -> "-")
+                      st.Fs_intf.st_size n
+                | Error _ -> Printf.printf "?          ?  %s\n" n)
+              names;
+            Ok false)
+  in
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List a directory.")
+    Term.(const run $ image_pos $ path_pos 1 "PATH")
+
+let tree_cmd =
+  let run image =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) _ ->
+        let rec walk indent path =
+          match F.list_dir fs path with
+          | Error _ -> ()
+          | Ok names ->
+              List.iter
+                (fun n ->
+                  let p = Cffs_vfs.Path.join path n in
+                  let is_dir =
+                    match F.stat fs p with
+                    | Ok st -> st.Fs_intf.st_kind = Cffs_vfs.Inode.Directory
+                    | Error _ -> false
+                  in
+                  Printf.printf "%s%s%s\n" indent n (if is_dir then "/" else "");
+                  if is_dir then walk (indent ^ "  ") p)
+                names
+        in
+        print_endline "/";
+        walk "  " "/";
+        Ok false)
+  in
+  Cmd.v (Cmd.info "tree" ~doc:"Print the whole namespace.") Term.(const run $ image_pos)
+
+let cat_cmd =
+  let run image path =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) _ ->
+        match F.read_file fs path with
+        | Error _ as e -> Result.map (fun _ -> false) e
+        | Ok data ->
+            print_bytes data;
+            Ok false)
+  in
+  Cmd.v
+    (Cmd.info "cat" ~doc:"Print a file's contents.")
+    Term.(const run $ image_pos $ path_pos 1 "PATH")
+
+let put_cmd =
+  let run image path host =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) _ ->
+        let ic = open_in_bin host in
+        let n = in_channel_length ic in
+        let data = Bytes.create n in
+        really_input ic data 0 n;
+        close_in ic;
+        Result.map (fun () -> true) (F.write_file fs path data))
+  in
+  let host = Arg.(required & pos 2 (some file) None & info [] ~docv:"HOST_FILE") in
+  Cmd.v
+    (Cmd.info "put" ~doc:"Copy a host file into the image.")
+    Term.(const run $ image_pos $ path_pos 1 "PATH" $ host)
+
+let get_cmd =
+  let run image path host =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) _ ->
+        match F.read_file fs path with
+        | Error _ as e -> Result.map (fun _ -> false) e
+        | Ok data ->
+            let oc = open_out_bin host in
+            output_bytes oc data;
+            close_out oc;
+            Ok false)
+  in
+  let host = Arg.(required & pos 2 (some string) None & info [] ~docv:"HOST_FILE") in
+  Cmd.v
+    (Cmd.info "get" ~doc:"Copy a file out of the image.")
+    Term.(const run $ image_pos $ path_pos 1 "PATH" $ host)
+
+let mkdir_cmd =
+  let run image path =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) _ ->
+        Result.map (fun () -> true) (F.mkdir_p fs path))
+  in
+  Cmd.v
+    (Cmd.info "mkdir" ~doc:"Create a directory (and parents).")
+    Term.(const run $ image_pos $ path_pos 1 "PATH")
+
+let rm_cmd =
+  let run image path recursive =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) _ ->
+        let open Errno in
+        let rec remove p =
+          match F.unlink fs p with
+          | Ok () -> Ok ()
+          | Error Eisdir when recursive ->
+              let* names = F.list_dir fs p in
+              let* () =
+                List.fold_left
+                  (fun acc n ->
+                    let* () = acc in
+                    remove (Cffs_vfs.Path.join p n))
+                  (Ok ()) names
+              in
+              F.rmdir fs p
+          | Error Eisdir -> F.rmdir fs p
+          | Error _ as e -> e
+        in
+        Result.map (fun () -> true) (remove path))
+  in
+  let recursive = Arg.(value & flag & info [ "r" ] ~doc:"Remove recursively.") in
+  Cmd.v
+    (Cmd.info "rm" ~doc:"Remove a file or (empty, or -r) directory.")
+    Term.(const run $ image_pos $ path_pos 1 "PATH" $ recursive)
+
+let mv_cmd =
+  let run image src dst =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) _ ->
+        Result.map (fun () -> true) (F.rename_path fs ~src ~dst))
+  in
+  Cmd.v
+    (Cmd.info "mv" ~doc:"Rename/move within the image.")
+    Term.(const run $ image_pos $ path_pos 1 "SRC" $ path_pos 2 "DST")
+
+let df_cmd =
+  let run image =
+    with_image image (fun (Fs_intf.Packed ((module F), fs)) m ->
+        let u = F.usage fs in
+        let used = u.Fs_intf.total_blocks - u.Fs_intf.free_blocks in
+        Printf.printf "%s\n" (F.label fs);
+        Printf.printf "blocks: %d total, %d used, %d free (%.1f%%)\n"
+          u.Fs_intf.total_blocks used u.Fs_intf.free_blocks
+          (100.0 *. float_of_int used /. float_of_int u.Fs_intf.total_blocks);
+        (match m with
+        | M_cffs fs ->
+            Printf.printf "grouping quality: %.2f\n" (Cffs.grouped_fraction fs)
+        | M_ffs _ ->
+            Printf.printf "inodes: %d total, %d free\n" u.Fs_intf.total_inodes
+              u.Fs_intf.free_inodes);
+        Ok false)
+  in
+  Cmd.v (Cmd.info "df" ~doc:"Show usage.") Term.(const run $ image_pos)
+
+(* ------------------------------------------------------------------ *)
+(* Traces *)
+
+module Trace = Cffs_workload.Trace
+
+let synth_trace_cmd =
+  let run out ops seed =
+    Trace.save (Trace.synthesize ~ops ~seed ()) out;
+    Printf.printf "wrote %s (%d operations)\n" out ops;
+    0
+  in
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE_FILE") in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"Operations to generate.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "synth-trace" ~doc:"Generate a synthetic operation trace.")
+    Term.(const run $ out $ ops $ seed)
+
+let replay_cmd =
+  let run image trace_file =
+    with_image image (fun packed _ ->
+        let trace = Trace.load trace_file in
+        let (Fs_intf.Packed ((module F), fs)) = packed in
+        let failed = ref 0 in
+        let count = function Ok _ -> () | Error _ -> incr failed in
+        List.iter
+          (fun op ->
+            match op with
+            | Trace.T_mkdir p -> count (F.mkdir fs p)
+            | Trace.T_create p -> count (F.create fs p)
+            | Trace.T_write_file (p, n) -> count (F.write_file fs p (Bytes.make n 't'))
+            | Trace.T_write (p, off, n) -> count (F.write fs p ~off (Bytes.make n 't'))
+            | Trace.T_read_file p -> count (F.read_file fs p)
+            | Trace.T_read (p, off, n) -> count (F.read fs p ~off ~len:n)
+            | Trace.T_unlink p -> count (F.unlink fs p)
+            | Trace.T_rmdir p -> count (F.rmdir fs p)
+            | Trace.T_rename (a, b) -> count (F.rename_path fs ~src:a ~dst:b)
+            | Trace.T_link (a, b) -> count (F.link fs ~existing:a ~target:b)
+            | Trace.T_truncate (p, n) -> count (F.truncate fs p n)
+            | Trace.T_sync -> F.sync fs)
+          trace;
+        Printf.printf "replayed %d operations (%d failed)\n" (List.length trace) !failed;
+        Ok true)
+  in
+  let trace = Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE_FILE") in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a trace into an image.")
+    Term.(const run $ image_pos $ trace)
+
+let trace_bench_cmd =
+  let run trace_file =
+    let trace = Trace.load trace_file in
+    Printf.printf "%-16s %10s %10s %8s\n" "Configuration" "seconds" "requests" "failed";
+    List.iter
+      (fun kind ->
+        let inst =
+          Cffs_harness.Setup.instantiate
+            (Cffs_harness.Setup.standard ~policy:Cffs_cache.Cache.Soft_updates kind)
+        in
+        let o = Trace.replay inst.Cffs_harness.Setup.env trace in
+        Printf.printf "%-16s %10.2f %10d %8d\n"
+          (Cffs_harness.Setup.fs_kind_label kind)
+          o.Trace.measure.Cffs_workload.Env.seconds
+          o.Trace.measure.Cffs_workload.Env.requests o.Trace.failed)
+      Cffs_harness.Setup.five_configs;
+    0
+  in
+  let trace = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE_FILE") in
+  Cmd.v
+    (Cmd.info "trace-bench"
+       ~doc:"Replay a trace on the simulated testbed under every configuration.")
+    Term.(const run $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* dump: on-disk structure inspection *)
+
+let dump_cmd =
+  let run image =
+    with_image image (fun _ m ->
+        (match m with
+        | M_cffs fs ->
+            let sb = Cffs.superblock fs in
+            let module Csb = Cffs.Csb in
+            Printf.printf "C-FFS superblock:\n";
+            Printf.printf "  block size        %d\n" sb.Csb.block_size;
+            Printf.printf "  cylinder groups   %d x %d blocks\n" sb.Csb.cg_count
+              sb.Csb.cg_size;
+            Printf.printf "  embedded inodes   %b\n" sb.Csb.embed_inodes;
+            Printf.printf "  explicit grouping %b (frames of %d blocks)\n"
+              sb.Csb.grouping sb.Csb.group_blocks;
+            Printf.printf "  small-file limit  %d blocks\n" sb.Csb.group_file_blocks;
+            Printf.printf "  read-ahead        %d blocks\n" sb.Csb.readahead_blocks;
+            Printf.printf "  external inodes   %d slots allocated\n" sb.Csb.ext_high;
+            Printf.printf "\nper-group free blocks:\n";
+            let cache = Cffs.cache fs in
+            for cg = 0 to min 15 (sb.Csb.cg_count - 1) do
+              let hdr = Cffs_cache.Cache.read cache (Csb.cg_start sb cg) in
+              let free = Cffs_util.Codec.get_u32 hdr Csb.hdr_free_blocks_off in
+              let used = sb.Csb.cg_size - free in
+              let bar = String.make (min 50 (used * 50 / sb.Csb.cg_size)) '#' in
+              Printf.printf "  cg %3d  %5d used  %s\n" cg used bar
+            done;
+            if sb.Csb.cg_count > 16 then
+              Printf.printf "  ... (%d more groups)\n" (sb.Csb.cg_count - 16)
+        | M_ffs fs ->
+            let sb = Ffs.superblock fs in
+            let module L = Ffs.Layout in
+            Printf.printf "FFS superblock:\n";
+            Printf.printf "  block size        %d\n" sb.L.block_size;
+            Printf.printf "  cylinder groups   %d x %d blocks\n" sb.L.cg_count
+              sb.L.cg_size;
+            Printf.printf "  inodes per group  %d (table: %d blocks)\n"
+              sb.L.inodes_per_cg sb.L.itable_blocks;
+            let u = Ffs.usage fs in
+            Printf.printf "  inodes free       %d / %d\n" u.Fs_intf.free_inodes
+              u.Fs_intf.total_inodes);
+        Ok false)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Inspect an image's on-disk structures.")
+    Term.(const run $ image_pos)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments *)
+
+let experiment_names =
+  [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "table3";
+    "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead"; "all" ]
+
+let experiment_cmd =
+  let run name quick =
+    let scale = if quick then Experiments.quick else Experiments.full in
+    let p t = Cffs_util.Tablefmt.print t; print_newline () in
+    (match name with
+    | "table1" -> p (Experiments.table1_drives ())
+    | "fig2" -> p (Experiments.fig2_access_time scale)
+    | "table2" -> p (Experiments.table2_setup_drive ())
+    | "fig4" ->
+        let a, b = Experiments.smallfile scale Cffs_cache.Cache.Sync_metadata in
+        p a; p b
+    | "fig6" ->
+        let a, b = Experiments.smallfile scale Cffs_cache.Cache.Delayed in
+        p a; p b
+    | "softupdates" ->
+        let a, b = Experiments.smallfile scale Cffs_cache.Cache.Soft_updates in
+        p a; p b
+    | "fig7" -> p (Experiments.fig7_size_sweep scale)
+    | "fig8" -> p (Experiments.fig8_aging scale)
+    | "table3" -> p (Experiments.table3_apps scale)
+    | "dirsize" -> p (Experiments.table_dirsize ())
+    | "large" -> p (Experiments.table_large scale)
+    | "breakdown" -> p (Experiments.table_breakdown scale)
+    | "sched" -> p (Experiments.ablation_scheduler scale)
+    | "groupsize" -> p (Experiments.ablation_group_size scale)
+    | "readahead" -> p (Experiments.ablation_readahead scale)
+    | "all" -> Experiments.run_all scale
+    | other ->
+        Printf.eprintf "unknown experiment %S; one of: %s\n" other
+          (String.concat ", " experiment_names));
+    0
+  in
+  let which =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
+           ~doc:"Which table/figure to regenerate.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small, fast variant.") in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's tables and figures on the simulated disk.")
+    Term.(const run $ which $ quick)
+
+let disks_cmd =
+  let run () =
+    Cffs_util.Tablefmt.print (Experiments.table1_drives ());
+    print_newline ();
+    Cffs_util.Tablefmt.print (Experiments.table2_setup_drive ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "disks" ~doc:"Show the built-in drive profiles.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "C-FFS: embedded inodes and explicit grouping (USENIX '97), reproduced" in
+  let info = Cmd.info "cffs" ~version:"1.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        mkfs_cmd; fsck_cmd; ls_cmd; tree_cmd; cat_cmd; put_cmd; get_cmd; mkdir_cmd;
+        rm_cmd; mv_cmd; df_cmd; dump_cmd; synth_trace_cmd; replay_cmd;
+        trace_bench_cmd; experiment_cmd; disks_cmd;
+      ]
+  in
+  exit (Cmd.eval' group)

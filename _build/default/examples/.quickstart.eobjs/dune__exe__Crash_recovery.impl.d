@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Cffs Cffs_blockdev Cffs_cache Cffs_fsck Cffs_util Cffs_vfs Format List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cffs Cffs_blockdev Cffs_disk Cffs_util Cffs_vfs Char Printf String

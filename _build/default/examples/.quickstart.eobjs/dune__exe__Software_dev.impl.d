@@ -1,0 +1,1 @@
+examples/software_dev.ml: Cffs Cffs_harness Cffs_util Cffs_workload List Printf

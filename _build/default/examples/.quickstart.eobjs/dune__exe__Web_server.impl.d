@@ -1,0 +1,1 @@
+examples/web_server.ml: Cffs Cffs_blockdev Cffs_disk Cffs_harness Cffs_util Cffs_vfs Cffs_workload List Printf

@@ -1,0 +1,82 @@
+(* Crash recovery: the embedded-inode integrity argument in action.
+
+   With synchronous metadata, C-FFS writes a file's name and inode in one
+   sector-atomic directory-block write, so there is no window in which a
+   crash leaves a name pointing at an uninitialised inode.  This example
+   runs a workload, cuts the power mid-flush, and lets fsck put the file
+   system back together.
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+module Blockdev = Cffs_blockdev.Blockdev
+module Cache = Cffs_cache.Cache
+module Errno = Cffs_vfs.Errno
+module Report = Cffs_fsck.Report
+module Prng = Cffs_util.Prng
+
+let ok what = Errno.get_ok what
+
+let () =
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:16384 in
+  let fs = Cffs.format ~policy:Cache.Sync_metadata dev in
+  let prng = Prng.create 42 in
+
+  (* A burst of activity: create a mail spool, delete some of it. *)
+  ok "mkdir" (Cffs.mkdir fs "/spool");
+  for i = 0 to 199 do
+    ok "write"
+      (Cffs.write_file fs
+         (Printf.sprintf "/spool/msg%04d" i)
+         (Prng.bytes prng (500 + Prng.int prng 4000)))
+  done;
+  for i = 0 to 49 do
+    ok "rm" (Cffs.unlink fs (Printf.sprintf "/spool/msg%04d" (i * 3)))
+  done;
+  Printf.printf "Workload done: %d dirty blocks queued behind synchronous metadata\n"
+    (Cache.dirty_count (Cffs.cache fs));
+
+  (* Power failure mid-flush: only part of the delayed data reaches disk. *)
+  let written = Cache.flush_limit (Cffs.cache fs) 40 in
+  Cache.crash (Cffs.cache fs);
+  Printf.printf "CRASH after %d of the delayed blocks were written!\n\n" written;
+
+  (* Reboot: mount whatever is on the device and run fsck. *)
+  match Cffs.mount dev with
+  | None -> failwith "superblock unreadable - this should never happen"
+  | Some fs ->
+      let before = Cffs_fsck.Fsck_cffs.check fs in
+      Printf.printf "fsck (read-only): %s\n\n" (Format.asprintf "%a" Report.pp before);
+      let after = Cffs_fsck.Fsck_cffs.repair fs in
+      Printf.printf "fsck --repair:   %s\n\n" (Format.asprintf "%a" Report.pp after);
+      assert (Report.clean after);
+      (* Every surviving name resolves and reads without error; names
+         created with synchronous metadata are all still present. *)
+      let names = ok "ls" (Cffs.list_dir fs "/spool") in
+      let intact = ref 0 in
+      List.iter
+        (fun n ->
+          match Cffs.read_file fs ("/spool/" ^ n) with
+          | Ok _ -> incr intact
+          | Error e -> failwith ("unreadable survivor: " ^ Errno.to_string e))
+        names;
+      Printf.printf "%d names survived, all readable (data written before the crash\n" !intact;
+      Printf.printf "is intact; data still in the cache at the crash reads as zeros).\n";
+      (* And the file system is fully usable again. *)
+      ok "write" (Cffs.write_file fs "/spool/after-reboot" (Bytes.of_string "back up"));
+      Printf.printf "\nPost-recovery write OK - the file system is back in service.\n\n";
+
+      (* Scenario 2: media corruption.  A directory block dies, taking its
+         embedded inodes with it; fsck notices the fallout (bitmap and link
+         counts no longer add up) and repairs. *)
+      Cffs.sync fs;
+      let victim =
+        let dinode = ok "root" (Cffs.read_inode fs Cffs.Csb.root_ino) in
+        match Cffs_vfs.Bmap.read (Cffs.cache fs) dinode 0 with
+        | Ok (Some p) -> p
+        | _ -> failwith "root directory has no block"
+      in
+      Blockdev.corrupt_block dev victim prng;
+      Cache.remount (Cffs.cache fs);
+      Printf.printf "Media corruption injected into directory block %d.\n" victim;
+      let report = Cffs_fsck.Fsck_cffs.repair fs in
+      Printf.printf "fsck --repair:   %s\n" (Format.asprintf "%a" Report.pp report)

@@ -1,0 +1,57 @@
+(* The paper's motivating workload: software development.  Runs the
+   application benchmark suite (untar, search, compile, pack, copy, clean)
+   on the conventional configuration and on full C-FFS, and prints the
+   improvement — the paper reports 10-300%.
+
+   Run with: dune exec examples/software_dev.exe *)
+
+module Setup = Cffs_harness.Setup
+module Appbench = Cffs_workload.Appbench
+module Env = Cffs_workload.Env
+module Tablefmt = Cffs_util.Tablefmt
+
+let () =
+  let spec = { Appbench.default_spec with Appbench.dirs = 8; files_per_dir = 16 } in
+  Printf.printf
+    "Software-development applications over a %d-file source tree\n\
+     (simulated Seagate ST31200, synchronous metadata writes)\n\n%!"
+    (spec.Appbench.dirs * spec.Appbench.files_per_dir);
+  let run kind =
+    let inst = Setup.instantiate (Setup.standard kind) in
+    Appbench.run ~spec inst.Setup.env
+  in
+  let base = run (Setup.Cffs_fs Cffs.config_ffs_like) in
+  let cffs = run (Setup.Cffs_fs Cffs.config_default) in
+  let t =
+    Tablefmt.create
+      [
+        ("Application", Tablefmt.Left);
+        ("conventional (s)", Tablefmt.Right);
+        ("C-FFS (s)", Tablefmt.Right);
+        ("requests", Tablefmt.Right);
+        ("improvement", Tablefmt.Right);
+      ]
+  in
+  List.iter2
+    (fun (b : Appbench.result) (c : Appbench.result) ->
+      Tablefmt.add_row t
+        [
+          Appbench.app_name b.Appbench.app;
+          Printf.sprintf "%.2f" b.Appbench.measure.Env.seconds;
+          Printf.sprintf "%.2f" c.Appbench.measure.Env.seconds;
+          Printf.sprintf "%d vs %d" b.Appbench.measure.Env.requests
+            c.Appbench.measure.Env.requests;
+          Printf.sprintf "%+.0f%%"
+            ((b.Appbench.measure.Env.seconds /. c.Appbench.measure.Env.seconds -. 1.0)
+            *. 100.0);
+        ])
+    base cffs;
+  Tablefmt.print t;
+  print_newline ();
+  let total rs =
+    List.fold_left (fun acc (r : Appbench.result) -> acc +. r.Appbench.measure.Env.seconds)
+      0.0 rs
+  in
+  Printf.printf "Whole suite: %.1f s -> %.1f s (%.0f%% faster)\n" (total base)
+    (total cffs)
+    ((total base /. total cffs -. 1.0) *. 100.0)

@@ -1,0 +1,1 @@
+lib/blockdev/blockdev.ml: Bytes Cffs_disk Cffs_util Drive Hashtbl List Printf Request Scheduler

@@ -1,0 +1,1 @@
+lib/blockdev/blockdev.mli: Cffs_disk Cffs_util

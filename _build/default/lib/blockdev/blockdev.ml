@@ -1,0 +1,215 @@
+open Cffs_disk
+
+type backend =
+  | Memory of { mutable clock : float; zero_stats : Request.Stats.s }
+  | Timed of { drive : Drive.t; policy : Scheduler.policy; host_overhead : float }
+
+type t = {
+  backend : backend;
+  store : (int, bytes) Hashtbl.t;
+  block_size : int;
+  nblocks : int;
+}
+
+type image = (int, bytes) Hashtbl.t
+
+let sectors_per_block t = t.block_size / Cffs_util.Units.sector_size
+
+let of_drive ?(policy = Scheduler.Clook) ?(host_overhead = 0.5e-3) drive ~block_size =
+  if block_size <= 0 || block_size mod Cffs_util.Units.sector_size <> 0 then
+    invalid_arg "Blockdev.of_drive: block size";
+  let nblocks = Drive.total_sectors drive * Cffs_util.Units.sector_size / block_size in
+  {
+    backend = Timed { drive; policy; host_overhead };
+    store = Hashtbl.create 4096;
+    block_size;
+    nblocks;
+  }
+
+let memory ~block_size ~nblocks =
+  if block_size <= 0 || nblocks <= 0 then invalid_arg "Blockdev.memory";
+  {
+    backend = Memory { clock = 0.0; zero_stats = Request.Stats.create () };
+    store = Hashtbl.create 4096;
+    block_size;
+    nblocks;
+  }
+
+let block_size t = t.block_size
+let nblocks t = t.nblocks
+
+let check_range t blk n =
+  if blk < 0 || n <= 0 || blk + n > t.nblocks then
+    invalid_arg
+      (Printf.sprintf "Blockdev: block range [%d, %d) out of [0, %d)" blk (blk + n)
+         t.nblocks)
+
+let copy_out t blk dst off =
+  match Hashtbl.find_opt t.store blk with
+  | Some b -> Bytes.blit b 0 dst off t.block_size
+  | None -> Bytes.fill dst off t.block_size '\000'
+
+let store_block t blk src off =
+  let b =
+    match Hashtbl.find_opt t.store blk with
+    | Some b -> b
+    | None ->
+        let b = Bytes.create t.block_size in
+        Hashtbl.replace t.store blk b;
+        b
+  in
+  Bytes.blit src off b 0 t.block_size
+
+let time_request t (req : Request.t) =
+  match t.backend with
+  | Memory _ -> ()
+  | Timed { drive; host_overhead; _ } ->
+      Drive.advance drive host_overhead;
+      ignore (Drive.service drive req)
+
+let read t blk n =
+  check_range t blk n;
+  let spb = sectors_per_block t in
+  time_request t (Request.read ~lba:(blk * spb) ~sectors:(n * spb));
+  let out = Bytes.create (n * t.block_size) in
+  for i = 0 to n - 1 do
+    copy_out t (blk + i) out (i * t.block_size)
+  done;
+  out
+
+let write t blk data =
+  let len = Bytes.length data in
+  if len mod t.block_size <> 0 then invalid_arg "Blockdev.write: partial block";
+  let n = len / t.block_size in
+  check_range t blk n;
+  let spb = sectors_per_block t in
+  time_request t (Request.write ~lba:(blk * spb) ~sectors:(n * spb));
+  for i = 0 to n - 1 do
+    store_block t (blk + i) data (i * t.block_size)
+  done
+
+(* Issue a set of contiguous units, each as one request, in scheduler
+   order.  Data is stored after all timing so crash snapshots taken between
+   batches see consistent content. *)
+let issue_units t units =
+  match units with
+  | [] -> ()
+  | _ ->
+      let spb = sectors_per_block t in
+      let reqs =
+        List.map
+          (fun (start, blocks) ->
+            check_range t start (List.length blocks);
+            Request.write ~lba:(start * spb) ~sectors:(List.length blocks * spb))
+          units
+      in
+      let ordered =
+        match t.backend with
+        | Memory _ -> reqs
+        | Timed { drive; policy; _ } ->
+            Scheduler.order policy (Drive.geometry drive)
+              ~current_cyl:(Drive.current_cyl drive) reqs
+      in
+      List.iter (time_request t) ordered;
+      List.iter
+        (fun (start, blocks) ->
+          List.iteri (fun i data -> store_block t (start + i) data 0) blocks)
+        units
+
+let check_one_block t (blk, data) =
+  if Bytes.length data <> t.block_size then
+    invalid_arg "Blockdev.write_batch: data must be one block";
+  check_range t blk 1
+
+let write_batch t blocks =
+  List.iter (check_one_block t) blocks;
+  issue_units t (List.map (fun (blk, data) -> (blk, [ data ])) blocks)
+
+let write_batch_units t units =
+  List.iter
+    (fun (start, blocks) ->
+      List.iteri (fun i data -> check_one_block t (start + i, data)) blocks)
+    units;
+  issue_units t units
+
+let now t =
+  match t.backend with Memory m -> m.clock | Timed { drive; _ } -> Drive.now drive
+
+let advance t dt =
+  match t.backend with
+  | Memory m -> m.clock <- m.clock +. dt
+  | Timed { drive; _ } -> Drive.advance drive dt
+
+let stats t =
+  match t.backend with
+  | Memory m -> m.zero_stats
+  | Timed { drive; _ } -> Drive.stats drive
+
+let drive t = match t.backend with Memory _ -> None | Timed { drive; _ } -> Some drive
+
+let flush_device_cache t =
+  match t.backend with Memory _ -> () | Timed { drive; _ } -> Drive.flush_cache drive
+
+let snapshot t =
+  let img = Hashtbl.create (Hashtbl.length t.store) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace img k (Bytes.copy v)) t.store;
+  img
+
+let restore t img =
+  Hashtbl.reset t.store;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.store k (Bytes.copy v)) img
+
+let blocks_written img = Hashtbl.length img
+
+let write_torn t blk data ~keep_sectors =
+  check_range t blk 1;
+  if Bytes.length data <> t.block_size then invalid_arg "Blockdev.write_torn";
+  let ss = Cffs_util.Units.sector_size in
+  let keep = max 0 (min (t.block_size / ss) keep_sectors) in
+  let old = read t blk 1 in
+  let merged = Bytes.copy old in
+  Bytes.blit data 0 merged 0 (keep * ss);
+  store_block t blk merged 0
+
+let corrupt_block t blk prng =
+  check_range t blk 1;
+  Hashtbl.replace t.store blk (Cffs_util.Prng.bytes prng t.block_size)
+
+let save_file t path =
+  let oc = open_out_bin path in
+  (try
+     (* Fix the file's extent first so unwritten tails stay sparse. *)
+     seek_out oc ((t.nblocks * t.block_size) - 1);
+     output_char oc '\000';
+     Hashtbl.iter
+       (fun blk data ->
+         seek_out oc (blk * t.block_size);
+         output_bytes oc data)
+       t.store;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e)
+
+let load_file ?(block_size = 4096) path =
+  let ic = open_in_bin path in
+  let t =
+    try
+      let len = in_channel_length ic in
+      if len = 0 || len mod block_size <> 0 then
+        invalid_arg "Blockdev.load_file: image size is not a block multiple";
+      let nblocks = len / block_size in
+      let t = memory ~block_size ~nblocks in
+      let buf = Bytes.create block_size in
+      let zero = Bytes.make block_size '\000' in
+      for blk = 0 to nblocks - 1 do
+        really_input ic buf 0 block_size;
+        if not (Bytes.equal buf zero) then store_block t blk buf 0
+      done;
+      t
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  t

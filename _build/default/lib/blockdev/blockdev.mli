@@ -1,0 +1,94 @@
+(** Block device: the file systems' view of storage.
+
+    Presents fixed-size blocks over either a simulated {!Cffs_disk.Drive}
+    (timed) or plain memory (untimed, for unit tests).  Contiguous multi-block
+    transfers become single disk requests — the scatter/gather capability the
+    paper's driver provides and explicit grouping depends on.  Batched writes
+    are ordered by the configured scheduling policy (C-LOOK by default) before
+    being issued, as the paper's C-LOOK driver queue would. *)
+
+type t
+
+val of_drive :
+  ?policy:Cffs_disk.Scheduler.policy ->
+  ?host_overhead:float ->
+  Cffs_disk.Drive.t ->
+  block_size:int ->
+  t
+(** Timed device.  [block_size] must be a positive multiple of 512.
+    [host_overhead] (seconds, default 0.5 ms) is the host-side cost charged
+    per disk request — driver, SCSI command set-up and interrupt handling on
+    a mid-90s CPU.  It advances the clock before the drive services the
+    request, so it also produces the rotational slip a real host induces. *)
+
+val memory : block_size:int -> nblocks:int -> t
+(** Untimed in-memory device. *)
+
+val block_size : t -> int
+val nblocks : t -> int
+
+val read : t -> int -> int -> bytes
+(** [read t blk n] reads [n] consecutive blocks as one request.  Unwritten
+    blocks read as zeros. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t blk data] writes [length data / block_size] consecutive blocks
+    as one request, synchronously. *)
+
+val write_batch : t -> (int * bytes) list -> unit
+(** Write single blocks, one request each, issued in scheduler order.
+    Deliberately {e no} automatic coalescing: whether adjacent dirty blocks
+    travel as one request is a file-system policy (FFS clusters only
+    sequential blocks of one file; C-FFS also writes whole groups) — see
+    {!write_batch_units}. *)
+
+val write_batch_units : t -> (int * bytes list) list -> unit
+(** [write_batch_units t units] writes each unit — a physically contiguous
+    run [(first_block, blocks)] — as a single scatter/gather request, in
+    scheduler order. *)
+
+val now : t -> float
+(** Simulated time (always [0.] for memory devices). *)
+
+val advance : t -> float -> unit
+(** Account CPU/think time. *)
+
+val stats : t -> Cffs_disk.Request.Stats.s
+(** Live request counters (all-zero, never updated, for memory devices). *)
+
+val drive : t -> Cffs_disk.Drive.t option
+
+val flush_device_cache : t -> unit
+(** Drop the drive's on-board cache (cold-cache measurements). *)
+
+(** Raw stored contents, for crash simulation: a snapshot captures exactly
+    the blocks that reached the device; restoring yields a device whose
+    contents are the snapshot (queued/cached data above the device is lost,
+    which is the crash semantics). *)
+type image
+
+val snapshot : t -> image
+val restore : t -> image -> unit
+val blocks_written : image -> int
+(** Number of distinct blocks present in the image. *)
+
+val write_torn : t -> int -> bytes -> keep_sectors:int -> unit
+(** [write_torn t blk data ~keep_sectors] simulates a write interrupted by a
+    power failure: only the first [keep_sectors] 512-byte sectors of the
+    block reach the media; the rest keeps its previous contents.  Sectors
+    themselves are atomic — the assumption C-FFS builds its name+inode
+    atomicity on. *)
+
+val corrupt_block : t -> int -> Cffs_util.Prng.t -> unit
+(** Overwrite one block with random bytes (media-corruption injection for
+    fsck tests). *)
+
+val save_file : t -> string -> unit
+(** Write the device contents to a raw image file of [nblocks x block_size]
+    bytes (sparse where blocks were never written). *)
+
+val load_file : ?block_size:int -> string -> t
+(** Load a raw image file into a fresh memory device; the block count is the
+    file size divided by [block_size] (default 4096).  All-zero blocks are
+    not materialised.  Raises [Sys_error]/[Invalid_argument] on unusable
+    files. *)

@@ -1,0 +1,1 @@
+lib/cache/cache.ml: Bytes Cffs_blockdev Cffs_util Hashtbl List Option Printf

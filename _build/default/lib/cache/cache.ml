@@ -1,0 +1,390 @@
+module Blockdev = Cffs_blockdev.Blockdev
+module Lru = Cffs_util.Lru
+
+type policy = Write_through | Sync_metadata | Delayed | Soft_updates
+
+let policy_name = function
+  | Write_through -> "write-through"
+  | Sync_metadata -> "sync-metadata"
+  | Delayed -> "delayed (soft-updates emulation)"
+  | Soft_updates -> "soft updates"
+
+type kind = [ `Meta | `Data ]
+
+type stats = {
+  mutable phys_hits : int;
+  mutable logical_hits : int;
+  mutable misses : int;
+  mutable sync_writes : int;
+  mutable delayed_writes : int;
+  mutable writebacks : int;
+  mutable evictions : int;
+}
+
+type entry = {
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable dirty_seq : int;  (** order in which the block became dirty *)
+  mutable ident : (int * int) option;
+}
+
+type clusterer =
+  prev:int * (int * int) option -> next:int * (int * int) option -> bool
+
+type t = {
+  dev : Blockdev.t;
+  capacity : int;
+  entries : (int, entry) Lru.t;  (** physical index, LRU-ordered *)
+  logical : (int * int, int) Hashtbl.t;  (** (ino, lblk) -> physical block *)
+  stats : stats;
+  mutable policy : policy;
+  mutable clusterer : clusterer;
+  mutable trace : (string -> unit) option;
+  mutable seq : int;
+  deps : (int, int list) Hashtbl.t;
+      (** block -> blocks that must be written no later than it *)
+}
+
+let create ?(policy = Sync_metadata) dev ~capacity_blocks =
+  if capacity_blocks <= 0 then invalid_arg "Cache.create: capacity";
+  {
+    dev;
+    capacity = capacity_blocks;
+    entries = Lru.create ~size_hint:capacity_blocks ();
+    logical = Hashtbl.create 1024;
+    stats =
+      {
+        phys_hits = 0;
+        logical_hits = 0;
+        misses = 0;
+        sync_writes = 0;
+        delayed_writes = 0;
+        writebacks = 0;
+        evictions = 0;
+      };
+    policy;
+    clusterer = (fun ~prev:_ ~next:_ -> false);
+    trace = None;
+    seq = 0;
+    deps = Hashtbl.create 64;
+  }
+
+let set_clusterer t c = t.clusterer <- c
+let set_trace t f = t.trace <- f
+
+let trace t fmt =
+  match t.trace with
+  | None -> Printf.ifprintf () fmt
+  | Some f -> Printf.ksprintf f fmt
+
+let device t = t.dev
+let policy t = t.policy
+let set_policy t p = t.policy <- p
+let stats t = t.stats
+let capacity t = t.capacity
+let resident t = Lru.length t.entries
+
+let dirty_count t =
+  Lru.fold t.entries ~init:0 ~f:(fun acc _ e -> if e.dirty then acc + 1 else acc)
+
+let detach_logical t entry =
+  match entry.ident with
+  | Some key ->
+      Hashtbl.remove t.logical key;
+      entry.ident <- None
+  | None -> ()
+
+(* Is block [target] reachable from [blk] through must-write-first edges? *)
+let rec dep_reaches t blk ~target =
+  blk = target
+  || List.exists
+       (fun d -> dep_reaches t d ~target)
+       (Option.value ~default:[] (Hashtbl.find_opt t.deps blk))
+
+let is_dirty t blk =
+  match Lru.find t.entries blk with Some e -> e.dirty | None -> false
+
+let dirty_blocks t =
+  Lru.fold t.entries ~init:[] ~f:(fun acc blk e ->
+      if e.dirty then (blk, e.data) :: acc else acc)
+
+(* Form write units from the dirty set: physically adjacent dirty blocks
+   merge only when the clusterer allows it. *)
+let dirty_units t =
+  let dirty =
+    Lru.fold t.entries ~init:[] ~f:(fun acc blk e ->
+        if e.dirty then (blk, e) :: acc else acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let rec build acc current = function
+    | [] -> begin
+        match current with
+        | None -> List.rev acc
+        | Some u -> List.rev (u :: acc)
+      end
+    | (blk, e) :: rest -> begin
+        match current with
+        | Some (start, seq, blocks)
+          when blk = start + List.length blocks
+               && t.clusterer
+                    ~prev:(blk - 1, (match Lru.find t.entries (blk - 1) with
+                                    | Some p -> p.ident
+                                    | None -> None))
+                    ~next:(blk, e.ident) ->
+            build acc (Some (start, min seq e.dirty_seq, e.data :: blocks)) rest
+        | Some u -> build (u :: acc) (Some (blk, e.dirty_seq, [ e.data ])) rest
+        | None -> build acc (Some (blk, e.dirty_seq, [ e.data ])) rest
+      end
+  in
+  (* Units are formed over the block-sorted view (adjacency), but issued in
+     the order the data became dirty — that is the queue a first-come
+     first-served driver would see; smarter schedulers reorder it. *)
+  build [] None dirty
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+  |> List.map (fun (start, _, blocks) -> (start, List.rev blocks))
+
+(* Mark one block clean and retire the dependencies it satisfied. *)
+let mark_clean t blk =
+  (match Lru.find t.entries blk with Some e -> e.dirty <- false | None -> ());
+  Hashtbl.remove t.deps blk
+
+let order t ~first ~second =
+  if t.policy = Soft_updates && first <> second && is_dirty t first then begin
+    if dep_reaches t first ~target:second then begin
+      (* Completing the edge would make a cycle: write [first] now. *)
+      (match Lru.find t.entries first with
+      | Some e when e.dirty ->
+          Blockdev.write t.dev first e.data;
+          t.stats.writebacks <- t.stats.writebacks + 1;
+          mark_clean t first
+      | Some _ | None -> ())
+    end
+    else begin
+      let existing = Option.value ~default:[] (Hashtbl.find_opt t.deps second) in
+      if not (List.mem first existing) then
+        Hashtbl.replace t.deps second (first :: existing)
+    end
+  end
+
+(* Dirty blocks whose declared prerequisites are all clean. *)
+let unit_ready t (start, blocks) =
+  let n = List.length blocks in
+  let rec ok i =
+    i >= n
+    || (List.for_all
+          (fun d -> (start <= d && d < start + n) || not (is_dirty t d))
+          (Option.value ~default:[] (Hashtbl.find_opt t.deps (start + i)))
+       && ok (i + 1))
+  in
+  ok 0
+
+let flush t =
+  if t.policy <> Soft_updates || Hashtbl.length t.deps = 0 then begin
+    let units = dirty_units t in
+    let n = List.fold_left (fun acc (_, bl) -> acc + List.length bl) 0 units in
+    Blockdev.write_batch_units t.dev units;
+    t.stats.writebacks <- t.stats.writebacks + n;
+    Lru.iter t.entries (fun _ e -> e.dirty <- false);
+    Hashtbl.reset t.deps
+  end
+  else begin
+    (* Dependency waves: each wave is a scheduler-ordered batch of units
+       whose prerequisites are already on the device. *)
+    let rec wave () =
+      let units = dirty_units t in
+      if units <> [] then begin
+        let ready, blocked = List.partition (unit_ready t) units in
+        (* A blocked unit with no ready sibling means a dependency on a
+           block that is not dirty any more (already satisfied) or a stale
+           edge; break the tie by releasing everything. *)
+        let batch = if ready = [] then blocked else ready in
+        Blockdev.write_batch_units t.dev batch;
+        List.iter
+          (fun (start, blocks) ->
+            t.stats.writebacks <- t.stats.writebacks + List.length blocks;
+            List.iteri (fun i _ -> mark_clean t (start + i)) blocks)
+          batch;
+        wave ()
+      end
+    in
+    wave ();
+    Hashtbl.reset t.deps
+  end
+
+(* Make room for one more entry.  When the LRU victim is dirty, push the
+   whole dirty set out as one scheduler-ordered batch first — the update
+   daemon / write clustering behaviour — so evictions never degrade into
+   single-block synchronous writes. *)
+let evict_if_full t =
+  while Lru.length t.entries >= t.capacity do
+    (match Lru.lru t.entries with
+    | Some (_, e) when e.dirty -> flush t
+    | Some _ | None -> ());
+    match Lru.pop_lru t.entries with
+    | None -> assert false
+    | Some (_, e) ->
+        detach_logical t e;
+        t.stats.evictions <- t.stats.evictions + 1
+  done
+
+let insert t blk data ~dirty =
+  evict_if_full t;
+  if dirty then t.seq <- t.seq + 1;
+  Lru.add t.entries blk
+    { data; dirty; dirty_seq = (if dirty then t.seq else 0); ident = None }
+
+let resident_block t blk = Lru.mem t.entries blk
+
+let read t blk =
+  match Lru.use t.entries blk with
+  | Some e ->
+      trace t "read %d hit" blk;
+      t.stats.phys_hits <- t.stats.phys_hits + 1;
+      e.data
+  | None ->
+      trace t "read %d miss" blk;
+      t.stats.misses <- t.stats.misses + 1;
+      let data = Blockdev.read t.dev blk 1 in
+      insert t blk data ~dirty:false;
+      data
+
+let read_group t blk n =
+  let missing =
+    let rec any i = i < n && ((not (Lru.mem t.entries (blk + i))) || any (i + 1)) in
+    any 0
+  in
+  if missing then begin
+    t.stats.misses <- t.stats.misses + 1;
+    let data = Blockdev.read t.dev blk n in
+    for i = 0 to n - 1 do
+      if not (Lru.mem t.entries (blk + i)) then begin
+        let b = Bytes.sub data (i * Blockdev.block_size t.dev) (Blockdev.block_size t.dev) in
+        insert t (blk + i) b ~dirty:false
+      end
+    done
+  end
+
+let find_logical t ~ino ~lblk =
+  match Hashtbl.find_opt t.logical (ino, lblk) with
+  | None -> None
+  | Some blk -> begin
+      match Lru.use t.entries blk with
+      | Some e ->
+          t.stats.logical_hits <- t.stats.logical_hits + 1;
+          Some e.data
+      | None ->
+          (* Stale mapping left by an eviction race; drop it. *)
+          Hashtbl.remove t.logical (ino, lblk);
+          None
+    end
+
+let set_logical t blk ~ino ~lblk =
+  match Lru.find t.entries blk with
+  | None -> ()
+  | Some e ->
+      detach_logical t e;
+      (match Hashtbl.find_opt t.logical (ino, lblk) with
+      | Some old when old <> blk -> begin
+          (* The identity moved to a new physical block. *)
+          match Lru.find t.entries old with
+          | Some old_e -> old_e.ident <- None
+          | None -> ()
+        end
+      | _ -> ());
+      e.ident <- Some (ino, lblk);
+      Hashtbl.replace t.logical (ino, lblk) blk
+
+let drop_logical t ~ino ~lblk =
+  match Hashtbl.find_opt t.logical (ino, lblk) with
+  | None -> ()
+  | Some blk ->
+      Hashtbl.remove t.logical (ino, lblk);
+      (match Lru.find t.entries blk with
+      | Some e -> e.ident <- None
+      | None -> ())
+
+let write t ~kind blk data =
+  if Bytes.length data <> Blockdev.block_size t.dev then
+    invalid_arg "Cache.write: data must be exactly one block";
+  let sync =
+    match (t.policy, kind) with
+    | Write_through, _ -> true
+    | Sync_metadata, `Meta -> true
+    | Sync_metadata, `Data -> false
+    | (Delayed | Soft_updates), _ -> false
+  in
+  (match Lru.use t.entries blk with
+  | Some e ->
+      e.data <- data;
+      if (not sync) && not e.dirty then begin
+        t.seq <- t.seq + 1;
+        e.dirty_seq <- t.seq
+      end;
+      e.dirty <- not sync
+  | None -> insert t blk data ~dirty:(not sync));
+  trace t "write %d sync=%b" blk sync;
+  if sync then begin
+    Blockdev.write t.dev blk data;
+    t.stats.sync_writes <- t.stats.sync_writes + 1
+  end
+  else t.stats.delayed_writes <- t.stats.delayed_writes + 1
+
+let flush_limit t n =
+  if t.policy <> Soft_updates then begin
+    let dirty = dirty_blocks t in
+    let chosen = List.filteri (fun i _ -> i < n) dirty in
+    Blockdev.write_batch t.dev chosen;
+    t.stats.writebacks <- t.stats.writebacks + List.length chosen;
+    List.iter
+      (fun (blk, _) ->
+        match Lru.find t.entries blk with
+        | Some e -> e.dirty <- false
+        | None -> ())
+      chosen;
+    List.length chosen
+  end
+  else begin
+    (* Write up to [n] blocks, never a block before its prerequisites. *)
+    let written = ref 0 in
+    let progress = ref true in
+    while !written < n && !progress do
+      progress := false;
+      let dirty = dirty_blocks t in
+      List.iter
+        (fun (blk, data) ->
+          if !written < n && is_dirty t blk
+             && List.for_all
+                  (fun d -> not (is_dirty t d))
+                  (Option.value ~default:[] (Hashtbl.find_opt t.deps blk))
+          then begin
+            Blockdev.write t.dev blk data;
+            t.stats.writebacks <- t.stats.writebacks + 1;
+            mark_clean t blk;
+            incr written;
+            progress := true
+          end)
+        dirty
+    done;
+    !written
+  end
+
+let invalidate t blk =
+  (match Lru.find t.entries blk with
+  | Some e -> detach_logical t e
+  | None -> ());
+  Lru.remove t.entries blk
+
+let drop_all t =
+  Hashtbl.reset t.deps;
+  Hashtbl.reset t.logical;
+  let rec loop () =
+    match Lru.pop_lru t.entries with Some _ -> loop () | None -> ()
+  in
+  loop ()
+
+let remount t =
+  flush t;
+  drop_all t;
+  Blockdev.flush_device_cache t.dev
+
+let crash t = drop_all t

@@ -1,0 +1,131 @@
+(** Buffer cache with dual indexing, as C-FFS requires.
+
+    The cache is indexed by {e physical} disk address (like the original UNIX
+    buffer cache) {e and} by higher-level logical identity (inode, logical
+    block), like SunOS's integrated cache [Gingell87, Moran87].  Explicit
+    grouping needs this: when a group read fetches many blocks, C-FFS
+    "inserts these blocks into the cache based on physical disk address and
+    an invalid file/offset identity"; the logical identity is attached
+    lazily when a file access first maps to the block (paper §3.2).
+
+    Write policies model the paper's three integrity regimes:
+    - [Write_through]: every write goes to the device immediately;
+    - [Sync_metadata]: metadata writes are synchronous (FFS's integrity
+      discipline), data writes are delayed until {!flush};
+    - [Delayed]: all writes are delayed — the paper's emulation of soft
+      updates ("we emulate it by using delayed writes for all metadata
+      updates [Ganger94]"). *)
+
+type t
+
+type policy =
+  | Write_through
+  | Sync_metadata
+  | Delayed
+  | Soft_updates
+      (** all writes delayed, but update {e order} is preserved: blocks
+          reach the device respecting the dependencies the file system
+          declares with {!order}.  This is the real mechanism of
+          [Ganger95] (which the paper only emulates with [Delayed]): the
+          performance of delayed writes with the integrity invariants of
+          synchronous metadata. *)
+
+val policy_name : policy -> string
+
+type kind = [ `Meta | `Data ]
+
+type stats = {
+  mutable phys_hits : int;
+  mutable logical_hits : int;
+  mutable misses : int;
+  mutable sync_writes : int;
+  mutable delayed_writes : int;
+  mutable writebacks : int;  (** dirty blocks pushed out at flush/eviction *)
+  mutable evictions : int;
+}
+
+type clusterer =
+  prev:int * (int * int) option -> next:int * (int * int) option -> bool
+(** Flush-time write clustering policy: given two {e physically adjacent}
+    dirty blocks (block number and optional logical identity), may they
+    travel in one disk request?  This is where the file systems differ: FFS
+    merges only sequential blocks of a single file ([McVoy91] clustering);
+    C-FFS additionally merges blocks of the same explicit group.  Default:
+    never — each dirty block is its own request. *)
+
+val create : ?policy:policy -> Cffs_blockdev.Blockdev.t -> capacity_blocks:int -> t
+
+val set_clusterer : t -> clusterer -> unit
+val device : t -> Cffs_blockdev.Blockdev.t
+val policy : t -> policy
+val set_policy : t -> policy -> unit
+val stats : t -> stats
+val capacity : t -> int
+val resident : t -> int
+val dirty_count : t -> int
+
+val resident_block : t -> int -> bool
+(** Is the block in the cache (without touching recency)? *)
+
+val read : t -> int -> bytes
+(** [read t blk] returns the cached block, reading it from the device on a
+    miss.  The returned buffer is the cache's own: after mutating it, call
+    {!write} to record the new contents (and dirtiness). *)
+
+val read_group : t -> int -> int -> unit
+(** [read_group t blk n] fetches [n] contiguous blocks as a single disk
+    request and installs each under its physical identity.  Blocks already
+    resident (possibly dirty) keep their cached contents.  If every block is
+    already resident, no disk request is issued. *)
+
+val find_logical : t -> ino:int -> lblk:int -> bytes option
+(** Logical-identity lookup; a hit needs no block-map consultation at all. *)
+
+val set_logical : t -> int -> ino:int -> lblk:int -> unit
+(** Attach a logical identity to a resident physical block (no-op if the
+    block is not resident). *)
+
+val drop_logical : t -> ino:int -> lblk:int -> unit
+(** Detach a logical identity (truncate/delete). *)
+
+val order : t -> first:int -> second:int -> unit
+(** [order t ~first ~second] (Soft_updates only; a no-op otherwise) requires
+    that block [first] reaches the device no later than block [second].  If
+    the new constraint would complete a cycle — the classic soft-updates
+    aggregation problem — [first] is written out immediately instead, which
+    trivially satisfies it. *)
+
+val write : t -> kind:kind -> int -> bytes -> unit
+(** [write t ~kind blk data] records new contents for [blk].  Whether the
+    device write happens now or at {!flush} is decided by the policy and
+    [kind].  [data] is captured by reference; it must be exactly one block. *)
+
+val flush : t -> unit
+(** Push all dirty blocks to the device as one scheduler-ordered batch;
+    adjacent dirty blocks coalesce into scatter/gather requests exactly as
+    the configured {!clusterer} allows.  Under [Soft_updates] the batch is
+    split into dependency waves: a block is written only after everything it
+    was {!order}ed behind. *)
+
+val flush_limit : t -> int -> int
+(** [flush_limit t n] flushes at most [n] dirty blocks (block-at-a-time, no
+    clustering) and returns how many were written — crash-injection tests
+    use this to stop a flush midway.  Under [Soft_updates] the chosen blocks
+    respect the declared ordering, so a crash after any prefix preserves the
+    integrity invariants. *)
+
+val invalidate : t -> int -> unit
+(** Drop a block without writing it back (block freed). *)
+
+val remount : t -> unit
+(** Flush, then drop every cached block and logical mapping, and clear the
+    drive's on-board cache: the cold-cache state the paper creates between
+    benchmark phases. *)
+
+val crash : t -> unit
+(** Drop all cached state {e without} flushing — what a power failure leaves
+    on the device is exactly what was written so far. *)
+
+val set_trace : t -> (string -> unit) option -> unit
+(** Debug hook: when set, every cache operation reports a one-line summary
+    (used by tests to compare operation streams). *)

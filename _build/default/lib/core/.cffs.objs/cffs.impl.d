@@ -1,0 +1,1 @@
+lib/core/cffs.ml: Array Bytes Cdir Cffs_blockdev Cffs_cache Cffs_util Cffs_vfs Csb Ffs Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/core/cffs.mli: Cdir Cffs_blockdev Cffs_cache Cffs_vfs Csb

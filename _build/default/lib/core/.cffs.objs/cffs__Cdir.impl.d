@@ -1,0 +1,1 @@
+lib/core/cdir.ml: Bytes Cffs_util Cffs_vfs String

@@ -1,0 +1,1 @@
+lib/core/cdir.mli: Cffs_vfs

@@ -1,0 +1,83 @@
+module Codec = Cffs_util.Codec
+module Inode = Cffs_vfs.Inode
+
+let chunk_bytes = 256
+let max_name = 119
+let chunks_per_block ~block_size = block_size / chunk_bytes
+let chunk_off i = i * chunk_bytes
+let inode_off i = chunk_off i + 128
+
+type entry = { chunk : int; name : string; embedded : bool; ext_ino : int }
+
+let init_block b = Bytes.fill b 0 (Bytes.length b) '\000'
+
+let read_entry b i =
+  let off = chunk_off i in
+  if Codec.get_u8 b off = 0 then None
+  else begin
+    let namelen = Codec.get_u8 b (off + 1) in
+    let flags = Codec.get_u16 b (off + 2) in
+    Some
+      {
+        chunk = i;
+        name = Codec.get_string b (off + 8) namelen;
+        embedded = flags land 1 <> 0;
+        ext_ino = Codec.get_u32 b (off + 4);
+      }
+  end
+
+let iter b f =
+  let n = chunks_per_block ~block_size:(Bytes.length b) in
+  for i = 0 to n - 1 do
+    match read_entry b i with Some e -> f e | None -> ()
+  done
+
+let fold b ~init ~f =
+  let acc = ref init in
+  iter b (fun e -> acc := f !acc e);
+  !acc
+
+let find b name =
+  let n = chunks_per_block ~block_size:(Bytes.length b) in
+  let rec loop i =
+    if i >= n then None
+    else begin
+      match read_entry b i with
+      | Some e when e.name = name -> Some e
+      | Some _ | None -> loop (i + 1)
+    end
+  in
+  loop 0
+
+let find_free b =
+  let n = chunks_per_block ~block_size:(Bytes.length b) in
+  let rec loop i =
+    if i >= n then None
+    else if Codec.get_u8 b (chunk_off i) = 0 then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let live_count b = fold b ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let write_header b i ~name ~flags ~ext_ino =
+  let off = chunk_off i in
+  if String.length name > max_name then invalid_arg "Cdir: name too long";
+  Codec.set_u8 b off 1;
+  Codec.set_u8 b (off + 1) (String.length name);
+  Codec.set_u16 b (off + 2) flags;
+  Codec.set_u32 b (off + 4) ext_ino;
+  Codec.set_cstring b (off + 8) (chunk_bytes - 128 - 8) name
+
+let set_embedded b i name inode =
+  write_header b i ~name ~flags:1 ~ext_ino:0;
+  Inode.encode inode b (inode_off i)
+
+let set_external b i name ino =
+  write_header b i ~name ~flags:0 ~ext_ino:ino;
+  Codec.zero b (inode_off i) 128
+
+let clear b i = Codec.zero b (chunk_off i) chunk_bytes
+
+let read_inode b i = Inode.decode b (inode_off i)
+let write_inode b i inode = Inode.encode inode b (inode_off i)

@@ -1,0 +1,1313 @@
+module Csb = Csb
+module Cdir = Cdir
+module Cache = Cffs_cache.Cache
+module Blockdev = Cffs_blockdev.Blockdev
+module Codec = Cffs_util.Codec
+module Errno = Cffs_vfs.Errno
+module Inode = Cffs_vfs.Inode
+module Fs_intf = Cffs_vfs.Fs_intf
+module Bmap = Cffs_vfs.Bmap
+module Dirent = Ffs.Dirent
+open Errno
+
+type config = {
+  embed_inodes : bool;
+  grouping : bool;
+  group_blocks : int;
+  group_file_blocks : int;
+  readahead_blocks : int;
+}
+
+let config_default =
+  {
+    embed_inodes = true;
+    grouping = true;
+    group_blocks = 16;
+    group_file_blocks = 8;
+    readahead_blocks = 0;
+  }
+
+let config_ffs_like = { config_default with embed_inodes = false; grouping = false }
+
+let config_label c =
+  match (c.embed_inodes, c.grouping) with
+  | true, true -> "C-FFS (EI+EG)"
+  | true, false -> "C-FFS (EI)"
+  | false, true -> "C-FFS (EG)"
+  | false, false -> "C-FFS (none)"
+
+type t = {
+  cache : Cache.t;
+  sb : Csb.t;
+  mutable ext_free : int list;  (** free external-inode slots *)
+  mutable dir_rotor : int;
+  last_read : (int, int) Hashtbl.t;
+      (** ino -> last logical block read; drives sequential read-ahead *)
+  parents : (int, int) Hashtbl.t;
+      (** ino -> containing-directory ino; in-memory only (the vnode-layer
+          parent pointer), repopulated by lookups after a remount *)
+  mutable frame_drought : bool;
+      (** a whole-device scan found no free frame; reset on any block free *)
+}
+
+let cache t = t.cache
+let superblock t = t.sb
+
+let config t =
+  {
+    embed_inodes = t.sb.Csb.embed_inodes;
+    grouping = t.sb.Csb.grouping;
+    group_blocks = t.sb.Csb.group_blocks;
+    group_file_blocks = t.sb.Csb.group_file_blocks;
+    readahead_blocks = t.sb.Csb.readahead_blocks;
+  }
+
+let label t = config_label (config t)
+let bs t = t.sb.Csb.block_size
+let cpb t = Cdir.chunks_per_block ~block_size:(bs t)
+
+(* Inode flag bit: some of this file's data was group-allocated. *)
+let flag_grouped = 1
+
+let is_embedded_ino ino = ino >= Csb.embed_bit
+let is_external_ino ino = ino >= Csb.ext_base && ino < Csb.embed_bit
+
+let embed_ino t ~pblock ~chunk = Csb.embed_bit + (pblock * cpb t) + chunk
+let embed_pos t ino = ((ino - Csb.embed_bit) / cpb t, (ino - Csb.embed_bit) mod cpb t)
+
+let mtime_now t = int_of_float (Blockdev.now (Cache.device t.cache))
+
+(* ------------------------------------------------------------------ *)
+(* Cylinder-group headers: free count + block bitmap. *)
+
+let hdr_free_blocks = Csb.hdr_free_blocks_off
+let hdr_bbm = Csb.hdr_block_bitmap_off
+
+let header_block t cg = Csb.cg_start t.sb cg
+let read_header t cg = Cache.read t.cache (header_block t cg)
+let write_header t cg b = Cache.write t.cache ~kind:`Data (header_block t cg) b
+
+let get_bit b base i = Codec.get_u8 b (base + (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit b base i =
+  Codec.set_u8 b (base + (i lsr 3)) (Codec.get_u8 b (base + (i lsr 3)) lor (1 lsl (i land 7)))
+
+let clear_bit b base i =
+  Codec.set_u8 b
+    (base + (i lsr 3))
+    (Codec.get_u8 b (base + (i lsr 3)) land lnot (1 lsl (i land 7)))
+
+let cg_free_blocks t cg = Codec.get_u32 (read_header t cg) hdr_free_blocks
+
+(* Claim a specific known-free block. *)
+let claim_block t blk =
+  let cg = Csb.cg_of_block t.sb blk in
+  let rel = blk - Csb.cg_start t.sb cg in
+  let b = read_header t cg in
+  assert (not (get_bit b hdr_bbm rel));
+  set_bit b hdr_bbm rel;
+  Codec.set_u32 b hdr_free_blocks (Codec.get_u32 b hdr_free_blocks - 1);
+  write_header t cg b
+
+let find_clear_bit b base len hint =
+  let hint = if len = 0 then 0 else hint mod len in
+  let rec scan i stop =
+    if i >= stop then None else if get_bit b base i then scan (i + 1) stop else Some i
+  in
+  match scan hint len with Some _ as r -> r | None -> scan 0 hint
+
+(* FFS-style single-block allocation: the given group first, near [hint]. *)
+let alloc_near t ~cg ~hint =
+  let sb = t.sb in
+  let try_cg cg hint_rel =
+    let b = read_header t cg in
+    if Codec.get_u32 b hdr_free_blocks = 0 then None
+    else begin
+      match find_clear_bit b hdr_bbm sb.Csb.cg_size (max 1 hint_rel) with
+      | None | Some 0 -> None
+      | Some rel ->
+          set_bit b hdr_bbm rel;
+          Codec.set_u32 b hdr_free_blocks (Codec.get_u32 b hdr_free_blocks - 1);
+          write_header t cg b;
+          Some (Csb.cg_start sb cg + rel)
+    end
+  in
+  let hint_rel =
+    if hint > 0 && Csb.cg_of_block sb hint = cg then hint - Csb.cg_start sb cg else 1
+  in
+  let rec probe i =
+    if i >= sb.Csb.cg_count then None
+    else begin
+      let g = (cg + i) mod sb.Csb.cg_count in
+      let h = if i = 0 then hint_rel else 1 in
+      match try_cg g h with Some _ as r -> r | None -> probe (i + 1)
+    end
+  in
+  probe 0
+
+let free_block t blk =
+  let sb = t.sb in
+  let cg = Csb.cg_of_block sb blk in
+  let rel = blk - Csb.cg_start sb cg in
+  let b = read_header t cg in
+  if get_bit b hdr_bbm rel then begin
+    clear_bit b hdr_bbm rel;
+    Codec.set_u32 b hdr_free_blocks (Codec.get_u32 b hdr_free_blocks + 1);
+    write_header t cg b
+  end;
+  t.frame_drought <- false;
+  Cache.invalidate t.cache blk
+
+(* ------------------------------------------------------------------ *)
+(* Group frames: aligned [group_blocks]-sized extents of a group's data
+   area. *)
+
+let frame_of_block_sb (sb : Csb.t) blk =
+  if not sb.Csb.grouping then None
+  else begin
+    let gb = sb.Csb.group_blocks in
+    let cg = Csb.cg_of_block sb blk in
+    let data0 = Csb.cg_data_start sb cg in
+    let rel = blk - data0 in
+    if rel < 0 then None
+    else begin
+      let start = data0 + (rel / gb * gb) in
+      if start + gb <= Csb.cg_start sb cg + sb.Csb.cg_size then Some start else None
+    end
+  end
+
+let frame_of_block t blk = frame_of_block_sb t.sb blk
+
+(* Delayed-write clustering: adjacent dirty blocks travel as one request
+   when they are sequential blocks of the same file (FFS-style clustering)
+   or, with grouping on, when they lie in the same group frame — the "moved
+   to and from the disk as a unit" of explicit grouping. *)
+let clusterer_of_sb (sb : Csb.t) ~prev ~next =
+  let same_file =
+    match (snd prev, snd next) with
+    | Some (ino1, l1), Some (ino2, l2) -> ino1 = ino2 && l2 = l1 + 1
+    | _ -> false
+  in
+  same_file
+  ||
+  match (frame_of_block_sb sb (fst prev), frame_of_block_sb sb (fst next)) with
+  | Some f1, Some f2 -> f1 = f2
+  | _ -> false
+
+let frame_free_block t frame =
+  let sb = t.sb in
+  let cg = Csb.cg_of_block sb frame in
+  let b = read_header t cg in
+  let base_rel = frame - Csb.cg_start sb cg in
+  let rec scan i =
+    if i >= sb.Csb.group_blocks then None
+    else if get_bit b hdr_bbm (base_rel + i) then scan (i + 1)
+    else Some (frame + i)
+  in
+  scan 0
+
+(* Find a completely free, aligned frame, preferring group [cg]. *)
+let alloc_frame t ~cg =
+  if t.frame_drought then None
+  else begin
+    let sb = t.sb in
+    let gb = sb.Csb.group_blocks in
+    let try_cg g =
+      let b = read_header t g in
+      if Codec.get_u32 b hdr_free_blocks < gb then None
+      else begin
+        let data0_rel = 1 in
+        let nframes = (sb.Csb.cg_size - data0_rel) / gb in
+        let rec scan k =
+          if k >= nframes then None
+          else begin
+            let base = data0_rel + (k * gb) in
+            let rec all_free i =
+              i >= gb || ((not (get_bit b hdr_bbm (base + i))) && all_free (i + 1))
+            in
+            if all_free 0 then Some (Csb.cg_start sb g + base) else scan (k + 1)
+          end
+        in
+        scan 0
+      end
+    in
+    let rec probe i =
+      if i >= sb.Csb.cg_count then begin
+        t.frame_drought <- true;
+        None
+      end
+      else begin
+        match try_cg ((cg + i) mod sb.Csb.cg_count) with
+        | Some _ as r -> r
+        | None -> probe (i + 1)
+      end
+    in
+    probe 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inode access: resident (superblock), embedded (directory chunk) or
+   external (inode-file slot). *)
+
+let sb_inode_off ino =
+  if ino = Csb.root_ino then Csb.root_inode_off
+  else if ino = Csb.ifile_ino then Csb.ifile_inode_off
+  else invalid_arg "Cffs: not a resident inode"
+
+let ipb t = bs t / Inode.size_bytes
+
+let read_resident t ino = Inode.decode (Cache.read t.cache 0) (sb_inode_off ino)
+
+let write_resident t ino inode ~kind =
+  let b = Cache.read t.cache 0 in
+  Inode.encode inode b (sb_inode_off ino);
+  Cache.write t.cache ~kind 0 b
+
+(* Physical block of the inode-file block holding [slot], if mapped. *)
+let ifile_block t slot =
+  let ifile = read_resident t Csb.ifile_ino in
+  Bmap.read t.cache ifile (slot / ipb t)
+
+let read_inode t ino : Inode.t Errno.result =
+  if ino = Csb.root_ino || ino = Csb.ifile_ino then Ok (read_resident t ino)
+  else if is_embedded_ino ino then begin
+    let pblock, chunk = embed_pos t ino in
+    if pblock <= 0 || pblock >= Csb.total_blocks t.sb || chunk >= cpb t then Error Einval
+    else begin
+      let b = Cache.read t.cache pblock in
+      if Codec.get_u8 b (Cdir.chunk_off chunk) = 0 then Error Enoent
+      else begin
+        let inode = Cdir.read_inode b chunk in
+        if inode.Inode.kind = Inode.Free then Error Enoent else Ok inode
+      end
+    end
+  end
+  else if is_external_ino ino then begin
+    let slot = ino - Csb.ext_base in
+    if slot >= t.sb.Csb.ext_high then Error Enoent
+    else begin
+      let* p = ifile_block t slot in
+      match p with
+      | None -> Error Enoent
+      | Some p ->
+          let b = Cache.read t.cache p in
+          let inode = Inode.decode b (slot mod ipb t * Inode.size_bytes) in
+          if inode.Inode.kind = Inode.Free then Error Enoent else Ok inode
+    end
+  end
+  else Error Einval
+
+let write_inode t ino inode ~kind : unit Errno.result =
+  if ino = Csb.root_ino || ino = Csb.ifile_ino then begin
+    write_resident t ino inode ~kind;
+    Ok ()
+  end
+  else if is_embedded_ino ino then begin
+    let pblock, chunk = embed_pos t ino in
+    let b = Cache.read t.cache pblock in
+    Cdir.write_inode b chunk inode;
+    Cache.write t.cache ~kind pblock b;
+    Ok ()
+  end
+  else begin
+    let slot = ino - Csb.ext_base in
+    let* p = ifile_block t slot in
+    match p with
+    | None -> Error Enoent
+    | Some p ->
+        let b = Cache.read t.cache p in
+        Inode.encode inode b (slot mod ipb t * Inode.size_bytes);
+        Cache.write t.cache ~kind p b;
+        Ok ()
+  end
+
+let write_inode_raw t ino inode = write_inode t ino inode ~kind:`Meta
+
+(* ------------------------------------------------------------------ *)
+(* External inode allocation (the IFILE-like structure: grows as needed,
+   never shrinks, blocks never move). *)
+
+let persist_sb t =
+  let b = Cache.read t.cache 0 in
+  Csb.encode t.sb b;
+  Cache.write t.cache ~kind:`Data 0 b
+
+let grow_ifile_to t slot =
+  let ifile = read_resident t Csb.ifile_ino in
+  let lblk = slot / ipb t in
+  let needed = (lblk + 1) * bs t in
+  if ifile.Inode.size >= needed then Ok ()
+  else begin
+    let alloc ~hint =
+      match alloc_near t ~cg:0 ~hint with Some b -> Ok b | None -> Error Enospc
+    in
+    let rec grow l =
+      if l > lblk then Ok ()
+      else begin
+        let* p = Bmap.alloc t.cache ifile l ~alloc in
+        Cache.write t.cache ~kind:`Data p (Bytes.make (bs t) '\000');
+        grow (l + 1)
+      end
+    in
+    let* () = grow (ifile.Inode.size / bs t) in
+    ifile.Inode.size <- needed;
+    write_resident t Csb.ifile_ino ifile ~kind:`Data;
+    Ok ()
+  end
+
+(* The inode-file block holding an external inode, when mapped. *)
+let ext_ino_block t ino =
+  if not (is_external_ino ino) then None
+  else begin
+    match ifile_block t (ino - Csb.ext_base) with
+    | Ok (Some p) -> Some p
+    | Ok None | Error _ -> None
+  end
+
+let alloc_ext_ino t =
+  match t.ext_free with
+  | slot :: rest ->
+      t.ext_free <- rest;
+      Ok (Csb.ext_base + slot)
+  | [] ->
+      let slot = t.sb.Csb.ext_high in
+      let* () = grow_ifile_to t slot in
+      t.sb.Csb.ext_high <- slot + 1;
+      persist_sb t;
+      Ok (Csb.ext_base + slot)
+
+let free_ext_ino t ino ~generation =
+  let slot = ino - Csb.ext_base in
+  let cleared = Inode.empty () in
+  cleared.Inode.generation <- generation + 1;
+  let* () = write_inode t ino cleared ~kind:`Meta in
+  t.ext_free <- slot :: t.ext_free;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Data allocation. *)
+
+(* The cylinder group a directory's data gravitates to: the group of its
+   most recent frame, else the affinity chosen at mkdir (spare.(1), stored
+   +1 so 0 means unset), else the group of its first block. *)
+let dir_affinity_cg t (dinode : Inode.t) =
+  if dinode.Inode.spare.(0) <> 0 then Csb.cg_of_block t.sb dinode.Inode.spare.(0)
+  else if dinode.Inode.spare.(1) > 0 then
+    (dinode.Inode.spare.(1) - 1) mod t.sb.Csb.cg_count
+  else if dinode.Inode.direct.(0) <> 0 then Csb.cg_of_block t.sb dinode.Inode.direct.(0)
+  else 0
+
+(* FFS-style directory preference: spread new directories over the groups
+   with the most free space, starting from a rotor. *)
+let dirpref t =
+  let sb = t.sb in
+  let best = ref (t.dir_rotor mod sb.Csb.cg_count, -1) in
+  for i = 0 to sb.Csb.cg_count - 1 do
+    let cg = (t.dir_rotor + i) mod sb.Csb.cg_count in
+    let free = cg_free_blocks t cg in
+    if free > snd !best then best := (cg, free)
+  done;
+  t.dir_rotor <- (t.dir_rotor + 1) mod sb.Csb.cg_count;
+  fst !best
+
+(* Allocate one block inside the directory's group frames, acquiring a new
+   frame when the active ones are full; falls back to ungrouped placement
+   under fragmentation (this is how aging erodes grouping). *)
+let alloc_grouped t ~dir_ino ~dinode =
+  let spare = dinode.Inode.spare in
+  let rec from_active i =
+    if i >= Inode.n_spare then None
+    else if spare.(i) = 0 then from_active (i + 1)
+    else begin
+      match frame_free_block t spare.(i) with
+      | Some blk -> Some blk
+      | None -> from_active (i + 1)
+    end
+  in
+  match from_active 0 with
+  | Some blk ->
+      claim_block t blk;
+      Ok blk
+  | None -> begin
+      match alloc_frame t ~cg:(dir_affinity_cg t dinode) with
+      | Some frame ->
+          (* Most-recent frame first; the oldest hint falls off. *)
+          for i = Inode.n_spare - 1 downto 1 do
+            spare.(i) <- spare.(i - 1)
+          done;
+          spare.(0) <- frame;
+          let* () = write_inode t dir_ino dinode ~kind:`Data in
+          claim_block t frame;
+          Ok frame
+      | None -> begin
+          match alloc_near t ~cg:(dir_affinity_cg t dinode) ~hint:0 with
+          | Some blk -> Ok blk
+          | None -> Error Enospc
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* File data I/O with group-sized reads. *)
+
+let group_read_applies t (inode : Inode.t) lblk =
+  t.sb.Csb.grouping
+  && (inode.Inode.kind = Inode.Directory
+     || (inode.Inode.flags land flag_grouped <> 0 && lblk < t.sb.Csb.group_file_blocks))
+
+(* Sequential read-ahead for ungrouped data (an extension: the paper's
+   implementation has none).  When the previous read of this file was the
+   preceding logical block, fetch the physically contiguous run of the next
+   blocks in one request. *)
+let readahead t ~ino inode lblk p =
+  let window = t.sb.Csb.readahead_blocks in
+  if
+    window > 0
+    && (not (Cache.resident_block t.cache p))
+    && Hashtbl.find_opt t.last_read ino = Some (lblk - 1)
+  then begin
+    let rec run_len i =
+      if i > window then i
+      else begin
+        match Bmap.read t.cache inode (lblk + i) with
+        | Ok (Some q) when q = p + i -> run_len (i + 1)
+        | Ok _ | Error _ -> i
+      end
+    in
+    let n = run_len 1 in
+    if n > 1 then Cache.read_group t.cache p n
+  end
+
+(* Read a file's logical block.  A miss on a grouped block fetches the whole
+   frame in one request and installs every block by physical address; the
+   target block then gets its logical identity (paper §3.2). *)
+let file_block_read t ~ino inode lblk =
+  let note_read () =
+    if t.sb.Csb.readahead_blocks > 0 then Hashtbl.replace t.last_read ino lblk
+  in
+  match Cache.find_logical t.cache ~ino ~lblk with
+  | Some b ->
+      note_read ();
+      Ok (Some b)
+  | None -> begin
+      match Bmap.read t.cache inode lblk with
+      | Error _ as e -> e
+      | Ok None -> Ok None
+      | Ok (Some p) ->
+          (match if group_read_applies t inode lblk then frame_of_block t p else None with
+          | Some frame -> Cache.read_group t.cache frame t.sb.Csb.group_blocks
+          | None -> readahead t ~ino inode lblk p);
+          let b = Cache.read t.cache p in
+          Cache.set_logical t.cache p ~ino ~lblk;
+          note_read ();
+          Ok (Some b)
+    end
+
+let read_ino t ~ino ~off ~len =
+  let* inode = read_inode t ino in
+  if off < 0 || len < 0 then Error Einval
+  else begin
+    let len = max 0 (min len (inode.Inode.size - off)) in
+    let out = Bytes.create len in
+    let bsz = bs t in
+    let rec loop pos =
+      if pos >= len then Ok out
+      else begin
+        let fo = off + pos in
+        let lblk = fo / bsz in
+        let boff = fo mod bsz in
+        let n = min (bsz - boff) (len - pos) in
+        let* data = file_block_read t ~ino inode lblk in
+        (match data with
+        | Some b -> Bytes.blit b boff out pos n
+        | None -> Bytes.fill out pos n '\000');
+        loop (pos + n)
+      end
+    in
+    loop 0
+  end
+
+(* The allocator for one of [ino]'s data blocks.  Small-file blocks go to
+   the owning directory's frames when grouping is on and the parent is
+   known; everything else gets FFS-style placement. *)
+let data_alloc t ~ino (inode : Inode.t) lblk ~hint =
+  let parent = Hashtbl.find_opt t.parents ino in
+  let grouped =
+    t.sb.Csb.grouping
+    && inode.Inode.kind = Inode.Regular
+    && lblk < t.sb.Csb.group_file_blocks
+    && parent <> None
+  in
+  if grouped then begin
+    match parent with
+    | Some dir_ino -> begin
+        match read_inode t dir_ino with
+        | Ok dinode ->
+            let* blk = alloc_grouped t ~dir_ino ~dinode in
+            inode.Inode.flags <- inode.Inode.flags lor flag_grouped;
+            Ok blk
+        | Error _ -> begin
+            match alloc_near t ~cg:0 ~hint with
+            | Some b -> Ok b
+            | None -> Error Enospc
+          end
+      end
+    | None -> assert false
+  end
+  else begin
+    let cg =
+      if hint > 0 then Csb.cg_of_block t.sb hint
+      else begin
+        match parent with
+        | Some dir_ino -> begin
+            match read_inode t dir_ino with
+            | Ok dinode -> dir_affinity_cg t dinode
+            | Error _ -> 0
+          end
+        | None -> 0
+      end
+    in
+    match alloc_near t ~cg ~hint with Some b -> Ok b | None -> Error Enospc
+  end
+
+let write_ino t ~ino ~off data =
+  let* inode = read_inode t ino in
+  if off < 0 then Error Einval
+  else if inode.Inode.kind = Inode.Directory then Error Eisdir
+  else begin
+    let len = Bytes.length data in
+    let bsz = bs t in
+    let old_size = inode.Inode.size in
+    let rec loop pos =
+      if pos >= len then Ok ()
+      else begin
+        let fo = off + pos in
+        let lblk = fo / bsz in
+        let boff = fo mod bsz in
+        let n = min (bsz - boff) (len - pos) in
+        let* p =
+          Bmap.alloc t.cache inode lblk ~alloc:(fun ~hint ->
+              data_alloc t ~ino inode lblk ~hint)
+        in
+        (* Read-modify-write is only needed when the write leaves some of
+           the block's previously valid bytes in place; fresh blocks and
+           whole-valid-range overwrites build the buffer from zeros. *)
+        let valid = max 0 (min bsz (old_size - (lblk * bsz))) in
+        let need_rmw = n < bsz && (boff > 0 || n < valid) in
+        let buf =
+          if not need_rmw then Bytes.make bsz '\000'
+          else begin
+            match Cache.find_logical t.cache ~ino ~lblk with
+            | Some b -> Bytes.copy b
+            | None -> Bytes.copy (Cache.read t.cache p)
+          end
+        in
+        Bytes.blit data pos buf boff n;
+        Cache.write t.cache ~kind:`Data p buf;
+        Cache.set_logical t.cache p ~ino ~lblk;
+        loop (pos + n)
+      end
+    in
+    let* () = loop 0 in
+    inode.Inode.size <- max inode.Inode.size (off + len);
+    inode.Inode.mtime <- mtime_now t;
+    write_inode t ino inode ~kind:`Data
+  end
+
+let drop_logical_range t ~ino ~nblocks =
+  for l = 0 to nblocks - 1 do
+    Cache.drop_logical t.cache ~ino ~lblk:l
+  done
+
+let free_file_blocks t ~ino (inode : Inode.t) =
+  drop_logical_range t ~ino ~nblocks:((inode.Inode.size + bs t - 1) / bs t);
+  Bmap.iter t.cache inode ~data:(fun p -> free_block t p) ~meta:(fun p -> free_block t p)
+
+let truncate_ino t ~ino ~size =
+  let* inode = read_inode t ino in
+  if size < 0 then Error Einval
+  else if inode.Inode.kind = Inode.Directory then Error Eisdir
+  else begin
+    let bsz = bs t in
+    if size < inode.Inode.size then begin
+      let keep = (size + bsz - 1) / bsz in
+      let old_nblocks = (inode.Inode.size + bsz - 1) / bsz in
+      for l = keep to old_nblocks - 1 do
+        Cache.drop_logical t.cache ~ino ~lblk:l
+      done;
+      Bmap.shrink t.cache inode ~keep_blocks:keep ~free:(free_block t);
+      (* Zero the cut tail of the last kept block so a later size extension
+         reads zeros there, as POSIX requires. *)
+      if size mod bsz <> 0 then begin
+        match Bmap.read t.cache inode (keep - 1) with
+        | Ok (Some p) ->
+            let b = Bytes.copy (Cache.read t.cache p) in
+            Codec.zero b (size mod bsz) (bsz - (size mod bsz));
+            Cache.write t.cache ~kind:`Data p b;
+            Cache.set_logical t.cache p ~ino ~lblk:(keep - 1)
+        | Ok None | Error _ -> ()
+      end
+    end;
+    inode.Inode.size <- size;
+    inode.Inode.mtime <- mtime_now t;
+    write_inode t ino inode ~kind:`Meta
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Directory content.  Two on-disk formats:
+   - embedded ({!Cdir} chunks) when [embed_inodes];
+   - FFS-style dense entries otherwise (inodes all external). *)
+
+let dir_nblocks t (inode : Inode.t) = (inode.Inode.size + bs t - 1) / bs t
+
+(* Iterate a directory's blocks, giving [f] the logical index, physical
+   block and buffer; stops when [f] returns [Some _]. *)
+let dir_scan t ~dir dinode f =
+  let rec loop lblk =
+    if lblk >= dir_nblocks t dinode then Ok None
+    else begin
+      let* data = file_block_read t ~ino:dir dinode lblk in
+      match data with
+      | None -> loop (lblk + 1)
+      | Some b -> begin
+          let* p = Bmap.read t.cache dinode lblk in
+          match p with
+          | None -> loop (lblk + 1)
+          | Some p -> begin
+              match f ~lblk ~pblock:p b with
+              | Some r -> Ok (Some r)
+              | None -> loop (lblk + 1)
+            end
+        end
+    end
+  in
+  loop 0
+
+(* Find a name; result carries everything needed to address the entry. *)
+type found = {
+  f_lblk : int;
+  f_pblock : int;
+  f_ino : int;
+  f_embedded : bool;
+  f_chunk : int; (* embed format only *)
+}
+
+let dir_find t ~dir dinode name =
+  if t.sb.Csb.embed_inodes then
+    dir_scan t ~dir dinode (fun ~lblk ~pblock b ->
+        match Cdir.find b name with
+        | Some e ->
+            let ino =
+              if e.Cdir.embedded then embed_ino t ~pblock ~chunk:e.Cdir.chunk
+              else e.Cdir.ext_ino
+            in
+            Some
+              {
+                f_lblk = lblk;
+                f_pblock = pblock;
+                f_ino = ino;
+                f_embedded = e.Cdir.embedded;
+                f_chunk = e.Cdir.chunk;
+              }
+        | None -> None)
+  else
+    dir_scan t ~dir dinode (fun ~lblk ~pblock b ->
+        match Dirent.find b name with
+        | Some (_, ino) ->
+            Some
+              { f_lblk = lblk; f_pblock = pblock; f_ino = ino; f_embedded = false; f_chunk = 0 }
+        | None -> None)
+
+(* Grow the directory by one (grouped) block; returns (lblk, pblock, buffer).
+   The buffer is not yet written — the caller writes it with the new entry in
+   place, so creation costs a single directory-block write. *)
+let dir_grow t ~dir dinode =
+  let lblk = dir_nblocks t dinode in
+  let* p =
+    Bmap.alloc t.cache dinode lblk ~alloc:(fun ~hint:_ ->
+        alloc_grouped t ~dir_ino:dir ~dinode)
+  in
+  let b = Bytes.make (bs t) '\000' in
+  if t.sb.Csb.embed_inodes then Cdir.init_block b else Dirent.init_block b;
+  dinode.Inode.size <- dinode.Inode.size + bs t;
+  dinode.Inode.mtime <- mtime_now t;
+  Ok (lblk, p, b)
+
+(* Find space for a new entry: an existing block with room, or a fresh one.
+   Returns (lblk, pblock, buffer, chunk, dinode_needs_write). *)
+let dir_reserve t ~dir dinode name =
+  if t.sb.Csb.embed_inodes then begin
+    let* found =
+      dir_scan t ~dir dinode (fun ~lblk ~pblock b ->
+          match Cdir.find_free b with
+          | Some c -> Some (lblk, pblock, b, c)
+          | None -> None)
+    in
+    match found with
+    | Some (lblk, pblock, b, c) -> Ok (lblk, pblock, b, c, false)
+    | None ->
+        let* lblk, p, b = dir_grow t ~dir dinode in
+        Ok (lblk, p, b, 0, true)
+  end
+  else begin
+    let* found =
+      dir_scan t ~dir dinode (fun ~lblk ~pblock b ->
+          if Dirent.free_bytes b >= Dirent.entry_bytes name then
+            Some (lblk, pblock, b)
+          else None)
+    in
+    match found with
+    | Some (lblk, pblock, b) -> Ok (lblk, pblock, b, 0, false)
+    | None ->
+        let* lblk, p, b = dir_grow t ~dir dinode in
+        Ok (lblk, p, b, 0, true)
+  end
+
+let dir_entries t ~dir dinode =
+  let acc = ref [] in
+  let* _none =
+    dir_scan t ~dir dinode (fun ~lblk:_ ~pblock b ->
+        if t.sb.Csb.embed_inodes then
+          Cdir.iter b (fun e ->
+              let ino =
+                if e.Cdir.embedded then embed_ino t ~pblock ~chunk:e.Cdir.chunk
+                else e.Cdir.ext_ino
+              in
+              acc := (e.Cdir.name, ino) :: !acc)
+        else Dirent.iter b (fun ~off:_ ~ino name -> acc := (name, ino) :: !acc);
+        None)
+  in
+  Ok (List.rev !acc)
+
+let dir_live_entries t ~dir dinode =
+  let* entries = dir_entries t ~dir dinode in
+  Ok (List.length entries)
+
+(* ------------------------------------------------------------------ *)
+(* Namespace operations. *)
+
+let root _ = Csb.root_ino
+
+let lookup_dir_inode t dir =
+  let* inode = read_inode t dir in
+  if inode.Inode.kind <> Inode.Directory then Error Enotdir else Ok inode
+
+let lookup t ~dir name =
+  let* dinode = lookup_dir_inode t dir in
+  let* found = dir_find t ~dir dinode name in
+  match found with
+  | Some f ->
+      Hashtbl.replace t.parents f.f_ino dir;
+      Ok f.f_ino
+  | None -> Error Enoent
+
+let check_name t name =
+  let limit = if t.sb.Csb.embed_inodes then Cdir.max_name else Cffs_vfs.Path.max_name in
+  if String.length name = 0 || String.length name > limit then Error Enametoolong
+  else if String.contains name '/' || name = "." || name = ".." then Error Einval
+  else Ok ()
+
+(* Create.  Embedded: the name and the initialised inode are written in one
+   synchronous directory-block write (they share a sector: atomic, no
+   ordering constraint).  External: inode-file write first, then the
+   directory entry, as in FFS. *)
+let mknod t ~dir name kind =
+  let* () = check_name t name in
+  let* dinode = lookup_dir_inode t dir in
+  let* existing = dir_find t ~dir dinode name in
+  match existing with
+  | Some _ -> Error Eexist
+  | None ->
+      if kind = Inode.Free then Error Einval
+      else begin
+        let inode = Inode.mk kind in
+        inode.Inode.mtime <- mtime_now t;
+        if kind = Inode.Directory then inode.Inode.spare.(1) <- dirpref t + 1;
+        if t.sb.Csb.embed_inodes then begin
+          let* lblk, pblock, b, chunk, dirty_dinode = dir_reserve t ~dir dinode name in
+          Cdir.set_embedded b chunk name inode;
+          Cache.write t.cache ~kind:`Meta pblock b;
+          Cache.set_logical t.cache pblock ~ino:dir ~lblk;
+          let ino = embed_ino t ~pblock ~chunk in
+          let* () =
+            if kind = Inode.Directory then begin
+              dinode.Inode.nlink <- dinode.Inode.nlink + 1;
+              write_inode t dir dinode ~kind:`Meta
+            end
+            else if dirty_dinode then write_inode t dir dinode ~kind:`Meta
+            else Ok ()
+          in
+          Hashtbl.replace t.parents ino dir;
+          Ok ino
+        end
+        else begin
+          let* ino = alloc_ext_ino t in
+          let* () = write_inode t ino inode ~kind:`Meta in
+          let* lblk, pblock, b, _chunk, dirty_dinode = dir_reserve t ~dir dinode name in
+          if not (Dirent.insert b name ino) then Error Enospc
+          else begin
+            Cache.write t.cache ~kind:`Meta pblock b;
+            Cache.set_logical t.cache pblock ~ino:dir ~lblk;
+            (* Soft updates: initialised inode before the name. *)
+            (match ext_ino_block t ino with
+            | Some iblk -> Cache.order t.cache ~first:iblk ~second:pblock
+            | None -> ());
+            let* () =
+              if kind = Inode.Directory then begin
+                dinode.Inode.nlink <- dinode.Inode.nlink + 1;
+                write_inode t dir dinode ~kind:`Meta
+              end
+              else if dirty_dinode then write_inode t dir dinode ~kind:`Meta
+              else Ok ()
+            in
+            Hashtbl.replace t.parents ino dir;
+            Ok ino
+          end
+        end
+      end
+
+(* Delete.  Embedded: clearing the chunk removes name and inode in one
+   synchronous write; repeated deletes in a directory overwrite the same
+   block, which is where the paper's 250 % delete improvement comes from. *)
+let remove t ~dir name ~rmdir =
+  let* () = check_name t name in
+  let* dinode = lookup_dir_inode t dir in
+  let* found = dir_find t ~dir dinode name in
+  match found with
+  | None -> Error Enoent
+  | Some f ->
+      let* inode = read_inode t f.f_ino in
+      let* () =
+        match (inode.Inode.kind, rmdir) with
+        | Inode.Directory, false -> Error Eisdir
+        | Inode.Regular, true -> Error Enotdir
+        | Inode.Directory, true ->
+            let* live = dir_live_entries t ~dir:f.f_ino inode in
+            if live = 0 then Ok () else Error Enotempty
+        | Inode.Regular, false -> Ok ()
+        | Inode.Free, _ -> Error Enoent
+      in
+      (* Remove the name (and, when embedded, the inode with it). *)
+      let b = Cache.read t.cache f.f_pblock in
+      if t.sb.Csb.embed_inodes then Cdir.clear b f.f_chunk
+      else ignore (Dirent.remove b name);
+      Cache.write t.cache ~kind:`Meta f.f_pblock b;
+      let* () =
+        if inode.Inode.kind = Inode.Directory then begin
+          dinode.Inode.nlink <- dinode.Inode.nlink - 1;
+          write_inode t dir dinode ~kind:`Meta
+        end
+        else Ok ()
+      in
+      let* () =
+        if f.f_embedded then begin
+          (* The inode died with the chunk; just release its blocks. *)
+          free_file_blocks t ~ino:f.f_ino inode;
+          Ok ()
+        end
+        else if inode.Inode.kind = Inode.Directory || inode.Inode.nlink <= 1 then begin
+          free_file_blocks t ~ino:f.f_ino inode;
+          if is_external_ino f.f_ino then begin
+            (* Soft updates: the name removal before the inode free. *)
+            (match ext_ino_block t f.f_ino with
+            | Some iblk -> Cache.order t.cache ~first:f.f_pblock ~second:iblk
+            | None -> ());
+            free_ext_ino t f.f_ino ~generation:inode.Inode.generation
+          end
+          else Ok ()
+        end
+        else begin
+          (match ext_ino_block t f.f_ino with
+          | Some iblk -> Cache.order t.cache ~first:f.f_pblock ~second:iblk
+          | None -> ());
+          inode.Inode.nlink <- inode.Inode.nlink - 1;
+          write_inode t f.f_ino inode ~kind:`Meta
+        end
+      in
+      Hashtbl.remove t.parents f.f_ino;
+      Ok ()
+
+(* Externalize an embedded inode (needed before a second link can exist):
+   move it to an inode-file slot and rewrite its directory entry as a
+   reference.  The file's inode number changes. *)
+let externalize t ~dir f (inode : Inode.t) =
+  let* new_ino = alloc_ext_ino t in
+  let* () = write_inode t new_ino inode ~kind:`Meta in
+  (* Rewrite the chunk in place as an external reference, keeping the name. *)
+  let b = Cache.read t.cache f.f_pblock in
+  let* () =
+    match
+      Cdir.fold b ~init:None ~f:(fun acc e ->
+          if e.Cdir.chunk = f.f_chunk then Some e.Cdir.name else acc)
+    with
+    | None -> Error Enoent
+    | Some name ->
+        Cdir.set_external b f.f_chunk name new_ino;
+        Cache.write t.cache ~kind:`Meta f.f_pblock b;
+        Ok ()
+  in
+  drop_logical_range t ~ino:f.f_ino ~nblocks:((inode.Inode.size + bs t - 1) / bs t);
+  (match Hashtbl.find_opt t.parents f.f_ino with
+  | Some d ->
+      Hashtbl.remove t.parents f.f_ino;
+      Hashtbl.replace t.parents new_ino d
+  | None -> Hashtbl.replace t.parents new_ino dir);
+  Ok new_ino
+
+let hardlink t ~dir name ~ino =
+  let* () = check_name t name in
+  let* dinode = lookup_dir_inode t dir in
+  let* existing = dir_find t ~dir dinode name in
+  match existing with
+  | Some _ -> Error Eexist
+  | None ->
+      let* inode = read_inode t ino in
+      if inode.Inode.kind = Inode.Directory then Error Eisdir
+      else begin
+        let* ino =
+          if is_embedded_ino ino then begin
+            (* Find where the inode is embedded: its position is its number. *)
+            match Hashtbl.find_opt t.parents ino with
+            | None -> Error Einval
+            | Some src_dir ->
+                let pblock, chunk = embed_pos t ino in
+                externalize t ~dir:src_dir
+                  { f_lblk = 0; f_pblock = pblock; f_ino = ino; f_embedded = true; f_chunk = chunk }
+                  inode
+          end
+          else Ok ino
+        in
+        let* inode = read_inode t ino in
+        inode.Inode.nlink <- inode.Inode.nlink + 1;
+        let* () = write_inode t ino inode ~kind:`Meta in
+        if t.sb.Csb.embed_inodes then begin
+          let* lblk, pblock, b, chunk, dirty_dinode = dir_reserve t ~dir dinode name in
+          Cdir.set_external b chunk name ino;
+          Cache.write t.cache ~kind:`Meta pblock b;
+          Cache.set_logical t.cache pblock ~ino:dir ~lblk;
+          let* () =
+            if dirty_dinode then write_inode t dir dinode ~kind:`Meta else Ok ()
+          in
+          Ok ()
+        end
+        else begin
+          let* lblk, pblock, b, _chunk, dirty_dinode = dir_reserve t ~dir dinode name in
+          if not (Dirent.insert b name ino) then Error Enospc
+          else begin
+            Cache.write t.cache ~kind:`Meta pblock b;
+            Cache.set_logical t.cache pblock ~ino:dir ~lblk;
+            if dirty_dinode then write_inode t dir dinode ~kind:`Meta else Ok ()
+          end
+        end
+      end
+
+let rename t ~sdir ~sname ~ddir ~dname =
+  let* () = check_name t sname in
+  let* () = check_name t dname in
+  let* sdinode = lookup_dir_inode t sdir in
+  let* found = dir_find t ~dir:sdir sdinode sname in
+  match found with
+  | None -> Error Enoent
+  | Some f ->
+      let* inode = read_inode t f.f_ino in
+      let* ddinode = lookup_dir_inode t ddir in
+      let* existing = dir_find t ~dir:ddir ddinode dname in
+      let* () =
+        match existing with
+        | None -> Ok ()
+        | Some df ->
+            if df.f_ino = f.f_ino then Ok ()
+            else begin
+              let* dst = read_inode t df.f_ino in
+              if dst.Inode.kind = Inode.Directory then Error Eexist
+              else remove t ~dir:ddir dname ~rmdir:false
+            end
+      in
+      let* ddinode = lookup_dir_inode t ddir in
+      (* Place the entry at the destination first, then clear the source, so
+         the file never becomes unreachable. *)
+      let* new_ino, dst_blk =
+        if t.sb.Csb.embed_inodes then begin
+          let* lblk, pblock, b, chunk, dirty_dinode = dir_reserve t ~dir:ddir ddinode dname in
+          if f.f_embedded then Cdir.set_embedded b chunk dname inode
+          else Cdir.set_external b chunk dname f.f_ino;
+          Cache.write t.cache ~kind:`Meta pblock b;
+          Cache.set_logical t.cache pblock ~ino:ddir ~lblk;
+          let* () =
+            if dirty_dinode then write_inode t ddir ddinode ~kind:`Meta else Ok ()
+          in
+          Ok ((if f.f_embedded then embed_ino t ~pblock ~chunk else f.f_ino), pblock)
+        end
+        else begin
+          let* lblk, pblock, b, _chunk, dirty_dinode = dir_reserve t ~dir:ddir ddinode dname in
+          if not (Dirent.insert b dname f.f_ino) then Error Enospc
+          else begin
+            Cache.write t.cache ~kind:`Meta pblock b;
+            Cache.set_logical t.cache pblock ~ino:ddir ~lblk;
+            let* () =
+              if dirty_dinode then write_inode t ddir ddinode ~kind:`Meta else Ok ()
+            in
+            Ok (f.f_ino, pblock)
+          end
+        end
+      in
+      (* Clear the source entry (do not touch the target inode: it moved). *)
+      let b = Cache.read t.cache f.f_pblock in
+      if t.sb.Csb.embed_inodes then Cdir.clear b f.f_chunk
+      else ignore (Dirent.remove b sname);
+      Cache.write t.cache ~kind:`Meta f.f_pblock b;
+      (* Soft updates: the new name must reach the disk before the old one
+         disappears, or a crash loses the file. *)
+      Cache.order t.cache ~first:dst_blk ~second:f.f_pblock;
+      if new_ino <> f.f_ino then
+        drop_logical_range t ~ino:f.f_ino
+          ~nblocks:((inode.Inode.size + bs t - 1) / bs t);
+      Hashtbl.remove t.parents f.f_ino;
+      Hashtbl.replace t.parents new_ino ddir;
+      if inode.Inode.kind = Inode.Directory && sdir <> ddir then begin
+        sdinode.Inode.nlink <- sdinode.Inode.nlink - 1;
+        let* () = write_inode t sdir sdinode ~kind:`Meta in
+        let* ddinode = lookup_dir_inode t ddir in
+        ddinode.Inode.nlink <- ddinode.Inode.nlink + 1;
+        write_inode t ddir ddinode ~kind:`Meta
+      end
+      else Ok ()
+
+let readdir t ~dir =
+  let* dinode = lookup_dir_inode t dir in
+  let* entries = dir_entries t ~dir dinode in
+  List.iter (fun (_, ino) -> Hashtbl.replace t.parents ino dir) entries;
+  Ok entries
+
+let stat_ino t ino =
+  let* inode = read_inode t ino in
+  Ok
+    {
+      Fs_intf.st_ino = ino;
+      st_kind = inode.Inode.kind;
+      st_size = inode.Inode.size;
+      st_nlink = inode.Inode.nlink;
+      st_blocks = Bmap.count t.cache inode;
+    }
+
+let sync t = Cache.flush t.cache
+
+let rescan_ext_free t =
+  let free = ref [] in
+  for slot = t.sb.Csb.ext_high - 1 downto 0 do
+    match read_inode t (Csb.ext_base + slot) with
+    | Error Enoent -> free := slot :: !free
+    | Ok _ | Error _ -> ()
+  done;
+  t.ext_free <- !free
+
+let remount t =
+  Cache.remount t.cache;
+  Hashtbl.reset t.parents;
+  Hashtbl.reset t.last_read;
+  t.frame_drought <- false;
+  rescan_ext_free t
+
+let usage t =
+  let free_blocks = ref 0 in
+  for cg = 0 to t.sb.Csb.cg_count - 1 do
+    free_blocks := !free_blocks + cg_free_blocks t cg
+  done;
+  {
+    Fs_intf.total_blocks = Csb.total_blocks t.sb;
+    free_blocks = !free_blocks;
+    total_inodes = 0;
+    free_inodes = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Grouping-quality metric (aging experiment). *)
+
+let grouped_fraction ?(under = "/") t =
+  (* Frame occupancy is global: a frame shared with any other directory's
+     blocks is not well-grouped, whoever owns them.  So build the frame maps
+     from a full walk, then score only the blocks under [under]. *)
+  let frame_dirs : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let frame_blocks : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let subtree_blocks : int list ref = ref [] in
+  let file_blocks inode =
+    min ((inode.Inode.size + bs t - 1) / bs t) t.sb.Csb.group_file_blocks
+  in
+  let rec walk ~scoring dir =
+    match read_inode t dir with
+    | Error _ -> ()
+    | Ok dinode -> begin
+        match dir_entries t ~dir dinode with
+        | Error _ -> ()
+        | Ok entries ->
+            List.iter
+              (fun (_, ino) ->
+                match read_inode t ino with
+                | Error _ -> ()
+                | Ok inode -> begin
+                    match inode.Inode.kind with
+                    | Inode.Directory -> walk ~scoring ino
+                    | Inode.Regular ->
+                        for l = 0 to file_blocks inode - 1 do
+                          match Bmap.read t.cache inode l with
+                          | Ok (Some p) ->
+                              if scoring then subtree_blocks := p :: !subtree_blocks
+                              else begin
+                                match frame_of_block t p with
+                                | Some frame ->
+                                    let dirs =
+                                      Option.value ~default:[]
+                                        (Hashtbl.find_opt frame_dirs frame)
+                                    in
+                                    if not (List.mem dir dirs) then
+                                      Hashtbl.replace frame_dirs frame (dir :: dirs);
+                                    Hashtbl.replace frame_blocks frame
+                                      (1
+                                      + Option.value ~default:0
+                                          (Hashtbl.find_opt frame_blocks frame))
+                                | None -> ()
+                              end
+                          | Ok None | Error _ -> ()
+                        done
+                    | Inode.Free -> ()
+                  end)
+              entries
+      end
+  in
+  walk ~scoring:false Csb.root_ino;
+  let start =
+    match Cffs_vfs.Path.split under with
+    | Error _ -> None
+    | Ok parts ->
+        List.fold_left
+          (fun acc name ->
+            match acc with
+            | None -> None
+            | Some dir -> begin
+                match lookup t ~dir name with Ok ino -> Some ino | Error _ -> None
+              end)
+          (Some Csb.root_ino) parts
+  in
+  (match start with Some ino -> walk ~scoring:true ino | None -> ());
+  let total = List.length !subtree_blocks in
+  if total = 0 then 1.0
+  else begin
+    (* Well-grouped: the block shares its frame with at least one other
+       small-file block, and everything in the frame belongs to one
+       directory — i.e. a group read would fetch useful co-located data. *)
+    let good =
+      List.fold_left
+        (fun acc p ->
+          match frame_of_block t p with
+          | Some frame
+            when List.length (Option.value ~default:[] (Hashtbl.find_opt frame_dirs frame)) = 1
+                 && Option.value ~default:0 (Hashtbl.find_opt frame_blocks frame) >= 2 ->
+              acc + 1
+          | Some _ | None -> acc)
+        0 !subtree_blocks
+    in
+    float_of_int good /. float_of_int total
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Formatting and mounting. *)
+
+let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks = 4096)
+    dev =
+  let block_size = Blockdev.block_size dev in
+  let sb =
+    Csb.mk ~block_size ~nblocks:(Blockdev.nblocks dev) ~cg_size
+      ~group_blocks:config.group_blocks ~embed_inodes:config.embed_inodes
+      ~grouping:config.grouping ~group_file_blocks:config.group_file_blocks
+      ~readahead_blocks:config.readahead_blocks
+  in
+  let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
+  Cache.set_clusterer cache (clusterer_of_sb sb);
+  let t =
+    {
+      cache;
+      sb;
+      ext_free = [];
+      dir_rotor = 0;
+      last_read = Hashtbl.create 64;
+      parents = Hashtbl.create 1024;
+      frame_drought = false;
+    }
+  in
+  for cg = 0 to sb.Csb.cg_count - 1 do
+    let b = Bytes.make block_size '\000' in
+    Codec.set_u32 b hdr_free_blocks (sb.Csb.cg_size - 1);
+    set_bit b hdr_bbm 0;
+    Cache.write cache ~kind:`Meta (header_block t cg) b
+  done;
+  let sbb = Bytes.make block_size '\000' in
+  Csb.encode sb sbb;
+  let root = Inode.mk Inode.Directory in
+  Inode.encode root sbb Csb.root_inode_off;
+  let ifile = Inode.mk Inode.Regular in
+  Inode.encode ifile sbb Csb.ifile_inode_off;
+  Cache.write cache ~kind:`Meta 0 sbb;
+  Cache.flush cache;
+  t
+
+let mount ?policy ?(cache_blocks = 4096) dev =
+  let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
+  match Csb.decode (Cache.read cache 0) with
+  | None -> None
+  | Some sb ->
+      Cache.set_clusterer cache (clusterer_of_sb sb);
+      let t =
+        {
+          cache;
+          sb;
+          ext_free = [];
+          dir_rotor = 0;
+          last_read = Hashtbl.create 64;
+          parents = Hashtbl.create 1024;
+          frame_drought = false;
+        }
+      in
+      rescan_ext_free t;
+      Some t
+
+(* ------------------------------------------------------------------ *)
+(* Path-level interface. *)
+
+module Low = struct
+  type nonrec t = t
+
+  let label = label
+  let root = root
+  let lookup = lookup
+  let mknod = mknod
+  let remove = remove
+  let hardlink = hardlink
+  let rename = rename
+  let readdir = readdir
+  let stat_ino = stat_ino
+  let read_ino = read_ino
+  let write_ino = write_ino
+  let truncate_ino = truncate_ino
+  let sync = sync
+  let remount = remount
+  let usage = usage
+end
+
+module Pathops = Cffs_vfs.Pathfs.Make (Low)
+
+let resolve = Pathops.resolve
+let create = Pathops.create
+let mkdir = Pathops.mkdir
+let mkdir_p = Pathops.mkdir_p
+let unlink = Pathops.unlink
+let rmdir = Pathops.rmdir
+let link = Pathops.link
+let rename_path = Pathops.rename_path
+let stat = Pathops.stat
+let exists = Pathops.exists
+let read = Pathops.read
+let write = Pathops.write
+let truncate = Pathops.truncate
+let read_file = Pathops.read_file
+let write_file = Pathops.write_file
+let append_file = Pathops.append_file
+let list_dir = Pathops.list_dir

@@ -1,0 +1,100 @@
+(** C-FFS: the Co-locating Fast File System (Ganger & Kaashoek, USENIX '97).
+
+    Two techniques, each independently switchable so the paper's four
+    configurations can be compared:
+
+    {b Embedded inodes} ([embed_inodes]): the inode of most files lives in
+    the directory, inside the same 256-byte chunk as its name ({!Cdir}).
+    One directory read delivers the inodes of everything the directory
+    names; create and delete each collapse to a single synchronous write
+    because name and inode share a sector and update atomically.  Files
+    with more than one link are {e externalized} into a growable,
+    IFILE-like external inode file whose blocks never move.  With the flag
+    off, every inode is external — physically separate from the directory,
+    like FFS's inode tables.
+
+    {b Explicit grouping} ([grouping]): the data blocks of small files
+    named by the same directory are co-located in {e group frames} —
+    aligned extents of [group_blocks] contiguous blocks owned by one
+    directory — and move between memory and disk as single scatter/gather
+    requests.  A directory tracks its active frames in its inode; a read
+    miss on a grouped block fetches the whole frame and installs every
+    block in the buffer cache by physical address (the logical identity is
+    attached lazily — hence the dual-indexed cache).  When no whole frame
+    is free the allocator falls back to single-block placement, which is
+    how aging erodes grouping.
+
+    Directories have no physical "." / ".." entries (the VFS resolves
+    those), so a create touches exactly one directory block.
+
+    Embedded inode numbers are positional
+    ([Csb.embed_bit + block·chunks + chunk]); renaming a file therefore
+    changes its inode number — the trade-off the paper accepts by letting
+    fsck find inodes through the directory hierarchy. *)
+
+module Csb = Csb
+module Cdir = Cdir
+
+type config = {
+  embed_inodes : bool;
+  grouping : bool;
+  group_blocks : int;  (** frame size in blocks (default 16 = 64 KB) *)
+  group_file_blocks : int;
+      (** only the first this-many blocks of a file are grouped (default 8) *)
+  readahead_blocks : int;
+      (** sequential read-ahead window for ungrouped file data.  The paper's
+          implementation "does not support prefetching"; this is the obvious
+          extension, off (0) by default so the standard experiments stay
+          paper-faithful.  See the read-ahead ablation. *)
+}
+
+val config_default : config
+(** Both techniques on, 64 KB frames, 32 KB small-file threshold. *)
+
+val config_ffs_like : config
+(** Both techniques off: the paper's "conventional" configuration. *)
+
+val config_label : config -> string
+(** ["C-FFS (EI+EG)"], ["C-FFS (EI)"], ["C-FFS (EG)"] or ["C-FFS (none)"]. *)
+
+type t
+
+val format :
+  ?cg_size:int ->
+  ?config:config ->
+  ?policy:Cffs_cache.Cache.policy ->
+  ?cache_blocks:int ->
+  Cffs_blockdev.Blockdev.t ->
+  t
+
+val mount :
+  ?policy:Cffs_cache.Cache.policy ->
+  ?cache_blocks:int ->
+  Cffs_blockdev.Blockdev.t ->
+  t option
+
+val cache : t -> Cffs_cache.Cache.t
+val superblock : t -> Csb.t
+val config : t -> config
+
+val read_inode : t -> int -> Cffs_vfs.Inode.t Cffs_vfs.Errno.result
+(** Direct inode access (embedded, external or resident), for fsck and
+    tests. *)
+
+val write_inode_raw : t -> int -> Cffs_vfs.Inode.t -> unit Cffs_vfs.Errno.result
+(** Overwrite an inode in place (synchronously), bypassing the namespace —
+    for fsck repairs only. *)
+
+val is_embedded_ino : int -> bool
+val frame_of_block : t -> int -> int option
+(** Start of the aligned group frame containing a block, if the block lies
+    in a frame-aligned region of its cylinder group. *)
+
+val grouped_fraction : ?under:string -> t -> float
+(** Fraction of regular-file data blocks currently placed inside a frame
+    together only with blocks of files from the same directory — the
+    grouping-quality metric the aging experiment reports.  Computed by a
+    namespace walk from [under] (default the root); intended for
+    experiments, not hot paths. *)
+
+include Cffs_vfs.Fs_intf.S with type t := t

@@ -1,0 +1,1 @@
+lib/disk/drive.ml: Cffs_util Dcache Float Geometry Profile Request Seek

@@ -1,0 +1,1 @@
+lib/disk/drive.mli: Geometry Profile Request

@@ -1,0 +1,1 @@
+lib/disk/profile.ml: Cffs_util List Printf String

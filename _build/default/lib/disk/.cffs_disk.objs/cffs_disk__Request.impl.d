@@ -1,0 +1,1 @@
+lib/disk/request.ml: Cffs_util Format

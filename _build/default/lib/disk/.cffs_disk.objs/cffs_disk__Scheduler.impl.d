@@ -1,0 +1,1 @@
+lib/disk/scheduler.ml: Geometry List Request String

@@ -1,0 +1,1 @@
+lib/disk/scheduler.mli: Geometry Request

@@ -1,0 +1,1 @@
+lib/disk/seek.ml: Cffs_util Float Profile

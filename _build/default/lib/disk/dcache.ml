@@ -1,0 +1,94 @@
+type seg = {
+  start : int;
+  mutable stop : int; (* exclusive *)
+  mutable frontier_open : bool; (* prefetch still running past [stop] *)
+  cap : int; (* maximum [stop] value: start + segment capacity *)
+}
+
+type t = {
+  max_segments : int;
+  segment_sectors : int;
+  mutable segments : seg list; (* most-recently-used first *)
+}
+
+let create ~segments ~segment_sectors =
+  assert (segments > 0 && segment_sectors > 0);
+  { max_segments = segments; segment_sectors; segments = [] }
+
+let settle t ~elapsed ~sectors_per_sec ~max_lba =
+  if elapsed > 0.0 then begin
+    let gain = int_of_float (elapsed *. sectors_per_sec) in
+    List.iter
+      (fun s ->
+        if s.frontier_open then begin
+          s.stop <- min (min s.cap max_lba) (s.stop + gain);
+          if s.stop >= min s.cap max_lba then s.frontier_open <- false
+        end)
+      t.segments
+  end
+
+let hit t ~lba ~sectors =
+  let rec split acc = function
+    | [] -> false
+    | seg :: rest ->
+        if lba >= seg.start && lba + sectors <= seg.stop then begin
+          t.segments <- seg :: List.rev_append acc rest;
+          true
+        end
+        else split (seg :: acc) rest
+  in
+  split [] t.segments
+
+let streaming t ~lba ~sectors =
+  let rec split acc = function
+    | [] -> None
+    | seg :: rest ->
+        if seg.frontier_open && lba >= seg.start && lba <= seg.stop
+           && lba + sectors > seg.stop
+        then begin
+          let cached = seg.stop - lba in
+          (* The stream continues through the request; the segment behaves as
+             a ring buffer, discarding its oldest data if necessary. *)
+          let seg =
+            {
+              seg with
+              stop = lba + sectors;
+              start = max seg.start (lba + sectors - t.segment_sectors);
+              cap = max seg.cap (lba + sectors + t.segment_sectors);
+            }
+          in
+          t.segments <- seg :: List.rev_append acc rest;
+          Some cached
+        end
+        else split (seg :: acc) rest
+  in
+  split [] t.segments
+
+let close_open t = List.iter (fun s -> s.frontier_open <- false) t.segments
+
+let install t ~lba ~sectors =
+  let seg =
+    {
+      start = lba;
+      stop = lba + sectors;
+      frontier_open = true;
+      (* Read-ahead may run a full segment past the request's end. *)
+      cap = lba + sectors + t.segment_sectors;
+    }
+  in
+  let kept =
+    List.filter (fun s -> not (s.start < seg.stop && seg.start < s.stop)) t.segments
+  in
+  let kept =
+    if List.length kept >= t.max_segments then
+      List.filteri (fun i _ -> i < t.max_segments - 1) kept
+    else kept
+  in
+  t.segments <- seg :: kept
+
+let invalidate t ~lba ~sectors =
+  let stop = lba + sectors in
+  t.segments <-
+    List.filter (fun s -> not (s.start < stop && lba < s.stop)) t.segments
+
+let clear t = t.segments <- []

@@ -1,0 +1,193 @@
+type t = {
+  profile : Profile.t;
+  geom : Geometry.t;
+  seek : Seek.t;
+  cache : Dcache.t;
+  stats : Request.Stats.s;
+  rev_time : float;
+  mutable clock : float;
+  mutable cyl : int;
+  mutable head : int;
+  mutable last_settle : float; (* clock up to which prefetch has been settled *)
+}
+
+let create (p : Profile.t) =
+  let segment_sectors =
+    max 8 (p.cache_kib * 1024 / p.cache_segments / Cffs_util.Units.sector_size)
+  in
+  {
+    profile = p;
+    geom = Geometry.of_profile p;
+    seek = Seek.of_profile p;
+    cache = Dcache.create ~segments:p.cache_segments ~segment_sectors;
+    stats = Request.Stats.create ();
+    rev_time = Cffs_util.Units.rpm_to_rev_time p.rpm;
+    clock = 0.0;
+    cyl = 0;
+    head = 0;
+    last_settle = 0.0;
+  }
+
+let profile t = t.profile
+let geometry t = t.geom
+let now t = t.clock
+let advance t dt = t.clock <- t.clock +. dt
+let current_cyl t = t.cyl
+let stats t = t.stats
+let seek_time t d = Seek.time t.seek d
+let total_sectors t = Geometry.total_sectors t.geom
+let flush_cache t = Dcache.clear t.cache
+
+let ms = Cffs_util.Units.ms
+
+(* Media rate (sectors/second) at the head's current cylinder — the rate at
+   which idle-time prefetch fills the on-board cache. *)
+let media_sectors_per_sec t =
+  float_of_int (Geometry.sectors_per_track t.geom t.cyl) /. t.rev_time
+
+(* Bring the prefetch frontier up to the present. *)
+let settle t =
+  let elapsed = t.clock -. t.last_settle in
+  if elapsed > 0.0 then
+    Dcache.settle t.cache ~elapsed ~sectors_per_sec:(media_sectors_per_sec t)
+      ~max_lba:(Geometry.total_sectors t.geom);
+  t.last_settle <- t.clock
+
+(* Angular position (fraction of a revolution) at time [time]. *)
+let angle t time = Float.rem (time /. t.rev_time) 1.0
+
+(* Time until the start of sector [sector] (of [spt]) passes under the head,
+   measured from [time]. *)
+let rotational_wait t time ~sector ~spt =
+  let target = float_of_int sector /. float_of_int spt in
+  let cur = angle t time in
+  let frac = Float.rem (target -. cur +. 1.0) 1.0 in
+  frac *. t.rev_time
+
+(* Track-by-track media transfer starting at [pos], updating the head
+   position.  Ideal skew: each head/cylinder switch costs only the switch
+   time, after which transfer resumes immediately.  Returns the transfer
+   duration. *)
+let transfer_walk t (pos : Geometry.pos) ~sectors =
+  let xfer = ref 0.0 in
+  let remaining = ref sectors in
+  let cyl = ref pos.cyl and head = ref pos.head and sector = ref pos.sector in
+  let spt = ref pos.spt in
+  let first = ref true in
+  while !remaining > 0 do
+    if not !first then begin
+      if !head + 1 < t.profile.heads then begin
+        incr head;
+        xfer := !xfer +. ms t.profile.head_switch_ms
+      end
+      else begin
+        head := 0;
+        incr cyl;
+        spt := Geometry.sectors_per_track t.geom !cyl;
+        xfer := !xfer +. ms t.profile.cylinder_switch_ms
+      end;
+      sector := 0
+    end;
+    first := false;
+    let burst = min !remaining (!spt - !sector) in
+    xfer := !xfer +. (float_of_int burst /. float_of_int !spt *. t.rev_time);
+    sector := !sector + burst;
+    remaining := !remaining - burst
+  done;
+  t.cyl <- !cyl;
+  t.head <- !head;
+  !xfer
+
+(* Serve the mechanical part of a request starting at absolute time [start].
+   Returns (end_time, seek, rotation, transfer). *)
+let mechanical t start (req : Request.t) =
+  let pos = Geometry.locate t.geom req.lba in
+  let dist = abs (t.cyl - pos.cyl) in
+  let seek_t =
+    if dist > 0 then Seek.time t.seek dist
+    else if t.head <> pos.head then ms t.profile.head_switch_ms
+    else 0.0
+  in
+  let after_seek = start +. seek_t in
+  let rot_t = rotational_wait t after_seek ~sector:pos.sector ~spt:pos.spt in
+  let xfer_t = transfer_walk t pos ~sectors:req.sectors in
+  (after_seek +. rot_t +. xfer_t, seek_t, rot_t, xfer_t)
+
+(* A cache hit moves data from the drive's RAM over the bus: command overhead
+   plus burst transfer, no repositioning.  Sustained sequential streams are
+   still limited to media rate because the prefetch frontier only advances at
+   media rate (see {!settle}). *)
+let cache_hit_time t (req : Request.t) =
+  let bus =
+    float_of_int (req.sectors * Cffs_util.Units.sector_size)
+    /. (t.profile.bus_mb_per_s *. 1.0e6)
+  in
+  ms t.profile.controller_overhead_ms +. bus
+
+let service_read_miss t start (req : Request.t) =
+  let s = t.stats in
+  let overhead = ms t.profile.controller_overhead_ms in
+  Dcache.close_open t.cache;
+  let finish, seek_t, rot_t, xfer_t = mechanical t (start +. overhead) req in
+  Dcache.install t.cache ~lba:req.lba ~sectors:req.sectors;
+  s.seek_time <- s.seek_time +. seek_t;
+  s.rotation_time <- s.rotation_time +. rot_t;
+  s.transfer_time <- s.transfer_time +. xfer_t;
+  t.last_settle <- finish;
+  finish -. start
+
+let service t (req : Request.t) =
+  let s = t.stats in
+  let start = t.clock in
+  settle t;
+  let duration =
+    match req.kind with
+    | Read when Dcache.hit t.cache ~lba:req.lba ~sectors:req.sectors ->
+        s.cache_hits <- s.cache_hits + 1;
+        let d = cache_hit_time t req in
+        s.transfer_time <- s.transfer_time +. d;
+        (* Prefetch keeps running during a bus transfer: leave [last_settle]
+           at [start] so the next settle covers this service period too. *)
+        d
+    | Read -> begin
+        match Dcache.streaming t.cache ~lba:req.lba ~sectors:req.sectors with
+        | Some cached ->
+            (* The request joins the active prefetch stream: the head is
+               already on this track reading; only the not-yet-buffered tail
+               costs media time.  No seek, no rotational loss. *)
+            s.cache_hits <- s.cache_hits + 1;
+            let overhead = ms t.profile.controller_overhead_ms in
+            let fresh = req.sectors - cached in
+            let xfer_t =
+              if fresh > 0 then begin
+                let pos = Geometry.locate t.geom (req.lba + cached) in
+                transfer_walk t pos ~sectors:fresh
+              end
+              else 0.0
+            in
+            s.transfer_time <- s.transfer_time +. xfer_t;
+            t.last_settle <- start +. overhead +. xfer_t;
+            overhead +. xfer_t
+        | None -> service_read_miss t start req
+      end
+    | Write ->
+        let overhead = ms t.profile.controller_overhead_ms in
+        Dcache.close_open t.cache;
+        let finish, seek_t, rot_t, xfer_t = mechanical t (start +. overhead) req in
+        Dcache.invalidate t.cache ~lba:req.lba ~sectors:req.sectors;
+        s.seek_time <- s.seek_time +. seek_t;
+        s.rotation_time <- s.rotation_time +. rot_t;
+        s.transfer_time <- s.transfer_time +. xfer_t;
+        t.last_settle <- finish;
+        finish -. start
+  in
+  (match req.kind with
+  | Read ->
+      s.reads <- s.reads + 1;
+      s.read_sectors <- s.read_sectors + req.sectors
+  | Write ->
+      s.writes <- s.writes + 1;
+      s.write_sectors <- s.write_sectors + req.sectors);
+  s.busy_time <- s.busy_time +. duration;
+  t.clock <- start +. duration;
+  duration

@@ -1,0 +1,170 @@
+type zone = { first_cyl : int; last_cyl : int; sectors_per_track : int }
+
+type t = {
+  name : string;
+  year : int;
+  cylinders : int;
+  heads : int;
+  zones : zone list;
+  rpm : float;
+  single_cyl_seek_ms : float;
+  avg_seek_ms : float;
+  max_seek_ms : float;
+  head_switch_ms : float;
+  cylinder_switch_ms : float;
+  controller_overhead_ms : float;
+  bus_mb_per_s : float;
+  cache_kib : int;
+  cache_segments : int;
+  assumed : string list;
+}
+
+(* Build a geometry of [n] equal-width zones whose sectors-per-track fall
+   linearly from [outer] to [inner]. *)
+let linear_zones ~cylinders ~n ~outer ~inner =
+  let width = cylinders / n in
+  List.init n (fun i ->
+      let first_cyl = i * width in
+      let last_cyl = if i = n - 1 then cylinders - 1 else ((i + 1) * width) - 1 in
+      let spt = outer + ((inner - outer) * i / (n - 1)) in
+      { first_cyl; last_cyl; sectors_per_track = spt })
+
+let seagate_st31200 =
+  {
+    name = "Seagate ST31200N";
+    year = 1993;
+    cylinders = 2700;
+    heads = 9;
+    zones = linear_zones ~cylinders:2700 ~n:5 ~outer:108 ~inner:61;
+    rpm = 5411.0;
+    single_cyl_seek_ms = 1.7;
+    avg_seek_ms = 10.0;
+    max_seek_ms = 22.0;
+    head_switch_ms = 1.0;
+    cylinder_switch_ms = 1.7;
+    controller_overhead_ms = 1.0;
+    bus_mb_per_s = 10.0;
+    cache_kib = 256;
+    (* The Hawk-era cache is a simple read-ahead buffer: one stream.  The
+       paper's measured FFS results imply exactly this — interleaving
+       metadata and data reads defeated the drive's prefetch. *)
+    cache_segments = 1;
+    assumed = [ "zone layout"; "switch times"; "controller overhead" ];
+  }
+
+let hp_c3653 =
+  {
+    name = "HP C3653";
+    year = 1996;
+    cylinders = 2900;
+    heads = 9;
+    zones = linear_zones ~cylinders:2900 ~n:5 ~outer:168 ~inner:120;
+    rpm = 5400.0;
+    (* Paper Table 1: single-cylinder seek "< 1 ms", avg 8.7 ms, max 16.5 ms. *)
+    single_cyl_seek_ms = 0.9;
+    avg_seek_ms = 8.7;
+    max_seek_ms = 16.5;
+    head_switch_ms = 0.8;
+    cylinder_switch_ms = 1.0;
+    controller_overhead_ms = 0.5;
+    bus_mb_per_s = 20.0;
+    cache_kib = 512;
+    cache_segments = 8;
+    assumed = [ "geometry"; "rpm"; "switch times"; "cache size" ];
+  }
+
+let seagate_barracuda4lp =
+  {
+    name = "Seagate Barracuda 4LP";
+    year = 1996;
+    cylinders = 3600;
+    heads = 8;
+    zones = linear_zones ~cylinders:3600 ~n:6 ~outer:168 ~inner:126;
+    (* Paper Table 1: single-cylinder 0.6 ms, avg 8.0 ms, max 19.0 ms. *)
+    rpm = 7200.0;
+    single_cyl_seek_ms = 0.6;
+    avg_seek_ms = 8.0;
+    max_seek_ms = 19.0;
+    head_switch_ms = 0.7;
+    cylinder_switch_ms = 0.9;
+    controller_overhead_ms = 0.5;
+    bus_mb_per_s = 20.0;
+    cache_kib = 512;
+    cache_segments = 8;
+    assumed = [ "geometry"; "switch times"; "cache size" ];
+  }
+
+let quantum_atlas_ii =
+  {
+    name = "Quantum Atlas II";
+    year = 1996;
+    cylinders = 3800;
+    heads = 8;
+    zones = linear_zones ~cylinders:3800 ~n:6 ~outer:166 ~inner:124;
+    (* Paper Table 1: single-cylinder 1.0 ms, avg 7.9 ms, max 18.0 ms. *)
+    rpm = 7200.0;
+    single_cyl_seek_ms = 1.0;
+    avg_seek_ms = 7.9;
+    max_seek_ms = 18.0;
+    head_switch_ms = 0.7;
+    cylinder_switch_ms = 1.0;
+    controller_overhead_ms = 0.5;
+    bus_mb_per_s = 20.0;
+    cache_kib = 1024;
+    cache_segments = 8;
+    assumed = [ "geometry"; "switch times" ];
+  }
+
+let hp_c2247 =
+  {
+    name = "HP C2247";
+    year = 1992;
+    cylinders = 2051;
+    heads = 13;
+    (* The paper notes the C2247 had half as many sectors per track as the
+       C3653 and ~33 % higher average access time. *)
+    zones = linear_zones ~cylinders:2051 ~n:4 ~outer:84 ~inner:60;
+    rpm = 5400.0;
+    single_cyl_seek_ms = 2.0;
+    avg_seek_ms = 12.6;
+    max_seek_ms = 25.0;
+    head_switch_ms = 1.2;
+    cylinder_switch_ms = 2.0;
+    controller_overhead_ms = 1.2;
+    bus_mb_per_s = 10.0;
+    cache_kib = 128;
+    cache_segments = 2;
+    assumed = [ "geometry"; "seek curve"; "switch times" ];
+  }
+
+let all =
+  [ seagate_st31200; hp_c3653; seagate_barracuda4lp; quantum_atlas_ii; hp_c2247 ]
+
+let by_name name =
+  List.find_opt (fun p -> String.lowercase_ascii p.name = String.lowercase_ascii name) all
+
+let truncated p ~cylinders =
+  if cylinders <= 0 || cylinders > p.cylinders then invalid_arg "Profile.truncated";
+  let zones =
+    List.filter_map
+      (fun z ->
+        if z.first_cyl >= cylinders then None
+        else Some { z with last_cyl = min z.last_cyl (cylinders - 1) })
+      p.zones
+  in
+  { p with cylinders; zones; name = Printf.sprintf "%s (%d cyl)" p.name cylinders }
+
+let zone_tracks p z = (z.last_cyl - z.first_cyl + 1) * p.heads
+
+let total_sectors p =
+  List.fold_left (fun acc z -> acc + (zone_tracks p z * z.sectors_per_track)) 0 p.zones
+
+let capacity_bytes p = total_sectors p * Cffs_util.Units.sector_size
+
+let avg_sectors_per_track p =
+  let tracks = p.cylinders * p.heads in
+  float_of_int (total_sectors p) /. float_of_int tracks
+
+let media_mb_per_s p =
+  let bytes_per_rev = avg_sectors_per_track p *. float_of_int Cffs_util.Units.sector_size in
+  bytes_per_rev /. Cffs_util.Units.rpm_to_rev_time p.rpm /. 1.0e6

@@ -1,0 +1,64 @@
+(** Disk drive profiles.
+
+    A profile captures the mechanical and interface parameters the simulator
+    needs.  The five built-in profiles correspond to the drives the paper
+    mentions: the three state-of-the-art (1996) drives of Table 1, the older
+    HP C2247 used for the bandwidth-trend argument, and the Seagate ST31200
+    of the experimental setup (Table 2).  Values quoted in the paper are used
+    verbatim; the remainder are period-plausible vendor figures and are
+    flagged in [assumed]. *)
+
+type zone = {
+  first_cyl : int;  (** first cylinder of the zone (inclusive) *)
+  last_cyl : int;  (** last cylinder of the zone (inclusive) *)
+  sectors_per_track : int;
+}
+
+type t = {
+  name : string;
+  year : int;
+  cylinders : int;
+  heads : int;  (** data surfaces, i.e. tracks per cylinder *)
+  zones : zone list;  (** ordered, covering [0 .. cylinders-1] *)
+  rpm : float;
+  single_cyl_seek_ms : float;
+  avg_seek_ms : float;
+  max_seek_ms : float;
+  head_switch_ms : float;
+  cylinder_switch_ms : float;
+  controller_overhead_ms : float;  (** per-request command processing *)
+  bus_mb_per_s : float;  (** interface burst rate, for on-board cache hits *)
+  cache_kib : int;  (** on-board cache size *)
+  cache_segments : int;  (** read segments in the on-board cache *)
+  assumed : string list;  (** fields not published; values are plausible *)
+}
+
+val seagate_st31200 : t
+(** The experimental-setup drive (paper Table 2). *)
+
+val hp_c3653 : t
+(** Table 1, column 1. *)
+
+val seagate_barracuda4lp : t
+(** Table 1, column 2. *)
+
+val quantum_atlas_ii : t
+(** Table 1, column 3. *)
+
+val hp_c2247 : t
+(** The older drive cited for the bandwidth trend (half the sectors per track
+    of the C3653, ~33 % higher average access time). *)
+
+val all : t list
+val by_name : string -> t option
+
+val truncated : t -> cylinders:int -> t
+(** A copy of the profile restricted to its first [cylinders] cylinders —
+    a smaller disk with the same mechanics, used by experiments that need to
+    fill a meaningful fraction of the device (aging). *)
+
+val total_sectors : t -> int
+val capacity_bytes : t -> int
+val avg_sectors_per_track : t -> float
+val media_mb_per_s : t -> float
+(** Average media transfer rate implied by geometry and spindle speed. *)

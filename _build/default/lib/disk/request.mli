@@ -1,0 +1,39 @@
+(** Disk request descriptors and per-kind statistics. *)
+
+type kind = Read | Write
+
+type t = { lba : int; sectors : int; kind : kind }
+
+val read : lba:int -> sectors:int -> t
+val write : lba:int -> sectors:int -> t
+val last_lba : t -> int
+(** LBA of the request's final sector. *)
+
+val overlaps : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Mutable counters a drive accumulates while servicing requests. *)
+module Stats : sig
+  type s = {
+    mutable reads : int;
+    mutable writes : int;
+    mutable read_sectors : int;
+    mutable write_sectors : int;
+    mutable cache_hits : int;  (** read requests absorbed by the on-board cache *)
+    mutable busy_time : float;  (** seconds the mechanism/interface was busy *)
+    mutable seek_time : float;
+    mutable rotation_time : float;
+    mutable transfer_time : float;
+  }
+
+  val create : unit -> s
+  val copy : s -> s
+  val diff : s -> s -> s
+  (** [diff now before] is the per-field difference — used to attribute
+      activity to a measurement phase. *)
+
+  val requests : s -> int
+  val sectors : s -> int
+  val bytes : s -> int
+  val pp : Format.formatter -> s -> unit
+end

@@ -1,0 +1,46 @@
+type policy = Fcfs | Clook | Sstf
+
+let policy_name = function Fcfs -> "FCFS" | Clook -> "C-LOOK" | Sstf -> "SSTF"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "fcfs" -> Some Fcfs
+  | "clook" | "c-look" -> Some Clook
+  | "sstf" -> Some Sstf
+  | _ -> None
+
+let order policy geom ~current_cyl reqs =
+  match policy with
+  | Fcfs -> reqs
+  | Clook ->
+      let sorted =
+        List.stable_sort (fun (a : Request.t) b -> compare a.lba b.lba) reqs
+      in
+      let ahead, behind =
+        List.partition
+          (fun (r : Request.t) -> Geometry.cyl_of_lba geom r.lba >= current_cyl)
+          sorted
+      in
+      ahead @ behind
+  | Sstf ->
+      let remaining = ref reqs in
+      let cyl = ref current_cyl in
+      let out = ref [] in
+      while !remaining <> [] do
+        let best =
+          List.fold_left
+            (fun acc (r : Request.t) ->
+              let d = abs (Geometry.cyl_of_lba geom r.lba - !cyl) in
+              match acc with
+              | Some (_, bd) when bd <= d -> acc
+              | _ -> Some (r, d))
+            None !remaining
+        in
+        match best with
+        | None -> ()
+        | Some (r, _) ->
+            out := r :: !out;
+            cyl := Geometry.cyl_of_lba geom r.lba;
+            remaining := List.filter (fun x -> x != r) !remaining
+      done;
+      List.rev !out

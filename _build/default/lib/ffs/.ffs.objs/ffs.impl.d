@@ -1,0 +1,1 @@
+lib/ffs/ffs.ml: Array Bytes Cffs_blockdev Cffs_cache Cffs_util Cffs_vfs Dirent Layout List String

@@ -1,0 +1,1 @@
+lib/ffs/ffs.mli: Cffs_blockdev Cffs_cache Cffs_vfs Dirent Layout

@@ -1,0 +1,1 @@
+lib/ffs/dirent.ml: Bytes Cffs_util String

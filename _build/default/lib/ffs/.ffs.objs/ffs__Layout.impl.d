@@ -1,0 +1,1 @@
+lib/ffs/layout.ml: Cffs_util Cffs_vfs

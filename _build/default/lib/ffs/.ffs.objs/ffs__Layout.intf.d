@@ -1,0 +1,1 @@
+lib/ffs/layout.mli:

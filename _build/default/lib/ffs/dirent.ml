@@ -1,0 +1,123 @@
+module Codec = Cffs_util.Codec
+
+let header_bytes = 8
+let align4 n = (n + 3) land lnot 3
+let entry_bytes name = align4 (header_bytes + String.length name)
+
+let get_ino b off = Codec.get_u32 b off
+let get_reclen b off = Codec.get_u16 b (off + 4)
+let get_namelen b off = Codec.get_u16 b (off + 6)
+let get_name b off = Codec.get_string b (off + 8) (get_namelen b off)
+
+let set_entry b off ~ino ~reclen ~name =
+  Codec.set_u32 b off ino;
+  Codec.set_u16 b (off + 4) reclen;
+  Codec.set_u16 b (off + 6) (String.length name);
+  Codec.set_string b (off + 8) name
+
+let init_block b =
+  set_entry b 0 ~ino:0 ~reclen:(Bytes.length b) ~name:""
+
+(* The space entry [off] actually needs; a free entry needs nothing. *)
+let used_bytes b off =
+  if get_ino b off = 0 then 0 else align4 (header_bytes + get_namelen b off)
+
+let iter b f =
+  let len = Bytes.length b in
+  let rec loop off =
+    if off < len then begin
+      let reclen = get_reclen b off in
+      if reclen <= 0 then () (* corrupt block: stop *)
+      else begin
+        let ino = get_ino b off in
+        if ino <> 0 then f ~off ~ino (get_name b off);
+        loop (off + reclen)
+      end
+    end
+  in
+  loop 0
+
+let fold b ~init ~f =
+  let acc = ref init in
+  iter b (fun ~off:_ ~ino name -> acc := f !acc ~ino name);
+  !acc
+
+let find b name =
+  let result = ref None in
+  (try
+     iter b (fun ~off ~ino n ->
+         if n = name then begin
+           result := Some (off, ino);
+           raise Exit
+         end)
+   with Exit -> ());
+  !result
+
+let insert b name ino =
+  let needed = entry_bytes name in
+  let len = Bytes.length b in
+  let rec loop off =
+    if off >= len then false
+    else begin
+      let reclen = get_reclen b off in
+      if reclen <= 0 then false
+      else if get_ino b off = 0 && reclen >= needed then begin
+        (* Take over the free entry, keeping its full extent. *)
+        set_entry b off ~ino ~reclen ~name;
+        true
+      end
+      else begin
+        let used = used_bytes b off in
+        if get_ino b off <> 0 && reclen - used >= needed then begin
+          (* Carve the new entry out of this entry's slack. *)
+          let new_off = off + used in
+          Codec.set_u16 b (off + 4) used;
+          set_entry b new_off ~ino ~reclen:(reclen - used) ~name;
+          true
+        end
+        else loop (off + reclen)
+      end
+    end
+  in
+  loop 0
+
+let remove b name =
+  let len = Bytes.length b in
+  let rec loop prev off =
+    if off >= len then None
+    else begin
+      let reclen = get_reclen b off in
+      if reclen <= 0 then None
+      else if get_ino b off <> 0 && get_name b off = name then begin
+        let ino = get_ino b off in
+        (match prev with
+        | Some poff ->
+            (* Coalesce into the predecessor. *)
+            Codec.set_u16 b (poff + 4) (get_reclen b poff + reclen)
+        | None -> Codec.set_u32 b off 0);
+        Some ino
+      end
+      else loop (Some off) (off + reclen)
+    end
+  in
+  loop None 0
+
+let set_ino b off ino = Codec.set_u32 b off ino
+
+let live_count b = fold b ~init:0 ~f:(fun acc ~ino:_ _ -> acc + 1)
+
+let free_bytes b =
+  let len = Bytes.length b in
+  let acc = ref 0 in
+  let rec loop off =
+    if off < len then begin
+      let reclen = get_reclen b off in
+      if reclen <= 0 then ()
+      else begin
+        acc := !acc + (reclen - used_bytes b off);
+        loop (off + reclen)
+      end
+    end
+  in
+  loop 0;
+  !acc

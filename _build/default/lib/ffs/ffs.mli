@@ -1,0 +1,42 @@
+(** The baseline Fast File System (the paper's "conventional"
+    configuration).
+
+    Inodes live in static per-cylinder-group tables; directories hold plain
+    name → inode-number entries; allocation follows FFS policy (a
+    directory's files get inodes in the directory's group and data blocks
+    near their inode; new directories spread to the emptiest group).
+    Metadata integrity uses FFS's synchronous-write ordering — initialised
+    inode before directory entry on create, directory entry before inode
+    free on delete — unless the cache policy is [Delayed] (the soft-updates
+    emulation). *)
+
+module Layout = Layout
+module Dirent = Dirent
+
+type t
+
+val format :
+  ?cg_size:int ->
+  ?inodes_per_cg:int ->
+  ?policy:Cffs_cache.Cache.policy ->
+  ?cache_blocks:int ->
+  Cffs_blockdev.Blockdev.t ->
+  t
+(** Create a fresh file system on the device (default: 2048-block groups,
+    1024 inodes per group, [Sync_metadata] policy, 4096-block cache). *)
+
+val mount :
+  ?policy:Cffs_cache.Cache.policy ->
+  ?cache_blocks:int ->
+  Cffs_blockdev.Blockdev.t ->
+  t option
+(** Attach to a previously formatted device; [None] if no valid
+    superblock. *)
+
+val cache : t -> Cffs_cache.Cache.t
+val superblock : t -> Layout.sb
+
+val read_inode : t -> int -> Cffs_vfs.Inode.t Cffs_vfs.Errno.result
+(** Direct inode access, for fsck and tests. *)
+
+include Cffs_vfs.Fs_intf.S with type t := t

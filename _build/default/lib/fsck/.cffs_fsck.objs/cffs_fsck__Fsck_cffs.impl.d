@@ -1,0 +1,1 @@
+lib/fsck/fsck_cffs.ml: Bytes Cffs Cffs_cache Cffs_util Cffs_vfs Ffs Hashtbl List Option Printf Report

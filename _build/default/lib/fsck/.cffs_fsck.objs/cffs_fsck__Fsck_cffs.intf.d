@@ -1,0 +1,1 @@
+lib/fsck/fsck_cffs.mli: Cffs Report

@@ -1,0 +1,1 @@
+lib/fsck/fsck_ffs.ml: Cffs_cache Cffs_util Cffs_vfs Ffs Hashtbl List Printf Report

@@ -1,0 +1,1 @@
+lib/fsck/fsck_ffs.mli: Ffs Report

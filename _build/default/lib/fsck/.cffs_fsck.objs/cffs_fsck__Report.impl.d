@@ -1,0 +1,1 @@
+lib/fsck/report.ml: Cffs_vfs Format List Printf

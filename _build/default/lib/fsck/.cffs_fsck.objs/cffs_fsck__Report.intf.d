@@ -1,0 +1,1 @@
+lib/fsck/report.mli: Cffs_vfs Format

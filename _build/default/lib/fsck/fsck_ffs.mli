@@ -1,0 +1,13 @@
+(** Off-line checker/repairer for the FFS baseline, in the spirit of
+    [McKusick94]'s fsck: walks the directory hierarchy from the root,
+    cross-checks it against the static inode tables and both bitmaps, and
+    can repair what it finds (remove dangling entries, reattach orphan files
+    under [/lost+found], clear orphan directories, rebuild bitmaps, fix link
+    counts). *)
+
+val check : Ffs.t -> Report.t
+(** Read-only examination. *)
+
+val repair : Ffs.t -> Report.t
+(** Fix everything fixable; the returned report lists the problems that were
+    found ([repaired]) plus any that remain. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Bytes Cffs Cffs_blockdev Cffs_cache Cffs_disk Cffs_util Cffs_vfs Cffs_workload List Printf Setup

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Cffs_cache Cffs_util Cffs_workload

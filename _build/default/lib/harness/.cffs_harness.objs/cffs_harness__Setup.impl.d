@@ -1,0 +1,1 @@
+lib/harness/setup.ml: Cffs Cffs_blockdev Cffs_cache Cffs_disk Cffs_vfs Cffs_workload Ffs

@@ -1,0 +1,1 @@
+lib/harness/setup.mli: Cffs Cffs_cache Cffs_disk Cffs_workload Ffs

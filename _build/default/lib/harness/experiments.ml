@@ -1,0 +1,601 @@
+module Tablefmt = Cffs_util.Tablefmt
+module Prng = Cffs_util.Prng
+module Profile = Cffs_disk.Profile
+module Drive = Cffs_disk.Drive
+module Request = Cffs_disk.Request
+module Scheduler = Cffs_disk.Scheduler
+module Cache = Cffs_cache.Cache
+module Blockdev = Cffs_blockdev.Blockdev
+module Env = Cffs_workload.Env
+module Smallfile = Cffs_workload.Smallfile
+module Appbench = Cffs_workload.Appbench
+module Aging = Cffs_workload.Aging
+module Largefile = Cffs_workload.Largefile
+module Sizes = Cffs_workload.Sizes
+module Fs_intf = Cffs_vfs.Fs_intf
+
+type scale = {
+  smallfile_files : int;
+  sweep_cap_bytes : int;
+  aging_ops : int;
+  aging_points : float list;
+  app_spec : Appbench.spec;
+  large_mb : int;
+  fig2_samples : int;
+}
+
+let full =
+  {
+    smallfile_files = 10000;
+    sweep_cap_bytes = 16 * 1024 * 1024;
+    aging_ops = 25000;
+    aging_points = [ 0.1; 0.3; 0.5; 0.7; 0.9 ];
+    app_spec = Appbench.default_spec;
+    large_mb = 64;
+    fig2_samples = 1000;
+  }
+
+let quick =
+  {
+    smallfile_files = 400;
+    sweep_cap_bytes = 1024 * 1024;
+    aging_ops = 1500;
+    aging_points = [ 0.3; 0.7 ];
+    app_spec = { Appbench.default_spec with dirs = 4; files_per_dir = 8 };
+    large_mb = 8;
+    fig2_samples = 100;
+  }
+
+let f1 = Tablefmt.fmt_float ~decimals:1
+let f2 = Tablefmt.fmt_float ~decimals:2
+
+(* ------------------------------------------------------------------ *)
+(* E1 / Table 1: drive characteristics. *)
+
+let table1_profiles = [ Profile.hp_c3653; Profile.seagate_barracuda4lp; Profile.quantum_atlas_ii ]
+
+let table1_drives () =
+  let t =
+    Tablefmt.create
+      ~title:"Table 1: characteristics of three 1996 disk drives"
+      (("Metric", Tablefmt.Left)
+      :: List.map (fun (p : Profile.t) -> (p.Profile.name, Tablefmt.Right)) table1_profiles)
+  in
+  let row name f = Tablefmt.add_row t (name :: List.map f table1_profiles) in
+  row "Formatted capacity" (fun p -> Tablefmt.fmt_bytes (Profile.capacity_bytes p));
+  row "Rotation speed (RPM)" (fun p -> f1 p.Profile.rpm);
+  row "Sectors per track (avg)" (fun p -> f1 (Profile.avg_sectors_per_track p));
+  row "Media transfer rate (MB/s)" (fun p -> f2 (Profile.media_mb_per_s p));
+  row "Seek < 1 cylinder (ms)" (fun p -> f2 p.Profile.single_cyl_seek_ms);
+  row "Average seek (ms)" (fun p -> f2 p.Profile.avg_seek_ms);
+  row "Maximum seek (ms)" (fun p -> f2 p.Profile.max_seek_ms);
+  row "On-board cache" (fun p -> Tablefmt.fmt_bytes (p.Profile.cache_kib * 1024));
+  row "Assumed fields" (fun p -> string_of_int (List.length p.Profile.assumed));
+  t
+
+(* ------------------------------------------------------------------ *)
+(* E2 / Figure 2: average access time vs request size. *)
+
+let fig2_sizes_kb = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+let mean_access_ms profile ~size_kb ~samples =
+  let drive = Drive.create profile in
+  let prng = Prng.create (0xF16 + size_kb) in
+  let sectors = size_kb * 2 in
+  let total = Drive.total_sectors drive in
+  let acc = ref 0.0 in
+  for _ = 1 to samples do
+    (* Random think time decorrelates rotational phase. *)
+    Drive.advance drive (Prng.float prng 0.03);
+    let lba = Prng.int prng (total - sectors) in
+    acc := !acc +. Drive.service drive (Request.read ~lba ~sectors)
+  done;
+  !acc /. float_of_int samples *. 1000.0
+
+let fig2_access_time scale =
+  let t =
+    Tablefmt.create
+      ~title:"Figure 2: average access time (ms) vs request size (random reads)"
+      (("Request size", Tablefmt.Left)
+      :: List.map (fun (p : Profile.t) -> (p.Profile.name, Tablefmt.Right)) table1_profiles)
+  in
+  List.iter
+    (fun size_kb ->
+      Tablefmt.add_row t
+        (Tablefmt.fmt_bytes (size_kb * 1024)
+        :: List.map
+             (fun p -> f2 (mean_access_ms p ~size_kb ~samples:scale.fig2_samples))
+             table1_profiles))
+    fig2_sizes_kb;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* E3 / Table 2: the experimental-setup drive. *)
+
+let table2_setup_drive () =
+  let p = Profile.seagate_st31200 in
+  let t =
+    Tablefmt.create
+      ~title:"Table 2: experimental-setup drive"
+      [ ("Parameter", Tablefmt.Left); (p.Profile.name, Tablefmt.Right) ]
+  in
+  let row k v = Tablefmt.add_row t [ k; v ] in
+  row "Formatted capacity" (Tablefmt.fmt_bytes (Profile.capacity_bytes p));
+  row "Cylinders" (string_of_int p.Profile.cylinders);
+  row "Data surfaces" (string_of_int p.Profile.heads);
+  row "Rotation speed (RPM)" (f1 p.Profile.rpm);
+  row "Sectors per track" (Printf.sprintf "%d-%d"
+    (List.fold_left (fun a (z : Profile.zone) -> min a z.Profile.sectors_per_track) max_int p.Profile.zones)
+    (List.fold_left (fun a (z : Profile.zone) -> max a z.Profile.sectors_per_track) 0 p.Profile.zones));
+  row "Media transfer rate (MB/s)" (f2 (Profile.media_mb_per_s p));
+  row "Single-cylinder seek (ms)" (f2 p.Profile.single_cyl_seek_ms);
+  row "Average seek (ms)" (f2 p.Profile.avg_seek_ms);
+  row "Maximum seek (ms)" (f2 p.Profile.max_seek_ms);
+  row "Controller overhead (ms)" (f2 p.Profile.controller_overhead_ms);
+  row "On-board cache" (Tablefmt.fmt_bytes (p.Profile.cache_kib * 1024));
+  t
+
+(* ------------------------------------------------------------------ *)
+(* E4/E5/E6: the LFS small-file benchmark over the five configurations. *)
+
+let smallfile scale policy =
+  let policy_name = Cache.policy_name policy in
+  let tput =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Small-file benchmark (%d x 1 KB files), %s: throughput (files/s)"
+           scale.smallfile_files policy_name)
+      (("Configuration", Tablefmt.Left)
+      :: List.map (fun p -> (Smallfile.phase_name p, Tablefmt.Right)) Smallfile.phases)
+  in
+  let reqs =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "Small-file benchmark, %s: disk requests per file" policy_name)
+      (("Configuration", Tablefmt.Left)
+      :: List.map (fun p -> (Smallfile.phase_name p, Tablefmt.Right)) Smallfile.phases)
+  in
+  List.iter
+    (fun kind ->
+      let inst = Setup.instantiate (Setup.standard ~policy kind) in
+      let results = Smallfile.run ~nfiles:scale.smallfile_files inst.Setup.env in
+      Tablefmt.add_row tput
+        (Setup.fs_kind_label kind
+        :: List.map (fun (r : Smallfile.result) -> f1 r.Smallfile.files_per_sec) results);
+      Tablefmt.add_row reqs
+        (Setup.fs_kind_label kind
+        :: List.map (fun (r : Smallfile.result) -> f2 r.Smallfile.requests_per_file) results))
+    Setup.five_configs;
+  (tput, reqs)
+
+(* ------------------------------------------------------------------ *)
+(* E7: throughput vs file size. *)
+
+let fig7_size_sweep scale =
+  let sizes_kb = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let t =
+    Tablefmt.create
+      ~title:
+        "Figure 7: small-file throughput (KB/s of payload) vs file size, C-FFS vs no-technique baseline"
+      [
+        ("File size", Tablefmt.Left);
+        ("base create", Tablefmt.Right);
+        ("C-FFS create", Tablefmt.Right);
+        ("speedup", Tablefmt.Right);
+        ("base read", Tablefmt.Right);
+        ("C-FFS read", Tablefmt.Right);
+        ("speedup", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun size_kb ->
+      let nfiles =
+        max 50 (min scale.smallfile_files (scale.sweep_cap_bytes / (size_kb * 1024)))
+      in
+      let run kind =
+        let inst = Setup.instantiate (Setup.standard kind) in
+        Smallfile.run ~nfiles ~file_bytes:(size_kb * 1024) inst.Setup.env
+      in
+      let base = run (Setup.Cffs_fs Cffs.config_ffs_like) in
+      let cffs = run (Setup.Cffs_fs Cffs.config_default) in
+      let rate phase rs =
+        let r = List.find (fun (r : Smallfile.result) -> r.Smallfile.phase = phase) rs in
+        r.Smallfile.kb_per_sec
+      in
+      let bc = rate Smallfile.Create base and cc = rate Smallfile.Create cffs in
+      let br = rate Smallfile.Read base and cr = rate Smallfile.Read cffs in
+      Tablefmt.add_row t
+        [
+          Tablefmt.fmt_bytes (size_kb * 1024);
+          f1 bc;
+          f1 cc;
+          f2 (cc /. bc) ^ "x";
+          f1 br;
+          f1 cr;
+          f2 (cr /. br) ^ "x";
+        ])
+    sizes_kb;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* E8: aging. *)
+
+let fig8_aging scale =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Figure 8: aging - C-FFS cold-read throughput and grouping quality vs utilization"
+      [
+        ("Target util", Tablefmt.Right);
+        ("Reached", Tablefmt.Right);
+        ("Live files", Tablefmt.Right);
+        ("Read files/s", Tablefmt.Right);
+        ("Read reqs/file", Tablefmt.Right);
+        ("Grouped fraction", Tablefmt.Right);
+      ]
+  in
+  (* A ~120 MB slice of the ST31200: small enough that the churn actually
+     fills it to the target utilization. *)
+  let small_profile = Profile.truncated Profile.seagate_st31200 ~cylinders:320 in
+  List.iter
+    (fun util ->
+      let setup =
+        { (Setup.standard (Setup.Cffs_fs Cffs.config_default)) with
+          Setup.profile = small_profile;
+          Setup.cache_blocks = 4096;
+        }
+      in
+      let inst = Setup.instantiate setup in
+      let env = inst.Setup.env in
+      let spec = { (Aging.default_spec util) with Aging.operations = scale.aging_ops } in
+      let outcome = Aging.run env spec in
+      (* Measure small-file behaviour on the aged file system. *)
+      let nfiles = max 100 (scale.smallfile_files / 5) in
+      let results = Smallfile.run ~nfiles env in
+      let read =
+        List.find (fun (r : Smallfile.result) -> r.Smallfile.phase = Smallfile.Read) results
+      in
+      (* Grouping quality of the files created after aging — the fresh
+         allocations are what fragmentation hurts. *)
+      let grouped =
+        match inst.Setup.cffs with
+        | Some fs -> Cffs.grouped_fraction ~under:"/smallfile" fs
+        | None -> 0.0
+      in
+      Tablefmt.add_row t
+        [
+          f2 util;
+          f2 outcome.Aging.reached_utilization;
+          string_of_int outcome.Aging.files_alive;
+          f1 read.Smallfile.files_per_sec;
+          f2 read.Smallfile.requests_per_file;
+          f2 grouped;
+        ])
+    scale.aging_points;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* E9 / Table 3: software-development applications. *)
+
+let table3_apps scale =
+  let t =
+    Tablefmt.create
+      ~title:"Table 3: software-development applications (elapsed seconds)"
+      [
+        ("Application", Tablefmt.Left);
+        ("FFS", Tablefmt.Right);
+        ("C-FFS (none)", Tablefmt.Right);
+        ("C-FFS (EI+EG)", Tablefmt.Right);
+        ("improvement", Tablefmt.Right);
+      ]
+  in
+  let run kind =
+    let inst = Setup.instantiate (Setup.standard kind) in
+    Appbench.run ~spec:scale.app_spec inst.Setup.env
+  in
+  let ffs = run Setup.Ffs_baseline in
+  let base = run (Setup.Cffs_fs Cffs.config_ffs_like) in
+  let cffs = run (Setup.Cffs_fs Cffs.config_default) in
+  List.iter
+    (fun app ->
+      let sec rs =
+        let r = List.find (fun (r : Appbench.result) -> r.Appbench.app = app) rs in
+        r.Appbench.measure.Env.seconds
+      in
+      let b = sec base and c = sec cffs in
+      Tablefmt.add_row t
+        [
+          Appbench.app_name app;
+          f2 (sec ffs);
+          f2 b;
+          f2 c;
+          Printf.sprintf "%+.0f%%" ((b /. c -. 1.0) *. 100.0);
+        ])
+    Appbench.apps;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* E10: the directory-size cost of embedded inodes. *)
+
+let table_dirsize () =
+  let nfiles = 1000 in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Directory sizes and lookup cost (%d files in one directory)" nfiles)
+      [
+        ("Configuration", Tablefmt.Left);
+        ("Dir size", Tablefmt.Right);
+        ("Bytes/file", Tablefmt.Right);
+        ("Cold stat-all (s)", Tablefmt.Right);
+        ("Disk reads", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun kind ->
+      let inst = Setup.instantiate (Setup.standard kind) in
+      let (Fs_intf.Packed ((module F), fs)) = inst.Setup.env.Env.fs in
+      let ok = Cffs_vfs.Errno.get_ok in
+      ok "mkdir" (F.mkdir fs "/d");
+      for i = 0 to nfiles - 1 do
+        ok "create" (F.write_file fs (Printf.sprintf "/d/f%04d" i) (Bytes.make 512 'x'))
+      done;
+      F.sync fs;
+      let dir_size = (ok "stat" (F.stat fs "/d")).Fs_intf.st_size in
+      F.remount fs;
+      let m =
+        Env.measured inst.Setup.env (fun () ->
+            for i = 0 to nfiles - 1 do
+              Blockdev.advance inst.Setup.env.Env.dev inst.Setup.env.Env.cpu_per_op;
+              ignore (ok "stat" (F.stat fs (Printf.sprintf "/d/f%04d" i)))
+            done)
+      in
+      Tablefmt.add_row t
+        [
+          Setup.fs_kind_label kind;
+          Tablefmt.fmt_bytes dir_size;
+          f1 (float_of_int dir_size /. float_of_int nfiles);
+          f2 m.Env.seconds;
+          string_of_int m.Env.reads;
+        ])
+    [
+      Setup.Ffs_baseline;
+      Setup.Cffs_fs Cffs.config_ffs_like;
+      Setup.Cffs_fs { Cffs.config_default with grouping = false };
+      Setup.Cffs_fs Cffs.config_default;
+    ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* E12: large files are unaffected. *)
+
+let table_large scale =
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "Large-file sequential bandwidth (one %d MB file, MB/s)"
+           scale.large_mb)
+      [
+        ("Configuration", Tablefmt.Left);
+        ("write", Tablefmt.Right);
+        ("cold read", Tablefmt.Right);
+        ("rewrite", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun kind ->
+      let inst = Setup.instantiate (Setup.standard kind) in
+      let r = Largefile.run ~file_mb:scale.large_mb inst.Setup.env in
+      Tablefmt.add_row t
+        [
+          Setup.fs_kind_label kind;
+          f2 r.Largefile.write_mb_per_s;
+          f2 r.Largefile.read_mb_per_s;
+          f2 r.Largefile.rewrite_mb_per_s;
+        ])
+    [ Setup.Ffs_baseline; Setup.Cffs_fs Cffs.config_ffs_like; Setup.Cffs_fs Cffs.config_default ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* A1: scheduler ablation.  Sequential create batches are already in LBA
+   order, so the policy only shows on scattered traffic: random in-place
+   updates over a large file population, flushed as one batch. *)
+
+let ablation_scheduler scale =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Ablation: disk scheduling policy (random in-place updates, one delayed flush)"
+      [
+        ("Scheduler", Tablefmt.Left);
+        ("flush seconds", Tablefmt.Right);
+        ("updates/s", Tablefmt.Right);
+      ]
+  in
+  let nfiles = max 200 (scale.smallfile_files / 2) in
+  let updates = nfiles * 3 / 4 in
+  List.iter
+    (fun sched ->
+      let setup =
+        {
+          (Setup.standard ~policy:Cache.Delayed (Setup.Cffs_fs Cffs.config_ffs_like)) with
+          Setup.scheduler = sched;
+        }
+      in
+      let inst = Setup.instantiate setup in
+      let env = inst.Setup.env in
+      let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+      let ok what = Cffs_vfs.Errno.get_ok what in
+      let prng = Prng.create 0x5C
+ in
+      ok "mkdir" (F.mkdir fs "/db");
+      for d = 0 to 49 do
+        ok "mkdir" (F.mkdir fs (Printf.sprintf "/db/d%02d" d))
+      done;
+      for i = 0 to nfiles - 1 do
+        ok "w" (F.write_file fs (Printf.sprintf "/db/d%02d/f%05d" (i mod 50) i)
+                  (Bytes.make 4096 'a'))
+      done;
+      F.sync fs;
+      (* Random in-place updates leave dirty blocks scattered over the
+         device; the flush is where the scheduler earns its keep. *)
+      let m =
+        Env.measured env (fun () ->
+            for _ = 1 to updates do
+              let i = Prng.int prng nfiles in
+              ok "u" (F.write fs (Printf.sprintf "/db/d%02d/f%05d" (i mod 50) i)
+                        ~off:0 (Bytes.make 4096 'u'))
+            done;
+            F.sync fs)
+      in
+      Tablefmt.add_row t
+        [
+          Scheduler.policy_name sched;
+          f2 m.Env.seconds;
+          f1 (float_of_int updates /. m.Env.seconds);
+        ])
+    [ Scheduler.Fcfs; Scheduler.Sstf; Scheduler.Clook ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* A2: group-size ablation. *)
+
+let ablation_group_size scale =
+  let t =
+    Tablefmt.create ~title:"Ablation: group frame size (C-FFS EI+EG)"
+      [
+        ("Frame size", Tablefmt.Left);
+        ("create files/s", Tablefmt.Right);
+        ("read files/s", Tablefmt.Right);
+        ("overwrite files/s", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun gb ->
+      let config = { Cffs.config_default with Cffs.group_blocks = gb } in
+      let inst = Setup.instantiate (Setup.standard (Setup.Cffs_fs config)) in
+      let results = Smallfile.run ~nfiles:scale.smallfile_files inst.Setup.env in
+      let rate phase =
+        let r = List.find (fun (r : Smallfile.result) -> r.Smallfile.phase = phase) results in
+        r.Smallfile.files_per_sec
+      in
+      Tablefmt.add_row t
+        [
+          Tablefmt.fmt_bytes (gb * 4096);
+          f1 (rate Smallfile.Create);
+          f1 (rate Smallfile.Read);
+          f1 (rate Smallfile.Overwrite);
+        ])
+    [ 4; 8; 16; 32; 64 ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Where the time goes: the mechanical split behind the headline results. *)
+
+let table_breakdown scale =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Time breakdown of the small-file benchmark (seconds of seek / rotation / transfer)"
+      [
+        ("Phase", Tablefmt.Left);
+        ("Config", Tablefmt.Left);
+        ("total", Tablefmt.Right);
+        ("seek", Tablefmt.Right);
+        ("rotation", Tablefmt.Right);
+        ("transfer", Tablefmt.Right);
+        ("other/CPU", Tablefmt.Right);
+      ]
+  in
+  let runs =
+    List.map
+      (fun kind ->
+        let inst = Setup.instantiate (Setup.standard kind) in
+        (kind, Smallfile.run ~nfiles:scale.smallfile_files inst.Setup.env))
+      [ Setup.Cffs_fs Cffs.config_ffs_like; Setup.Cffs_fs Cffs.config_default ]
+  in
+  List.iter
+    (fun phase ->
+      List.iter
+        (fun (kind, results) ->
+          let r =
+            List.find (fun (r : Smallfile.result) -> r.Smallfile.phase = phase) results
+          in
+          let m = r.Smallfile.measure in
+          let other =
+            m.Env.seconds -. m.Env.seek_s -. m.Env.rotation_s -. m.Env.transfer_s
+          in
+          Tablefmt.add_row t
+            [
+              Smallfile.phase_name phase;
+              Setup.fs_kind_label kind;
+              f2 m.Env.seconds;
+              f2 m.Env.seek_s;
+              f2 m.Env.rotation_s;
+              f2 m.Env.transfer_s;
+              f2 other;
+            ])
+        runs;
+      Tablefmt.add_separator t)
+    Smallfile.phases;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* A3: read-ahead ablation (our extension; the paper's implementation
+   "currently does not support prefetching"). *)
+
+let ablation_readahead scale =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Ablation: sequential read-ahead window (C-FFS extension), large-file cold read"
+      [
+        ("Window", Tablefmt.Left);
+        ("read MB/s", Tablefmt.Right);
+        ("write MB/s", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun window ->
+      let config = { Cffs.config_default with Cffs.readahead_blocks = window } in
+      let inst = Setup.instantiate (Setup.standard (Setup.Cffs_fs config)) in
+      let r = Largefile.run ~file_mb:scale.large_mb inst.Setup.env in
+      Tablefmt.add_row t
+        [
+          (if window = 0 then "off (paper)" else Tablefmt.fmt_bytes (window * 4096));
+          f2 r.Largefile.read_mb_per_s;
+          f2 r.Largefile.write_mb_per_s;
+        ])
+    [ 0; 4; 8; 16; 32 ];
+  t
+
+(* ------------------------------------------------------------------ *)
+
+let run_all scale =
+  let p t =
+    Tablefmt.print t;
+    print_newline ()
+  in
+  p (table1_drives ());
+  p (fig2_access_time scale);
+  p (table2_setup_drive ());
+  let tput, reqs = smallfile scale Cache.Sync_metadata in
+  p tput;
+  p reqs;
+  let tput, reqs = smallfile scale Cache.Delayed in
+  p tput;
+  p reqs;
+  let tput, reqs = smallfile scale Cache.Soft_updates in
+  p tput;
+  p reqs;
+  p (fig7_size_sweep scale);
+  p (fig8_aging scale);
+  p (table3_apps scale);
+  p (table_dirsize ());
+  p (table_large scale);
+  p (table_breakdown scale);
+  p (ablation_scheduler scale);
+  p (ablation_group_size scale);
+  p (ablation_readahead scale)

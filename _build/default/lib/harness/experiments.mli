@@ -1,0 +1,69 @@
+(** One entry point per table and figure of the paper's evaluation (the
+    experiment ids follow DESIGN.md), plus the ablations.  Each function
+    runs its experiment on freshly formatted simulated disks and renders a
+    plain-text table; [run_all] prints the lot. *)
+
+(** Experiment sizing: [full] reproduces the paper's parameters (10000
+    small files, etc.); [quick] is for tests and smoke runs. *)
+type scale = {
+  smallfile_files : int;
+  sweep_cap_bytes : int;  (** total payload cap for the file-size sweep *)
+  aging_ops : int;
+  aging_points : float list;  (** target utilizations *)
+  app_spec : Cffs_workload.Appbench.spec;
+  large_mb : int;
+  fig2_samples : int;
+}
+
+val full : scale
+val quick : scale
+
+val table1_drives : unit -> Cffs_util.Tablefmt.t
+(** E1 / paper Table 1: characteristics of the three 1996 drives. *)
+
+val fig2_access_time : scale -> Cffs_util.Tablefmt.t
+(** E2 / Figure 2: average access time vs request size per drive. *)
+
+val table2_setup_drive : unit -> Cffs_util.Tablefmt.t
+(** E3 / Table 2: the experimental-setup drive (Seagate ST31200). *)
+
+val smallfile :
+  scale -> Cffs_cache.Cache.policy -> Cffs_util.Tablefmt.t * Cffs_util.Tablefmt.t
+(** E4+E5 (sync) / E6 (delayed): the LFS small-file benchmark over the five
+    configurations.  Returns (throughput table, disk-requests-per-file
+    table). *)
+
+val fig7_size_sweep : scale -> Cffs_util.Tablefmt.t
+(** E7: small-file throughput vs file size, C-FFS vs the no-technique
+    baseline. *)
+
+val fig8_aging : scale -> Cffs_util.Tablefmt.t
+(** E8: aging — cold-read throughput and grouping quality vs utilization. *)
+
+val table3_apps : scale -> Cffs_util.Tablefmt.t
+(** E9 / software-development applications, with % improvement. *)
+
+val table_dirsize : unit -> Cffs_util.Tablefmt.t
+(** E10: directory-size cost of embedded inodes, and what one directory
+    read delivers. *)
+
+val table_large : scale -> Cffs_util.Tablefmt.t
+(** E12: large-file sequential bandwidth is unchanged by the techniques. *)
+
+val ablation_scheduler : scale -> Cffs_util.Tablefmt.t
+(** A1: disk-scheduling policy under the flush-heavy create phase. *)
+
+val ablation_group_size : scale -> Cffs_util.Tablefmt.t
+(** A2: group-frame size sweep. *)
+
+val table_breakdown : scale -> Cffs_util.Tablefmt.t
+(** Where the time goes: per-phase seek / rotation / transfer split for the
+    no-technique baseline vs full C-FFS — the mechanism behind every other
+    table (co-location converts positioning time into transfer time). *)
+
+val ablation_readahead : scale -> Cffs_util.Tablefmt.t
+(** A3: file-system-level sequential read-ahead (the paper's future-work
+    prefetching, our extension): large-file cold-read bandwidth vs window. *)
+
+val run_all : scale -> unit
+(** Print every table above (E4 in both integrity modes). *)

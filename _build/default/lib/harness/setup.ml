@@ -1,0 +1,76 @@
+module Blockdev = Cffs_blockdev.Blockdev
+module Drive = Cffs_disk.Drive
+module Env = Cffs_workload.Env
+module Fs_intf = Cffs_vfs.Fs_intf
+
+type fs_kind = Ffs_baseline | Cffs_fs of Cffs.config
+
+let fs_kind_label = function
+  | Ffs_baseline -> "FFS"
+  | Cffs_fs c -> Cffs.config_label c
+
+let four_configs =
+  [
+    Cffs_fs Cffs.config_ffs_like;
+    Cffs_fs { Cffs.config_default with grouping = false };
+    Cffs_fs { Cffs.config_default with embed_inodes = false };
+    Cffs_fs Cffs.config_default;
+  ]
+
+let five_configs = Ffs_baseline :: four_configs
+
+type t = {
+  profile : Cffs_disk.Profile.t;
+  block_size : int;
+  cache_blocks : int;
+  policy : Cffs_cache.Cache.policy;
+  scheduler : Cffs_disk.Scheduler.policy;
+  cpu_per_op : float;
+  host_overhead : float;
+  fs : fs_kind;
+}
+
+let standard ?(policy = Cffs_cache.Cache.Sync_metadata) fs =
+  {
+    profile = Cffs_disk.Profile.seagate_st31200;
+    block_size = 4096;
+    cache_blocks = 16384;
+    policy;
+    scheduler = Cffs_disk.Scheduler.Clook;
+    cpu_per_op = 100e-6;
+    host_overhead = 0.5e-3;
+    fs;
+  }
+
+type instance = {
+  setup : t;
+  env : Env.t;
+  cffs : Cffs.t option;
+  ffs : Ffs.t option;
+}
+
+let instantiate setup =
+  let drive = Drive.create setup.profile in
+  let dev =
+    Blockdev.of_drive ~policy:setup.scheduler ~host_overhead:setup.host_overhead
+      drive ~block_size:setup.block_size
+  in
+  match setup.fs with
+  | Ffs_baseline ->
+      let fs =
+        Ffs.format ~policy:setup.policy ~cache_blocks:setup.cache_blocks dev
+      in
+      let env =
+        Env.make ~cpu_per_op:setup.cpu_per_op (Fs_intf.Packed ((module Ffs), fs)) dev
+      in
+      { setup; env; cffs = None; ffs = Some fs }
+  | Cffs_fs config ->
+      let fs =
+        Cffs.format ~config ~policy:setup.policy ~cache_blocks:setup.cache_blocks dev
+      in
+      let env =
+        Env.make ~cpu_per_op:setup.cpu_per_op (Fs_intf.Packed ((module Cffs), fs)) dev
+      in
+      { setup; env; cffs = Some fs; ffs = None }
+
+let env ?policy fs = (instantiate (standard ?policy fs)).env

@@ -1,0 +1,50 @@
+(** Experiment configurations: which file system, on which simulated drive,
+    under which policies.
+
+    The standard setup mirrors the paper's testbed: Seagate ST31200 disk,
+    4 KB blocks, C-LOOK scheduling, synchronous metadata writes, a 64 MB
+    buffer cache, 100 µs of CPU per file-system call and 0.5 ms of host
+    driver time per disk request. *)
+
+type fs_kind =
+  | Ffs_baseline  (** the independent FFS implementation *)
+  | Cffs_fs of Cffs.config
+      (** C-FFS with any combination of the two techniques *)
+
+val fs_kind_label : fs_kind -> string
+
+val four_configs : fs_kind list
+(** The paper's comparison set: C-FFS (none) — i.e. "the same file system
+    without these techniques" — then (EI), (EG) and (EI+EG). *)
+
+val five_configs : fs_kind list
+(** [four_configs] preceded by the independent FFS baseline. *)
+
+type t = {
+  profile : Cffs_disk.Profile.t;
+  block_size : int;
+  cache_blocks : int;
+  policy : Cffs_cache.Cache.policy;
+  scheduler : Cffs_disk.Scheduler.policy;
+  cpu_per_op : float;
+  host_overhead : float;
+  fs : fs_kind;
+}
+
+val standard : ?policy:Cffs_cache.Cache.policy -> fs_kind -> t
+
+(** A live configuration: the environment plus the concrete file-system
+    handle (needed for grouping metrics and fsck). *)
+type instance = {
+  setup : t;
+  env : Cffs_workload.Env.t;
+  cffs : Cffs.t option;
+  ffs : Ffs.t option;
+}
+
+val instantiate : t -> instance
+(** Create the drive, the block device and a freshly formatted file
+    system. *)
+
+val env : ?policy:Cffs_cache.Cache.policy -> fs_kind -> Cffs_workload.Env.t
+(** [instantiate (standard kind)] shorthand. *)

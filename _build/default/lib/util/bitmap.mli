@@ -1,0 +1,48 @@
+(** Bit sets used for on-disk block and inode allocation maps.
+
+    Bits are addressed [0 .. length - 1]; a set bit means "allocated". *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-clear bitmap of [n] bits. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val set_range : t -> int -> int -> unit
+(** [set_range t off len] sets [len] bits starting at [off]. *)
+
+val clear_range : t -> int -> int -> unit
+val count_set : t -> int
+(** Population count (cached, O(1) amortised). *)
+
+val count_clear : t -> int
+
+val find_clear : t -> hint:int -> int option
+(** First clear bit scanning circularly from [hint]. *)
+
+val find_clear_run : t -> hint:int -> len:int -> int option
+(** [find_clear_run t ~hint ~len] finds the start of a run of [len]
+    consecutive clear bits, scanning circularly from [hint].  Runs do not wrap
+    around the end of the bitmap. *)
+
+val find_clear_in : t -> lo:int -> hi:int -> int option
+(** First clear bit in [\[lo, hi)], or [None]. *)
+
+val is_clear_run : t -> int -> int -> bool
+(** [is_clear_run t off len] is [true] iff all [len] bits from [off] are
+    clear. *)
+
+val copy : t -> t
+val to_bytes : t -> bytes
+(** Serialise (little-endian bit order within each byte). *)
+
+val of_bytes : int -> bytes -> t
+(** [of_bytes n b] deserialises an [n]-bit bitmap from [b]. *)
+
+val equal : t -> t -> bool
+
+val iter_set : t -> (int -> unit) -> unit
+(** Apply a function to every set bit index, ascending. *)

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to checksum on-disk metadata blocks
+    so fsck and the crash-injection tests can detect torn or corrupted
+    sectors. *)
+
+val digest : bytes -> int
+(** CRC of a whole buffer, as a non-negative int. *)
+
+val digest_sub : bytes -> int -> int -> int
+(** [digest_sub b off len] checksums a sub-range. *)
+
+val update : int -> bytes -> int -> int -> int
+(** [update crc b off len] extends a running checksum (start from [0]). *)

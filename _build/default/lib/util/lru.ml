@@ -1,0 +1,109 @@
+(* Doubly-linked list threaded through hashtable nodes.  The list header is a
+   sentinel node: [sentinel.next] is the LRU end, [sentinel.prev] the MRU
+   end. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node;
+  mutable next : ('k, 'v) node;
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable sentinel : ('k, 'v) node option;
+}
+
+let create ?(size_hint = 64) () = { table = Hashtbl.create size_hint; sentinel = None }
+
+let get_sentinel t key value =
+  match t.sentinel with
+  | Some s -> s
+  | None ->
+      (* The sentinel needs dummy key/value; reuse the first inserted pair. *)
+      let rec s = { key; value; prev = s; next = s } in
+      t.sentinel <- Some s;
+      s
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let link_mru s n =
+  (* Insert [n] just before the sentinel (MRU position). *)
+  n.prev <- s.prev;
+  n.next <- s;
+  s.prev.next <- n;
+  s.prev <- n
+
+let mem t k = Hashtbl.mem t.table k
+
+let find t k =
+  match Hashtbl.find_opt t.table k with Some n -> Some n.value | None -> None
+
+let use t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+      (match t.sentinel with
+      | Some s ->
+          unlink n;
+          link_mru s n
+      | None -> ());
+      Some n.value
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      (match t.sentinel with
+      | Some s ->
+          unlink n;
+          link_mru s n
+      | None -> ())
+  | None ->
+      let s = get_sentinel t k v in
+      let rec n = { key = k; value = v; prev = n; next = n } in
+      link_mru s n;
+      Hashtbl.replace t.table k n
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+      unlink n;
+      Hashtbl.remove t.table k
+
+let length t = Hashtbl.length t.table
+
+let lru t =
+  match t.sentinel with
+  | None -> None
+  | Some s -> if s.next == s then None else Some (s.next.key, s.next.value)
+
+let pop_lru t =
+  match lru t with
+  | None -> None
+  | Some (k, _) as r ->
+      remove t k;
+      r
+
+let iter t f =
+  match t.sentinel with
+  | None -> ()
+  | Some s ->
+      let rec loop n =
+        if n != s then begin
+          let next = n.next in
+          f n.key n.value;
+          loop next
+        end
+      in
+      loop s.next
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))

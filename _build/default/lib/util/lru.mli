@@ -1,0 +1,37 @@
+(** Generic LRU index with O(1) touch/insert/remove.
+
+    Used by the buffer cache for its recency order.  The structure maps keys
+    to values and maintains least-recently-used order; capacity enforcement is
+    left to the caller (via {!lru} + {!remove}) because eviction of dirty
+    buffers needs caller-side logic. *)
+
+type ('k, 'v) t
+
+val create : ?size_hint:int -> unit -> ('k, 'v) t
+
+val mem : ('k, 'v) t -> 'k -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup without touching recency. *)
+
+val use : ('k, 'v) t -> 'k -> 'v option
+(** Lookup and mark most-recently-used. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, marking most-recently-used. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val length : ('k, 'v) t -> int
+
+val lru : ('k, 'v) t -> ('k * 'v) option
+(** Least-recently-used binding, or [None] when empty. *)
+
+val pop_lru : ('k, 'v) t -> ('k * 'v) option
+(** Remove and return the least-recently-used binding. *)
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** Iterate from least- to most-recently-used. *)
+
+val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Bindings from least- to most-recently-used. *)

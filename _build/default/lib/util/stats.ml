@@ -1,0 +1,96 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable total : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable samples : float list;
+  mutable sorted : float array option; (* memoised sort of [samples] *)
+}
+
+let create () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    total = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+    samples = [];
+    sorted = None;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let count t = t.n
+let total t = t.total
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.mn
+let max t = t.mx
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+
+let percentile t p =
+  let a = sorted t in
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else if n = 1 then a.(0)
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) a.samples;
+  List.iter (add t) b.samples;
+  t
+
+module Histogram = struct
+  type h = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~buckets =
+    assert (buckets > 0 && hi > lo);
+    { lo; hi; counts = Array.make buckets 0; total = 0 }
+
+  let add h x =
+    let nb = Array.length h.counts in
+    let idx =
+      int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int nb)
+    in
+    let idx = Stdlib.max 0 (Stdlib.min (nb - 1) idx) in
+    h.counts.(idx) <- h.counts.(idx) + 1;
+    h.total <- h.total + 1
+
+  let counts h = Array.copy h.counts
+
+  let bucket_bounds h i =
+    let nb = float_of_int (Array.length h.counts) in
+    let w = (h.hi -. h.lo) /. nb in
+    (h.lo +. (float_of_int i *. w), h.lo +. (float_of_int (i + 1) *. w))
+
+  let total h = h.total
+end

@@ -1,0 +1,45 @@
+(** Running statistics and simple histograms for experiment results. *)
+
+type t
+(** A mutable accumulator of float samples (Welford online algorithm plus a
+    retained sample list for percentiles). *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the samples; [0.] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** Smallest sample; [infinity] when empty. *)
+
+val max : t -> float
+(** Largest sample; [neg_infinity] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; linear interpolation between
+    order statistics.  [0.] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators into a fresh one. *)
+
+(** Fixed-bucket histogram over [\[lo, hi)]. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  val add : h -> float -> unit
+  (** Out-of-range samples clamp into the first/last bucket. *)
+
+  val counts : h -> int array
+  val bucket_bounds : h -> int -> float * float
+  val total : h -> int
+end

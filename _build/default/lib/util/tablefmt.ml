@@ -1,0 +1,78 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  header : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  { title; header = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Tablefmt.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.header :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter note_row all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else begin
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+    end
+  in
+  let emit_cells aligns cells =
+    let parts =
+      List.mapi (fun i (a, c) -> pad a widths.(i) c) (List.combine aligns cells)
+    in
+    Buffer.add_string buf (String.concat "  " parts);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  emit_cells (List.map (fun _ -> Left) t.header) t.header;
+  rule ();
+  List.iter
+    (function Cells c -> emit_cells t.aligns c | Separator -> rule ())
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KB" (f /. 1024.0)
+  else if n < 1024 * 1024 * 1024 then Printf.sprintf "%.1f MB" (f /. 1048576.0)
+  else Printf.sprintf "%.2f GB" (f /. 1073741824.0)
+
+let fmt_ms secs = Printf.sprintf "%.2f ms" (secs *. 1000.0)

@@ -1,0 +1,32 @@
+(** Aligned plain-text tables for experiment output.
+
+    The benchmark harness prints every reproduced paper table/figure as one of
+    these. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Row cells must match the column count. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+(** The full table, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float for table cells (default 2 decimals). *)
+
+val fmt_bytes : int -> string
+(** Human bytes: ["4.0 KB"], ["1.2 MB"], ... *)
+
+val fmt_ms : float -> string
+(** Milliseconds with unit, from a value in seconds. *)

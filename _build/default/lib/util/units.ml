@@ -1,0 +1,8 @@
+let kib = 1024
+let mib = 1024 * 1024
+let gib = 1024 * 1024 * 1024
+let sector_size = 512
+let ms x = x /. 1000.0
+let us x = x /. 1_000_000.0
+let to_ms x = x *. 1000.0
+let rpm_to_rev_time rpm = 60.0 /. rpm

@@ -1,0 +1,20 @@
+(** Unit constants and conversions shared across the simulator. *)
+
+val kib : int
+val mib : int
+val gib : int
+
+val sector_size : int
+(** 512 bytes, the unit the disk model works in. *)
+
+val ms : float -> float
+(** [ms x] converts milliseconds to seconds. *)
+
+val us : float -> float
+(** [us x] converts microseconds to seconds. *)
+
+val to_ms : float -> float
+(** Seconds to milliseconds. *)
+
+val rpm_to_rev_time : float -> float
+(** Full-revolution time in seconds for a spindle speed in RPM. *)

@@ -1,0 +1,1 @@
+lib/vfs/bmap.ml: Array Bytes Cffs_blockdev Cffs_cache Cffs_util Errno Inode

@@ -1,0 +1,1 @@
+lib/vfs/bmap.mli: Cffs_cache Errno Inode

@@ -1,0 +1,1 @@
+lib/vfs/inode.ml: Array Cffs_util Format

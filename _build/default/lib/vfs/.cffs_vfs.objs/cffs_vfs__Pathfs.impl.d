@@ -1,0 +1,1 @@
+lib/vfs/pathfs.ml: Bytes Errno Fs_intf Inode List Path Result String

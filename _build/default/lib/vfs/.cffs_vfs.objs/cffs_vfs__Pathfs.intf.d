@@ -1,0 +1,1 @@
+lib/vfs/pathfs.mli: Fs_intf

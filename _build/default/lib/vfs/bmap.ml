@@ -1,0 +1,215 @@
+module Cache = Cffs_cache.Cache
+module Codec = Cffs_util.Codec
+open Errno
+
+let block_size cache = Cffs_blockdev.Blockdev.block_size (Cache.device cache)
+let ptrs_per_block cache = block_size cache / 4
+
+let read cache (inode : Inode.t) lblk =
+  let ppb = ptrs_per_block cache in
+  if lblk < 0 then Error Einval
+  else if lblk < Inode.n_direct then begin
+    let p = inode.direct.(lblk) in
+    Ok (if p = 0 then None else Some p)
+  end
+  else if lblk < Inode.n_direct + ppb then begin
+    if inode.indirect = 0 then Ok None
+    else begin
+      let b = Cache.read cache inode.indirect in
+      let p = Codec.get_u32 b (4 * (lblk - Inode.n_direct)) in
+      Ok (if p = 0 then None else Some p)
+    end
+  end
+  else if lblk < Inode.n_direct + ppb + (ppb * ppb) then begin
+    if inode.dindirect = 0 then Ok None
+    else begin
+      let rel = lblk - Inode.n_direct - ppb in
+      let b1 = Cache.read cache inode.dindirect in
+      let p1 = Codec.get_u32 b1 (4 * (rel / ppb)) in
+      if p1 = 0 then Ok None
+      else begin
+        let b2 = Cache.read cache p1 in
+        let p = Codec.get_u32 b2 (4 * (rel mod ppb)) in
+        Ok (if p = 0 then None else Some p)
+      end
+    end
+  end
+  else Error Efbig
+
+let last_hint cache inode lblk =
+  (* Only look back over the direct window: files written sequentially (the
+     common case) always hit the immediately preceding block first try. *)
+  let rec back l =
+    if l < 0 then 0
+    else begin
+      match read cache inode l with
+      | Ok (Some p) -> p + 1
+      | Ok None | Error _ -> back (l - 1)
+    end
+  in
+  back (min (lblk - 1) (Inode.n_direct + ptrs_per_block cache - 1))
+
+let alloc cache (inode : Inode.t) lblk ~alloc =
+  let ppb = ptrs_per_block cache in
+  let zero () = Bytes.make (block_size cache) '\000' in
+  let hint = last_hint cache inode lblk in
+  let fresh () = alloc ~hint in
+  if lblk < 0 then Error Einval
+  else if lblk < Inode.n_direct then begin
+    if inode.direct.(lblk) <> 0 then Ok inode.direct.(lblk)
+    else begin
+      let* b = fresh () in
+      inode.direct.(lblk) <- b;
+      Ok b
+    end
+  end
+  else if lblk < Inode.n_direct + ppb then begin
+    let* ind =
+      if inode.indirect <> 0 then Ok inode.indirect
+      else begin
+        let* b = fresh () in
+        Cache.write cache ~kind:`Data b (zero ());
+        inode.indirect <- b;
+        Ok b
+      end
+    in
+    let ib = Cache.read cache ind in
+    let off = 4 * (lblk - Inode.n_direct) in
+    let p = Codec.get_u32 ib off in
+    if p <> 0 then Ok p
+    else begin
+      let* b = fresh () in
+      Codec.set_u32 ib off b;
+      Cache.write cache ~kind:`Data ind ib;
+      Ok b
+    end
+  end
+  else if lblk < Inode.n_direct + ppb + (ppb * ppb) then begin
+    let rel = lblk - Inode.n_direct - ppb in
+    let* dind =
+      if inode.dindirect <> 0 then Ok inode.dindirect
+      else begin
+        let* b = fresh () in
+        Cache.write cache ~kind:`Data b (zero ());
+        inode.dindirect <- b;
+        Ok b
+      end
+    in
+    let b1 = Cache.read cache dind in
+    let off1 = 4 * (rel / ppb) in
+    let* ind =
+      let p1 = Codec.get_u32 b1 off1 in
+      if p1 <> 0 then Ok p1
+      else begin
+        let* b = fresh () in
+        Cache.write cache ~kind:`Data b (zero ());
+        Codec.set_u32 b1 off1 b;
+        Cache.write cache ~kind:`Data dind b1;
+        Ok b
+      end
+    in
+    let b2 = Cache.read cache ind in
+    let off2 = 4 * (rel mod ppb) in
+    let p = Codec.get_u32 b2 off2 in
+    if p <> 0 then Ok p
+    else begin
+      let* b = fresh () in
+      Codec.set_u32 b2 off2 b;
+      Cache.write cache ~kind:`Data ind b2;
+      Ok b
+    end
+  end
+  else Error Efbig
+
+let shrink cache (inode : Inode.t) ~keep_blocks ~free =
+  let ppb = ptrs_per_block cache in
+  let keep = max 0 keep_blocks in
+  (* Direct pointers. *)
+  for l = keep to Inode.n_direct - 1 do
+    if inode.direct.(l) <> 0 then begin
+      free inode.direct.(l);
+      inode.direct.(l) <- 0
+    end
+  done;
+  (* Free the tail of one pointer block starting at index [from]; returns
+     true when the block ends up completely empty. *)
+  let prune_ptr_block blk ~from ~on_ptr =
+    let b = Cache.read cache blk in
+    for i = from to ppb - 1 do
+      let p = Codec.get_u32 b (4 * i) in
+      if p <> 0 then begin
+        on_ptr p;
+        Codec.set_u32 b (4 * i) 0
+      end
+    done;
+    let rec empty i = i >= ppb || (Codec.get_u32 b (4 * i) = 0 && empty (i + 1)) in
+    if from > 0 then Cache.write cache ~kind:`Data blk b;
+    empty 0
+  in
+  (* Single indirect. *)
+  if inode.indirect <> 0 && keep < Inode.n_direct + ppb then begin
+    let from = max 0 (keep - Inode.n_direct) in
+    let empty = prune_ptr_block inode.indirect ~from ~on_ptr:free in
+    if empty then begin
+      free inode.indirect;
+      inode.indirect <- 0
+    end
+  end;
+  (* Double indirect. *)
+  if inode.dindirect <> 0 && keep < Inode.n_direct + ppb + (ppb * ppb) then begin
+    let rel_keep = max 0 (keep - Inode.n_direct - ppb) in
+    let from_sub = (rel_keep + ppb - 1) / ppb in
+    (* Fully-freed sub-indirects... *)
+    let free_subtree sub = ignore (prune_ptr_block sub ~from:0 ~on_ptr:free); free sub in
+    let b1 = Cache.read cache inode.dindirect in
+    for i = from_sub to ppb - 1 do
+      let p1 = Codec.get_u32 b1 (4 * i) in
+      if p1 <> 0 then begin
+        free_subtree p1;
+        Codec.set_u32 b1 (4 * i) 0
+      end
+    done;
+    (* ...and the partially-kept one. *)
+    if rel_keep mod ppb <> 0 then begin
+      let i = rel_keep / ppb in
+      let p1 = Codec.get_u32 b1 (4 * i) in
+      if p1 <> 0 then begin
+        let empty = prune_ptr_block p1 ~from:(rel_keep mod ppb) ~on_ptr:free in
+        if empty then begin
+          free p1;
+          Codec.set_u32 b1 (4 * i) 0
+        end
+      end
+    end;
+    Cache.write cache ~kind:`Data inode.dindirect b1;
+    let rec empty i = i >= ppb || (Codec.get_u32 b1 (4 * i) = 0 && empty (i + 1)) in
+    if empty 0 then begin
+      free inode.dindirect;
+      inode.dindirect <- 0
+    end
+  end
+
+let iter cache (inode : Inode.t) ~data ~meta =
+  Array.iter (fun p -> if p <> 0 then data p) inode.direct;
+  let visit_indirect ind =
+    let b = Cache.read cache ind in
+    for i = 0 to ptrs_per_block cache - 1 do
+      let p = Codec.get_u32 b (4 * i) in
+      if p <> 0 then data p
+    done;
+    meta ind
+  in
+  if inode.indirect <> 0 then visit_indirect inode.indirect;
+  if inode.dindirect <> 0 then begin
+    let b1 = Cache.read cache inode.dindirect in
+    for i = 0 to ptrs_per_block cache - 1 do
+      let p1 = Codec.get_u32 b1 (4 * i) in
+      if p1 <> 0 then visit_indirect p1
+    done;
+    meta inode.dindirect
+  end
+
+let count cache inode =
+  let n = ref 0 in
+  iter cache inode ~data:(fun _ -> incr n) ~meta:(fun _ -> incr n);
+  !n

@@ -1,0 +1,33 @@
+type t =
+  | Enoent
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Enotempty
+  | Enospc
+  | Efbig
+  | Einval
+  | Emlink
+  | Enametoolong
+
+type 'a result = ('a, t) Stdlib.result
+
+let to_string = function
+  | Enoent -> "ENOENT"
+  | Eexist -> "EEXIST"
+  | Enotdir -> "ENOTDIR"
+  | Eisdir -> "EISDIR"
+  | Enotempty -> "ENOTEMPTY"
+  | Enospc -> "ENOSPC"
+  | Efbig -> "EFBIG"
+  | Einval -> "EINVAL"
+  | Emlink -> "EMLINK"
+  | Enametoolong -> "ENAMETOOLONG"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let get_ok context = function
+  | Ok v -> v
+  | Error e -> failwith (context ^ ": " ^ to_string e)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e

@@ -1,0 +1,24 @@
+(** File-system error codes (a small errno subset) and result helpers. *)
+
+type t =
+  | Enoent  (** no such file or directory *)
+  | Eexist  (** already exists *)
+  | Enotdir  (** a path component is not a directory *)
+  | Eisdir  (** operation on a directory where a file is required *)
+  | Enotempty  (** directory not empty *)
+  | Enospc  (** device full *)
+  | Efbig  (** file too large for the inode's block map *)
+  | Einval  (** invalid argument *)
+  | Emlink  (** too many links *)
+  | Enametoolong
+
+type 'a result = ('a, t) Stdlib.result
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val get_ok : string -> 'a result -> 'a
+(** [get_ok context r] unwraps [r], raising [Failure] with [context] and the
+    error name otherwise.  For tests and examples. *)
+
+val ( let* ) : 'a result -> ('a -> 'b result) -> 'b result

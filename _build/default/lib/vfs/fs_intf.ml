@@ -1,0 +1,60 @@
+type stat = {
+  st_ino : int;
+  st_kind : Inode.kind;
+  st_size : int;
+  st_nlink : int;
+  st_blocks : int;
+}
+
+type fs_usage = {
+  total_blocks : int;
+  free_blocks : int;
+  total_inodes : int;
+  free_inodes : int;
+}
+
+module type LOW = sig
+  type t
+
+  val label : t -> string
+  val root : t -> int
+  val lookup : t -> dir:int -> string -> int Errno.result
+  val mknod : t -> dir:int -> string -> Inode.kind -> int Errno.result
+  val remove : t -> dir:int -> string -> rmdir:bool -> unit Errno.result
+  val hardlink : t -> dir:int -> string -> ino:int -> unit Errno.result
+  val rename : t -> sdir:int -> sname:string -> ddir:int -> dname:string -> unit Errno.result
+  val readdir : t -> dir:int -> (string * int) list Errno.result
+  val stat_ino : t -> int -> stat Errno.result
+  val read_ino : t -> ino:int -> off:int -> len:int -> bytes Errno.result
+  val write_ino : t -> ino:int -> off:int -> bytes -> unit Errno.result
+  val truncate_ino : t -> ino:int -> size:int -> unit Errno.result
+  val sync : t -> unit
+  val remount : t -> unit
+  val usage : t -> fs_usage
+end
+
+module type S = sig
+  include LOW
+
+  val resolve : t -> string -> int Errno.result
+  val create : t -> string -> unit Errno.result
+  val mkdir : t -> string -> unit Errno.result
+  val mkdir_p : t -> string -> unit Errno.result
+  val unlink : t -> string -> unit Errno.result
+  val rmdir : t -> string -> unit Errno.result
+  val link : t -> existing:string -> target:string -> unit Errno.result
+  val rename_path : t -> src:string -> dst:string -> unit Errno.result
+  val stat : t -> string -> stat Errno.result
+  val exists : t -> string -> bool
+  val truncate : t -> string -> int -> unit Errno.result
+  val read : t -> string -> off:int -> len:int -> bytes Errno.result
+  val write : t -> string -> off:int -> bytes -> unit Errno.result
+  val read_file : t -> string -> bytes Errno.result
+  val write_file : t -> string -> bytes -> unit Errno.result
+  val append_file : t -> string -> bytes -> unit Errno.result
+  val list_dir : t -> string -> string list Errno.result
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let packed_label (Packed ((module F), fs)) = F.label fs

@@ -1,0 +1,28 @@
+let max_name = 255
+
+let split p =
+  if String.length p = 0 || p.[0] <> '/' then Error Errno.Einval
+  else begin
+    let parts = String.split_on_char '/' p in
+    let parts = List.filter (fun s -> s <> "") parts in
+    if List.exists (fun s -> String.length s > max_name) parts then
+      Error Errno.Enametoolong
+    else if List.exists (fun s -> s = "." || s = "..") parts then
+      Error Errno.Einval
+    else Ok parts
+  end
+
+let dirname_basename p =
+  match split p with
+  | Error _ as e -> e
+  | Ok [] -> Error Errno.Einval
+  | Ok parts ->
+      let rec last_and_init acc = function
+        | [ x ] -> (List.rev acc, x)
+        | x :: rest -> last_and_init (x :: acc) rest
+        | [] -> assert false
+      in
+      let init, base = last_and_init [] parts in
+      Ok ("/" ^ String.concat "/" init, base)
+
+let join dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name

@@ -1,0 +1,14 @@
+(** Absolute-path manipulation. *)
+
+val split : string -> string list Errno.result
+(** [split "/a/b/c"] is [Ok ["a"; "b"; "c"]]; [split "/"] is [Ok []].
+    Rejects relative paths, empty components and over-long names. *)
+
+val max_name : int
+(** Longest permitted component name (as in the on-disk formats): 255. *)
+
+val dirname_basename : string -> (string * string) Errno.result
+(** [dirname_basename "/a/b/c"] is [Ok ("/a/b", "c")].  Errors on ["/"]. *)
+
+val join : string -> string -> string
+(** [join "/a" "b"] is ["/a/b"]. *)

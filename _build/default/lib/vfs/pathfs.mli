@@ -1,0 +1,3 @@
+(** Lift an inode-level file system to the path-based interface. *)
+
+module Make (F : Fs_intf.LOW) : Fs_intf.S with type t = F.t

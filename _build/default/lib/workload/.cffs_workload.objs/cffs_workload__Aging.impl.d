@@ -1,0 +1,1 @@
+lib/workload/aging.ml: Bytes Cffs_util Cffs_vfs Env List Printf Sizes

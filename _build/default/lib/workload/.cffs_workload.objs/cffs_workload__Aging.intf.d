@@ -1,0 +1,1 @@
+lib/workload/aging.mli: Env Sizes

@@ -1,0 +1,1 @@
+lib/workload/appbench.ml: Array Buffer Bytes Cffs_blockdev Cffs_util Cffs_vfs Env List Printf Sizes

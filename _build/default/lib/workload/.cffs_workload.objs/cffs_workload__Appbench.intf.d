@@ -1,0 +1,1 @@
+lib/workload/appbench.mli: Env Sizes

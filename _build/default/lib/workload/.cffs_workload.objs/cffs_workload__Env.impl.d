@@ -1,0 +1,1 @@
+lib/workload/env.ml: Cffs_blockdev Cffs_disk Cffs_util Cffs_vfs Format

@@ -1,0 +1,1 @@
+lib/workload/env.mli: Cffs_blockdev Cffs_vfs Format

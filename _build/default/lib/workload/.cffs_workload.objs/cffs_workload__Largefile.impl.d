@@ -1,0 +1,1 @@
+lib/workload/largefile.ml: Bytes Cffs_blockdev Cffs_vfs Env Printf

@@ -1,0 +1,1 @@
+lib/workload/sizes.ml: Cffs_util Printf

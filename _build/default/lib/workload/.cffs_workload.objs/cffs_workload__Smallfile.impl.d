@@ -1,0 +1,1 @@
+lib/workload/smallfile.ml: Cffs_blockdev Cffs_util Cffs_vfs Env List Printf

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Bytes Cffs_blockdev Cffs_util Cffs_vfs Env Hashtbl List Option Printf Sizes String

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Cffs_vfs Env Sizes

@@ -1,0 +1,87 @@
+module Fs_intf = Cffs_vfs.Fs_intf
+module Prng = Cffs_util.Prng
+
+type spec = {
+  target_utilization : float;
+  operations : int;
+  dirs : int;
+  sizes : Sizes.t;
+  seed : int;
+}
+
+let default_spec u =
+  {
+    target_utilization = u;
+    operations = 30000;
+    dirs = 20;
+    sizes = Sizes.paper_1996;
+    seed = 0xA9ED;
+  }
+
+type outcome = {
+  reached_utilization : float;
+  files_alive : int;
+  creates : int;
+  deletes : int;
+  failed_creates : int;
+}
+
+let utilization usage =
+  let used = usage.Fs_intf.total_blocks - usage.Fs_intf.free_blocks in
+  float_of_int used /. float_of_int usage.Fs_intf.total_blocks
+
+let run (env : Env.t) spec =
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  let prng = Prng.create spec.seed in
+  let alive = ref [] in
+  let nalive = ref 0 in
+  let creates = ref 0 and deletes = ref 0 and failed = ref 0 in
+  let next_id = ref 0 in
+  (match F.mkdir fs "/aged" with Ok () | Error _ -> ());
+  for d = 0 to spec.dirs - 1 do
+    match F.mkdir fs (Printf.sprintf "/aged/d%02d" d) with Ok () | Error _ -> ()
+  done;
+  let create () =
+    let id = !next_id in
+    incr next_id;
+    let path = Printf.sprintf "/aged/d%02d/f%06d" (Prng.int prng spec.dirs) id in
+    let size = spec.sizes.Sizes.sample prng in
+    match F.write_file fs path (Bytes.make size 'a') with
+    | Ok () ->
+        incr creates;
+        alive := path :: !alive;
+        incr nalive
+    | Error _ -> incr failed
+  in
+  let delete () =
+    match !alive with
+    | [] -> ()
+    | _ ->
+        (* Remove a pseudo-random survivor: rotate the list so both old and
+           young files die, which is what punches holes into old groups. *)
+        let n = Prng.int prng (min 500 !nalive) in
+        let rec split acc i = function
+          | x :: rest when i < n -> split (x :: acc) (i + 1) rest
+          | x :: rest ->
+              (match F.unlink fs x with Ok () -> incr deletes | Error _ -> ());
+              alive := List.rev_append acc rest;
+              decr nalive
+          | [] -> alive := List.rev acc
+        in
+        split [] 0 !alive
+  in
+  for _ = 1 to spec.operations do
+    (* Bias creation toward the target utilization; around the target the
+       mix hovers near 50/50, which maximises churn. *)
+    let u = utilization (F.usage fs) in
+    let p_create = if u >= spec.target_utilization then 0.3 else 0.92 in
+    if Prng.chance prng p_create || !nalive = 0 then create () else delete ()
+  done;
+  F.sync fs;
+  {
+    reached_utilization = utilization (F.usage fs);
+    files_alive = !nalive;
+    creates = !creates;
+    deletes = !deletes;
+    failed_creates = !failed;
+  }

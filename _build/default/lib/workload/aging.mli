@@ -1,0 +1,35 @@
+(** File-system aging (paper §4.3).
+
+    "The program simply creates and deletes a large number of files.  The
+    probability that the next operation performed is a file creation (rather
+    than a deletion) is taken from a distribution centered around a desired
+    file system utilization" — after [Herrin93].
+
+    Aging fragments the free space, so explicit grouping increasingly fails
+    to find whole free frames and falls back to scattered single-block
+    allocation; the experiment then measures how small-file performance and
+    the grouping-quality metric degrade with utilization. *)
+
+type spec = {
+  target_utilization : float;  (** fraction of data blocks in use, 0..1 *)
+  operations : int;  (** create/delete steps to run *)
+  dirs : int;  (** directories the churn spreads over *)
+  sizes : Sizes.t;
+  seed : int;
+}
+
+val default_spec : float -> spec
+(** [default_spec u] ages toward utilization [u] with 30000 operations over
+    20 directories using the paper's 1996 size distribution. *)
+
+type outcome = {
+  reached_utilization : float;
+  files_alive : int;
+  creates : int;
+  deletes : int;
+  failed_creates : int;  (** ENOSPC during aging (high utilizations) *)
+}
+
+val run : Env.t -> spec -> outcome
+(** Ages the file system in place (under [/aged]); time spent aging is not
+    part of any measurement — callers measure afterwards. *)

@@ -1,0 +1,158 @@
+module Fs_intf = Cffs_vfs.Fs_intf
+module Prng = Cffs_util.Prng
+module Blockdev = Cffs_blockdev.Blockdev
+
+type app = Untar | Search | Compile | Pack | Copy | Clean
+
+let app_name = function
+  | Untar -> "untar"
+  | Search -> "search"
+  | Compile -> "compile"
+  | Pack -> "pack"
+  | Copy -> "copy"
+  | Clean -> "clean"
+
+let apps = [ Untar; Search; Compile; Pack; Copy; Clean ]
+
+type spec = { dirs : int; files_per_dir : int; sizes : Sizes.t; seed : int }
+
+let default_spec =
+  { dirs = 16; files_per_dir = 25; sizes = Sizes.source_code; seed = 0x50F7 }
+
+type result = { app : app; files : int; bytes : int; measure : Env.measure }
+
+let src_dir d = Printf.sprintf "/src/m%02d" d
+
+let src_file d f =
+  let ext = if f mod 4 = 3 then "h" else "c" in
+  Printf.sprintf "%s/file%03d.%s" (src_dir d) f ext
+
+let obj_file d f = Printf.sprintf "/obj/m%02d_file%03d.o" d f
+
+let iter_files spec f =
+  for d = 0 to spec.dirs - 1 do
+    for i = 0 to spec.files_per_dir - 1 do
+      f d i
+    done
+  done
+
+let run ?(spec = default_spec) (env : Env.t) =
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  let prng = Prng.create spec.seed in
+  let op () = Blockdev.advance env.Env.dev env.Env.cpu_per_op in
+  let check what = function
+    | Ok v -> v
+    | Error e ->
+        failwith (Printf.sprintf "appbench %s: %s" what (Cffs_vfs.Errno.to_string e))
+  in
+  (* Pre-compute deterministic file sizes. *)
+  let size = Array.init spec.dirs (fun _ ->
+      Array.init spec.files_per_dir (fun _ -> spec.sizes.Sizes.sample prng))
+  in
+  let total_files = spec.dirs * spec.files_per_dir in
+  let total_bytes =
+    Array.fold_left (fun acc a -> Array.fold_left ( + ) acc a) 0 size
+  in
+  let results = ref [] in
+  let phase app ~files ~bytes f =
+    let m =
+      Env.measured env (fun () ->
+          f ();
+          op ();
+          F.sync fs)
+    in
+    results := { app; files; bytes; measure = m } :: !results
+  in
+  (* Untar: build the tree. *)
+  phase Untar ~files:total_files ~bytes:total_bytes (fun () ->
+      op ();
+      check "mkdir /src" (F.mkdir fs "/src");
+      for d = 0 to spec.dirs - 1 do
+        op ();
+        check "mkdir" (F.mkdir fs (src_dir d))
+      done;
+      iter_files spec (fun d i ->
+          op ();
+          check "untar write"
+            (F.write_file fs (src_file d i) (Bytes.make size.(d).(i) 's'))));
+  (* Search: cold-cache read of every file. *)
+  F.remount fs;
+  phase Search ~files:total_files ~bytes:total_bytes (fun () ->
+      iter_files spec (fun d i ->
+          op ();
+          ignore (check "search read" (F.read_file fs (src_file d i)))));
+  (* Compile: .c -> .o plus header reads, then a link step. *)
+  let c_files = ref [] in
+  iter_files spec (fun d i -> if i mod 4 <> 3 then c_files := (d, i) :: !c_files);
+  let objs_bytes = ref 0 in
+  phase Compile ~files:(List.length !c_files) ~bytes:total_bytes (fun () ->
+      op ();
+      check "mkdir /obj" (F.mkdir fs "/obj");
+      List.iter
+        (fun (d, i) ->
+          op ();
+          ignore (check "compile read" (F.read_file fs (src_file d i)));
+          (* A few header inclusions from around the project. *)
+          for _ = 1 to 3 do
+            let hd = Prng.int prng spec.dirs in
+            let hf = (Prng.int prng (max 1 (spec.files_per_dir / 4)) * 4) + 3 in
+            if hf < spec.files_per_dir then begin
+              op ();
+              ignore (check "header read" (F.read_file fs (src_file hd hf)))
+            end
+          done;
+          let osize = size.(d).(i) * 3 / 2 in
+          objs_bytes := !objs_bytes + osize;
+          op ();
+          check "emit object" (F.write_file fs (obj_file d i) (Bytes.make osize 'o')))
+        !c_files;
+      (* Link: read every object, write the binary. *)
+      let binary = Buffer.create (max 1 !objs_bytes) in
+      List.iter
+        (fun (d, i) ->
+          op ();
+          let o = check "link read" (F.read_file fs (obj_file d i)) in
+          Buffer.add_bytes binary o)
+        !c_files;
+      op ();
+      check "link write" (F.write_file fs "/obj/app.bin" (Buffer.to_bytes binary)));
+  (* Pack: tar the source tree into one archive. *)
+  phase Pack ~files:total_files ~bytes:total_bytes (fun () ->
+      let archive = Buffer.create total_bytes in
+      iter_files spec (fun d i ->
+          op ();
+          Buffer.add_bytes archive (check "pack read" (F.read_file fs (src_file d i))));
+      op ();
+      check "pack write" (F.write_file fs "/archive.tar" (Buffer.to_bytes archive)));
+  (* Copy: duplicate the tree inside the file system. *)
+  phase Copy ~files:total_files ~bytes:total_bytes (fun () ->
+      op ();
+      check "mkdir /copy" (F.mkdir fs "/copy");
+      for d = 0 to spec.dirs - 1 do
+        op ();
+        check "mkdir" (F.mkdir fs (Printf.sprintf "/copy/m%02d" d))
+      done;
+      iter_files spec (fun d i ->
+          op ();
+          let data = check "copy read" (F.read_file fs (src_file d i)) in
+          op ();
+          let dst = Printf.sprintf "/copy/m%02d/file%03d" d i in
+          check "copy write" (F.write_file fs dst data)));
+  (* Clean: remove objects, archive and the copy. *)
+  phase Clean
+    ~files:(List.length !c_files + 1 + total_files)
+    ~bytes:(!objs_bytes + total_bytes)
+    (fun () ->
+      List.iter
+        (fun (d, i) ->
+          op ();
+          check "clean obj" (F.unlink fs (obj_file d i)))
+        !c_files;
+      op ();
+      check "clean bin" (F.unlink fs "/obj/app.bin");
+      op ();
+      check "clean archive" (F.unlink fs "/archive.tar");
+      iter_files spec (fun d i ->
+          op ();
+          check "clean copy" (F.unlink fs (Printf.sprintf "/copy/m%02d/file%03d" d i))));
+  List.rev !results

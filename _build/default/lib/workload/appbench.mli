@@ -1,0 +1,34 @@
+(** Software-development application benchmarks (paper §4.4: "preliminary
+    experience with software-development applications shows performance
+    improvements ranging from 10-300 percent").
+
+    The applications matter to the file system only through the operation
+    streams they generate, so each phase replays the stream an equivalent
+    tool would issue over a synthetic source tree:
+
+    - [Untar]: unpack the tree (create every directory and file);
+    - [Search]: grep — read every file in tree order, cold cache;
+    - [Compile]: per source file read it plus a few headers, emit an object
+      file ~1.5x its size, then link all objects into one binary;
+    - [Pack]: tar — read the whole tree, append to one archive file;
+    - [Copy]: recursive copy of the tree within the file system;
+    - [Clean]: delete the objects, the archive and the copy. *)
+
+type app = Untar | Search | Compile | Pack | Copy | Clean
+
+val app_name : app -> string
+val apps : app list
+
+type spec = {
+  dirs : int;
+  files_per_dir : int;
+  sizes : Sizes.t;
+  seed : int;
+}
+
+val default_spec : spec
+(** 16 directories x 25 files of source-code-like sizes. *)
+
+type result = { app : app; files : int; bytes : int; measure : Env.measure }
+
+val run : ?spec:spec -> Env.t -> result list

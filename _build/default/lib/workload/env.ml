@@ -1,0 +1,47 @@
+module Blockdev = Cffs_blockdev.Blockdev
+module Request = Cffs_disk.Request
+
+type t = {
+  fs : Cffs_vfs.Fs_intf.packed;
+  dev : Blockdev.t;
+  cpu_per_op : float;
+}
+
+let make ?(cpu_per_op = 100e-6) fs dev = { fs; dev; cpu_per_op }
+
+let now t = Blockdev.now t.dev
+let label t = Cffs_vfs.Fs_intf.packed_label t.fs
+
+type measure = {
+  seconds : float;
+  requests : int;
+  reads : int;
+  writes : int;
+  bytes_moved : int;
+  cache_hits : int;
+  seek_s : float;
+  rotation_s : float;
+  transfer_s : float;
+}
+
+let measured t f =
+  let before = Request.Stats.copy (Blockdev.stats t.dev) in
+  let t0 = now t in
+  f ();
+  let d = Request.Stats.diff (Blockdev.stats t.dev) before in
+  {
+    seconds = now t -. t0;
+    requests = Request.Stats.requests d;
+    reads = d.Request.Stats.reads;
+    writes = d.Request.Stats.writes;
+    bytes_moved = Request.Stats.bytes d;
+    cache_hits = d.Request.Stats.cache_hits;
+    seek_s = d.Request.Stats.seek_time;
+    rotation_s = d.Request.Stats.rotation_time;
+    transfer_s = d.Request.Stats.transfer_time;
+  }
+
+let pp_measure ppf m =
+  Format.fprintf ppf "%.3fs, %d reqs (%dr/%dw, %d hits), %s"
+    m.seconds m.requests m.reads m.writes m.cache_hits
+    (Cffs_util.Tablefmt.fmt_bytes m.bytes_moved)

@@ -1,0 +1,40 @@
+(** Execution environment for workloads: a mounted file system, the device
+    it sits on, and a per-operation CPU cost.
+
+    Charging CPU time between file-system calls matters to fidelity: it is
+    the host think-time during which the disk rotates (and its prefetcher
+    runs), exactly the effect that penalises one-request-per-file access
+    patterns. *)
+
+type t = {
+  fs : Cffs_vfs.Fs_intf.packed;
+  dev : Cffs_blockdev.Blockdev.t;
+  cpu_per_op : float;  (** seconds charged before every FS operation *)
+}
+
+val make :
+  ?cpu_per_op:float -> Cffs_vfs.Fs_intf.packed -> Cffs_blockdev.Blockdev.t -> t
+(** Default CPU cost: 100 µs (mid-90s syscall + FS code path). *)
+
+val now : t -> float
+val label : t -> string
+
+(** Per-phase measurement: simulated elapsed time and the device activity
+    attributed to it. *)
+type measure = {
+  seconds : float;
+  requests : int;
+  reads : int;
+  writes : int;
+  bytes_moved : int;
+  cache_hits : int;
+  seek_s : float;  (** mechanical time split of the device activity *)
+  rotation_s : float;
+  transfer_s : float;
+}
+
+val measured : t -> (unit -> unit) -> measure
+(** Run a thunk, returning the elapsed simulated time and device-counter
+    deltas. *)
+
+val pp_measure : Format.formatter -> measure -> unit

@@ -1,0 +1,53 @@
+module Fs_intf = Cffs_vfs.Fs_intf
+module Blockdev = Cffs_blockdev.Blockdev
+
+type result = {
+  write_mb_per_s : float;
+  read_mb_per_s : float;
+  rewrite_mb_per_s : float;
+}
+
+let run ?(file_mb = 64) ?(chunk_kb = 64) (env : Env.t) =
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  let check what = function
+    | Ok v -> v
+    | Error e ->
+        failwith (Printf.sprintf "largefile %s: %s" what (Cffs_vfs.Errno.to_string e))
+  in
+  let op () = Blockdev.advance env.Env.dev env.Env.cpu_per_op in
+  let chunk = Bytes.make (chunk_kb * 1024) 'L' in
+  let chunks = file_mb * 1024 / chunk_kb in
+  let path = "/large.bin" in
+  let mb = float_of_int file_mb in
+  let rate (m : Env.measure) = if m.Env.seconds <= 0.0 then 0.0 else mb /. m.Env.seconds in
+  check "create" (F.create fs path);
+  let write_m =
+    Env.measured env (fun () ->
+        for i = 0 to chunks - 1 do
+          op ();
+          check "write" (F.write fs path ~off:(i * chunk_kb * 1024) chunk)
+        done;
+        F.sync fs)
+  in
+  F.remount fs;
+  let read_m =
+    Env.measured env (fun () ->
+        for i = 0 to chunks - 1 do
+          op ();
+          ignore
+            (check "read" (F.read fs path ~off:(i * chunk_kb * 1024) ~len:(chunk_kb * 1024)))
+        done)
+  in
+  let rewrite_m =
+    Env.measured env (fun () ->
+        for i = 0 to chunks - 1 do
+          op ();
+          check "rewrite" (F.write fs path ~off:(i * chunk_kb * 1024) chunk)
+        done;
+        F.sync fs)
+  in
+  {
+    write_mb_per_s = rate write_m;
+    read_mb_per_s = rate read_m;
+    rewrite_mb_per_s = rate rewrite_m;
+  }

@@ -1,0 +1,14 @@
+(** Large-file sequential I/O (paper §4.4): explicit grouping must leave
+    large-file performance unchanged, since only the first few blocks of a
+    small file are group-allocated and large files use ordinary clustered
+    placement. *)
+
+type result = {
+  write_mb_per_s : float;
+  read_mb_per_s : float;  (** cold-cache sequential read *)
+  rewrite_mb_per_s : float;
+}
+
+val run : ?file_mb:int -> ?chunk_kb:int -> Env.t -> result
+(** Defaults: one 64 MB file written, read and rewritten sequentially in
+    64 KB chunks. *)

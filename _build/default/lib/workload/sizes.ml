@@ -1,0 +1,29 @@
+module Prng = Cffs_util.Prng
+
+type t = { name : string; sample : Prng.t -> int }
+
+let lognormal_capped ~name ~mu ~sigma ~cap =
+  let sample prng =
+    let v = Prng.lognormal prng ~mu ~sigma in
+    max 1 (min cap (int_of_float v))
+  in
+  { name; sample }
+
+(* P(size < 8192) = 0.79 with median 2048:
+   Phi((ln 8192 - mu) / sigma) = 0.79 with mu = ln 2048 gives sigma = 1.72. *)
+let paper_1996 =
+  lognormal_capped ~name:"paper-1996" ~mu:(log 2048.0) ~sigma:1.72
+    ~cap:(1024 * 1024)
+
+let fixed n = { name = Printf.sprintf "fixed-%d" n; sample = (fun _ -> n) }
+
+let source_code =
+  lognormal_capped ~name:"source-code" ~mu:(log 3072.0) ~sigma:1.1 ~cap:(64 * 1024)
+
+let fraction_below t limit ~samples =
+  let prng = Prng.create 0xD15C in
+  let below = ref 0 in
+  for _ = 1 to samples do
+    if t.sample prng < limit then incr below
+  done;
+  float_of_int !below /. float_of_int samples

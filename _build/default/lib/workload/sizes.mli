@@ -1,0 +1,23 @@
+(** File-size distributions.
+
+    The paper motivates C-FFS with the observation that "79 % of all files
+    on our file servers are less than 8 KB in size"; {!paper_1996} is a
+    log-normal fit with exactly that property (median 2 KB, sigma chosen so
+    P(size < 8 KB) = 0.79), capped at 1 MB. *)
+
+type t = {
+  name : string;
+  sample : Cffs_util.Prng.t -> int;  (** a file size in bytes, >= 1 *)
+}
+
+val paper_1996 : t
+(** The paper's static file-size distribution (79 % under 8 KB). *)
+
+val fixed : int -> t
+(** Every file the same size. *)
+
+val source_code : t
+(** Small C-source-like files: log-normal, median ~3 KB, capped at 64 KB. *)
+
+val fraction_below : t -> int -> samples:int -> float
+(** Monte-Carlo check of P(size < limit), for tests. *)

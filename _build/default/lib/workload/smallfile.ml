@@ -1,0 +1,93 @@
+module Fs_intf = Cffs_vfs.Fs_intf
+module Blockdev = Cffs_blockdev.Blockdev
+module Errno = Cffs_vfs.Errno
+
+type phase = Create | Read | Overwrite | Delete
+
+let phase_name = function
+  | Create -> "create"
+  | Read -> "read"
+  | Overwrite -> "overwrite"
+  | Delete -> "delete"
+
+let phases = [ Create; Read; Overwrite; Delete ]
+
+type result = {
+  phase : phase;
+  nfiles : int;
+  file_bytes : int;
+  measure : Env.measure;
+  files_per_sec : float;
+  kb_per_sec : float;
+  requests_per_file : float;
+}
+
+let mk_result ~phase ~nfiles ~file_bytes measure =
+  let seconds = measure.Env.seconds in
+  let per_sec x = if seconds <= 0.0 then 0.0 else x /. seconds in
+  {
+    phase;
+    nfiles;
+    file_bytes;
+    measure;
+    files_per_sec = per_sec (float_of_int nfiles);
+    kb_per_sec = per_sec (float_of_int (nfiles * file_bytes) /. 1024.0);
+    requests_per_file = float_of_int measure.Env.requests /. float_of_int nfiles;
+  }
+
+let file_path ~files_per_dir i =
+  Printf.sprintf "/smallfile/d%03d/f%05d" (i / files_per_dir) i
+
+let run ?(nfiles = 10000) ?(file_bytes = 1024) ?(files_per_dir = 100)
+    ?(prng_seed = 7) (env : Env.t) =
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  let prng = Cffs_util.Prng.create prng_seed in
+  let payload = Cffs_util.Prng.bytes prng file_bytes in
+  let op () = Blockdev.advance env.Env.dev env.Env.cpu_per_op in
+  let fail phase e =
+    failwith
+      (Printf.sprintf "smallfile %s on %s: %s" (phase_name phase) (F.label fs)
+         (Errno.to_string e))
+  in
+  let check phase = function Ok _ -> () | Error e -> fail phase e in
+  (* Directory skeleton is built before measurement starts. *)
+  let ndirs = (nfiles + files_per_dir - 1) / files_per_dir in
+  check Create (F.mkdir fs "/smallfile");
+  for d = 0 to ndirs - 1 do
+    check Create (F.mkdir fs (Printf.sprintf "/smallfile/d%03d" d))
+  done;
+  F.sync fs;
+  let results = ref [] in
+  let phase_run phase f =
+    let m =
+      Env.measured env (fun () ->
+          f ();
+          op ();
+          F.sync fs)
+    in
+    results := mk_result ~phase ~nfiles ~file_bytes m :: !results
+  in
+  phase_run Create (fun () ->
+      for i = 0 to nfiles - 1 do
+        op ();
+        check Create (F.write_file fs (file_path ~files_per_dir i) payload)
+      done);
+  (* Cold cache for reads, as in the paper. *)
+  F.remount fs;
+  phase_run Read (fun () ->
+      for i = 0 to nfiles - 1 do
+        op ();
+        check Read (F.read_file fs (file_path ~files_per_dir i))
+      done);
+  phase_run Overwrite (fun () ->
+      for i = 0 to nfiles - 1 do
+        op ();
+        (* In-place overwrite: no truncate, same blocks. *)
+        check Overwrite (F.write fs (file_path ~files_per_dir i) ~off:0 payload)
+      done);
+  phase_run Delete (fun () ->
+      for i = 0 to nfiles - 1 do
+        op ();
+        check Delete (F.unlink fs (file_path ~files_per_dir i))
+      done);
+  List.rev !results

@@ -1,0 +1,32 @@
+(** The LFS small-file micro-benchmark ([Rosenblum92]), as used in the
+    paper's §4.2: create and write N small files, read them back in the same
+    order from a cold cache, overwrite them in place, then remove them.  All
+    dirty blocks are forced back to disk before each phase's measurement
+    completes, as in the paper. *)
+
+type phase = Create | Read | Overwrite | Delete
+
+val phase_name : phase -> string
+val phases : phase list
+
+type result = {
+  phase : phase;
+  nfiles : int;
+  file_bytes : int;
+  measure : Env.measure;
+  files_per_sec : float;
+  kb_per_sec : float;  (** useful payload per second *)
+  requests_per_file : float;
+}
+
+val run :
+  ?nfiles:int ->
+  ?file_bytes:int ->
+  ?files_per_dir:int ->
+  ?prng_seed:int ->
+  Env.t ->
+  result list
+(** Defaults: 10000 files of 1 KB, 100 files per directory (the benchmark's
+    classic shape).  Directories are created under [/smallfile] before
+    measurement starts.  The cache is dropped (remount) between the create
+    and read phases so reads are cold. *)

@@ -1,0 +1,210 @@
+module Fs_intf = Cffs_vfs.Fs_intf
+module Errno = Cffs_vfs.Errno
+module Blockdev = Cffs_blockdev.Blockdev
+module Prng = Cffs_util.Prng
+
+type op =
+  | T_mkdir of string
+  | T_create of string
+  | T_write_file of string * int
+  | T_write of string * int * int
+  | T_read_file of string
+  | T_read of string * int * int
+  | T_unlink of string
+  | T_rmdir of string
+  | T_rename of string * string
+  | T_link of string * string
+  | T_truncate of string * int
+  | T_sync
+
+type t = op list
+
+let op_to_string = function
+  | T_mkdir p -> Printf.sprintf "mkdir %s" p
+  | T_create p -> Printf.sprintf "create %s" p
+  | T_write_file (p, n) -> Printf.sprintf "write_file %s %d" p n
+  | T_write (p, off, n) -> Printf.sprintf "write %s %d %d" p off n
+  | T_read_file p -> Printf.sprintf "read_file %s" p
+  | T_read (p, off, n) -> Printf.sprintf "read %s %d %d" p off n
+  | T_unlink p -> Printf.sprintf "unlink %s" p
+  | T_rmdir p -> Printf.sprintf "rmdir %s" p
+  | T_rename (a, b) -> Printf.sprintf "rename %s %s" a b
+  | T_link (a, b) -> Printf.sprintf "link %s %s" a b
+  | T_truncate (p, n) -> Printf.sprintf "truncate %s %d" p n
+  | T_sync -> "sync"
+
+let op_of_string line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "mkdir"; p ] -> Some (T_mkdir p)
+  | [ "create"; p ] -> Some (T_create p)
+  | [ "write_file"; p; n ] -> Option.map (fun n -> T_write_file (p, n)) (int_of_string_opt n)
+  | [ "write"; p; off; n ] -> begin
+      match (int_of_string_opt off, int_of_string_opt n) with
+      | Some off, Some n -> Some (T_write (p, off, n))
+      | _ -> None
+    end
+  | [ "read_file"; p ] -> Some (T_read_file p)
+  | [ "read"; p; off; n ] -> begin
+      match (int_of_string_opt off, int_of_string_opt n) with
+      | Some off, Some n -> Some (T_read (p, off, n))
+      | _ -> None
+    end
+  | [ "unlink"; p ] -> Some (T_unlink p)
+  | [ "rmdir"; p ] -> Some (T_rmdir p)
+  | [ "rename"; a; b ] -> Some (T_rename (a, b))
+  | [ "link"; a; b ] -> Some (T_link (a, b))
+  | [ "truncate"; p; n ] -> Option.map (fun n -> T_truncate (p, n)) (int_of_string_opt n)
+  | [ "sync" ] -> Some T_sync
+  | _ -> None
+
+let save trace path =
+  let oc = open_out path in
+  List.iter (fun op -> output_string oc (op_to_string op ^ "\n")) trace;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | "" -> loop acc
+    | line -> begin
+        match op_of_string line with
+        | Some op -> loop (op :: acc)
+        | None ->
+            close_in_noerr ic;
+            failwith ("Trace.load: bad line: " ^ line)
+      end
+  in
+  let trace = loop [] in
+  close_in ic;
+  trace
+
+(* Deterministic payload for (path, length): replay is reproducible without
+   storing data in the trace. *)
+let payload path n = Prng.bytes (Prng.create (Hashtbl.hash path)) n
+
+type outcome = { ops : int; failed : int; measure : Env.measure }
+
+let replay (env : Env.t) trace =
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  let failed = ref 0 in
+  let count r = match r with Ok _ -> () | Error _ -> incr failed in
+  let measure =
+    Env.measured env (fun () ->
+        List.iter
+          (fun op ->
+            Blockdev.advance env.Env.dev env.Env.cpu_per_op;
+            match op with
+            | T_mkdir p -> count (F.mkdir fs p)
+            | T_create p -> count (F.create fs p)
+            | T_write_file (p, n) -> count (F.write_file fs p (payload p n))
+            | T_write (p, off, n) -> count (F.write fs p ~off (payload p n))
+            | T_read_file p -> count (F.read_file fs p)
+            | T_read (p, off, n) -> count (F.read fs p ~off ~len:n)
+            | T_unlink p -> count (F.unlink fs p)
+            | T_rmdir p -> count (F.rmdir fs p)
+            | T_rename (a, b) -> count (F.rename_path fs ~src:a ~dst:b)
+            | T_link (a, b) -> count (F.link fs ~existing:a ~target:b)
+            | T_truncate (p, n) -> count (F.truncate fs p n)
+            | T_sync -> F.sync fs)
+          trace)
+  in
+  { ops = List.length trace; failed = !failed; measure }
+
+module Recorder (F : Cffs_vfs.Fs_intf.S) = struct
+  include F
+
+  let buffer : op list ref = ref []
+  let recorded () = List.rev !buffer
+  let reset () = buffer := []
+  let note op = buffer := op :: !buffer
+
+  let mkdir fs p =
+    note (T_mkdir p);
+    F.mkdir fs p
+
+  let create fs p =
+    note (T_create p);
+    F.create fs p
+
+  let write_file fs p data =
+    note (T_write_file (p, Bytes.length data));
+    F.write_file fs p data
+
+  let write fs p ~off data =
+    note (T_write (p, off, Bytes.length data));
+    F.write fs p ~off data
+
+  let read_file fs p =
+    note (T_read_file p);
+    F.read_file fs p
+
+  let read fs p ~off ~len =
+    note (T_read (p, off, len));
+    F.read fs p ~off ~len
+
+  let unlink fs p =
+    note (T_unlink p);
+    F.unlink fs p
+
+  let rmdir fs p =
+    note (T_rmdir p);
+    F.rmdir fs p
+
+  let rename_path fs ~src ~dst =
+    note (T_rename (src, dst));
+    F.rename_path fs ~src ~dst
+
+  let link fs ~existing ~target =
+    note (T_link (existing, target));
+    F.link fs ~existing ~target
+
+  let truncate fs p n =
+    note (T_truncate (p, n));
+    F.truncate fs p n
+
+  let sync fs =
+    note T_sync;
+    F.sync fs
+end
+
+let synthesize ?(ops = 1000) ?(dirs = 8) ?(sizes = Sizes.paper_1996) ~seed () =
+  let prng = Prng.create seed in
+  let dir i = Printf.sprintf "/t%02d" (i mod dirs) in
+  let live = ref [] in
+  let nlive = ref 0 in
+  let next = ref 0 in
+  let trace = ref [] in
+  let emit op = trace := op :: !trace in
+  for d = 0 to dirs - 1 do
+    emit (T_mkdir (dir d))
+  done;
+  for _ = 1 to ops do
+    let r = Prng.int prng 100 in
+    if r < 40 || !nlive = 0 then begin
+      let p = Printf.sprintf "%s/f%06d" (dir (Prng.int prng dirs)) !next in
+      incr next;
+      emit (T_write_file (p, sizes.Sizes.sample prng));
+      live := p :: !live;
+      incr nlive
+    end
+    else begin
+      let victim = List.nth !live (Prng.int prng !nlive) in
+      if r < 70 then emit (T_read_file victim)
+      else if r < 80 then emit (T_write_file (victim, sizes.Sizes.sample prng))
+      else if r < 90 then begin
+        emit (T_unlink victim);
+        live := List.filter (fun p -> p <> victim) !live;
+        decr nlive
+      end
+      else begin
+        let p = Printf.sprintf "%s/r%06d" (dir (Prng.int prng dirs)) !next in
+        incr next;
+        emit (T_rename (victim, p));
+        live := p :: List.filter (fun q -> q <> victim) !live
+      end
+    end
+  done;
+  emit T_sync;
+  List.rev !trace

@@ -1,0 +1,65 @@
+(** Operation traces: record, save, load and replay file-system operation
+    streams.
+
+    The paper's motivation leans on trace studies ([Ousterhout85],
+    [Baker91]); this module gives the repository the same methodology:
+    capture the operation stream an application makes (or synthesize one),
+    persist it as a text file, and replay it against any configuration for
+    an apples-to-apples comparison.
+
+    Traces record operation shapes (paths, offsets, lengths), not payload
+    bytes — like classical file-system traces.  Replay materialises
+    deterministic payloads from the path and length. *)
+
+type op =
+  | T_mkdir of string
+  | T_create of string
+  | T_write_file of string * int  (** path, length *)
+  | T_write of string * int * int  (** path, offset, length *)
+  | T_read_file of string
+  | T_read of string * int * int
+  | T_unlink of string
+  | T_rmdir of string
+  | T_rename of string * string
+  | T_link of string * string
+  | T_truncate of string * int
+  | T_sync
+
+type t = op list
+
+val op_to_string : op -> string
+val op_of_string : string -> op option
+
+val save : t -> string -> unit
+(** One operation per line. *)
+
+val load : string -> t
+(** Raises [Failure] on an unparsable line. *)
+
+type outcome = {
+  ops : int;
+  failed : int;  (** operations the file system rejected *)
+  measure : Env.measure;
+}
+
+val replay : Env.t -> t -> outcome
+(** Apply every operation in order, charging the environment's CPU cost per
+    operation; errors are counted, not fatal (a trace may legitimately
+    contain failing operations). *)
+
+(** Wrap a file system so that every operation performed through the wrapper
+    is appended to a trace buffer. *)
+module Recorder (F : Cffs_vfs.Fs_intf.S) : sig
+  include Cffs_vfs.Fs_intf.S with type t = F.t
+
+  val recorded : unit -> op list
+  (** Operations recorded so far (oldest first). *)
+
+  val reset : unit -> unit
+end
+
+val synthesize :
+  ?ops:int -> ?dirs:int -> ?sizes:Sizes.t -> seed:int -> unit -> t
+(** A random but deterministic mixed workload (creates, reads, overwrites,
+    deletes, renames) over a directory tree — raw material for replay
+    experiments. *)

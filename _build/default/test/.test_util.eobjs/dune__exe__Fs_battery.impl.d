@@ -1,0 +1,1 @@
+test/fs_battery.ml: Alcotest Bytes Cffs_util Cffs_vfs Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Array Bytes Cffs_blockdev Cffs_disk Cffs_util Char Hashtbl List QCheck QCheck_alcotest

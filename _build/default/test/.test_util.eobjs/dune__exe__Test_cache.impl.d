@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bytes Cffs_blockdev Cffs_cache Cffs_disk Char List

@@ -1,0 +1,1 @@
+test/test_cffs.ml: Alcotest Buffer Bytes Cffs Cffs_blockdev Cffs_cache Cffs_disk Cffs_vfs Cffs_workload Digest Ffs Fs_battery Hashtbl List Printf QCheck QCheck_alcotest String

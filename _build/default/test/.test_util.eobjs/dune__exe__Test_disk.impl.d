@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Cffs_disk Cffs_util Float Gen List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ffs.ml: Alcotest Bytes Cffs_blockdev Cffs_cache Cffs_vfs Ffs Fs_battery List Option Printf

@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Bytes Cffs Cffs_blockdev Cffs_cache Cffs_disk Cffs_fsck Cffs_util Cffs_vfs Cffs_workload Ffs Format List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Cffs Cffs_cache Cffs_harness Cffs_util Cffs_workload List Printf String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Cffs_util Char Float Fun Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Array Bytes Cffs_blockdev Cffs_cache Cffs_util Cffs_vfs Gen Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes Cffs Cffs_blockdev Cffs_cache Cffs_disk Cffs_util Cffs_vfs Cffs_workload Filename List Printf Sys

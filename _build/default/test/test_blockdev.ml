@@ -1,0 +1,169 @@
+(* Tests for the block-device layer: both the untimed memory backend and the
+   drive-backed backend, batched writes and crash images. *)
+
+module Blockdev = Cffs_blockdev.Blockdev
+module Drive = Cffs_disk.Drive
+module Profile = Cffs_disk.Profile
+module Request = Cffs_disk.Request
+module Prng = Cffs_util.Prng
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let mem () = Blockdev.memory ~block_size:4096 ~nblocks:1024
+let timed () = Blockdev.of_drive (Drive.create Profile.seagate_st31200) ~block_size:4096
+
+let block c = Bytes.make 4096 c
+
+let test_mem_roundtrip () =
+  let dev = mem () in
+  Blockdev.write dev 5 (block 'x');
+  check Alcotest.bytes "read back" (block 'x') (Blockdev.read dev 5 1);
+  check Alcotest.bytes "unwritten is zero" (block '\000') (Blockdev.read dev 6 1)
+
+let test_mem_multi_block () =
+  let dev = mem () in
+  let data = Bytes.concat Bytes.empty [ block 'a'; block 'b'; block 'c' ] in
+  Blockdev.write dev 10 data;
+  check Alcotest.bytes "read 3" data (Blockdev.read dev 10 3);
+  check Alcotest.bytes "middle" (block 'b') (Blockdev.read dev 11 1)
+
+let test_bounds () =
+  let dev = mem () in
+  let reject f = try f (); false with Invalid_argument _ -> true in
+  check Alcotest.bool "read past end" true (reject (fun () -> ignore (Blockdev.read dev 1023 2)));
+  check Alcotest.bool "negative" true (reject (fun () -> ignore (Blockdev.read dev (-1) 1)));
+  check Alcotest.bool "partial block write" true
+    (reject (fun () -> Blockdev.write dev 0 (Bytes.make 100 'x')))
+
+let test_mem_time_is_zero () =
+  let dev = mem () in
+  Blockdev.write dev 0 (block 'x');
+  ignore (Blockdev.read dev 0 1);
+  check (Alcotest.float 0.0) "clock still 0" 0.0 (Blockdev.now dev);
+  Blockdev.advance dev 2.0;
+  check (Alcotest.float 0.0) "advance works" 2.0 (Blockdev.now dev)
+
+let test_timed_advances_clock () =
+  let dev = timed () in
+  let t0 = Blockdev.now dev in
+  ignore (Blockdev.read dev 500 1);
+  check Alcotest.bool "time passed" true (Blockdev.now dev > t0);
+  check Alcotest.int "stat recorded" 1 (Blockdev.stats dev).Request.Stats.reads
+
+let test_write_batch_counts () =
+  let dev = timed () in
+  Blockdev.write_batch dev [ (1, block 'a'); (2, block 'b'); (3, block 'c') ];
+  (* No clustering in write_batch: one request per block. *)
+  check Alcotest.int "3 requests" 3 (Blockdev.stats dev).Request.Stats.writes;
+  check Alcotest.bytes "stored" (block 'b') (Blockdev.read dev 2 1)
+
+let test_write_batch_units_single_request () =
+  let dev = timed () in
+  Blockdev.write_batch_units dev [ (10, [ block 'a'; block 'b'; block 'c' ]) ];
+  check Alcotest.int "1 request" 1 (Blockdev.stats dev).Request.Stats.writes;
+  check Alcotest.int "24 sectors" 24 (Blockdev.stats dev).Request.Stats.write_sectors;
+  check Alcotest.bytes "unit stored" (block 'c') (Blockdev.read dev 12 1)
+
+let test_snapshot_restore () =
+  let dev = mem () in
+  Blockdev.write dev 1 (block 'a');
+  let img = Blockdev.snapshot dev in
+  check Alcotest.int "one block in image" 1 (Blockdev.blocks_written img);
+  Blockdev.write dev 1 (block 'b');
+  Blockdev.write dev 2 (block 'c');
+  Blockdev.restore dev img;
+  check Alcotest.bytes "block 1 restored" (block 'a') (Blockdev.read dev 1 1);
+  check Alcotest.bytes "block 2 gone" (block '\000') (Blockdev.read dev 2 1)
+
+let test_snapshot_isolated () =
+  let dev = mem () in
+  Blockdev.write dev 1 (block 'a');
+  let img = Blockdev.snapshot dev in
+  Blockdev.write dev 1 (block 'z');
+  Blockdev.restore dev img;
+  check Alcotest.bytes "snapshot deep-copied" (block 'a') (Blockdev.read dev 1 1)
+
+let test_corrupt_block () =
+  let dev = mem () in
+  Blockdev.write dev 3 (block 'a');
+  Blockdev.corrupt_block dev 3 (Prng.create 1);
+  check Alcotest.bool "changed" true (Blockdev.read dev 3 1 <> block 'a')
+
+let qcheck_store_model =
+  qtest "blockdev: random writes then reads agree with a model"
+    QCheck.(list (pair (int_bound 63) (int_bound 255)))
+    (fun writes ->
+      let dev = mem () in
+      let model = Array.make 64 (block '\000') in
+      List.iter
+        (fun (blk, v) ->
+          let b = block (Char.chr v) in
+          Blockdev.write dev blk b;
+          model.(blk) <- b)
+        writes;
+      let ok = ref true in
+      Array.iteri (fun i expect -> if Blockdev.read dev i 1 <> expect then ok := false) model;
+      !ok)
+
+let test_clook_batch_cheaper_than_fcfs () =
+  (* The scheduler matters: a scattered batch serviced in C-LOOK order takes
+     less simulated time than the same batch first-come-first-served. *)
+  let run policy =
+    let dev =
+      Blockdev.of_drive ~policy (Drive.create Profile.seagate_st31200) ~block_size:4096
+    in
+    let prng = Prng.create 9 in
+    let batch =
+      List.init 200 (fun i ->
+          ignore i;
+          (Prng.int prng (Blockdev.nblocks dev), block 'x'))
+    in
+    (* Deduplicate blocks to keep the batch well-formed. *)
+    let seen = Hashtbl.create 64 in
+    let batch =
+      List.filter
+        (fun (b, _) ->
+          if Hashtbl.mem seen b then false
+          else begin
+            Hashtbl.add seen b ();
+            true
+          end)
+        batch
+    in
+    Blockdev.write_batch dev batch;
+    Blockdev.now dev
+  in
+  let fcfs = run Cffs_disk.Scheduler.Fcfs in
+  let clook = run Cffs_disk.Scheduler.Clook in
+  check Alcotest.bool "C-LOOK at least 1.5x faster" true (clook *. 1.5 < fcfs)
+
+let () =
+  Alcotest.run "cffs_blockdev"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_mem_roundtrip;
+          Alcotest.test_case "multi-block" `Quick test_mem_multi_block;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "zero time" `Quick test_mem_time_is_zero;
+          qcheck_store_model;
+        ] );
+      ( "timed",
+        [
+          Alcotest.test_case "clock advances" `Quick test_timed_advances_clock;
+          Alcotest.test_case "write_batch one request per block" `Quick
+            test_write_batch_counts;
+          Alcotest.test_case "write_batch_units one request per unit" `Quick
+            test_write_batch_units_single_request;
+          Alcotest.test_case "C-LOOK beats FCFS on scattered batch" `Quick
+            test_clook_batch_cheaper_than_fcfs;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolated;
+          Alcotest.test_case "corrupt block" `Quick test_corrupt_block;
+        ] );
+    ]

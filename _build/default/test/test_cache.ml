@@ -1,0 +1,294 @@
+(* Tests for the dual-indexed buffer cache: physical/logical lookup, write
+   policies, flush clustering, eviction and crash behaviour. *)
+
+module Cache = Cffs_cache.Cache
+module Blockdev = Cffs_blockdev.Blockdev
+module Drive = Cffs_disk.Drive
+module Profile = Cffs_disk.Profile
+module Request = Cffs_disk.Request
+
+let check = Alcotest.check
+
+let block c = Bytes.make 4096 c
+
+let mem_cache ?policy ?(capacity = 64) () =
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:4096 in
+  (Cache.create ?policy dev ~capacity_blocks:capacity, dev)
+
+let timed_cache ?policy ?(capacity = 64) () =
+  let dev = Blockdev.of_drive (Drive.create Profile.seagate_st31200) ~block_size:4096 in
+  (Cache.create ?policy dev ~capacity_blocks:capacity, dev)
+
+let same_file_clusterer ~prev ~next =
+  match (snd prev, snd next) with
+  | Some (i1, l1), Some (i2, l2) -> i1 = i2 && l2 = l1 + 1
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+
+let test_read_through () =
+  let c, dev = mem_cache () in
+  Blockdev.write dev 7 (block 'x');
+  check Alcotest.bytes "reads device" (block 'x') (Cache.read c 7);
+  check Alcotest.int "one miss" 1 (Cache.stats c).Cache.misses;
+  ignore (Cache.read c 7);
+  check Alcotest.int "then a hit" 1 (Cache.stats c).Cache.phys_hits
+
+let test_write_policies () =
+  (* Sync_metadata: Meta goes to the device now, Data waits for flush. *)
+  let c, dev = mem_cache ~policy:Cache.Sync_metadata () in
+  Cache.write c ~kind:`Meta 1 (block 'm');
+  Cache.write c ~kind:`Data 2 (block 'd');
+  check Alcotest.bytes "meta on device" (block 'm') (Blockdev.read dev 1 1);
+  check Alcotest.bytes "data not yet" (block '\000') (Blockdev.read dev 2 1);
+  check Alcotest.int "dirty count" 1 (Cache.dirty_count c);
+  Cache.flush c;
+  check Alcotest.bytes "data after flush" (block 'd') (Blockdev.read dev 2 1);
+  check Alcotest.int "clean after flush" 0 (Cache.dirty_count c)
+
+let test_policy_delayed () =
+  let c, dev = mem_cache ~policy:Cache.Delayed () in
+  Cache.write c ~kind:`Meta 1 (block 'm');
+  check Alcotest.bytes "meta also delayed" (block '\000') (Blockdev.read dev 1 1);
+  check Alcotest.int "sync writes" 0 (Cache.stats c).Cache.sync_writes;
+  Cache.flush c;
+  check Alcotest.bytes "after flush" (block 'm') (Blockdev.read dev 1 1)
+
+let test_policy_write_through () =
+  let c, dev = mem_cache ~policy:Cache.Write_through () in
+  Cache.write c ~kind:`Data 1 (block 'd');
+  check Alcotest.bytes "data immediate" (block 'd') (Blockdev.read dev 1 1);
+  check Alcotest.int "no dirty" 0 (Cache.dirty_count c)
+
+let test_logical_index () =
+  let c, dev = mem_cache () in
+  Blockdev.write dev 9 (block 'z');
+  check (Alcotest.option Alcotest.bytes) "miss before" None
+    (Cache.find_logical c ~ino:5 ~lblk:0);
+  ignore (Cache.read c 9);
+  Cache.set_logical c 9 ~ino:5 ~lblk:0;
+  check (Alcotest.option Alcotest.bytes) "hit after attach" (Some (block 'z'))
+    (Cache.find_logical c ~ino:5 ~lblk:0);
+  check Alcotest.int "logical hit counted" 1 (Cache.stats c).Cache.logical_hits;
+  Cache.drop_logical c ~ino:5 ~lblk:0;
+  check (Alcotest.option Alcotest.bytes) "gone after drop" None
+    (Cache.find_logical c ~ino:5 ~lblk:0)
+
+let test_logical_moves () =
+  let c, dev = mem_cache () in
+  Blockdev.write dev 1 (block 'a');
+  Blockdev.write dev 2 (block 'b');
+  ignore (Cache.read c 1);
+  ignore (Cache.read c 2);
+  Cache.set_logical c 1 ~ino:5 ~lblk:0;
+  Cache.set_logical c 2 ~ino:5 ~lblk:0;
+  (* The identity moved to block 2. *)
+  check (Alcotest.option Alcotest.bytes) "newest wins" (Some (block 'b'))
+    (Cache.find_logical c ~ino:5 ~lblk:0)
+
+let test_set_logical_nonresident () =
+  let c, _ = mem_cache () in
+  Cache.set_logical c 42 ~ino:1 ~lblk:1;
+  check (Alcotest.option Alcotest.bytes) "no-op for non-resident" None
+    (Cache.find_logical c ~ino:1 ~lblk:1)
+
+let test_read_group () =
+  let c, dev = timed_cache () in
+  Cache.read_group c 100 16;
+  check Alcotest.int "single request" 1 (Blockdev.stats dev).Request.Stats.reads;
+  (* Every block now resident: physical reads are hits, no new requests. *)
+  for i = 0 to 15 do
+    ignore (Cache.read c (100 + i))
+  done;
+  check Alcotest.int "still one request" 1 (Blockdev.stats dev).Request.Stats.reads;
+  (* Re-reading a fully resident group is free. *)
+  Cache.read_group c 100 16;
+  check Alcotest.int "no extra request" 1 (Blockdev.stats dev).Request.Stats.reads
+
+let test_read_group_preserves_dirty () =
+  let c, dev = mem_cache ~policy:Cache.Delayed () in
+  Blockdev.write dev 101 (block 'o');
+  Cache.write c ~kind:`Data 101 (block 'n');
+  Cache.read_group c 100 4;
+  check Alcotest.bytes "dirty block kept" (block 'n') (Cache.read c 101);
+  Cache.flush c;
+  check Alcotest.bytes "flushed version" (block 'n') (Blockdev.read dev 101 1)
+
+let test_flush_clustering () =
+  let c, dev = timed_cache ~policy:Cache.Delayed () in
+  Cache.set_clusterer c same_file_clusterer;
+  (* Ten adjacent blocks of one file + one unrelated metadata block. *)
+  for i = 0 to 9 do
+    Cache.write c ~kind:`Data (200 + i) (block 'f');
+    Cache.set_logical c (200 + i) ~ino:7 ~lblk:i
+  done;
+  Cache.write c ~kind:`Data 210 (block 'm');
+  Cache.flush c;
+  (* One clustered unit + one singleton. *)
+  check Alcotest.int "two requests" 2 (Blockdev.stats dev).Request.Stats.writes
+
+let test_flush_no_clusterer_is_per_block () =
+  let c, dev = timed_cache ~policy:Cache.Delayed () in
+  for i = 0 to 9 do
+    Cache.write c ~kind:`Data (200 + i) (block 'f')
+  done;
+  Cache.flush c;
+  check Alcotest.int "ten requests" 10 (Blockdev.stats dev).Request.Stats.writes
+
+let test_flush_limit () =
+  let c, dev = mem_cache ~policy:Cache.Delayed () in
+  for i = 0 to 9 do
+    Cache.write c ~kind:`Data i (block 'x')
+  done;
+  let n = Cache.flush_limit c 4 in
+  check Alcotest.int "four written" 4 n;
+  check Alcotest.int "six remain dirty" 6 (Cache.dirty_count c);
+  ignore dev
+
+let test_eviction_writes_back () =
+  let c, dev = mem_cache ~policy:Cache.Delayed ~capacity:8 () in
+  for i = 0 to 15 do
+    Cache.write c ~kind:`Data i (block (Char.chr (65 + i)))
+  done;
+  (* Capacity 8 < 16 dirty blocks: evictions must have flushed data. *)
+  check Alcotest.bool "evictions happened" true ((Cache.stats c).Cache.evictions > 0);
+  Cache.flush c;
+  for i = 0 to 15 do
+    check Alcotest.bytes "content preserved"
+      (block (Char.chr (65 + i)))
+      (Blockdev.read dev i 1)
+  done
+
+let test_remount_cold () =
+  let c, _ = mem_cache ~policy:Cache.Delayed () in
+  Cache.write c ~kind:`Data 3 (block 'p');
+  Cache.set_logical c 3 ~ino:1 ~lblk:0;
+  Cache.remount c;
+  check Alcotest.int "nothing resident" 0 (Cache.resident c);
+  check (Alcotest.option Alcotest.bytes) "logical gone" None
+    (Cache.find_logical c ~ino:1 ~lblk:0);
+  (* But the data was flushed first. *)
+  check Alcotest.bytes "persisted" (block 'p') (Cache.read c 3)
+
+let test_crash_loses_dirty () =
+  let c, dev = mem_cache ~policy:Cache.Delayed () in
+  Cache.write c ~kind:`Data 3 (block 'p');
+  Cache.crash c;
+  check Alcotest.bytes "dirty data lost" (block '\000') (Blockdev.read dev 3 1);
+  check Alcotest.int "cache empty" 0 (Cache.resident c)
+
+let test_invalidate () =
+  let c, dev = mem_cache ~policy:Cache.Delayed () in
+  Cache.write c ~kind:`Data 3 (block 'p');
+  Cache.set_logical c 3 ~ino:1 ~lblk:0;
+  Cache.invalidate c 3;
+  Cache.flush c;
+  check Alcotest.bytes "never written" (block '\000') (Blockdev.read dev 3 1);
+  check (Alcotest.option Alcotest.bytes) "identity dropped" None
+    (Cache.find_logical c ~ino:1 ~lblk:0)
+
+(* ------------------------------------------------------------------ *)
+(* Soft updates: dependency-ordered write-back *)
+
+let test_soft_updates_order () =
+  let c, dev = mem_cache ~policy:Cache.Soft_updates () in
+  Cache.write c ~kind:`Meta 10 (block 'i');
+  Cache.write c ~kind:`Meta 20 (block 'd');
+  (* Block 10 (the inode) must reach the device before block 20 (the
+     dirent). *)
+  Cache.order c ~first:10 ~second:20;
+  (* A one-block partial flush must pick the prerequisite. *)
+  check Alcotest.int "one written" 1 (Cache.flush_limit c 1);
+  check Alcotest.bytes "prerequisite first" (block 'i') (Blockdev.read dev 10 1);
+  check Alcotest.bytes "dependent still unwritten" (block '\000') (Blockdev.read dev 20 1);
+  Cache.flush c;
+  check Alcotest.bytes "dependent after" (block 'd') (Blockdev.read dev 20 1)
+
+let test_soft_updates_chain () =
+  let c, dev = mem_cache ~policy:Cache.Soft_updates () in
+  List.iter (fun i -> Cache.write c ~kind:`Meta i (block (Char.chr (65 + i)))) [ 1; 2; 3 ];
+  Cache.order c ~first:1 ~second:2;
+  Cache.order c ~first:2 ~second:3;
+  check Alcotest.int "first wave" 1 (Cache.flush_limit c 1);
+  check Alcotest.bytes "1 first" (block 'B') (Blockdev.read dev 1 1);
+  check Alcotest.int "second wave" 1 (Cache.flush_limit c 1);
+  check Alcotest.bytes "2 second" (block 'C') (Blockdev.read dev 2 1);
+  check Alcotest.bytes "3 waits" (block '\000') (Blockdev.read dev 3 1)
+
+let test_soft_updates_cycle_broken () =
+  let c, dev = mem_cache ~policy:Cache.Soft_updates () in
+  Cache.write c ~kind:`Meta 1 (block 'a');
+  Cache.write c ~kind:`Meta 2 (block 'b');
+  Cache.order c ~first:1 ~second:2;
+  (* The reverse edge would complete a cycle: block 2 is written out
+     immediately instead. *)
+  Cache.order c ~first:2 ~second:1;
+  check Alcotest.bytes "cycle broken by early write" (block 'b') (Blockdev.read dev 2 1);
+  Cache.flush c;
+  check Alcotest.bytes "rest flushed" (block 'a') (Blockdev.read dev 1 1)
+
+let test_soft_updates_full_flush_waves () =
+  let c, dev = timed_cache ~policy:Cache.Soft_updates () in
+  Cache.write c ~kind:`Meta 10 (block 'i');
+  Cache.write c ~kind:`Meta 20 (block 'd');
+  Cache.order c ~first:10 ~second:20;
+  Cache.flush c;
+  (* Two waves = two separate requests even though both blocks were dirty. *)
+  check Alcotest.int "two requests" 2 (Blockdev.stats dev).Request.Stats.writes;
+  check Alcotest.bytes "both there" (block 'd') (Blockdev.read dev 20 1)
+
+let test_soft_updates_noop_for_other_policies () =
+  let c, dev = mem_cache ~policy:Cache.Delayed () in
+  Cache.write c ~kind:`Meta 1 (block 'a');
+  Cache.write c ~kind:`Meta 2 (block 'b');
+  Cache.order c ~first:2 ~second:1;
+  Cache.order c ~first:1 ~second:2;
+  (* No early writes happened. *)
+  check Alcotest.bytes "still delayed" (block '\000') (Blockdev.read dev 2 1);
+  Cache.flush c
+
+let () =
+  Alcotest.run "cffs_cache"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "read-through" `Quick test_read_through;
+          Alcotest.test_case "sync-metadata policy" `Quick test_write_policies;
+          Alcotest.test_case "delayed policy" `Quick test_policy_delayed;
+          Alcotest.test_case "write-through policy" `Quick test_policy_write_through;
+        ] );
+      ( "logical index",
+        [
+          Alcotest.test_case "attach/lookup/drop" `Quick test_logical_index;
+          Alcotest.test_case "identity moves" `Quick test_logical_moves;
+          Alcotest.test_case "non-resident attach" `Quick test_set_logical_nonresident;
+        ] );
+      ( "groups",
+        [
+          Alcotest.test_case "read_group single request" `Quick test_read_group;
+          Alcotest.test_case "read_group preserves dirty" `Quick
+            test_read_group_preserves_dirty;
+        ] );
+      ( "flush",
+        [
+          Alcotest.test_case "clusterer forms units" `Quick test_flush_clustering;
+          Alcotest.test_case "default is per-block" `Quick
+            test_flush_no_clusterer_is_per_block;
+          Alcotest.test_case "flush_limit" `Quick test_flush_limit;
+        ] );
+      ( "soft updates",
+        [
+          Alcotest.test_case "order respected" `Quick test_soft_updates_order;
+          Alcotest.test_case "chains" `Quick test_soft_updates_chain;
+          Alcotest.test_case "cycle broken" `Quick test_soft_updates_cycle_broken;
+          Alcotest.test_case "flush waves" `Quick test_soft_updates_full_flush_waves;
+          Alcotest.test_case "no-op elsewhere" `Quick test_soft_updates_noop_for_other_policies;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "eviction writes back" `Quick test_eviction_writes_back;
+          Alcotest.test_case "remount" `Quick test_remount_cold;
+          Alcotest.test_case "crash" `Quick test_crash_loses_dirty;
+          Alcotest.test_case "invalidate" `Quick test_invalidate;
+        ] );
+    ]

@@ -1,0 +1,460 @@
+(* C-FFS tests: the shared battery in all four configurations, the chunk
+   directory format, embedded-inode mechanics, external inodes and explicit
+   grouping. *)
+
+module Blockdev = Cffs_blockdev.Blockdev
+module Cache = Cffs_cache.Cache
+module Errno = Cffs_vfs.Errno
+module Fs_intf = Cffs_vfs.Fs_intf
+module Inode = Cffs_vfs.Inode
+module Csb = Cffs.Csb
+module Cdir = Cffs.Cdir
+module Request = Cffs_disk.Request
+
+let check = Alcotest.check
+let ok what = Errno.get_ok what
+
+let fresh config () =
+  Cffs.format ~config (Blockdev.memory ~block_size:4096 ~nblocks:6144)
+
+let fresh_default () = fresh Cffs.config_default ()
+
+module Battery = Fs_battery.Make (Cffs)
+
+(* ------------------------------------------------------------------ *)
+(* Superblock *)
+
+let test_csb_roundtrip () =
+  let sb =
+    Csb.mk ~block_size:4096 ~nblocks:10000 ~cg_size:2048 ~group_blocks:16
+      ~embed_inodes:true ~grouping:false ~group_file_blocks:8 ~readahead_blocks:0
+  in
+  sb.Csb.ext_high <- 5;
+  let b = Bytes.make 4096 '\000' in
+  Csb.encode sb b;
+  match Csb.decode b with
+  | None -> Alcotest.fail "decode failed"
+  | Some sb' ->
+      check Alcotest.bool "embed" true sb'.Csb.embed_inodes;
+      check Alcotest.bool "grouping" false sb'.Csb.grouping;
+      check Alcotest.int "group blocks" 16 sb'.Csb.group_blocks;
+      check Alcotest.int "ext high" 5 sb'.Csb.ext_high;
+      check Alcotest.int "cg count" 4 sb'.Csb.cg_count
+
+let test_csb_bad_magic () =
+  let b = Bytes.make 4096 '\000' in
+  check Alcotest.bool "zeroes do not decode" true (Csb.decode b = None)
+
+(* ------------------------------------------------------------------ *)
+(* Chunk directory format *)
+
+let test_cdir_chunks () =
+  check Alcotest.int "16 chunks per 4K block" 16 (Cdir.chunks_per_block ~block_size:4096)
+
+let test_cdir_embedded_entry () =
+  let b = Bytes.make 4096 '\000' in
+  Cdir.init_block b;
+  check Alcotest.int "empty" 0 (Cdir.live_count b);
+  let inode = Inode.mk Inode.Regular in
+  inode.Inode.size <- 777;
+  Cdir.set_embedded b 3 "hello.txt" inode;
+  check Alcotest.int "one live" 1 (Cdir.live_count b);
+  (match Cdir.find b "hello.txt" with
+  | None -> Alcotest.fail "not found"
+  | Some e ->
+      check Alcotest.int "chunk" 3 e.Cdir.chunk;
+      check Alcotest.bool "embedded" true e.Cdir.embedded);
+  let back = Cdir.read_inode b 3 in
+  check Alcotest.int "inline inode size" 777 back.Inode.size;
+  check (Alcotest.option Alcotest.int) "free chunk skips 3" (Some 0) (Cdir.find_free b);
+  Cdir.clear b 3;
+  check Alcotest.int "cleared" 0 (Cdir.live_count b)
+
+let test_cdir_external_entry () =
+  let b = Bytes.make 4096 '\000' in
+  Cdir.init_block b;
+  Cdir.set_external b 0 "linked" 12345;
+  match Cdir.find b "linked" with
+  | None -> Alcotest.fail "not found"
+  | Some e ->
+      check Alcotest.bool "not embedded" false e.Cdir.embedded;
+      check Alcotest.int "ext ino" 12345 e.Cdir.ext_ino
+
+let test_cdir_name_limit () =
+  let b = Bytes.make 4096 '\000' in
+  Cdir.init_block b;
+  let long = String.make Cdir.max_name 'n' in
+  Cdir.set_embedded b 0 long (Inode.mk Inode.Regular);
+  check Alcotest.bool "max-length name stored" true (Cdir.find b long <> None);
+  check Alcotest.bool "too long rejected" true
+    (try Cdir.set_embedded b 1 (String.make (Cdir.max_name + 1) 'n') (Inode.mk Inode.Regular); false
+     with Invalid_argument _ -> true)
+
+let test_cdir_fills () =
+  let b = Bytes.make 4096 '\000' in
+  Cdir.init_block b;
+  for i = 0 to 15 do
+    Cdir.set_embedded b i (Printf.sprintf "f%02d" i) (Inode.mk Inode.Regular)
+  done;
+  check (Alcotest.option Alcotest.int) "full" None (Cdir.find_free b);
+  check Alcotest.int "16 live" 16 (Cdir.live_count b)
+
+(* ------------------------------------------------------------------ *)
+(* The battery, in all four configurations. *)
+
+let battery_default = Battery.tests fresh_default
+let battery_none = Battery.tests (fresh Cffs.config_ffs_like)
+let battery_ei = Battery.tests (fresh { Cffs.config_default with grouping = false })
+let battery_eg = Battery.tests (fresh { Cffs.config_default with embed_inodes = false })
+
+(* ------------------------------------------------------------------ *)
+(* Embedded-inode mechanics *)
+
+let test_embedded_ino_positions () =
+  let fs = fresh_default () in
+  ok "mk" (Cffs.mkdir fs "/d");
+  ok "w" (Cffs.write_file fs "/d/f" (Bytes.of_string "x"));
+  let ino = ok "resolve" (Cffs.resolve fs "/d/f") in
+  check Alcotest.bool "embedded number" true (Cffs.is_embedded_ino ino);
+  (* The inode is readable directly through its positional number. *)
+  let inode = ok "read_inode" (Cffs.read_inode fs ino) in
+  check Alcotest.int "size via position" 1 inode.Inode.size
+
+let test_root_ino_resident () =
+  let fs = fresh_default () in
+  check Alcotest.int "root is 2" Csb.root_ino (ok "resolve /" (Cffs.resolve fs "/"))
+
+let test_create_single_sync_write () =
+  (* The headline embedded-inode property: creating a file costs ONE
+     synchronous metadata write (name + inode share a sector). *)
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:6144 in
+  let fs = Cffs.format ~config:Cffs.config_default ~policy:Cache.Sync_metadata dev in
+  ok "mk" (Cffs.mkdir fs "/d");
+  ok "warm" (Cffs.write_file fs "/d/warm" (Bytes.make 1024 'x'));
+  let before = (Cache.stats (Cffs.cache fs)).Cache.sync_writes in
+  ok "w" (Cffs.write_file fs "/d/f" (Bytes.make 1024 'x'));
+  let after = (Cache.stats (Cffs.cache fs)).Cache.sync_writes in
+  check Alcotest.int "one sync write per create" 1 (after - before)
+
+let test_external_create_two_sync_writes () =
+  (* Without embedding, create is back to FFS's two ordered writes. *)
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:6144 in
+  let fs = Cffs.format ~config:Cffs.config_ffs_like ~policy:Cache.Sync_metadata dev in
+  ok "mk" (Cffs.mkdir fs "/d");
+  ok "warm" (Cffs.write_file fs "/d/warm" (Bytes.make 1024 'x'));
+  let before = (Cache.stats (Cffs.cache fs)).Cache.sync_writes in
+  ok "w" (Cffs.write_file fs "/d/f" (Bytes.make 1024 'x'));
+  let after = (Cache.stats (Cffs.cache fs)).Cache.sync_writes in
+  check Alcotest.int "two sync writes per create" 2 (after - before)
+
+let test_link_externalizes () =
+  let fs = fresh_default () in
+  ok "w" (Cffs.write_file fs "/f" (Bytes.of_string "data"));
+  let ino_before = ok "resolve" (Cffs.resolve fs "/f") in
+  check Alcotest.bool "embedded at first" true (Cffs.is_embedded_ino ino_before);
+  ok "ln" (Cffs.link fs ~existing:"/f" ~target:"/f2");
+  let ino_after = ok "resolve2" (Cffs.resolve fs "/f") in
+  check Alcotest.bool "externalized" false (Cffs.is_embedded_ino ino_after);
+  check Alcotest.int "both names same ino" ino_after (ok "resolve3" (Cffs.resolve fs "/f2"));
+  check Alcotest.int "nlink 2" 2 (ok "stat" (Cffs.stat fs "/f")).Fs_intf.st_nlink;
+  check Alcotest.bytes "content intact" (Bytes.of_string "data")
+    (ok "read" (Cffs.read_file fs "/f2"))
+
+let test_rename_changes_embedded_ino () =
+  let fs = fresh_default () in
+  ok "w" (Cffs.write_file fs "/f" (Bytes.of_string "moving"));
+  let before = ok "r1" (Cffs.resolve fs "/f") in
+  ok "mk" (Cffs.mkdir fs "/d");
+  ok "mv" (Cffs.rename_path fs ~src:"/f" ~dst:"/d/g");
+  let after = ok "r2" (Cffs.resolve fs "/d/g") in
+  check Alcotest.bool "position changed" true (before <> after);
+  check Alcotest.bytes "content follows" (Bytes.of_string "moving")
+    (ok "read" (Cffs.read_file fs "/d/g"))
+
+let test_external_ino_reuse () =
+  let fs = fresh (Cffs.config_ffs_like) () in
+  ok "w1" (Cffs.write_file fs "/a" (Bytes.of_string "1"));
+  let ino_a = ok "r" (Cffs.resolve fs "/a") in
+  ok "rm" (Cffs.unlink fs "/a");
+  ok "w2" (Cffs.write_file fs "/b" (Bytes.of_string "2"));
+  let ino_b = ok "r2" (Cffs.resolve fs "/b") in
+  check Alcotest.int "slot reused" ino_a ino_b
+
+let test_ext_free_list_survives_remount () =
+  let fs = fresh (Cffs.config_ffs_like) () in
+  for i = 0 to 9 do
+    ok "w" (Cffs.write_file fs (Printf.sprintf "/f%d" i) (Bytes.of_string "x"))
+  done;
+  for i = 0 to 4 do
+    ok "rm" (Cffs.unlink fs (Printf.sprintf "/f%d" i))
+  done;
+  Cffs.remount fs;
+  (* New files reuse the freed slots rather than growing the inode file. *)
+  let high_before = (Cffs.superblock fs).Csb.ext_high in
+  for i = 10 to 14 do
+    ok "w" (Cffs.write_file fs (Printf.sprintf "/f%d" i) (Bytes.of_string "y"))
+  done;
+  check Alcotest.int "ext_high stable" high_before (Cffs.superblock fs).Csb.ext_high
+
+let test_long_name_rejected_when_embedded () =
+  let fs = fresh_default () in
+  let name = "/" ^ String.make 150 'n' in
+  check Alcotest.bool "too long for a chunk" true
+    (Cffs.create fs name = Error Errno.Enametoolong);
+  (* The dense format accepts it. *)
+  let fs2 = fresh (Cffs.config_ffs_like) () in
+  ok "dense accepts" (Cffs.create fs2 name)
+
+(* ------------------------------------------------------------------ *)
+(* Explicit grouping *)
+
+let timed_fs config =
+  let dev =
+    Blockdev.of_drive (Cffs_disk.Drive.create Cffs_disk.Profile.seagate_st31200)
+      ~block_size:4096
+  in
+  (Cffs.format ~config ~policy:Cache.Sync_metadata dev, dev)
+
+let test_small_files_share_frames () =
+  let fs = fresh_default () in
+  ok "mk" (Cffs.mkdir fs "/d");
+  for i = 0 to 15 do
+    ok "w" (Cffs.write_file fs (Printf.sprintf "/d/f%02d" i) (Bytes.make 1024 'x'))
+  done;
+  (* The 16 files' data blocks occupy very few distinct frames. *)
+  let frames = Hashtbl.create 8 in
+  for i = 0 to 15 do
+    let ino = ok "resolve" (Cffs.resolve fs (Printf.sprintf "/d/f%02d" i)) in
+    let inode = ok "inode" (Cffs.read_inode fs ino) in
+    match Cffs_vfs.Bmap.read (Cffs.cache fs) inode 0 with
+    | Ok (Some p) -> begin
+        match Cffs.frame_of_block fs p with
+        | Some f -> Hashtbl.replace frames f ()
+        | None -> Alcotest.fail "block outside any frame"
+      end
+    | _ -> Alcotest.fail "unmapped block"
+  done;
+  check Alcotest.bool "at most 2 frames" true (Hashtbl.length frames <= 2);
+  (* A frame's last block may sit alone with the next directory block, so
+     the quality metric can be a shade under 1. *)
+  check Alcotest.bool "grouped fraction ~1" true (Cffs.grouped_fraction fs >= 0.9)
+
+let test_group_read_single_request () =
+  let fs, dev = timed_fs Cffs.config_default in
+  ok "mk" (Cffs.mkdir fs "/d");
+  for i = 0 to 13 do
+    ok "w" (Cffs.write_file fs (Printf.sprintf "/d/f%02d" i) (Bytes.make 1024 'x'))
+  done;
+  Cffs.remount fs;
+  let before = Request.Stats.copy (Blockdev.stats dev) in
+  for i = 0 to 13 do
+    ignore (ok "r" (Cffs.read_file fs (Printf.sprintf "/d/f%02d" i)))
+  done;
+  let d = Request.Stats.diff (Blockdev.stats dev) before in
+  (* One frame read covers the whole directory's data (plus a directory
+     block read): far fewer requests than files. *)
+  check Alcotest.bool "few requests" true (d.Request.Stats.reads <= 3)
+
+let test_no_group_read_when_disabled () =
+  let fs, dev = timed_fs { Cffs.config_default with grouping = false } in
+  ok "mk" (Cffs.mkdir fs "/d");
+  for i = 0 to 13 do
+    ok "w" (Cffs.write_file fs (Printf.sprintf "/d/f%02d" i) (Bytes.make 1024 'x'))
+  done;
+  Cffs.remount fs;
+  let before = Request.Stats.copy (Blockdev.stats dev) in
+  for i = 0 to 13 do
+    ignore (ok "r" (Cffs.read_file fs (Printf.sprintf "/d/f%02d" i)))
+  done;
+  let d = Request.Stats.diff (Blockdev.stats dev) before in
+  check Alcotest.bool "one request per file" true (d.Request.Stats.reads >= 14)
+
+let test_large_file_not_grouped () =
+  let fs = fresh_default () in
+  ok "mk" (Cffs.mkdir fs "/d");
+  ok "w" (Cffs.write_file fs "/d/big" (Bytes.make (1024 * 1024) 'b'));
+  let ino = ok "resolve" (Cffs.resolve fs "/d/big") in
+  let inode = ok "inode" (Cffs.read_inode fs ino) in
+  (* Beyond the small-file threshold the blocks are laid out contiguously
+     regardless of frames: successive physical blocks. *)
+  let p20 = ok "b20" (Cffs_vfs.Bmap.read (Cffs.cache fs) inode 20) in
+  let p21 = ok "b21" (Cffs_vfs.Bmap.read (Cffs.cache fs) inode 21) in
+  match (p20, p21) with
+  | Some a, Some b -> check Alcotest.int "contiguous tail" (a + 1) b
+  | _ -> Alcotest.fail "unmapped"
+
+let test_frame_of_block_alignment () =
+  let fs = fresh_default () in
+  let sb = Cffs.superblock fs in
+  let data0 = Csb.cg_data_start sb 0 in
+  check (Alcotest.option Alcotest.int) "first frame" (Some data0)
+    (Cffs.frame_of_block fs data0);
+  check (Alcotest.option Alcotest.int) "mid frame" (Some data0)
+    (Cffs.frame_of_block fs (data0 + 7));
+  check (Alcotest.option Alcotest.int) "next frame" (Some (data0 + 16))
+    (Cffs.frame_of_block fs (data0 + 16));
+  check (Alcotest.option Alcotest.int) "header not in frame" None
+    (Cffs.frame_of_block fs (Csb.cg_start sb 0))
+
+let test_grouping_fraction_zero_without_grouping () =
+  let fs = fresh (Cffs.config_ffs_like) () in
+  ok "mk" (Cffs.mkdir fs "/d");
+  for i = 0 to 9 do
+    ok "w" (Cffs.write_file fs (Printf.sprintf "/d/f%d" i) (Bytes.make 1024 'x'))
+  done;
+  check (Alcotest.float 0.01) "no frames at all" 0.0 (Cffs.grouped_fraction fs)
+
+let test_readahead_extension () =
+  (* Our future-work extension: sequential read-ahead should cut cold
+     large-file read requests without changing the data. *)
+  let data = Bytes.make (4 * 1024 * 1024) 'r' in
+  let cold_reads window =
+    let fs, dev = timed_fs { Cffs.config_default with readahead_blocks = window } in
+    ok "w" (Cffs.write_file fs "/big" data);
+    Cffs.remount fs;
+    let before = Request.Stats.copy (Blockdev.stats dev) in
+    let got = ok "r" (Cffs.read_file fs "/big") in
+    check Alcotest.bool "content intact" true (Bytes.equal data got);
+    (Request.Stats.diff (Blockdev.stats dev) before).Request.Stats.reads
+  in
+  let off = cold_reads 0 in
+  let on = cold_reads 16 in
+  check Alcotest.bool
+    (Printf.sprintf "requests %d -> %d (>4x fewer)" off on)
+    true (on * 4 < off)
+
+let test_mount_preserves_config () =
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:6144 in
+  let fs = Cffs.format ~config:{ Cffs.config_default with group_blocks = 32 } dev in
+  ok "w" (Cffs.write_file fs "/f" (Bytes.of_string "x"));
+  Cffs.sync fs;
+  match Cffs.mount dev with
+  | None -> Alcotest.fail "mount failed"
+  | Some fs2 ->
+      let c = Cffs.config fs2 in
+      check Alcotest.int "group size persisted" 32 c.Cffs.group_blocks;
+      check Alcotest.bool "embed persisted" true c.Cffs.embed_inodes;
+      check Alcotest.bytes "data there" (Bytes.of_string "x")
+        (ok "r" (Cffs.read_file fs2 "/f"))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-configuration equivalence: the four C-FFS configurations and the
+   independent FFS implementation are different LAYOUTS of the same
+   semantics — any trace must leave the same namespace and contents. *)
+
+let qcheck_config_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"all configurations agree on random traces"
+       QCheck.small_nat
+       (fun seed ->
+         let trace = Cffs_workload.Trace.synthesize ~ops:120 ~dirs:3 ~seed () in
+         let fingerprint (packed : Fs_intf.packed) =
+           let (Fs_intf.Packed ((module F), fs)) = packed in
+           let buf = Buffer.create 256 in
+           let rec walk path =
+             match F.list_dir fs path with
+             | Error _ -> ()
+             | Ok names ->
+                 List.iter
+                   (fun n ->
+                     let p = Cffs_vfs.Path.join path n in
+                     match F.stat fs p with
+                     | Error _ -> Buffer.add_string buf (p ^ "?")
+                     | Ok st ->
+                         if st.Fs_intf.st_kind = Inode.Directory then begin
+                           Buffer.add_string buf (p ^ "/;");
+                           walk p
+                         end
+                         else begin
+                           let data =
+                             match F.read_file fs p with
+                             | Ok d -> Digest.to_hex (Digest.bytes d)
+                             | Error _ -> "!"
+                           in
+                           Buffer.add_string buf
+                             (Printf.sprintf "%s=%d:%s;" p st.Fs_intf.st_size data)
+                         end)
+                   names
+           in
+           walk "/";
+           Buffer.contents buf
+         in
+         let run_cffs config =
+           let dev = Blockdev.memory ~block_size:4096 ~nblocks:8192 in
+           let fs = Cffs.format ~config dev in
+           let env =
+             Cffs_workload.Env.make (Fs_intf.Packed ((module Cffs), fs)) dev
+           in
+           ignore (Cffs_workload.Trace.replay env trace);
+           Cffs.remount fs;
+           fingerprint (Fs_intf.Packed ((module Cffs), fs))
+         in
+         let run_ffs () =
+           let dev = Blockdev.memory ~block_size:4096 ~nblocks:8192 in
+           let fs = Ffs.format dev in
+           let env =
+             Cffs_workload.Env.make (Fs_intf.Packed ((module Ffs), fs)) dev
+           in
+           ignore (Cffs_workload.Trace.replay env trace);
+           Ffs.remount fs;
+           fingerprint (Fs_intf.Packed ((module Ffs), fs))
+         in
+         let reference = run_cffs Cffs.config_default in
+         List.for_all (fun c -> run_cffs c = reference)
+           [
+             Cffs.config_ffs_like;
+             { Cffs.config_default with grouping = false };
+             { Cffs.config_default with embed_inodes = false };
+             { Cffs.config_default with readahead_blocks = 8 };
+           ]
+         && run_ffs () = reference))
+
+let () =
+  Alcotest.run "cffs"
+    [
+      ( "superblock",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csb_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_csb_bad_magic;
+        ] );
+      ( "cdir",
+        [
+          Alcotest.test_case "chunks per block" `Quick test_cdir_chunks;
+          Alcotest.test_case "embedded entry" `Quick test_cdir_embedded_entry;
+          Alcotest.test_case "external entry" `Quick test_cdir_external_entry;
+          Alcotest.test_case "name limit" `Quick test_cdir_name_limit;
+          Alcotest.test_case "fills" `Quick test_cdir_fills;
+        ] );
+      ("equivalence", [ qcheck_config_equivalence ]);
+      ("battery EI+EG", battery_default);
+      ("battery none", battery_none);
+      ("battery EI", battery_ei);
+      ("battery EG", battery_eg);
+      ( "embedded inodes",
+        [
+          Alcotest.test_case "positional numbers" `Quick test_embedded_ino_positions;
+          Alcotest.test_case "root resident" `Quick test_root_ino_resident;
+          Alcotest.test_case "create = 1 sync write" `Quick test_create_single_sync_write;
+          Alcotest.test_case "external create = 2 sync writes" `Quick
+            test_external_create_two_sync_writes;
+          Alcotest.test_case "link externalizes" `Quick test_link_externalizes;
+          Alcotest.test_case "rename moves inode" `Quick test_rename_changes_embedded_ino;
+          Alcotest.test_case "external slot reuse" `Quick test_external_ino_reuse;
+          Alcotest.test_case "free list after remount" `Quick
+            test_ext_free_list_survives_remount;
+          Alcotest.test_case "long names" `Quick test_long_name_rejected_when_embedded;
+        ] );
+      ( "explicit grouping",
+        [
+          Alcotest.test_case "small files share frames" `Quick test_small_files_share_frames;
+          Alcotest.test_case "group read = 1 request" `Quick test_group_read_single_request;
+          Alcotest.test_case "no grouping -> per-file reads" `Quick
+            test_no_group_read_when_disabled;
+          Alcotest.test_case "large files not grouped" `Quick test_large_file_not_grouped;
+          Alcotest.test_case "frame alignment" `Quick test_frame_of_block_alignment;
+          Alcotest.test_case "fraction 0 when off" `Quick
+            test_grouping_fraction_zero_without_grouping;
+          Alcotest.test_case "read-ahead extension" `Quick test_readahead_extension;
+          Alcotest.test_case "mount preserves config" `Quick test_mount_preserves_config;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Harness tests: the experiment entry points render complete tables at a
+   quick scale, and the headline qualitative results of the paper hold in
+   miniature. *)
+
+module Experiments = Cffs_harness.Experiments
+module Setup = Cffs_harness.Setup
+module Smallfile = Cffs_workload.Smallfile
+module Tablefmt = Cffs_util.Tablefmt
+module Cache = Cffs_cache.Cache
+
+let check = Alcotest.check
+
+let scale = Experiments.quick
+
+let lines t = String.split_on_char '\n' (Tablefmt.render t)
+let contains t needle =
+  List.exists
+    (fun l ->
+      let rec scan i =
+        i + String.length needle <= String.length l
+        && (String.sub l i (String.length needle) = needle || scan (i + 1))
+      in
+      String.length needle <= String.length l && scan 0)
+    (lines t)
+
+(* ------------------------------------------------------------------ *)
+
+let test_setup_configs () =
+  check Alcotest.int "five configurations" 5 (List.length Setup.five_configs);
+  check Alcotest.string "label ffs" "FFS" (Setup.fs_kind_label Setup.Ffs_baseline);
+  check Alcotest.string "label both" "C-FFS (EI+EG)"
+    (Setup.fs_kind_label (Setup.Cffs_fs Cffs.config_default))
+
+let test_setup_instantiate_both () =
+  let i1 = Setup.instantiate (Setup.standard Setup.Ffs_baseline) in
+  check Alcotest.bool "ffs handle" true (i1.Setup.ffs <> None && i1.Setup.cffs = None);
+  let i2 = Setup.instantiate (Setup.standard (Setup.Cffs_fs Cffs.config_default)) in
+  check Alcotest.bool "cffs handle" true (i2.Setup.cffs <> None && i2.Setup.ffs = None)
+
+let test_table1 () =
+  let t = Experiments.table1_drives () in
+  check Alcotest.bool "has drives" true (contains t "HP C3653");
+  check Alcotest.bool "has seeks" true (contains t "Average seek")
+
+let test_fig2 () =
+  let t = Experiments.fig2_access_time scale in
+  check Alcotest.bool "has sizes" true (contains t "64.0 KB");
+  (* Eleven request sizes plus header/rule. *)
+  check Alcotest.bool "row count" true (List.length (lines t) >= 13)
+
+let test_table2 () =
+  let t = Experiments.table2_setup_drive () in
+  check Alcotest.bool "st31200" true (contains t "ST31200")
+
+let test_smallfile_tables () =
+  let tput, reqs = Experiments.smallfile scale Cache.Sync_metadata in
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " in tput") true (contains tput name);
+      check Alcotest.bool (name ^ " in reqs") true (contains reqs name))
+    [ "FFS"; "C-FFS (none)"; "C-FFS (EI)"; "C-FFS (EG)"; "C-FFS (EI+EG)" ]
+
+let test_fig7 () =
+  let t = Experiments.fig7_size_sweep scale in
+  check Alcotest.bool "sweep sizes present" true
+    (contains t "1.0 KB" && contains t "64.0 KB")
+
+let test_fig8 () =
+  let t = Experiments.fig8_aging scale in
+  check Alcotest.bool "has rows" true (List.length (lines t) >= 4)
+
+let test_table3 () =
+  let t = Experiments.table3_apps scale in
+  List.iter
+    (fun app -> check Alcotest.bool (app ^ " present") true (contains t app))
+    [ "untar"; "search"; "compile"; "pack"; "copy"; "clean" ]
+
+let test_table_dirsize () =
+  let t = Experiments.table_dirsize () in
+  check Alcotest.bool "configs present" true
+    (contains t "C-FFS (EI)" && contains t "FFS")
+
+let test_table_large () =
+  let t = Experiments.table_large scale in
+  check Alcotest.bool "rows" true (contains t "C-FFS (EI+EG)")
+
+let test_ablations () =
+  let t = Experiments.ablation_scheduler scale in
+  check Alcotest.bool "schedulers" true
+    (contains t "FCFS" && contains t "C-LOOK" && contains t "SSTF");
+  let t = Experiments.ablation_group_size scale in
+  check Alcotest.bool "frame sizes" true (contains t "64.0 KB")
+
+(* ------------------------------------------------------------------ *)
+(* Headline qualitative claims, in miniature. *)
+
+let run_phases kind policy =
+  let inst = Setup.instantiate (Setup.standard ~policy kind) in
+  Smallfile.run ~nfiles:scale.Experiments.smallfile_files inst.Setup.env
+
+let phase rs p =
+  List.find (fun (r : Smallfile.result) -> r.Smallfile.phase = p) rs
+
+let test_claim_read_request_reduction () =
+  (* "reducing the number of disk accesses required by an order of
+     magnitude" *)
+  let base = run_phases (Setup.Cffs_fs Cffs.config_ffs_like) Cache.Sync_metadata in
+  let cffs = run_phases (Setup.Cffs_fs Cffs.config_default) Cache.Sync_metadata in
+  let b = (phase base Smallfile.Read).Smallfile.requests_per_file in
+  let c = (phase cffs Smallfile.Read).Smallfile.requests_per_file in
+  check Alcotest.bool
+    (Printf.sprintf "read requests %.2f -> %.2f (>5x fewer)" b c)
+    true (c < b /. 5.0)
+
+let test_claim_read_throughput () =
+  let base = run_phases (Setup.Cffs_fs Cffs.config_ffs_like) Cache.Sync_metadata in
+  let cffs = run_phases (Setup.Cffs_fs Cffs.config_default) Cache.Sync_metadata in
+  let b = (phase base Smallfile.Read).Smallfile.files_per_sec in
+  let c = (phase cffs Smallfile.Read).Smallfile.files_per_sec in
+  check Alcotest.bool
+    (Printf.sprintf "read throughput %.0f -> %.0f (>1.5x)" b c)
+    true (c > b *. 1.5)
+
+let test_claim_delete_improvement () =
+  (* "a 250% increase in file deletion throughput" from embedded inodes:
+     at minimum, deletes must get substantially faster. *)
+  let base = run_phases (Setup.Cffs_fs Cffs.config_ffs_like) Cache.Sync_metadata in
+  let ei =
+    run_phases (Setup.Cffs_fs { Cffs.config_default with Cffs.grouping = false })
+      Cache.Sync_metadata
+  in
+  let b = (phase base Smallfile.Delete).Smallfile.files_per_sec in
+  let c = (phase ei Smallfile.Delete).Smallfile.files_per_sec in
+  check Alcotest.bool
+    (Printf.sprintf "delete throughput %.0f -> %.0f (>1.3x)" b c)
+    true (c > b *. 1.3)
+
+let test_claim_delayed_create_speedup () =
+  (* With soft updates emulated, grouping turns the create phase from
+     one-request-per-block into a few large writes. *)
+  let base = run_phases (Setup.Cffs_fs Cffs.config_ffs_like) Cache.Delayed in
+  let cffs = run_phases (Setup.Cffs_fs Cffs.config_default) Cache.Delayed in
+  let b = (phase base Smallfile.Create).Smallfile.files_per_sec in
+  let c = (phase cffs Smallfile.Create).Smallfile.files_per_sec in
+  check Alcotest.bool
+    (Printf.sprintf "delayed create %.0f -> %.0f (>2x)" b c)
+    true (c > b *. 2.0)
+
+let () =
+  Alcotest.run "cffs_harness"
+    [
+      ( "setup",
+        [
+          Alcotest.test_case "configs" `Quick test_setup_configs;
+          Alcotest.test_case "instantiate" `Quick test_setup_instantiate_both;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "table1" `Quick test_table1;
+          Alcotest.test_case "fig2" `Quick test_fig2;
+          Alcotest.test_case "table2" `Quick test_table2;
+          Alcotest.test_case "smallfile" `Quick test_smallfile_tables;
+          Alcotest.test_case "fig7" `Quick test_fig7;
+          Alcotest.test_case "fig8" `Quick test_fig8;
+          Alcotest.test_case "table3" `Quick test_table3;
+          Alcotest.test_case "dirsize" `Quick test_table_dirsize;
+          Alcotest.test_case "large" `Quick test_table_large;
+          Alcotest.test_case "ablations" `Quick test_ablations;
+        ] );
+      ( "claims",
+        [
+          Alcotest.test_case "request reduction" `Quick test_claim_read_request_reduction;
+          Alcotest.test_case "read throughput" `Quick test_claim_read_throughput;
+          Alcotest.test_case "delete improvement" `Quick test_claim_delete_improvement;
+          Alcotest.test_case "delayed create speedup" `Quick
+            test_claim_delayed_create_speedup;
+        ] );
+    ]

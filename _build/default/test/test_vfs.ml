@@ -1,0 +1,285 @@
+(* Tests for the VFS layer: paths, errno, the on-disk inode codec and the
+   shared block map. *)
+
+module Errno = Cffs_vfs.Errno
+module Path = Cffs_vfs.Path
+module Inode = Cffs_vfs.Inode
+module Bmap = Cffs_vfs.Bmap
+module Cache = Cffs_cache.Cache
+module Blockdev = Cffs_blockdev.Blockdev
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let err = Alcotest.testable Errno.pp ( = )
+let path_res = Alcotest.result (Alcotest.list Alcotest.string) err
+
+(* ------------------------------------------------------------------ *)
+(* Path *)
+
+let test_path_split () =
+  check path_res "root" (Ok []) (Path.split "/");
+  check path_res "simple" (Ok [ "a"; "b" ]) (Path.split "/a/b");
+  check path_res "extra slashes" (Ok [ "a"; "b" ]) (Path.split "//a///b/");
+  check path_res "relative rejected" (Error Errno.Einval) (Path.split "a/b");
+  check path_res "empty rejected" (Error Errno.Einval) (Path.split "");
+  check path_res "dots rejected" (Error Errno.Einval) (Path.split "/a/../b");
+  check path_res "long name"
+    (Error Errno.Enametoolong)
+    (Path.split ("/" ^ String.make 300 'x'))
+
+let test_path_dirname () =
+  let pair = Alcotest.result (Alcotest.pair Alcotest.string Alcotest.string) err in
+  check pair "two levels" (Ok ("/a", "b")) (Path.dirname_basename "/a/b");
+  check pair "top level" (Ok ("/", "a")) (Path.dirname_basename "/a");
+  check pair "root invalid" (Error Errno.Einval) (Path.dirname_basename "/")
+
+let test_path_join () =
+  check Alcotest.string "root join" "/a" (Path.join "/" "a");
+  check Alcotest.string "nested join" "/a/b" (Path.join "/a" "b")
+
+(* ------------------------------------------------------------------ *)
+(* Errno *)
+
+let test_errno_strings () =
+  check Alcotest.string "enoent" "ENOENT" (Errno.to_string Errno.Enoent);
+  check Alcotest.string "enospc" "ENOSPC" (Errno.to_string Errno.Enospc)
+
+let test_errno_bind () =
+  let open Errno in
+  let ok = (let* x = Ok 1 in Ok (x + 1)) in
+  check (Alcotest.result Alcotest.int err) "bind ok" (Ok 2) ok;
+  let er = (let* _ = (Error Enoent : int Errno.result) in Ok 0) in
+  check (Alcotest.result Alcotest.int err) "bind error" (Error Enoent) er
+
+let test_errno_get_ok () =
+  check Alcotest.int "get_ok" 5 (Errno.get_ok "ctx" (Ok 5));
+  check Alcotest.bool "get_ok raises" true
+    (try ignore (Errno.get_ok "ctx" (Error Errno.Eexist)); false
+     with Failure m -> m = "ctx: EEXIST")
+
+(* ------------------------------------------------------------------ *)
+(* Inode codec *)
+
+let test_inode_mk () =
+  let f = Inode.mk Inode.Regular in
+  check Alcotest.int "file nlink" 1 f.Inode.nlink;
+  let d = Inode.mk Inode.Directory in
+  check Alcotest.int "dir nlink" 2 d.Inode.nlink
+
+let test_inode_roundtrip () =
+  let i = Inode.mk Inode.Regular in
+  i.Inode.size <- 123456789;
+  i.Inode.mtime <- 42;
+  i.Inode.generation <- 7;
+  i.Inode.flags <- 1;
+  Array.iteri (fun k _ -> i.Inode.direct.(k) <- 1000 + k) i.Inode.direct;
+  i.Inode.indirect <- 5000;
+  i.Inode.dindirect <- 6000;
+  i.Inode.spare.(0) <- 77;
+  let b = Bytes.make 256 '\xaa' in
+  Inode.encode i b 128;
+  let j = Inode.decode b 128 in
+  check Alcotest.bool "kind" true (j.Inode.kind = Inode.Regular);
+  check Alcotest.int "size" i.Inode.size j.Inode.size;
+  check Alcotest.int "mtime" 42 j.Inode.mtime;
+  check Alcotest.int "gen" 7 j.Inode.generation;
+  check Alcotest.int "flags" 1 j.Inode.flags;
+  check (Alcotest.array Alcotest.int) "direct" i.Inode.direct j.Inode.direct;
+  check Alcotest.int "indirect" 5000 j.Inode.indirect;
+  check Alcotest.int "spare" 77 j.Inode.spare.(0)
+
+let test_inode_copy_deep () =
+  let i = Inode.mk Inode.Regular in
+  i.Inode.direct.(0) <- 1;
+  let j = Inode.copy i in
+  j.Inode.direct.(0) <- 2;
+  check Alcotest.int "copy is deep" 1 i.Inode.direct.(0)
+
+let test_inode_bad_kind_decodes_free () =
+  let b = Bytes.make 128 '\000' in
+  Cffs_util.Codec.set_u16 b 0 99;
+  check Alcotest.bool "unknown kind -> Free" true
+    ((Inode.decode b 0).Inode.kind = Inode.Free)
+
+let qcheck_inode_roundtrip =
+  qtest "inode: encode/decode roundtrips random inodes"
+    QCheck.(quad (int_bound 2) (int_bound 0xFFFF) (int_bound 1000000000) (int_bound 0xFFFF))
+    (fun (k, nlink, size, mtime) ->
+      let i = Inode.empty () in
+      i.Inode.kind <-
+        (match k with 0 -> Inode.Free | 1 -> Inode.Regular | _ -> Inode.Directory);
+      i.Inode.nlink <- nlink;
+      i.Inode.size <- size;
+      i.Inode.mtime <- mtime;
+      let b = Bytes.make 128 '\000' in
+      Inode.encode i b 0;
+      let j = Inode.decode b 0 in
+      j.Inode.kind = i.Inode.kind && j.Inode.nlink = nlink && j.Inode.size = size
+      && j.Inode.mtime = mtime)
+
+(* ------------------------------------------------------------------ *)
+(* Bmap over a memory device *)
+
+let mk_cache () =
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:(1 lsl 21) in
+  Cache.create ~policy:Cache.Delayed dev ~capacity_blocks:4096
+
+let seq_alloc () =
+  let next = ref 100 in
+  fun ~hint:_ ->
+    let b = !next in
+    incr next;
+    Ok b
+
+let test_bmap_direct () =
+  let cache = mk_cache () in
+  let inode = Inode.mk Inode.Regular in
+  let alloc = seq_alloc () in
+  let p0 = Errno.get_ok "alloc" (Bmap.alloc cache inode 0 ~alloc) in
+  check Alcotest.int "first block" 100 p0;
+  check Alcotest.int "stored in direct" 100 inode.Inode.direct.(0);
+  check (Alcotest.result (Alcotest.option Alcotest.int) err) "read back" (Ok (Some 100))
+    (Bmap.read cache inode 0);
+  (* Idempotent: mapping again returns the same block. *)
+  check Alcotest.int "same block" 100 (Errno.get_ok "re" (Bmap.alloc cache inode 0 ~alloc))
+
+let test_bmap_holes () =
+  let cache = mk_cache () in
+  let inode = Inode.mk Inode.Regular in
+  check (Alcotest.result (Alcotest.option Alcotest.int) err) "direct hole" (Ok None)
+    (Bmap.read cache inode 5);
+  check (Alcotest.result (Alcotest.option Alcotest.int) err) "indirect hole" (Ok None)
+    (Bmap.read cache inode 500);
+  check (Alcotest.result (Alcotest.option Alcotest.int) err) "dindirect hole" (Ok None)
+    (Bmap.read cache inode 100000)
+
+let test_bmap_indirect_boundaries () =
+  let cache = mk_cache () in
+  let inode = Inode.mk Inode.Regular in
+  let alloc = seq_alloc () in
+  let ppb = 1024 in
+  (* One block in each region: direct, single-indirect, double-indirect. *)
+  let lblks = [ 0; Inode.n_direct; Inode.n_direct + ppb - 1; Inode.n_direct + ppb;
+                Inode.n_direct + ppb + (ppb * ppb) - 1 ] in
+  List.iter
+    (fun l ->
+      let p = Errno.get_ok "alloc" (Bmap.alloc cache inode l ~alloc) in
+      check (Alcotest.result (Alcotest.option Alcotest.int) err)
+        (Printf.sprintf "read back lblk %d" l)
+        (Ok (Some p)) (Bmap.read cache inode l))
+    lblks;
+  check Alcotest.bool "indirect allocated" true (inode.Inode.indirect <> 0);
+  check Alcotest.bool "dindirect allocated" true (inode.Inode.dindirect <> 0)
+
+let test_bmap_efbig () =
+  let cache = mk_cache () in
+  let inode = Inode.mk Inode.Regular in
+  let too_big = Inode.n_direct + 1024 + (1024 * 1024) in
+  check (Alcotest.result (Alcotest.option Alcotest.int) err) "read past map"
+    (Error Errno.Efbig) (Bmap.read cache inode too_big);
+  check Alcotest.bool "alloc past map" true
+    (Bmap.alloc cache inode too_big ~alloc:(seq_alloc ()) = Error Errno.Efbig)
+
+let test_bmap_alloc_failure_propagates () =
+  let cache = mk_cache () in
+  let inode = Inode.mk Inode.Regular in
+  let alloc ~hint:_ = Error Errno.Enospc in
+  check Alcotest.bool "enospc" true (Bmap.alloc cache inode 0 ~alloc = Error Errno.Enospc)
+
+let test_bmap_hint_contiguity () =
+  let cache = mk_cache () in
+  let inode = Inode.mk Inode.Regular in
+  let hints = ref [] in
+  let next = ref 100 in
+  let alloc ~hint =
+    hints := hint :: !hints;
+    let b = !next in
+    incr next;
+    Ok b
+  in
+  for l = 0 to 5 do
+    ignore (Errno.get_ok "alloc" (Bmap.alloc cache inode l ~alloc))
+  done;
+  (* After the first block, the hint is always one past the previous one. *)
+  check (Alcotest.list Alcotest.int) "hints" [ 0; 101; 102; 103; 104; 105 ]
+    (List.rev !hints)
+
+let test_bmap_iter_count () =
+  let cache = mk_cache () in
+  let inode = Inode.mk Inode.Regular in
+  let alloc = seq_alloc () in
+  for l = 0 to 20 do
+    ignore (Errno.get_ok "alloc" (Bmap.alloc cache inode l ~alloc))
+  done;
+  let data = ref 0 and meta = ref 0 in
+  Bmap.iter cache inode ~data:(fun _ -> incr data) ~meta:(fun _ -> incr meta);
+  check Alcotest.int "data blocks" 21 !data;
+  check Alcotest.int "meta blocks (indirect)" 1 !meta;
+  check Alcotest.int "count" 22 (Bmap.count cache inode)
+
+let qcheck_bmap_model =
+  qtest ~count:60 "bmap: random allocations agree with a map model"
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_bound 3000))
+    (fun lblks ->
+      let cache = mk_cache () in
+      let inode = Inode.mk Inode.Regular in
+      let model = Hashtbl.create 64 in
+      let next = ref 1000 in
+      let alloc ~hint:_ =
+        let b = !next in
+        incr next;
+        Ok b
+      in
+      List.for_all
+        (fun l ->
+          match Bmap.alloc cache inode l ~alloc with
+          | Error _ -> false
+          | Ok p -> begin
+              match Hashtbl.find_opt model l with
+              | Some p' -> p = p'
+              | None ->
+                  Hashtbl.replace model l p;
+                  true
+            end)
+        lblks
+      && Hashtbl.fold
+           (fun l p acc -> acc && Bmap.read cache inode l = Ok (Some p))
+           model true)
+
+let () =
+  Alcotest.run "cffs_vfs"
+    [
+      ( "path",
+        [
+          Alcotest.test_case "split" `Quick test_path_split;
+          Alcotest.test_case "dirname/basename" `Quick test_path_dirname;
+          Alcotest.test_case "join" `Quick test_path_join;
+        ] );
+      ( "errno",
+        [
+          Alcotest.test_case "strings" `Quick test_errno_strings;
+          Alcotest.test_case "bind" `Quick test_errno_bind;
+          Alcotest.test_case "get_ok" `Quick test_errno_get_ok;
+        ] );
+      ( "inode",
+        [
+          Alcotest.test_case "mk" `Quick test_inode_mk;
+          Alcotest.test_case "roundtrip" `Quick test_inode_roundtrip;
+          Alcotest.test_case "deep copy" `Quick test_inode_copy_deep;
+          Alcotest.test_case "bad kind" `Quick test_inode_bad_kind_decodes_free;
+          qcheck_inode_roundtrip;
+        ] );
+      ( "bmap",
+        [
+          Alcotest.test_case "direct" `Quick test_bmap_direct;
+          Alcotest.test_case "holes" `Quick test_bmap_holes;
+          Alcotest.test_case "indirect boundaries" `Quick test_bmap_indirect_boundaries;
+          Alcotest.test_case "efbig" `Quick test_bmap_efbig;
+          Alcotest.test_case "alloc failure" `Quick test_bmap_alloc_failure_propagates;
+          Alcotest.test_case "hint contiguity" `Quick test_bmap_hint_contiguity;
+          Alcotest.test_case "iter/count" `Quick test_bmap_iter_count;
+          qcheck_bmap_model;
+        ] );
+    ]

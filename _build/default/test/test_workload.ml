@@ -1,0 +1,325 @@
+(* Tests for the workload generators: size distributions, the small-file
+   benchmark, the application suite, aging and large files. *)
+
+module Blockdev = Cffs_blockdev.Blockdev
+module Drive = Cffs_disk.Drive
+module Profile = Cffs_disk.Profile
+module Env = Cffs_workload.Env
+module Sizes = Cffs_workload.Sizes
+module Smallfile = Cffs_workload.Smallfile
+module Appbench = Cffs_workload.Appbench
+module Aging = Cffs_workload.Aging
+module Largefile = Cffs_workload.Largefile
+module Fs_intf = Cffs_vfs.Fs_intf
+
+let check = Alcotest.check
+
+let timed_env ?(policy = Cffs_cache.Cache.Sync_metadata) config =
+  let dev = Blockdev.of_drive (Drive.create Profile.seagate_st31200) ~block_size:4096 in
+  let fs = Cffs.format ~config ~policy ~cache_blocks:16384 dev in
+  Env.make (Fs_intf.Packed ((module Cffs), fs)) dev
+
+let mem_env config =
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:32768 in
+  let fs = Cffs.format ~config dev in
+  (Env.make (Fs_intf.Packed ((module Cffs), fs)) dev, fs)
+
+(* ------------------------------------------------------------------ *)
+(* Sizes *)
+
+let test_sizes_paper_distribution () =
+  (* The paper's motivating observation: 79% of files are under 8 KB. *)
+  let f = Sizes.fraction_below Sizes.paper_1996 8192 ~samples:50000 in
+  check Alcotest.bool "79% under 8KB" true (f > 0.76 && f < 0.82)
+
+let test_sizes_positive_and_capped () =
+  let prng = Cffs_util.Prng.create 3 in
+  for _ = 1 to 10000 do
+    let s = Sizes.paper_1996.Sizes.sample prng in
+    if s < 1 || s > 1024 * 1024 then Alcotest.failf "size %d out of range" s
+  done
+
+let test_sizes_fixed () =
+  let prng = Cffs_util.Prng.create 3 in
+  check Alcotest.int "fixed" 4242 ((Sizes.fixed 4242).Sizes.sample prng)
+
+(* ------------------------------------------------------------------ *)
+(* Env measurement *)
+
+let test_env_measured () =
+  let env = timed_env Cffs.config_default in
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  let m =
+    Env.measured env (fun () ->
+        Cffs_vfs.Errno.get_ok "w" (F.write_file fs "/f" (Bytes.make 8192 'x'));
+        F.sync fs)
+  in
+  check Alcotest.bool "time measured" true (m.Env.seconds > 0.0);
+  check Alcotest.bool "writes measured" true (m.Env.writes > 0);
+  check Alcotest.bool "bytes measured" true (m.Env.bytes_moved >= 8192)
+
+(* ------------------------------------------------------------------ *)
+(* Small-file benchmark *)
+
+let test_smallfile_runs_all_phases () =
+  let env = timed_env Cffs.config_default in
+  let rs = Smallfile.run ~nfiles:150 ~files_per_dir:50 env in
+  check Alcotest.int "four phases" 4 (List.length rs);
+  check
+    (Alcotest.list Alcotest.string)
+    "phase order"
+    [ "create"; "read"; "overwrite"; "delete" ]
+    (List.map (fun (r : Smallfile.result) -> Smallfile.phase_name r.Smallfile.phase) rs);
+  List.iter
+    (fun (r : Smallfile.result) ->
+      check Alcotest.int "files" 150 r.Smallfile.nfiles;
+      check Alcotest.bool "throughput positive" true (r.Smallfile.files_per_sec > 0.0))
+    rs
+
+let test_smallfile_files_deleted () =
+  let env = timed_env Cffs.config_default in
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  ignore (Smallfile.run ~nfiles:100 ~files_per_dir:50 env);
+  (* After the delete phase the directories are empty. *)
+  check (Alcotest.list Alcotest.string) "d000 empty" []
+    (Cffs_vfs.Errno.get_ok "ls" (F.list_dir fs "/smallfile/d000"))
+
+let test_smallfile_grouping_reduces_requests () =
+  (* The paper's core claim at benchmark level: an order of magnitude fewer
+     read requests with both techniques on. *)
+  let read_reqs config =
+    let env = timed_env config in
+    let rs = Smallfile.run ~nfiles:600 env in
+    let r = List.find (fun (r : Smallfile.result) -> r.Smallfile.phase = Smallfile.Read) rs in
+    r.Smallfile.requests_per_file
+  in
+  let base = read_reqs Cffs.config_ffs_like in
+  let cffs = read_reqs Cffs.config_default in
+  check Alcotest.bool "roughly 1 request/file for baseline" true (base > 0.9);
+  check Alcotest.bool "an order of magnitude fewer" true (cffs < base /. 5.0)
+
+let test_smallfile_embedding_halves_create_requests () =
+  let create_reqs config =
+    let env = timed_env config in
+    let rs = Smallfile.run ~nfiles:600 env in
+    let r = List.find (fun (r : Smallfile.result) -> r.Smallfile.phase = Smallfile.Create) rs in
+    r.Smallfile.requests_per_file
+  in
+  let base = create_reqs Cffs.config_ffs_like in
+  let ei = create_reqs { Cffs.config_default with Cffs.grouping = false } in
+  check Alcotest.bool "embedding cuts create requests substantially" true
+    (ei < base *. 0.75)
+
+(* ------------------------------------------------------------------ *)
+(* Application benchmarks *)
+
+let test_appbench_runs () =
+  let env = timed_env Cffs.config_default in
+  let spec = { Appbench.default_spec with Appbench.dirs = 3; files_per_dir = 6 } in
+  let rs = Appbench.run ~spec env in
+  check Alcotest.int "six apps" 6 (List.length rs);
+  List.iter
+    (fun (r : Appbench.result) ->
+      check Alcotest.bool
+        (Appbench.app_name r.Appbench.app ^ " took time")
+        true
+        (r.Appbench.measure.Env.seconds > 0.0))
+    rs
+
+let test_appbench_cleans_up () =
+  let env = timed_env Cffs.config_default in
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  let spec = { Appbench.default_spec with Appbench.dirs = 2; files_per_dir = 5 } in
+  ignore (Appbench.run ~spec env);
+  (* clean removed the objects and the archive. *)
+  check Alcotest.bool "archive gone" false (F.exists fs "/archive.tar");
+  check Alcotest.bool "binary gone" false (F.exists fs "/obj/app.bin");
+  (* the source tree remains *)
+  check Alcotest.bool "sources remain" true (F.exists fs "/src/m00/file000.c")
+
+(* ------------------------------------------------------------------ *)
+(* Aging *)
+
+let test_aging_reaches_target () =
+  let dev =
+    Blockdev.of_drive
+      (Drive.create (Profile.truncated Profile.seagate_st31200 ~cylinders:320))
+      ~block_size:4096
+  in
+  let fs = Cffs.format ~config:Cffs.config_default ~cache_blocks:4096 dev in
+  let env = Env.make (Fs_intf.Packed ((module Cffs), fs)) dev in
+  let spec = { (Aging.default_spec 0.5) with Aging.operations = 8000 } in
+  let o = Aging.run env spec in
+  check Alcotest.bool "utilization reached" true
+    (o.Aging.reached_utilization > 0.4 && o.Aging.reached_utilization < 0.6);
+  check Alcotest.bool "churn happened" true (o.Aging.deletes > 100);
+  check Alcotest.bool "files alive" true (o.Aging.files_alive > 0);
+  check Alcotest.int "creates - deletes = alive" o.Aging.files_alive
+    (o.Aging.creates - o.Aging.deletes)
+
+let test_aging_deterministic () =
+  let run () =
+    let env, _ = mem_env Cffs.config_default in
+    let spec = { (Aging.default_spec 0.3) with Aging.operations = 2000 } in
+    Aging.run env spec
+  in
+  let a = run () and b = run () in
+  check Alcotest.int "same creates" a.Aging.creates b.Aging.creates;
+  check Alcotest.int "same alive" a.Aging.files_alive b.Aging.files_alive
+
+(* ------------------------------------------------------------------ *)
+(* Large files *)
+
+let test_largefile_rates () =
+  let env = timed_env Cffs.config_default in
+  let r = Largefile.run ~file_mb:8 env in
+  check Alcotest.bool "write rate" true (r.Largefile.write_mb_per_s > 0.5);
+  check Alcotest.bool "read rate" true (r.Largefile.read_mb_per_s > 0.5);
+  check Alcotest.bool "rewrite rate" true (r.Largefile.rewrite_mb_per_s > 0.5)
+
+let test_largefile_grouping_neutral () =
+  (* E12: grouping must not change large-file bandwidth by more than ~15%. *)
+  let rate config =
+    let env = timed_env config in
+    (Largefile.run ~file_mb:8 env).Largefile.write_mb_per_s
+  in
+  let base = rate Cffs.config_ffs_like in
+  let cffs = rate Cffs.config_default in
+  let ratio = cffs /. base in
+  check Alcotest.bool "within 15%" true (ratio > 0.85 && ratio < 1.15)
+
+(* ------------------------------------------------------------------ *)
+(* Traces *)
+
+module Trace = Cffs_workload.Trace
+
+let test_trace_roundtrip () =
+  let trace =
+    [
+      Trace.T_mkdir "/d";
+      Trace.T_write_file ("/d/f", 1234);
+      Trace.T_write ("/d/f", 100, 5);
+      Trace.T_read ("/d/f", 0, 64);
+      Trace.T_rename ("/d/f", "/d/g");
+      Trace.T_link ("/d/g", "/d/h");
+      Trace.T_truncate ("/d/g", 10);
+      Trace.T_read_file "/d/g";
+      Trace.T_unlink "/d/h";
+      Trace.T_rmdir "/nope";
+      Trace.T_sync;
+    ]
+  in
+  let file = Filename.temp_file "cffs_trace" ".txt" in
+  Trace.save trace file;
+  let back = Trace.load file in
+  Sys.remove file;
+  check Alcotest.int "length" (List.length trace) (List.length back);
+  List.iter2
+    (fun a b -> check Alcotest.string "op" (Trace.op_to_string a) (Trace.op_to_string b))
+    trace back
+
+let test_trace_replay () =
+  let env, fs = mem_env Cffs.config_default in
+  let trace =
+    [
+      Trace.T_mkdir "/d";
+      Trace.T_write_file ("/d/f", 3000);
+      Trace.T_read_file "/d/f";
+      Trace.T_unlink "/missing";
+      Trace.T_sync;
+    ]
+  in
+  let o = Trace.replay env trace in
+  check Alcotest.int "ops" 5 o.Trace.ops;
+  check Alcotest.int "one failure (the bad unlink)" 1 o.Trace.failed;
+  check Alcotest.int "file created" 3000
+    (Cffs_vfs.Errno.get_ok "stat" (Cffs.stat fs "/d/f")).Fs_intf.st_size
+
+let test_trace_recorder_replay_equivalence () =
+  (* Record a session, replay the trace on a fresh fs: same namespace. *)
+  let module R = Trace.Recorder (Cffs) in
+  R.reset ();
+  let _, fs = mem_env Cffs.config_default in
+  let ok what = Cffs_vfs.Errno.get_ok what in
+  ok "mk" (R.mkdir fs "/w");
+  ok "w1" (R.write_file fs "/w/a" (Bytes.make 2000 'a'));
+  ok "w2" (R.write_file fs "/w/b" (Bytes.make 100 'b'));
+  ok "mv" (R.rename_path fs ~src:"/w/b" ~dst:"/w/c");
+  ok "rm" (R.unlink fs "/w/a");
+  let trace = R.recorded () in
+  check Alcotest.int "five ops recorded" 5 (List.length trace);
+  let env2, fs2 = mem_env Cffs.config_default in
+  let o = Trace.replay env2 trace in
+  check Alcotest.int "no failures" 0 o.Trace.failed;
+  check (Alcotest.list Alcotest.string) "same namespace"
+    (Cffs_vfs.Errno.get_ok "ls" (Cffs.list_dir fs "/w"))
+    (Cffs_vfs.Errno.get_ok "ls" (Cffs.list_dir fs2 "/w"))
+
+let test_trace_synthesize () =
+  let trace = Trace.synthesize ~ops:500 ~seed:3 () in
+  check Alcotest.bool "has ops" true (List.length trace > 500);
+  (* Deterministic. *)
+  let again = Trace.synthesize ~ops:500 ~seed:3 () in
+  check Alcotest.int "deterministic" (List.length trace) (List.length again);
+  (* Fully replayable with no failures on a fresh file system. *)
+  let env, _ = mem_env Cffs.config_default in
+  let o = Trace.replay env trace in
+  check Alcotest.int "clean replay" 0 o.Trace.failed
+
+let test_trace_config_comparison () =
+  (* The module's purpose: one trace, several configurations. *)
+  let trace = Trace.synthesize ~ops:400 ~seed:9 () in
+  let run config =
+    let env = timed_env ~policy:Cffs_cache.Cache.Delayed config in
+    (Trace.replay env trace).Trace.measure.Env.seconds
+  in
+  let base = run Cffs.config_ffs_like in
+  let cffs = run Cffs.config_default in
+  check Alcotest.bool
+    (Printf.sprintf "C-FFS faster on the trace (%.2fs vs %.2fs)" cffs base)
+    true (cffs < base)
+
+let () =
+  Alcotest.run "cffs_workload"
+    [
+      ( "sizes",
+        [
+          Alcotest.test_case "paper distribution" `Quick test_sizes_paper_distribution;
+          Alcotest.test_case "bounds" `Quick test_sizes_positive_and_capped;
+          Alcotest.test_case "fixed" `Quick test_sizes_fixed;
+        ] );
+      ("env", [ Alcotest.test_case "measured" `Quick test_env_measured ]);
+      ( "smallfile",
+        [
+          Alcotest.test_case "four phases" `Quick test_smallfile_runs_all_phases;
+          Alcotest.test_case "deletes files" `Quick test_smallfile_files_deleted;
+          Alcotest.test_case "grouping cuts read requests" `Quick
+            test_smallfile_grouping_reduces_requests;
+          Alcotest.test_case "embedding cuts create requests" `Quick
+            test_smallfile_embedding_halves_create_requests;
+        ] );
+      ( "appbench",
+        [
+          Alcotest.test_case "all apps run" `Quick test_appbench_runs;
+          Alcotest.test_case "clean phase" `Quick test_appbench_cleans_up;
+        ] );
+      ( "aging",
+        [
+          Alcotest.test_case "reaches target" `Quick test_aging_reaches_target;
+          Alcotest.test_case "deterministic" `Quick test_aging_deterministic;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "replay" `Quick test_trace_replay;
+          Alcotest.test_case "record/replay equivalence" `Quick
+            test_trace_recorder_replay_equivalence;
+          Alcotest.test_case "synthesize" `Quick test_trace_synthesize;
+          Alcotest.test_case "config comparison" `Quick test_trace_config_comparison;
+        ] );
+      ( "largefile",
+        [
+          Alcotest.test_case "rates positive" `Quick test_largefile_rates;
+          Alcotest.test_case "grouping neutral" `Quick test_largefile_grouping_neutral;
+        ] );
+    ]
