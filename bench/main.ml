@@ -13,7 +13,9 @@
       performance regressions of this repository itself.
 
    `--quick` shrinks part 1 to smoke-test size; `--no-bechamel` skips part 2;
-   `--bechamel-only` skips part 1. *)
+   `--bechamel-only` skips part 1.  `--json` skips both and instead emits
+   the machine-readable telemetry document (quick-scale small-file runs
+   with the full obs-counter delta) on stdout — the artifact CI tracks. *)
 
 open Bechamel
 open Toolkit
@@ -23,6 +25,7 @@ module Cache = Cffs_cache.Cache
 let quick_flag = Array.exists (( = ) "--quick") Sys.argv
 let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
 let bechamel_only = Array.exists (( = ) "--bechamel-only") Sys.argv
+let json_flag = Array.exists (( = ) "--json") Sys.argv
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures. *)
@@ -182,5 +185,10 @@ let run_bechamel () =
   Cffs_util.Tablefmt.print t
 
 let () =
-  if not bechamel_only then print_paper_tables ();
-  if not no_bechamel then run_bechamel ()
+  if json_flag then
+    print_endline
+      (Cffs_obs.Json.to_string_pretty (Cffs_harness.Telemetry.document ()))
+  else begin
+    if not bechamel_only then print_paper_tables ();
+    if not no_bechamel then run_bechamel ()
+  end

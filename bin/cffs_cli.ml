@@ -472,6 +472,52 @@ let disks_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* Observability *)
+
+let stats_cmd =
+  let run json nfiles policy_str =
+    match Cffs_cache.Cache.(
+        match String.lowercase_ascii policy_str with
+        | "write-through" -> Some Write_through
+        | "sync-metadata" -> Some Sync_metadata
+        | "delayed" -> Some Delayed
+        | "soft-updates" -> Some Soft_updates
+        | _ -> None)
+    with
+    | None ->
+        Printf.eprintf
+          "unknown policy %S; one of: write-through, sync-metadata, delayed, \
+           soft-updates\n"
+          policy_str;
+        1
+    | Some policy ->
+        if json then
+          print_endline
+            (Cffs_obs.Json.to_string_pretty
+               (Cffs_harness.Telemetry.document ~nfiles ~policy ()))
+        else Cffs_harness.Telemetry.print_human ~nfiles ~policy ();
+        0
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON telemetry document.")
+  in
+  let nfiles =
+    Arg.(value & opt int 400 & info [ "files" ] ~docv:"N"
+           ~doc:"Small-file benchmark size.")
+  in
+  let policy =
+    Arg.(value & opt string "sync-metadata" & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Cache write policy for the runs.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the small-file benchmark on conventional vs full C-FFS and \
+          report the observability metrics (per-op latency percentiles, disk \
+          access counts, seek/rotation/transfer split, C-FFS counters).")
+    Term.(const run $ json $ nfiles $ policy)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "C-FFS: embedded inodes and explicit grouping (USENIX '97), reproduced" in
@@ -481,7 +527,7 @@ let () =
       [
         mkfs_cmd; fsck_cmd; ls_cmd; tree_cmd; cat_cmd; put_cmd; get_cmd; mkdir_cmd;
         rm_cmd; mv_cmd; df_cmd; dump_cmd; synth_trace_cmd; replay_cmd;
-        trace_bench_cmd; experiment_cmd; disks_cmd;
+        trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -1,7 +1,14 @@
 open Cffs_disk
 
+(* Uniform request accounting for both backends; the timed backend's drive
+   additionally keeps its own (timed) [Request.Stats]. *)
+let m_reads = Cffs_obs.Registry.counter "blockdev.reads"
+let m_writes = Cffs_obs.Registry.counter "blockdev.writes"
+let m_read_sectors = Cffs_obs.Registry.counter "blockdev.read_sectors"
+let m_write_sectors = Cffs_obs.Registry.counter "blockdev.write_sectors"
+
 type backend =
-  | Memory of { mutable clock : float; zero_stats : Request.Stats.s }
+  | Memory of { mutable clock : float; stats : Request.Stats.s }
   | Timed of { drive : Drive.t; policy : Scheduler.policy; host_overhead : float }
 
 type t = {
@@ -29,7 +36,7 @@ let of_drive ?(policy = Scheduler.Clook) ?(host_overhead = 0.5e-3) drive ~block_
 let memory ~block_size ~nblocks =
   if block_size <= 0 || nblocks <= 0 then invalid_arg "Blockdev.memory";
   {
-    backend = Memory { clock = 0.0; zero_stats = Request.Stats.create () };
+    backend = Memory { clock = 0.0; stats = Request.Stats.create () };
     store = Hashtbl.create 4096;
     block_size;
     nblocks;
@@ -61,8 +68,23 @@ let store_block t blk src off =
   Bytes.blit src off b 0 t.block_size
 
 let time_request t (req : Request.t) =
+  (match req.kind with
+  | Read ->
+      Cffs_obs.Registry.incr m_reads;
+      Cffs_obs.Registry.incr ~by:req.sectors m_read_sectors
+  | Write ->
+      Cffs_obs.Registry.incr m_writes;
+      Cffs_obs.Registry.incr ~by:req.sectors m_write_sectors);
   match t.backend with
-  | Memory _ -> ()
+  | Memory m -> (
+      let s = m.stats in
+      match req.kind with
+      | Read ->
+          s.reads <- s.reads + 1;
+          s.read_sectors <- s.read_sectors + req.sectors
+      | Write ->
+          s.writes <- s.writes + 1;
+          s.write_sectors <- s.write_sectors + req.sectors)
   | Timed { drive; host_overhead; _ } ->
       Drive.advance drive host_overhead;
       ignore (Drive.service drive req)
@@ -142,7 +164,7 @@ let advance t dt =
 
 let stats t =
   match t.backend with
-  | Memory m -> m.zero_stats
+  | Memory m -> m.stats
   | Timed { drive; _ } -> Drive.stats drive
 
 let drive t = match t.backend with Memory _ -> None | Timed { drive; _ } -> Some drive

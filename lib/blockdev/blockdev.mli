@@ -54,7 +54,9 @@ val advance : t -> float -> unit
 (** Account CPU/think time. *)
 
 val stats : t -> Cffs_disk.Request.Stats.s
-(** Live request counters (all-zero, never updated, for memory devices). *)
+(** Live request counters.  Both backends count reads/writes/sectors
+    uniformly; the timing fields ([busy_time], [seek_time], ...) stay zero
+    for memory devices, which have no mechanics to account. *)
 
 val drive : t -> Cffs_disk.Drive.t option
 

@@ -1,5 +1,15 @@
 module Blockdev = Cffs_blockdev.Blockdev
 module Lru = Cffs_util.Lru
+module Obs = Cffs_obs.Registry
+
+let m_phys_hits = Obs.counter "cache.phys_hits"
+let m_logical_hits = Obs.counter "cache.logical_hits"
+let m_misses = Obs.counter "cache.misses"
+let m_sync_writes = Obs.counter "cache.sync_writes"
+let m_delayed_writes = Obs.counter "cache.delayed_writes"
+let m_writebacks = Obs.counter "cache.writebacks"
+let m_evictions = Obs.counter "cache.evictions"
+let m_flushes = Obs.counter "cache.flushes"
 
 type policy = Write_through | Sync_metadata | Delayed | Soft_updates
 
@@ -21,6 +31,14 @@ type stats = {
   mutable evictions : int;
 }
 
+type event =
+  | Read_hit of { blk : int; logical : bool }
+  | Read_miss of { blk : int; nblocks : int }
+  | Write of { blk : int; sync : bool }
+  | Writeback of { blk : int; nblocks : int }
+  | Evict of { blk : int }
+  | Flush of { nblocks : int }
+
 type entry = {
   mutable data : bytes;
   mutable dirty : bool;
@@ -39,7 +57,7 @@ type t = {
   stats : stats;
   mutable policy : policy;
   mutable clusterer : clusterer;
-  mutable trace : (string -> unit) option;
+  mutable observer : (event -> unit) option;
   mutable seq : int;
   deps : (int, int list) Hashtbl.t;
       (** block -> blocks that must be written no later than it *)
@@ -64,18 +82,15 @@ let create ?(policy = Sync_metadata) dev ~capacity_blocks =
       };
     policy;
     clusterer = (fun ~prev:_ ~next:_ -> false);
-    trace = None;
+    observer = None;
     seq = 0;
     deps = Hashtbl.create 64;
   }
 
 let set_clusterer t c = t.clusterer <- c
-let set_trace t f = t.trace <- f
+let set_observer t f = t.observer <- f
 
-let trace t fmt =
-  match t.trace with
-  | None -> Printf.ifprintf () fmt
-  | Some f -> Printf.ksprintf f fmt
+let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let device t = t.dev
 let policy t = t.policy
@@ -156,6 +171,8 @@ let order t ~first ~second =
       | Some e when e.dirty ->
           Blockdev.write t.dev first e.data;
           t.stats.writebacks <- t.stats.writebacks + 1;
+          Obs.incr m_writebacks;
+          notify t (Writeback { blk = first; nblocks = 1 });
           mark_clean t first
       | Some _ | None -> ())
     end
@@ -179,11 +196,18 @@ let unit_ready t (start, blocks) =
   ok 0
 
 let flush t =
+  Obs.incr m_flushes;
   if t.policy <> Soft_updates || Hashtbl.length t.deps = 0 then begin
     let units = dirty_units t in
     let n = List.fold_left (fun acc (_, bl) -> acc + List.length bl) 0 units in
     Blockdev.write_batch_units t.dev units;
     t.stats.writebacks <- t.stats.writebacks + n;
+    Obs.incr ~by:n m_writebacks;
+    List.iter
+      (fun (start, blocks) ->
+        notify t (Writeback { blk = start; nblocks = List.length blocks }))
+      units;
+    if n > 0 then notify t (Flush { nblocks = n });
     Lru.iter t.entries (fun _ e -> e.dirty <- false);
     Hashtbl.reset t.deps
   end
@@ -202,6 +226,8 @@ let flush t =
         List.iter
           (fun (start, blocks) ->
             t.stats.writebacks <- t.stats.writebacks + List.length blocks;
+            Obs.incr ~by:(List.length blocks) m_writebacks;
+            notify t (Writeback { blk = start; nblocks = List.length blocks });
             List.iteri (fun i _ -> mark_clean t (start + i)) blocks)
           batch;
         wave ()
@@ -222,9 +248,11 @@ let evict_if_full t =
     | Some _ | None -> ());
     match Lru.pop_lru t.entries with
     | None -> assert false
-    | Some (_, e) ->
+    | Some (blk, e) ->
         detach_logical t e;
-        t.stats.evictions <- t.stats.evictions + 1
+        t.stats.evictions <- t.stats.evictions + 1;
+        Obs.incr m_evictions;
+        notify t (Evict { blk })
   done
 
 let insert t blk data ~dirty =
@@ -238,12 +266,14 @@ let resident_block t blk = Lru.mem t.entries blk
 let read t blk =
   match Lru.use t.entries blk with
   | Some e ->
-      trace t "read %d hit" blk;
       t.stats.phys_hits <- t.stats.phys_hits + 1;
+      Obs.incr m_phys_hits;
+      notify t (Read_hit { blk; logical = false });
       e.data
   | None ->
-      trace t "read %d miss" blk;
       t.stats.misses <- t.stats.misses + 1;
+      Obs.incr m_misses;
+      notify t (Read_miss { blk; nblocks = 1 });
       let data = Blockdev.read t.dev blk 1 in
       insert t blk data ~dirty:false;
       data
@@ -255,6 +285,8 @@ let read_group t blk n =
   in
   if missing then begin
     t.stats.misses <- t.stats.misses + 1;
+    Obs.incr m_misses;
+    notify t (Read_miss { blk; nblocks = n });
     let data = Blockdev.read t.dev blk n in
     for i = 0 to n - 1 do
       if not (Lru.mem t.entries (blk + i)) then begin
@@ -262,7 +294,8 @@ let read_group t blk n =
         insert t (blk + i) b ~dirty:false
       end
     done
-  end
+  end;
+  missing
 
 let find_logical t ~ino ~lblk =
   match Hashtbl.find_opt t.logical (ino, lblk) with
@@ -271,6 +304,8 @@ let find_logical t ~ino ~lblk =
       match Lru.use t.entries blk with
       | Some e ->
           t.stats.logical_hits <- t.stats.logical_hits + 1;
+          Obs.incr m_logical_hits;
+          notify t (Read_hit { blk; logical = true });
           Some e.data
       | None ->
           (* Stale mapping left by an eviction race; drop it. *)
@@ -322,12 +357,16 @@ let write t ~kind blk data =
       end;
       e.dirty <- not sync
   | None -> insert t blk data ~dirty:(not sync));
-  trace t "write %d sync=%b" blk sync;
+  notify t (Write { blk; sync });
   if sync then begin
     Blockdev.write t.dev blk data;
-    t.stats.sync_writes <- t.stats.sync_writes + 1
+    t.stats.sync_writes <- t.stats.sync_writes + 1;
+    Obs.incr m_sync_writes
   end
-  else t.stats.delayed_writes <- t.stats.delayed_writes + 1
+  else begin
+    t.stats.delayed_writes <- t.stats.delayed_writes + 1;
+    Obs.incr m_delayed_writes
+  end
 
 let flush_limit t n =
   if t.policy <> Soft_updates then begin
@@ -335,6 +374,8 @@ let flush_limit t n =
     let chosen = List.filteri (fun i _ -> i < n) dirty in
     Blockdev.write_batch t.dev chosen;
     t.stats.writebacks <- t.stats.writebacks + List.length chosen;
+    Obs.incr ~by:(List.length chosen) m_writebacks;
+    List.iter (fun (blk, _) -> notify t (Writeback { blk; nblocks = 1 })) chosen;
     List.iter
       (fun (blk, _) ->
         match Lru.find t.entries blk with
@@ -359,6 +400,8 @@ let flush_limit t n =
           then begin
             Blockdev.write t.dev blk data;
             t.stats.writebacks <- t.stats.writebacks + 1;
+            Obs.incr m_writebacks;
+            notify t (Writeback { blk; nblocks = 1 });
             mark_clean t blk;
             incr written;
             progress := true

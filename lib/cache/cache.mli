@@ -72,11 +72,12 @@ val read : t -> int -> bytes
     miss.  The returned buffer is the cache's own: after mutating it, call
     {!write} to record the new contents (and dirtiness). *)
 
-val read_group : t -> int -> int -> unit
+val read_group : t -> int -> int -> bool
 (** [read_group t blk n] fetches [n] contiguous blocks as a single disk
     request and installs each under its physical identity.  Blocks already
     resident (possibly dirty) keep their cached contents.  If every block is
-    already resident, no disk request is issued. *)
+    already resident, no disk request is issued and the call returns
+    [false]; [true] means a group request went to the device. *)
 
 val find_logical : t -> ino:int -> lblk:int -> bytes option
 (** Logical-identity lookup; a hit needs no block-map consultation at all. *)
@@ -126,6 +127,19 @@ val crash : t -> unit
 (** Drop all cached state {e without} flushing — what a power failure leaves
     on the device is exactly what was written so far. *)
 
-val set_trace : t -> (string -> unit) option -> unit
-(** Debug hook: when set, every cache operation reports a one-line summary
-    (used by tests to compare operation streams). *)
+(** Typed notification of every cache decision, for tests and trace sinks.
+    One event fires per logical action, before the device I/O it implies:
+    [Read_miss] precedes the device read, [Writeback] the batch write.
+    Aggregate counts are also maintained as [cache.*] registry metrics. *)
+type event =
+  | Read_hit of { blk : int; logical : bool }
+      (** [logical] distinguishes a {!find_logical} hit from a physical one. *)
+  | Read_miss of { blk : int; nblocks : int }
+      (** [nblocks > 1] for group fetches ({!read_group}). *)
+  | Write of { blk : int; sync : bool }
+  | Writeback of { blk : int; nblocks : int }
+      (** One flushed unit — a scatter/gather run of dirty blocks. *)
+  | Evict of { blk : int }
+  | Flush of { nblocks : int }  (** A {!flush} that pushed [nblocks] out. *)
+
+val set_observer : t -> (event -> unit) option -> unit

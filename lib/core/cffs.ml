@@ -77,6 +77,19 @@ let embed_pos t ino = ((ino - Csb.embed_bit) / cpb t, (ino - Csb.embed_bit) mod 
 
 let mtime_now t = int_of_float (Blockdev.now (Cache.device t.cache))
 
+(* The counters behind the paper's qualitative claims: embedded inodes
+   arrive with the directory block (vs falling to the external inode
+   file), grouped data moves in frame-sized requests (vs per-block), and
+   fragmentation erodes grouping by forcing single-block placement. *)
+module Obs = Cffs_obs.Registry
+
+let m_embedded_hits = Obs.counter "cffs.embedded_inode_hits"
+let m_external_reads = Obs.counter "cffs.external_inode_reads"
+let m_group_reads = Obs.counter "cffs.group_reads"
+let m_readahead_reads = Obs.counter "cffs.readahead_reads"
+let m_group_fills = Obs.counter "cffs.group_fills"
+let m_frag_splits = Obs.counter "cffs.frag_splits"
+
 (* ------------------------------------------------------------------ *)
 (* Cylinder-group headers: free count + block bitmap. *)
 
@@ -278,7 +291,11 @@ let read_inode t ino : Inode.t Errno.result =
       if Codec.get_u8 b (Cdir.chunk_off chunk) = 0 then Error Enoent
       else begin
         let inode = Cdir.read_inode b chunk in
-        if inode.Inode.kind = Inode.Free then Error Enoent else Ok inode
+        if inode.Inode.kind = Inode.Free then Error Enoent
+        else begin
+          Obs.incr m_embedded_hits;
+          Ok inode
+        end
       end
     end
   end
@@ -292,7 +309,11 @@ let read_inode t ino : Inode.t Errno.result =
       | Some p ->
           let b = Cache.read t.cache p in
           let inode = Inode.decode b (slot mod ipb t * Inode.size_bytes) in
-          if inode.Inode.kind = Inode.Free then Error Enoent else Ok inode
+          if inode.Inode.kind = Inode.Free then Error Enoent
+          else begin
+            Obs.incr m_external_reads;
+            Ok inode
+          end
     end
   end
   else Error Einval
@@ -431,6 +452,7 @@ let alloc_grouped t ~dir_ino ~dinode =
   | None -> begin
       match alloc_frame t ~cg:(dir_affinity_cg t dinode) with
       | Some frame ->
+          Obs.incr m_group_fills;
           (* Most-recent frame first; the oldest hint falls off. *)
           for i = Inode.n_spare - 1 downto 1 do
             spare.(i) <- spare.(i - 1)
@@ -440,6 +462,8 @@ let alloc_grouped t ~dir_ino ~dinode =
           claim_block t frame;
           Ok frame
       | None -> begin
+          (* No whole frame free: this directory's data fragments. *)
+          Obs.incr m_frag_splits;
           match alloc_near t ~cg:(dir_affinity_cg t dinode) ~hint:0 with
           | Some blk -> Ok blk
           | None -> Error Enospc
@@ -474,7 +498,7 @@ let readahead t ~ino inode lblk p =
       end
     in
     let n = run_len 1 in
-    if n > 1 then Cache.read_group t.cache p n
+    if n > 1 && Cache.read_group t.cache p n then Obs.incr m_readahead_reads
   end
 
 (* Read a file's logical block.  A miss on a grouped block fetches the whole
@@ -494,7 +518,9 @@ let file_block_read t ~ino inode lblk =
       | Ok None -> Ok None
       | Ok (Some p) ->
           (match if group_read_applies t inode lblk then frame_of_block t p else None with
-          | Some frame -> Cache.read_group t.cache frame t.sb.Csb.group_blocks
+          | Some frame ->
+              if Cache.read_group t.cache frame t.sb.Csb.group_blocks then
+                Obs.incr m_group_reads
           | None -> readahead t ~ino inode lblk p);
           let b = Cache.read t.cache p in
           Cache.set_logical t.cache p ~ino ~lblk;
@@ -1272,7 +1298,7 @@ let mount ?policy ?(cache_blocks = 4096) dev =
 (* ------------------------------------------------------------------ *)
 (* Path-level interface. *)
 
-module Low = struct
+module Low = Cffs_vfs.Obs_low.Make (struct
   type nonrec t = t
 
   let label = label
@@ -1290,7 +1316,17 @@ module Low = struct
   let sync = sync
   let remount = remount
   let usage = usage
-end
+  let device t = Cache.device t.cache
+  let prefix = "cffs"
+end)
+
+(* Re-export the instrumented entry points so direct callers (workloads,
+   fsck, tests) are measured identically to path-level access. *)
+let lookup = Low.lookup
+let mknod = Low.mknod
+let remove = Low.remove
+let read_ino = Low.read_ino
+let write_ino = Low.write_ino
 
 module Pathops = Cffs_vfs.Pathfs.Make (Low)
 

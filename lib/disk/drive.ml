@@ -1,3 +1,20 @@
+module Obs = Cffs_obs.Registry
+module Otrace = Cffs_obs.Trace
+
+(* Registry mirrors of [Request.Stats]: the per-drive record stays the
+   source of truth for experiments that own a drive; the registry
+   aggregates across every drive in the process for the obs exporters. *)
+let m_reads = Obs.counter "drive.reads"
+let m_writes = Obs.counter "drive.writes"
+let m_read_sectors = Obs.counter "drive.read_sectors"
+let m_write_sectors = Obs.counter "drive.write_sectors"
+let m_cache_hits = Obs.counter "drive.cache_hits"
+let m_seek = Obs.fcounter "drive.seek_s"
+let m_rotation = Obs.fcounter "drive.rotation_s"
+let m_transfer = Obs.fcounter "drive.transfer_s"
+let m_busy = Obs.fcounter "drive.busy_s"
+let h_service = Obs.histogram "drive.service_s"
+
 type t = {
   profile : Profile.t;
   geom : Geometry.t;
@@ -138,6 +155,7 @@ let service_read_miss t start (req : Request.t) =
 
 let service t (req : Request.t) =
   let s = t.stats in
+  let before = Request.Stats.copy s in
   let start = t.clock in
   settle t;
   let duration =
@@ -190,4 +208,27 @@ let service t (req : Request.t) =
       s.write_sectors <- s.write_sectors + req.sectors);
   s.busy_time <- s.busy_time +. duration;
   t.clock <- start +. duration;
+  let d = Request.Stats.diff s before in
+  Obs.incr ~by:d.reads m_reads;
+  Obs.incr ~by:d.writes m_writes;
+  Obs.incr ~by:d.read_sectors m_read_sectors;
+  Obs.incr ~by:d.write_sectors m_write_sectors;
+  Obs.incr ~by:d.cache_hits m_cache_hits;
+  Obs.fadd m_seek d.seek_time;
+  Obs.fadd m_rotation d.rotation_time;
+  Obs.fadd m_transfer d.transfer_time;
+  Obs.fadd m_busy duration;
+  Obs.observe h_service duration;
+  if Otrace.is_enabled () then
+    Otrace.complete
+      ~target:(Printf.sprintf "lba:%d+%d" req.lba req.sectors)
+      ~attrs:
+        [
+          ("seek_s", Printf.sprintf "%.6f" d.seek_time);
+          ("rotation_s", Printf.sprintf "%.6f" d.rotation_time);
+          ("transfer_s", Printf.sprintf "%.6f" d.transfer_time);
+          ("cache_hit", string_of_bool (d.cache_hits > 0));
+        ]
+      ~t_start:start ~t_end:t.clock
+      (match req.kind with Read -> "drive.read" | Write -> "drive.write");
   duration

@@ -1,5 +1,9 @@
 type policy = Fcfs | Clook | Sstf
 
+let m_batches = Cffs_obs.Registry.counter "scheduler.batches"
+let m_requests = Cffs_obs.Registry.counter "scheduler.requests"
+let m_reordered = Cffs_obs.Registry.counter "scheduler.reordered"
+
 let policy_name = function Fcfs -> "FCFS" | Clook -> "C-LOOK" | Sstf -> "SSTF"
 
 let policy_of_string s =
@@ -9,7 +13,7 @@ let policy_of_string s =
   | "sstf" -> Some Sstf
   | _ -> None
 
-let order policy geom ~current_cyl reqs =
+let order_requests policy geom ~current_cyl reqs =
   match policy with
   | Fcfs -> reqs
   | Clook ->
@@ -44,3 +48,18 @@ let order policy geom ~current_cyl reqs =
             remaining := List.filter (fun x -> x != r) !remaining
       done;
       List.rev !out
+
+let order policy geom ~current_cyl reqs =
+  let out = order_requests policy geom ~current_cyl reqs in
+  (match reqs with
+  | [] -> ()
+  | _ ->
+      Cffs_obs.Registry.incr m_batches;
+      Cffs_obs.Registry.incr ~by:(List.length reqs) m_requests;
+      let moved =
+        List.fold_left2
+          (fun acc a b -> if a == b then acc else acc + 1)
+          0 reqs out
+      in
+      Cffs_obs.Registry.incr ~by:moved m_reordered);
+  out

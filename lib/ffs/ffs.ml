@@ -727,7 +727,7 @@ let mount ?policy ?(cache_blocks = 4096) dev =
 (* ------------------------------------------------------------------ *)
 (* Path-level interface. *)
 
-module Low = struct
+module Low = Cffs_vfs.Obs_low.Make (struct
   type nonrec t = t
 
   let label = label
@@ -745,7 +745,17 @@ module Low = struct
   let sync = sync
   let remount = remount
   let usage = usage
-end
+  let device t = Cache.device t.cache
+  let prefix = "ffs"
+end)
+
+(* Re-export the instrumented entry points so direct callers (workloads,
+   fsck, tests) are measured identically to path-level access. *)
+let lookup = Low.lookup
+let mknod = Low.mknod
+let remove = Low.remove
+let read_ino = Low.read_ino
+let write_ino = Low.write_ino
 
 module Pathops = Cffs_vfs.Pathfs.Make (Low)
 

@@ -1,0 +1,156 @@
+module Registry = Cffs_obs.Registry
+module Json = Cffs_obs.Json
+module Env = Cffs_workload.Env
+module Smallfile = Cffs_workload.Smallfile
+module Tablefmt = Cffs_util.Tablefmt
+
+let schema = "cffs-telemetry-v1"
+
+type config_run = {
+  label : string;
+  results : Smallfile.result list;
+  delta : Registry.snapshot;  (** registry delta over the run *)
+}
+
+let run_config ~nfiles ~file_bytes ~policy fs =
+  let inst = Setup.instantiate (Setup.standard ~policy fs) in
+  let before = Registry.snapshot () in
+  let results = Smallfile.run ~nfiles ~file_bytes inst.Setup.env in
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  { label = Setup.fs_kind_label fs; results; delta }
+
+(* The two endpoints of the paper's comparison: both-techniques-off (the
+   conventional FFS-style configuration) and both-techniques-on. *)
+let default_pair =
+  [ Setup.Cffs_fs Cffs.config_ffs_like; Setup.Cffs_fs Cffs.config_default ]
+
+let measure_fields (m : Env.measure) =
+  [
+    ("seconds", Json.Float m.seconds);
+    ("requests", Json.Int m.requests);
+    ("reads", Json.Int m.reads);
+    ("writes", Json.Int m.writes);
+    ("bytes_moved", Json.Int m.bytes_moved);
+    ("cache_hits", Json.Int m.cache_hits);
+    ("seek_s", Json.Float m.seek_s);
+    ("rotation_s", Json.Float m.rotation_s);
+    ("transfer_s", Json.Float m.transfer_s);
+  ]
+
+let phase_to_json (r : Smallfile.result) =
+  Json.Obj
+    ([
+       ("phase", Json.String (Smallfile.phase_name r.phase));
+       ("files_per_sec", Json.Float r.files_per_sec);
+       ("kb_per_sec", Json.Float r.kb_per_sec);
+       ("requests_per_file", Json.Float r.requests_per_file);
+     ]
+    @ measure_fields r.measure)
+
+let is_op_hist name = Filename.check_suffix name "_s" && String.length name > 2
+
+let split_delta delta =
+  List.fold_left
+    (fun (ops, counters) (name, d) ->
+      match (d : Registry.datum) with
+      | Registry.Histogram h when is_op_hist name ->
+          if h.Registry.count = 0 then (ops, counters)
+          else ((name, Registry.hist_to_json h) :: ops, counters)
+      | Registry.Counter 0 -> (ops, counters)
+      | Registry.Counter v -> (ops, (name, Json.Int v) :: counters)
+      | Registry.Fcounter v ->
+          if v = 0.0 then (ops, counters) else (ops, (name, Json.Float v) :: counters)
+      | Registry.Gauge _ | Registry.Histogram _ -> (ops, counters))
+    ([], []) delta
+  |> fun (ops, counters) -> (List.rev ops, List.rev counters)
+
+let config_to_json run =
+  let ops, counters = split_delta run.delta in
+  Json.Obj
+    [
+      ("label", Json.String run.label);
+      ("phases", Json.List (List.map phase_to_json run.results));
+      ("ops", Json.Obj ops);
+      ("counters", Json.Obj counters);
+    ]
+
+let phase_measure run phase =
+  List.find_opt (fun (r : Smallfile.result) -> r.phase = phase) run.results
+
+let derived_json runs =
+  match runs with
+  | [ base; cffs ] -> begin
+      match (phase_measure base Smallfile.Read, phase_measure cffs Smallfile.Read) with
+      | Some b, Some c ->
+          let ratio =
+            if c.requests_per_file > 0.0 then b.requests_per_file /. c.requests_per_file
+            else 0.0
+          in
+          [
+            ( "read_requests_per_file",
+              Json.Obj
+                [
+                  ("base", Json.Float b.requests_per_file);
+                  ("cffs", Json.Float c.requests_per_file);
+                  ("ratio", Json.Float ratio);
+                ] );
+          ]
+      | _ -> []
+    end
+  | _ -> []
+
+let document ?(nfiles = 400) ?(file_bytes = 1024)
+    ?(policy = Cffs_cache.Cache.Sync_metadata) ?(configs = default_pair) () =
+  let runs = List.map (run_config ~nfiles ~file_bytes ~policy) configs in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("benchmark", Json.String "smallfile");
+      ("nfiles", Json.Int nfiles);
+      ("file_bytes", Json.Int file_bytes);
+      ("policy", Json.String (Cffs_cache.Cache.policy_name policy));
+      ("configs", Json.List (List.map config_to_json runs));
+      ("derived", Json.Obj (derived_json runs));
+    ]
+
+let print_human ?(nfiles = 400) ?(file_bytes = 1024)
+    ?(policy = Cffs_cache.Cache.Sync_metadata) ?(configs = default_pair) () =
+  let runs = List.map (run_config ~nfiles ~file_bytes ~policy) configs in
+  List.iter
+    (fun run ->
+      let t =
+        Tablefmt.create
+          ~title:
+            (Printf.sprintf "%s — smallfile, %d files of %d bytes" run.label
+               nfiles file_bytes)
+          [
+            ("phase", Tablefmt.Left);
+            ("files/s", Tablefmt.Right);
+            ("reqs/file", Tablefmt.Right);
+            ("reads", Tablefmt.Right);
+            ("writes", Tablefmt.Right);
+            ("seek", Tablefmt.Right);
+            ("rotation", Tablefmt.Right);
+            ("transfer", Tablefmt.Right);
+          ]
+      in
+      List.iter
+        (fun (r : Smallfile.result) ->
+          Tablefmt.add_row t
+            [
+              Smallfile.phase_name r.phase;
+              Tablefmt.fmt_float ~decimals:0 r.files_per_sec;
+              Tablefmt.fmt_float ~decimals:2 r.requests_per_file;
+              string_of_int r.measure.Env.reads;
+              string_of_int r.measure.Env.writes;
+              Tablefmt.fmt_ms r.measure.Env.seek_s;
+              Tablefmt.fmt_ms r.measure.Env.rotation_s;
+              Tablefmt.fmt_ms r.measure.Env.transfer_s;
+            ])
+        run.results;
+      Tablefmt.print t;
+      print_newline ();
+      Tablefmt.print
+        (Registry.to_table ~title:(run.label ^ " — metrics") run.delta);
+      print_newline ())
+    runs

@@ -1,0 +1,49 @@
+(** Machine-readable telemetry over the small-file benchmark.
+
+    Runs the paper's headline workload on a pair of configurations
+    (conventional vs full C-FFS by default) and packages everything the
+    obs layer collected — per-phase device measures, per-op latency
+    histograms, and the full counter delta — into one JSON document with
+    schema ["cffs-telemetry-v1"].  [cffs_cli stats] and
+    [bench/main.exe --json] both emit this document, so the performance
+    trajectory of the repo is tracked in a diffable format from PR to
+    PR. *)
+
+type config_run = {
+  label : string;
+  results : Cffs_workload.Smallfile.result list;
+  delta : Cffs_obs.Registry.snapshot;
+      (** registry delta over the run (counters, fcounters, histograms) *)
+}
+
+val run_config :
+  nfiles:int ->
+  file_bytes:int ->
+  policy:Cffs_cache.Cache.policy ->
+  Setup.fs_kind ->
+  config_run
+(** Format a fresh filesystem, run the small-file benchmark, and capture
+    the registry delta. *)
+
+val default_pair : Setup.fs_kind list
+(** [C-FFS (none); C-FFS (EI+EG)] — the comparison the paper's Tables 2–4
+    make. *)
+
+val document :
+  ?nfiles:int ->
+  ?file_bytes:int ->
+  ?policy:Cffs_cache.Cache.policy ->
+  ?configs:Setup.fs_kind list ->
+  unit ->
+  Cffs_obs.Json.t
+(** The telemetry document.  Defaults: 400 files (the quick scale) of
+    1 KB under sync-metadata, over {!default_pair}. *)
+
+val print_human :
+  ?nfiles:int ->
+  ?file_bytes:int ->
+  ?policy:Cffs_cache.Cache.policy ->
+  ?configs:Setup.fs_kind list ->
+  unit ->
+  unit
+(** The same data as tables on stdout. *)

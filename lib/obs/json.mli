@@ -1,0 +1,23 @@
+(** Minimal JSON document builder.
+
+    The repository deliberately has no JSON dependency; this covers the
+    subset the telemetry exporters need: construction and serialisation
+    (no parsing).  Serialisation is deterministic — object fields are
+    emitted in construction order — so exported documents can be compared
+    byte-for-byte in golden tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line serialisation.  Non-finite floats are clamped to
+    representable values (JSON has no [NaN]/[Infinity]). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented serialisation for human eyes. *)

@@ -1,0 +1,121 @@
+type event = {
+  seq : int;
+  name : string;
+  target : string;
+  depth : int;
+  t_start : float;
+  t_end : float;
+  attrs : (string * string) list;
+}
+
+type sink = event -> unit
+
+let enabled = ref false
+let default_capacity = 1024
+let ring : event option array ref = ref (Array.make default_capacity None)
+let pos = ref 0
+let stored = ref 0
+let seq = ref 0
+let depth = ref 0
+let sinks : (string * sink) list ref = ref []
+
+let is_enabled () = !enabled
+let set_enabled b = enabled := b
+
+let capacity () = Array.length !ring
+
+let clear () =
+  Array.fill !ring 0 (Array.length !ring) None;
+  pos := 0;
+  stored := 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity";
+  ring := Array.make n None;
+  pos := 0;
+  stored := 0
+
+let add_sink ~name f = sinks := (name, f) :: List.remove_assoc name !sinks
+let remove_sink name = sinks := List.remove_assoc name !sinks
+
+let record ev =
+  List.iter (fun (_, f) -> f ev) !sinks;
+  let r = !ring in
+  r.(!pos) <- Some ev;
+  pos := (!pos + 1) mod Array.length r;
+  if !stored < Array.length r then incr stored
+
+let next_seq () =
+  incr seq;
+  !seq
+
+let instant ?(target = "") ?(attrs = []) ~now name =
+  if !enabled then
+    record { seq = next_seq (); name; target; depth = !depth; t_start = now; t_end = now; attrs }
+
+let complete ?(target = "") ?(attrs = []) ~t_start ~t_end name =
+  if !enabled then
+    record { seq = next_seq (); name; target; depth = !depth; t_start; t_end; attrs }
+
+let with_span ?(target = "") ?attrs ~clock name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = clock () in
+    let d = !depth in
+    depth := d + 1;
+    let finish attrs =
+      depth := d;
+      record
+        { seq = next_seq (); name; target; depth = d; t_start = t0; t_end = clock (); attrs }
+    in
+    match f () with
+    | r ->
+        finish (match attrs with None -> [] | Some g -> g ());
+        r
+    | exception e ->
+        finish [ ("error", Printexc.to_string e) ];
+        raise e
+  end
+
+let events () =
+  let r = !ring in
+  let cap = Array.length r in
+  let n = !stored in
+  let first = if n < cap then 0 else !pos in
+  List.init n (fun i ->
+      match r.((first + i) mod cap) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let event_to_json ev =
+  Json.Obj
+    [
+      ("seq", Json.Int ev.seq);
+      ("name", Json.String ev.name);
+      ("target", Json.String ev.target);
+      ("depth", Json.Int ev.depth);
+      ("t_start", Json.Float ev.t_start);
+      ("t_end", Json.Float ev.t_end);
+      ( "attrs",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ev.attrs) );
+    ]
+
+let to_json_lines () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Json.to_string (event_to_json ev));
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf
+
+let pp_event ppf ev =
+  Format.fprintf ppf "%*s[%.6f..%.6f] %s%s%s" (2 * ev.depth) "" ev.t_start
+    ev.t_end ev.name
+    (if ev.target = "" then "" else " " ^ ev.target)
+    (match ev.attrs with
+    | [] -> ""
+    | attrs ->
+        " {"
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+        ^ "}")

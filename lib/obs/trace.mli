@@ -1,0 +1,80 @@
+(** Structured trace layer: span events over simulated time.
+
+    A span records one operation — a filesystem call, a drive request —
+    with its name, a free-form target (path, inode, LBA range), its
+    nesting depth, simulated start/end times, and string attributes
+    (typically the per-span device-counter deltas).  Events land in a
+    bounded ring buffer and are forwarded to any registered sinks; when
+    the ring wraps, the oldest events are dropped.
+
+    Tracing is {e off} by default — the hot path pays one [ref] read —
+    and spans record at close, so nested spans appear inner-first in the
+    ring (ordered by end time, like the underlying simulated clock).
+
+    The clock is supplied by the caller ([fun () -> Blockdev.now dev]):
+    the obs layer sits below every timed component and never imports
+    one. *)
+
+type event = {
+  seq : int;  (** global emission order, 1-based *)
+  name : string;  (** e.g. ["cffs.lookup"], ["drive.read"] *)
+  target : string;  (** path, ["ino:7"], ["lba:2048+16"], or [""] *)
+  depth : int;  (** span-nesting depth at emission *)
+  t_start : float;  (** simulated seconds *)
+  t_end : float;
+  attrs : (string * string) list;
+}
+
+type sink = event -> unit
+
+val is_enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Replace the ring (discarding stored events).  Default 1024.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val clear : unit -> unit
+(** Drop stored events; sequence numbers and depth are unaffected. *)
+
+val add_sink : name:string -> sink -> unit
+(** Sinks fire synchronously on every recorded event; re-adding a name
+    replaces the previous sink. *)
+
+val remove_sink : string -> unit
+
+val instant : ?target:string -> ?attrs:(string * string) list -> now:float -> string -> unit
+(** Zero-duration event at the given simulated time. *)
+
+val complete :
+  ?target:string ->
+  ?attrs:(string * string) list ->
+  t_start:float ->
+  t_end:float ->
+  string ->
+  unit
+(** Record an already-finished span (how [Drive.service] reports, since
+    it computes its own timing). *)
+
+val with_span :
+  ?target:string ->
+  ?attrs:(unit -> (string * string) list) ->
+  clock:(unit -> float) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span ~clock name f] runs [f] inside a span: reads the clock
+    before and after, increments the nesting depth around [f], and
+    records on the way out.  [attrs] is evaluated after [f] succeeds (so
+    it can diff device counters); if [f] raises, the span records with an
+    [error] attribute and the exception propagates.  When tracing is
+    disabled this is exactly [f ()]. *)
+
+val events : unit -> event list
+(** Stored events, oldest first. *)
+
+val event_to_json : event -> Json.t
+val to_json_lines : unit -> string
+val pp_event : Format.formatter -> event -> unit

@@ -5,11 +5,15 @@ type t = {
   mutable total : float;
   mutable mn : float;
   mutable mx : float;
-  mutable samples : float list;
-  mutable sorted : float array option; (* memoised sort of [samples] *)
+  reservoir : int; (* 0 = unbounded *)
+  mutable rng : int64; (* xorshift64* state for reservoir sampling *)
+  mutable samples : float array; (* growable; first [len] slots live *)
+  mutable len : int;
+  mutable sorted : float array option; (* memoised sort of the samples *)
 }
 
-let create () =
+let create ?(reservoir = 0) () =
+  if reservoir < 0 then invalid_arg "Stats.create: negative reservoir";
   {
     n = 0;
     mean = 0.0;
@@ -17,9 +21,41 @@ let create () =
     total = 0.0;
     mn = infinity;
     mx = neg_infinity;
-    samples = [];
+    reservoir;
+    rng = 0x9E3779B97F4A7C15L;
+    samples = [||];
+    len = 0;
     sorted = None;
   }
+
+(* Deterministic xorshift64* — no dependence on [Random]'s global state, so
+   accumulators behave identically run to run. *)
+let rand_below t bound =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  Int64.to_int (Int64.rem (Int64.shift_right_logical x 1) (Int64.of_int bound))
+
+let push t x =
+  if t.len = Array.length t.samples then begin
+    let a = Array.make (Stdlib.max 8 (2 * t.len)) 0.0 in
+    Array.blit t.samples 0 a 0 t.len;
+    t.samples <- a
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1
+
+(* Algorithm R: once the reservoir is full, the i-th sample replaces a
+   stored one with probability reservoir/i, keeping a uniform sample of
+   everything seen. *)
+let store t x =
+  if t.reservoir = 0 || t.len < t.reservoir then push t x
+  else begin
+    let j = rand_below t t.n in
+    if j < t.reservoir then t.samples.(j) <- x
+  end
 
 let add t x =
   t.n <- t.n + 1;
@@ -29,7 +65,7 @@ let add t x =
   t.m2 <- t.m2 +. (delta *. (x -. t.mean));
   if x < t.mn then t.mn <- x;
   if x > t.mx then t.mx <- x;
-  t.samples <- x :: t.samples;
+  store t x;
   t.sorted <- None
 
 let count t = t.n
@@ -37,14 +73,15 @@ let total t = t.total
 let mean t = if t.n = 0 then 0.0 else t.mean
 let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
-let min t = t.mn
-let max t = t.mx
+let min t = if t.n = 0 then 0.0 else t.mn
+let max t = if t.n = 0 then 0.0 else t.mx
+let retained t = t.len
 
 let sorted t =
   match t.sorted with
   | Some a -> a
   | None ->
-      let a = Array.of_list t.samples in
+      let a = Array.sub t.samples 0 t.len in
       Array.sort compare a;
       t.sorted <- Some a;
       a
@@ -64,9 +101,26 @@ let percentile t p =
   end
 
 let merge a b =
-  let t = create () in
-  List.iter (add t) a.samples;
-  List.iter (add t) b.samples;
+  (* Combine the Welford moments exactly (Chan et al.'s parallel form)
+     rather than replaying samples: with a reservoir only a subset of the
+     samples survives, but the moments cover everything that was added. *)
+  let t = create ~reservoir:(Stdlib.max a.reservoir b.reservoir) () in
+  let na = float_of_int a.n and nb = float_of_int b.n in
+  t.n <- a.n + b.n;
+  t.total <- a.total +. b.total;
+  if t.n > 0 then begin
+    let delta = b.mean -. a.mean in
+    t.mean <- ((na *. a.mean) +. (nb *. b.mean)) /. (na +. nb);
+    t.m2 <- a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. (na +. nb));
+    t.mn <- Stdlib.min a.mn b.mn;
+    t.mx <- Stdlib.max a.mx b.mx
+  end;
+  for i = 0 to a.len - 1 do
+    store t a.samples.(i)
+  done;
+  for i = 0 to b.len - 1 do
+    store t b.samples.(i)
+  done;
   t
 
 module Histogram = struct

@@ -1,10 +1,16 @@
 (** Running statistics and simple histograms for experiment results. *)
 
 type t
-(** A mutable accumulator of float samples (Welford online algorithm plus a
-    retained sample list for percentiles). *)
+(** A mutable accumulator of float samples (Welford online algorithm plus
+    retained samples for percentiles). *)
 
-val create : unit -> t
+val create : ?reservoir:int -> unit -> t
+(** [create ()] retains every sample.  [create ~reservoir:k ()] caps
+    retention at [k] samples using deterministic reservoir sampling
+    (Algorithm R with an internal PRNG), so long benchmark runs hold
+    bounded memory per metric: count/mean/variance/min/max stay exact,
+    percentiles become estimates over a uniform subsample.
+    @raise Invalid_argument on a negative [reservoir]. *)
 
 val add : t -> float -> unit
 (** Record one sample. *)
@@ -19,17 +25,24 @@ val variance : t -> float
 
 val stddev : t -> float
 val min : t -> float
-(** Smallest sample; [infinity] when empty. *)
+(** Smallest sample; [0.] when empty (like [mean], so exporters never see
+    an infinity). *)
 
 val max : t -> float
-(** Largest sample; [neg_infinity] when empty. *)
+(** Largest sample; [0.] when empty. *)
+
+val retained : t -> int
+(** Number of samples currently held for percentile queries — [count]
+    without a reservoir, at most the cap with one. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]]; linear interpolation between
     order statistics.  [0.] when empty. *)
 
 val merge : t -> t -> t
-(** Combine two accumulators into a fresh one. *)
+(** Combine two accumulators into a fresh one.  Moments (count, mean,
+    variance, min, max, total) combine exactly; the retained samples are
+    pooled, subject to the larger of the two reservoir caps. *)
 
 (** Fixed-bucket histogram over [\[lo, hi)]. *)
 module Histogram : sig

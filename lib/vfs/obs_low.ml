@@ -1,0 +1,99 @@
+(** Observability wrapper for a {!Fs_intf.LOW} implementation.
+
+    [Make] produces a LOW module whose hot operations — lookup, create
+    (mknod), remove, read, write — run inside obs spans and feed per-op
+    latency histograms named [<prefix>.op.<op>_s].  When tracing is
+    enabled, each span carries the device-counter deltas it caused
+    (reads/writes/sectors and the seek/rotation/transfer split), which is
+    exactly the accounting the paper's per-operation tables are built
+    from.  When tracing is disabled the only cost is two clock reads and
+    one histogram bump per op.
+
+    Both [Ffs.Low] and [Cffs.Low] pass through here, so every filesystem
+    this repo grows is measured the same way. *)
+
+module Blockdev = Cffs_blockdev.Blockdev
+module Registry = Cffs_obs.Registry
+module Trace = Cffs_obs.Trace
+module Rstats = Cffs_disk.Request.Stats
+
+module type SOURCE = sig
+  include Fs_intf.LOW
+
+  val device : t -> Blockdev.t
+  (** The timed device whose clock spans are measured against. *)
+
+  val prefix : string
+  (** Metric-name prefix, e.g. ["cffs"] → [cffs.op.lookup_s]. *)
+end
+
+module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
+  type t = F.t
+
+  let h_lookup = Registry.histogram (F.prefix ^ ".op.lookup_s")
+  let h_create = Registry.histogram (F.prefix ^ ".op.create_s")
+  let h_unlink = Registry.histogram (F.prefix ^ ".op.unlink_s")
+  let h_read = Registry.histogram (F.prefix ^ ".op.read_s")
+  let h_write = Registry.histogram (F.prefix ^ ".op.write_s")
+
+  let span fs name hist ~target f =
+    let dev = F.device fs in
+    let t0 = Blockdev.now dev in
+    if not (Trace.is_enabled ()) then begin
+      let r = f () in
+      Registry.observe hist (Blockdev.now dev -. t0);
+      r
+    end
+    else begin
+      let before = Rstats.copy (Blockdev.stats dev) in
+      Trace.with_span ~target
+        ~attrs:(fun () ->
+          let d = Rstats.diff (Blockdev.stats dev) before in
+          [
+            ("reads", string_of_int d.Rstats.reads);
+            ("writes", string_of_int d.Rstats.writes);
+            ("sectors", string_of_int (Rstats.sectors d));
+            ("seek_s", Printf.sprintf "%.6f" d.Rstats.seek_time);
+            ("rotation_s", Printf.sprintf "%.6f" d.Rstats.rotation_time);
+            ("transfer_s", Printf.sprintf "%.6f" d.Rstats.transfer_time);
+          ])
+        ~clock:(fun () -> Blockdev.now dev)
+        (F.prefix ^ "." ^ name)
+        (fun () ->
+          let r = f () in
+          Registry.observe hist (Blockdev.now dev -. t0);
+          r)
+    end
+
+  let label = F.label
+  let root = F.root
+
+  let lookup fs ~dir name =
+    span fs "lookup" h_lookup ~target:name (fun () -> F.lookup fs ~dir name)
+
+  let mknod fs ~dir name kind =
+    span fs "create" h_create ~target:name (fun () -> F.mknod fs ~dir name kind)
+
+  let remove fs ~dir name ~rmdir =
+    span fs "unlink" h_unlink ~target:name (fun () -> F.remove fs ~dir name ~rmdir)
+
+  let hardlink = F.hardlink
+  let rename = F.rename
+  let readdir = F.readdir
+  let stat_ino = F.stat_ino
+
+  let read_ino fs ~ino ~off ~len =
+    span fs "read" h_read
+      ~target:("ino:" ^ string_of_int ino)
+      (fun () -> F.read_ino fs ~ino ~off ~len)
+
+  let write_ino fs ~ino ~off data =
+    span fs "write" h_write
+      ~target:("ino:" ^ string_of_int ino)
+      (fun () -> F.write_ino fs ~ino ~off data)
+
+  let truncate_ino = F.truncate_ino
+  let sync = F.sync
+  let remount = F.remount
+  let usage = F.usage
+end

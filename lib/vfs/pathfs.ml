@@ -1,10 +1,15 @@
 open Errno
 
+let m_resolves = Cffs_obs.Registry.counter "vfs.resolves"
+let m_components = Cffs_obs.Registry.counter "vfs.path_components"
+
 module Make (F : Fs_intf.LOW) = struct
   include F
 
   let resolve t p =
+    Cffs_obs.Registry.incr m_resolves;
     let* parts = Path.split p in
+    Cffs_obs.Registry.incr ~by:(List.length parts) m_components;
     let rec walk ino = function
       | [] -> Ok ino
       | name :: rest ->

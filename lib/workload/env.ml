@@ -24,21 +24,32 @@ type measure = {
   transfer_s : float;
 }
 
+(* Measurement rides on obs-registry snapshots: request counts come from
+   the blockdev.* counters (maintained uniformly for memory and timed
+   devices — one blockdev request is one drive request) and the mechanical
+   split from the drive.* counters.  One environment runs at a time, so
+   the process-wide registry delta is this device's delta. *)
 let measured t f =
-  let before = Request.Stats.copy (Blockdev.stats t.dev) in
+  let module R = Cffs_obs.Registry in
+  let before = R.snapshot () in
   let t0 = now t in
   f ();
-  let d = Request.Stats.diff (Blockdev.stats t.dev) before in
+  let d = R.diff (R.snapshot ()) before in
+  let reads = R.get_counter d "blockdev.reads" in
+  let writes = R.get_counter d "blockdev.writes" in
+  let sectors =
+    R.get_counter d "blockdev.read_sectors" + R.get_counter d "blockdev.write_sectors"
+  in
   {
     seconds = now t -. t0;
-    requests = Request.Stats.requests d;
-    reads = d.Request.Stats.reads;
-    writes = d.Request.Stats.writes;
-    bytes_moved = Request.Stats.bytes d;
-    cache_hits = d.Request.Stats.cache_hits;
-    seek_s = d.Request.Stats.seek_time;
-    rotation_s = d.Request.Stats.rotation_time;
-    transfer_s = d.Request.Stats.transfer_time;
+    requests = reads + writes;
+    reads;
+    writes;
+    bytes_moved = sectors * Cffs_util.Units.sector_size;
+    cache_hits = R.get_counter d "drive.cache_hits";
+    seek_s = R.get_fcounter d "drive.seek_s";
+    rotation_s = R.get_fcounter d "drive.rotation_s";
+    transfer_s = R.get_fcounter d "drive.transfer_s";
   }
 
 let pp_measure ppf m =

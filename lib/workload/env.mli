@@ -35,6 +35,8 @@ type measure = {
 
 val measured : t -> (unit -> unit) -> measure
 (** Run a thunk, returning the elapsed simulated time and device-counter
-    deltas. *)
+    deltas, computed as an obs-registry snapshot diff over the run
+    ([blockdev.*] request counts, [drive.*] mechanical split).  Memory
+    devices report real request counts with zero times. *)
 
 val pp_measure : Format.formatter -> measure -> unit

@@ -94,7 +94,7 @@ let test_set_logical_nonresident () =
 
 let test_read_group () =
   let c, dev = timed_cache () in
-  Cache.read_group c 100 16;
+  check Alcotest.bool "request issued" true (Cache.read_group c 100 16);
   check Alcotest.int "single request" 1 (Blockdev.stats dev).Request.Stats.reads;
   (* Every block now resident: physical reads are hits, no new requests. *)
   for i = 0 to 15 do
@@ -102,14 +102,14 @@ let test_read_group () =
   done;
   check Alcotest.int "still one request" 1 (Blockdev.stats dev).Request.Stats.reads;
   (* Re-reading a fully resident group is free. *)
-  Cache.read_group c 100 16;
+  check Alcotest.bool "fully resident: no request" false (Cache.read_group c 100 16);
   check Alcotest.int "no extra request" 1 (Blockdev.stats dev).Request.Stats.reads
 
 let test_read_group_preserves_dirty () =
   let c, dev = mem_cache ~policy:Cache.Delayed () in
   Blockdev.write dev 101 (block 'o');
   Cache.write c ~kind:`Data 101 (block 'n');
-  Cache.read_group c 100 4;
+  ignore (Cache.read_group c 100 4 : bool);
   check Alcotest.bytes "dirty block kept" (block 'n') (Cache.read c 101);
   Cache.flush c;
   check Alcotest.bytes "flushed version" (block 'n') (Blockdev.read dev 101 1)
@@ -247,6 +247,29 @@ let test_soft_updates_noop_for_other_policies () =
   check Alcotest.bytes "still delayed" (block '\000') (Blockdev.read dev 2 1);
   Cache.flush c
 
+let test_observer_events () =
+  let c, _dev = mem_cache ~policy:Cache.Delayed () in
+  let events = ref [] in
+  Cache.set_observer c (Some (fun e -> events := e :: !events));
+  ignore (Cache.read c 5);
+  ignore (Cache.read c 5);
+  Cache.write c ~kind:`Data 6 (block 'a');
+  Cache.flush c;
+  Cache.set_observer c None;
+  ignore (Cache.read c 7);
+  (match List.rev !events with
+  | [
+   Cache.Read_miss { blk = 5; nblocks = 1 };
+   Cache.Read_hit { blk = 5; logical = false };
+   Cache.Write { blk = 6; sync = false };
+   Cache.Writeback { blk = 6; nblocks = 1 };
+   Cache.Flush { nblocks = 1 };
+  ] ->
+      ()
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs));
+  (* After detaching, nothing more is delivered. *)
+  check Alcotest.int "observer detached" 5 (List.length !events)
+
 let () =
   Alcotest.run "cffs_cache"
     [
@@ -290,5 +313,6 @@ let () =
           Alcotest.test_case "remount" `Quick test_remount_cold;
           Alcotest.test_case "crash" `Quick test_crash_loses_dirty;
           Alcotest.test_case "invalidate" `Quick test_invalidate;
+          Alcotest.test_case "observer events" `Quick test_observer_events;
         ] );
     ]

@@ -120,7 +120,26 @@ let test_stats_basic () =
 let test_stats_empty () =
   let s = Stats.create () in
   check (Alcotest.float 0.0) "mean empty" 0.0 (Stats.mean s);
-  check (Alcotest.float 0.0) "percentile empty" 0.0 (Stats.percentile s 50.0)
+  check (Alcotest.float 0.0) "percentile empty" 0.0 (Stats.percentile s 50.0);
+  (* min/max are 0.0 (not infinities) when nothing was observed. *)
+  check (Alcotest.float 0.0) "min empty" 0.0 (Stats.min s);
+  check (Alcotest.float 0.0) "max empty" 0.0 (Stats.max s)
+
+let test_stats_reservoir () =
+  let s = Stats.create ~reservoir:10 () in
+  for i = 1 to 1000 do
+    Stats.add s (float_of_int i)
+  done;
+  (* Moments are exact regardless of the cap... *)
+  check Alcotest.int "count" 1000 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean exact" 500.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min exact" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max exact" 1000.0 (Stats.max s);
+  (* ...while sample storage stays bounded. *)
+  check Alcotest.int "retained capped" 10 (Stats.retained s);
+  let p = Stats.percentile s 50.0 in
+  check Alcotest.bool "percentile from retained samples" true
+    (p >= 1.0 && p <= 1000.0)
 
 let test_stats_percentile () =
   let s = Stats.create () in
@@ -137,7 +156,11 @@ let test_stats_merge () =
   List.iter (Stats.add b) [ 3.0; 4.0 ];
   let m = Stats.merge a b in
   check Alcotest.int "merged count" 4 (Stats.count m);
-  check (Alcotest.float 1e-9) "merged mean" 2.5 (Stats.mean m)
+  check (Alcotest.float 1e-9) "merged mean" 2.5 (Stats.mean m);
+  (* Moments combine exactly, same as adding all four samples in order. *)
+  check (Alcotest.float 1e-6) "merged variance" (5.0 /. 3.0) (Stats.variance m);
+  check (Alcotest.float 1e-9) "merged min" 1.0 (Stats.min m);
+  check (Alcotest.float 1e-9) "merged max" 4.0 (Stats.max m)
 
 let test_histogram () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
@@ -430,6 +453,7 @@ let () =
         [
           Alcotest.test_case "basic moments" `Quick test_stats_basic;
           Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "reservoir" `Quick test_stats_reservoir;
           Alcotest.test_case "percentiles" `Quick test_stats_percentile;
           Alcotest.test_case "merge" `Quick test_stats_merge;
           Alcotest.test_case "histogram" `Quick test_histogram;
