@@ -1,4 +1,5 @@
 open Cffs_disk
+module Io_error = Cffs_util.Io_error
 
 (* Uniform request accounting for both backends; the timed backend's drive
    additionally keeps its own (timed) [Request.Stats]. *)
@@ -6,16 +7,23 @@ let m_reads = Cffs_obs.Registry.counter "blockdev.reads"
 let m_writes = Cffs_obs.Registry.counter "blockdev.writes"
 let m_read_sectors = Cffs_obs.Registry.counter "blockdev.read_sectors"
 let m_write_sectors = Cffs_obs.Registry.counter "blockdev.write_sectors"
+let m_io_errors = Cffs_obs.Registry.counter "blockdev.io_errors"
 
 type backend =
   | Memory of { mutable clock : float; stats : Request.Stats.s }
   | Timed of { drive : Drive.t; policy : Scheduler.policy; host_overhead : float }
+
+type outcome = Proceed | Torn of int | Fail of Io_error.cause
+type injector = Io_error.op -> blk:int -> nblocks:int -> outcome
+type write_observer = blk:int -> data:bytes -> torn:int option -> unit
 
 type t = {
   backend : backend;
   store : (int, bytes) Hashtbl.t;
   block_size : int;
   nblocks : int;
+  mutable injector : injector option;
+  mutable write_observer : write_observer option;
 }
 
 type image = (int, bytes) Hashtbl.t
@@ -31,6 +39,8 @@ let of_drive ?(policy = Scheduler.Clook) ?(host_overhead = 0.5e-3) drive ~block_
     store = Hashtbl.create 4096;
     block_size;
     nblocks;
+    injector = None;
+    write_observer = None;
   }
 
 let memory ~block_size ~nblocks =
@@ -40,16 +50,25 @@ let memory ~block_size ~nblocks =
     store = Hashtbl.create 4096;
     block_size;
     nblocks;
+    injector = None;
+    write_observer = None;
   }
 
 let block_size t = t.block_size
 let nblocks t = t.nblocks
+let set_injector t inj = t.injector <- inj
+let set_write_observer t obs = t.write_observer <- obs
 
-let check_range t blk n =
+let check_range t op blk n =
   if blk < 0 || n <= 0 || blk + n > t.nblocks then
-    invalid_arg
-      (Printf.sprintf "Blockdev: block range [%d, %d) out of [0, %d)" blk (blk + n)
-         t.nblocks)
+    Io_error.raise_error ~op ~blk ~nblocks:n Io_error.Out_of_bounds
+
+let consult t op ~blk ~nblocks =
+  match t.injector with None -> Proceed | Some f -> f op ~blk ~nblocks
+
+let fail _t op ~blk ~nblocks cause =
+  Cffs_obs.Registry.incr m_io_errors;
+  Io_error.raise_error ~op ~blk ~nblocks cause
 
 let copy_out t blk dst off =
   match Hashtbl.find_opt t.store blk with
@@ -66,6 +85,31 @@ let store_block t blk src off =
         b
   in
   Bytes.blit src off b 0 t.block_size
+
+(* Persist a write request's payload, possibly torn: only the first
+   [keep_sectors] 512-byte sectors reach the media, the rest of the range
+   keeps its previous contents.  Sectors are atomic — the assumption C-FFS
+   builds its name+inode atomicity on. *)
+let persist_request t start data ~keep_sectors =
+  let ss = Cffs_util.Units.sector_size in
+  let spb = sectors_per_block t in
+  let n = Bytes.length data / t.block_size in
+  let keep =
+    match keep_sectors with
+    | None -> n * spb
+    | Some k -> max 0 (min (n * spb) k)
+  in
+  let full = keep / spb in
+  for i = 0 to full - 1 do
+    store_block t (start + i) data (i * t.block_size)
+  done;
+  let rem = keep mod spb in
+  if rem > 0 then begin
+    let old = Bytes.create t.block_size in
+    copy_out t (start + full) old 0;
+    Bytes.blit data (full * t.block_size) old 0 (rem * ss);
+    store_block t (start + full) old 0
+  end
 
 let time_request t (req : Request.t) =
   (match req.kind with
@@ -90,58 +134,99 @@ let time_request t (req : Request.t) =
       ignore (Drive.service drive req)
 
 let read t blk n =
-  check_range t blk n;
+  check_range t Io_error.Read blk n;
   let spb = sectors_per_block t in
+  let outcome = consult t Io_error.Read ~blk ~nblocks:n in
   time_request t (Request.read ~lba:(blk * spb) ~sectors:(n * spb));
+  (match outcome with
+  | Proceed | Torn _ -> ()
+  | Fail cause -> fail t Io_error.Read ~blk ~nblocks:n cause);
   let out = Bytes.create (n * t.block_size) in
   for i = 0 to n - 1 do
     copy_out t (blk + i) out (i * t.block_size)
   done;
   out
 
+(* One write request: consult the fault injector, account the request, then
+   persist.  A torn request persists its prefix and then fails with
+   [Power_cut] — a tear is only ever caused by losing power mid-request, so
+   nothing after it completes either.  The write observer sees every request
+   that persisted anything (full or torn), with the full intended payload. *)
+let write_request t start data =
+  let n = Bytes.length data / t.block_size in
+  let spb = sectors_per_block t in
+  let outcome = consult t Io_error.Write ~blk:start ~nblocks:n in
+  (match outcome with
+  | Fail Io_error.Power_cut -> ()
+  | _ -> time_request t (Request.write ~lba:(start * spb) ~sectors:(n * spb)));
+  match outcome with
+  | Proceed ->
+      persist_request t start data ~keep_sectors:None;
+      (match t.write_observer with
+      | Some f -> f ~blk:start ~data ~torn:None
+      | None -> ())
+  | Torn k ->
+      let keep = max 0 (min (n * spb) k) in
+      persist_request t start data ~keep_sectors:(Some keep);
+      (match t.write_observer with
+      | Some f -> f ~blk:start ~data ~torn:(Some keep)
+      | None -> ());
+      fail t Io_error.Write ~blk:start ~nblocks:n Io_error.Power_cut
+  | Fail cause -> fail t Io_error.Write ~blk:start ~nblocks:n cause
+
 let write t blk data =
   let len = Bytes.length data in
   if len mod t.block_size <> 0 then invalid_arg "Blockdev.write: partial block";
   let n = len / t.block_size in
-  check_range t blk n;
-  let spb = sectors_per_block t in
-  time_request t (Request.write ~lba:(blk * spb) ~sectors:(n * spb));
-  for i = 0 to n - 1 do
-    store_block t (blk + i) data (i * t.block_size)
-  done
+  check_range t Io_error.Write blk n;
+  write_request t blk data
 
-(* Issue a set of contiguous units, each as one request, in scheduler
-   order.  Data is stored after all timing so crash snapshots taken between
-   batches see consistent content. *)
+(* Issue a set of contiguous units, each as one request, in scheduler order.
+   Each request persists (and notifies the write observer) as it is serviced,
+   so a failure mid-batch leaves exactly the already-serviced prefix on the
+   media — the crash semantics the fault harness depends on.  The memory
+   backend services units in the order given. *)
 let issue_units t units =
   match units with
   | [] -> ()
   | _ ->
       let spb = sectors_per_block t in
-      let reqs =
-        List.map
-          (fun (start, blocks) ->
-            check_range t start (List.length blocks);
-            Request.write ~lba:(start * spb) ~sectors:(List.length blocks * spb))
-          units
-      in
-      let ordered =
-        match t.backend with
-        | Memory _ -> reqs
-        | Timed { drive; policy; _ } ->
-            Scheduler.order policy (Drive.geometry drive)
-              ~current_cyl:(Drive.current_cyl drive) reqs
-      in
-      List.iter (time_request t) ordered;
       List.iter
         (fun (start, blocks) ->
-          List.iteri (fun i data -> store_block t (start + i) data 0) blocks)
-        units
+          check_range t Io_error.Write start (List.length blocks))
+        units;
+      let ordered =
+        match t.backend with
+        | Memory _ -> units
+        | Timed { drive; policy; _ } ->
+            let by_lba =
+              List.map (fun (start, blocks) -> (start * spb, (start, blocks))) units
+            in
+            let reqs =
+              List.map
+                (fun (start, blocks) ->
+                  Request.write ~lba:(start * spb)
+                    ~sectors:(List.length blocks * spb))
+                units
+            in
+            Scheduler.order policy (Drive.geometry drive)
+              ~current_cyl:(Drive.current_cyl drive) reqs
+            |> List.map (fun (req : Request.t) -> List.assoc req.lba by_lba)
+      in
+      List.iter
+        (fun (start, blocks) ->
+          let n = List.length blocks in
+          let data = Bytes.create (n * t.block_size) in
+          List.iteri
+            (fun i b -> Bytes.blit b 0 data (i * t.block_size) t.block_size)
+            blocks;
+          write_request t start data)
+        ordered
 
 let check_one_block t (blk, data) =
   if Bytes.length data <> t.block_size then
     invalid_arg "Blockdev.write_batch: data must be one block";
-  check_range t blk 1
+  check_range t Io_error.Write blk 1
 
 let write_batch t blocks =
   List.iter (check_one_block t) blocks;
@@ -153,6 +238,12 @@ let write_batch_units t units =
       List.iteri (fun i data -> check_one_block t (start + i, data)) blocks)
     units;
   issue_units t units
+
+let store_raw t blk data ~keep_sectors =
+  let len = Bytes.length data in
+  if len mod t.block_size <> 0 then invalid_arg "Blockdev.store_raw: partial block";
+  check_range t Io_error.Write blk (len / t.block_size);
+  persist_request t blk data ~keep_sectors
 
 let now t =
   match t.backend with Memory m -> m.clock | Timed { drive; _ } -> Drive.now drive
@@ -184,17 +275,12 @@ let restore t img =
 let blocks_written img = Hashtbl.length img
 
 let write_torn t blk data ~keep_sectors =
-  check_range t blk 1;
+  check_range t Io_error.Write blk 1;
   if Bytes.length data <> t.block_size then invalid_arg "Blockdev.write_torn";
-  let ss = Cffs_util.Units.sector_size in
-  let keep = max 0 (min (t.block_size / ss) keep_sectors) in
-  let old = read t blk 1 in
-  let merged = Bytes.copy old in
-  Bytes.blit data 0 merged 0 (keep * ss);
-  store_block t blk merged 0
+  persist_request t blk data ~keep_sectors:(Some keep_sectors)
 
 let corrupt_block t blk prng =
-  check_range t blk 1;
+  check_range t Io_error.Write blk 1;
   Hashtbl.replace t.store blk (Cffs_util.Prng.bytes prng t.block_size)
 
 let save_file t path =

@@ -9,6 +9,21 @@
 
 type t
 
+(** What the fault injector decides about one request.  [Torn k] (writes
+    only) persists the first [k] 512-byte sectors of the request and then
+    fails with [Power_cut] — a tear is only ever caused by losing power
+    mid-request.  [Fail c] persists nothing and raises
+    {!Cffs_util.Io_error.E} with cause [c]. *)
+type outcome = Proceed | Torn of int | Fail of Cffs_util.Io_error.cause
+
+type injector = Cffs_util.Io_error.op -> blk:int -> nblocks:int -> outcome
+
+type write_observer = blk:int -> data:bytes -> torn:int option -> unit
+(** Called once per write request that persisted anything, after the store:
+    [blk] is the request's first block, [data] the full intended payload
+    (one or more whole blocks), [torn] the number of sectors that actually
+    reached the media when the request tore ([None] when it completed). *)
+
 val of_drive :
   ?policy:Cffs_disk.Scheduler.policy ->
   ?host_overhead:float ->
@@ -27,13 +42,23 @@ val memory : block_size:int -> nblocks:int -> t
 val block_size : t -> int
 val nblocks : t -> int
 
+val set_injector : t -> injector option -> unit
+(** Install (or clear) the fault-decision hook consulted once per request.
+    {!Faultdev} is the intended client; tests may install their own. *)
+
+val set_write_observer : t -> write_observer option -> unit
+(** Install (or clear) the per-write-request notification hook. *)
+
 val read : t -> int -> int -> bytes
 (** [read t blk n] reads [n] consecutive blocks as one request.  Unwritten
-    blocks read as zeros. *)
+    blocks read as zeros.  Raises {!Cffs_util.Io_error.E} with cause
+    [Out_of_bounds] when the range lies outside the device, or with the
+    injector's cause when the configured fault layer fails the request. *)
 
 val write : t -> int -> bytes -> unit
 (** [write t blk data] writes [length data / block_size] consecutive blocks
-    as one request, synchronously. *)
+    as one request, synchronously.  Raises {!Cffs_util.Io_error.E} on
+    out-of-bounds ranges and injected faults, like {!read}. *)
 
 val write_batch : t -> (int * bytes) list -> unit
 (** Write single blocks, one request each, issued in scheduler order.
@@ -45,7 +70,16 @@ val write_batch : t -> (int * bytes) list -> unit
 val write_batch_units : t -> (int * bytes list) list -> unit
 (** [write_batch_units t units] writes each unit — a physically contiguous
     run [(first_block, blocks)] — as a single scatter/gather request, in
-    scheduler order. *)
+    scheduler order.  Each request persists as it is serviced, so an
+    injected fault mid-batch leaves exactly the already-serviced prefix on
+    the media and raises {!Cffs_util.Io_error.E}. *)
+
+val store_raw : t -> int -> bytes -> keep_sectors:int option -> unit
+(** [store_raw t blk data ~keep_sectors] deposits data directly in the
+    store: no request accounting, no injector, no observer.  With
+    [keep_sectors = Some k] only the first [k] sectors land (a recorded
+    tear).  This is the journal-replay primitive {!Faultdev.materialize}
+    uses to rebuild crash images. *)
 
 val now : t -> float
 (** Simulated time (always [0.] for memory devices). *)

@@ -1,0 +1,145 @@
+module Io_error = Cffs_util.Io_error
+module Prng = Cffs_util.Prng
+
+let m_transient = Cffs_obs.Registry.counter "faultdev.transient_reads"
+let m_bad = Cffs_obs.Registry.counter "faultdev.bad_sector_errors"
+let m_torn = Cffs_obs.Registry.counter "faultdev.torn_writes"
+let m_cuts = Cffs_obs.Registry.counter "faultdev.power_cuts"
+
+type entry = { seq : int; blk : int; data : bytes; torn : int option }
+
+type t = {
+  dev : Blockdev.t;
+  prng : Prng.t;
+  base : Blockdev.image;
+  mutable transient_read_rate : float;
+  bad : (int, unit) Hashtbl.t;
+  mutable tear_at : (int * int) option;  (* (write request seq, keep sectors) *)
+  mutable cut_at : int option;  (* power cut before this write request seq *)
+  mutable dead : bool;
+  mutable writes_attempted : int;
+  mutable journal_rev : entry list;
+  mutable journal_len : int;
+}
+
+let range_bad t blk n =
+  let rec go i = i < n && (Hashtbl.mem t.bad (blk + i) || go (i + 1)) in
+  go 0
+
+let injector t : Blockdev.injector =
+ fun op ~blk ~nblocks ->
+  if t.dead then Blockdev.Fail Io_error.Power_cut
+  else begin
+    match op with
+    | Io_error.Read ->
+        if range_bad t blk nblocks then begin
+          Cffs_obs.Registry.incr m_bad;
+          Blockdev.Fail Io_error.Bad_sector
+        end
+        else if
+          t.transient_read_rate > 0.0 && Prng.chance t.prng t.transient_read_rate
+        then begin
+          Cffs_obs.Registry.incr m_transient;
+          Blockdev.Fail Io_error.Transient
+        end
+        else Blockdev.Proceed
+    | Io_error.Write ->
+        let seq = t.writes_attempted in
+        t.writes_attempted <- seq + 1;
+        let cut = match t.cut_at with Some s -> seq >= s | None -> false in
+        if cut then begin
+          t.dead <- true;
+          Cffs_obs.Registry.incr m_cuts;
+          Blockdev.Fail Io_error.Power_cut
+        end
+        else if range_bad t blk nblocks then begin
+          Cffs_obs.Registry.incr m_bad;
+          Blockdev.Fail Io_error.Bad_sector
+        end
+        else begin
+          match t.tear_at with
+          | Some (s, k) when s = seq ->
+              t.dead <- true;
+              Cffs_obs.Registry.incr m_torn;
+              Cffs_obs.Registry.incr m_cuts;
+              Blockdev.Torn k
+          | _ -> Blockdev.Proceed
+        end
+  end
+
+let observer t : Blockdev.write_observer =
+ fun ~blk ~data ~torn ->
+  let e = { seq = t.journal_len; blk; data = Bytes.copy data; torn } in
+  t.journal_rev <- e :: t.journal_rev;
+  t.journal_len <- t.journal_len + 1
+
+let attach ?(seed = 0) dev =
+  let t =
+    {
+      dev;
+      prng = Prng.create seed;
+      base = Blockdev.snapshot dev;
+      transient_read_rate = 0.0;
+      bad = Hashtbl.create 8;
+      tear_at = None;
+      cut_at = None;
+      dead = false;
+      writes_attempted = 0;
+      journal_rev = [];
+      journal_len = 0;
+    }
+  in
+  Blockdev.set_injector dev (Some (injector t));
+  Blockdev.set_write_observer dev (Some (observer t));
+  t
+
+let detach t =
+  Blockdev.set_injector t.dev None;
+  Blockdev.set_write_observer t.dev None
+
+let device t = t.dev
+let set_transient_read_rate t r = t.transient_read_rate <- max 0.0 r
+let mark_bad t blk = Hashtbl.replace t.bad blk ()
+let clear_bad t blk = Hashtbl.remove t.bad blk
+let tear_write t ~seq ~keep_sectors = t.tear_at <- Some (seq, keep_sectors)
+let cut_power_at t ~seq = t.cut_at <- Some seq
+
+let cut_power_now t =
+  t.dead <- true;
+  Cffs_obs.Registry.incr m_cuts
+
+let alive t = not t.dead
+
+let revive t =
+  t.dead <- false;
+  t.tear_at <- None;
+  t.cut_at <- None
+
+let writes_attempted t = t.writes_attempted
+let journal_length t = t.journal_len
+let journal t = List.rev t.journal_rev
+
+let entry_sectors _t e = Bytes.length e.data / Cffs_util.Units.sector_size
+
+let materialize ?tear t ~upto =
+  let dev =
+    Blockdev.memory
+      ~block_size:(Blockdev.block_size t.dev)
+      ~nblocks:(Blockdev.nblocks t.dev)
+  in
+  Blockdev.restore dev t.base;
+  let upto = max 0 (min upto t.journal_len) in
+  List.iter
+    (fun e ->
+      if e.seq < upto then Blockdev.store_raw dev e.blk e.data ~keep_sectors:e.torn
+      else if e.seq = upto then begin
+        match tear with
+        | Some k ->
+            let k =
+              match e.torn with Some persisted -> min k persisted | None -> k
+            in
+            Blockdev.store_raw dev e.blk e.data ~keep_sectors:(Some k)
+        | None -> ()
+      end)
+    (journal t);
+  dev

@@ -1,0 +1,86 @@
+(** Fault-injection layer over {!Blockdev}.
+
+    [attach] installs hooks on an existing device.  Under a seeded PRNG plus
+    an explicit schedule it injects:
+
+    - {b transient read errors} ([set_transient_read_rate]) — the request
+      fails with cause [Transient]; a retry may succeed;
+    - {b sticky bad sectors} ([mark_bad]) — every request touching the block
+      fails with [Bad_sector] until [clear_bad];
+    - {b torn writes} ([tear_write]) — the scheduled write request persists
+      only its first [keep_sectors] 512-byte sectors, then the device dies
+      (a tear is power loss mid-request);
+    - {b power cut at a request boundary} ([cut_power_at], [cut_power_now])
+      — the request and everything after it fails with [Power_cut].
+
+    Every write request that persists anything is also recorded in a
+    {e journal} (first block, full intended payload, tear extent), together
+    with a base snapshot taken at attach time.  {!materialize} replays any
+    journal prefix onto the base snapshot, yielding a fresh device image
+    equal to what a crash at that request boundary (optionally tearing the
+    next request) would have left on the media — without re-running the
+    workload.  The crash model checker is built on exactly this. *)
+
+type t
+
+type entry = {
+  seq : int;  (** journal position, starting at 0 *)
+  blk : int;  (** first block of the request *)
+  data : bytes;  (** full intended payload, one or more whole blocks *)
+  torn : int option;  (** sectors that actually persisted, if the request tore *)
+}
+
+val attach : ?seed:int -> Blockdev.t -> t
+(** Snapshot the device as the journal base and install the fault hooks.
+    [seed] drives the PRNG behind probabilistic faults (default 0). *)
+
+val detach : t -> unit
+(** Remove the hooks; the journal and base snapshot remain readable. *)
+
+val device : t -> Blockdev.t
+
+(** {1 Fault configuration} *)
+
+val set_transient_read_rate : t -> float -> unit
+(** Probability in [0, 1] that any read request fails with [Transient]. *)
+
+val mark_bad : t -> int -> unit
+(** Make every request touching this block fail with [Bad_sector]. *)
+
+val clear_bad : t -> int -> unit
+
+val tear_write : t -> seq:int -> keep_sectors:int -> unit
+(** Schedule the [seq]-th attempted write request (0-based) to tear after
+    [keep_sectors] sectors and cut power. *)
+
+val cut_power_at : t -> seq:int -> unit
+(** Schedule power loss at the boundary before the [seq]-th attempted write
+    request. *)
+
+val cut_power_now : t -> unit
+val alive : t -> bool
+
+val revive : t -> unit
+(** Restore power and clear the tear/cut schedule (the journal keeps
+    recording; sticky bad blocks stay bad). *)
+
+(** {1 Journal and crash-image materialization} *)
+
+val writes_attempted : t -> int
+(** Write requests the injector has seen, including failed ones. *)
+
+val journal_length : t -> int
+(** Number of journal entries — write requests that persisted anything. *)
+
+val journal : t -> entry list
+(** Oldest first. *)
+
+val entry_sectors : t -> entry -> int
+(** Size of an entry's payload in sectors (tear points within it). *)
+
+val materialize : ?tear:int -> t -> upto:int -> Blockdev.t
+(** [materialize t ~upto] builds a fresh memory device holding the base
+    snapshot plus the first [upto] journal entries — the media state of a
+    power cut at that request boundary.  With [?tear:k], entry [upto] is
+    additionally applied torn to its first [k] sectors (clamped to what that
+    entry actually persisted). *)

@@ -10,6 +10,8 @@ let m_delayed_writes = Obs.counter "cache.delayed_writes"
 let m_writebacks = Obs.counter "cache.writebacks"
 let m_evictions = Obs.counter "cache.evictions"
 let m_flushes = Obs.counter "cache.flushes"
+let m_retries = Obs.counter "blockdev.retries"
+let m_pinned = Obs.counter "cache.pinned_buffers"
 
 type policy = Write_through | Sync_metadata | Delayed | Soft_updates
 
@@ -38,11 +40,13 @@ type event =
   | Writeback of { blk : int; nblocks : int }
   | Evict of { blk : int }
   | Flush of { nblocks : int }
+  | Order of { first : int; second : int }
 
 type entry = {
   mutable data : bytes;
   mutable dirty : bool;
   mutable dirty_seq : int;  (** order in which the block became dirty *)
+  mutable pinned : bool;  (** writeback failed; never drop, keep retrying *)
   mutable ident : (int * int) option;
 }
 
@@ -102,6 +106,26 @@ let resident t = Lru.length t.entries
 let dirty_count t =
   Lru.fold t.entries ~init:0 ~f:(fun acc _ e -> if e.dirty then acc + 1 else acc)
 
+let pinned_count t =
+  Lru.fold t.entries ~init:0 ~f:(fun acc _ e -> if e.pinned then acc + 1 else acc)
+
+(* Bounded retry for transient device errors, with host-side backoff charged
+   to the simulated clock.  Anything else (bad sector, power cut, bounds)
+   propagates to the caller, which translates it into [EIO]. *)
+let retry_limit = 4
+let retry_backoff_s = 1e-3
+
+let with_retry t f =
+  let rec go attempt =
+    try f ()
+    with Cffs_util.Io_error.E { cause = Cffs_util.Io_error.Transient; _ }
+    when attempt < retry_limit ->
+      Obs.incr m_retries;
+      Blockdev.advance t.dev (retry_backoff_s *. float_of_int attempt);
+      go (attempt + 1)
+  in
+  go 1
+
 let detach_logical t entry =
   match entry.ident with
   | Some key ->
@@ -160,23 +184,60 @@ let dirty_units t =
 
 (* Mark one block clean and retire the dependencies it satisfied. *)
 let mark_clean t blk =
-  (match Lru.find t.entries blk with Some e -> e.dirty <- false | None -> ());
+  (match Lru.find t.entries blk with
+  | Some e ->
+      e.dirty <- false;
+      e.pinned <- false
+  | None -> ());
   Hashtbl.remove t.deps blk
+
+(* Push one dirty block to the device.  Success marks it clean; failure
+   (after transient retries) leaves it dirty and pinned, so the data
+   survives for the next flush instead of being lost.  Returns whether the
+   block reached the media. *)
+let writeback_block t blk =
+  match Lru.find t.entries blk with
+  | None -> false
+  | Some e when not e.dirty -> false
+  | Some e -> (
+      match with_retry t (fun () -> Blockdev.write t.dev blk e.data) with
+      | () ->
+          t.stats.writebacks <- t.stats.writebacks + 1;
+          Obs.incr m_writebacks;
+          notify t (Writeback { blk; nblocks = 1 });
+          mark_clean t blk;
+          true
+      | exception Cffs_util.Io_error.E _ ->
+          if not e.pinned then begin
+            e.pinned <- true;
+            Obs.incr m_pinned
+          end;
+          false)
+
+(* Persist [blk] without overtaking its declared prerequisites: write the
+   prerequisite closure first, in dependency order.  The dep graph is
+   acyclic (edges that would close a cycle are never recorded), so this
+   terminates.  A prerequisite that cannot be persisted (pinned by a write
+   failure) blocks [blk] too — order is never traded for progress. *)
+let rec writeback_with_deps t blk =
+  let prereqs = Option.value ~default:[] (Hashtbl.find_opt t.deps blk) in
+  let ok =
+    List.for_all (fun d -> (not (is_dirty t d)) || writeback_with_deps t d) prereqs
+  in
+  if ok then writeback_block t blk else false
 
 let order t ~first ~second =
   if t.policy = Soft_updates && first <> second && is_dirty t first then begin
-    if dep_reaches t first ~target:second then begin
-      (* Completing the edge would make a cycle: write [first] now. *)
-      (match Lru.find t.entries first with
-      | Some e when e.dirty ->
-          Blockdev.write t.dev first e.data;
-          t.stats.writebacks <- t.stats.writebacks + 1;
-          Obs.incr m_writebacks;
-          notify t (Writeback { blk = first; nblocks = 1 });
-          mark_clean t first
-      | Some _ | None -> ())
-    end
+    if dep_reaches t first ~target:second then
+      (* Completing the edge would make a cycle: the constraint set is
+         unsatisfiable, so no edge is recorded.  Persisting [first]'s
+         prerequisite closure in dependency order — then [first] itself —
+         honours every already-registered constraint and leaves [first]
+         clean, so the new dependent is unconstrained from here on.  No
+         [Order] event fires: nothing was promised about future writes. *)
+      ignore (writeback_with_deps t first)
     else begin
+      notify t (Order { first; second });
       let existing = Option.value ~default:[] (Hashtbl.find_opt t.deps second) in
       if not (List.mem first existing) then
         Hashtbl.replace t.deps second (first :: existing)
@@ -195,21 +256,39 @@ let unit_ready t (start, blocks) =
   in
   ok 0
 
+(* Write a set of units as one scheduler-ordered batch.  On an injected
+   device fault the batch stops at the failed request; fall back to
+   block-at-a-time writes so each failure pins only its own block (already
+   persisted blocks are rewritten identically, which is harmless).  Returns
+   the number of blocks that reached the media. *)
+let writeback_units t units =
+  match Blockdev.write_batch_units t.dev units with
+  | () ->
+      let n = List.fold_left (fun acc (_, bl) -> acc + List.length bl) 0 units in
+      t.stats.writebacks <- t.stats.writebacks + n;
+      Obs.incr ~by:n m_writebacks;
+      List.iter
+        (fun (start, blocks) ->
+          notify t (Writeback { blk = start; nblocks = List.length blocks });
+          List.iteri (fun i _ -> mark_clean t (start + i)) blocks)
+        units;
+      n
+  | exception Cffs_util.Io_error.E _ ->
+      List.fold_left
+        (fun acc (start, blocks) ->
+          let wrote = ref 0 in
+          List.iteri
+            (fun i _ -> if writeback_block t (start + i) then incr wrote)
+            blocks;
+          acc + !wrote)
+        0 units
+
 let flush t =
   Obs.incr m_flushes;
   if t.policy <> Soft_updates || Hashtbl.length t.deps = 0 then begin
-    let units = dirty_units t in
-    let n = List.fold_left (fun acc (_, bl) -> acc + List.length bl) 0 units in
-    Blockdev.write_batch_units t.dev units;
-    t.stats.writebacks <- t.stats.writebacks + n;
-    Obs.incr ~by:n m_writebacks;
-    List.iter
-      (fun (start, blocks) ->
-        notify t (Writeback { blk = start; nblocks = List.length blocks }))
-      units;
+    let n = writeback_units t (dirty_units t) in
     if n > 0 then notify t (Flush { nblocks = n });
-    Lru.iter t.entries (fun _ e -> e.dirty <- false);
-    Hashtbl.reset t.deps
+    if dirty_count t = 0 then Hashtbl.reset t.deps
   end
   else begin
     (* Dependency waves: each wave is a scheduler-ordered batch of units
@@ -217,24 +296,38 @@ let flush t =
     let rec wave () =
       let units = dirty_units t in
       if units <> [] then begin
-        let ready, blocked = List.partition (unit_ready t) units in
-        (* A blocked unit with no ready sibling means a dependency on a
-           block that is not dirty any more (already satisfied) or a stale
-           edge; break the tie by releasing everything. *)
-        let batch = if ready = [] then blocked else ready in
-        Blockdev.write_batch_units t.dev batch;
-        List.iter
-          (fun (start, blocks) ->
-            t.stats.writebacks <- t.stats.writebacks + List.length blocks;
-            Obs.incr ~by:(List.length blocks) m_writebacks;
-            notify t (Writeback { blk = start; nblocks = List.length blocks });
-            List.iteri (fun i _ -> mark_clean t (start + i)) blocks)
-          batch;
-        wave ()
+        let ready, _blocked = List.partition (unit_ready t) units in
+        if ready <> [] then begin
+          if writeback_units t ready > 0 then wave ()
+          (* else: every ready block failed writeback and is pinned. *)
+        end
+        else begin
+          (* No whole unit is ready: clustering has tangled the dependency
+             graph (the soft-updates aggregation problem — a unit may both
+             precede and follow another one).  Fall back to block-at-a-time
+             writes in dependency order, so no block ever reaches the
+             device before its declared prerequisites. *)
+          let progress = ref false in
+          List.iter
+            (fun (start, blocks) ->
+              List.iteri
+                (fun i _ ->
+                  let blk = start + i in
+                  if
+                    is_dirty t blk
+                    && List.for_all
+                         (fun d -> not (is_dirty t d))
+                         (Option.value ~default:[]
+                            (Hashtbl.find_opt t.deps blk))
+                  then if writeback_block t blk then progress := true)
+                blocks)
+            units;
+          if !progress then wave ()
+        end
       end
     in
     wave ();
-    Hashtbl.reset t.deps
+    if dirty_count t = 0 then Hashtbl.reset t.deps
   end
 
 (* Make room for one more entry.  When the LRU victim is dirty, push the
@@ -242,24 +335,45 @@ let flush t =
    daemon / write clustering behaviour — so evictions never degrade into
    single-block synchronous writes. *)
 let evict_if_full t =
-  while Lru.length t.entries >= t.capacity do
+  let stuck = ref false in
+  while (not !stuck) && Lru.length t.entries >= t.capacity do
     (match Lru.lru t.entries with
     | Some (_, e) when e.dirty -> flush t
     | Some _ | None -> ());
-    match Lru.pop_lru t.entries with
-    | None -> assert false
+    (* Never drop a block that is still dirty: after a failed writeback the
+       victim stays pinned, so evict the oldest clean block instead — and if
+       every resident block is pinned, grow past capacity rather than lose
+       data. *)
+    let victim =
+      match Lru.lru t.entries with
+      | Some (blk, e) when not e.dirty -> Some (blk, e)
+      | _ ->
+          Lru.fold t.entries ~init:None ~f:(fun acc blk e ->
+              match acc with
+              | Some _ -> acc
+              | None -> if e.dirty then None else Some (blk, e))
+    in
+    match victim with
     | Some (blk, e) ->
+        Lru.remove t.entries blk;
         detach_logical t e;
         t.stats.evictions <- t.stats.evictions + 1;
         Obs.incr m_evictions;
         notify t (Evict { blk })
+    | None -> stuck := true
   done
 
 let insert t blk data ~dirty =
   evict_if_full t;
   if dirty then t.seq <- t.seq + 1;
   Lru.add t.entries blk
-    { data; dirty; dirty_seq = (if dirty then t.seq else 0); ident = None }
+    {
+      data;
+      dirty;
+      dirty_seq = (if dirty then t.seq else 0);
+      pinned = false;
+      ident = None;
+    }
 
 let resident_block t blk = Lru.mem t.entries blk
 
@@ -274,7 +388,7 @@ let read t blk =
       t.stats.misses <- t.stats.misses + 1;
       Obs.incr m_misses;
       notify t (Read_miss { blk; nblocks = 1 });
-      let data = Blockdev.read t.dev blk 1 in
+      let data = with_retry t (fun () -> Blockdev.read t.dev blk 1) in
       insert t blk data ~dirty:false;
       data
 
@@ -287,7 +401,7 @@ let read_group t blk n =
     t.stats.misses <- t.stats.misses + 1;
     Obs.incr m_misses;
     notify t (Read_miss { blk; nblocks = n });
-    let data = Blockdev.read t.dev blk n in
+    let data = with_retry t (fun () -> Blockdev.read t.dev blk n) in
     for i = 0 to n - 1 do
       if not (Lru.mem t.entries (blk + i)) then begin
         let b = Bytes.sub data (i * Blockdev.block_size t.dev) (Blockdev.block_size t.dev) in
@@ -359,9 +473,25 @@ let write t ~kind blk data =
   | None -> insert t blk data ~dirty:(not sync));
   notify t (Write { blk; sync });
   if sync then begin
-    Blockdev.write t.dev blk data;
-    t.stats.sync_writes <- t.stats.sync_writes + 1;
-    Obs.incr m_sync_writes
+    match with_retry t (fun () -> Blockdev.write t.dev blk data) with
+    | () ->
+        t.stats.sync_writes <- t.stats.sync_writes + 1;
+        Obs.incr m_sync_writes
+    | exception Cffs_util.Io_error.E _ -> (
+        (* The device refused the write: keep the buffer dirty and pinned
+           instead of losing the data; the next flush retries it. *)
+        match Lru.find t.entries blk with
+        | None -> ()
+        | Some e ->
+            if not e.dirty then begin
+              t.seq <- t.seq + 1;
+              e.dirty_seq <- t.seq
+            end;
+            e.dirty <- true;
+            if not e.pinned then begin
+              e.pinned <- true;
+              Obs.incr m_pinned
+            end)
   end
   else begin
     t.stats.delayed_writes <- t.stats.delayed_writes + 1;
@@ -372,17 +502,11 @@ let flush_limit t n =
   if t.policy <> Soft_updates then begin
     let dirty = dirty_blocks t in
     let chosen = List.filteri (fun i _ -> i < n) dirty in
-    Blockdev.write_batch t.dev chosen;
-    t.stats.writebacks <- t.stats.writebacks + List.length chosen;
-    Obs.incr ~by:(List.length chosen) m_writebacks;
-    List.iter (fun (blk, _) -> notify t (Writeback { blk; nblocks = 1 })) chosen;
+    let written = ref 0 in
     List.iter
-      (fun (blk, _) ->
-        match Lru.find t.entries blk with
-        | Some e -> e.dirty <- false
-        | None -> ())
+      (fun (blk, _) -> if writeback_block t blk then incr written)
       chosen;
-    List.length chosen
+    !written
   end
   else begin
     (* Write up to [n] blocks, never a block before its prerequisites. *)
@@ -392,20 +516,16 @@ let flush_limit t n =
       progress := false;
       let dirty = dirty_blocks t in
       List.iter
-        (fun (blk, data) ->
+        (fun (blk, _) ->
           if !written < n && is_dirty t blk
              && List.for_all
                   (fun d -> not (is_dirty t d))
                   (Option.value ~default:[] (Hashtbl.find_opt t.deps blk))
-          then begin
-            Blockdev.write t.dev blk data;
-            t.stats.writebacks <- t.stats.writebacks + 1;
-            Obs.incr m_writebacks;
-            notify t (Writeback { blk; nblocks = 1 });
-            mark_clean t blk;
-            incr written;
-            progress := true
-          end)
+          then
+            if writeback_block t blk then begin
+              incr written;
+              progress := true
+            end)
         dirty
     done;
     !written

@@ -64,13 +64,24 @@ val capacity : t -> int
 val resident : t -> int
 val dirty_count : t -> int
 
+val pinned_count : t -> int
+(** Buffers whose writeback failed: they stay dirty and are never evicted
+    or dropped, so no acknowledged data is lost to a device fault; every
+    flush retries them. *)
+
 val resident_block : t -> int -> bool
 (** Is the block in the cache (without touching recency)? *)
 
 val read : t -> int -> bytes
 (** [read t blk] returns the cached block, reading it from the device on a
     miss.  The returned buffer is the cache's own: after mutating it, call
-    {!write} to record the new contents (and dirtiness). *)
+    {!write} to record the new contents (and dirtiness).
+
+    Device faults: a [Transient] read error is retried a bounded number of
+    times with backoff (counted as [blockdev.retries]); a persistent
+    failure re-raises {!Cffs_util.Io_error.E}, which the VFS layer turns
+    into [EIO].  Failed {e writes} never raise from the cache — the buffer
+    is kept dirty and pinned instead (see {!pinned_count}). *)
 
 val read_group : t -> int -> int -> bool
 (** [read_group t blk n] fetches [n] contiguous blocks as a single disk
@@ -93,8 +104,10 @@ val order : t -> first:int -> second:int -> unit
 (** [order t ~first ~second] (Soft_updates only; a no-op otherwise) requires
     that block [first] reaches the device no later than block [second].  If
     the new constraint would complete a cycle — the classic soft-updates
-    aggregation problem — [first] is written out immediately instead, which
-    trivially satisfies it. *)
+    aggregation problem — no edge is recorded; instead [first] and its
+    prerequisite closure are written out immediately, in dependency order,
+    so every {e registered} constraint still holds and [first] is clean
+    before [second] can be flushed. *)
 
 val write : t -> kind:kind -> int -> bytes -> unit
 (** [write t ~kind blk data] records new contents for [blk].  Whether the
@@ -141,5 +154,11 @@ type event =
       (** One flushed unit — a scatter/gather run of dirty blocks. *)
   | Evict of { blk : int }
   | Flush of { nblocks : int }  (** A {!flush} that pushed [nblocks] out. *)
+  | Order of { first : int; second : int }
+      (** An {!order} constraint was declared while [first] was dirty and
+          was {e registered} as a dependency edge.  Declarations resolved
+          by the cycle-breaking forced write are not reported: no ordering
+          promise is recorded for them, so ordering property tests can
+          treat every reported constraint as binding. *)
 
 val set_observer : t -> (event -> unit) option -> unit

@@ -15,7 +15,9 @@ let read_entry b i =
   let off = chunk_off i in
   if Codec.get_u8 b off = 0 then None
   else begin
-    let namelen = Codec.get_u8 b (off + 1) in
+    (* Untrusted on-disk byte: clamp so a corrupt chunk cannot push the
+       name read past the chunk's own name field. *)
+    let namelen = min (Codec.get_u8 b (off + 1)) max_name in
     let flags = Codec.get_u16 b (off + 2) in
     Some
       {

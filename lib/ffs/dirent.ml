@@ -22,15 +22,25 @@ let init_block b =
 let used_bytes b off =
   if get_ino b off = 0 then 0 else align4 (header_bytes + get_namelen b off)
 
+(* On-disk [reclen]/[namelen] are untrusted: a torn directory-block write
+   splices sectors of two valid chains, so a chain offset can land on
+   arbitrary bytes.  Every walk bounds-checks before dereferencing; a
+   record that runs past the block (or claims a name longer than its
+   extent) ends the walk, and fsck reports what the truncated chain no
+   longer reaches. *)
+let entry_ok b len off reclen =
+  off + reclen <= len && header_bytes + get_namelen b off <= reclen
+
 let iter b f =
   let len = Bytes.length b in
   let rec loop off =
-    if off < len then begin
+    if off + header_bytes <= len then begin
       let reclen = get_reclen b off in
-      if reclen <= 0 then () (* corrupt block: stop *)
+      if reclen <= 0 || off + reclen > len then () (* corrupt block: stop *)
       else begin
         let ino = get_ino b off in
-        if ino <> 0 then f ~off ~ino (get_name b off);
+        if ino <> 0 && entry_ok b len off reclen then
+          f ~off ~ino (get_name b off);
         loop (off + reclen)
       end
     end
@@ -57,10 +67,10 @@ let insert b name ino =
   let needed = entry_bytes name in
   let len = Bytes.length b in
   let rec loop off =
-    if off >= len then false
+    if off + header_bytes > len then false
     else begin
       let reclen = get_reclen b off in
-      if reclen <= 0 then false
+      if reclen <= 0 || off + reclen > len then false
       else if get_ino b off = 0 && reclen >= needed then begin
         (* Take over the free entry, keeping its full extent. *)
         set_entry b off ~ino ~reclen ~name;
@@ -84,11 +94,13 @@ let insert b name ino =
 let remove b name =
   let len = Bytes.length b in
   let rec loop prev off =
-    if off >= len then None
+    if off + header_bytes > len then None
     else begin
       let reclen = get_reclen b off in
-      if reclen <= 0 then None
-      else if get_ino b off <> 0 && get_name b off = name then begin
+      if reclen <= 0 || off + reclen > len then None
+      else if
+        get_ino b off <> 0 && entry_ok b len off reclen && get_name b off = name
+      then begin
         let ino = get_ino b off in
         (match prev with
         | Some poff ->
@@ -110,9 +122,9 @@ let free_bytes b =
   let len = Bytes.length b in
   let acc = ref 0 in
   let rec loop off =
-    if off < len then begin
+    if off + header_bytes <= len then begin
       let reclen = get_reclen b off in
-      if reclen <= 0 then ()
+      if reclen <= 0 || off + reclen > len then ()
       else begin
         acc := !acc + (reclen - used_bytes b off);
         loop (off + reclen)

@@ -257,6 +257,17 @@ let clear_external t ino =
   let cleared = Inode.empty () in
   match Cffs.write_inode_raw t ino cleared with Ok () | Error _ -> ()
 
+(* A doubly-claimed or out-of-range block: punch the pointer out of the
+   claimant recorded in the problem (the later one, for duplicates), leaving
+   a hole; the bitmap rebuild then settles ownership on the survivor. *)
+let punch_block t ~ino ~blk =
+  match Cffs.read_inode t ino with
+  | Error _ -> ()
+  | Ok inode ->
+      if Bmap.punch (Cffs.cache t) inode ~target:blk then begin
+        match Cffs.write_inode_raw t ino inode with Ok () | Error _ -> ()
+      end
+
 (* Rebuild per-group bitmaps and link counts from a fresh survey. *)
 let rebuild_metadata t =
   let sb = Cffs.superblock t in
@@ -290,18 +301,26 @@ let rebuild_metadata t =
 
 let repair t =
   let before = check t in
-  List.iter
-    (fun p ->
-      match p with
-      | Report.Dangling_entry { dir; name; _ } -> remove_dangling t ~dir ~name
-      | Report.Orphan_inode { ino; kind = Cffs_vfs.Inode.Regular } ->
-          attach_lost_found t ino
-      | Report.Orphan_inode { ino; _ } -> clear_external t ino
-      | Report.Bad_superblock | Report.Wrong_nlink _ | Report.Block_multiply_used _
-      | Report.Block_out_of_range _ | Report.Block_bitmap_mismatch _
-      | Report.Inode_bitmap_mismatch _ | Report.Bad_directory_block _ -> ())
-    before.Report.problems;
-  rebuild_metadata t;
-  Cffs.sync t;
-  let after = check t in
-  { after with Report.repaired = Report.count before - Report.count after }
+  (* An already-clean volume needs no repair writes at all: hand back the
+     fresh report as-is, which also makes repair idempotent (a second run
+     reports zero repairs). *)
+  if Report.is_clean before then before
+  else begin
+    List.iter
+      (fun p ->
+        match p with
+        | Report.Dangling_entry { dir; name; _ } -> remove_dangling t ~dir ~name
+        | Report.Orphan_inode { ino; kind = Cffs_vfs.Inode.Regular } ->
+            attach_lost_found t ino
+        | Report.Orphan_inode { ino; _ } -> clear_external t ino
+        | Report.Block_multiply_used { blk; ino } -> punch_block t ~ino ~blk
+        | Report.Block_out_of_range { ino; blk } -> punch_block t ~ino ~blk
+        | Report.Bad_superblock | Report.Wrong_nlink _
+        | Report.Block_bitmap_mismatch _ | Report.Inode_bitmap_mismatch _
+        | Report.Bad_directory_block _ -> ())
+      before.Report.problems;
+    rebuild_metadata t;
+    Cffs.sync t;
+    let after = check t in
+    { after with Report.repaired = max 0 (Report.count before - Report.count after) }
+  end

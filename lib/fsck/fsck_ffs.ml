@@ -240,6 +240,22 @@ let attach_lost_found t ino =
       match Ffs.hardlink t ~dir name ~ino with Ok () | Error _ -> ()
     end
 
+(* A doubly-claimed or out-of-range block: punch the pointer out of the
+   claimant recorded in the problem (the later one, for duplicates), leaving
+   a hole; the bitmap rebuild then settles ownership on the survivor. *)
+let punch_block t ~ino ~blk =
+  let sb = Ffs.superblock t in
+  let cache = Ffs.cache t in
+  if Layout.valid_ino sb ino then begin
+    let iblk, off = Layout.ino_location sb ino in
+    let b = Cache.read cache iblk in
+    let di = Inode.decode b off in
+    if Bmap.punch cache di ~target:blk then begin
+      Inode.encode di b off;
+      Cache.write cache ~kind:`Meta iblk b
+    end
+  end
+
 (* Recompute both bitmaps and the free counts of every group from a fresh
    survey, and write corrected inode link counts. *)
 let rebuild_metadata t =
@@ -288,18 +304,26 @@ let rebuild_metadata t =
 
 let repair t =
   let before = check t in
-  List.iter
-    (fun p ->
-      match p with
-      | Report.Dangling_entry { dir; name; _ } -> remove_dangling t ~dir ~name
-      | Report.Orphan_inode { ino; kind = Cffs_vfs.Inode.Regular } ->
-          attach_lost_found t ino
-      | Report.Orphan_inode { ino; _ } -> clear_inode t ino
-      | Report.Bad_superblock | Report.Wrong_nlink _ | Report.Block_multiply_used _
-      | Report.Block_out_of_range _ | Report.Block_bitmap_mismatch _
-      | Report.Inode_bitmap_mismatch _ | Report.Bad_directory_block _ -> ())
-    before.Report.problems;
-  rebuild_metadata t;
-  Ffs.sync t;
-  let after = check t in
-  { after with Report.repaired = Report.count before - Report.count after }
+  (* An already-clean volume needs no repair writes at all: hand back the
+     fresh report as-is, which also makes repair idempotent (a second run
+     reports zero repairs). *)
+  if Report.is_clean before then before
+  else begin
+    List.iter
+      (fun p ->
+        match p with
+        | Report.Dangling_entry { dir; name; _ } -> remove_dangling t ~dir ~name
+        | Report.Orphan_inode { ino; kind = Cffs_vfs.Inode.Regular } ->
+            attach_lost_found t ino
+        | Report.Orphan_inode { ino; _ } -> clear_inode t ino
+        | Report.Block_multiply_used { blk; ino } -> punch_block t ~ino ~blk
+        | Report.Block_out_of_range { ino; blk } -> punch_block t ~ino ~blk
+        | Report.Bad_superblock | Report.Wrong_nlink _
+        | Report.Block_bitmap_mismatch _ | Report.Inode_bitmap_mismatch _
+        | Report.Bad_directory_block _ -> ())
+      before.Report.problems;
+    rebuild_metadata t;
+    Ffs.sync t;
+    let after = check t in
+    { after with Report.repaired = max 0 (Report.count before - Report.count after) }
+  end

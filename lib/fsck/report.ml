@@ -18,6 +18,7 @@ type t = {
 }
 
 let clean t = t.problems = []
+let is_clean = clean
 let count t = List.length t.problems
 
 let kind_name = function

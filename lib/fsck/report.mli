@@ -29,6 +29,9 @@ type t = {
 val clean : t -> bool
 (** No problems found. *)
 
+val is_clean : t -> bool
+(** Alias of {!clean}. *)
+
 val count : t -> int
 val pp_problem : Format.formatter -> problem -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,482 @@
+(* Crash model checker.
+
+   Runs a deterministic create/write/delete small-file workload on a
+   memory-backed device with a Faultdev journal attached, then replays
+   sampled crash prefixes (plus torn-write variants of the boundary
+   request) into fresh images.  Each image is remounted, fsck'd, repaired
+   and re-checked, and the invariants of ISSUE/DESIGN are asserted:
+
+   - embedded-inode directories never exhibit a dangling entry, at any
+     crash point (the paper's §3.1 sector-atomicity claim);
+   - fsck repair converges: the post-repair check is clean and a second
+     repair fixes nothing;
+   - no crashed image is unmountable;
+   - every file synced before the crash point reads back intact.
+
+   FFS under [Delayed] is expected to show dangling entries (that is the
+   baseline the paper argues against); those are counted, not treated as
+   violations — but fsck must still repair them. *)
+
+module Blockdev = Cffs_blockdev.Blockdev
+module Faultdev = Cffs_blockdev.Faultdev
+module Cache = Cffs_cache.Cache
+module Prng = Cffs_util.Prng
+module Registry = Cffs_obs.Registry
+module Json = Cffs_obs.Json
+module Fs_intf = Cffs_vfs.Fs_intf
+module Errno = Cffs_vfs.Errno
+module Report = Cffs_fsck.Report
+module Fsck_ffs = Cffs_fsck.Fsck_ffs
+module Fsck_cffs = Cffs_fsck.Fsck_cffs
+
+type fs_sel = Ffs_sel | Cffs_sel
+
+let fs_label = function Ffs_sel -> "ffs" | Cffs_sel -> "cffs"
+
+let policy_label = function
+  | Cache.Write_through -> "write_through"
+  | Cache.Sync_metadata -> "sync_metadata"
+  | Cache.Delayed -> "delayed"
+  | Cache.Soft_updates -> "soft_updates"
+
+let all_policies =
+  [ Cache.Write_through; Cache.Sync_metadata; Cache.Delayed; Cache.Soft_updates ]
+
+type outcome = {
+  fs : fs_sel;
+  policy : Cache.policy;
+  points : int;  (** crash images explored, torn variants included *)
+  torn_points : int;
+  journal_entries : int;
+  dangling_states : int;  (** images whose first check found a dangling entry *)
+  embedded_dangles : int;  (** of those, entries naming an embedded inode *)
+  dup_states : int;
+  unmountable : int;
+  unconverged : int;
+  durability_failures : int;
+  repairs : int;  (** problems repaired, summed over images *)
+  durable_reads : int;  (** synced files verified, summed over images *)
+  violations : string list;  (** capped at {!max_violation_notes} *)
+}
+
+let max_violation_notes = 20
+
+(* ------------------------------------------------------------------ *)
+(* Recorded workload run: the fault journal plus enough model state to
+   decide, for any crash point, which files must be durable there. *)
+
+type recorded = {
+  fd : Faultdev.t;
+  touches : (string * int) list;
+      (* (path, journal length when the op that touched it started);
+         newest first.  Recording the length *before* the op matters:
+         under delayed policies the op's writes reach the journal only at
+         the next sync, so the pre-op length is the earliest index any of
+         its writes can occupy. *)
+  syncs : (int * (string * bytes) list) list;
+      (* (journal length right after a sync, files durable at it);
+         newest first *)
+}
+
+let geometry = (4096, 2048) (* block size, blocks: ~8 MB, 4 groups below *)
+let cg_size = 512
+
+let exec_workload (type a) (module F : Fs_intf.S with type t = a) (fs : a) dev =
+  F.sync fs;
+  (* Attach after format + sync: the journal base is a clean empty fs, so
+     even the zero-length crash prefix is mountable. *)
+  let fd = Faultdev.attach dev in
+  let prng = Prng.create 0xc0ffee in
+  let model : (string, bytes) Hashtbl.t = Hashtbl.create 64 in
+  let touches = ref [] and syncs = ref [] in
+  let touch p = touches := (p, Faultdev.journal_length fd) :: !touches in
+  let ok what = function
+    | Ok v -> v
+    | Error e -> failwith (Printf.sprintf "crashmc workload: %s: %s" what (Errno.to_string e))
+  in
+  let file d prefix i = Printf.sprintf "%s/%c%02d" d prefix i in
+  let mkdir p =
+    touch p;
+    ok ("mkdir " ^ p) (F.mkdir fs p)
+  in
+  let wfile p =
+    let data = Prng.bytes prng (Prng.int_in prng 200 4200) in
+    touch p;
+    ok ("write " ^ p) (F.write_file fs p data);
+    Hashtbl.replace model p data
+  in
+  let del p =
+    touch p;
+    ok ("unlink " ^ p) (F.unlink fs p);
+    Hashtbl.remove model p
+  in
+  let mv src dst =
+    touch src;
+    touch dst;
+    ok ("rename " ^ src) (F.rename_path fs ~src ~dst);
+    match Hashtbl.find_opt model src with
+    | Some d ->
+        Hashtbl.remove model src;
+        Hashtbl.replace model dst d
+    | None -> ()
+  in
+  let sync_now () =
+    F.sync fs;
+    let durable = Hashtbl.fold (fun p d acc -> (p, d) :: acc) model [] in
+    syncs := (Faultdev.journal_length fd, durable) :: !syncs
+  in
+  mkdir "/d0";
+  mkdir "/d1";
+  sync_now ();
+  for i = 0 to 17 do
+    wfile (file "/d0" 'a' i)
+  done;
+  sync_now ();
+  for i = 0 to 8 do
+    del (file "/d0" 'a' i)
+  done;
+  for i = 0 to 11 do
+    wfile (file "/d1" 'b' i)
+  done;
+  sync_now ();
+  (* Delete-then-create epoch in one directory: /d0's dirent block goes
+     dirty before the creates, which then walk into never-used inode-table
+     slots.  Under FFS+Delayed the dirent block (older dirty seq) flushes
+     before those table blocks — the dangling-entry window the embedded
+     layout closes by construction. *)
+  del (file "/d0" 'a' 9);
+  for i = 0 to 13 do
+    wfile (file "/d0" 'c' i)
+  done;
+  for i = 0 to 5 do
+    if i mod 2 = 0 then del (file "/d1" 'b' i)
+  done;
+  mv (file "/d0" 'c' 1) (file "/d1" 'c' 1);
+  sync_now ();
+  Faultdev.detach fd;
+  { fd; touches = !touches; syncs = !syncs }
+
+let run_workload sel policy =
+  let block_size, nblocks = geometry in
+  let dev = Blockdev.memory ~block_size ~nblocks in
+  match sel with
+  | Ffs_sel -> exec_workload (module Ffs) (Ffs.format ~cg_size ~policy dev) dev
+  | Cffs_sel -> exec_workload (module Cffs) (Cffs.format ~cg_size ~policy dev) dev
+
+(* Files that must be readable after a crash at journal boundary [upto]:
+   those captured by the newest sync at or before it, minus any path an
+   op may have touched at an index the sync did not cover. *)
+let durable_files rec_ ~upto =
+  match List.find_opt (fun (j, _) -> j <= upto) rec_.syncs with
+  | None -> []
+  | Some (jsync, files) ->
+      List.filter
+        (fun (p, _) ->
+          not (List.exists (fun (q, jb) -> String.equal q p && jb >= jsync) rec_.touches))
+        files
+
+(* ------------------------------------------------------------------ *)
+(* Per-image verification. *)
+
+type image_verdict = {
+  iv_dangling : int;
+  iv_embedded : int;
+  iv_dups : int;
+  iv_repaired : int;
+  iv_converged : bool;
+  iv_durable_checked : int;
+  iv_durable_failed : string list;
+}
+
+let count_dangling report =
+  List.length
+    (List.filter
+       (function Report.Dangling_entry _ -> true | _ -> false)
+       report.Report.problems)
+
+let count_embedded_dangles sel report =
+  match sel with
+  | Ffs_sel -> 0
+  | Cffs_sel ->
+      List.length
+        (List.filter
+           (function
+             | Report.Dangling_entry { ino; _ } -> Cffs.is_embedded_ino ino
+             | _ -> false)
+           report.Report.problems)
+
+let count_dups report =
+  List.length
+    (List.filter
+       (function Report.Block_multiply_used _ -> true | _ -> false)
+       report.Report.problems)
+
+let read_back (type a) (module F : Fs_intf.S with type t = a) (fs : a) durable =
+  List.filter_map
+    (fun (p, data) ->
+      match F.read_file fs p with
+      | Ok got when Bytes.equal got data -> None
+      | Ok _ -> Some (p ^ ": content mismatch")
+      | Error e -> Some (p ^ ": " ^ Errno.to_string e))
+    durable
+
+let verify_image sel rec_ ~upto ~tear =
+  let dev =
+    match tear with
+    | None -> Faultdev.materialize rec_.fd ~upto
+    | Some k -> Faultdev.materialize ~tear:k rec_.fd ~upto
+  in
+  let mounted =
+    match sel with
+    | Ffs_sel -> (
+        match Ffs.mount dev with
+        | None -> None
+        | Some t ->
+            Some
+              ( (fun () -> Fsck_ffs.check t),
+                (fun () -> Fsck_ffs.repair t),
+                fun durable -> read_back (module Ffs) t durable ))
+    | Cffs_sel -> (
+        match Cffs.mount dev with
+        | None -> None
+        | Some t ->
+            Some
+              ( (fun () -> Fsck_cffs.check t),
+                (fun () -> Fsck_cffs.repair t),
+                fun durable -> read_back (module Cffs) t durable ))
+  in
+  match mounted with
+  | None -> Error `Unmountable
+  | Some (check, repair, read_durable) ->
+      let pre = check () in
+      let r1 = repair () in
+      let post = check () in
+      let r2 = repair () in
+      let converged = Report.is_clean post && r2.Report.repaired = 0 in
+      let durable = durable_files rec_ ~upto in
+      let failed = read_durable durable in
+      Ok
+        {
+          iv_dangling = count_dangling pre;
+          iv_embedded = count_embedded_dangles sel pre;
+          iv_dups = count_dups pre;
+          iv_repaired = r1.Report.repaired;
+          iv_converged = converged;
+          iv_durable_checked = List.length durable;
+          iv_durable_failed = failed;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point sampling and the per-configuration run. *)
+
+let point_name ~upto ~tear =
+  match tear with
+  | None -> Printf.sprintf "point %d" upto
+  | Some k -> Printf.sprintf "point %d (torn, %d sectors kept)" upto k
+
+let run_config ?(seed = 1) ?(points = 200) sel policy =
+  let rec_ = run_workload sel policy in
+  let prng = Prng.create (seed lxor Hashtbl.hash (fs_label sel, policy_label policy)) in
+  let total = Faultdev.journal_length rec_.fd in
+  let entries = Array.of_list (Faultdev.journal rec_.fd) in
+  let boundaries = Array.init (total + 1) Fun.id in
+  Prng.shuffle prng boundaries;
+  let budget = max 1 points in
+  let chosen =
+    Array.sub boundaries 0 (min budget (total + 1)) |> Array.to_list |> List.sort compare
+  in
+  (* Torn variants of multi-sector boundary requests, on top of the
+     boundary samples but inside the same overall budget. *)
+  let torn_budget = max 1 (budget / 4) in
+  let torn =
+    List.filter_map
+      (fun upto ->
+        if upto >= total then None
+        else
+          let sectors = Faultdev.entry_sectors rec_.fd entries.(upto) in
+          if sectors <= 1 then None
+          else Some (upto, 1 + Prng.int prng (sectors - 1)))
+      chosen
+  in
+  let torn = List.filteri (fun i _ -> i < torn_budget) torn in
+  let images =
+    List.map (fun upto -> (upto, None)) chosen
+    @ List.map (fun (upto, k) -> (upto, Some k)) torn
+  in
+  let dangling_states = ref 0
+  and embedded = ref 0
+  and dup_states = ref 0
+  and unmountable = ref 0
+  and unconverged = ref 0
+  and dur_failures = ref 0
+  and repairs = ref 0
+  and durable_reads = ref 0
+  and violations = ref [] in
+  let violate msg =
+    if List.length !violations < max_violation_notes then
+      violations := msg :: !violations
+  in
+  List.iter
+    (fun (upto, tear) ->
+      let where = point_name ~upto ~tear in
+      match verify_image sel rec_ ~upto ~tear with
+      | exception e ->
+          incr unconverged;
+          violate (Printf.sprintf "%s: fsck raised %s" where (Printexc.to_string e))
+      | Error `Unmountable ->
+          incr unmountable;
+          violate (where ^ ": crashed image failed to mount")
+      | Ok v ->
+          if v.iv_dangling > 0 then incr dangling_states;
+          if v.iv_embedded > 0 then begin
+            embedded := !embedded + v.iv_embedded;
+            violate
+              (Printf.sprintf "%s: %d dangling entr%s named an embedded inode" where
+                 v.iv_embedded
+                 (if v.iv_embedded = 1 then "y" else "ies"))
+          end;
+          if v.iv_dups > 0 then incr dup_states;
+          repairs := !repairs + v.iv_repaired;
+          if not v.iv_converged then begin
+            incr unconverged;
+            violate (where ^ ": fsck repair did not converge")
+          end;
+          durable_reads := !durable_reads + v.iv_durable_checked;
+          List.iter
+            (fun msg ->
+              incr dur_failures;
+              violate (Printf.sprintf "%s: synced file lost (%s)" where msg))
+            v.iv_durable_failed)
+    images;
+  {
+    fs = sel;
+    policy;
+    points = List.length images;
+    torn_points = List.length torn;
+    journal_entries = total;
+    dangling_states = !dangling_states;
+    embedded_dangles = !embedded;
+    dup_states = !dup_states;
+    unmountable = !unmountable;
+    unconverged = !unconverged;
+    durability_failures = !dur_failures;
+    repairs = !repairs;
+    durable_reads = !durable_reads;
+    violations = List.rev !violations;
+  }
+
+let default_matrix =
+  List.concat_map (fun sel -> List.map (fun p -> (sel, p)) all_policies)
+    [ Ffs_sel; Cffs_sel ]
+
+let run ?(seed = 1) ?(points = 200) ?(matrix = default_matrix) () =
+  List.map (fun (sel, policy) -> run_config ~seed ~points sel policy) matrix
+
+(* ------------------------------------------------------------------ *)
+(* A short fault drill through the live error path, so the telemetry
+   document also carries non-zero retry / io-error counters: a mounted fs
+   reads through a Faultdev with a high transient rate, then trips over a
+   sticky bad sector. *)
+
+let fault_drill () =
+  let block_size, nblocks = geometry in
+  let dev = Blockdev.memory ~block_size ~nblocks in
+  let t = Cffs.format ~cg_size dev in
+  (match Cffs.write_file t "/drill" (Bytes.make 9000 'x') with
+  | Ok () -> ()
+  | Error e -> failwith ("crashmc drill: write: " ^ Errno.to_string e));
+  Cffs.sync t;
+  let fd = Faultdev.attach dev in
+  Faultdev.set_transient_read_rate fd 0.35;
+  (* Retry exhaustion (all attempts transiently failing) is possible and
+     fine for the drill — counters still advance. *)
+  (try
+     match Cffs.mount dev with
+     | None -> ()
+     | Some t2 ->
+         for _ = 1 to 10 do
+           try
+             Cffs.remount t2;
+             (* drop the cache so reads really hit the device *)
+             ignore (Cffs.read_file t2 "/drill")
+           with Cffs_util.Io_error.E _ -> ()
+         done
+   with Cffs_util.Io_error.E _ -> ());
+  Faultdev.set_transient_read_rate fd 0.0;
+  Faultdev.mark_bad fd (Blockdev.nblocks dev - 1);
+  (match Blockdev.read dev (Blockdev.nblocks dev - 1) 1 with
+  | (_ : bytes) -> ()
+  | exception Cffs_util.Io_error.E _ -> ());
+  Faultdev.detach fd
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry document. *)
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("fs", Json.String (fs_label o.fs));
+      ("policy", Json.String (policy_label o.policy));
+      ("points", Json.Int o.points);
+      ("torn_points", Json.Int o.torn_points);
+      ("journal_entries", Json.Int o.journal_entries);
+      ("dangling_states", Json.Int o.dangling_states);
+      ("embedded_dangles", Json.Int o.embedded_dangles);
+      ("dup_states", Json.Int o.dup_states);
+      ("unmountable", Json.Int o.unmountable);
+      ("unconverged", Json.Int o.unconverged);
+      ("durability_failures", Json.Int o.durability_failures);
+      ("repairs", Json.Int o.repairs);
+      ("durable_reads", Json.Int o.durable_reads);
+      ("violations", Json.List (List.map (fun s -> Json.String s) o.violations));
+    ]
+
+let total_violations outcomes =
+  List.fold_left
+    (fun acc o ->
+      acc + o.embedded_dangles + o.unmountable + o.unconverged
+      + o.durability_failures)
+    0 outcomes
+
+let document ?(seed = 1) ?(points = 200) () =
+  let before = Registry.snapshot () in
+  let outcomes = run ~seed ~points () in
+  fault_drill ();
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  let _ops, counters = Telemetry.split_delta delta in
+  Json.Obj
+    [
+      ("schema", Json.String "cffs-telemetry-v1");
+      ("benchmark", Json.String "crashtest");
+      ("seed", Json.Int seed);
+      ("points", Json.Int points);
+      ("configs", Json.List (List.map outcome_to_json outcomes));
+      ("total_violations", Json.Int (total_violations outcomes));
+      ("counters", Json.Obj counters);
+    ]
+
+let print_human ?(seed = 1) ?(points = 200) () =
+  let outcomes = run ~seed ~points () in
+  Printf.printf "crash-consistency check: seed %d, up to %d points per config\n\n"
+    seed points;
+  Printf.printf "%-6s %-14s %7s %5s %9s %9s %7s %7s %5s\n" "fs" "policy" "points"
+    "torn" "dangling" "embedded" "unconv" "dur-fail" "viol";
+  List.iter
+    (fun o ->
+      Printf.printf "%-6s %-14s %7d %5d %9d %9d %7d %8d %5d\n" (fs_label o.fs)
+        (policy_label o.policy) o.points o.torn_points o.dangling_states
+        o.embedded_dangles o.unconverged o.durability_failures
+        (o.embedded_dangles + o.unmountable + o.unconverged + o.durability_failures))
+    outcomes;
+  let bad = total_violations outcomes in
+  Printf.printf "\n%s\n"
+    (if bad = 0 then "no invariant violations"
+     else Printf.sprintf "%d invariant violation(s)" bad);
+  List.iter
+    (fun o ->
+      List.iter
+        (fun v ->
+          Printf.printf "  [%s/%s] %s\n" (fs_label o.fs) (policy_label o.policy) v)
+        o.violations)
+    outcomes;
+  if bad <> 0 then exit 1

@@ -1,0 +1,76 @@
+(** Crash model checker: the harness behind [cffs_cli crashtest].
+
+    Runs a deterministic create/write/delete small-file workload against a
+    memory-backed device with a {!Cffs_blockdev.Faultdev} journal attached,
+    samples crash points (power cut at a write-request boundary, plus torn
+    variants of multi-sector boundary requests), materializes each crashed
+    image, remounts it, runs fsck check → repair → check → repair, and
+    asserts:
+
+    - {b embedded-inode integrity} — no dangling directory entry ever names
+      an embedded inode, at any crash point (the paper's §3.1 claim: a
+      name and its inode share one sector-atomic directory chunk);
+    - {b fsck convergence} — the post-repair check is clean and a second
+      repair fixes nothing, on every crashed image;
+    - {b mountability} — every crash prefix yields a mountable image;
+    - {b durability} — every file synced before the crash point reads back
+      byte-identical after repair.
+
+    FFS under [Delayed] metadata is {e expected} to produce dangling
+    entries (the baseline failure mode the embedded layout eliminates);
+    these are counted but are not violations — fsck must still repair
+    them. *)
+
+type fs_sel = Ffs_sel | Cffs_sel
+
+val fs_label : fs_sel -> string
+val policy_label : Cffs_cache.Cache.policy -> string
+
+val all_policies : Cffs_cache.Cache.policy list
+
+type outcome = {
+  fs : fs_sel;
+  policy : Cffs_cache.Cache.policy;
+  points : int;  (** crash images explored, torn variants included *)
+  torn_points : int;
+  journal_entries : int;  (** write requests the fault-free run persisted *)
+  dangling_states : int;  (** images whose first check found a dangling entry *)
+  embedded_dangles : int;  (** dangling entries naming an embedded inode *)
+  dup_states : int;  (** images with a doubly-claimed block *)
+  unmountable : int;
+  unconverged : int;
+  durability_failures : int;
+  repairs : int;  (** problems repaired, summed over images *)
+  durable_reads : int;  (** synced files verified, summed over images *)
+  violations : string list;  (** human-readable notes, capped *)
+}
+
+val run_config : ?seed:int -> ?points:int -> fs_sel -> Cffs_cache.Cache.policy -> outcome
+(** Run the workload once under the given configuration and explore up to
+    [points] request-boundary crash images plus up to [points / 4] torn
+    variants of multi-sector boundary requests (defaults: 200 points,
+    seed 1). *)
+
+val default_matrix : (fs_sel * Cffs_cache.Cache.policy) list
+(** Both file systems under every cache policy. *)
+
+val run :
+  ?seed:int ->
+  ?points:int ->
+  ?matrix:(fs_sel * Cffs_cache.Cache.policy) list ->
+  unit ->
+  outcome list
+
+val total_violations : outcome list -> int
+(** Embedded dangles + unmountable + unconverged + durability failures. *)
+
+val fault_drill : unit -> unit
+(** Exercise the live error path (transient read retries, a sticky bad
+    sector) so retry and io-error counters appear in the registry. *)
+
+val document : ?seed:int -> ?points:int -> unit -> Cffs_obs.Json.t
+(** Full matrix run plus {!fault_drill}, packaged as a
+    [cffs-telemetry-v1] document with benchmark ["crashtest"]. *)
+
+val print_human : ?seed:int -> ?points:int -> unit -> unit
+(** Table on stdout; exits non-zero if any invariant was violated. *)

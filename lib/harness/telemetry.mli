@@ -16,6 +16,13 @@ type config_run = {
       (** registry delta over the run (counters, fcounters, histograms) *)
 }
 
+val split_delta :
+  Cffs_obs.Registry.snapshot ->
+  (string * Cffs_obs.Json.t) list * (string * Cffs_obs.Json.t) list
+(** Split a registry delta into (per-op latency histograms, non-zero
+    counters), each already rendered to JSON.  Shared by every
+    [cffs-telemetry-v1] emitter. *)
+
 val run_config :
   nfiles:int ->
   file_bytes:int ->

@@ -1,0 +1,30 @@
+type op = Read | Write
+
+type cause =
+  | Transient  (** recoverable media error: a retry may succeed *)
+  | Bad_sector  (** sticky media error: every access to the range fails *)
+  | Power_cut  (** the device lost power; no further requests complete *)
+  | Out_of_bounds  (** the block range lies outside the device *)
+
+type t = { op : op; blk : int; nblocks : int; cause : cause }
+
+exception E of t
+
+let op_name = function Read -> "read" | Write -> "write"
+
+let cause_name = function
+  | Transient -> "transient"
+  | Bad_sector -> "bad_sector"
+  | Power_cut -> "power_cut"
+  | Out_of_bounds -> "out_of_bounds"
+
+let to_string e =
+  Printf.sprintf "I/O error: %s of blocks [%d, %d): %s" (op_name e.op) e.blk
+    (e.blk + e.nblocks) (cause_name e.cause)
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let raise_error ~op ~blk ~nblocks cause = raise (E { op; blk; nblocks; cause })
+
+let () =
+  Printexc.register_printer (function E e -> Some (to_string e) | _ -> None)

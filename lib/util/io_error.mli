@@ -1,0 +1,27 @@
+(** Typed I/O errors.
+
+    Device failures surface as {!E} carrying the failed operation, the block
+    range, and a cause.  Layers above the block device either recover
+    (the cache retries transient read errors with backoff) or translate the
+    exception into their own error domain (VFS operations return [EIO]); a
+    fault must never escape as a crashed process. *)
+
+type op = Read | Write
+
+type cause =
+  | Transient  (** recoverable media error: a retry may succeed *)
+  | Bad_sector  (** sticky media error: every access to the range fails *)
+  | Power_cut  (** the device lost power; no further requests complete *)
+  | Out_of_bounds  (** the block range lies outside the device *)
+
+type t = { op : op; blk : int; nblocks : int; cause : cause }
+
+exception E of t
+
+val op_name : op -> string
+val cause_name : cause -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val raise_error : op:op -> blk:int -> nblocks:int -> cause -> 'a
+(** [raise_error ~op ~blk ~nblocks cause] raises {!E}. *)

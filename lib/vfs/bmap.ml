@@ -209,6 +209,43 @@ let iter cache (inode : Inode.t) ~data ~meta =
     meta inode.dindirect
   end
 
+(* Clear the first data pointer equal to [target], turning that logical
+   block into a hole.  Fsck's duplicate-claim repair punches the later
+   claimant so exactly one file keeps the block. *)
+let punch cache (inode : Inode.t) ~target =
+  let ppb = ptrs_per_block cache in
+  let found = ref false in
+  Array.iteri
+    (fun i p ->
+      if (not !found) && p = target then begin
+        inode.direct.(i) <- 0;
+        found := true
+      end)
+    inode.direct;
+  let punch_ptr_block blk =
+    if not !found then begin
+      let b = Cache.read cache blk in
+      let i = ref 0 in
+      while (not !found) && !i < ppb do
+        if Codec.get_u32 b (4 * !i) = target then begin
+          Codec.set_u32 b (4 * !i) 0;
+          Cache.write cache ~kind:`Meta blk b;
+          found := true
+        end;
+        incr i
+      done
+    end
+  in
+  if inode.indirect <> 0 then punch_ptr_block inode.indirect;
+  if (not !found) && inode.dindirect <> 0 then begin
+    let b1 = Cache.read cache inode.dindirect in
+    for i = 0 to ppb - 1 do
+      let p1 = Codec.get_u32 b1 (4 * i) in
+      if (not !found) && p1 <> 0 then punch_ptr_block p1
+    done
+  end;
+  !found
+
 let count cache inode =
   let n = ref 0 in
   iter cache inode ~data:(fun _ -> incr n) ~meta:(fun _ -> incr n);

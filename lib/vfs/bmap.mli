@@ -43,3 +43,10 @@ val iter :
 
 val count : Cffs_cache.Cache.t -> Inode.t -> int
 (** Total allocated blocks (data + indirect). *)
+
+val punch : Cffs_cache.Cache.t -> Inode.t -> target:int -> bool
+(** [punch cache inode ~target] clears the first data pointer equal to
+    [target], leaving a hole, and returns whether one was found.  Direct
+    pointers mutate [inode] (the caller persists it); indirect-block
+    updates are written through the cache.  Fsck uses this to repair
+    doubly-claimed blocks by punching the later claimant. *)

@@ -9,6 +9,7 @@ type t =
   | Einval
   | Emlink
   | Enametoolong
+  | Eio
 
 type 'a result = ('a, t) Stdlib.result
 
@@ -23,6 +24,7 @@ let to_string = function
   | Einval -> "EINVAL"
   | Emlink -> "EMLINK"
   | Enametoolong -> "ENAMETOOLONG"
+  | Eio -> "EIO"
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -11,6 +11,7 @@ type t =
   | Einval  (** invalid argument *)
   | Emlink  (** too many links *)
   | Enametoolong
+  | Eio  (** unrecoverable device I/O failure *)
 
 type 'a result = ('a, t) Stdlib.result
 

@@ -30,6 +30,16 @@ end
 module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
   type t = F.t
 
+  let m_eio = Registry.counter (F.prefix ^ ".eio")
+
+  (* Unrecoverable device faults (the cache has already retried transients)
+     surface to every VFS caller as [EIO] — never as a crashed process. *)
+  let guard f =
+    try f ()
+    with Cffs_util.Io_error.E _ ->
+      Registry.incr m_eio;
+      Error Errno.Eio
+
   let h_lookup = Registry.histogram (F.prefix ^ ".op.lookup_s")
   let h_create = Registry.histogram (F.prefix ^ ".op.create_s")
   let h_unlink = Registry.histogram (F.prefix ^ ".op.unlink_s")
@@ -69,31 +79,41 @@ module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
   let root = F.root
 
   let lookup fs ~dir name =
-    span fs "lookup" h_lookup ~target:name (fun () -> F.lookup fs ~dir name)
+    span fs "lookup" h_lookup ~target:name (fun () ->
+        guard (fun () -> F.lookup fs ~dir name))
 
   let mknod fs ~dir name kind =
-    span fs "create" h_create ~target:name (fun () -> F.mknod fs ~dir name kind)
+    span fs "create" h_create ~target:name (fun () ->
+        guard (fun () -> F.mknod fs ~dir name kind))
 
   let remove fs ~dir name ~rmdir =
-    span fs "unlink" h_unlink ~target:name (fun () -> F.remove fs ~dir name ~rmdir)
+    span fs "unlink" h_unlink ~target:name (fun () ->
+        guard (fun () -> F.remove fs ~dir name ~rmdir))
 
-  let hardlink = F.hardlink
-  let rename = F.rename
-  let readdir = F.readdir
-  let stat_ino = F.stat_ino
+  let hardlink fs ~dir name ~ino = guard (fun () -> F.hardlink fs ~dir name ~ino)
+
+  let rename fs ~sdir ~sname ~ddir ~dname =
+    guard (fun () -> F.rename fs ~sdir ~sname ~ddir ~dname)
+
+  let readdir fs ~dir = guard (fun () -> F.readdir fs ~dir)
+  let stat_ino fs ino = guard (fun () -> F.stat_ino fs ino)
 
   let read_ino fs ~ino ~off ~len =
     span fs "read" h_read
       ~target:("ino:" ^ string_of_int ino)
-      (fun () -> F.read_ino fs ~ino ~off ~len)
+      (fun () -> guard (fun () -> F.read_ino fs ~ino ~off ~len))
 
   let write_ino fs ~ino ~off data =
     span fs "write" h_write
       ~target:("ino:" ^ string_of_int ino)
-      (fun () -> F.write_ino fs ~ino ~off data)
+      (fun () -> guard (fun () -> F.write_ino fs ~ino ~off data))
 
-  let truncate_ino = F.truncate_ino
-  let sync = F.sync
+  let truncate_ino fs ~ino ~size = guard (fun () -> F.truncate_ino fs ~ino ~size)
+
+  let sync fs =
+    (* [sync] has no error channel; the cache pins buffers it cannot write,
+       so a device fault here loses nothing and must not crash the caller. *)
+    try F.sync fs with Cffs_util.Io_error.E _ -> Registry.incr m_eio
   let remount = F.remount
   let usage = F.usage
 end

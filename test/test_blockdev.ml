@@ -2,10 +2,12 @@
    drive-backed backend, batched writes and crash images. *)
 
 module Blockdev = Cffs_blockdev.Blockdev
+module Faultdev = Cffs_blockdev.Faultdev
 module Drive = Cffs_disk.Drive
 module Profile = Cffs_disk.Profile
 module Request = Cffs_disk.Request
 module Prng = Cffs_util.Prng
+module Io_error = Cffs_util.Io_error
 
 let check = Alcotest.check
 let qtest ?(count = 100) name gen f =
@@ -29,13 +31,30 @@ let test_mem_multi_block () =
   check Alcotest.bytes "read 3" data (Blockdev.read dev 10 3);
   check Alcotest.bytes "middle" (block 'b') (Blockdev.read dev 11 1)
 
-let test_bounds () =
-  let dev = mem () in
-  let reject f = try f (); false with Invalid_argument _ -> true in
-  check Alcotest.bool "read past end" true (reject (fun () -> ignore (Blockdev.read dev 1023 2)));
-  check Alcotest.bool "negative" true (reject (fun () -> ignore (Blockdev.read dev (-1) 1)));
+(* Out-of-range requests raise the typed I/O error (satellite: both
+   backends), carrying the offending range; partial-block payloads remain a
+   programming error. *)
+let test_bounds_typed mk () =
+  let dev = mk () in
+  let n = Blockdev.nblocks dev in
+  let oob f =
+    match f () with
+    | _ -> false
+    | exception Io_error.E e -> e.Io_error.cause = Io_error.Out_of_bounds
+  in
+  check Alcotest.bool "read past end" true
+    (oob (fun () -> ignore (Blockdev.read dev (n - 1) 2)));
+  check Alcotest.bool "negative read" true
+    (oob (fun () -> ignore (Blockdev.read dev (-1) 1)));
+  check Alcotest.bool "write past end" true
+    (oob (fun () -> Blockdev.write dev n (block 'x')));
+  check Alcotest.bool "batch unit past end" true
+    (oob (fun () -> Blockdev.write_batch_units dev [ (n - 1, [ block 'a'; block 'b' ]) ]));
   check Alcotest.bool "partial block write" true
-    (reject (fun () -> Blockdev.write dev 0 (Bytes.make 100 'x')))
+    (try
+       Blockdev.write dev 0 (Bytes.make 100 'x');
+       false
+     with Invalid_argument _ -> true)
 
 let test_mem_time_is_zero () =
   let dev = mem () in
@@ -139,6 +158,124 @@ let test_clook_batch_cheaper_than_fcfs () =
   let clook = run Cffs_disk.Scheduler.Clook in
   check Alcotest.bool "C-LOOK at least 1.5x faster" true (clook *. 1.5 < fcfs)
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+let sector = Cffs_util.Units.sector_size
+
+let cause_is c f =
+  match f () with
+  | _ -> false
+  | exception Io_error.E e -> e.Io_error.cause = c
+
+let test_fault_transient_read () =
+  let dev = mem () in
+  Blockdev.write dev 1 (block 'a');
+  let fd = Faultdev.attach dev in
+  Faultdev.set_transient_read_rate fd 1.0;
+  check Alcotest.bool "read fails transiently" true
+    (cause_is Io_error.Transient (fun () -> Blockdev.read dev 1 1));
+  Faultdev.set_transient_read_rate fd 0.0;
+  check Alcotest.bytes "retry succeeds" (block 'a') (Blockdev.read dev 1 1);
+  Faultdev.detach fd
+
+let test_fault_bad_sector_sticky () =
+  let dev = mem () in
+  Blockdev.write dev 5 (block 'a');
+  let fd = Faultdev.attach dev in
+  Faultdev.mark_bad fd 5;
+  check Alcotest.bool "read fails" true
+    (cause_is Io_error.Bad_sector (fun () -> Blockdev.read dev 5 1));
+  check Alcotest.bool "still failing" true
+    (cause_is Io_error.Bad_sector (fun () -> Blockdev.read dev 4 2));
+  check Alcotest.bool "write fails too" true
+    (cause_is Io_error.Bad_sector (fun () -> Blockdev.write dev 5 (block 'b')));
+  check Alcotest.int "failed write not journaled" 0 (Faultdev.journal_length fd);
+  Faultdev.clear_bad fd 5;
+  check Alcotest.bytes "recovered, old content" (block 'a') (Blockdev.read dev 5 1);
+  Faultdev.detach fd
+
+let test_fault_torn_write () =
+  let dev = mem () in
+  Blockdev.write dev 7 (block 'o');
+  let fd = Faultdev.attach dev in
+  Faultdev.tear_write fd ~seq:(Faultdev.writes_attempted fd) ~keep_sectors:3;
+  check Alcotest.bool "tear reports power cut" true
+    (cause_is Io_error.Power_cut (fun () -> Blockdev.write dev 7 (block 'n')));
+  check Alcotest.bool "device died" false (Faultdev.alive fd);
+  Faultdev.revive fd;
+  let got = Blockdev.read dev 7 1 in
+  check Alcotest.bytes "first 3 sectors new"
+    (Bytes.make (3 * sector) 'n')
+    (Bytes.sub got 0 (3 * sector));
+  check Alcotest.bytes "tail sectors old"
+    (Bytes.make (4096 - (3 * sector)) 'o')
+    (Bytes.sub got (3 * sector) (4096 - (3 * sector)));
+  (match Faultdev.journal fd with
+  | [ e ] ->
+      check Alcotest.int "journaled first block" 7 e.Faultdev.blk;
+      check (Alcotest.option Alcotest.int) "tear extent recorded" (Some 3)
+        e.Faultdev.torn;
+      check Alcotest.bytes "full intended payload kept" (block 'n') e.Faultdev.data
+  | es -> Alcotest.failf "expected 1 journal entry, got %d" (List.length es));
+  Faultdev.detach fd
+
+let test_fault_power_cut_at () =
+  let dev = mem () in
+  let fd = Faultdev.attach dev in
+  Faultdev.cut_power_at fd ~seq:1;
+  Blockdev.write dev 1 (block 'a');
+  check Alcotest.bool "second write hits the cut" true
+    (cause_is Io_error.Power_cut (fun () -> Blockdev.write dev 2 (block 'b')));
+  check Alcotest.bool "everything after fails" true
+    (cause_is Io_error.Power_cut (fun () -> Blockdev.read dev 1 1));
+  check Alcotest.int "only first write journaled" 1 (Faultdev.journal_length fd);
+  Faultdev.revive fd;
+  check Alcotest.bytes "first write persisted" (block 'a') (Blockdev.read dev 1 1);
+  check Alcotest.bytes "second write lost" (block '\000') (Blockdev.read dev 2 1);
+  Faultdev.detach fd
+
+let test_fault_materialize () =
+  let dev = mem () in
+  Blockdev.write dev 0 (block 'z');
+  let fd = Faultdev.attach dev in
+  Blockdev.write dev 1 (block 'a');
+  Blockdev.write dev 2 (block 'b');
+  Blockdev.write dev 3 (block 'c');
+  check Alcotest.int "three entries" 3 (Faultdev.journal_length fd);
+  let img = Faultdev.materialize fd ~upto:2 in
+  check Alcotest.bytes "base present" (block 'z') (Blockdev.read img 0 1);
+  check Alcotest.bytes "first applied" (block 'a') (Blockdev.read img 1 1);
+  check Alcotest.bytes "second applied" (block 'b') (Blockdev.read img 2 1);
+  check Alcotest.bytes "third not applied" (block '\000') (Blockdev.read img 3 1);
+  (* The same prefix with the boundary request torn to one sector. *)
+  let timg = Faultdev.materialize ~tear:1 fd ~upto:2 in
+  let got = Blockdev.read timg 3 1 in
+  check Alcotest.bytes "torn boundary: first sector" (Bytes.make sector 'c')
+    (Bytes.sub got 0 sector);
+  check Alcotest.bytes "torn boundary: rest zero"
+    (Bytes.make (4096 - sector) '\000')
+    (Bytes.sub got sector (4096 - sector));
+  (* Materialization is offline: the live device is untouched. *)
+  check Alcotest.bytes "live device unaffected" (block 'c') (Blockdev.read dev 3 1);
+  Faultdev.detach fd
+
+let test_fault_midbatch_prefix () =
+  let dev = mem () in
+  let fd = Faultdev.attach dev in
+  (* Batch of three one-block units; power cut before the third request:
+     exactly the serviced prefix persists. *)
+  Faultdev.cut_power_at fd ~seq:2;
+  check Alcotest.bool "batch fails at third unit" true
+    (cause_is Io_error.Power_cut (fun () ->
+         Blockdev.write_batch_units dev
+           [ (1, [ block 'a' ]); (2, [ block 'b' ]); (3, [ block 'c' ]) ]));
+  Faultdev.revive fd;
+  check Alcotest.bytes "unit 1 persisted" (block 'a') (Blockdev.read dev 1 1);
+  check Alcotest.bytes "unit 2 persisted" (block 'b') (Blockdev.read dev 2 1);
+  check Alcotest.bytes "unit 3 lost" (block '\000') (Blockdev.read dev 3 1);
+  Faultdev.detach fd
+
 let () =
   Alcotest.run "cffs_blockdev"
     [
@@ -146,13 +283,26 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_mem_roundtrip;
           Alcotest.test_case "multi-block" `Quick test_mem_multi_block;
-          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "bounds raise typed io error" `Quick
+            (test_bounds_typed mem);
           Alcotest.test_case "zero time" `Quick test_mem_time_is_zero;
           qcheck_store_model;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "transient read" `Quick test_fault_transient_read;
+          Alcotest.test_case "sticky bad sector" `Quick test_fault_bad_sector_sticky;
+          Alcotest.test_case "torn write" `Quick test_fault_torn_write;
+          Alcotest.test_case "power cut at boundary" `Quick test_fault_power_cut_at;
+          Alcotest.test_case "materialize crash images" `Quick test_fault_materialize;
+          Alcotest.test_case "mid-batch cut leaves prefix" `Quick
+            test_fault_midbatch_prefix;
         ] );
       ( "timed",
         [
           Alcotest.test_case "clock advances" `Quick test_timed_advances_clock;
+          Alcotest.test_case "bounds raise typed io error" `Quick
+            (test_bounds_typed timed);
           Alcotest.test_case "write_batch one request per block" `Quick
             test_write_batch_counts;
           Alcotest.test_case "write_batch_units one request per unit" `Quick

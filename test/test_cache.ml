@@ -247,6 +247,180 @@ let test_soft_updates_noop_for_other_policies () =
   check Alcotest.bytes "still delayed" (block '\000') (Blockdev.read dev 2 1);
   Cache.flush c
 
+(* ------------------------------------------------------------------ *)
+(* Device faults: transparent retries, pinned buffers *)
+
+module Io_error = Cffs_util.Io_error
+module Registry = Cffs_obs.Registry
+
+(* Fail the next [n] requests matching [op] with [cause], then proceed. *)
+let fail_next dev op cause n =
+  let remaining = ref n in
+  Blockdev.set_injector dev
+    (Some
+       (fun o ~blk:_ ~nblocks:_ ->
+         if o = op && !remaining > 0 then begin
+           decr remaining;
+           Blockdev.Fail cause
+         end
+         else Blockdev.Proceed))
+
+let test_transient_read_retried () =
+  let c, dev = mem_cache () in
+  Blockdev.write dev 7 (block 'r');
+  let before = Registry.snapshot () in
+  fail_next dev Io_error.Read Io_error.Transient 2;
+  (* Two transient failures, then success: the caller never sees them. *)
+  check Alcotest.bytes "read succeeds through retries" (block 'r') (Cache.read c 7);
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  check Alcotest.int "retries counted" 2 (Registry.get_counter delta "blockdev.retries");
+  Blockdev.set_injector dev None
+
+let test_persistent_read_raises () =
+  let c, dev = mem_cache () in
+  Blockdev.write dev 7 (block 'r');
+  Blockdev.set_injector dev
+    (Some (fun _ ~blk:_ ~nblocks:_ -> Blockdev.Fail Io_error.Bad_sector));
+  (match Cache.read c 7 with
+  | _ -> Alcotest.fail "expected Io_error"
+  | exception Io_error.E e ->
+      check Alcotest.bool "bad sector" true (e.Io_error.cause = Io_error.Bad_sector));
+  Blockdev.set_injector dev None;
+  check Alcotest.bytes "recovers once fault clears" (block 'r') (Cache.read c 7)
+
+let test_write_failure_pins_sync () =
+  (* A sync-policy write that the device refuses must not raise and must
+     not lose the data: the buffer stays dirty and pinned. *)
+  let c, dev = mem_cache ~policy:Cache.Write_through () in
+  Blockdev.set_injector dev
+    (Some
+       (fun op ~blk:_ ~nblocks:_ ->
+         if op = Io_error.Write then Blockdev.Fail Io_error.Bad_sector
+         else Blockdev.Proceed));
+  Cache.write c ~kind:`Data 3 (block 'p');
+  check Alcotest.int "pinned" 1 (Cache.pinned_count c);
+  check Alcotest.int "still dirty" 1 (Cache.dirty_count c);
+  check Alcotest.bytes "content retained" (block 'p') (Cache.read c 3);
+  Blockdev.set_injector dev None;
+  Cache.flush c;
+  check Alcotest.int "unpinned after healthy flush" 0 (Cache.pinned_count c);
+  check Alcotest.bytes "persisted" (block 'p') (Blockdev.read dev 3 1)
+
+let test_pinned_survives_eviction_pressure () =
+  let c, dev = mem_cache ~policy:Cache.Delayed ~capacity:4 () in
+  Blockdev.set_injector dev
+    (Some
+       (fun op ~blk:_ ~nblocks:_ ->
+         if op = Io_error.Write then Blockdev.Fail Io_error.Bad_sector
+         else Blockdev.Proceed));
+  (* Twice the capacity in dirty blocks against a dead device: eviction
+     cannot write anything back, so everything must be retained. *)
+  for i = 0 to 7 do
+    Cache.write c ~kind:`Data i (block (Char.chr (65 + i)))
+  done;
+  ignore (Cache.flush_limit c 8);
+  check Alcotest.int "all dirty retained" 8 (Cache.dirty_count c);
+  check Alcotest.bool "grew past capacity rather than drop" true (Cache.resident c >= 8);
+  Blockdev.set_injector dev None;
+  Cache.flush c;
+  check Alcotest.int "drained" 0 (Cache.dirty_count c);
+  check Alcotest.int "unpinned" 0 (Cache.pinned_count c);
+  for i = 0 to 7 do
+    check Alcotest.bytes "nothing lost" (block (Char.chr (65 + i))) (Blockdev.read dev i 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Soft updates: the issued write sequence respects declared order *)
+
+(* One timeline of binding order declarations (cache observer) and write
+   requests (device observer).  A request is the atomicity grain: blocks
+   travelling together satisfy/violate nothing among themselves. *)
+type order_ev = Decl of int * int | Req of int list
+
+let record_timeline c dev =
+  let tl = ref [] in
+  let bs = Blockdev.block_size dev in
+  Blockdev.set_write_observer dev
+    (Some
+       (fun ~blk ~data ~torn:_ ->
+         let n = Bytes.length data / bs in
+         tl := Req (List.init n (fun i -> blk + i)) :: !tl));
+  Cache.set_observer c
+    (Some
+       (function
+       | Cache.Order { first; second } -> tl := Decl (first, second) :: !tl
+       | _ -> ()));
+  tl
+
+(* A declared constraint (f, s) is violated if s reaches the device in a
+   request that does not include f, before any post-declaration request
+   carried f. *)
+let first_order_violation timeline =
+  let active = ref [] in
+  let viol = ref None in
+  List.iter
+    (function
+      | Decl (f, s) -> active := (f, s) :: !active
+      | Req blks ->
+          (match
+             List.find_opt
+               (fun (f, s) -> List.mem s blks && not (List.mem f blks))
+               !active
+           with
+          | Some (f, s) when !viol = None ->
+              viol := Some (Printf.sprintf "block %d written before its prerequisite %d" s f)
+          | _ -> ());
+          active := List.filter (fun (f, _) -> not (List.mem f blks)) !active)
+    (List.rev timeline);
+  !viol
+
+let test_su_cycle_break_persists_prereqs () =
+  (* The cycle-breaking write must carry the forced block's own
+     prerequisite closure first: with 3 < 1 < 2 declared, completing the
+     cycle via (2, 3) forces 2 out -- but 3 and 1 must hit the device
+     before it, in that order. *)
+  let c, dev = mem_cache ~policy:Cache.Soft_updates () in
+  let tl = record_timeline c dev in
+  Cache.write c ~kind:`Meta 1 (block 'a');
+  Cache.write c ~kind:`Meta 2 (block 'b');
+  Cache.write c ~kind:`Meta 3 (block 'c');
+  Cache.order c ~first:1 ~second:2;
+  Cache.order c ~first:3 ~second:1;
+  Cache.order c ~first:2 ~second:3;
+  (* Cycle broken by writing 2 early -- after its prerequisites. *)
+  check Alcotest.bytes "forced block on device" (block 'b') (Blockdev.read dev 2 1);
+  Cache.flush c;
+  (match first_order_violation !tl with
+  | None -> ()
+  | Some msg -> Alcotest.fail msg);
+  check Alcotest.bytes "1 there" (block 'a') (Blockdev.read dev 1 1);
+  check Alcotest.bytes "3 there" (block 'c') (Blockdev.read dev 3 1)
+
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let qcheck_su_order_respected =
+  qtest ~count:150 "issued writes respect declared order"
+    QCheck.(list_of_size (Gen.int_range 0 60) (triple (int_bound 5) (int_bound 15) (int_bound 15)))
+    (fun ops ->
+      let c, dev = mem_cache ~policy:Cache.Soft_updates ~capacity:8 () in
+      let tl = record_timeline c dev in
+      List.iter
+        (fun (op, x, y) ->
+          match op with
+          | 0 | 1 | 2 ->
+              Cache.write c ~kind:`Meta x (block (Char.chr (65 + (x mod 26))))
+          | 3 -> Cache.order c ~first:x ~second:y
+          | 4 -> ignore (Cache.flush_limit c ((y mod 3) + 1))
+          | _ -> Cache.flush c)
+        ops;
+      Cache.flush c;
+      Cache.set_observer c None;
+      Blockdev.set_write_observer dev None;
+      match first_order_violation !tl with
+      | None -> Cache.dirty_count c = 0
+      | Some msg -> QCheck.Test.fail_report msg)
+
 let test_observer_events () =
   let c, _dev = mem_cache ~policy:Cache.Delayed () in
   let events = ref [] in
@@ -306,6 +480,17 @@ let () =
           Alcotest.test_case "cycle broken" `Quick test_soft_updates_cycle_broken;
           Alcotest.test_case "flush waves" `Quick test_soft_updates_full_flush_waves;
           Alcotest.test_case "no-op elsewhere" `Quick test_soft_updates_noop_for_other_policies;
+          Alcotest.test_case "cycle break persists prereqs" `Quick
+            test_su_cycle_break_persists_prereqs;
+          qcheck_su_order_respected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "transient read retried" `Quick test_transient_read_retried;
+          Alcotest.test_case "persistent read raises" `Quick test_persistent_read_raises;
+          Alcotest.test_case "write failure pins (sync)" `Quick test_write_failure_pins_sync;
+          Alcotest.test_case "pinned survives eviction pressure" `Quick
+            test_pinned_survives_eviction_pressure;
         ] );
       ( "lifecycle",
         [

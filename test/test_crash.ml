@@ -1,0 +1,87 @@
+(* Bounded crash-consistency harness pass: the @crash alias.
+
+   Runs the crash model checker (lib/harness/crashmc.ml) with a reduced
+   budget so it fits in the normal test run, and asserts the paper's §3.1
+   integrity claim plus the harness's own invariants:
+
+   - C-FFS never exhibits a dangling embedded entry, at any sampled crash
+     point, under any write policy — name and inode share one
+     sector-atomic directory chunk;
+   - FFS under Delayed metadata DOES exhibit dangling entries (the
+     baseline failure mode the embedded layout eliminates);
+   - every crash image is mountable, fsck converges on it, and every
+     file synced before the crash reads back intact. *)
+
+module Crashmc = Cffs_harness.Crashmc
+module Cache = Cffs_cache.Cache
+
+let check = Alcotest.check
+
+let points = 50
+let seed = 1
+
+let fail_violations (o : Crashmc.outcome) =
+  if o.Crashmc.violations <> [] then
+    Alcotest.failf "%s/%s: %s" (Crashmc.fs_label o.Crashmc.fs)
+      (Crashmc.policy_label o.Crashmc.policy)
+      (String.concat "; " o.Crashmc.violations)
+
+let test_cffs_embedded_integrity () =
+  (* Every policy: no crash point may leave a dangling embedded entry. *)
+  List.iter
+    (fun policy ->
+      let o = Crashmc.run_config ~seed ~points Crashmc.Cffs_sel policy in
+      fail_violations o;
+      check Alcotest.int
+        (Printf.sprintf "cffs/%s: embedded dangles" (Crashmc.policy_label policy))
+        0 o.Crashmc.embedded_dangles;
+      check Alcotest.int
+        (Printf.sprintf "cffs/%s: unmountable" (Crashmc.policy_label policy))
+        0 o.Crashmc.unmountable;
+      check Alcotest.int
+        (Printf.sprintf "cffs/%s: unconverged" (Crashmc.policy_label policy))
+        0 o.Crashmc.unconverged;
+      check Alcotest.int
+        (Printf.sprintf "cffs/%s: durability" (Crashmc.policy_label policy))
+        0 o.Crashmc.durability_failures;
+      check Alcotest.bool
+        (Printf.sprintf "cffs/%s: explored points" (Crashmc.policy_label policy))
+        true
+        (o.Crashmc.points > 0 && o.Crashmc.journal_entries > 0))
+    Crashmc.all_policies
+
+let test_ffs_delayed_dangles () =
+  (* The baseline must exhibit the failure mode the paper's layout
+     eliminates — otherwise the harness proves nothing. *)
+  let o = Crashmc.run_config ~seed ~points:100 Crashmc.Ffs_sel Cache.Delayed in
+  fail_violations o;
+  check Alcotest.bool "ffs/delayed dangles somewhere" true
+    (o.Crashmc.dangling_states >= 1);
+  check Alcotest.int "but fsck always converges" 0 o.Crashmc.unconverged;
+  check Alcotest.int "and nothing synced is lost" 0 o.Crashmc.durability_failures
+
+let test_ffs_ordered_policies_hold () =
+  (* Sync metadata and soft updates protect request boundaries; only
+     torn requests may dangle (ordering is sub-request-blind). *)
+  List.iter
+    (fun policy ->
+      let o = Crashmc.run_config ~seed ~points Crashmc.Ffs_sel policy in
+      fail_violations o;
+      check Alcotest.int
+        (Printf.sprintf "ffs/%s: unconverged" (Crashmc.policy_label policy))
+        0 o.Crashmc.unconverged)
+    [ Cache.Write_through; Cache.Sync_metadata; Cache.Soft_updates ]
+
+let () =
+  Alcotest.run "cffs_crash"
+    [
+      ( "crash model checker",
+        [
+          Alcotest.test_case "cffs: embedded integrity under all policies" `Quick
+            test_cffs_embedded_integrity;
+          Alcotest.test_case "ffs/delayed: dangles exist, repairs converge" `Quick
+            test_ffs_delayed_dangles;
+          Alcotest.test_case "ffs ordered policies converge" `Quick
+            test_ffs_ordered_policies_hold;
+        ] );
+    ]

@@ -430,6 +430,151 @@ let test_soft_updates_performance_is_delayed_like () =
     true
     (soft > delayed *. 0.6 && soft > sync *. 1.5)
 
+(* ------------------------------------------------------------------ *)
+(* Repair is idempotent and reports are fresh per invocation *)
+
+let test_repair_clean_is_noop () =
+  let ffs, _ = populate_ffs () in
+  let r = Fsck_ffs.repair ffs in
+  check Alcotest.bool "ffs clean repair clean" true (Report.clean r);
+  check Alcotest.int "ffs nothing repaired" 0 r.Report.repaired;
+  let cfs, _ = populate_cffs Cffs.config_default in
+  let r = Fsck_cffs.repair cfs in
+  check Alcotest.bool "cffs clean repair clean" true (Report.clean r);
+  check Alcotest.int "cffs nothing repaired" 0 r.Report.repaired;
+  (* Each invocation builds a fresh report: a second run must not
+     accumulate or re-report anything. *)
+  let r2 = Fsck_cffs.repair cfs in
+  check Alcotest.bool "still clean" true (Report.clean r2);
+  check Alcotest.int "still nothing repaired" 0 r2.Report.repaired
+
+(* ------------------------------------------------------------------ *)
+(* Repair paths driven through the fault layer.
+
+   Instead of hand-editing metadata, run a real workload over a Faultdev
+   journal and materialize every crash prefix.  The partially-persisted
+   images exhibit the naturally occurring inconsistency classes — orphans
+   (inode persisted, entry not), dangling entries (entry persisted, inode
+   slot stale), bitmap mismatches, wrong link counts — and each one must
+   repair to a clean state in one pass, with a second repair fixing
+   nothing. *)
+
+module Faultdev = Cffs_blockdev.Faultdev
+
+let ffs_faulted_journal () =
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:6144 in
+  let fs = Ffs.format ~policy:Cache.Delayed dev in
+  Ffs.sync fs;
+  (* Attach after format: the journal base is a clean, empty volume. *)
+  let fd = Faultdev.attach dev in
+  ok "mk" (Ffs.mkdir fs "/d");
+  for i = 0 to 7 do
+    ok "w" (Ffs.write_file fs (Printf.sprintf "/d/a%d" i) (Bytes.make 600 'a'))
+  done;
+  Ffs.sync fs;
+  (* A delete-then-create epoch in the same directory: under [Delayed]
+     the dirent block's writeback slot predates the itable writes for the
+     reused/fresh inode slots, so some crash prefixes persist names whose
+     inodes never made it (dangling), while create-only stretches persist
+     inodes whose names never made it (orphans). *)
+  ok "rm" (Ffs.unlink fs "/d/a0");
+  for i = 0 to 7 do
+    ok "w" (Ffs.write_file fs (Printf.sprintf "/d/b%d" i) (Bytes.make 600 'b'))
+  done;
+  ok "ln" (Ffs.link fs ~existing:"/d/b1" ~target:"/d/bx");
+  Ffs.sync fs;
+  Faultdev.detach fd;
+  fd
+
+let test_ffs_fault_layer_repairs_all_prefixes () =
+  let fd = ffs_faulted_journal () in
+  let n = Faultdev.journal_length fd in
+  check Alcotest.bool "journal non-trivial" true (n > 10);
+  let saw_dangling = ref false
+  and saw_orphan = ref false
+  and saw_bitmap = ref false
+  and saw_nlink = ref false in
+  for upto = 0 to n do
+    let dev = Faultdev.materialize fd ~upto in
+    match Ffs.mount dev with
+    | None -> Alcotest.failf "crash prefix %d/%d unmountable" upto n
+    | Some fs ->
+        let r = Fsck_ffs.check fs in
+        List.iter
+          (function
+            | Report.Dangling_entry _ -> saw_dangling := true
+            | Report.Orphan_inode _ -> saw_orphan := true
+            | Report.Block_bitmap_mismatch _ -> saw_bitmap := true
+            | Report.Wrong_nlink _ -> saw_nlink := true
+            | _ -> ())
+          r.Report.problems;
+        ignore (Fsck_ffs.repair fs);
+        let post = Fsck_ffs.check fs in
+        if not (Report.clean post) then
+          Alcotest.failf "crash prefix %d/%d not clean after repair: %s" upto n
+            (Format.asprintf "%a" Report.pp post);
+        let again = Fsck_ffs.repair fs in
+        check Alcotest.int
+          (Printf.sprintf "prefix %d: second repair is a no-op" upto)
+          0 again.Report.repaired
+  done;
+  (* The crash prefixes must actually have exercised the repair paths. *)
+  check Alcotest.bool "some prefix dangles" true !saw_dangling;
+  check Alcotest.bool "some prefix orphans" true !saw_orphan;
+  check Alcotest.bool "some prefix mismatches bitmaps" true !saw_bitmap;
+  check Alcotest.bool "some prefix miscounts links" true !saw_nlink
+
+let test_cffs_torn_crash_images_repair () =
+  (* Torn variants of real journalled writes (every block is 8 sectors,
+     so any entry can tear): the image must mount, repair clean, and
+     embedded entries must never dangle. *)
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:6144 in
+  let fs = Cffs.format ~config:Cffs.config_default ~policy:Cache.Delayed dev in
+  Cffs.sync fs;
+  let fd = Faultdev.attach dev in
+  ok "mk" (Cffs.mkdir fs "/d");
+  for i = 0 to 9 do
+    ok "w" (Cffs.write_file fs (Printf.sprintf "/d/f%d" i) (Bytes.make 900 'x'))
+  done;
+  Cffs.sync fs;
+  ok "rm" (Cffs.unlink fs "/d/f3");
+  Cffs.sync fs;
+  for i = 10 to 14 do
+    ok "w" (Cffs.write_file fs (Printf.sprintf "/d/f%d" i) (Bytes.make 900 'y'))
+  done;
+  Cffs.sync fs;
+  Faultdev.detach fd;
+  let entries = Faultdev.journal fd in
+  check Alcotest.bool "journal non-trivial" true (List.length entries > 3);
+  List.iter
+    (fun (e : Faultdev.entry) ->
+      let sectors = Faultdev.entry_sectors fd e in
+      List.iter
+        (fun tear ->
+          let dev' = Faultdev.materialize fd ~upto:e.Faultdev.seq ~tear in
+          match Cffs.mount dev' with
+          | None -> Alcotest.failf "torn entry %d unmountable" e.Faultdev.seq
+          | Some fs' ->
+              let r = Fsck_cffs.check fs' in
+              List.iter
+                (function
+                  | Report.Dangling_entry { ino; _ }
+                    when Cffs.is_embedded_ino ino ->
+                      Alcotest.failf
+                        "torn entry %d (keep %d): dangling embedded inode %d"
+                        e.Faultdev.seq tear ino
+                  | _ -> ())
+                r.Report.problems;
+              ignore (Fsck_cffs.repair fs');
+              let post = Fsck_cffs.check fs' in
+              if not (Report.clean post) then
+                Alcotest.failf "torn entry %d (keep %d) not repaired: %s"
+                  e.Faultdev.seq tear
+                  (Format.asprintf "%a" Report.pp post);
+              check Alcotest.int "idempotent" 0 (Fsck_cffs.repair fs').Report.repaired)
+        [ 1; sectors / 2; sectors - 1 ])
+    entries
+
 let () =
   Alcotest.run "cffs_fsck"
     [
@@ -452,6 +597,14 @@ let () =
           Alcotest.test_case "dangling external" `Quick test_cffs_detects_dangling_external;
           Alcotest.test_case "orphan external" `Quick test_cffs_repairs_orphan_external;
           Alcotest.test_case "bitmap mismatch" `Quick test_cffs_repairs_bitmap;
+        ] );
+      ( "fault layer",
+        [
+          Alcotest.test_case "clean repair is a no-op" `Quick test_repair_clean_is_noop;
+          Alcotest.test_case "ffs: every crash prefix repairs" `Quick
+            test_ffs_fault_layer_repairs_all_prefixes;
+          Alcotest.test_case "cffs: torn crash images repair" `Quick
+            test_cffs_torn_crash_images_repair;
         ] );
       ( "crash injection",
         [
