@@ -185,9 +185,34 @@ let run_bechamel () =
   Cffs_util.Tablefmt.print t
 
 let () =
-  if json_flag then
-    print_endline
-      (Cffs_obs.Json.to_string_pretty (Cffs_harness.Telemetry.document ()))
+  if json_flag then begin
+    let doc = Cffs_harness.Telemetry.document () in
+    (* Smoke-level contract: the self-healing counters are part of
+       cffs-telemetry-v1 and must be present (zeros included) in every
+       document, integrity-formatted volume or not. *)
+    let integrity_ok =
+      match doc with
+      | Cffs_obs.Json.Obj fields -> (
+          match List.assoc_opt "integrity" fields with
+          | Some (Cffs_obs.Json.Obj section) ->
+              List.for_all
+                (fun k -> List.mem_assoc k section)
+                [
+                  "integrity.checksum_failures";
+                  "integrity.remaps";
+                  "integrity.degraded_reads";
+                  "scrub.blocks_verified";
+                ]
+          | _ -> false)
+      | _ -> false
+    in
+    if not integrity_ok then begin
+      prerr_endline
+        "telemetry document is missing the integrity counter section";
+      exit 1
+    end;
+    print_endline (Cffs_obs.Json.to_string_pretty doc)
+  end
   else begin
     if not bechamel_only then print_paper_tables ();
     if not no_bechamel then run_bechamel ()

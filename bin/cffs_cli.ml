@@ -56,11 +56,11 @@ let with_image path f =
 (* mkfs *)
 
 let mkfs_cmd =
-  let run image size_mb fs_kind no_embed no_grouping group_kb =
+  let run image size_mb fs_kind no_embed no_grouping group_kb integrity spares =
     let nblocks = size_mb * 256 in
     let dev = Blockdev.memory ~block_size:4096 ~nblocks in
     (match fs_kind with
-    | "ffs" -> ignore (Ffs.format dev)
+    | "ffs" -> ignore (Ffs.format ~integrity ~spare_blocks:spares dev)
     | "cffs" ->
         let config =
           {
@@ -70,11 +70,14 @@ let mkfs_cmd =
             group_blocks = max 2 (group_kb / 4);
           }
         in
-        ignore (Cffs.format ~config dev)
+        ignore (Cffs.format ~config ~integrity ~spare_blocks:spares dev)
     | other -> failwith ("unknown file system: " ^ other));
     Blockdev.save_file dev image;
-    Printf.printf "created %s: %d MB %s\n" image size_mb
-      (if fs_kind = "ffs" then "FFS" else "C-FFS");
+    Printf.printf "created %s: %d MB %s%s\n" image size_mb
+      (if fs_kind = "ffs" then "FFS" else "C-FFS")
+      (if integrity then
+         Printf.sprintf " (integrity: checksums + %d spare blocks)" spares
+       else "");
     0
   in
   let image = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE") in
@@ -91,9 +94,24 @@ let mkfs_cmd =
   let group_kb =
     Arg.(value & opt int 64 & info [ "group-kb" ] ~doc:"Group frame size in KB.")
   in
+  let integrity =
+    Arg.(value & flag
+         & info [ "integrity" ]
+             ~doc:
+               "Add the self-healing layer: per-block checksums, a spare-block \
+                pool for bad-sector remapping, and (C-FFS only) replicated \
+                superblock and group descriptors.")
+  in
+  let spares =
+    Arg.(value & opt int 64
+         & info [ "spares" ] ~docv:"N"
+             ~doc:"Spare blocks for the remap pool (with --integrity).")
+  in
   Cmd.v
     (Cmd.info "mkfs" ~doc:"Create a fresh file-system image.")
-    Term.(const run $ image $ size $ kind $ no_embed $ no_grouping $ group_kb)
+    Term.(
+      const run $ image $ size $ kind $ no_embed $ no_grouping $ group_kb
+      $ integrity $ spares)
 
 (* ------------------------------------------------------------------ *)
 (* fsck *)
@@ -125,6 +143,50 @@ let fsck_cmd =
   Cmd.v
     (Cmd.info "fsck" ~doc:"Check (and optionally repair) an image.")
     Term.(const run $ image $ repair)
+
+(* ------------------------------------------------------------------ *)
+(* scrub *)
+
+let scrub_cmd =
+  let run image json =
+    match mount_image image with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        1
+    | Ok (M_ffs _, _) ->
+        prerr_endline
+          (image
+         ^ ": FFS images have no metadata replicas to scrub; run fsck instead");
+        1
+    | Ok (M_cffs fs, dev) -> (
+        match Cffs_fsck.Scrub.run_to_completion fs with
+        | None ->
+            prerr_endline
+              (image
+             ^ ": no integrity layer (create the image with mkfs --integrity)");
+            1
+        | Some r ->
+            if json then
+              print_endline
+                (Cffs_obs.Json.to_string_pretty (Cffs_fsck.Scrub.to_json r))
+            else Format.printf "%a@." Cffs_fsck.Scrub.pp r;
+            (* repairs (and the refreshed checksum region) must persist *)
+            Blockdev.save_file dev image;
+            if r.Cffs_fsck.Scrub.lost > 0 then 1 else 0)
+  in
+  let image = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify every allocated block of an integrity-formatted C-FFS image \
+          against its checksum, restore damaged metadata from replicas, \
+          refresh damaged replicas from primaries, remap sticky bad sectors, \
+          and repair the remap table's on-disk copies.  Exits non-zero if any \
+          block was unrecoverable.")
+    Term.(const run $ image $ json)
 
 (* ------------------------------------------------------------------ *)
 (* Namespace commands *)
@@ -560,7 +622,7 @@ let () =
   let group =
     Cmd.group info
       [
-        mkfs_cmd; fsck_cmd; ls_cmd; tree_cmd; cat_cmd; put_cmd; get_cmd; mkdir_cmd;
+        mkfs_cmd; fsck_cmd; scrub_cmd; ls_cmd; tree_cmd; cat_cmd; put_cmd; get_cmd; mkdir_cmd;
         rm_cmd; mv_cmd; df_cmd; dump_cmd; synth_trace_cmd; replay_cmd;
         trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd; crashtest_cmd;
       ]

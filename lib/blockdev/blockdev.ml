@@ -24,9 +24,22 @@ type t = {
   nblocks : int;
   mutable injector : injector option;
   mutable write_observer : write_observer option;
+  (* Out-of-band per-block integrity tags, the software analogue of
+     T10-DIF / 520-byte-sector protection information: a tag travels with
+     the block through the same request that persists it, so the pair is
+     updated atomically and a torn request leaves the old tag in place —
+     which is exactly what makes the tear detectable.  Maintained only
+     when [tags_enabled]; the Integrity layer owns the at-rest encoding
+     (the on-disk checksum region) and all verification. *)
+  tags : (int, int) Hashtbl.t;
+  mutable tags_enabled : bool;
 }
 
-type image = (int, bytes) Hashtbl.t
+type image = {
+  img_blocks : (int, bytes) Hashtbl.t;
+  img_tags : (int, int) Hashtbl.t;
+  img_tags_enabled : bool;
+}
 
 let sectors_per_block t = t.block_size / Cffs_util.Units.sector_size
 
@@ -41,6 +54,8 @@ let of_drive ?(policy = Scheduler.Clook) ?(host_overhead = 0.5e-3) drive ~block_
     nblocks;
     injector = None;
     write_observer = None;
+    tags = Hashtbl.create 64;
+    tags_enabled = false;
   }
 
 let memory ~block_size ~nblocks =
@@ -52,16 +67,32 @@ let memory ~block_size ~nblocks =
     nblocks;
     injector = None;
     write_observer = None;
+    tags = Hashtbl.create 64;
+    tags_enabled = false;
   }
 
 let block_size t = t.block_size
 let nblocks t = t.nblocks
 let set_injector t inj = t.injector <- inj
 let set_write_observer t obs = t.write_observer <- obs
+let enable_tags t = t.tags_enabled <- true
+let tags_enabled t = t.tags_enabled
+let tag t blk = Hashtbl.find_opt t.tags blk
+let set_tag t blk v = Hashtbl.replace t.tags blk v
+let tag_count t = Hashtbl.length t.tags
 
 let check_range t op blk n =
   if blk < 0 || n <= 0 || blk + n > t.nblocks then
-    Io_error.raise_error ~op ~blk ~nblocks:n Io_error.Out_of_bounds
+    let spb = t.block_size / Cffs_util.Units.sector_size in
+    Io_error.raise_error ~op ~blk ~nblocks:n
+      ~range:
+        {
+          Io_error.start_sector = blk * spb;
+          sector_count = n * spb;
+          dev_sectors = t.nblocks * spb;
+          dev_blocks = t.nblocks;
+        }
+      Io_error.Out_of_bounds
 
 let consult t op ~blk ~nblocks =
   match t.injector with None -> Proceed | Some f -> f op ~blk ~nblocks
@@ -89,7 +120,13 @@ let store_block t blk src off =
 (* Persist a write request's payload, possibly torn: only the first
    [keep_sectors] 512-byte sectors reach the media, the rest of the range
    keeps its previous contents.  Sectors are atomic — the assumption C-FFS
-   builds its name+inode atomicity on. *)
+   builds its name+inode atomicity on.
+
+   Tag discipline: a fully persisted block gets the CRC of its new
+   contents; a torn block keeps its {e old} tag — the request died before
+   the out-of-band tag could be updated — so unless the mixed contents
+   happen to equal the previous contents, a later verified read flags the
+   tear. *)
 let persist_request t start data ~keep_sectors =
   let ss = Cffs_util.Units.sector_size in
   let spb = sectors_per_block t in
@@ -101,7 +138,10 @@ let persist_request t start data ~keep_sectors =
   in
   let full = keep / spb in
   for i = 0 to full - 1 do
-    store_block t (start + i) data (i * t.block_size)
+    store_block t (start + i) data (i * t.block_size);
+    if t.tags_enabled then
+      Hashtbl.replace t.tags (start + i)
+        (Cffs_util.Crc32.digest_sub data (i * t.block_size) t.block_size)
   done;
   let rem = keep mod spb in
   if rem > 0 then begin
@@ -264,15 +304,22 @@ let flush_device_cache t =
   match t.backend with Memory _ -> () | Timed { drive; _ } -> Drive.flush_cache drive
 
 let snapshot t =
-  let img = Hashtbl.create (Hashtbl.length t.store) in
-  Hashtbl.iter (fun k v -> Hashtbl.replace img k (Bytes.copy v)) t.store;
-  img
+  let blocks = Hashtbl.create (Hashtbl.length t.store) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace blocks k (Bytes.copy v)) t.store;
+  {
+    img_blocks = blocks;
+    img_tags = Hashtbl.copy t.tags;
+    img_tags_enabled = t.tags_enabled;
+  }
 
 let restore t img =
   Hashtbl.reset t.store;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.store k (Bytes.copy v)) img
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.store k (Bytes.copy v)) img.img_blocks;
+  Hashtbl.reset t.tags;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.tags k v) img.img_tags;
+  t.tags_enabled <- t.tags_enabled || img.img_tags_enabled
 
-let blocks_written img = Hashtbl.length img
+let blocks_written img = Hashtbl.length img.img_blocks
 
 let write_torn t blk data ~keep_sectors =
   check_range t Io_error.Write blk 1;

@@ -49,6 +49,32 @@ val set_injector : t -> injector option -> unit
 val set_write_observer : t -> write_observer option -> unit
 (** Install (or clear) the per-write-request notification hook. *)
 
+(** {2 Integrity tags}
+
+    Out-of-band per-block CRC tags, the software analogue of T10-DIF /
+    520-byte-sector protection information.  When enabled, every fully
+    persisted block atomically records the CRC-32 of its new contents; a
+    torn request leaves the {e old} tag behind, and
+    {!corrupt_block} leaves the tag stale — both making the damage
+    detectable.  The device only {e stores} tags; verification and the
+    at-rest on-disk encoding live in {!Integrity}. *)
+
+val enable_tags : t -> unit
+(** Start maintaining tags (idempotent; off by default — untagged devices
+    pay no overhead). *)
+
+val tags_enabled : t -> bool
+
+val tag : t -> int -> int option
+(** The recorded tag for a block, or [None] if the block was never written
+    while tags were enabled (unverifiable, treated as trusted). *)
+
+val set_tag : t -> int -> int -> unit
+(** Install a tag directly — used by {!Integrity} to reload the at-rest
+    checksum region into the live table after {!load_file}. *)
+
+val tag_count : t -> int
+
 val read : t -> int -> int -> bytes
 (** [read t blk n] reads [n] consecutive blocks as one request.  Unwritten
     blocks read as zeros.  Raises {!Cffs_util.Io_error.E} with cause
@@ -98,9 +124,10 @@ val flush_device_cache : t -> unit
 (** Drop the drive's on-board cache (cold-cache measurements). *)
 
 (** Raw stored contents, for crash simulation: a snapshot captures exactly
-    the blocks that reached the device; restoring yields a device whose
-    contents are the snapshot (queued/cached data above the device is lost,
-    which is the crash semantics). *)
+    the blocks that reached the device — and their integrity tags, which
+    live with the media — so restoring yields a device whose contents are
+    the snapshot (queued/cached data above the device is lost, which is
+    the crash semantics). *)
 type image
 
 val snapshot : t -> image

@@ -11,7 +11,8 @@ type entry = { seq : int; blk : int; data : bytes; torn : int option }
 type t = {
   dev : Blockdev.t;
   prng : Prng.t;
-  base : Blockdev.image;
+  mutable base : Blockdev.image;
+  mutable base_seq : int;  (* journal entries below this are folded into base *)
   mutable transient_read_rate : float;
   bad : (int, unit) Hashtbl.t;
   mutable tear_at : (int * int) option;  (* (write request seq, keep sectors) *)
@@ -79,6 +80,7 @@ let attach ?(seed = 0) dev =
       dev;
       prng = Prng.create seed;
       base = Blockdev.snapshot dev;
+      base_seq = 0;
       transient_read_rate = 0.0;
       bad = Hashtbl.create 8;
       tear_at = None;
@@ -117,17 +119,40 @@ let revive t =
 
 let writes_attempted t = t.writes_attempted
 let journal_length t = t.journal_len
+let journal_entries t = List.length t.journal_rev
+let barrier_seq t = t.base_seq
 let journal t = List.rev t.journal_rev
 
 let entry_sectors _t e = Bytes.length e.data / Cffs_util.Units.sector_size
 
-let materialize ?tear t ~upto =
+let fresh_replay_device t =
   let dev =
     Blockdev.memory
       ~block_size:(Blockdev.block_size t.dev)
       ~nblocks:(Blockdev.nblocks t.dev)
   in
   Blockdev.restore dev t.base;
+  dev
+
+(* Fold every journaled write into the base snapshot and drop the entries:
+   the memory held by the journal is bounded by the writes since the last
+   barrier, not the whole run.  Sequence numbers stay absolute, so
+   [materialize ~upto] keeps working for [upto >= barrier_seq]; crash
+   points before the barrier can no longer be rebuilt — call this only at
+   a sync barrier, where everything earlier is durable by definition. *)
+let barrier t =
+  if t.journal_rev <> [] then begin
+    let dev = fresh_replay_device t in
+    List.iter
+      (fun e -> Blockdev.store_raw dev e.blk e.data ~keep_sectors:e.torn)
+      (journal t);
+    t.base <- Blockdev.snapshot dev;
+    t.base_seq <- t.journal_len;
+    t.journal_rev <- []
+  end
+
+let materialize ?tear t ~upto =
+  let dev = fresh_replay_device t in
   let upto = max 0 (min upto t.journal_len) in
   List.iter
     (fun e ->

@@ -70,10 +70,27 @@ val writes_attempted : t -> int
 (** Write requests the injector has seen, including failed ones. *)
 
 val journal_length : t -> int
-(** Number of journal entries — write requests that persisted anything. *)
+(** Total journal entries recorded since attach — write requests that
+    persisted anything.  Monotonic; unaffected by {!barrier}. *)
+
+val journal_entries : t -> int
+(** Entries currently held in memory (since the last {!barrier}).  This is
+    what {!barrier} bounds. *)
+
+val barrier_seq : t -> int
+(** Sequence number of the last {!barrier}: entries below it are folded
+    into the base snapshot and can no longer be individually replayed. *)
+
+val barrier : t -> unit
+(** Fold every in-memory journal entry into the base snapshot and drop the
+    entries, bounding the journal's memory to the writes since the last
+    barrier.  Call at a sync barrier: everything folded is durable by
+    definition, so only crash points at or after the barrier remain
+    interesting.  {!materialize} keeps working for [upto >= barrier_seq];
+    earlier crash points can no longer be rebuilt. *)
 
 val journal : t -> entry list
-(** Oldest first. *)
+(** In-memory entries (since the last {!barrier}), oldest first. *)
 
 val entry_sectors : t -> entry -> int
 (** Size of an entry's payload in sectors (tear points within it). *)

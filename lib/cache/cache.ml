@@ -1,4 +1,5 @@
 module Blockdev = Cffs_blockdev.Blockdev
+module Integrity = Cffs_blockdev.Integrity
 module Lru = Cffs_util.Lru
 module Obs = Cffs_obs.Registry
 
@@ -55,6 +56,9 @@ type clusterer =
 
 type t = {
   dev : Blockdev.t;
+  mutable integ : Integrity.t option;
+      (** when attached, all device I/O goes through the integrity layer:
+          reads verify checksums, writes remap sticky bad sectors *)
   capacity : int;
   entries : (int, entry) Lru.t;  (** physical index, LRU-ordered *)
   logical : (int * int, int) Hashtbl.t;  (** (ino, lblk) -> physical block *)
@@ -71,6 +75,7 @@ let create ?(policy = Sync_metadata) dev ~capacity_blocks =
   if capacity_blocks <= 0 then invalid_arg "Cache.create: capacity";
   {
     dev;
+    integ = None;
     capacity = capacity_blocks;
     entries = Lru.create ~size_hint:capacity_blocks ();
     logical = Hashtbl.create 1024;
@@ -97,6 +102,27 @@ let set_observer t f = t.observer <- f
 let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let device t = t.dev
+let set_integrity t ig = t.integ <- ig
+let integrity t = t.integ
+
+(* All device I/O below funnels through these three, so attaching an
+   integrity layer changes every read into a verified read and every write
+   into a remap-on-write. *)
+let dev_read t blk n =
+  match t.integ with
+  | Some ig -> Integrity.read ig blk n
+  | None -> Blockdev.read t.dev blk n
+
+let dev_write t blk data =
+  match t.integ with
+  | Some ig -> Integrity.write ig blk data
+  | None -> Blockdev.write t.dev blk data
+
+let dev_write_units t units =
+  match t.integ with
+  | Some ig -> Integrity.write_units ig units
+  | None -> Blockdev.write_batch_units t.dev units
+
 let policy t = t.policy
 let set_policy t p = t.policy <- p
 let stats t = t.stats
@@ -200,7 +226,7 @@ let writeback_block t blk =
   | None -> false
   | Some e when not e.dirty -> false
   | Some e -> (
-      match with_retry t (fun () -> Blockdev.write t.dev blk e.data) with
+      match with_retry t (fun () -> dev_write t blk e.data) with
       | () ->
           t.stats.writebacks <- t.stats.writebacks + 1;
           Obs.incr m_writebacks;
@@ -262,7 +288,7 @@ let unit_ready t (start, blocks) =
    persisted blocks are rewritten identically, which is harmless).  Returns
    the number of blocks that reached the media. *)
 let writeback_units t units =
-  match Blockdev.write_batch_units t.dev units with
+  match dev_write_units t units with
   | () ->
       let n = List.fold_left (fun acc (_, bl) -> acc + List.length bl) 0 units in
       t.stats.writebacks <- t.stats.writebacks + n;
@@ -283,8 +309,7 @@ let writeback_units t units =
           acc + !wrote)
         0 units
 
-let flush t =
-  Obs.incr m_flushes;
+let flush_dirty t =
   if t.policy <> Soft_updates || Hashtbl.length t.deps = 0 then begin
     let n = writeback_units t (dirty_units t) in
     if n > 0 then notify t (Flush { nblocks = n });
@@ -330,6 +355,13 @@ let flush t =
     if dirty_count t = 0 then Hashtbl.reset t.deps
   end
 
+let flush t =
+  Obs.incr m_flushes;
+  flush_dirty t;
+  (* The flush is the sync barrier: re-encode the at-rest checksum region
+     so a cold attach sees tags no staler than the last sync. *)
+  match t.integ with None -> () | Some ig -> Integrity.flush_tags ig
+
 (* Make room for one more entry.  When the LRU victim is dirty, push the
    whole dirty set out as one scheduler-ordered batch first — the update
    daemon / write clustering behaviour — so evictions never degrade into
@@ -338,7 +370,11 @@ let evict_if_full t =
   let stuck = ref false in
   while (not !stuck) && Lru.length t.entries >= t.capacity do
     (match Lru.lru t.entries with
-    | Some (_, e) when e.dirty -> flush t
+    | Some (_, e) when e.dirty ->
+        (* Not a sync barrier: push the dirty set but leave the at-rest
+           checksum region for the next real flush. *)
+        Obs.incr m_flushes;
+        flush_dirty t
     | Some _ | None -> ());
     (* Never drop a block that is still dirty: after a failed writeback the
        victim stays pinned, so evict the oldest clean block instead — and if
@@ -388,7 +424,7 @@ let read t blk =
       t.stats.misses <- t.stats.misses + 1;
       Obs.incr m_misses;
       notify t (Read_miss { blk; nblocks = 1 });
-      let data = with_retry t (fun () -> Blockdev.read t.dev blk 1) in
+      let data = with_retry t (fun () -> dev_read t blk 1) in
       insert t blk data ~dirty:false;
       data
 
@@ -401,13 +437,31 @@ let read_group t blk n =
     t.stats.misses <- t.stats.misses + 1;
     Obs.incr m_misses;
     notify t (Read_miss { blk; nblocks = n });
-    let data = with_retry t (fun () -> Blockdev.read t.dev blk n) in
-    for i = 0 to n - 1 do
-      if not (Lru.mem t.entries (blk + i)) then begin
-        let b = Bytes.sub data (i * Blockdev.block_size t.dev) (Blockdev.block_size t.dev) in
-        insert t (blk + i) b ~dirty:false
-      end
-    done
+    match with_retry t (fun () -> dev_read t blk n) with
+    | data ->
+        for i = 0 to n - 1 do
+          if not (Lru.mem t.entries (blk + i)) then begin
+            let b = Bytes.sub data (i * Blockdev.block_size t.dev) (Blockdev.block_size t.dev) in
+            insert t (blk + i) b ~dirty:false
+          end
+        done
+    | exception
+        Cffs_util.Io_error.E
+          { cause = Cffs_util.Io_error.Bad_sector | Cffs_util.Io_error.Checksum_mismatch; _ }
+      when n > 1 ->
+        (* Degraded group read: a single damaged block must not fail the
+           whole group (one group carries many files' data — the paper's
+           co-location raises the blast radius, so we shrink it back).
+           Fetch block by block and skip only what is actually damaged;
+           the skipped block surfaces EIO per file when (and only when)
+           one of its owners reads it. *)
+        Integrity.note_degraded ();
+        for i = 0 to n - 1 do
+          if not (Lru.mem t.entries (blk + i)) then
+            match with_retry t (fun () -> dev_read t (blk + i) 1) with
+            | b -> insert t (blk + i) b ~dirty:false
+            | exception Cffs_util.Io_error.E _ -> ()
+        done
   end;
   missing
 
@@ -473,7 +527,7 @@ let write t ~kind blk data =
   | None -> insert t blk data ~dirty:(not sync));
   notify t (Write { blk; sync });
   if sync then begin
-    match with_retry t (fun () -> Blockdev.write t.dev blk data) with
+    match with_retry t (fun () -> dev_write t blk data) with
     | () ->
         t.stats.sync_writes <- t.stats.sync_writes + 1;
         Obs.incr m_sync_writes

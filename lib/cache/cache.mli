@@ -57,6 +57,16 @@ val create : ?policy:policy -> Cffs_blockdev.Blockdev.t -> capacity_blocks:int -
 
 val set_clusterer : t -> clusterer -> unit
 val device : t -> Cffs_blockdev.Blockdev.t
+
+val set_integrity : t -> Cffs_blockdev.Integrity.t option -> unit
+(** Route all device I/O through an integrity layer: misses become
+    verified reads (a damaged block raises [Checksum_mismatch] → [EIO]),
+    writebacks transparently remap sticky bad sectors, group reads degrade
+    to per-block fetches when one member is damaged (only the damaged
+    block's file sees [EIO], not the whole group), and {!flush} re-encodes
+    the at-rest checksum region as part of the sync barrier. *)
+
+val integrity : t -> Cffs_blockdev.Integrity.t option
 val policy : t -> policy
 val set_policy : t -> policy -> unit
 val stats : t -> stats

@@ -2,6 +2,7 @@ module Csb = Csb
 module Cdir = Cdir
 module Cache = Cffs_cache.Cache
 module Blockdev = Cffs_blockdev.Blockdev
+module Integrity = Cffs_blockdev.Integrity
 module Codec = Cffs_util.Codec
 module Errno = Cffs_vfs.Errno
 module Inode = Cffs_vfs.Inode
@@ -48,10 +49,15 @@ type t = {
           parent pointer), repopulated by lookups after a remount *)
   mutable frame_drought : bool;
       (** a whole-device scan found no free frame; reset on any block free *)
+  replica_dirty : (int, unit) Hashtbl.t;
+      (** replica slots (0 = superblock, 1+cg = group descriptor) whose
+          primary changed since the last {!sync}; refreshed at the sync
+          barrier so replication costs nothing on the alloc/free hot path *)
 }
 
 let cache t = t.cache
 let superblock t = t.sb
+let integrity t = Cache.integrity t.cache
 
 let config t =
   {
@@ -97,8 +103,37 @@ let hdr_free_blocks = Csb.hdr_free_blocks_off
 let hdr_bbm = Csb.hdr_block_bitmap_off
 
 let header_block t cg = Csb.cg_start t.sb cg
-let read_header t cg = Cache.read t.cache (header_block t cg)
-let write_header t cg b = Cache.write t.cache ~kind:`Data (header_block t cg) b
+
+(* Degraded-mode read of a replicated metadata block: when the primary is
+   unreadable or fails its checksum, serve the replica and schedule a
+   repair write — the rewrite re-tags a corrupt block, and remap-on-write
+   relocates a bad sector.  The fs keeps operating; only the
+   [integrity.degraded_reads] counter betrays that anything happened. *)
+let read_meta_replicated t ~slot blk =
+  try Cache.read t.cache blk
+  with Cffs_util.Io_error.E _ as e -> (
+    match Cache.integrity t.cache with
+    | None -> raise e
+    | Some ig -> (
+        match Integrity.replica_read ig ~slot with
+        | None -> raise e
+        | Some data ->
+            Integrity.note_degraded ();
+            Cache.write t.cache ~kind:`Meta blk data;
+            Hashtbl.replace t.replica_dirty slot ();
+            data))
+
+let read_header t cg = read_meta_replicated t ~slot:(1 + cg) (header_block t cg)
+
+let write_header t cg b =
+  Hashtbl.replace t.replica_dirty (1 + cg) ();
+  Cache.write t.cache ~kind:`Data (header_block t cg) b
+
+let read_sb_block t = read_meta_replicated t ~slot:0 0
+
+let write_sb_block t ~kind b =
+  Hashtbl.replace t.replica_dirty 0 ();
+  Cache.write t.cache ~kind 0 b
 
 let get_bit b base i = Codec.get_u8 b (base + (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
@@ -269,12 +304,12 @@ let sb_inode_off ino =
 
 let ipb t = bs t / Inode.size_bytes
 
-let read_resident t ino = Inode.decode (Cache.read t.cache 0) (sb_inode_off ino)
+let read_resident t ino = Inode.decode (read_sb_block t) (sb_inode_off ino)
 
 let write_resident t ino inode ~kind =
-  let b = Cache.read t.cache 0 in
+  let b = read_sb_block t in
   Inode.encode inode b (sb_inode_off ino);
-  Cache.write t.cache ~kind 0 b
+  write_sb_block t ~kind b
 
 (* Physical block of the inode-file block holding [slot], if mapped. *)
 let ifile_block t slot =
@@ -349,9 +384,9 @@ let write_inode_raw t ino inode = write_inode t ino inode ~kind:`Meta
    never shrinks, blocks never move). *)
 
 let persist_sb t =
-  let b = Cache.read t.cache 0 in
+  let b = read_sb_block t in
   Csb.encode t.sb b;
-  Cache.write t.cache ~kind:`Data 0 b
+  write_sb_block t ~kind:`Data b
 
 let grow_ifile_to t slot =
   let ifile = read_resident t Csb.ifile_ino in
@@ -1115,7 +1150,29 @@ let stat_ino t ino =
       st_blocks = Bmap.count t.cache inode;
     }
 
-let sync t = Cache.flush t.cache
+(* Refresh the on-disk replica of every slot whose primary changed since
+   the last sync.  Runs before the cache flush so the subsequent
+   {!Cache.flush} persists both the primaries and the updated checksum
+   region in one barrier.  A slot whose replica write fails stays dirty
+   and is retried at the next sync. *)
+let refresh_replicas t =
+  match Cache.integrity t.cache with
+  | None -> ()
+  | Some ig ->
+      let slots = Hashtbl.fold (fun s () acc -> s :: acc) t.replica_dirty [] in
+      List.iter
+        (fun slot ->
+          let blk = if slot = 0 then 0 else header_block t (slot - 1) in
+          match Cache.read t.cache blk with
+          | data ->
+              if Integrity.replica_write ig ~slot data then
+                Hashtbl.remove t.replica_dirty slot
+          | exception Cffs_util.Io_error.E _ -> ())
+        slots
+
+let sync t =
+  refresh_replicas t;
+  Cache.flush t.cache
 
 let rescan_ext_free t =
   let free = ref [] in
@@ -1132,6 +1189,22 @@ let remount t =
   Hashtbl.reset t.last_read;
   t.frame_drought <- false;
   rescan_ext_free t
+
+(* Is a block currently allocated (or fs metadata)?  Blocks outside the
+   cylinder groups — superblock aside — belong to no file system object.
+   Used by scrub to walk only allocated blocks and by fault harnesses to
+   pick victims that carry no acknowledged data. *)
+let block_in_use t blk =
+  if blk = 0 then true
+  else if blk < 0 || blk > Csb.total_blocks t.sb then false
+  else begin
+    let cg = Csb.cg_of_block t.sb blk in
+    if cg < 0 || cg >= t.sb.Csb.cg_count then false
+    else begin
+      let rel = blk - Csb.cg_start t.sb cg in
+      get_bit (read_header t cg) hdr_bbm rel
+    end
+  end
 
 let usage t =
   let free_blocks = ref 0 in
@@ -1238,15 +1311,22 @@ let grouped_fraction ?(under = "/") t =
 (* Formatting and mounting. *)
 
 let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks = 4096)
-    dev =
+    ?(integrity = false) ?(spare_blocks = 64) dev =
   let block_size = Blockdev.block_size dev in
+  let ig = if integrity then Some (Integrity.format ~spare_blocks dev) else None in
+  let nblocks =
+    match ig with
+    | Some ig -> Integrity.data_blocks ig
+    | None -> Blockdev.nblocks dev
+  in
   let sb =
-    Csb.mk ~block_size ~nblocks:(Blockdev.nblocks dev) ~cg_size
-      ~group_blocks:config.group_blocks ~embed_inodes:config.embed_inodes
-      ~grouping:config.grouping ~group_file_blocks:config.group_file_blocks
+    Csb.mk ~block_size ~nblocks ~cg_size ~group_blocks:config.group_blocks
+      ~embed_inodes:config.embed_inodes ~grouping:config.grouping
+      ~group_file_blocks:config.group_file_blocks
       ~readahead_blocks:config.readahead_blocks
   in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
+  Cache.set_integrity cache ig;
   Cache.set_clusterer cache (clusterer_of_sb sb);
   let t =
     {
@@ -1257,13 +1337,15 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
       last_read = Hashtbl.create 64;
       parents = Hashtbl.create 1024;
       frame_drought = false;
+      replica_dirty = Hashtbl.create 16;
     }
   in
   for cg = 0 to sb.Csb.cg_count - 1 do
     let b = Bytes.make block_size '\000' in
     Codec.set_u32 b hdr_free_blocks (sb.Csb.cg_size - 1);
     set_bit b hdr_bbm 0;
-    Cache.write cache ~kind:`Meta (header_block t cg) b
+    Cache.write cache ~kind:`Meta (header_block t cg) b;
+    Hashtbl.replace t.replica_dirty (1 + cg) ()
   done;
   let sbb = Bytes.make block_size '\000' in
   Csb.encode sb sbb;
@@ -1272,12 +1354,32 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
   let ifile = Inode.mk Inode.Regular in
   Inode.encode ifile sbb Csb.ifile_inode_off;
   Cache.write cache ~kind:`Meta 0 sbb;
+  Hashtbl.replace t.replica_dirty 0 ();
+  (* seed every replica slot, then flush (which persists the tag region) *)
+  refresh_replicas t;
   Cache.flush cache;
   t
 
 let mount ?policy ?(cache_blocks = 4096) dev =
+  let ig = Integrity.attach dev in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
-  match Csb.decode (Cache.read cache 0) with
+  Cache.set_integrity cache ig;
+  let sb_bytes =
+    try Cache.read cache 0
+    with Cffs_util.Io_error.E _ as e -> (
+      (* Degraded mount: the primary superblock is damaged; decode the
+         replica, serve it, and queue a repair of block 0. *)
+      match ig with
+      | None -> raise e
+      | Some ig -> (
+          match Integrity.replica_read ig ~slot:0 with
+          | None -> raise e
+          | Some data ->
+              Integrity.note_degraded ();
+              Cache.write cache ~kind:`Meta 0 data;
+              data))
+  in
+  match Csb.decode sb_bytes with
   | None -> None
   | Some sb ->
       Cache.set_clusterer cache (clusterer_of_sb sb);
@@ -1290,6 +1392,7 @@ let mount ?policy ?(cache_blocks = 4096) dev =
           last_read = Hashtbl.create 64;
           parents = Hashtbl.create 1024;
           frame_drought = false;
+          replica_dirty = Hashtbl.create 16;
         }
       in
       rescan_ext_free t;

@@ -64,18 +64,37 @@ val format :
   ?config:config ->
   ?policy:Cffs_cache.Cache.policy ->
   ?cache_blocks:int ->
+  ?integrity:bool ->
+  ?spare_blocks:int ->
   Cffs_blockdev.Blockdev.t ->
   t
+(** [?integrity] (default [false]) formats the tail of the device as an
+    {!Cffs_blockdev.Integrity} region — per-block checksums, a
+    [?spare_blocks]-block remap pool (default 64) and a replicated remap
+    table — and shrinks the file system to the remaining data blocks.
+    The superblock and every cylinder-group header get a replica slot;
+    replicas are refreshed at each {!sync}. *)
 
 val mount :
   ?policy:Cffs_cache.Cache.policy ->
   ?cache_blocks:int ->
   Cffs_blockdev.Blockdev.t ->
   t option
+(** Detects an integrity region automatically ({!Cffs_blockdev.Integrity.attach}).
+    If the primary superblock is damaged but its replica is intact, the
+    mount proceeds degraded from the replica and queues a repair. *)
 
 val cache : t -> Cffs_cache.Cache.t
 val superblock : t -> Csb.t
 val config : t -> config
+
+val integrity : t -> Cffs_blockdev.Integrity.t option
+(** The integrity layer the cache routes through, if the volume has one. *)
+
+val block_in_use : t -> int -> bool
+(** Is [blk] allocated (per the cylinder-group bitmaps)?  Block 0 and the
+    group headers count as in use; blocks outside the file system do not.
+    Scrub uses this to walk only blocks whose contents matter. *)
 
 val read_inode : t -> int -> Cffs_vfs.Inode.t Cffs_vfs.Errno.result
 (** Direct inode access (embedded, external or resident), for fsck and

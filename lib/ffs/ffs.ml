@@ -671,12 +671,22 @@ let file_clusterer ~prev ~next =
   | _ -> false
 
 let format ?(cg_size = 2048) ?(inodes_per_cg = 1024) ?policy ?(cache_blocks = 4096)
-    dev =
+    ?(integrity = false) ?(spare_blocks = 64) dev =
   let block_size = Blockdev.block_size dev in
-  let sb =
-    Layout.mk_sb ~block_size ~nblocks:(Blockdev.nblocks dev) ~cg_size ~inodes_per_cg
+  (* FFS gets checksums and bad-sector remapping only — no metadata
+     replicas (that degree of self-healing is C-FFS's; see Cffs.format). *)
+  let ig =
+    if integrity then Some (Cffs_blockdev.Integrity.format ~spare_blocks dev)
+    else None
   in
+  let nblocks =
+    match ig with
+    | Some ig -> Cffs_blockdev.Integrity.data_blocks ig
+    | None -> Blockdev.nblocks dev
+  in
+  let sb = Layout.mk_sb ~block_size ~nblocks ~cg_size ~inodes_per_cg in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
+  Cache.set_integrity cache ig;
   Cache.set_clusterer cache file_clusterer;
   let t = { cache; sb; dir_rotor = 0 } in
   let sbb = Bytes.make block_size '\000' in
@@ -718,7 +728,9 @@ let format ?(cg_size = 2048) ?(inodes_per_cg = 1024) ?policy ?(cache_blocks = 40
   t
 
 let mount ?policy ?(cache_blocks = 4096) dev =
+  let ig = Cffs_blockdev.Integrity.attach dev in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
+  Cache.set_integrity cache ig;
   Cache.set_clusterer cache file_clusterer;
   match Layout.decode_sb (Cache.read cache 0) with
   | None -> None

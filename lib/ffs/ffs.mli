@@ -20,10 +20,16 @@ val format :
   ?inodes_per_cg:int ->
   ?policy:Cffs_cache.Cache.policy ->
   ?cache_blocks:int ->
+  ?integrity:bool ->
+  ?spare_blocks:int ->
   Cffs_blockdev.Blockdev.t ->
   t
 (** Create a fresh file system on the device (default: 2048-block groups,
-    1024 inodes per group, [Sync_metadata] policy, 4096-block cache). *)
+    1024 inodes per group, [Sync_metadata] policy, 4096-block cache).
+    [?integrity] adds block checksums and bad-sector remapping
+    ({!Cffs_blockdev.Integrity}); unlike C-FFS, plain FFS keeps no
+    metadata replicas, so damaged metadata surfaces as [EIO] rather than
+    degraded-mode fallback. *)
 
 val mount :
   ?policy:Cffs_cache.Cache.policy ->
@@ -31,7 +37,8 @@ val mount :
   Cffs_blockdev.Blockdev.t ->
   t option
 (** Attach to a previously formatted device; [None] if no valid
-    superblock. *)
+    superblock.  An integrity region, if present, is detected and routed
+    through automatically. *)
 
 val cache : t -> Cffs_cache.Cache.t
 val superblock : t -> Layout.sb

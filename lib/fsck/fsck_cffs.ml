@@ -58,11 +58,17 @@ let rec walk_dir t sb survey ~dir dinode =
     match Bmap.read cache dinode lblk with
     | Error _ -> survey.bad_dir_blocks <- (dir, lblk) :: survey.bad_dir_blocks
     | Ok None -> ()
-    | Ok (Some p) ->
-        let b = Cache.read cache p in
-        List.iter
-          (fun (name, ino) -> visit t sb survey ~dir ~name ino)
-          (block_entries t ~pblock:p b)
+    | Ok (Some p) -> (
+        (* A directory block the media can no longer produce (sticky bad
+           sector, checksum mismatch) is a survey finding, not a crash:
+           record it and keep walking the rest of the tree. *)
+        match Cache.read cache p with
+        | exception Cffs_util.Io_error.E _ ->
+            survey.bad_dir_blocks <- (dir, lblk) :: survey.bad_dir_blocks
+        | b ->
+            List.iter
+              (fun (name, ino) -> visit t sb survey ~dir ~name ino)
+              (block_entries t ~pblock:p b))
   done
 
 and visit t sb survey ~dir ~name ino =
@@ -173,7 +179,10 @@ let orphan_externals t survey =
   !orphans
 
 let build_report t ~repaired =
-  match Csb.decode (Cache.read (Cffs.cache t) 0) with
+  match
+    try Csb.decode (Cache.read (Cffs.cache t) 0)
+    with Cffs_util.Io_error.E _ -> None
+  with
   | None ->
       {
         Report.problems = [ Report.Bad_superblock ];

@@ -1,0 +1,50 @@
+(** Incremental media scrub for integrity-formatted C-FFS volumes.
+
+    A scrub pass walks allocated blocks, verifies each against its CRC tag
+    {e on the media} (through the remap table), and heals what it can:
+
+    - replicated metadata (superblock, cylinder-group headers): a damaged
+      primary is restored from its replica; a damaged or stale replica is
+      refreshed from the primary;
+    - data blocks whose acknowledged contents are still resident in the
+      buffer cache are rewritten in place (remapping sticky bad sectors);
+    - blocks that are damaged with no surviving copy are counted as
+      [lost] — the per-file [EIO] the next reader will see;
+    - both remap-table copies are re-persisted if either is damaged.
+
+    Verified blocks bump the [scrub.blocks_verified] registry counter;
+    repairs surface through the [integrity.*] counters maintained by
+    {!Cffs_blockdev.Integrity}.
+
+    Scrub is incremental: [run ~start ~limit] scans one window of the
+    volume and returns a cursor ([next]) to resume from, so it can be
+    interleaved with foreground work.  Every pass begins with a
+    {!Cffs.sync} so the media is current before it is probed. *)
+
+type report = {
+  blocks_scanned : int;  (** allocated blocks probed in this window *)
+  verified : int;  (** clean blocks (tag matched, or legitimately untagged) *)
+  mismatches : int;  (** damaged blocks found (readable-but-wrong or dead) *)
+  remapped : int;  (** sticky bad sectors moved to spares during repair *)
+  lost : int;  (** damaged with no replica and no cached copy *)
+  replicas_repaired : int;  (** replica slots refreshed from good primaries *)
+  primaries_repaired : int;  (** metadata primaries restored from replicas *)
+  map_repaired : bool;  (** a remap-table copy was damaged and re-persisted *)
+  next : int;  (** resume cursor: first block not yet scanned *)
+  total : int;  (** number of scannable blocks (scan is done at [next = total]) *)
+}
+
+val complete : report -> bool
+
+val run : ?start:int -> ?limit:int -> Cffs.t -> report option
+(** Scrub blocks [start, start + limit) (default: the whole volume).
+    The replicated-metadata pass runs when [start = 0].  [None] if the
+    volume has no integrity layer. *)
+
+val run_to_completion : ?step:int -> Cffs.t -> report option
+(** Repeated {!run} windows of [step] blocks (default 4096) until the
+    cursor reaches the end; returns the merged report. *)
+
+val to_json : report -> Cffs_obs.Json.t
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string

@@ -99,6 +99,22 @@ let derived_json runs =
     end
   | _ -> []
 
+(* Self-healing counters are always present (zero included), unlike the
+   per-run counter deltas which drop zeros: consumers of the document can
+   assert on these keys without caring whether the run used an
+   integrity-formatted volume. *)
+let integrity_json () =
+  let snap = Registry.snapshot () in
+  Json.Obj
+    (List.map
+       (fun name -> (name, Json.Int (Registry.get_counter snap name)))
+       [
+         "integrity.checksum_failures";
+         "integrity.remaps";
+         "integrity.degraded_reads";
+         "scrub.blocks_verified";
+       ])
+
 let document ?(nfiles = 400) ?(file_bytes = 1024)
     ?(policy = Cffs_cache.Cache.Sync_metadata) ?(configs = default_pair) () =
   let runs = List.map (run_config ~nfiles ~file_bytes ~policy) configs in
@@ -110,6 +126,7 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
       ("file_bytes", Json.Int file_bytes);
       ("policy", Json.String (Cffs_cache.Cache.policy_name policy));
       ("configs", Json.List (List.map config_to_json runs));
+      ("integrity", integrity_json ());
       ("derived", Json.Obj (derived_json runs));
     ]
 

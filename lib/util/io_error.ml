@@ -5,8 +5,19 @@ type cause =
   | Bad_sector  (** sticky media error: every access to the range fails *)
   | Power_cut  (** the device lost power; no further requests complete *)
   | Out_of_bounds  (** the block range lies outside the device *)
+  | Checksum_mismatch
+      (** the block was read but its contents do not match the recorded
+          checksum: silent corruption, a torn write, or a misdirected
+          write surfaced by the integrity layer *)
 
-type t = { op : op; blk : int; nblocks : int; cause : cause }
+type range = {
+  start_sector : int;
+  sector_count : int;
+  dev_sectors : int;
+  dev_blocks : int;
+}
+
+type t = { op : op; blk : int; nblocks : int; cause : cause; range : range option }
 
 exception E of t
 
@@ -17,14 +28,27 @@ let cause_name = function
   | Bad_sector -> "bad_sector"
   | Power_cut -> "power_cut"
   | Out_of_bounds -> "out_of_bounds"
+  | Checksum_mismatch -> "checksum_mismatch"
 
 let to_string e =
-  Printf.sprintf "I/O error: %s of blocks [%d, %d): %s" (op_name e.op) e.blk
-    (e.blk + e.nblocks) (cause_name e.cause)
+  let base =
+    Printf.sprintf "I/O error: %s of blocks [%d, %d): %s" (op_name e.op) e.blk
+      (e.blk + e.nblocks) (cause_name e.cause)
+  in
+  match e.range with
+  | None -> base
+  | Some r ->
+      Printf.sprintf
+        "%s (request sectors [%d, %d), %d sectors; device has %d blocks, %d \
+         sectors)"
+        base r.start_sector
+        (r.start_sector + r.sector_count)
+        r.sector_count r.dev_blocks r.dev_sectors
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
-let raise_error ~op ~blk ~nblocks cause = raise (E { op; blk; nblocks; cause })
+let raise_error ?range ~op ~blk ~nblocks cause =
+  raise (E { op; blk; nblocks; cause; range })
 
 let () =
   Printexc.register_printer (function E e -> Some (to_string e) | _ -> None)

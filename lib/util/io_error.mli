@@ -2,9 +2,10 @@
 
     Device failures surface as {!E} carrying the failed operation, the block
     range, and a cause.  Layers above the block device either recover
-    (the cache retries transient read errors with backoff) or translate the
-    exception into their own error domain (VFS operations return [EIO]); a
-    fault must never escape as a crashed process. *)
+    (the cache retries transient read errors with backoff; the integrity
+    layer remaps sticky bad sectors on write) or translate the exception
+    into their own error domain (VFS operations return [EIO]); a fault must
+    never escape as a crashed process. *)
 
 type op = Read | Write
 
@@ -13,8 +14,21 @@ type cause =
   | Bad_sector  (** sticky media error: every access to the range fails *)
   | Power_cut  (** the device lost power; no further requests complete *)
   | Out_of_bounds  (** the block range lies outside the device *)
+  | Checksum_mismatch
+      (** the block was read but its contents do not match the recorded
+          checksum: silent corruption, a torn write, or a misdirected
+          write surfaced by the integrity layer *)
 
-type t = { op : op; blk : int; nblocks : int; cause : cause }
+type range = {
+  start_sector : int;  (** first 512-B sector of the offending request *)
+  sector_count : int;  (** request length in sectors *)
+  dev_sectors : int;  (** device capacity in sectors *)
+  dev_blocks : int;  (** device capacity in blocks *)
+}
+(** Request/device geometry attached to [Out_of_bounds] errors so the
+    message pinpoints exactly how the request fell off the device. *)
+
+type t = { op : op; blk : int; nblocks : int; cause : cause; range : range option }
 
 exception E of t
 
@@ -23,5 +37,5 @@ val cause_name : cause -> string
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
-val raise_error : op:op -> blk:int -> nblocks:int -> cause -> 'a
+val raise_error : ?range:range -> op:op -> blk:int -> nblocks:int -> cause -> 'a
 (** [raise_error ~op ~blk ~nblocks cause] raises {!E}. *)

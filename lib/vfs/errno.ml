@@ -28,6 +28,18 @@ let to_string = function
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
+(* The single device-fault → errno mapping: every cause the block layer can
+   raise — including [Checksum_mismatch] from the integrity layer and
+   [Bad_sector] that survived remap-on-write — lands on [EIO], matching
+   what a kernel returns for uncorrectable media errors.  Kept total so a
+   newly added cause must make an explicit choice here. *)
+let of_io_error (e : Cffs_util.Io_error.t) =
+  match e.Cffs_util.Io_error.cause with
+  | Cffs_util.Io_error.Transient | Cffs_util.Io_error.Bad_sector
+  | Cffs_util.Io_error.Power_cut | Cffs_util.Io_error.Out_of_bounds
+  | Cffs_util.Io_error.Checksum_mismatch ->
+      Eio
+
 let get_ok context = function
   | Ok v -> v
   | Error e -> failwith (context ^ ": " ^ to_string e)

@@ -18,6 +18,11 @@ type 'a result = ('a, t) Stdlib.result
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
+val of_io_error : Cffs_util.Io_error.t -> t
+(** Canonical device-fault translation, used by every VFS guard: all
+    unrecovered causes ([Bad_sector], [Checksum_mismatch], [Power_cut],
+    [Transient] past the retry budget, [Out_of_bounds]) map to {!Eio}. *)
+
 val get_ok : string -> 'a result -> 'a
 (** [get_ok context r] unwraps [r], raising [Failure] with [context] and the
     error name otherwise.  For tests and examples. *)

@@ -32,13 +32,15 @@ module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
 
   let m_eio = Registry.counter (F.prefix ^ ".eio")
 
-  (* Unrecoverable device faults (the cache has already retried transients)
-     surface to every VFS caller as [EIO] — never as a crashed process. *)
+  (* Unrecoverable device faults (the cache has already retried transients,
+     the integrity layer has already remapped what it could) surface to
+     every VFS caller through the one shared mapping in
+     {!Errno.of_io_error} — never as a crashed process. *)
   let guard f =
     try f ()
-    with Cffs_util.Io_error.E _ ->
+    with Cffs_util.Io_error.E e ->
       Registry.incr m_eio;
-      Error Errno.Eio
+      Error (Errno.of_io_error e)
 
   let h_lookup = Registry.histogram (F.prefix ^ ".op.lookup_s")
   let h_create = Registry.histogram (F.prefix ^ ".op.create_s")

@@ -276,6 +276,161 @@ let test_fault_midbatch_prefix () =
   check Alcotest.bytes "unit 3 lost" (block '\000') (Blockdev.read dev 3 1);
   Faultdev.detach fd
 
+(* --- Integrity layer: checksums, remapping, replicas ----------------- *)
+
+module Integrity = Cffs_blockdev.Integrity
+
+let cause_of f =
+  match f () with
+  | _ -> None
+  | exception Io_error.E e -> Some e.Io_error.cause
+
+let test_integrity_format_attach () =
+  let dev = mem () in
+  let ig = Integrity.format ~spare_blocks:16 dev in
+  let n = Blockdev.nblocks dev in
+  check Alcotest.bool "data area shrank" true (Integrity.data_blocks ig < n);
+  check Alcotest.bool "tags enabled" true (Blockdev.tags_enabled dev);
+  Integrity.write ig 7 (block 'q');
+  Integrity.flush_tags ig;
+  (* cold reload: the image file carries only blocks; tags must come back
+     from the at-rest checksum region, the remap table from its copies *)
+  let path = Filename.temp_file "cffs_integrity" ".img" in
+  Blockdev.save_file dev path;
+  let cold = Blockdev.load_file path in
+  Sys.remove path;
+  check Alcotest.bool "cold device starts untagged" false
+    (Blockdev.tags_enabled cold);
+  (match Integrity.attach cold with
+  | None -> Alcotest.fail "attach failed on cold image"
+  | Some ig2 ->
+      check Alcotest.int "same data_blocks" (Integrity.data_blocks ig)
+        (Integrity.data_blocks ig2);
+      check Alcotest.bytes "contents verified after reload" (block 'q')
+        (Integrity.read ig2 7 1));
+  (* a device that was never integrity-formatted must not attach *)
+  check Alcotest.bool "plain device does not attach" true
+    (Integrity.attach (mem ()) = None)
+
+let test_integrity_detects_corruption () =
+  let dev = mem () in
+  let ig = Integrity.format dev in
+  Integrity.write ig 3 (block 'a');
+  Blockdev.corrupt_block dev 3 (Prng.create 5);
+  check Alcotest.bool "corruption raises Checksum_mismatch" true
+    (cause_of (fun () -> ignore (Integrity.read ig 3 1))
+    = Some Io_error.Checksum_mismatch);
+  (* a verified rewrite heals it *)
+  Integrity.write ig 3 (block 'b');
+  check Alcotest.bytes "rewrite heals" (block 'b') (Integrity.read ig 3 1);
+  check Alcotest.bool "scrub verdict verified" true
+    (Integrity.verify_block ig 3 = Integrity.Verified)
+
+let test_integrity_remap_on_write () =
+  let dev = mem () in
+  let ig = Integrity.format ~spare_blocks:8 dev in
+  let fd = Faultdev.attach dev in
+  Faultdev.mark_bad fd 5;
+  let spares0 = Integrity.spare_left ig in
+  Integrity.write ig 5 (block 'r');
+  check Alcotest.bool "block remapped" true (Integrity.remapped ig 5);
+  check Alcotest.bool "a spare was consumed" true
+    (Integrity.spare_left ig < spares0);
+  check Alcotest.bool "physical home moved" true (Integrity.phys ig 5 <> 5);
+  check Alcotest.bytes "reads follow the map" (block 'r') (Integrity.read ig 5 1);
+  (* the mapping survives a cold reload *)
+  Faultdev.detach fd;
+  let path = Filename.temp_file "cffs_remap" ".img" in
+  Integrity.flush_tags ig;
+  Blockdev.save_file dev path;
+  let cold = Blockdev.load_file path in
+  Sys.remove path;
+  (match Integrity.attach cold with
+  | None -> Alcotest.fail "attach failed"
+  | Some ig2 ->
+      check Alcotest.bool "remap reloaded" true (Integrity.remapped ig2 5);
+      check Alcotest.bytes "spare contents reloaded" (block 'r')
+        (Integrity.read ig2 5 1))
+
+let test_integrity_replicas () =
+  let dev = mem () in
+  let ig = Integrity.format ~spare_blocks:8 dev in
+  check Alcotest.bool "unassigned slot reads None" true
+    (Integrity.replica_read ig ~slot:0 = None);
+  check Alcotest.bool "replica write succeeds" true
+    (Integrity.replica_write ig ~slot:0 (block 'm'));
+  check Alcotest.bool "replica reads back" true
+    (Integrity.replica_read ig ~slot:0 = Some (block 'm'));
+  (* damage the replica: the verified read refuses it *)
+  (match Integrity.replica_phys ig ~slot:0 with
+  | None -> Alcotest.fail "replica has no physical block"
+  | Some p -> Blockdev.corrupt_block dev p (Prng.create 9));
+  check Alcotest.bool "damaged replica reads None" true
+    (Integrity.replica_read ig ~slot:0 = None);
+  (* rewriting the slot restores it *)
+  check Alcotest.bool "rewrite restores" true
+    (Integrity.replica_write ig ~slot:0 (block 'n'));
+  check Alcotest.bool "restored replica reads back" true
+    (Integrity.replica_read ig ~slot:0 = Some (block 'n'))
+
+let test_integrity_map_copy_repair () =
+  let dev = mem () in
+  let ig = Integrity.format ~spare_blocks:8 dev in
+  ignore (Integrity.replica_write ig ~slot:0 (block 'm'));
+  check Alcotest.bool "healthy copies need no repair" false
+    (Integrity.repair_map_copies ig);
+  (* destroy one on-disk copy; repair must detect and rewrite it *)
+  Blockdev.corrupt_block dev (Blockdev.nblocks dev - 1) (Prng.create 3);
+  check Alcotest.bool "damaged copy repaired" true (Integrity.repair_map_copies ig);
+  check Alcotest.bool "then healthy again" false (Integrity.repair_map_copies ig)
+
+(* Satellite: the out-of-bounds payload names the offending request and
+   the device geometry, in the typed error and its rendering. *)
+let test_oob_range_payload () =
+  let dev = mem () in
+  let n = Blockdev.nblocks dev in
+  match (fun () -> ignore (Blockdev.read dev (n - 1) 3)) () with
+  | _ -> Alcotest.fail "read past end did not raise"
+  | exception Io_error.E e -> (
+      check Alcotest.bool "cause" true (e.Io_error.cause = Io_error.Out_of_bounds);
+      match e.Io_error.range with
+      | None -> Alcotest.fail "no range payload"
+      | Some r ->
+          check Alcotest.int "device blocks" n r.Io_error.dev_blocks;
+          check Alcotest.int "sector count" (3 * (4096 / 512))
+            r.Io_error.sector_count;
+          let msg = Io_error.to_string e in
+          let contains s =
+            let sl = String.length s and ml = String.length msg in
+            let rec go i = i + sl <= ml && (String.sub msg i sl = s || go (i + 1)) in
+            go 0
+          in
+          check Alcotest.bool "message names device size" true
+            (contains (string_of_int n ^ " blocks"));
+          check Alcotest.bool "message names request" true (contains "request"))
+
+let test_faultdev_barrier_bounds_journal () =
+  let dev = mem () in
+  let fd = Faultdev.attach dev in
+  Blockdev.write dev 1 (block 'a');
+  Blockdev.write dev 2 (block 'b');
+  check Alcotest.int "two entries in memory" 2 (Faultdev.journal_entries fd);
+  Faultdev.barrier fd;
+  check Alcotest.int "barrier empties the journal" 0 (Faultdev.journal_entries fd);
+  check Alcotest.int "absolute length unaffected" 2 (Faultdev.journal_length fd);
+  Blockdev.write dev 3 (block 'c');
+  check Alcotest.int "only post-barrier entries held" 1
+    (Faultdev.journal_entries fd);
+  (* crash points at or after the barrier still materialize *)
+  let img = Faultdev.materialize fd ~upto:2 in
+  check Alcotest.bytes "pre-barrier writes folded in" (block 'b')
+    (Blockdev.read img 2 1);
+  check Alcotest.bytes "post-barrier write excluded" (block '\000')
+    (Blockdev.read img 3 1);
+  let img2 = Faultdev.materialize fd ~upto:3 in
+  check Alcotest.bytes "post-barrier write replayed" (block 'c')
+    (Blockdev.read img2 3 1)
+
 let () =
   Alcotest.run "cffs_blockdev"
     [
@@ -315,5 +470,20 @@ let () =
           Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
           Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolated;
           Alcotest.test_case "corrupt block" `Quick test_corrupt_block;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "format/attach cold roundtrip" `Quick
+            test_integrity_format_attach;
+          Alcotest.test_case "checksum detects corruption" `Quick
+            test_integrity_detects_corruption;
+          Alcotest.test_case "remap-on-write" `Quick test_integrity_remap_on_write;
+          Alcotest.test_case "metadata replicas" `Quick test_integrity_replicas;
+          Alcotest.test_case "remap-table copy repair" `Quick
+            test_integrity_map_copy_repair;
+          Alcotest.test_case "out-of-bounds carries request range" `Quick
+            test_oob_range_payload;
+          Alcotest.test_case "fault journal barrier" `Quick
+            test_faultdev_barrier_bounds_journal;
         ] );
     ]
