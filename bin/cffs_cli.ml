@@ -478,7 +478,8 @@ let dump_cmd =
 
 let experiment_names =
   [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "table3";
-    "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead"; "all" ]
+    "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead";
+    "concurrency"; "all" ]
 
 let experiment_cmd =
   let run name quick =
@@ -506,6 +507,7 @@ let experiment_cmd =
     | "sched" -> p (Experiments.ablation_scheduler scale)
     | "groupsize" -> p (Experiments.ablation_group_size scale)
     | "readahead" -> p (Experiments.ablation_readahead scale)
+    | "concurrency" -> p (Experiments.ablation_concurrency scale)
     | "all" -> Experiments.run_all scale
     | other ->
         Printf.eprintf "unknown experiment %S; one of: %s\n" other
@@ -580,6 +582,138 @@ let stats_cmd =
     Term.(const run $ json $ nfiles $ policy)
 
 (* ------------------------------------------------------------------ *)
+(* Multi-client benchmark *)
+
+let mcbench_cmd =
+  let module Mclient = Cffs_workload.Mclient in
+  let module Scheduler = Cffs_disk.Scheduler in
+  let run json qdepth sched_str streams files file_bytes large_mb no_coalesce
+      config_str =
+    let sched =
+      match String.lowercase_ascii sched_str with
+      | "fcfs" | "fifo" -> Some Scheduler.Fcfs
+      | "clook" | "c-look" -> Some Scheduler.Clook
+      | "sstf" -> Some Scheduler.Sstf
+      | _ -> None
+    in
+    let config =
+      match String.lowercase_ascii config_str with
+      | "none" -> Some Cffs.config_ffs_like
+      | "full" -> Some Cffs.config_default
+      | _ -> None
+    in
+    match (sched, config) with
+    | None, _ ->
+        Printf.eprintf "unknown scheduler %S; one of: fcfs, clook, sstf\n"
+          sched_str;
+        1
+    | _, None ->
+        Printf.eprintf "unknown config %S; one of: none, full\n" config_str;
+        1
+    | Some sched, Some config ->
+        let params =
+          {
+            Mclient.default_params with
+            Mclient.nstreams = streams;
+            files_per_stream = files;
+            file_bytes;
+            large_mb;
+            qdepth;
+            sched;
+            coalesce = not no_coalesce;
+          }
+        in
+        let inst =
+          Cffs_harness.Setup.instantiate
+            (Cffs_harness.Setup.standard (Cffs_harness.Setup.Cffs_fs config))
+        in
+        let r =
+          Mclient.run ~params
+            ~cache:(Cffs_harness.Setup.cache_of inst)
+            inst.Cffs_harness.Setup.env
+        in
+        if json then
+          print_endline (Cffs_obs.Json.to_string_pretty (Mclient.to_json r))
+        else begin
+          Printf.printf
+            "%s — %d small-file streams (%d x %d B) + %d MB sequential, \
+             qdepth %d, %s%s\n\n"
+            r.Mclient.label streams files file_bytes large_mb qdepth
+            (Mclient.sched_name sched)
+            (if not no_coalesce then " + coalescing" else "");
+          List.iter
+            (fun (s : Mclient.stream_result) ->
+              Printf.printf "  %-6s %6d ops %10d bytes %10.1f KB/s\n"
+                s.Mclient.stream s.Mclient.ops s.Mclient.bytes
+                s.Mclient.kb_per_sec)
+            r.Mclient.streams;
+          Printf.printf
+            "\n  aggregate: small %.1f KB/s (%.1f files/s), large %.1f KB/s, \
+             total %.1f KB/s in %.3f s\n"
+            r.Mclient.small_kb_per_sec r.Mclient.small_files_per_sec
+            r.Mclient.large_kb_per_sec r.Mclient.total_kb_per_sec
+            r.Mclient.measure.Cffs_workload.Env.seconds;
+          Printf.printf
+            "  queue: mean depth %.2f (max %.0f), wait mean %.2f ms p95 %.2f \
+             ms, %d dispatches (%d coalesced)\n"
+            r.Mclient.qdepth_mean r.Mclient.qdepth_max r.Mclient.wait_mean_ms
+            r.Mclient.wait_p95_ms r.Mclient.dispatches r.Mclient.coalesced
+        end;
+        0
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
+  in
+  let qdepth =
+    Arg.(value & opt int 8
+         & info [ "qdepth" ] ~docv:"N" ~doc:"Tagged-queue window (depth).")
+  in
+  let sched =
+    Arg.(value & opt string "clook"
+         & info [ "sched" ] ~docv:"POLICY"
+             ~doc:"Queue scheduling policy: fcfs, clook or sstf.")
+  in
+  let streams =
+    Arg.(value & opt int 4
+         & info [ "streams" ] ~docv:"N" ~doc:"Small-file client streams.")
+  in
+  let files =
+    Arg.(value & opt int 100
+         & info [ "files" ] ~docv:"N" ~doc:"Files per stream.")
+  in
+  let file_bytes =
+    Arg.(value & opt int 4096
+         & info [ "file-bytes" ] ~docv:"B" ~doc:"Small-file size in bytes.")
+  in
+  let large_mb =
+    Arg.(value & opt int 4
+         & info [ "large-mb" ] ~docv:"MB"
+             ~doc:"Large sequential stream size (0 disables it).")
+  in
+  let no_coalesce =
+    Arg.(value & flag
+         & info [ "no-coalesce" ]
+             ~doc:"Disable coalescing of adjacent queued requests.")
+  in
+  let config =
+    Arg.(value & opt string "none"
+         & info [ "config" ] ~docv:"CONFIG"
+             ~doc:
+               "File-system configuration: none (no techniques) or full \
+                (EI+EG).")
+  in
+  Cmd.v
+    (Cmd.info "mcbench"
+       ~doc:
+         "Multi-client benchmark on the simulated testbed: N small-file \
+          streams and one large sequential stream interleaved over the \
+          shared tagged device queue, reporting per-stream and aggregate \
+          throughput plus queue-depth and service-time statistics.")
+    Term.(
+      const run $ json $ qdepth $ sched $ streams $ files $ file_bytes
+      $ large_mb $ no_coalesce $ config)
+
+(* ------------------------------------------------------------------ *)
 (* Crash consistency *)
 
 let crashtest_cmd =
@@ -624,7 +758,8 @@ let () =
       [
         mkfs_cmd; fsck_cmd; scrub_cmd; ls_cmd; tree_cmd; cat_cmd; put_cmd; get_cmd; mkdir_cmd;
         rm_cmd; mv_cmd; df_cmd; dump_cmd; synth_trace_cmd; replay_cmd;
-        trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd; crashtest_cmd;
+        trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd; mcbench_cmd;
+        crashtest_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -17,11 +17,26 @@ type outcome = Proceed | Torn of int | Fail of Io_error.cause
 type injector = Io_error.op -> blk:int -> nblocks:int -> outcome
 type write_observer = blk:int -> data:bytes -> torn:int option -> unit
 
+(* Payload carried through the tagged queue: reads want data back, writes
+   carry the data in. *)
+type qpayload = Pread | Pwrite of bytes
+
+type cqe = {
+  cq_tag : Ioqueue.tag;
+  cq_op : Io_error.op;
+  cq_blk : int;
+  cq_nblocks : int;
+  cq_result : (bytes, Io_error.t) result;
+      (* [Ok data] for reads, [Ok Bytes.empty] for writes *)
+}
+
 type t = {
   backend : backend;
   store : (int, bytes) Hashtbl.t;
   block_size : int;
   nblocks : int;
+  queue : qpayload Ioqueue.t;
+  mutable completed : cqe list;  (* reverse completion order *)
   mutable injector : injector option;
   mutable write_observer : write_observer option;
   (* Out-of-band per-block integrity tags, the software analogue of
@@ -52,6 +67,8 @@ let of_drive ?(policy = Scheduler.Clook) ?(host_overhead = 0.5e-3) drive ~block_
     store = Hashtbl.create 4096;
     block_size;
     nblocks;
+    queue = Ioqueue.create ~policy ();
+    completed = [];
     injector = None;
     write_observer = None;
     tags = Hashtbl.create 64;
@@ -65,6 +82,8 @@ let memory ~block_size ~nblocks =
     store = Hashtbl.create 4096;
     block_size;
     nblocks;
+    queue = Ioqueue.create ();
+    completed = [];
     injector = None;
     write_observer = None;
     tags = Hashtbl.create 64;
@@ -96,10 +115,6 @@ let check_range t op blk n =
 
 let consult t op ~blk ~nblocks =
   match t.injector with None -> Proceed | Some f -> f op ~blk ~nblocks
-
-let fail _t op ~blk ~nblocks cause =
-  Cffs_obs.Registry.incr m_io_errors;
-  Io_error.raise_error ~op ~blk ~nblocks cause
 
 let copy_out t blk dst off =
   match Hashtbl.find_opt t.store blk with
@@ -173,26 +188,36 @@ let time_request t (req : Request.t) =
       Drive.advance drive host_overhead;
       ignore (Drive.service drive req)
 
-let read t blk n =
-  check_range t Io_error.Read blk n;
+let dev_now t =
+  match t.backend with Memory m -> m.clock | Timed { drive; _ } -> Drive.now drive
+
+let err op ~blk ~nblocks cause =
+  { Io_error.op; blk; nblocks; cause; range = None }
+
+(* One read request against the media: consult the fault injector, account
+   the request (reads are timed even when they fail — the head still moved),
+   then copy out. *)
+let read_service t blk n : (bytes, Io_error.t) result =
   let spb = sectors_per_block t in
   let outcome = consult t Io_error.Read ~blk ~nblocks:n in
   time_request t (Request.read ~lba:(blk * spb) ~sectors:(n * spb));
-  (match outcome with
-  | Proceed | Torn _ -> ()
-  | Fail cause -> fail t Io_error.Read ~blk ~nblocks:n cause);
-  let out = Bytes.create (n * t.block_size) in
-  for i = 0 to n - 1 do
-    copy_out t (blk + i) out (i * t.block_size)
-  done;
-  out
+  match outcome with
+  | Proceed | Torn _ ->
+      let out = Bytes.create (n * t.block_size) in
+      for i = 0 to n - 1 do
+        copy_out t (blk + i) out (i * t.block_size)
+      done;
+      Ok out
+  | Fail cause ->
+      Cffs_obs.Registry.incr m_io_errors;
+      Error (err Io_error.Read ~blk ~nblocks:n cause)
 
 (* One write request: consult the fault injector, account the request, then
    persist.  A torn request persists its prefix and then fails with
    [Power_cut] — a tear is only ever caused by losing power mid-request, so
    nothing after it completes either.  The write observer sees every request
    that persisted anything (full or torn), with the full intended payload. *)
-let write_request t start data =
+let write_service t start data : (unit, Io_error.t) result =
   let n = Bytes.length data / t.block_size in
   let spb = sectors_per_block t in
   let outcome = consult t Io_error.Write ~blk:start ~nblocks:n in
@@ -204,55 +229,257 @@ let write_request t start data =
       persist_request t start data ~keep_sectors:None;
       (match t.write_observer with
       | Some f -> f ~blk:start ~data ~torn:None
-      | None -> ())
+      | None -> ());
+      Ok ()
   | Torn k ->
       let keep = max 0 (min (n * spb) k) in
       persist_request t start data ~keep_sectors:(Some keep);
       (match t.write_observer with
       | Some f -> f ~blk:start ~data ~torn:(Some keep)
       | None -> ());
-      fail t Io_error.Write ~blk:start ~nblocks:n Io_error.Power_cut
-  | Fail cause -> fail t Io_error.Write ~blk:start ~nblocks:n cause
+      Cffs_obs.Registry.incr m_io_errors;
+      Error (err Io_error.Write ~blk:start ~nblocks:n Io_error.Power_cut)
+  | Fail cause ->
+      Cffs_obs.Registry.incr m_io_errors;
+      Error (err Io_error.Write ~blk:start ~nblocks:n cause)
+
+(* --- the tagged-queue pipeline ------------------------------------------- *)
+
+let h_wait = Cffs_obs.Registry.histogram "ioqueue.wait_s"
+
+let set_queue t ?depth ?policy ?coalesce () =
+  Option.iter (Ioqueue.set_depth t.queue) depth;
+  Option.iter (Ioqueue.set_policy t.queue) policy;
+  Option.iter (Ioqueue.set_coalesce t.queue) coalesce
+
+let queue_depth t = Ioqueue.depth t.queue
+let queue_policy t = Ioqueue.policy t.queue
+let queue_coalesce t = Ioqueue.coalesce t.queue
+let pending t = Ioqueue.pending t.queue
+
+let submit_read t blk n =
+  check_range t Io_error.Read blk n;
+  let spb = sectors_per_block t in
+  Ioqueue.submit t.queue
+    (Request.read ~lba:(blk * spb) ~sectors:(n * spb))
+    Pread ~now:(dev_now t)
+
+let submit_write t blk data =
+  let len = Bytes.length data in
+  if len = 0 || len mod t.block_size <> 0 then
+    invalid_arg "Blockdev.submit_write: partial block";
+  let n = len / t.block_size in
+  check_range t Io_error.Write blk n;
+  let spb = sectors_per_block t in
+  Ioqueue.submit t.queue
+    (Request.write ~lba:(blk * spb) ~sectors:(n * spb))
+    (Pwrite data) ~now:(dev_now t)
+
+let geom_of t =
+  match t.backend with
+  | Memory _ -> None
+  | Timed { drive; _ } -> Some (Drive.geometry drive)
+
+let head_cyl t =
+  match t.backend with
+  | Memory _ -> 0
+  | Timed { drive; _ } -> Drive.current_cyl drive
+
+let push_cqe t c = t.completed <- c :: t.completed
+
+let item_blk t (it : qpayload Ioqueue.item) =
+  let spb = sectors_per_block t in
+  (it.req.Request.lba / spb, it.req.Request.sectors / spb)
+
+let item_op (it : qpayload Ioqueue.item) =
+  match it.req.Request.kind with
+  | Request.Read -> Io_error.Read
+  | Request.Write -> Io_error.Write
+
+let cqe_of_item t (it : qpayload Ioqueue.item) result =
+  let blk, n = item_blk t it in
+  { cq_tag = it.tag; cq_op = item_op it; cq_blk = blk; cq_nblocks = n;
+    cq_result = result }
+
+(* Service one dispatch group as a single contiguous request.  When a
+   merged request fails with a retryable cause, fall back to servicing the
+   members individually so only the member actually covering the fault
+   fails its waiter — the isolation the tagged queue promises.  Returns
+   the group's cqes (also pushed to the completion list) and whether the
+   device lost power. *)
+let service_group t (group : qpayload Ioqueue.item list) =
+  let now = dev_now t in
+  List.iter
+    (fun (it : qpayload Ioqueue.item) ->
+      Cffs_obs.Registry.observe h_wait (now -. it.Ioqueue.submitted_at))
+    group;
+  let singles () =
+    List.map
+      (fun (it : qpayload Ioqueue.item) ->
+        let blk, n = item_blk t it in
+        match it.Ioqueue.payload with
+        | Pread -> cqe_of_item t it (read_service t blk n)
+        | Pwrite data ->
+            cqe_of_item t it
+              (Result.map (fun () -> Bytes.empty) (write_service t blk data)))
+      group
+  in
+  let cqes =
+    match group with
+    | [] -> []
+    | [ _ ] -> singles ()
+    | first :: _ -> (
+        (* contiguous ascending by construction *)
+        let start, _ = item_blk t first in
+        let total =
+          List.fold_left
+            (fun acc it -> acc + snd (item_blk t it))
+            0 group
+        in
+        match first.Ioqueue.payload with
+        | Pread -> (
+            match read_service t start total with
+            | Ok data ->
+                List.map
+                  (fun it ->
+                    let blk, n = item_blk t it in
+                    let part = Bytes.sub data ((blk - start) * t.block_size)
+                        (n * t.block_size) in
+                    cqe_of_item t it (Ok part))
+                  group
+            | Error e when e.Io_error.cause = Io_error.Power_cut ->
+                List.map (fun it -> cqe_of_item t it (Error e)) group
+            | Error _ -> singles ())
+        | Pwrite _ -> (
+            let data = Bytes.create (total * t.block_size) in
+            List.iter
+              (fun (it : qpayload Ioqueue.item) ->
+                match it.Ioqueue.payload with
+                | Pwrite d ->
+                    let blk, _ = item_blk t it in
+                    Bytes.blit d 0 data ((blk - start) * t.block_size)
+                      (Bytes.length d)
+                | Pread -> assert false)
+              group;
+            match write_service t start data with
+            | Ok () ->
+                List.map (fun it -> cqe_of_item t it (Ok Bytes.empty)) group
+            | Error e when e.Io_error.cause = Io_error.Power_cut ->
+                (* torn or cut mid-request: the merged request died as one *)
+                List.map (fun it -> cqe_of_item t it (Error e)) group
+            | Error _ -> singles ()))
+  in
+  List.iter (push_cqe t) cqes;
+  let power_cut =
+    List.exists
+      (fun c ->
+        match c.cq_result with
+        | Error e -> e.Io_error.cause = Io_error.Power_cut
+        | Ok _ -> false)
+      cqes
+  in
+  (cqes, power_cut)
+
+(* The device lost power (or the queue is being torn down): every request
+   still queued fails its waiter without touching the media or the clock —
+   and without counting as a device error, since the device never saw it. *)
+let fail_pending t cause =
+  List.iter
+    (fun (it : qpayload Ioqueue.item) ->
+      let blk, n = item_blk t it in
+      push_cqe t (cqe_of_item t it (Error (err (item_op it) ~blk ~nblocks:n cause))))
+    (Ioqueue.clear t.queue)
+
+let reset_queue t =
+  let n = Ioqueue.pending t.queue in
+  fail_pending t Io_error.Power_cut;
+  n
+
+(* Drain loop.  The head-position convention matches the batch scheduler
+   this replaces: the cylinder used for the next pick is the cylinder of
+   the previous dispatch's first lba (the drive's resting position at the
+   start of the drain for the first pick). *)
+let take_group t cyl =
+  match Ioqueue.take t.queue ~geom:(geom_of t) ~current_cyl:!cyl with
+  | None -> None
+  | Some group ->
+      (match (geom_of t, group) with
+      | Some g, (it : qpayload Ioqueue.item) :: _ ->
+          cyl := Geometry.cyl_of_lba g it.req.Request.lba
+      | _ -> ());
+      Some group
+
+let drain t =
+  let cyl = ref (head_cyl t) in
+  let rec loop () =
+    match take_group t cyl with
+    | None -> ()
+    | Some group ->
+        let _, power_cut = service_group t group in
+        if power_cut then fail_pending t Io_error.Power_cut else loop ()
+  in
+  loop ();
+  let out = List.rev t.completed in
+  t.completed <- [];
+  out
+
+(* Drain until [tag] completes, leaving any other pending requests queued
+   and any other completions for a later [drain]. *)
+let drain_tag t tag =
+  let find () =
+    match List.find_opt (fun c -> c.cq_tag = tag) t.completed with
+    | None -> None
+    | Some c ->
+        t.completed <- List.filter (fun x -> x != c) t.completed;
+        Some c
+  in
+  let cyl = ref (head_cyl t) in
+  let rec loop () =
+    match find () with
+    | Some c -> c
+    | None -> (
+        match take_group t cyl with
+        | None -> invalid_arg "Blockdev.drain_tag: unknown tag"
+        | Some group ->
+            let _, power_cut = service_group t group in
+            if power_cut then fail_pending t Io_error.Power_cut;
+            loop ())
+  in
+  loop ()
+
+let read t blk n =
+  check_range t Io_error.Read blk n;
+  let tag = submit_read t blk n in
+  match (drain_tag t tag).cq_result with
+  | Ok data -> data
+  | Error e -> raise (Io_error.E e)
 
 let write t blk data =
   let len = Bytes.length data in
   if len mod t.block_size <> 0 then invalid_arg "Blockdev.write: partial block";
   let n = len / t.block_size in
   check_range t Io_error.Write blk n;
-  write_request t blk data
+  let tag = submit_write t blk data in
+  match (drain_tag t tag).cq_result with
+  | Ok _ -> ()
+  | Error e -> raise (Io_error.E e)
 
-(* Issue a set of contiguous units, each as one request, in scheduler order.
-   Each request persists (and notifies the write observer) as it is serviced,
-   so a failure mid-batch leaves exactly the already-serviced prefix on the
+(* Issue a set of contiguous units, each submitted as one tagged write and
+   drained through the queue under the mount's scheduling policy.  Each
+   request persists (and notifies the write observer) as it is serviced; on
+   the first failure the remaining queue is torn down unserviced, so a
+   failure mid-batch leaves exactly the already-serviced prefix on the
    media — the crash semantics the fault harness depends on.  The memory
-   backend services units in the order given. *)
+   backend services units in the order given (FIFO queue, no geometry). *)
 let issue_units t units =
   match units with
   | [] -> ()
   | _ ->
-      let spb = sectors_per_block t in
       List.iter
         (fun (start, blocks) ->
           check_range t Io_error.Write start (List.length blocks))
         units;
-      let ordered =
-        match t.backend with
-        | Memory _ -> units
-        | Timed { drive; policy; _ } ->
-            let by_lba =
-              List.map (fun (start, blocks) -> (start * spb, (start, blocks))) units
-            in
-            let reqs =
-              List.map
-                (fun (start, blocks) ->
-                  Request.write ~lba:(start * spb)
-                    ~sectors:(List.length blocks * spb))
-                units
-            in
-            Scheduler.order policy (Drive.geometry drive)
-              ~current_cyl:(Drive.current_cyl drive) reqs
-            |> List.map (fun (req : Request.t) -> List.assoc req.lba by_lba)
-      in
+      let mine = Hashtbl.create 16 in
       List.iter
         (fun (start, blocks) ->
           let n = List.length blocks in
@@ -260,8 +487,45 @@ let issue_units t units =
           List.iteri
             (fun i b -> Bytes.blit b 0 data (i * t.block_size) t.block_size)
             blocks;
-          write_request t start data)
-        ordered
+          Hashtbl.replace mine (submit_write t start data) ())
+        units;
+      let cyl = ref (head_cyl t) in
+      let rec loop () =
+        match take_group t cyl with
+        | None -> None
+        | Some group ->
+            let cqes, power_cut = service_group t group in
+            let first_err =
+              List.find_map
+                (fun c ->
+                  match c.cq_result with
+                  | Error e when Hashtbl.mem mine c.cq_tag -> Some e
+                  | _ -> None)
+                cqes
+            in
+            match first_err with
+            | Some e ->
+                fail_pending t Io_error.Power_cut;
+                Some e
+            | None ->
+                if power_cut then begin
+                  fail_pending t Io_error.Power_cut;
+                  None
+                end
+                else loop ()
+      in
+      let looped = loop () in
+      (* strip our completions; foreign async completions stay for their
+         own [drain] *)
+      let ours, others =
+        List.partition (fun c -> Hashtbl.mem mine c.cq_tag) (List.rev t.completed)
+      in
+      t.completed <- List.rev others;
+      let raise_first e = raise (Io_error.E e) in
+      (match looped with Some e -> raise_first e | None -> ());
+      List.iter
+        (fun c -> match c.cq_result with Error e -> raise_first e | Ok _ -> ())
+        ours
 
 let check_one_block t (blk, data) =
   if Bytes.length data <> t.block_size then

@@ -81,6 +81,70 @@ val read : t -> int -> int -> bytes
     [Out_of_bounds] when the range lies outside the device, or with the
     injector's cause when the configured fault layer fails the request. *)
 
+(** {2 The tagged-queue pipeline}
+
+    All I/O flows through a tagged command queue ({!Cffs_disk.Ioqueue}):
+    submissions join an arrival FIFO, are promoted into a window of at
+    most the configured depth, and dispatch in scheduler order —
+    optionally coalescing physically adjacent same-kind requests into one
+    contiguous transfer.  The synchronous operations above are submit +
+    drain of a single tag, and {!write_batch_units} submits every unit
+    before draining, so per-mount depth/policy/coalescing settings govern
+    the whole I/O path.  Defaults preserve the classic behaviour: an
+    unbounded window (the scheduler sees whole batches), the policy given
+    to {!of_drive} (FIFO for memory devices), and no coalescing. *)
+
+type cqe = {
+  cq_tag : Cffs_disk.Ioqueue.tag;
+  cq_op : Cffs_util.Io_error.op;
+  cq_blk : int;
+  cq_nblocks : int;
+  cq_result : (bytes, Cffs_util.Io_error.t) result;
+      (** [Ok data] for reads, [Ok Bytes.empty] for writes.  A failed
+          request reports its error here — it is {e not} raised; only the
+          failed tag's waiter is affected. *)
+}
+(** Completion of one tagged request. *)
+
+val set_queue :
+  t ->
+  ?depth:int ->
+  ?policy:Cffs_disk.Scheduler.policy ->
+  ?coalesce:bool ->
+  unit ->
+  unit
+(** Reconfigure the mount's queue: window depth (>= 1), scheduling policy
+    and adjacent-request coalescing.  Omitted settings are unchanged. *)
+
+val queue_depth : t -> int
+val queue_policy : t -> Cffs_disk.Scheduler.policy
+val queue_coalesce : t -> bool
+
+val pending : t -> int
+(** Requests submitted but not yet serviced. *)
+
+val submit_read : t -> int -> int -> Cffs_disk.Ioqueue.tag
+(** [submit_read t blk n] enqueues a read of [n] consecutive blocks.
+    Raises {!Cffs_util.Io_error.E} ([Out_of_bounds]) on a bad range;
+    device faults are reported on the completion, not raised. *)
+
+val submit_write : t -> int -> bytes -> Cffs_disk.Ioqueue.tag
+(** [submit_write t blk data] enqueues a write of
+    [length data / block_size] consecutive blocks. *)
+
+val drain : t -> cqe list
+(** Service everything pending and return all completions (submission
+    faults included) in completion order.  A [Power_cut] outcome stops
+    the device: later queued requests fail with [Power_cut] without
+    touching the media.  A coalesced dispatch that fails with a retryable
+    cause is re-serviced member by member, so only the tag covering the
+    fault fails. *)
+
+val reset_queue : t -> int
+(** Tear the queue down: every pending request fails its waiter with
+    [Power_cut] (reported by the next {!drain}) without touching the
+    media.  Returns how many were discarded. *)
+
 val write : t -> int -> bytes -> unit
 (** [write t blk data] writes [length data / block_size] consecutive blocks
     as one request, synchronously.  Raises {!Cffs_util.Io_error.E} on

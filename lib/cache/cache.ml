@@ -465,6 +465,60 @@ let read_group t blk n =
   end;
   missing
 
+let m_prefetch_runs = Obs.counter "cache.prefetch_runs"
+let m_prefetch_blocks = Obs.counter "cache.prefetch_blocks"
+let m_prefetch_failed = Obs.counter "cache.prefetch_failed"
+
+(* Batched asynchronous prefetch: submit every non-resident sub-run of the
+   given physically contiguous runs as tagged reads, drain once, and
+   install what arrived.  One drain serves many files/streams, so the
+   queue's scheduler sees all of them at once — this is how multi-client
+   read traffic exploits the tagged queue.  Failures are swallowed (no
+   retry): the block stays non-resident and the next synchronous read
+   surfaces or recovers the fault through the usual path.  With an
+   integrity layer attached prefetch degrades to verified group reads —
+   still one request per run, but checked before anything enters the
+   cache. *)
+let prefetch t runs =
+  match t.integ with
+  | Some _ -> List.iter (fun (blk, n) -> ignore (read_group t blk n)) runs
+  | None ->
+      let bsz = Blockdev.block_size t.dev in
+      let tags = Hashtbl.create 16 in
+      List.iter
+        (fun (blk, n) ->
+          let flush_sub start stop =
+            if start < stop then begin
+              let tag = Blockdev.submit_read t.dev start (stop - start) in
+              Hashtbl.replace tags tag ();
+              Obs.incr m_prefetch_runs;
+              Obs.incr ~by:(stop - start) m_prefetch_blocks
+            end
+          in
+          let rec sub i start =
+            if i >= n then flush_sub start (blk + n)
+            else if Lru.mem t.entries (blk + i) then begin
+              flush_sub start (blk + i);
+              sub (i + 1) (blk + i + 1)
+            end
+            else sub (i + 1) start
+          in
+          sub 0 blk)
+        runs;
+      if Hashtbl.length tags > 0 then
+        List.iter
+          (fun (c : Blockdev.cqe) ->
+            if Hashtbl.mem tags c.Blockdev.cq_tag then
+              match c.Blockdev.cq_result with
+              | Ok data ->
+                  for i = 0 to c.Blockdev.cq_nblocks - 1 do
+                    let blk = c.Blockdev.cq_blk + i in
+                    if not (Lru.mem t.entries blk) then
+                      insert t blk (Bytes.sub data (i * bsz) bsz) ~dirty:false
+                  done
+              | Error _ -> Obs.incr m_prefetch_failed)
+          (Blockdev.drain t.dev)
+
 let find_logical t ~ino ~lblk =
   match Hashtbl.find_opt t.logical (ino, lblk) with
   | None -> None

@@ -100,6 +100,16 @@ val read_group : t -> int -> int -> bool
     already resident, no disk request is issued and the call returns
     [false]; [true] means a group request went to the device. *)
 
+val prefetch : t -> (int * int) list -> unit
+(** [prefetch t runs] submits every non-resident sub-range of the given
+    physically contiguous [(start, nblocks)] runs as tagged asynchronous
+    reads, drains the device queue once, and installs what arrived as
+    clean blocks.  Many runs (many files, many streams) share one drain,
+    so the queue's scheduler and coalescer see them all together.  Read
+    faults are swallowed — the affected blocks simply stay non-resident.
+    With an integrity layer attached, falls back to verified {!read_group}
+    per run. *)
+
 val find_logical : t -> ino:int -> lblk:int -> bytes option
 (** Logical-identity lookup; a hit needs no block-map consultation at all. *)
 

@@ -1,0 +1,36 @@
+(** Adaptive per-file sequential readahead state.
+
+    Tracks, per inode, the last logical block accessed, the current
+    sequential hit streak and an adaptive prefetch window.  The window
+    doubles on every readahead event (a cache miss while streaking) from
+    2 blocks up to [max_window], and resets — with the streak — on any
+    seek.  Random access patterns therefore trigger no prefetch at all;
+    sequential streams converge to full-window transfers within a
+    logarithmic number of requests. *)
+
+type t
+
+val create : ?capacity:int -> max_window:int -> unit -> t
+(** [max_window] is the largest number of blocks {!advise} will ever
+    suggest (0 disables readahead entirely); [capacity] (default 1024)
+    bounds the per-inode state table. *)
+
+val max_window : t -> int
+
+val note : t -> ino:int -> lblk:int -> unit
+(** Record an access to [lblk] (hit or miss): extends the streak when it
+    follows the previous access sequentially, resets streak and window on
+    a seek.  Re-reading the same block is neutral. *)
+
+val advise : t -> ino:int -> lblk:int -> int
+(** Number of blocks beyond [lblk] worth prefetching for the miss about
+    to be serviced — 0 unless the file is streaking.  Must be called
+    {e before} {!note} for the same access.  Grows the window as a side
+    effect (this is the readahead event). *)
+
+val window : t -> ino:int -> int
+(** Current window for a file (0 when idle/unknown), for tests and
+    telemetry. *)
+
+val forget : t -> ino:int -> unit
+val reset : t -> unit

@@ -1,6 +1,7 @@
 module Csb = Csb
 module Cdir = Cdir
 module Cache = Cffs_cache.Cache
+module Readahead = Cffs_cache.Readahead
 module Blockdev = Cffs_blockdev.Blockdev
 module Integrity = Cffs_blockdev.Integrity
 module Codec = Cffs_util.Codec
@@ -42,8 +43,8 @@ type t = {
   sb : Csb.t;
   mutable ext_free : int list;  (** free external-inode slots *)
   mutable dir_rotor : int;
-  last_read : (int, int) Hashtbl.t;
-      (** ino -> last logical block read; drives sequential read-ahead *)
+  ra : Readahead.t;
+      (** per-file sequential-access detector; drives adaptive read-ahead *)
   parents : (int, int) Hashtbl.t;
       (** ino -> containing-directory ino; in-memory only (the vnode-layer
           parent pointer), repopulated by lookups after a remount *)
@@ -514,16 +515,13 @@ let group_read_applies t (inode : Inode.t) lblk =
      || (inode.Inode.flags land flag_grouped <> 0 && lblk < t.sb.Csb.group_file_blocks))
 
 (* Sequential read-ahead for ungrouped data (an extension: the paper's
-   implementation has none).  When the previous read of this file was the
-   preceding logical block, fetch the physically contiguous run of the next
-   blocks in one request. *)
+   implementation has none).  On a miss in a sequential streak the
+   adaptive detector advises a window — doubling per readahead event up
+   to the configured maximum, reset on seeks — and the physically
+   contiguous run of the next blocks within it travels as one request. *)
 let readahead t ~ino inode lblk p =
-  let window = t.sb.Csb.readahead_blocks in
-  if
-    window > 0
-    && (not (Cache.resident_block t.cache p))
-    && Hashtbl.find_opt t.last_read ino = Some (lblk - 1)
-  then begin
+  let window = Readahead.advise t.ra ~ino ~lblk in
+  if window > 0 && not (Cache.resident_block t.cache p) then begin
     let rec run_len i =
       if i > window then i
       else begin
@@ -540,9 +538,7 @@ let readahead t ~ino inode lblk p =
    frame in one request and installs every block by physical address; the
    target block then gets its logical identity (paper §3.2). *)
 let file_block_read t ~ino inode lblk =
-  let note_read () =
-    if t.sb.Csb.readahead_blocks > 0 then Hashtbl.replace t.last_read ino lblk
-  in
+  let note_read () = Readahead.note t.ra ~ino ~lblk in
   match Cache.find_logical t.cache ~ino ~lblk with
   | Some b ->
       note_read ();
@@ -645,15 +641,19 @@ let write_ino t ~ino ~off data =
         let lblk = fo / bsz in
         let boff = fo mod bsz in
         let n = min (bsz - boff) (len - pos) in
+        let* existed = Bmap.read t.cache inode lblk in
         let* p =
           Bmap.alloc t.cache inode lblk ~alloc:(fun ~hint ->
               data_alloc t ~ino inode lblk ~hint)
         in
         (* Read-modify-write is only needed when the write leaves some of
            the block's previously valid bytes in place; fresh blocks and
-           whole-valid-range overwrites build the buffer from zeros. *)
+           whole-valid-range overwrites build the buffer from zeros.  A
+           block just allocated for a hole also starts from zeros — its
+           physical block may carry stale contents of whatever file freed
+           it, but the hole's bytes are zeros by definition. *)
         let valid = max 0 (min bsz (old_size - (lblk * bsz))) in
-        let need_rmw = n < bsz && (boff > 0 || n < valid) in
+        let need_rmw = n < bsz && (boff > 0 || n < valid) && existed <> None in
         let buf =
           if not need_rmw then Bytes.make bsz '\000'
           else begin
@@ -1150,6 +1150,29 @@ let stat_ino t ino =
       st_blocks = Bmap.count t.cache inode;
     }
 
+let data_runs t ~ino =
+  let* inode = read_inode t ino in
+  if inode.Inode.kind = Inode.Directory then Error Eisdir
+  else begin
+    let bsz = bs t in
+    let nblocks = (inode.Inode.size + bsz - 1) / bsz in
+    let rec go l acc =
+      if l >= nblocks then Ok (List.rev acc)
+      else
+        let* p = Bmap.read t.cache inode l in
+        match p with
+        | None -> go (l + 1) acc (* hole *)
+        | Some p ->
+            let acc =
+              match acc with
+              | (start, n) :: rest when start + n = p -> (start, n + 1) :: rest
+              | _ -> (p, 1) :: acc
+            in
+            go (l + 1) acc
+    in
+    go 0 []
+  end
+
 (* Refresh the on-disk replica of every slot whose primary changed since
    the last sync.  Runs before the cache flush so the subsequent
    {!Cache.flush} persists both the primaries and the updated checksum
@@ -1186,7 +1209,7 @@ let rescan_ext_free t =
 let remount t =
   Cache.remount t.cache;
   Hashtbl.reset t.parents;
-  Hashtbl.reset t.last_read;
+  Readahead.reset t.ra;
   t.frame_drought <- false;
   rescan_ext_free t
 
@@ -1334,7 +1357,7 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
       sb;
       ext_free = [];
       dir_rotor = 0;
-      last_read = Hashtbl.create 64;
+      ra = Readahead.create ~max_window:sb.Csb.readahead_blocks ();
       parents = Hashtbl.create 1024;
       frame_drought = false;
       replica_dirty = Hashtbl.create 16;
@@ -1389,7 +1412,7 @@ let mount ?policy ?(cache_blocks = 4096) dev =
           sb;
           ext_free = [];
           dir_rotor = 0;
-          last_read = Hashtbl.create 64;
+          ra = Readahead.create ~max_window:sb.Csb.readahead_blocks ();
           parents = Hashtbl.create 1024;
           frame_drought = false;
           replica_dirty = Hashtbl.create 16;
@@ -1416,6 +1439,7 @@ module Low = Cffs_vfs.Obs_low.Make (struct
   let read_ino = read_ino
   let write_ino = write_ino
   let truncate_ino = truncate_ino
+  let data_runs = data_runs
   let sync = sync
   let remount = remount
   let usage = usage
@@ -1446,6 +1470,7 @@ let exists = Pathops.exists
 let read = Pathops.read
 let write = Pathops.write
 let truncate = Pathops.truncate
+let file_runs = Pathops.file_runs
 let read_file = Pathops.read_file
 let write_file = Pathops.write_file
 let append_file = Pathops.append_file

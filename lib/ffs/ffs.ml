@@ -255,12 +255,16 @@ let write_ino t ~ino ~off data =
         let lblk = fo / bsz in
         let boff = fo mod bsz in
         let n = min (bsz - boff) (len - pos) in
+        let* existed = bmap_read t inode lblk in
         let* p = bmap_alloc t ~ino inode lblk in
         (* Read-modify-write only when the write leaves previously valid
            bytes of the block in place; fresh blocks and whole-valid-range
-           overwrites start from zeros. *)
+           overwrites start from zeros.  A block just allocated for a hole
+           also starts from zeros — its physical block may carry stale
+           contents of whatever file freed it, but the hole's bytes are
+           zeros by definition. *)
         let valid = max 0 (min bsz (old_size - (lblk * bsz))) in
-        let need_rmw = n < bsz && (boff > 0 || n < valid) in
+        let need_rmw = n < bsz && (boff > 0 || n < valid) && existed <> None in
         let buf =
           if not need_rmw then Bytes.make bsz '\000'
           else begin
@@ -641,6 +645,29 @@ let stat_ino t ino =
       st_blocks = count_blocks t inode;
     }
 
+let data_runs t ~ino =
+  let* inode = read_inode t ino in
+  if inode.Inode.kind = Inode.Directory then Error Eisdir
+  else begin
+    let bsz = bs t in
+    let nblocks = (inode.Inode.size + bsz - 1) / bsz in
+    let rec go l acc =
+      if l >= nblocks then Ok (List.rev acc)
+      else
+        let* p = bmap_read t inode l in
+        match p with
+        | None -> go (l + 1) acc (* hole *)
+        | Some p ->
+            let acc =
+              match acc with
+              | (start, n) :: rest when start + n = p -> (start, n + 1) :: rest
+              | _ -> (p, 1) :: acc
+            in
+            go (l + 1) acc
+    in
+    go 0 []
+  end
+
 let sync t = Cache.flush t.cache
 let remount t = Cache.remount t.cache
 
@@ -754,6 +781,7 @@ module Low = Cffs_vfs.Obs_low.Make (struct
   let read_ino = read_ino
   let write_ino = write_ino
   let truncate_ino = truncate_ino
+  let data_runs = data_runs
   let sync = sync
   let remount = remount
   let usage = usage
@@ -784,6 +812,7 @@ let exists = Pathops.exists
 let read = Pathops.read
 let write = Pathops.write
 let truncate = Pathops.truncate
+let file_runs = Pathops.file_runs
 let read_file = Pathops.read_file
 let write_file = Pathops.write_file
 let append_file = Pathops.append_file

@@ -13,6 +13,7 @@ type scale = {
   app_spec : Cffs_workload.Appbench.spec;
   large_mb : int;
   fig2_samples : int;
+  mclient : Cffs_workload.Mclient.params;  (** multi-client workload sizing *)
 }
 
 val full : scale
@@ -64,6 +65,22 @@ val table_breakdown : scale -> Cffs_util.Tablefmt.t
 val ablation_readahead : scale -> Cffs_util.Tablefmt.t
 (** A3: file-system-level sequential read-ahead (the paper's future-work
     prefetching, our extension): large-file cold-read bandwidth vs window. *)
+
+val run_mclient :
+  ?config:Cffs.config ->
+  scale ->
+  qdepth:int ->
+  sched:Cffs_disk.Scheduler.policy ->
+  coalesce:bool ->
+  Cffs_workload.Mclient.result
+(** One multi-client run on a fresh C-FFS instance (default: the
+    no-technique configuration, where the queue has the most headroom)
+    with the given queue configuration. *)
+
+val ablation_concurrency : scale -> Cffs_util.Tablefmt.t
+(** A4: the multi-client workload over queue depth × scheduling policy
+    (the async-pipeline extension): aggregate and per-class throughput,
+    observed queue depth, service-wait percentiles, coalescing. *)
 
 val run_all : scale -> unit
 (** Print every table above (E4 in both integrity modes). *)

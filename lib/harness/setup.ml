@@ -73,4 +73,10 @@ let instantiate setup =
       in
       { setup; env; cffs = Some fs; ffs = None }
 
+let cache_of inst =
+  match (inst.cffs, inst.ffs) with
+  | Some fs, _ -> Cffs.cache fs
+  | None, Some fs -> Ffs.cache fs
+  | None, None -> assert false
+
 let env ?policy fs = (instantiate (standard ?policy fs)).env

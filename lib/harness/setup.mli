@@ -46,5 +46,8 @@ val instantiate : t -> instance
 (** Create the drive, the block device and a freshly formatted file
     system. *)
 
+val cache_of : instance -> Cffs_cache.Cache.t
+(** The instance's buffer cache (whichever file system it mounts). *)
+
 val env : ?policy:Cffs_cache.Cache.policy -> fs_kind -> Cffs_workload.Env.t
 (** [instantiate (standard kind)] shorthand. *)

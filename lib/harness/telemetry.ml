@@ -115,6 +115,44 @@ let integrity_json () =
          "scrub.blocks_verified";
        ])
 
+(* The async-pipeline headline: the multi-client workload at queue depth 1
+   under FCFS (a queueless disk) vs a deep C-LOOK window with coalescing,
+   on the no-technique configuration — where the queue has the most
+   headroom, since grouping already captures small-file locality
+   synchronously. *)
+let concurrency_json () =
+  let module Mclient = Cffs_workload.Mclient in
+  let module Scheduler = Cffs_disk.Scheduler in
+  let params =
+    {
+      Mclient.default_params with
+      Mclient.nstreams = 4;
+      files_per_stream = 50;
+      large_mb = 2;
+    }
+  in
+  let run ~qdepth ~sched ~coalesce =
+    let inst =
+      Setup.instantiate (Setup.standard (Setup.Cffs_fs Cffs.config_ffs_like))
+    in
+    Mclient.run
+      ~params:{ params with Mclient.qdepth; sched; coalesce }
+      ~cache:(Setup.cache_of inst) inst.Setup.env
+  in
+  let base = run ~qdepth:1 ~sched:Scheduler.Fcfs ~coalesce:false in
+  let fast = run ~qdepth:8 ~sched:Scheduler.Clook ~coalesce:true in
+  let speedup =
+    if base.Mclient.small_kb_per_sec > 0.0 then
+      fast.Mclient.small_kb_per_sec /. base.Mclient.small_kb_per_sec
+    else 0.0
+  in
+  Json.Obj
+    [
+      ("baseline", Mclient.to_json base);
+      ("pipelined", Mclient.to_json fast);
+      ("small_read_speedup", Json.Float speedup);
+    ]
+
 let document ?(nfiles = 400) ?(file_bytes = 1024)
     ?(policy = Cffs_cache.Cache.Sync_metadata) ?(configs = default_pair) () =
   let runs = List.map (run_config ~nfiles ~file_bytes ~policy) configs in
@@ -127,6 +165,7 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
       ("policy", Json.String (Cffs_cache.Cache.policy_name policy));
       ("configs", Json.List (List.map config_to_json runs));
       ("integrity", integrity_json ());
+      ("concurrency", concurrency_json ());
       ("derived", Json.Obj (derived_json runs));
     ]
 

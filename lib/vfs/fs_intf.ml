@@ -28,6 +28,12 @@ module type LOW = sig
   val read_ino : t -> ino:int -> off:int -> len:int -> bytes Errno.result
   val write_ino : t -> ino:int -> off:int -> bytes -> unit Errno.result
   val truncate_ino : t -> ino:int -> size:int -> unit Errno.result
+
+  val data_runs : t -> ino:int -> (int * int) list Errno.result
+  (** The file's data blocks as physically contiguous [(start, nblocks)]
+      runs, in logical order (holes omitted).  This is the map a prefetcher
+      needs to turn one file into a handful of large tagged reads. *)
+
   val sync : t -> unit
   val remount : t -> unit
   val usage : t -> fs_usage
@@ -49,6 +55,7 @@ module type S = sig
   val truncate : t -> string -> int -> unit Errno.result
   val read : t -> string -> off:int -> len:int -> bytes Errno.result
   val write : t -> string -> off:int -> bytes -> unit Errno.result
+  val file_runs : t -> string -> (int * int) list Errno.result
   val read_file : t -> string -> bytes Errno.result
   val write_file : t -> string -> bytes -> unit Errno.result
   val append_file : t -> string -> bytes -> unit Errno.result

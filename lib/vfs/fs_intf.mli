@@ -40,6 +40,12 @@ module type LOW = sig
   val write_ino : t -> ino:int -> off:int -> bytes -> unit Errno.result
   val truncate_ino : t -> ino:int -> size:int -> unit Errno.result
 
+  val data_runs : t -> ino:int -> (int * int) list Errno.result
+  (** The file's data blocks as physically contiguous [(start, nblocks)]
+      runs, in logical order (holes omitted; [Eisdir] on directories).
+      This is the map a prefetcher needs to turn one file into a handful
+      of large tagged reads. *)
+
   val sync : t -> unit
   (** Push all delayed writes to the device. *)
 
@@ -69,6 +75,11 @@ module type S = sig
 
   val read : t -> string -> off:int -> len:int -> bytes Errno.result
   val write : t -> string -> off:int -> bytes -> unit Errno.result
+
+  val file_runs : t -> string -> (int * int) list Errno.result
+  (** {!LOW.data_runs} by path: the physically contiguous block runs
+      backing a file, for batched prefetch. *)
+
   val read_file : t -> string -> bytes Errno.result
   val write_file : t -> string -> bytes -> unit Errno.result
   (** Create (if needed), truncate, write. *)

@@ -111,6 +111,7 @@ module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
       (fun () -> guard (fun () -> F.write_ino fs ~ino ~off data))
 
   let truncate_ino fs ~ino ~size = guard (fun () -> F.truncate_ino fs ~ino ~size)
+  let data_runs fs ~ino = guard (fun () -> F.data_runs fs ~ino)
 
   let sync fs =
     (* [sync] has no error channel; the cache pins buffers it cannot write,

@@ -97,6 +97,10 @@ module Make (F : Fs_intf.LOW) = struct
     let* ino = resolve t p in
     F.write_ino t ~ino ~off data
 
+  let file_runs t p =
+    let* ino = resolve t p in
+    F.data_runs t ~ino
+
   let read_file t p =
     let* ino = resolve t p in
     let* st = F.stat_ino t ino in

@@ -431,6 +431,91 @@ let test_faultdev_barrier_bounds_journal () =
   check Alcotest.bytes "post-barrier write replayed" (block 'c')
     (Blockdev.read img2 3 1)
 
+(* ------------------------------------------------------------------ *)
+(* Faults on tagged in-flight requests: the pipeline isolates a failure to
+   the tag that covers it; only a power cut takes the rest of the queue
+   with it. *)
+
+let find_cqe cqes tag =
+  List.find (fun (c : Blockdev.cqe) -> c.Blockdev.cq_tag = tag) cqes
+
+let test_tagged_transient_isolated () =
+  let dev = mem () in
+  Blockdev.set_queue dev ~depth:4 ~policy:Cffs_disk.Scheduler.Clook () ;
+  Blockdev.set_injector dev
+    (Some
+       (fun op ~blk ~nblocks:_ ->
+         if op = Io_error.Write && blk = 30 then Blockdev.Fail Io_error.Transient
+         else Blockdev.Proceed));
+  let t1 = Blockdev.submit_write dev 10 (block 'a') in
+  let t2 = Blockdev.submit_write dev 30 (block 'b') in
+  let t3 = Blockdev.submit_write dev 50 (block 'c') in
+  let cqes = Blockdev.drain dev in
+  check Alcotest.int "three completions" 3 (List.length cqes);
+  (match (find_cqe cqes t2).Blockdev.cq_result with
+  | Error e ->
+      check Alcotest.bool "transient" true (e.Io_error.cause = Io_error.Transient)
+  | Ok _ -> Alcotest.fail "faulted tag must fail");
+  List.iter
+    (fun t ->
+      match (find_cqe cqes t).Blockdev.cq_result with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "healthy tag failed")
+    [ t1; t3 ];
+  Blockdev.set_injector dev None;
+  (* the rest of the batch reached the media *)
+  check Alcotest.bytes "t1 persisted" (block 'a') (Blockdev.read dev 10 1);
+  check Alcotest.bytes "t2 not persisted" (block '\000') (Blockdev.read dev 30 1);
+  check Alcotest.bytes "t3 persisted" (block 'c') (Blockdev.read dev 50 1)
+
+let test_tagged_power_cut_fails_rest () =
+  let dev = mem () in
+  Blockdev.set_queue dev ~depth:1 ~policy:Cffs_disk.Scheduler.Fcfs ();
+  Blockdev.set_injector dev
+    (Some
+       (fun op ~blk ~nblocks:_ ->
+         if op = Io_error.Write && blk = 20 then Blockdev.Fail Io_error.Power_cut
+         else Blockdev.Proceed));
+  let t1 = Blockdev.submit_write dev 10 (block 'a') in
+  let t2 = Blockdev.submit_write dev 20 (block 'b') in
+  let t3 = Blockdev.submit_write dev 31 (block 'c') in
+  let cqes = Blockdev.drain dev in
+  check Alcotest.int "three completions" 3 (List.length cqes);
+  (match (find_cqe cqes t1).Blockdev.cq_result with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "pre-cut request failed");
+  List.iter
+    (fun t ->
+      match (find_cqe cqes t).Blockdev.cq_result with
+      | Error e ->
+          check Alcotest.bool "power cut" true
+            (e.Io_error.cause = Io_error.Power_cut)
+      | Ok _ -> Alcotest.fail "post-cut request completed")
+    [ t2; t3 ];
+  Blockdev.set_injector dev None;
+  (* exactly the pre-cut prefix is on the media *)
+  check Alcotest.bytes "prefix" (block 'a') (Blockdev.read dev 10 1);
+  check Alcotest.bytes "cut" (block '\000') (Blockdev.read dev 20 1);
+  check Alcotest.bytes "after cut" (block '\000') (Blockdev.read dev 31 1)
+
+let test_tagged_matches_synchronous () =
+  (* the submit/drain pipeline and the synchronous calls are the same
+     machine: interleaving them keeps data coherent *)
+  let dev = timed () in
+  Blockdev.set_queue dev ~depth:8 ~policy:Cffs_disk.Scheduler.Clook ~coalesce:true ();
+  Blockdev.write dev 5 (block 'x');
+  let t = Blockdev.submit_write dev 6 (block 'y') in
+  let r = Blockdev.submit_read dev 5 1 in
+  let cqes = Blockdev.drain dev in
+  (match (find_cqe cqes r).Blockdev.cq_result with
+  | Ok d -> check Alcotest.bytes "tagged read sees sync write" (block 'x') d
+  | Error _ -> Alcotest.fail "tagged read failed");
+  (match (find_cqe cqes t).Blockdev.cq_result with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "tagged write failed");
+  check Alcotest.bytes "sync read sees tagged write" (block 'y')
+    (Blockdev.read dev 6 1)
+
 let () =
   Alcotest.run "cffs_blockdev"
     [
@@ -452,6 +537,15 @@ let () =
           Alcotest.test_case "materialize crash images" `Quick test_fault_materialize;
           Alcotest.test_case "mid-batch cut leaves prefix" `Quick
             test_fault_midbatch_prefix;
+        ] );
+      ( "tagged faults",
+        [
+          Alcotest.test_case "transient isolated to its tag" `Quick
+            test_tagged_transient_isolated;
+          Alcotest.test_case "power cut fails the rest" `Quick
+            test_tagged_power_cut_fails_rest;
+          Alcotest.test_case "pipeline coherent with sync ops" `Quick
+            test_tagged_matches_synchronous;
         ] );
       ( "timed",
         [

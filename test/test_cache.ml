@@ -444,6 +444,140 @@ let test_observer_events () =
   (* After detaching, nothing more is delivered. *)
   check Alcotest.int "observer detached" 5 (List.length !events)
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive readahead *)
+
+module Readahead = Cffs_cache.Readahead
+
+let drive_streak ra ino lblks =
+  (* advise-before-note, as the read path does; returns the advised
+     windows *)
+  List.map
+    (fun lblk ->
+      let w = Readahead.advise ra ~ino ~lblk in
+      Readahead.note ra ~ino ~lblk;
+      w)
+    lblks
+
+let test_readahead_window_doubles () =
+  let ra = Readahead.create ~max_window:16 () in
+  let widths = drive_streak ra 7 [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  (* first access is cold, the second only builds the streak; from there
+     the window doubles 2 -> 4 -> 8 and saturates at max_window *)
+  check (Alcotest.list Alcotest.int) "doubling to max" [ 0; 0; 2; 4; 8; 16; 16; 16 ]
+    widths;
+  check Alcotest.int "window getter" 16 (Readahead.window ra ~ino:7)
+
+let test_readahead_resets_on_seek () =
+  let ra = Readahead.create ~max_window:16 () in
+  let before = Registry.snapshot () in
+  ignore (drive_streak ra 7 [ 0; 1; 2; 3 ]);
+  check Alcotest.bool "streaking" true (Readahead.window ra ~ino:7 > 0);
+  (* a seek kills streak and window; the next sequential pair restarts
+     from the smallest window *)
+  ignore (drive_streak ra 7 [ 90 ]);
+  check Alcotest.int "reset" 0 (Readahead.window ra ~ino:7);
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  check Alcotest.bool "reset counted" true
+    (Registry.get_counter delta "cache.readahead_resets" > 0);
+  check (Alcotest.list Alcotest.int) "restarts small" [ 0; 2 ]
+    (drive_streak ra 7 [ 91; 92 ])
+
+let test_readahead_rereads_neutral () =
+  let ra = Readahead.create ~max_window:8 () in
+  ignore (drive_streak ra 3 [ 0; 1; 2 ]);
+  let w = Readahead.window ra ~ino:3 in
+  (* re-reading the current block neither grows nor resets *)
+  ignore (drive_streak ra 3 [ 2; 2 ]);
+  check Alcotest.int "unchanged" w (Readahead.window ra ~ino:3);
+  check Alcotest.bool "still streaking" true
+    (List.hd (drive_streak ra 3 [ 3 ]) > 0)
+
+let test_readahead_disabled () =
+  let ra = Readahead.create ~max_window:0 () in
+  check (Alcotest.list Alcotest.int) "never advises" [ 0; 0; 0; 0; 0 ]
+    (drive_streak ra 1 [ 0; 1; 2; 3; 4 ]);
+  check Alcotest.int "no window" 0 (Readahead.window ra ~ino:1)
+
+let test_readahead_independent_files () =
+  let ra = Readahead.create ~max_window:8 () in
+  ignore (drive_streak ra 1 [ 0; 1; 2; 3 ]);
+  (* interleaved random traffic on another file leaves file 1's streak
+     alone *)
+  ignore (drive_streak ra 2 [ 40; 7; 300 ]);
+  check Alcotest.bool "file 1 streaking" true (Readahead.window ra ~ino:1 > 0);
+  check Alcotest.int "file 2 idle" 0 (Readahead.window ra ~ino:2);
+  check Alcotest.bool "file 1 continues" true (List.hd (drive_streak ra 1 [ 4 ]) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Batched prefetch *)
+
+let reads dev = (Blockdev.stats dev).Request.Stats.reads
+
+let test_prefetch_single_request_per_run () =
+  let c, dev = mem_cache () in
+  for i = 0 to 9 do
+    Blockdev.write dev (100 + i) (block (Char.chr (Char.code 'a' + i)))
+  done;
+  let r0 = reads dev in
+  Cache.prefetch c [ (100, 10) ];
+  check Alcotest.int "one request" 1 (reads dev - r0);
+  for i = 0 to 9 do
+    check Alcotest.bool "resident" true (Cache.resident_block c (100 + i))
+  done;
+  (* contents arrived intact and later reads are hits *)
+  check Alcotest.bytes "data" (block 'c') (Cache.read c 102);
+  check Alcotest.int "no further requests" 1 (reads dev - r0)
+
+let test_prefetch_skips_resident () =
+  let c, dev = mem_cache () in
+  for i = 0 to 9 do
+    Blockdev.write dev (200 + i) (block 'x')
+  done;
+  (* make the middle of the run resident (and dirty, to prove prefetch
+     does not clobber it) *)
+  Cache.write c ~kind:`Data 204 (block 'd');
+  let r0 = reads dev in
+  Cache.prefetch c [ (200, 10) ];
+  (* split into the two non-resident sub-runs around block 204 *)
+  check Alcotest.int "two requests" 2 (reads dev - r0);
+  check Alcotest.bytes "dirty preserved" (block 'd') (Cache.read c 204);
+  let r1 = reads dev in
+  Cache.prefetch c [ (200, 10) ];
+  check Alcotest.int "fully resident: no requests" 0 (reads dev - r1)
+
+let test_prefetch_many_runs_one_drain () =
+  let c, dev = mem_cache () in
+  Blockdev.set_queue dev ~depth:8 ~policy:Cffs_disk.Scheduler.Clook ~coalesce:true ();
+  for i = 0 to 49 do
+    Blockdev.write dev (300 + i) (block 'y')
+  done;
+  let r0 = reads dev in
+  (* adjacent runs coalesce in the shared drain: fewer device requests
+     than runs *)
+  Cache.prefetch c [ (300, 10); (310, 10); (330, 10); (320, 10); (340, 10) ];
+  check Alcotest.bool "coalesced" true (reads dev - r0 < 5);
+  for i = 0 to 49 do
+    check Alcotest.bool "resident" true (Cache.resident_block c (300 + i))
+  done
+
+let test_prefetch_fault_swallowed () =
+  let c, dev = mem_cache () in
+  for i = 0 to 5 do
+    Blockdev.write dev (400 + i) (block 'z')
+  done;
+  Blockdev.set_injector dev
+    (Some
+       (fun op ~blk ~nblocks ->
+         if op = Cffs_util.Io_error.Read && blk <= 402 && 402 < blk + nblocks then
+           Blockdev.Fail Cffs_util.Io_error.Bad_sector
+         else Blockdev.Proceed));
+  Cache.prefetch c [ (400, 6) ];
+  Blockdev.set_injector dev None;
+  (* the faulted block stays non-resident; a direct read still works *)
+  check Alcotest.bool "bad block absent" false (Cache.resident_block c 402);
+  check Alcotest.bytes "read-through recovers" (block 'z') (Cache.read c 402)
+
 let () =
   Alcotest.run "cffs_cache"
     [
@@ -499,5 +633,26 @@ let () =
           Alcotest.test_case "crash" `Quick test_crash_loses_dirty;
           Alcotest.test_case "invalidate" `Quick test_invalidate;
           Alcotest.test_case "observer events" `Quick test_observer_events;
+        ] );
+      ( "readahead",
+        [
+          Alcotest.test_case "window doubles to max" `Quick
+            test_readahead_window_doubles;
+          Alcotest.test_case "seek resets" `Quick test_readahead_resets_on_seek;
+          Alcotest.test_case "re-reads neutral" `Quick test_readahead_rereads_neutral;
+          Alcotest.test_case "max_window 0 disables" `Quick test_readahead_disabled;
+          Alcotest.test_case "per-file state" `Quick
+            test_readahead_independent_files;
+        ] );
+      ( "prefetch",
+        [
+          Alcotest.test_case "one request per run" `Quick
+            test_prefetch_single_request_per_run;
+          Alcotest.test_case "skips resident, keeps dirty" `Quick
+            test_prefetch_skips_resident;
+          Alcotest.test_case "many runs share one drain" `Quick
+            test_prefetch_many_runs_one_drain;
+          Alcotest.test_case "read fault swallowed" `Quick
+            test_prefetch_fault_swallowed;
         ] );
     ]

@@ -409,6 +409,105 @@ let qcheck_config_equivalence =
            ]
          && run_ffs () = reference))
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive readahead through the read path (regression tests for the
+   async-pipeline extension): sequential streams must converge to the
+   configured window, random access must never trigger a prefetch, and
+   group reads must keep servicing grouped blocks without the readahead
+   path double-fetching them. *)
+
+module Registry = Cffs_obs.Registry
+
+let ra_config = { Cffs.config_ffs_like with Cffs.readahead_blocks = 8 }
+
+let seq_file fs ~blocks =
+  ok "w" (Cffs.write_file fs "/seq" (Bytes.make (blocks * 4096) 's'));
+  Cffs.remount fs
+
+let read_blk fs lblk =
+  ignore (ok "r" (Cffs.read fs "/seq" ~off:(lblk * 4096) ~len:4096))
+
+let test_readahead_sequential_reaches_max () =
+  let fs = fresh ra_config () in
+  seq_file fs ~blocks:32;
+  let before = Registry.snapshot () in
+  for l = 0 to 31 do
+    read_blk fs l
+  done;
+  let now = Registry.snapshot () in
+  let delta = Registry.diff now before in
+  check Alcotest.bool "readahead reads happened" true
+    (Registry.get_counter delta "cffs.readahead_reads" >= 3);
+  (* the adaptive window converged to the configured maximum *)
+  check (Alcotest.float 0.01) "window at max" 8.0
+    (Registry.get_gauge now "cache.readahead_window");
+  (* far fewer data requests than blocks: the stream travelled in runs *)
+  check Alcotest.bool "batched transfers" true
+    (Registry.get_counter delta "ioqueue.submitted" < 20)
+
+let test_readahead_random_stays_off () =
+  let fs = fresh ra_config () in
+  seq_file fs ~blocks:32;
+  let prng = Cffs_util.Prng.create 5 in
+  (* a random permutation with no two consecutive sequential pairs would
+     be overkill: plain random hits the seek path almost every access *)
+  let order = Array.init 32 (fun i -> i) in
+  Cffs_util.Prng.shuffle prng order;
+  let before = Registry.snapshot () in
+  Array.iter (read_blk fs) order;
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  check Alcotest.int "no readahead" 0
+    (Registry.get_counter delta "cffs.readahead_reads");
+  check Alcotest.bool "seeks reset the detector" true
+    (Registry.get_counter delta "cache.readahead_resets" > 0)
+
+let test_readahead_composes_with_group_reads () =
+  (* grouping on AND readahead on: a small grouped file is serviced by
+     frame reads alone — the readahead path must not fetch those blocks a
+     second time *)
+  let fs = fresh { Cffs.config_default with Cffs.readahead_blocks = 8 } () in
+  seq_file fs ~blocks:4;
+  let dev = Cache.device (Cffs.cache fs) in
+  let sectors0 = (Blockdev.stats dev).Request.Stats.read_sectors in
+  let before = Registry.snapshot () in
+  for l = 0 to 3 do
+    read_blk fs l
+  done;
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  check Alcotest.bool "group read serviced the file" true
+    (Registry.get_counter delta "cffs.group_reads" >= 1);
+  check Alcotest.int "no readahead on grouped blocks" 0
+    (Registry.get_counter delta "cffs.readahead_reads");
+  (* every data block travelled at most once: one 16-block frame covers
+     the whole file, so even with metadata the cold read moves well under
+     two frames' worth of sectors *)
+  let sectors = (Blockdev.stats dev).Request.Stats.read_sectors - sectors0 in
+  check Alcotest.bool "no double fetch" true (sectors <= 2 * 16 * 8)
+
+let test_file_runs () =
+  let fs = fresh_default () in
+  ok "w" (Cffs.write_file fs "/f" (Bytes.make (6 * 4096) 'r'));
+  let runs = ok "runs" (Cffs.file_runs fs "/f") in
+  check Alcotest.int "covers the file" 6
+    (List.fold_left (fun a (_, n) -> a + n) 0 runs);
+  (* runs are maximal: no two adjacent entries are physically contiguous *)
+  let rec maximal = function
+    | (s1, n1) :: ((s2, _) :: _ as rest) ->
+        s1 + n1 <> s2 && maximal rest
+    | _ -> true
+  in
+  check Alcotest.bool "maximal runs" true (maximal runs);
+  ok "mkdir" (Cffs.mkdir fs "/d");
+  (match Cffs.file_runs fs "/d" with
+  | Error Errno.Eisdir -> ()
+  | Ok _ | Error _ -> Alcotest.fail "file_runs on a directory must be Eisdir");
+  (* holes are omitted *)
+  ok "create" (Cffs.create fs "/sparse");
+  ok "far" (Cffs.write fs "/sparse" ~off:(100 * 4096) (Bytes.make 4096 'e'));
+  let sparse = ok "runs" (Cffs.file_runs fs "/sparse") in
+  check Alcotest.int "one block" 1
+    (List.fold_left (fun a (_, n) -> a + n) 0 sparse)
+
 let () =
   Alcotest.run "cffs"
     [
@@ -426,6 +525,16 @@ let () =
           Alcotest.test_case "fills" `Quick test_cdir_fills;
         ] );
       ("equivalence", [ qcheck_config_equivalence ]);
+      ( "readahead",
+        [
+          Alcotest.test_case "sequential reaches max window" `Quick
+            test_readahead_sequential_reaches_max;
+          Alcotest.test_case "random stays off" `Quick
+            test_readahead_random_stays_off;
+          Alcotest.test_case "composes with group reads" `Quick
+            test_readahead_composes_with_group_reads;
+          Alcotest.test_case "file_runs" `Quick test_file_runs;
+        ] );
       ("battery EI+EG", battery_default);
       ("battery none", battery_none);
       ("battery EI", battery_ei);

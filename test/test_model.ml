@@ -1,0 +1,392 @@
+(* Model-based differential testing: random operation sequences replayed
+   against a pure in-memory oracle and against the real file systems (FFS
+   and C-FFS under every write policy).  Each operation's outcome must
+   agree with the oracle's, and after the sequence (and again after a
+   remount) the visible state — full directory tree and every file's bytes
+   — must be identical.
+
+   Operations are generated as bounded-int tuples so QCheck's built-in
+   shrinkers minimise failing sequences; the decoder below maps them onto
+   a small closed name universe, which keeps collisions (the interesting
+   cases: EEXIST, ENOTEMPTY, rename-onto, ...) frequent.
+
+   The default run is sized for `dune runtest`; set MODEL_LONG=1 (the
+   @model alias does) for >= 10k operations per file-system/policy
+   combination. *)
+
+module Blockdev = Cffs_blockdev.Blockdev
+module Cache = Cffs_cache.Cache
+module Errno = Cffs_vfs.Errno
+module Fs_intf = Cffs_vfs.Fs_intf
+module Prng = Cffs_util.Prng
+
+let long_mode =
+  match Sys.getenv_opt "MODEL_LONG" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* The oracle: a pure map from paths to file contents plus a directory
+   set.  Just enough POSIX to mirror Fs_intf.S for the operations the
+   generator emits. *)
+
+module Oracle = struct
+  module M = Map.Make (String)
+
+  type t = { mutable files : bytes M.t; mutable dirs : M.key list }
+
+  let create () = { files = M.empty; dirs = [ "/" ] }
+
+  let is_dir t p = List.mem p t.dirs
+  let is_file t p = M.mem p t.files
+
+  let parent p =
+    match Filename.dirname p with "/" -> "/" | d -> d
+
+  let children t p =
+    let prefix = if p = "/" then "/" else p ^ "/" in
+    let direct q =
+      String.length q > String.length prefix
+      && String.sub q 0 (String.length prefix) = prefix
+      && not (String.contains_from q (String.length prefix) '/')
+    in
+    List.filter direct (List.map fst (M.bindings t.files))
+    @ List.filter direct t.dirs
+
+  let write_file t p data =
+    if is_dir t p then Error Errno.Eisdir
+    else if not (is_dir t (parent p)) then Error Errno.Enoent
+    else begin
+      t.files <- M.add p data t.files;
+      Ok ()
+    end
+
+  (* [create] is mknod: an existing name of either kind is Eexist. *)
+  let create_file t p =
+    if is_dir t p || is_file t p then Error Errno.Eexist
+    else if not (is_dir t (parent p)) then Error Errno.Enoent
+    else begin
+      t.files <- M.add p Bytes.empty t.files;
+      Ok ()
+    end
+
+  let read_file t p =
+    if is_dir t p then Error Errno.Eisdir
+    else
+      match M.find_opt p t.files with
+      | Some d -> Ok d
+      | None -> Error Errno.Enoent
+
+  (* [append_file] resolves the path first: no O_CREAT. *)
+  let append_file t p data =
+    if is_dir t p then Error Errno.Eisdir
+    else
+      match M.find_opt p t.files with
+      | None -> Error Errno.Enoent
+      | Some old ->
+          t.files <- M.add p (Bytes.cat old data) t.files;
+          Ok ()
+
+  let mkdir t p =
+    if is_dir t p || is_file t p then Error Errno.Eexist
+    else if not (is_dir t (parent p)) then Error Errno.Enoent
+    else begin
+      t.dirs <- p :: t.dirs;
+      Ok ()
+    end
+
+  let unlink t p =
+    if is_dir t p then Error Errno.Eisdir
+    else if not (is_file t p) then Error Errno.Enoent
+    else begin
+      t.files <- M.remove p t.files;
+      Ok ()
+    end
+
+  let rmdir t p =
+    if is_file t p then Error Errno.Enotdir
+    else if not (is_dir t p) then Error Errno.Enoent
+    else if p = "/" then Error Errno.Einval
+    else if children t p <> [] then Error Errno.Enotempty
+    else begin
+      t.dirs <- List.filter (fun d -> d <> p) t.dirs;
+      Ok ()
+    end
+
+  (* Mirrors [Pathfs.rename_path] + the file systems' [rename]: the
+     identity and own-subtree checks are purely syntactic (they fire
+     before any resolution); an existing destination {e directory} is
+     always Eexist; an existing destination {e file} is replaced, even
+     when the source is a directory. *)
+  let rename t ~src ~dst =
+    let under d p =
+      String.length p > String.length d + 1
+      && String.sub p 0 (String.length d + 1) = d ^ "/"
+    in
+    if src = dst then Ok ()
+    else if under src dst then Error Errno.Einval
+    else if not (is_file t src || is_dir t src) then Error Errno.Enoent
+    else if not (is_dir t (parent dst)) then Error Errno.Enoent
+    else if is_dir t dst then Error Errno.Eexist
+    else begin
+      (* any existing destination file is removed *)
+      t.files <- M.remove dst t.files;
+      if is_file t src then begin
+        let data = M.find src t.files in
+        t.files <- M.add dst data (M.remove src t.files);
+        Ok ()
+      end
+      else begin
+        (* move the whole subtree *)
+        let rewrite p =
+          dst ^ String.sub p (String.length src) (String.length p - String.length src)
+        in
+        t.dirs <-
+          List.map (fun d -> if d = src || under src d then rewrite d else d) t.dirs;
+        t.files <-
+          M.fold
+            (fun p v acc -> M.add (if under src p then rewrite p else p) v acc)
+            t.files M.empty;
+        Ok ()
+      end
+    end
+
+  let truncate t p size =
+    if is_dir t p then Error Errno.Eisdir
+    else
+      match M.find_opt p t.files with
+      | None -> Error Errno.Enoent
+      | Some d ->
+          let n = Bytes.length d in
+          let d' =
+            if size <= n then Bytes.sub d 0 size
+            else Bytes.cat d (Bytes.make (size - n) '\000')
+          in
+          t.files <- M.add p d' t.files;
+          Ok ()
+
+  let listing t p =
+    if is_dir t p then Ok (List.sort compare (children t p)) else Error Errno.Enoent
+end
+
+(* ------------------------------------------------------------------ *)
+(* Operation universe.  Names come from a fixed pool so sequences revisit
+   the same paths; directories nest two deep at most. *)
+
+let dir_pool = [| "/d0"; "/d1"; "/d2"; "/d0/e0"; "/d0/e1"; "/d1/e0" |]
+let name_pool = [| "a"; "b"; "c"; "longer-file-name"; "z" |]
+
+type op =
+  | Create of string
+  | Write of string * int * int (* path, bytes, seed *)
+  | Append of string * int * int
+  | Read of string
+  | Truncate of string * int
+  | Unlink of string
+  | Mkdir of string
+  | Rmdir of string
+  | Rename of string * string
+  | Sync
+  | Remount
+
+(* A path is (dir index in 0..6, name index): dir index 6 means the pool
+   dir itself (so rmdir/rename can hit directories). *)
+let decode_path a b =
+  let a = a mod 7 and b = b mod 5 in
+  if a = 6 then dir_pool.(b mod Array.length dir_pool)
+  else dir_pool.(a mod Array.length dir_pool) ^ "/" ^ name_pool.(b)
+
+let decode (kind, a, b, c) =
+  match kind mod 11 with
+  | 0 -> Create (decode_path a b)
+  | 1 -> Write (decode_path a b, 1 + (c * 977 mod 70000), c)
+  | 2 -> Append (decode_path a b, 1 + (c * 131 mod 9000), c)
+  | 3 -> Read (decode_path a b)
+  | 4 -> Truncate (decode_path a b, c * 613 mod 50000)
+  | 5 -> Unlink (decode_path a b)
+  | 6 -> Mkdir (decode_path a b)
+  | 7 -> Rmdir (decode_path a b)
+  | 8 -> Rename (decode_path a b, decode_path c (a + c))
+  | 9 -> Sync
+  | _ -> Remount
+
+let op_name = function
+  | Create p -> "create " ^ p
+  | Write (p, n, _) -> Printf.sprintf "write %s (%d B)" p n
+  | Append (p, n, _) -> Printf.sprintf "append %s (%d B)" p n
+  | Read p -> "read " ^ p
+  | Truncate (p, n) -> Printf.sprintf "truncate %s %d" p n
+  | Unlink p -> "unlink " ^ p
+  | Mkdir p -> "mkdir " ^ p
+  | Rmdir p -> "rmdir " ^ p
+  | Rename (s, d) -> Printf.sprintf "rename %s -> %s" s d
+  | Sync -> "sync"
+  | Remount -> "remount"
+
+let payload n seed =
+  let prng = Prng.create (0x5eed + seed) in
+  Prng.bytes prng n
+
+(* ------------------------------------------------------------------ *)
+(* Differential execution. *)
+
+module Run (F : Fs_intf.S) = struct
+  (* Apply one op to both sides; fail on success/failure disagreement.
+     (Exact errno agreement is deliberately not required — the oracle's
+     error priorities may differ from the implementations' on doubly
+     invalid operations — but the success boolean must match.) *)
+  let step fs oracle i op =
+    let agree what (real : _ Errno.result) (model : _ Errno.result) =
+      match (real, model) with
+      | Ok _, Ok _ | Error _, Error _ -> ()
+      | Ok _, Error e ->
+          QCheck.Test.fail_reportf "op %d (%s): fs succeeded, model says %s" i
+            what (Errno.to_string e)
+      | Error e, Ok _ ->
+          QCheck.Test.fail_reportf "op %d (%s): model succeeded, fs says %s" i
+            what (Errno.to_string e)
+    in
+    match op with
+    | Create p -> agree (op_name op) (F.create fs p) (Oracle.create_file oracle p)
+    | Write (p, n, seed) ->
+        let data = payload n seed in
+        agree (op_name op) (F.write_file fs p data)
+          (Oracle.write_file oracle p data)
+    | Append (p, n, seed) ->
+        let data = payload n seed in
+        agree (op_name op) (F.append_file fs p data)
+          (Oracle.append_file oracle p data)
+    | Read p -> (
+        let real = F.read_file fs p and model = Oracle.read_file oracle p in
+        agree (op_name op) real model;
+        match (real, model) with
+        | Ok r, Ok m ->
+            if not (Bytes.equal r m) then
+              QCheck.Test.fail_reportf "op %d (%s): contents differ (%d vs %d B)"
+                i (op_name op) (Bytes.length r) (Bytes.length m)
+        | _ -> ())
+    | Truncate (p, n) ->
+        agree (op_name op) (F.truncate fs p n) (Oracle.truncate oracle p n)
+    | Unlink p -> agree (op_name op) (F.unlink fs p) (Oracle.unlink oracle p)
+    | Mkdir p -> agree (op_name op) (F.mkdir fs p) (Oracle.mkdir oracle p)
+    | Rmdir p -> agree (op_name op) (F.rmdir fs p) (Oracle.rmdir oracle p)
+    | Rename (src, dst) ->
+        agree (op_name op)
+          (F.rename_path fs ~src ~dst)
+          (Oracle.rename oracle ~src ~dst)
+    | Sync -> F.sync fs
+    | Remount -> F.remount fs
+
+  (* Full-state comparison: identical directory listings everywhere and
+     byte-identical file contents. *)
+  let compare_state what fs oracle =
+    let rec walk dir =
+      let real =
+        match F.list_dir fs dir with
+        | Ok l -> l
+        | Error e ->
+            QCheck.Test.fail_reportf "%s: list %s failed: %s" what dir
+              (Errno.to_string e)
+      in
+      let model =
+        List.map Filename.basename (Errno.get_ok "model ls" (Oracle.listing oracle dir))
+        |> List.sort compare
+      in
+      if real <> model then
+        QCheck.Test.fail_reportf "%s: listing of %s differs: fs=[%s] model=[%s]"
+          what dir (String.concat " " real) (String.concat " " model);
+      List.iter
+        (fun name ->
+          let p = (if dir = "/" then "" else dir) ^ "/" ^ name in
+          if Oracle.is_dir oracle p then walk p
+          else
+            let r = Errno.get_ok ("read " ^ p) (F.read_file fs p) in
+            let m = Errno.get_ok "model read" (Oracle.read_file oracle p) in
+            if not (Bytes.equal r m) then
+              QCheck.Test.fail_reportf "%s: %s differs (%d vs %d B)" what p
+                (Bytes.length r) (Bytes.length m))
+        real
+    in
+    walk "/"
+
+  let run mk_fs raw_ops =
+    let fs = mk_fs () in
+    let oracle = Oracle.create () in
+    List.iteri (fun i raw -> step fs oracle i (decode raw)) raw_ops;
+    compare_state "after sequence" fs oracle;
+    F.remount fs;
+    compare_state "after remount" fs oracle;
+    true
+end
+
+module Run_ffs = Run (Ffs)
+module Run_cffs = Run (Cffs)
+
+(* ------------------------------------------------------------------ *)
+(* The combos: both file systems x every write policy.  C-FFS runs its
+   default configuration (embedded inodes + grouping); FFS is the
+   baseline.  6 MB memory devices keep Enospc out of reach of the
+   generator's ~70 KB files. *)
+
+let policies =
+  [ Cache.Write_through; Cache.Sync_metadata; Cache.Delayed; Cache.Soft_updates ]
+
+let dev () = Blockdev.memory ~block_size:4096 ~nblocks:6144
+
+let combos =
+  List.concat_map
+    (fun policy ->
+      [
+        ( Printf.sprintf "ffs/%s" (Cache.policy_name policy),
+          fun ops -> Run_ffs.run (fun () -> Ffs.format ~policy (dev ())) ops );
+        ( Printf.sprintf "cffs/%s" (Cache.policy_name policy),
+          fun ops ->
+            Run_cffs.run
+              (fun () -> Cffs.format ~config:Cffs.config_default ~policy (dev ()))
+              ops );
+      ])
+    policies
+
+(* Sequence length and case count: the short mode keeps `dune runtest`
+   quick; MODEL_LONG pushes past 10k ops per combo (count x max length). *)
+let cases, max_len = if long_mode then (160, 140) else (25, 40)
+
+let raw_ops_gen =
+  QCheck.(
+    list_of_size
+      Gen.(int_range 5 max_len)
+      (quad (int_bound 10) (int_bound 6) (int_bound 4) small_nat))
+
+let model_tests =
+  List.map
+    (fun (name, f) ->
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~count:cases ~name:("model: " ^ name) raw_ops_gen f))
+    combos
+
+(* One deterministic deep sequence per FS so even the short mode exercises
+   long histories (many generations of create/delete in one directory). *)
+let test_churn mk_fs run () =
+  let prng = Prng.create 77 in
+  let ops =
+    List.init 600 (fun _ ->
+        (Prng.int prng 11, Prng.int prng 7, Prng.int prng 5, Prng.int prng 100))
+  in
+  ignore (run mk_fs ops)
+
+let () =
+  Alcotest.run "model"
+    [
+      ("differential", model_tests);
+      ( "churn",
+        [
+          Alcotest.test_case "ffs churn" `Quick
+            (test_churn (fun () -> Ffs.format ~policy:Cache.Delayed (dev ())) Run_ffs.run);
+          Alcotest.test_case "cffs churn" `Quick
+            (test_churn
+               (fun () ->
+                 Cffs.format ~config:Cffs.config_default ~policy:Cache.Soft_updates
+                   (dev ()))
+               Run_cffs.run);
+        ] );
+    ]
