@@ -77,6 +77,8 @@ let table_tests =
         (Staged.stage (fun () -> ignore (Experiments.table_breakdown q)));
       Test.make ~name:"ablation_readahead"
         (Staged.stage (fun () -> ignore (Experiments.ablation_readahead q)));
+      Test.make ~name:"ablation_namei"
+        (Staged.stage (fun () -> ignore (Experiments.ablation_namei q)));
     ]
 
 (* Core machinery micro-benchmarks. *)
@@ -209,6 +211,22 @@ let () =
     if not integrity_ok then begin
       prerr_endline
         "telemetry document is missing the integrity counter section";
+      exit 1
+    end;
+    (* Same contract for the dentry/attribute cache section. *)
+    let namei_ok =
+      match doc with
+      | Cffs_obs.Json.Obj fields -> (
+          match List.assoc_opt "namei" fields with
+          | Some (Cffs_obs.Json.Obj section) ->
+              List.for_all
+                (fun k -> List.mem_assoc k section)
+                Cffs_harness.Telemetry.namei_counter_names
+          | _ -> false)
+      | _ -> false
+    in
+    if not namei_ok then begin
+      prerr_endline "telemetry document is missing the namei counter section";
       exit 1
     end;
     print_endline (Cffs_obs.Json.to_string_pretty doc)

@@ -479,7 +479,7 @@ let dump_cmd =
 let experiment_names =
   [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "table3";
     "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead";
-    "concurrency"; "all" ]
+    "concurrency"; "namei"; "all" ]
 
 let experiment_cmd =
   let run name quick =
@@ -508,6 +508,7 @@ let experiment_cmd =
     | "groupsize" -> p (Experiments.ablation_group_size scale)
     | "readahead" -> p (Experiments.ablation_readahead scale)
     | "concurrency" -> p (Experiments.ablation_concurrency scale)
+    | "namei" -> p (Experiments.ablation_namei scale)
     | "all" -> Experiments.run_all scale
     | other ->
         Printf.eprintf "unknown experiment %S; one of: %s\n" other
@@ -580,6 +581,130 @@ let stats_cmd =
           report the observability metrics (per-op latency percentiles, disk \
           access counts, seek/rotation/transfer split, C-FFS counters).")
     Term.(const run $ json $ nfiles $ policy)
+
+(* ------------------------------------------------------------------ *)
+(* Stat-heavy benchmark (the namei caches' workload) *)
+
+let statbench_cmd =
+  let module Statbench = Cffs_workload.Statbench in
+  let module Namei = Cffs_namei.Namei in
+  let run json dirs files_per_dir repeats cache_blocks no_namei capacity =
+    let scale =
+      {
+        Experiments.quick with
+        Experiments.stat_dirs = dirs;
+        stat_files_per_dir = files_per_dir;
+        stat_repeats = repeats;
+        stat_cache_blocks = cache_blocks;
+      }
+    in
+    if json then begin
+      print_endline
+        (Cffs_obs.Json.to_string_pretty
+           (Cffs_harness.Telemetry.statbench_document ~scale ()));
+      0
+    end
+    else begin
+      let namei =
+        if no_namei then Namei.config_disabled
+        else
+          { Namei.config_default with Namei.capacity; attr_capacity = capacity }
+      in
+      List.iter
+        (fun fs ->
+          let results, delta =
+            Experiments.run_statbench scale ~fs ~namei
+          in
+          let t =
+            Cffs_util.Tablefmt.create
+              ~title:
+                (Printf.sprintf
+                   "%s — statbench, %d dirs x %d files, namei %s, %d-block \
+                    cache"
+                   (Cffs_harness.Setup.fs_kind_label fs)
+                   dirs files_per_dir
+                   (if no_namei then "off" else "on")
+                   cache_blocks)
+              [
+                ("phase", Cffs_util.Tablefmt.Left);
+                ("ops", Cffs_util.Tablefmt.Right);
+                ("seconds", Cffs_util.Tablefmt.Right);
+                ("ops/s", Cffs_util.Tablefmt.Right);
+                ("reads", Cffs_util.Tablefmt.Right);
+                ("writes", Cffs_util.Tablefmt.Right);
+              ]
+          in
+          List.iter
+            (fun (r : Statbench.result) ->
+              Cffs_util.Tablefmt.add_row t
+                [
+                  Statbench.phase_name r.Statbench.phase;
+                  string_of_int r.Statbench.nops;
+                  Cffs_util.Tablefmt.fmt_float ~decimals:3
+                    r.Statbench.measure.Cffs_workload.Env.seconds;
+                  Cffs_util.Tablefmt.fmt_float ~decimals:0
+                    r.Statbench.ops_per_sec;
+                  string_of_int r.Statbench.measure.Cffs_workload.Env.reads;
+                  string_of_int r.Statbench.measure.Cffs_workload.Env.writes;
+                ])
+            results;
+          Cffs_util.Tablefmt.print t;
+          print_newline ();
+          List.iter
+            (fun name ->
+              Printf.printf "  %-26s %d\n" name
+                (Cffs_obs.Registry.get_counter delta name))
+            Cffs_harness.Telemetry.namei_counter_names;
+          print_newline ())
+        [
+          Cffs_harness.Setup.Ffs_baseline;
+          Cffs_harness.Setup.Cffs_fs Cffs.config_default;
+        ];
+      0
+    end
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON telemetry document.")
+  in
+  let dirs =
+    Arg.(value & opt int 64 & info [ "dirs" ] ~docv:"N" ~doc:"Directories.")
+  in
+  let files_per_dir =
+    Arg.(value & opt int 16
+         & info [ "files-per-dir" ] ~docv:"N" ~doc:"Files per directory.")
+  in
+  let repeats =
+    Arg.(value & opt int 3
+         & info [ "repeats" ] ~docv:"N" ~doc:"Warm stat sweeps.")
+  in
+  let cache_blocks =
+    Arg.(value & opt int 48
+         & info [ "cache-blocks" ] ~docv:"N"
+             ~doc:
+               "Buffer-cache size in blocks (kept below the metadata working \
+                set so uncached warm resolution pays disk time).")
+  in
+  let no_namei =
+    Arg.(value & flag
+         & info [ "no-namei" ]
+             ~doc:"Disable the dentry/attribute cache (table mode only).")
+  in
+  let capacity =
+    Arg.(value & opt int 4096
+         & info [ "namei-capacity" ] ~docv:"N"
+             ~doc:"Dentry and attribute cache capacity (table mode only).")
+  in
+  Cmd.v
+    (Cmd.info "statbench"
+       ~doc:
+         "Stat-heavy benchmark: cold and warm directory listings \
+          (readdir_plus) and repeated per-file stats on FFS and C-FFS, \
+          exercising the dentry/attribute caches.  --json runs both file \
+          systems with the caches off and on and emits the cffs-telemetry-v1 \
+          document with the derived warm-stat speedup.")
+    Term.(
+      const run $ json $ dirs $ files_per_dir $ repeats $ cache_blocks
+      $ no_namei $ capacity)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-client benchmark *)
@@ -758,8 +883,8 @@ let () =
       [
         mkfs_cmd; fsck_cmd; scrub_cmd; ls_cmd; tree_cmd; cat_cmd; put_cmd; get_cmd; mkdir_cmd;
         rm_cmd; mv_cmd; df_cmd; dump_cmd; synth_trace_cmd; replay_cmd;
-        trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd; mcbench_cmd;
-        crashtest_cmd;
+        trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd; statbench_cmd;
+        mcbench_cmd; crashtest_cmd;
       ]
   in
   exit (Cmd.eval' group)

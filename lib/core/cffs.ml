@@ -54,11 +54,15 @@ type t = {
       (** replica slots (0 = superblock, 1+cg = group descriptor) whose
           primary changed since the last {!sync}; refreshed at the sync
           barrier so replication costs nothing on the alloc/free hot path *)
+  namei : Cffs_namei.Namei.t;
+      (** per-mount dentry + attribute caches (the namei layer wraps
+          [Low] below; this is only the state it keys off) *)
 }
 
 let cache t = t.cache
 let superblock t = t.sb
 let integrity t = Cache.integrity t.cache
+let namei t = t.namei
 
 let config t =
   {
@@ -378,7 +382,11 @@ let write_inode t ino inode ~kind : unit Errno.result =
         Ok ()
   end
 
-let write_inode_raw t ino inode = write_inode t ino inode ~kind:`Meta
+let write_inode_raw t ino inode =
+  (* Fsck rewrites inodes behind the namespace's back; whatever the namei
+     layer cached about them is no longer truth. *)
+  Cffs_namei.Namei.flush t.namei;
+  write_inode t ino inode ~kind:`Meta
 
 (* ------------------------------------------------------------------ *)
 (* External inode allocation (the IFILE-like structure: grows as needed,
@@ -1139,16 +1147,61 @@ let readdir t ~dir =
   List.iter (fun (_, ino) -> Hashtbl.replace t.parents ino dir) entries;
   Ok entries
 
+let stat_of t ino (inode : Inode.t) =
+  {
+    Fs_intf.st_ino = ino;
+    st_kind = inode.Inode.kind;
+    st_size = inode.Inode.size;
+    st_nlink = inode.Inode.nlink;
+    st_blocks = Bmap.count t.cache inode;
+  }
+
 let stat_ino t ino =
   let* inode = read_inode t ino in
-  Ok
-    {
-      Fs_intf.st_ino = ino;
-      st_kind = inode.Inode.kind;
-      st_size = inode.Inode.size;
-      st_nlink = inode.Inode.nlink;
-      st_blocks = Bmap.count t.cache inode;
-    }
+  Ok (stat_of t ino inode)
+
+(* The bulk stat operation the paper's embedded-inode layout makes free:
+   each directory block already carries the inodes of the (non-linked)
+   files it names, so one pass over the directory's blocks yields every
+   (name, stat) pair without touching the external inode file.  Only
+   externalized (multi-link) entries cost an inode fetch — and on the
+   no-embed configuration every entry does, which is the honest FFS-like
+   cost the stat benchmark exposes. *)
+let readdir_plus t ~dir =
+  let* dinode = lookup_dir_inode t dir in
+  if t.sb.Csb.embed_inodes then begin
+    let acc = ref [] in
+    let* _none =
+      dir_scan t ~dir dinode (fun ~lblk:_ ~pblock b ->
+          Cdir.iter b (fun e ->
+              if e.Cdir.embedded then begin
+                let ino = embed_ino t ~pblock ~chunk:e.Cdir.chunk in
+                let inode = Cdir.read_inode b e.Cdir.chunk in
+                Obs.incr m_embedded_hits;
+                Hashtbl.replace t.parents ino dir;
+                acc := (e.Cdir.name, stat_of t ino inode) :: !acc
+              end
+              else begin
+                match read_inode t e.Cdir.ext_ino with
+                | Ok inode ->
+                    Hashtbl.replace t.parents e.Cdir.ext_ino dir;
+                    acc := (e.Cdir.name, stat_of t e.Cdir.ext_ino inode) :: !acc
+                | Error _ -> ()
+              end);
+          None)
+    in
+    Ok (List.rev !acc)
+  end
+  else begin
+    let* entries = readdir t ~dir in
+    Ok
+      (List.filter_map
+         (fun (name, ino) ->
+           match stat_ino t ino with
+           | Ok st -> Some (name, st)
+           | Error _ -> None)
+         entries)
+  end
 
 let data_runs t ~ino =
   let* inode = read_inode t ino in
@@ -1334,7 +1387,8 @@ let grouped_fraction ?(under = "/") t =
 (* Formatting and mounting. *)
 
 let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks = 4096)
-    ?(integrity = false) ?(spare_blocks = 64) dev =
+    ?(integrity = false) ?(spare_blocks = 64)
+    ?(namei = Cffs_namei.Namei.config_default) dev =
   let block_size = Blockdev.block_size dev in
   let ig = if integrity then Some (Integrity.format ~spare_blocks dev) else None in
   let nblocks =
@@ -1361,6 +1415,7 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
       parents = Hashtbl.create 1024;
       frame_drought = false;
       replica_dirty = Hashtbl.create 16;
+      namei = Cffs_namei.Namei.create ~config:namei ();
     }
   in
   for cg = 0 to sb.Csb.cg_count - 1 do
@@ -1383,7 +1438,8 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
   Cache.flush cache;
   t
 
-let mount ?policy ?(cache_blocks = 4096) dev =
+let mount ?policy ?(cache_blocks = 4096)
+    ?(namei = Cffs_namei.Namei.config_default) dev =
   let ig = Integrity.attach dev in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;
@@ -1416,6 +1472,7 @@ let mount ?policy ?(cache_blocks = 4096) dev =
           parents = Hashtbl.create 1024;
           frame_drought = false;
           replica_dirty = Hashtbl.create 16;
+          namei = Cffs_namei.Namei.create ~config:namei ();
         }
       in
       rescan_ext_free t;
@@ -1435,6 +1492,7 @@ module Low = Cffs_vfs.Obs_low.Make (struct
   let hardlink = hardlink
   let rename = rename
   let readdir = readdir
+  let readdir_plus = readdir_plus
   let stat_ino = stat_ino
   let read_ino = read_ino
   let write_ino = write_ino
@@ -1447,15 +1505,35 @@ module Low = Cffs_vfs.Obs_low.Make (struct
   let prefix = "cffs"
 end)
 
-(* Re-export the instrumented entry points so direct callers (workloads,
-   fsck, tests) are measured identically to path-level access. *)
-let lookup = Low.lookup
-let mknod = Low.mknod
-let remove = Low.remove
-let read_ino = Low.read_ino
-let write_ino = Low.write_ino
+(* The namei layer interposes between the instrumented LOW and the path
+   API: lookups and stats are served from the per-mount dentry/attribute
+   caches, mutations invalidate them (see lib/namei).  The obs spans
+   therefore time only real file-system work — a dentry hit never touches
+   [Low]. *)
+module Cached = Cffs_namei.Namei.Make (struct
+  include Low
 
-module Pathops = Cffs_vfs.Pathfs.Make (Low)
+  let namei = namei
+end)
+
+(* Re-export the cached, instrumented entry points so direct callers
+   (workloads, fsck, tests) see exactly what path-level access sees —
+   anything else would let a direct mutation leave a stale cache entry
+   behind. *)
+let lookup = Cached.lookup
+let mknod = Cached.mknod
+let remove = Cached.remove
+let hardlink = Cached.hardlink
+let rename = Cached.rename
+let readdir = Cached.readdir
+let readdir_plus = Cached.readdir_plus
+let stat_ino = Cached.stat_ino
+let read_ino = Cached.read_ino
+let write_ino = Cached.write_ino
+let truncate_ino = Cached.truncate_ino
+let remount = Cached.remount
+
+module Pathops = Cffs_vfs.Pathfs.Make (Cached)
 
 let resolve = Pathops.resolve
 let create = Pathops.create
@@ -1475,3 +1553,4 @@ let read_file = Pathops.read_file
 let write_file = Pathops.write_file
 let append_file = Pathops.append_file
 let list_dir = Pathops.list_dir
+let list_dir_plus = Pathops.list_dir_plus

@@ -66,9 +66,13 @@ val format :
   ?cache_blocks:int ->
   ?integrity:bool ->
   ?spare_blocks:int ->
+  ?namei:Cffs_namei.Namei.config ->
   Cffs_blockdev.Blockdev.t ->
   t
-(** [?integrity] (default [false]) formats the tail of the device as an
+(** [?namei] configures the per-mount dentry/attribute cache (default
+    {!Cffs_namei.Namei.config_default}; pass
+    {!Cffs_namei.Namei.config_disabled} for uncached resolution).
+    [?integrity] (default [false]) formats the tail of the device as an
     {!Cffs_blockdev.Integrity} region — per-block checksums, a
     [?spare_blocks]-block remap pool (default 64) and a replicated remap
     table — and shrinks the file system to the remaining data blocks.
@@ -78,6 +82,7 @@ val format :
 val mount :
   ?policy:Cffs_cache.Cache.policy ->
   ?cache_blocks:int ->
+  ?namei:Cffs_namei.Namei.config ->
   Cffs_blockdev.Blockdev.t ->
   t option
 (** Detects an integrity region automatically ({!Cffs_blockdev.Integrity.attach}).
@@ -87,6 +92,9 @@ val mount :
 val cache : t -> Cffs_cache.Cache.t
 val superblock : t -> Csb.t
 val config : t -> config
+
+val namei : t -> Cffs_namei.Namei.t
+(** The mount's dentry/attribute cache state (for tests and telemetry). *)
 
 val integrity : t -> Cffs_blockdev.Integrity.t option
 (** The integrity layer the cache routes through, if the volume has one. *)

@@ -12,10 +12,14 @@ type t = {
   cache : Cache.t;
   sb : Layout.sb;
   mutable dir_rotor : int; (* round-robin start for directory placement *)
+  namei : Cffs_namei.Namei.t;
+      (* per-mount dentry + attribute caches (keyed off by the namei
+         interposer below) *)
 }
 
 let cache t = t.cache
 let superblock t = t.sb
+let namei t = t.namei
 let bs t = t.sb.Layout.block_size
 
 (* ------------------------------------------------------------------ *)
@@ -645,6 +649,18 @@ let stat_ino t ino =
       st_blocks = count_blocks t inode;
     }
 
+(* FFS has no embedded inodes: the bulk stat walks the directory and then
+   pays one inode-table fetch per entry — the honest per-name cost the
+   paper's embedded layout eliminates, kept visible here so the stat
+   benchmark can expose the asymmetry. *)
+let readdir_plus t ~dir =
+  let* entries = readdir t ~dir in
+  Ok
+    (List.filter_map
+       (fun (name, ino) ->
+         match stat_ino t ino with Ok st -> Some (name, st) | Error _ -> None)
+       entries)
+
 let data_runs t ~ino =
   let* inode = read_inode t ino in
   if inode.Inode.kind = Inode.Directory then Error Eisdir
@@ -698,7 +714,8 @@ let file_clusterer ~prev ~next =
   | _ -> false
 
 let format ?(cg_size = 2048) ?(inodes_per_cg = 1024) ?policy ?(cache_blocks = 4096)
-    ?(integrity = false) ?(spare_blocks = 64) dev =
+    ?(integrity = false) ?(spare_blocks = 64)
+    ?(namei = Cffs_namei.Namei.config_default) dev =
   let block_size = Blockdev.block_size dev in
   (* FFS gets checksums and bad-sector remapping only — no metadata
      replicas (that degree of self-healing is C-FFS's; see Cffs.format). *)
@@ -715,7 +732,9 @@ let format ?(cg_size = 2048) ?(inodes_per_cg = 1024) ?policy ?(cache_blocks = 40
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;
   Cache.set_clusterer cache file_clusterer;
-  let t = { cache; sb; dir_rotor = 0 } in
+  let t =
+    { cache; sb; dir_rotor = 0; namei = Cffs_namei.Namei.create ~config:namei () }
+  in
   let sbb = Bytes.make block_size '\000' in
   Layout.encode_sb sb sbb;
   Cache.write cache ~kind:`Meta 0 sbb;
@@ -754,14 +773,17 @@ let format ?(cg_size = 2048) ?(inodes_per_cg = 1024) ?policy ?(cache_blocks = 40
   Cache.flush cache;
   t
 
-let mount ?policy ?(cache_blocks = 4096) dev =
+let mount ?policy ?(cache_blocks = 4096)
+    ?(namei = Cffs_namei.Namei.config_default) dev =
   let ig = Cffs_blockdev.Integrity.attach dev in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;
   Cache.set_clusterer cache file_clusterer;
   match Layout.decode_sb (Cache.read cache 0) with
   | None -> None
-  | Some sb -> Some { cache; sb; dir_rotor = 0 }
+  | Some sb ->
+      Some
+        { cache; sb; dir_rotor = 0; namei = Cffs_namei.Namei.create ~config:namei () }
 
 (* ------------------------------------------------------------------ *)
 (* Path-level interface. *)
@@ -777,6 +799,7 @@ module Low = Cffs_vfs.Obs_low.Make (struct
   let hardlink = hardlink
   let rename = rename
   let readdir = readdir
+  let readdir_plus = readdir_plus
   let stat_ino = stat_ino
   let read_ino = read_ino
   let write_ino = write_ino
@@ -789,15 +812,32 @@ module Low = Cffs_vfs.Obs_low.Make (struct
   let prefix = "ffs"
 end)
 
-(* Re-export the instrumented entry points so direct callers (workloads,
-   fsck, tests) are measured identically to path-level access. *)
-let lookup = Low.lookup
-let mknod = Low.mknod
-let remove = Low.remove
-let read_ino = Low.read_ino
-let write_ino = Low.write_ino
+(* The namei layer (per-mount dentry/attribute caches, see lib/namei)
+   interposes between the instrumented LOW and the path API. *)
+module Cached = Cffs_namei.Namei.Make (struct
+  include Low
 
-module Pathops = Cffs_vfs.Pathfs.Make (Low)
+  let namei = namei
+end)
+
+(* Re-export the cached, instrumented entry points so direct callers
+   (workloads, fsck, tests) see exactly what path-level access sees —
+   anything else would let a direct mutation leave a stale cache entry
+   behind. *)
+let lookup = Cached.lookup
+let mknod = Cached.mknod
+let remove = Cached.remove
+let hardlink = Cached.hardlink
+let rename = Cached.rename
+let readdir = Cached.readdir
+let readdir_plus = Cached.readdir_plus
+let stat_ino = Cached.stat_ino
+let read_ino = Cached.read_ino
+let write_ino = Cached.write_ino
+let truncate_ino = Cached.truncate_ino
+let remount = Cached.remount
+
+module Pathops = Cffs_vfs.Pathfs.Make (Cached)
 
 let resolve = Pathops.resolve
 let create = Pathops.create
@@ -817,3 +857,4 @@ let read_file = Pathops.read_file
 let write_file = Pathops.write_file
 let append_file = Pathops.append_file
 let list_dir = Pathops.list_dir
+let list_dir_plus = Pathops.list_dir_plus

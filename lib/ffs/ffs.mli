@@ -22,6 +22,7 @@ val format :
   ?cache_blocks:int ->
   ?integrity:bool ->
   ?spare_blocks:int ->
+  ?namei:Cffs_namei.Namei.config ->
   Cffs_blockdev.Blockdev.t ->
   t
 (** Create a fresh file system on the device (default: 2048-block groups,
@@ -34,6 +35,7 @@ val format :
 val mount :
   ?policy:Cffs_cache.Cache.policy ->
   ?cache_blocks:int ->
+  ?namei:Cffs_namei.Namei.config ->
   Cffs_blockdev.Blockdev.t ->
   t option
 (** Attach to a previously formatted device; [None] if no valid
@@ -42,6 +44,9 @@ val mount :
 
 val cache : t -> Cffs_cache.Cache.t
 val superblock : t -> Layout.sb
+
+val namei : t -> Cffs_namei.Namei.t
+(** The mount's dentry/attribute cache state (for tests and telemetry). *)
 
 val read_inode : t -> int -> Cffs_vfs.Inode.t Cffs_vfs.Errno.result
 (** Direct inode access, for fsck and tests. *)

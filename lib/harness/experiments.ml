@@ -13,7 +13,9 @@ module Aging = Cffs_workload.Aging
 module Largefile = Cffs_workload.Largefile
 module Mclient = Cffs_workload.Mclient
 module Sizes = Cffs_workload.Sizes
+module Statbench = Cffs_workload.Statbench
 module Fs_intf = Cffs_vfs.Fs_intf
+module Registry = Cffs_obs.Registry
 
 type scale = {
   smallfile_files : int;
@@ -24,6 +26,10 @@ type scale = {
   large_mb : int;
   fig2_samples : int;
   mclient : Mclient.params;
+  stat_dirs : int;
+  stat_files_per_dir : int;
+  stat_repeats : int;
+  stat_cache_blocks : int;
 }
 
 let full =
@@ -42,6 +48,10 @@ let full =
         files_per_stream = 200;
         large_mb = 8;
       };
+    stat_dirs = 96;
+    stat_files_per_dir = 32;
+    stat_repeats = 5;
+    stat_cache_blocks = 128;
   }
 
 let quick =
@@ -60,6 +70,10 @@ let quick =
         files_per_stream = 50;
         large_mb = 2;
       };
+    stat_dirs = 64;
+    stat_files_per_dir = 16;
+    stat_repeats = 3;
+    stat_cache_blocks = 48;
   }
 
 let f1 = Tablefmt.fmt_float ~decimals:1
@@ -662,6 +676,98 @@ let ablation_concurrency scale =
   t
 
 (* ------------------------------------------------------------------ *)
+(* A5: namei ablation (our extension).  The stat-heavy workload over
+   {FFS, C-FFS (none), C-FFS (EI+EG)} with the dentry/attribute cache on
+   and off.  The buffer cache is sized deliberately below the tree's
+   metadata working set so warm *uncached* resolution goes back to the
+   disk; the namei caches answer from memory without touching blocks at
+   all, which is where the repeated-stat gap comes from.  readdir_plus
+   makes the cold "ls -l" column interesting on its own: with embedded
+   inodes the attributes ride along in the directory blocks, while FFS
+   pays one inode-table fetch per name. *)
+
+let run_statbench scale ~fs ~namei =
+  let setup =
+    {
+      (Setup.standard ~namei fs) with
+      Setup.cache_blocks = scale.stat_cache_blocks;
+    }
+  in
+  let inst = Setup.instantiate setup in
+  let before = Registry.snapshot () in
+  let results =
+    Statbench.run ~dirs:scale.stat_dirs
+      ~files_per_dir:scale.stat_files_per_dir ~repeats:scale.stat_repeats
+      inst.Setup.env
+  in
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  (results, delta)
+
+let namei_configs =
+  [
+    Setup.Ffs_baseline;
+    Setup.Cffs_fs Cffs.config_ffs_like;
+    Setup.Cffs_fs Cffs.config_default;
+  ]
+
+let ablation_namei scale =
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: dentry/attribute cache (namei), stat-heavy workload \
+            (%d dirs x %d files, %d-block buffer cache)"
+           scale.stat_dirs scale.stat_files_per_dir scale.stat_cache_blocks)
+      [
+        ("Configuration", Tablefmt.Left);
+        ("namei", Tablefmt.Left);
+        ("walk s", Tablefmt.Right);
+        ("ls warm s", Tablefmt.Right);
+        ("stat cold s", Tablefmt.Right);
+        ("stat warm s", Tablefmt.Right);
+        ("warm stat/s", Tablefmt.Right);
+        ("dentry hit%", Tablefmt.Right);
+        ("attr hit%", Tablefmt.Right);
+      ]
+  in
+  let pct hits misses =
+    let total = hits + misses in
+    if total = 0 then "-"
+    else f1 (100.0 *. float_of_int hits /. float_of_int total)
+  in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun (tag, namei) ->
+          let results, delta = run_statbench scale ~fs ~namei in
+          let phase p =
+            List.find (fun (r : Statbench.result) -> r.Statbench.phase = p)
+              results
+          in
+          let secs p = (phase p).Statbench.measure.Env.seconds in
+          let c name = Registry.get_counter delta name in
+          Tablefmt.add_row t
+            [
+              Setup.fs_kind_label fs;
+              tag;
+              f2 (secs Statbench.Walk);
+              f2 (secs Statbench.Ls_warm);
+              f2 (secs Statbench.Stat_cold);
+              f2 (secs Statbench.Stat_warm);
+              Tablefmt.fmt_float ~decimals:0
+                (phase Statbench.Stat_warm).Statbench.ops_per_sec;
+              pct (c "namei.dentry_hits") (c "namei.dentry_misses");
+              pct (c "namei.attr_hits") (c "namei.attr_misses");
+            ])
+        [
+          ("off", Cffs_namei.Namei.config_disabled);
+          ("on", Cffs_namei.Namei.config_default);
+        ];
+      Tablefmt.add_separator t)
+    namei_configs;
+  t
+
+(* ------------------------------------------------------------------ *)
 
 let run_all scale =
   let p t =
@@ -689,4 +795,5 @@ let run_all scale =
   p (ablation_scheduler scale);
   p (ablation_group_size scale);
   p (ablation_readahead scale);
-  p (ablation_concurrency scale)
+  p (ablation_concurrency scale);
+  p (ablation_namei scale)

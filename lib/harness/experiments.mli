@@ -14,6 +14,13 @@ type scale = {
   large_mb : int;
   fig2_samples : int;
   mclient : Cffs_workload.Mclient.params;  (** multi-client workload sizing *)
+  stat_dirs : int;  (** stat-heavy workload tree width *)
+  stat_files_per_dir : int;
+  stat_repeats : int;  (** warm stat sweeps *)
+  stat_cache_blocks : int;
+      (** buffer cache for the namei ablation — deliberately smaller than
+          the tree's metadata working set, so uncached warm resolution
+          pays disk time *)
 }
 
 val full : scale
@@ -81,6 +88,21 @@ val ablation_concurrency : scale -> Cffs_util.Tablefmt.t
 (** A4: the multi-client workload over queue depth × scheduling policy
     (the async-pipeline extension): aggregate and per-class throughput,
     observed queue depth, service-wait percentiles, coalescing. *)
+
+val run_statbench :
+  scale ->
+  fs:Setup.fs_kind ->
+  namei:Cffs_namei.Namei.config ->
+  Cffs_workload.Statbench.result list * Cffs_obs.Registry.snapshot
+(** One stat-heavy run on a fresh instance with a
+    [scale.stat_cache_blocks]-block buffer cache, returning the per-phase
+    results and the registry delta over the run. *)
+
+val ablation_namei : scale -> Cffs_util.Tablefmt.t
+(** A5: the dentry/attribute cache ({!Cffs_namei.Namei}, our extension)
+    on/off across FFS, C-FFS (none) and C-FFS (EI+EG) under the
+    stat-heavy workload — per-phase times, warm stat rate and namei hit
+    rates. *)
 
 val run_all : scale -> unit
 (** Print every table above (E4 in both integrity modes). *)

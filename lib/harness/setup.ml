@@ -28,9 +28,11 @@ type t = {
   cpu_per_op : float;
   host_overhead : float;
   fs : fs_kind;
+  namei : Cffs_namei.Namei.config;
 }
 
-let standard ?(policy = Cffs_cache.Cache.Sync_metadata) fs =
+let standard ?(policy = Cffs_cache.Cache.Sync_metadata)
+    ?(namei = Cffs_namei.Namei.config_default) fs =
   {
     profile = Cffs_disk.Profile.seagate_st31200;
     block_size = 4096;
@@ -40,6 +42,7 @@ let standard ?(policy = Cffs_cache.Cache.Sync_metadata) fs =
     cpu_per_op = 100e-6;
     host_overhead = 0.5e-3;
     fs;
+    namei;
   }
 
 type instance = {
@@ -58,7 +61,8 @@ let instantiate setup =
   match setup.fs with
   | Ffs_baseline ->
       let fs =
-        Ffs.format ~policy:setup.policy ~cache_blocks:setup.cache_blocks dev
+        Ffs.format ~policy:setup.policy ~cache_blocks:setup.cache_blocks
+          ~namei:setup.namei dev
       in
       let env =
         Env.make ~cpu_per_op:setup.cpu_per_op (Fs_intf.Packed ((module Ffs), fs)) dev
@@ -66,7 +70,8 @@ let instantiate setup =
       { setup; env; cffs = None; ffs = Some fs }
   | Cffs_fs config ->
       let fs =
-        Cffs.format ~config ~policy:setup.policy ~cache_blocks:setup.cache_blocks dev
+        Cffs.format ~config ~policy:setup.policy ~cache_blocks:setup.cache_blocks
+          ~namei:setup.namei dev
       in
       let env =
         Env.make ~cpu_per_op:setup.cpu_per_op (Fs_intf.Packed ((module Cffs), fs)) dev

@@ -29,9 +29,15 @@ type t = {
   cpu_per_op : float;
   host_overhead : float;
   fs : fs_kind;
+  namei : Cffs_namei.Namei.config;
+      (** per-mount dentry/attribute cache knobs (default: enabled) *)
 }
 
-val standard : ?policy:Cffs_cache.Cache.policy -> fs_kind -> t
+val standard :
+  ?policy:Cffs_cache.Cache.policy ->
+  ?namei:Cffs_namei.Namei.config ->
+  fs_kind ->
+  t
 
 (** A live configuration: the environment plus the concrete file-system
     handle (needed for grouping metrics and fsck). *)

@@ -115,6 +115,28 @@ let integrity_json () =
          "scrub.blocks_verified";
        ])
 
+(* Same always-present contract for the dentry/attribute cache: every
+   [cffs-telemetry-v1] document carries the full namei key set, zeros
+   included, whether or not the run resolved a single name. *)
+let namei_counter_names =
+  [
+    "namei.dentry_hits";
+    "namei.dentry_misses";
+    "namei.negative_hits";
+    "namei.attr_hits";
+    "namei.attr_misses";
+    "namei.readdirplus_warms";
+    "namei.evictions";
+    "namei.invalidations";
+  ]
+
+let namei_json ?snap () =
+  let snap = match snap with Some s -> s | None -> Registry.snapshot () in
+  Json.Obj
+    (List.map
+       (fun name -> (name, Json.Int (Registry.get_counter snap name)))
+       namei_counter_names)
+
 (* The async-pipeline headline: the multi-client workload at queue depth 1
    under FCFS (a queueless disk) vs a deep C-LOOK window with coalescing,
    on the no-technique configuration — where the queue has the most
@@ -165,8 +187,87 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
       ("policy", Json.String (Cffs_cache.Cache.policy_name policy));
       ("configs", Json.List (List.map config_to_json runs));
       ("integrity", integrity_json ());
+      ("namei", namei_json ());
       ("concurrency", concurrency_json ());
       ("derived", Json.Obj (derived_json runs));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The stat-heavy benchmark as a telemetry document: both file systems
+   with the namei caches on and off, plus the headline derived number —
+   warm repeated-stat speedup from caching. *)
+
+let statbench_phase_json (r : Cffs_workload.Statbench.result) =
+  Json.Obj
+    ([
+       ("phase", Json.String (Cffs_workload.Statbench.phase_name r.phase));
+       ("nops", Json.Int r.nops);
+       ("ops_per_sec", Json.Float r.ops_per_sec);
+     ]
+    @ measure_fields r.measure)
+
+let statbench_run_json ~scale ~fs ~cached =
+  let namei =
+    if cached then Cffs_namei.Namei.config_default
+    else Cffs_namei.Namei.config_disabled
+  in
+  let results, delta = Experiments.run_statbench scale ~fs ~namei in
+  let ops, counters = split_delta delta in
+  ( results,
+    Json.Obj
+      [
+        ("label", Json.String (Setup.fs_kind_label fs));
+        ("namei", Json.String (if cached then "on" else "off"));
+        ("phases", Json.List (List.map statbench_phase_json results));
+        ("namei_counters", namei_json ~snap:delta ());
+        ("ops", Json.Obj ops);
+        ("counters", Json.Obj counters);
+      ] )
+
+let statbench_document ?(scale = Experiments.quick) () =
+  let warm results =
+    List.find
+      (fun (r : Cffs_workload.Statbench.result) ->
+        r.phase = Cffs_workload.Statbench.Stat_warm)
+      results
+  in
+  let runs =
+    List.concat_map
+      (fun fs ->
+        let uncached_results, uncached = statbench_run_json ~scale ~fs ~cached:false in
+        let cached_results, cached = statbench_run_json ~scale ~fs ~cached:true in
+        let speedup =
+          let u = (warm uncached_results).Cffs_workload.Statbench.measure.Env.seconds in
+          let c = (warm cached_results).Cffs_workload.Statbench.measure.Env.seconds in
+          if c > 0.0 then u /. c else 0.0
+        in
+        [
+          (uncached, None);
+          (cached, Some (Setup.fs_kind_label fs, speedup));
+        ])
+      [ Setup.Ffs_baseline; Setup.Cffs_fs Cffs.config_default ]
+  in
+  let derived =
+    List.filter_map
+      (fun (_, d) ->
+        Option.map
+          (fun (label, speedup) ->
+            (label ^ " warm_stat_speedup", Json.Float speedup))
+          d)
+      runs
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("benchmark", Json.String "statbench");
+      ("dirs", Json.Int scale.Experiments.stat_dirs);
+      ("files_per_dir", Json.Int scale.Experiments.stat_files_per_dir);
+      ("repeats", Json.Int scale.Experiments.stat_repeats);
+      ("cache_blocks", Json.Int scale.Experiments.stat_cache_blocks);
+      ("configs", Json.List (List.map fst runs));
+      ("integrity", integrity_json ());
+      ("namei", namei_json ());
+      ("derived", Json.Obj derived);
     ]
 
 let print_human ?(nfiles = 400) ?(file_bytes = 1024)
@@ -208,5 +309,17 @@ let print_human ?(nfiles = 400) ?(file_bytes = 1024)
       print_newline ();
       Tablefmt.print
         (Registry.to_table ~title:(run.label ^ " — metrics") run.delta);
+      print_newline ();
+      let nt =
+        Tablefmt.create
+          ~title:(run.label ^ " — namei (dentry/attribute cache)")
+          [ ("counter", Tablefmt.Left); ("value", Tablefmt.Right) ]
+      in
+      List.iter
+        (fun name ->
+          Tablefmt.add_row nt
+            [ name; string_of_int (Registry.get_counter run.delta name) ])
+        namei_counter_names;
+      Tablefmt.print nt;
       print_newline ())
     runs

@@ -36,6 +36,17 @@ val default_pair : Setup.fs_kind list
 (** [C-FFS (none); C-FFS (EI+EG)] — the comparison the paper's Tables 2–4
     make. *)
 
+val namei_counter_names : string list
+(** The always-present keys of the document's ["namei"] section, in
+    order. *)
+
+val namei_json : ?snap:Cffs_obs.Registry.snapshot -> unit -> Cffs_obs.Json.t
+(** The dentry/attribute-cache counters as an object with every key from
+    {!namei_counter_names} present (zeros included) — same contract as the
+    ["integrity"] section, so consumers can assert on the keys whether or
+    not the run resolved a single name.  Reads the live registry unless
+    [?snap] (e.g. a per-run delta) is given. *)
+
 val document :
   ?nfiles:int ->
   ?file_bytes:int ->
@@ -45,6 +56,12 @@ val document :
   Cffs_obs.Json.t
 (** The telemetry document.  Defaults: 400 files (the quick scale) of
     1 KB under sync-metadata, over {!default_pair}. *)
+
+val statbench_document : ?scale:Experiments.scale -> unit -> Cffs_obs.Json.t
+(** The stat-heavy benchmark as a [cffs-telemetry-v1] document: FFS and
+    C-FFS (EI+EG), each with the namei caches off and on
+    ({!Experiments.run_statbench} sizing, default {!Experiments.quick}),
+    plus the derived warm repeated-stat speedup per file system. *)
 
 val print_human :
   ?nfiles:int ->

@@ -24,6 +24,15 @@ module type LOW = sig
   val hardlink : t -> dir:int -> string -> ino:int -> unit Errno.result
   val rename : t -> sdir:int -> sname:string -> ddir:int -> dname:string -> unit Errno.result
   val readdir : t -> dir:int -> (string * int) list Errno.result
+
+  val readdir_plus : t -> dir:int -> (string * stat) list Errno.result
+  (** Names together with the attributes of the inodes they name, in one
+      pass over the directory.  With embedded inodes the stats are decoded
+      straight out of the directory blocks (one directory read delivers
+      them all, the paper's §3.1 claim); with external inodes each entry
+      costs an inode fetch — the asymmetry the stat-heavy benchmark
+      exposes. *)
+
   val stat_ino : t -> int -> stat Errno.result
   val read_ino : t -> ino:int -> off:int -> len:int -> bytes Errno.result
   val write_ino : t -> ino:int -> off:int -> bytes -> unit Errno.result
@@ -60,6 +69,7 @@ module type S = sig
   val write_file : t -> string -> bytes -> unit Errno.result
   val append_file : t -> string -> bytes -> unit Errno.result
   val list_dir : t -> string -> string list Errno.result
+  val list_dir_plus : t -> string -> (string * stat) list Errno.result
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed

@@ -35,6 +35,15 @@ module type LOW = sig
   val hardlink : t -> dir:int -> string -> ino:int -> unit Errno.result
   val rename : t -> sdir:int -> sname:string -> ddir:int -> dname:string -> unit Errno.result
   val readdir : t -> dir:int -> (string * int) list Errno.result
+
+  val readdir_plus : t -> dir:int -> (string * stat) list Errno.result
+  (** Names together with the attributes of the inodes they name, in one
+      pass over the directory.  With embedded inodes the stats are decoded
+      straight out of the directory blocks (one directory read delivers
+      them all, the paper's §3.1 claim); with external inodes each entry
+      costs an inode fetch — the asymmetry the stat-heavy benchmark
+      exposes. *)
+
   val stat_ino : t -> int -> stat Errno.result
   val read_ino : t -> ino:int -> off:int -> len:int -> bytes Errno.result
   val write_ino : t -> ino:int -> off:int -> bytes -> unit Errno.result
@@ -87,6 +96,10 @@ module type S = sig
   val append_file : t -> string -> bytes -> unit Errno.result
   val list_dir : t -> string -> string list Errno.result
   (** Names only, sorted, ["."]/[".."] excluded. *)
+
+  val list_dir_plus : t -> string -> (string * stat) list Errno.result
+  (** {!LOW.readdir_plus} by path: names with their attributes, sorted,
+      ["."]/[".."] excluded — the [ls -l] shape. *)
 end
 
 (** A file system packaged with its state, so heterogeneous configurations

@@ -98,6 +98,7 @@ module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
     guard (fun () -> F.rename fs ~sdir ~sname ~ddir ~dname)
 
   let readdir fs ~dir = guard (fun () -> F.readdir fs ~dir)
+  let readdir_plus fs ~dir = guard (fun () -> F.readdir_plus fs ~dir)
   let stat_ino fs ino = guard (fun () -> F.stat_ino fs ino)
 
   let read_ino fs ~ino ~off ~len =

@@ -26,3 +26,9 @@ let dirname_basename p =
       Ok ("/" ^ String.concat "/" init, base)
 
 let join dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+
+(* A trailing slash asserts that the path names a directory ("/a/" is
+   "/a", plus the claim that a is a directory).  [split] normalizes it
+   away, so resolution must check the claim separately — POSIX returns
+   ENOTDIR when the named object is not a directory. *)
+let trailing_slash p = String.length p > 1 && p.[String.length p - 1] = '/'

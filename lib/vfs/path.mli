@@ -12,3 +12,9 @@ val dirname_basename : string -> (string * string) Errno.result
 
 val join : string -> string -> string
 (** [join "/a" "b"] is ["/a/b"]. *)
+
+val trailing_slash : string -> bool
+(** Does the path end in a (redundant) slash — i.e. claim to name a
+    directory?  ["/"] itself does not count.  {!split} drops empty
+    components, so callers that must honour POSIX's ENOTDIR-on-["/file/"]
+    check this separately. *)

@@ -16,7 +16,15 @@ module Make (F : Fs_intf.LOW) = struct
           let* next = F.lookup t ~dir:ino name in
           walk next rest
     in
-    walk (F.root t) parts
+    let* ino = walk (F.root t) parts in
+    (* "/a/" claims a is a directory; POSIX answers ENOTDIR when it is
+       not.  The check lives here, above any name cache, so the errno is
+       identical with caching on and off. *)
+    if Path.trailing_slash p then begin
+      let* st = F.stat_ino t ino in
+      if st.Fs_intf.st_kind <> Inode.Directory then Error Enotdir else Ok ino
+    end
+    else Ok ino
 
   let resolve_parent t p =
     let* dir_path, name = Path.dirname_basename p in
@@ -26,9 +34,14 @@ module Make (F : Fs_intf.LOW) = struct
     else Ok (dir, name)
 
   let create t p =
-    let* dir, name = resolve_parent t p in
-    let* _ino = F.mknod t ~dir name Inode.Regular in
-    Ok ()
+    (* open("a/", O_CREAT) is EISDIR: a trailing slash demands a directory,
+       which create cannot make. *)
+    if Path.trailing_slash p then Error Eisdir
+    else begin
+      let* dir, name = resolve_parent t p in
+      let* _ino = F.mknod t ~dir name Inode.Regular in
+      Ok ()
+    end
 
   let mkdir t p =
     let* dir, name = resolve_parent t p in
@@ -51,6 +64,14 @@ module Make (F : Fs_intf.LOW) = struct
     walk (F.root t) parts
 
   let unlink t p =
+    (* unlink("f/") is ENOTDIR when f is a file (the slash's directory
+       claim fails first), EISDIR when it is a directory. *)
+    let* () =
+      if Path.trailing_slash p then
+        let* _ino = resolve t p in
+        Ok ()
+      else Ok ()
+    in
     let* dir, name = resolve_parent t p in
     F.remove t ~dir name ~rmdir:false
 
@@ -109,6 +130,19 @@ module Make (F : Fs_intf.LOW) = struct
 
   let write_file t p data =
     let* dir, name = resolve_parent t p in
+    (* "f/" demands a directory: an existing file is ENOTDIR, an existing
+       directory is EISDIR, and creating a regular file through the slash
+       is EISDIR — decided here, above the name cache. *)
+    if Path.trailing_slash p then begin
+      match F.lookup t ~dir name with
+      | Ok ino ->
+          let* st = F.stat_ino t ino in
+          if st.Fs_intf.st_kind = Inode.Directory then Error Eisdir
+          else Error Enotdir
+      | Error Enoent -> Error Eisdir
+      | Error _ as e -> e
+    end
+    else
     let* ino =
       match F.lookup t ~dir name with
       | Ok ino ->
@@ -136,5 +170,13 @@ module Make (F : Fs_intf.LOW) = struct
     |> List.map fst
     |> List.filter (fun n -> n <> "." && n <> "..")
     |> List.sort compare
+    |> Result.ok
+
+  let list_dir_plus t p =
+    let* dir = resolve t p in
+    let* entries = F.readdir_plus t ~dir in
+    entries
+    |> List.filter (fun (n, _) -> n <> "." && n <> "..")
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
     |> Result.ok
 end

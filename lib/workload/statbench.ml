@@ -1,0 +1,105 @@
+module Fs_intf = Cffs_vfs.Fs_intf
+module Blockdev = Cffs_blockdev.Blockdev
+module Errno = Cffs_vfs.Errno
+
+type phase = Walk | Ls_warm | Stat_cold | Stat_warm
+
+let phase_name = function
+  | Walk -> "walk"
+  | Ls_warm -> "ls_warm"
+  | Stat_cold -> "stat_cold"
+  | Stat_warm -> "stat_warm"
+
+let phases = [ Walk; Ls_warm; Stat_cold; Stat_warm ]
+
+type result = {
+  phase : phase;
+  nops : int;  (** names stat'ed (listing phases count every entry) *)
+  measure : Env.measure;
+  ops_per_sec : float;
+}
+
+let mk_result ~phase ~nops measure =
+  let seconds = measure.Env.seconds in
+  let ops_per_sec =
+    if seconds <= 0.0 then 0.0 else float_of_int nops /. seconds
+  in
+  { phase; nops; measure; ops_per_sec }
+
+let dir_path d = Printf.sprintf "/statbench/d%03d" d
+
+let file_path ~files_per_dir i =
+  Printf.sprintf "/statbench/d%03d/f%05d" (i / files_per_dir) i
+
+let run ?(dirs = 32) ?(files_per_dir = 64) ?(file_bytes = 1024) ?(repeats = 5)
+    ?(prng_seed = 11) (env : Env.t) =
+  let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
+  let nfiles = dirs * files_per_dir in
+  let prng = Cffs_util.Prng.create prng_seed in
+  let payload = Cffs_util.Prng.bytes prng file_bytes in
+  (* Stats go in a shuffled (but deterministic) order: a sequential sweep
+     would hand the disk scheduler a sorted run of metadata blocks and
+     hide the cost of uncached resolution behind near-zero seeks. *)
+  let order = Array.init nfiles (fun i -> i) in
+  for i = nfiles - 1 downto 1 do
+    let j = Cffs_util.Prng.int prng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  let op () = Blockdev.advance env.Env.dev env.Env.cpu_per_op in
+  let fail what e =
+    failwith
+      (Printf.sprintf "statbench %s on %s: %s" what (F.label fs)
+         (Errno.to_string e))
+  in
+  let check what = function Ok _ -> () | Error e -> fail what e in
+  (* Population is not measured. *)
+  check "mkdir" (F.mkdir fs "/statbench");
+  for d = 0 to dirs - 1 do
+    check "mkdir" (F.mkdir fs (dir_path d))
+  done;
+  for i = 0 to nfiles - 1 do
+    check "populate" (F.write_file fs (file_path ~files_per_dir i) payload)
+  done;
+  F.sync fs;
+  let results = ref [] in
+  let phase_run phase ~nops f =
+    let m = Env.measured env f in
+    results := mk_result ~phase ~nops m :: !results
+  in
+  let ls () =
+    for d = 0 to dirs - 1 do
+      op ();
+      match F.list_dir_plus fs (dir_path d) with
+      | Ok entries ->
+          if List.length entries <> files_per_dir then
+            fail "list_dir_plus" Errno.Eio
+      | Error e -> fail "list_dir_plus" e
+    done
+  in
+  let stat_sweep what =
+    Array.iter
+      (fun i ->
+        op ();
+        check what (F.stat fs (file_path ~files_per_dir i)))
+      order
+  in
+  (* Cold "ls -l" of every directory: one pass that returns names with
+     attributes.  On C-FFS the attributes decode straight out of the
+     directory blocks; on FFS each entry costs an inode-table read. *)
+  F.remount fs;
+  phase_run Walk ~nops:nfiles ls;
+  (* The same listing with every cache warm. *)
+  phase_run Ls_warm ~nops:nfiles ls;
+  (* Cold per-file stat: path resolution plus attribute read from scratch. *)
+  F.remount fs;
+  phase_run Stat_cold ~nops:nfiles (fun () -> stat_sweep "stat_cold");
+  (* Repeated stat of the same working set: the dentry/attribute caches'
+     home turf.  Uncached mounts re-resolve through directory blocks (and,
+     when the working set exceeds the buffer cache, through the disk). *)
+  phase_run Stat_warm ~nops:(repeats * nfiles) (fun () ->
+      for _ = 1 to repeats do
+        stat_sweep "stat_warm"
+      done);
+  List.rev !results

@@ -1,0 +1,40 @@
+(** Stat-heavy workload: the name-and-attribute traffic that the namei
+    caches (dentry + attribute, {!Cffs_namei.Namei}) and the bulk
+    [readdir_plus] operation are built for.
+
+    Four measured phases over a [dirs] × [files_per_dir] tree:
+
+    - {b walk} — cold "ls -l" of every directory via [list_dir_plus]
+      (names with attributes in one pass) after a remount;
+    - {b ls_warm} — the same listing with all caches warm;
+    - {b stat_cold} — one [stat] per file after another remount;
+    - {b stat_warm} — [repeats] full stat sweeps over the same working set.
+
+    The warm-stat phase is where a dentry/attribute cache pays: cached
+    mounts answer from memory without touching directory blocks, while
+    uncached mounts re-resolve every component — from disk, once the
+    working set exceeds the buffer cache. *)
+
+type phase = Walk | Ls_warm | Stat_cold | Stat_warm
+
+val phase_name : phase -> string
+val phases : phase list
+
+type result = {
+  phase : phase;
+  nops : int;  (** names stat'ed (listing phases count every entry) *)
+  measure : Env.measure;
+  ops_per_sec : float;
+}
+
+val run :
+  ?dirs:int ->
+  ?files_per_dir:int ->
+  ?file_bytes:int ->
+  ?repeats:int ->
+  ?prng_seed:int ->
+  Env.t ->
+  result list
+(** Populate the tree (unmeasured), then run the four phases in order,
+    with a remount before [walk] and before [stat_cold].  Defaults:
+    32 directories × 64 files of 1 KB, 5 warm repeats. *)

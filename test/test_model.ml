@@ -167,6 +167,15 @@ module Oracle = struct
 
   let listing t p =
     if is_dir t p then Ok (List.sort compare (children t p)) else Error Errno.Enoent
+
+  (* Just what [Fs_intf.stat] exposes that the oracle can know: the kind,
+     and the size for regular files. *)
+  let stat t p =
+    if is_dir t p then Ok `Dir
+    else
+      match M.find_opt p t.files with
+      | Some d -> Ok (`File (Bytes.length d))
+      | None -> Error Errno.Enoent
 end
 
 (* ------------------------------------------------------------------ *)
@@ -186,6 +195,8 @@ type op =
   | Mkdir of string
   | Rmdir of string
   | Rename of string * string
+  | Stat of string
+  | Readdir of string
   | Sync
   | Remount
 
@@ -197,7 +208,7 @@ let decode_path a b =
   else dir_pool.(a mod Array.length dir_pool) ^ "/" ^ name_pool.(b)
 
 let decode (kind, a, b, c) =
-  match kind mod 11 with
+  match kind mod 13 with
   | 0 -> Create (decode_path a b)
   | 1 -> Write (decode_path a b, 1 + (c * 977 mod 70000), c)
   | 2 -> Append (decode_path a b, 1 + (c * 131 mod 9000), c)
@@ -208,7 +219,11 @@ let decode (kind, a, b, c) =
   | 7 -> Rmdir (decode_path a b)
   | 8 -> Rename (decode_path a b, decode_path c (a + c))
   | 9 -> Sync
-  | _ -> Remount
+  | 10 -> Remount
+  | 11 -> Stat (decode_path a b)
+  | _ ->
+      (* Readdir of a pool directory, with the occasional root listing. *)
+      Readdir (if b mod 5 = 0 then "/" else dir_pool.(a mod Array.length dir_pool))
 
 let op_name = function
   | Create p -> "create " ^ p
@@ -220,6 +235,8 @@ let op_name = function
   | Mkdir p -> "mkdir " ^ p
   | Rmdir p -> "rmdir " ^ p
   | Rename (s, d) -> Printf.sprintf "rename %s -> %s" s d
+  | Stat p -> "stat " ^ p
+  | Readdir p -> "readdir " ^ p
   | Sync -> "sync"
   | Remount -> "remount"
 
@@ -274,6 +291,33 @@ module Run (F : Fs_intf.S) = struct
         agree (op_name op)
           (F.rename_path fs ~src ~dst)
           (Oracle.rename oracle ~src ~dst)
+    | Stat p -> (
+        let real = F.stat fs p and model = Oracle.stat oracle p in
+        agree (op_name op) real model;
+        match (real, model) with
+        | Ok st, Ok `Dir ->
+            if st.Fs_intf.st_kind <> Cffs_vfs.Inode.Directory then
+              QCheck.Test.fail_reportf "op %d (%s): fs says file, model says dir"
+                i (op_name op)
+        | Ok st, Ok (`File size) ->
+            if st.Fs_intf.st_kind <> Cffs_vfs.Inode.Regular then
+              QCheck.Test.fail_reportf "op %d (%s): fs says dir, model says file"
+                i (op_name op)
+            else if st.Fs_intf.st_size <> size then
+              QCheck.Test.fail_reportf "op %d (%s): size %d, model says %d" i
+                (op_name op) st.Fs_intf.st_size size
+        | _ -> ())
+    | Readdir p -> (
+        let real = F.list_dir fs p and model = Oracle.listing oracle p in
+        agree (op_name op) real model;
+        match (real, model) with
+        | Ok r, Ok m ->
+            let m = List.sort compare (List.map Filename.basename m) in
+            if r <> m then
+              QCheck.Test.fail_reportf
+                "op %d (%s): listing differs: fs=[%s] model=[%s]" i (op_name op)
+                (String.concat " " r) (String.concat " " m)
+        | _ -> ())
     | Sync -> F.sync fs
     | Remount -> F.remount fs
 
@@ -325,8 +369,11 @@ module Run_cffs = Run (Cffs)
 (* ------------------------------------------------------------------ *)
 (* The combos: both file systems x every write policy.  C-FFS runs its
    default configuration (embedded inodes + grouping); FFS is the
-   baseline.  6 MB memory devices keep Enospc out of reach of the
-   generator's ~70 KB files. *)
+   baseline.  Both formats keep the default namei configuration, so every
+   combo exercises the dentry/attribute cache against the oracle (stat
+   and readdir above observe through it; remount must flush it).  6 MB
+   memory devices keep Enospc out of reach of the generator's ~70 KB
+   files. *)
 
 let policies =
   [ Cache.Write_through; Cache.Sync_metadata; Cache.Delayed; Cache.Soft_updates ]
@@ -355,7 +402,7 @@ let raw_ops_gen =
   QCheck.(
     list_of_size
       Gen.(int_range 5 max_len)
-      (quad (int_bound 10) (int_bound 6) (int_bound 4) small_nat))
+      (quad (int_bound 12) (int_bound 6) (int_bound 4) small_nat))
 
 let model_tests =
   List.map
@@ -370,7 +417,7 @@ let test_churn mk_fs run () =
   let prng = Prng.create 77 in
   let ops =
     List.init 600 (fun _ ->
-        (Prng.int prng 11, Prng.int prng 7, Prng.int prng 5, Prng.int prng 100))
+        (Prng.int prng 13, Prng.int prng 7, Prng.int prng 5, Prng.int prng 100))
   in
   ignore (run mk_fs ops)
 

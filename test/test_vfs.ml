@@ -25,9 +25,18 @@ let test_path_split () =
   check path_res "relative rejected" (Error Errno.Einval) (Path.split "a/b");
   check path_res "empty rejected" (Error Errno.Einval) (Path.split "");
   check path_res "dots rejected" (Error Errno.Einval) (Path.split "/a/../b");
+  check path_res "dotdot at root rejected" (Error Errno.Einval) (Path.split "/..");
+  check path_res "dot at root rejected" (Error Errno.Einval) (Path.split "/.");
   check path_res "long name"
     (Error Errno.Enametoolong)
     (Path.split ("/" ^ String.make 300 'x'))
+
+let test_path_trailing_slash () =
+  let b = Alcotest.bool in
+  check b "dir-ish" true (Path.trailing_slash "/a/");
+  check b "nested" true (Path.trailing_slash "/a/b/");
+  check b "root is not" false (Path.trailing_slash "/");
+  check b "plain" false (Path.trailing_slash "/a")
 
 let test_path_dirname () =
   let pair = Alcotest.result (Alcotest.pair Alcotest.string Alcotest.string) err in
@@ -38,6 +47,60 @@ let test_path_dirname () =
 let test_path_join () =
   check Alcotest.string "root join" "/a" (Path.join "/" "a");
   check Alcotest.string "nested join" "/a/b" (Path.join "/a" "b")
+
+(* ------------------------------------------------------------------ *)
+(* Pathfs normalization: a trailing slash asserts "this is a directory",
+   and the errno must be the same on every file system, with and without
+   the dentry cache (the check sits above the cache in Pathfs). *)
+
+let pathfs_mounts () =
+  let module Namei = Cffs_namei.Namei in
+  let mk_cffs namei =
+    let dev = Blockdev.memory ~block_size:4096 ~nblocks:8192 in
+    Cffs_vfs.Fs_intf.Packed ((module Cffs), Cffs.format ~namei dev)
+  in
+  let mk_ffs namei =
+    let dev = Blockdev.memory ~block_size:4096 ~nblocks:8192 in
+    Cffs_vfs.Fs_intf.Packed ((module Ffs), Ffs.format ~namei dev)
+  in
+  [
+    ("cffs namei=on", mk_cffs Namei.config_default);
+    ("cffs namei=off", mk_cffs Namei.config_disabled);
+    ("ffs namei=on", mk_ffs Namei.config_default);
+    ("ffs namei=off", mk_ffs Namei.config_disabled);
+  ]
+
+let test_pathfs_trailing_slash () =
+  List.iter
+    (fun (label, Cffs_vfs.Fs_intf.Packed ((module F), fs)) ->
+      let ok what = function
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "%s: %s: %s" label what (Errno.to_string e)
+      in
+      let expect what want got =
+        let e = match got with Ok _ -> None | Error e -> Some e in
+        check (Alcotest.option err) (label ^ ": " ^ what) want e
+      in
+      ok "mkdir /d" (F.mkdir fs "/d");
+      ok "create /f" (F.write_file fs "/f" (Bytes.of_string "x"));
+      expect "stat /f/" (Some Errno.Enotdir) (F.stat fs "/f/");
+      expect "stat /d/" None (F.stat fs "/d/");
+      expect "read /f/" (Some Errno.Enotdir) (F.read_file fs "/f/");
+      expect "write /f/" (Some Errno.Enotdir)
+        (F.write_file fs "/f/" (Bytes.of_string "y"));
+      expect "write /d/" (Some Errno.Eisdir)
+        (F.write_file fs "/d/" (Bytes.of_string "y"));
+      expect "create /f2/" (Some Errno.Eisdir)
+        (F.write_file fs "/f2/" (Bytes.of_string "x"));
+      expect "stat /f2" (Some Errno.Enoent) (F.stat fs "/f2");
+      expect "unlink /f/" (Some Errno.Enotdir) (F.unlink fs "/f/");
+      expect "unlink /d/" (Some Errno.Eisdir) (F.unlink fs "/d/");
+      (* A warm positive dentry for /f must not change the answer. *)
+      ok "stat /f" (F.stat fs "/f");
+      expect "stat /f/ (warm)" (Some Errno.Enotdir) (F.stat fs "/f/");
+      (* And the file is still there and untouched. *)
+      ok "unlink /f" (F.unlink fs "/f"))
+    (pathfs_mounts ())
 
 (* ------------------------------------------------------------------ *)
 (* Errno *)
@@ -254,8 +317,14 @@ let () =
       ( "path",
         [
           Alcotest.test_case "split" `Quick test_path_split;
+          Alcotest.test_case "trailing slash" `Quick test_path_trailing_slash;
           Alcotest.test_case "dirname/basename" `Quick test_path_dirname;
           Alcotest.test_case "join" `Quick test_path_join;
+        ] );
+      ( "pathfs",
+        [
+          Alcotest.test_case "trailing-slash errnos" `Quick
+            test_pathfs_trailing_slash;
         ] );
       ( "errno",
         [
