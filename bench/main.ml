@@ -190,7 +190,7 @@ let () =
   if json_flag then begin
     let doc = Cffs_harness.Telemetry.document () in
     (* Smoke-level contract: the self-healing counters are part of
-       cffs-telemetry-v1 and must be present (zeros included) in every
+       cffs-telemetry-v2 and must be present (zeros included) in every
        document, integrity-formatted volume or not. *)
     let integrity_ok =
       match doc with
@@ -227,6 +227,25 @@ let () =
     in
     if not namei_ok then begin
       prerr_endline "telemetry document is missing the namei counter section";
+      exit 1
+    end;
+    (* v2 sections: the layout introspector's grouping evidence, the per-op
+       latency attribution, and the sampled time series. *)
+    let v2_ok =
+      match doc with
+      | Cffs_obs.Json.Obj fields ->
+          List.for_all
+            (fun k ->
+              match List.assoc_opt k fields with
+              | Some (Cffs_obs.Json.Obj _) -> true
+              | _ -> false)
+            [ "grouping"; "latency_breakdown"; "timeseries" ]
+      | _ -> false
+    in
+    if not v2_ok then begin
+      prerr_endline
+        "telemetry document is missing a v2 section (grouping, \
+         latency_breakdown, timeseries)";
       exit 1
     end;
     print_endline (Cffs_obs.Json.to_string_pretty doc)

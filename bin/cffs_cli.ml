@@ -370,10 +370,15 @@ let synth_trace_cmd =
     Term.(const run $ out $ ops $ seed)
 
 let replay_cmd =
-  let run image trace_file =
+  let run image trace_file trace_cap =
     with_image image (fun packed _ ->
+        let module Otrace = Cffs_obs.Trace in
         let trace = Trace.load trace_file in
         let (Fs_intf.Packed ((module F), fs)) = packed in
+        if trace_cap > 0 then begin
+          Otrace.set_capacity trace_cap;
+          Otrace.set_enabled true
+        end;
         let failed = ref 0 in
         let count = function Ok _ -> () | Error _ -> incr failed in
         List.iter
@@ -392,13 +397,26 @@ let replay_cmd =
             | Trace.T_truncate (p, n) -> count (F.truncate fs p n)
             | Trace.T_sync -> F.sync fs)
           trace;
+        if trace_cap > 0 then begin
+          Otrace.set_enabled false;
+          let events = Otrace.events () in
+          List.iter (fun e -> Format.printf "%a@." Otrace.pp_event e) events;
+          Printf.printf "ring holds %d/%d spans\n" (List.length events) trace_cap
+        end;
         Printf.printf "replayed %d operations (%d failed)\n" (List.length trace) !failed;
         Ok true)
   in
   let trace = Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE_FILE") in
+  let trace_cap =
+    Arg.(value & opt int 0
+         & info [ "trace-cap" ] ~docv:"N"
+             ~doc:
+               "Capture span traces during the replay in a ring of N events \
+                and print them afterwards (0 disables tracing).")
+  in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a trace into an image.")
-    Term.(const run $ image_pos $ trace)
+    Term.(const run $ image_pos $ trace $ trace_cap)
 
 let trace_bench_cmd =
   let run trace_file =
@@ -474,10 +492,38 @@ let dump_cmd =
     Term.(const run $ image_pos)
 
 (* ------------------------------------------------------------------ *)
+(* layout: the grouping introspector on a mounted image *)
+
+let layout_cmd =
+  let run image json =
+    with_image image (fun _ m ->
+        let report =
+          match m with
+          | M_cffs fs -> Cffs_fsck.Layout.cffs_report fs
+          | M_ffs fs -> Cffs_fsck.Layout.ffs_report fs
+        in
+        if json then
+          print_endline
+            (Cffs_obs.Json.to_string_pretty (Cffs_fsck.Layout.to_json report))
+        else Format.printf "%a@." Cffs_fsck.Layout.pp report;
+        Ok false)
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "layout"
+       ~doc:
+         "Analyse an image's allocation layout: small-file group residency, \
+          frame occupancy, embedded-vs-external inode split, and free-space \
+          fragmentation.")
+    Term.(const run $ image_pos $ json)
+
+(* ------------------------------------------------------------------ *)
 (* Experiments *)
 
 let experiment_names =
-  [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "table3";
+  [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "fig8decay"; "table3";
     "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead";
     "concurrency"; "namei"; "all" ]
 
@@ -500,6 +546,7 @@ let experiment_cmd =
         p a; p b
     | "fig7" -> p (Experiments.fig7_size_sweep scale)
     | "fig8" -> p (Experiments.fig8_aging scale)
+    | "fig8decay" -> p (Experiments.fig8_decay scale)
     | "table3" -> p (Experiments.table3_apps scale)
     | "dirsize" -> p (Experiments.table_dirsize ())
     | "large" -> p (Experiments.table_large scale)
@@ -581,6 +628,116 @@ let stats_cmd =
           report the observability metrics (per-op latency percentiles, disk \
           access counts, seek/rotation/transfer split, C-FFS counters).")
     Term.(const run $ json $ nfiles $ policy)
+
+(* ------------------------------------------------------------------ *)
+(* trace: span capture on the simulated testbed *)
+
+let trace_cmd =
+  let module Otrace = Cffs_obs.Trace in
+  let run json cap ops seed config_str =
+    let config =
+      match String.lowercase_ascii config_str with
+      | "none" -> Some Cffs.config_ffs_like
+      | "full" -> Some Cffs.config_default
+      | _ -> None
+    in
+    match config with
+    | None ->
+        Printf.eprintf "unknown config %S; one of: none, full\n" config_str;
+        1
+    | Some config ->
+        let trace = Trace.synthesize ~ops ~seed () in
+        let inst =
+          Cffs_harness.Setup.instantiate
+            (Cffs_harness.Setup.standard (Cffs_harness.Setup.Cffs_fs config))
+        in
+        Otrace.set_capacity cap;
+        Otrace.set_enabled true;
+        let o = Trace.replay inst.Cffs_harness.Setup.env trace in
+        Otrace.set_enabled false;
+        let events = Otrace.events () in
+        if json then print_string (Otrace.to_json_lines ())
+        else begin
+          Printf.printf
+            "replayed %d operations in %.3f s simulated; ring holds %d/%d \
+             spans\n\n"
+            (List.length trace) o.Trace.measure.Cffs_workload.Env.seconds
+            (List.length events) (Otrace.capacity ());
+          List.iter (fun e -> Format.printf "%a@." Otrace.pp_event e) events
+        end;
+        0
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the spans as JSON lines, oldest first.")
+  in
+  let cap =
+    Arg.(value & opt int 256
+         & info [ "trace-cap" ] ~docv:"N"
+             ~doc:"Ring capacity: only the last N spans are kept.")
+  in
+  let ops =
+    Arg.(value & opt int 200
+         & info [ "ops" ] ~docv:"N" ~doc:"Synthetic operations to run.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let config =
+    Arg.(value & opt string "full"
+         & info [ "config" ] ~docv:"CONFIG"
+             ~doc:"File-system configuration: none or full (EI+EG).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a synthetic workload on the simulated testbed with span tracing \
+          enabled and dump the trace ring: every VFS operation and drive \
+          request with simulated start/end times and per-span device-counter \
+          deltas (seek/rotation/transfer/overhead/cache-hit).")
+    Term.(const run $ json $ cap $ ops $ seed $ config)
+
+(* ------------------------------------------------------------------ *)
+(* benchdiff: the regression gate over two telemetry documents *)
+
+let benchdiff_cmd =
+  let module Benchdiff = Cffs_harness.Benchdiff in
+  let run a b verbose json =
+    let read path =
+      match
+        Cffs_obs.Json.parse (In_channel.with_open_bin path In_channel.input_all)
+      with
+      | Ok doc -> Ok doc
+      | Error e -> Error (path ^ ": " ^ e)
+    in
+    match (read a, read b) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        2
+    | Ok da, Ok db ->
+        let r = Benchdiff.diff da db in
+        if json then
+          print_endline (Cffs_obs.Json.to_string_pretty (Benchdiff.to_json r));
+        Format.printf "%a" (Benchdiff.pp ~verbose) r;
+        if Benchdiff.clean r then 0 else 1
+  in
+  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE.json") in
+  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE.json") in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"List every shared metric, not just movers.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Also emit the comparison result as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Compare two telemetry JSON documents (e.g. a committed baseline \
+          and a fresh 'cffs stats --json' run) and fail when a throughput or \
+          latency metric moved beyond its threshold in the bad direction.  \
+          Paths present on only one side are reported but never fail the \
+          gate.")
+    Term.(const run $ a $ b $ verbose $ json)
 
 (* ------------------------------------------------------------------ *)
 (* Stat-heavy benchmark (the namei caches' workload) *)
@@ -700,7 +857,7 @@ let statbench_cmd =
          "Stat-heavy benchmark: cold and warm directory listings \
           (readdir_plus) and repeated per-file stats on FFS and C-FFS, \
           exercising the dentry/attribute caches.  --json runs both file \
-          systems with the caches off and on and emits the cffs-telemetry-v1 \
+          systems with the caches off and on and emits the cffs-telemetry-v2 \
           document with the derived warm-stat speedup.")
     Term.(
       const run $ json $ dirs $ files_per_dir $ repeats $ cache_blocks
@@ -778,11 +935,14 @@ let mcbench_cmd =
             r.Mclient.small_kb_per_sec r.Mclient.small_files_per_sec
             r.Mclient.large_kb_per_sec r.Mclient.total_kb_per_sec
             r.Mclient.measure.Cffs_workload.Env.seconds;
+          let f2 = function Some v -> Printf.sprintf "%.2f" v | None -> "n/a" in
+          let f0 = function Some v -> Printf.sprintf "%.0f" v | None -> "n/a" in
           Printf.printf
-            "  queue: mean depth %.2f (max %.0f), wait mean %.2f ms p95 %.2f \
-             ms, %d dispatches (%d coalesced)\n"
-            r.Mclient.qdepth_mean r.Mclient.qdepth_max r.Mclient.wait_mean_ms
-            r.Mclient.wait_p95_ms r.Mclient.dispatches r.Mclient.coalesced
+            "  queue: mean depth %s (max %s), wait mean %s ms p95 %s ms, %d \
+             dispatches (%d coalesced)\n"
+            (f2 r.Mclient.qdepth_mean) (f0 r.Mclient.qdepth_max)
+            (f2 r.Mclient.wait_mean_ms) (f2 r.Mclient.wait_p95_ms)
+            r.Mclient.dispatches r.Mclient.coalesced
         end;
         0
   in
@@ -882,9 +1042,9 @@ let () =
     Cmd.group info
       [
         mkfs_cmd; fsck_cmd; scrub_cmd; ls_cmd; tree_cmd; cat_cmd; put_cmd; get_cmd; mkdir_cmd;
-        rm_cmd; mv_cmd; df_cmd; dump_cmd; synth_trace_cmd; replay_cmd;
-        trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd; statbench_cmd;
-        mcbench_cmd; crashtest_cmd;
+        rm_cmd; mv_cmd; df_cmd; dump_cmd; layout_cmd; synth_trace_cmd; replay_cmd;
+        trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd; trace_cmd;
+        benchdiff_cmd; statbench_cmd; mcbench_cmd; crashtest_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -8,6 +8,7 @@ let m_writes = Cffs_obs.Registry.counter "blockdev.writes"
 let m_read_sectors = Cffs_obs.Registry.counter "blockdev.read_sectors"
 let m_write_sectors = Cffs_obs.Registry.counter "blockdev.write_sectors"
 let m_io_errors = Cffs_obs.Registry.counter "blockdev.io_errors"
+let m_host = Cffs_obs.Registry.fcounter "blockdev.host_s"
 
 type backend =
   | Memory of { mutable clock : float; stats : Request.Stats.s }
@@ -185,6 +186,7 @@ let time_request t (req : Request.t) =
           s.writes <- s.writes + 1;
           s.write_sectors <- s.write_sectors + req.sectors)
   | Timed { drive; host_overhead; _ } ->
+      Cffs_obs.Registry.fadd m_host host_overhead;
       Drive.advance drive host_overhead;
       ignore (Drive.service drive req)
 
@@ -246,6 +248,7 @@ let write_service t start data : (unit, Io_error.t) result =
 (* --- the tagged-queue pipeline ------------------------------------------- *)
 
 let h_wait = Cffs_obs.Registry.histogram "ioqueue.wait_s"
+let m_wait_total = Cffs_obs.Registry.fcounter "ioqueue.wait_total_s"
 
 let set_queue t ?depth ?policy ?coalesce () =
   Option.iter (Ioqueue.set_depth t.queue) depth;
@@ -311,7 +314,9 @@ let service_group t (group : qpayload Ioqueue.item list) =
   let now = dev_now t in
   List.iter
     (fun (it : qpayload Ioqueue.item) ->
-      Cffs_obs.Registry.observe h_wait (now -. it.Ioqueue.submitted_at))
+      let wait = now -. it.Ioqueue.submitted_at in
+      Cffs_obs.Registry.observe h_wait wait;
+      Cffs_obs.Registry.fadd m_wait_total wait)
     group;
   let singles () =
     List.map

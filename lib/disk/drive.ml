@@ -12,6 +12,8 @@ let m_cache_hits = Obs.counter "drive.cache_hits"
 let m_seek = Obs.fcounter "drive.seek_s"
 let m_rotation = Obs.fcounter "drive.rotation_s"
 let m_transfer = Obs.fcounter "drive.transfer_s"
+let m_overhead = Obs.fcounter "drive.overhead_s"
+let m_cachehit = Obs.fcounter "drive.cachehit_s"
 let m_busy = Obs.fcounter "drive.busy_s"
 let h_service = Obs.histogram "drive.service_s"
 
@@ -134,12 +136,9 @@ let mechanical t start (req : Request.t) =
    plus burst transfer, no repositioning.  Sustained sequential streams are
    still limited to media rate because the prefetch frontier only advances at
    media rate (see {!settle}). *)
-let cache_hit_time t (req : Request.t) =
-  let bus =
-    float_of_int (req.sectors * Cffs_util.Units.sector_size)
-    /. (t.profile.bus_mb_per_s *. 1.0e6)
-  in
-  ms t.profile.controller_overhead_ms +. bus
+let cache_hit_bus_time t (req : Request.t) =
+  float_of_int (req.sectors * Cffs_util.Units.sector_size)
+  /. (t.profile.bus_mb_per_s *. 1.0e6)
 
 let service_read_miss t start (req : Request.t) =
   let s = t.stats in
@@ -150,9 +149,13 @@ let service_read_miss t start (req : Request.t) =
   s.seek_time <- s.seek_time +. seek_t;
   s.rotation_time <- s.rotation_time +. rot_t;
   s.transfer_time <- s.transfer_time +. xfer_t;
+  s.overhead_time <- s.overhead_time +. overhead;
   t.last_settle <- finish;
   finish -. start
 
+(* Every branch below keeps the attribution invariant the obs layer builds
+   on: duration = seek + rotation + transfer + overhead + cachehit, with
+   each term charged to exactly one [Request.Stats] component. *)
 let service t (req : Request.t) =
   let s = t.stats in
   let before = Request.Stats.copy s in
@@ -162,11 +165,13 @@ let service t (req : Request.t) =
     match req.kind with
     | Read when Dcache.hit t.cache ~lba:req.lba ~sectors:req.sectors ->
         s.cache_hits <- s.cache_hits + 1;
-        let d = cache_hit_time t req in
-        s.transfer_time <- s.transfer_time +. d;
+        let overhead = ms t.profile.controller_overhead_ms in
+        let bus = cache_hit_bus_time t req in
+        s.overhead_time <- s.overhead_time +. overhead;
+        s.cachehit_time <- s.cachehit_time +. bus;
         (* Prefetch keeps running during a bus transfer: leave [last_settle]
            at [start] so the next settle covers this service period too. *)
-        d
+        overhead +. bus
     | Read -> begin
         match Dcache.streaming t.cache ~lba:req.lba ~sectors:req.sectors with
         | Some cached ->
@@ -184,6 +189,7 @@ let service t (req : Request.t) =
               else 0.0
             in
             s.transfer_time <- s.transfer_time +. xfer_t;
+            s.overhead_time <- s.overhead_time +. overhead;
             t.last_settle <- start +. overhead +. xfer_t;
             overhead +. xfer_t
         | None -> service_read_miss t start req
@@ -196,6 +202,7 @@ let service t (req : Request.t) =
         s.seek_time <- s.seek_time +. seek_t;
         s.rotation_time <- s.rotation_time +. rot_t;
         s.transfer_time <- s.transfer_time +. xfer_t;
+        s.overhead_time <- s.overhead_time +. overhead;
         t.last_settle <- finish;
         finish -. start
   in
@@ -217,6 +224,8 @@ let service t (req : Request.t) =
   Obs.fadd m_seek d.seek_time;
   Obs.fadd m_rotation d.rotation_time;
   Obs.fadd m_transfer d.transfer_time;
+  Obs.fadd m_overhead d.overhead_time;
+  Obs.fadd m_cachehit d.cachehit_time;
   Obs.fadd m_busy duration;
   Obs.observe h_service duration;
   if Otrace.is_enabled () then
@@ -227,6 +236,8 @@ let service t (req : Request.t) =
           ("seek_s", Printf.sprintf "%.6f" d.seek_time);
           ("rotation_s", Printf.sprintf "%.6f" d.rotation_time);
           ("transfer_s", Printf.sprintf "%.6f" d.transfer_time);
+          ("overhead_s", Printf.sprintf "%.6f" d.overhead_time);
+          ("cachehit_s", Printf.sprintf "%.6f" d.cachehit_time);
           ("cache_hit", string_of_bool (d.cache_hits > 0));
         ]
       ~t_start:start ~t_end:t.clock

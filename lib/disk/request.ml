@@ -30,6 +30,8 @@ module Stats = struct
     mutable seek_time : float;
     mutable rotation_time : float;
     mutable transfer_time : float;
+    mutable overhead_time : float;
+    mutable cachehit_time : float;
   }
 
   let create () =
@@ -43,6 +45,8 @@ module Stats = struct
       seek_time = 0.0;
       rotation_time = 0.0;
       transfer_time = 0.0;
+      overhead_time = 0.0;
+      cachehit_time = 0.0;
     }
 
   let copy s = { s with reads = s.reads }
@@ -58,6 +62,8 @@ module Stats = struct
       seek_time = now.seek_time -. before.seek_time;
       rotation_time = now.rotation_time -. before.rotation_time;
       transfer_time = now.transfer_time -. before.transfer_time;
+      overhead_time = now.overhead_time -. before.overhead_time;
+      cachehit_time = now.cachehit_time -. before.cachehit_time;
     }
 
   let requests s = s.reads + s.writes
@@ -66,8 +72,10 @@ module Stats = struct
 
   let pp ppf s =
     Format.fprintf ppf
-      "%d reads (%d hits), %d writes, %s moved, busy %.3f s (seek %.3f, rot %.3f, xfer %.3f)"
+      "%d reads (%d hits), %d writes, %s moved, busy %.3f s (seek %.3f, rot %.3f, \
+       xfer %.3f, ovhd %.3f, hit %.3f)"
       s.reads s.cache_hits s.writes
       (Cffs_util.Tablefmt.fmt_bytes (bytes s))
-      s.busy_time s.seek_time s.rotation_time s.transfer_time
+      s.busy_time s.seek_time s.rotation_time s.transfer_time s.overhead_time
+      s.cachehit_time
 end

@@ -24,6 +24,10 @@ module Stats : sig
     mutable seek_time : float;
     mutable rotation_time : float;
     mutable transfer_time : float;
+    mutable overhead_time : float;
+        (** controller command overhead, charged on every request *)
+    mutable cachehit_time : float;
+        (** bus-burst time of reads absorbed by the on-board cache *)
   }
 
   val create : unit -> s

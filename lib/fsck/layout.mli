@@ -1,0 +1,54 @@
+(** Layout introspector: where do an image's blocks actually live?
+
+    Walks a mounted image's namespace and allocation bitmaps and reports
+    the placement properties the paper's claims rest on — how many inodes
+    are embedded, what fraction of small files is fully group-resident,
+    how full the group frames are, and how fragmented the free space is.
+    Fresh images score high; aging erodes residency; configurations
+    without grouping (and FFS) report zero residency by construction,
+    because residency is judged by the file system's own grouping notion
+    rather than accidental physical contiguity. *)
+
+type extent_stats = {
+  free_blocks : int;
+  extents : int;  (** maximal runs of free blocks within the data areas *)
+  largest : int;
+  mean_len : float;
+}
+
+type report = {
+  label : string;
+  total_blocks : int;
+  used_blocks : int;
+  files : int;
+  dirs : int;
+  small_files : int;
+      (** regular files with 1..group_file_blocks data blocks *)
+  small_fully_grouped : int;
+      (** small files whose data blocks all lie in one group frame *)
+  group_residency : float;  (** [small_fully_grouped / small_files] *)
+  embedded_inodes : int;
+  external_inodes : int;
+  group_blocks : int;  (** frame size; 0 when the FS has no grouping *)
+  total_frames : int;
+  frames_active : int;  (** frames holding at least one allocated block *)
+  frames_free : int;
+  frame_fill : int array;
+      (** [frame_fill.(k)] = frames with exactly [k+1] allocated blocks *)
+  grouped_fraction : float;
+      (** {!Cffs.grouped_fraction} same-directory co-location; 0 for FFS *)
+  free_ext : extent_stats;
+}
+
+val cffs_report : Cffs.t -> report
+val ffs_report : Ffs.t -> report
+(** FFS is analysed with the same small-file threshold as the default
+    C-FFS configuration so the two are comparable; its grouping metrics
+    are zero by construction. *)
+
+val to_json : report -> Cffs_obs.Json.t
+(** Fixed key set regardless of configuration (zeros where a concept does
+    not apply) — the always-present contract telemetry consumers rely
+    on. *)
+
+val pp : Format.formatter -> report -> unit

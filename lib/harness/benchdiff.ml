@@ -1,0 +1,207 @@
+module Json = Cffs_obs.Json
+
+(* Regression gate over two telemetry documents: flatten every numeric
+   leaf to a dotted path, classify each path by what "worse" means for it,
+   and compare the paths the two documents share.  Schema drift (a path
+   present on one side only) is reported but never fails the gate — the
+   committed baseline may predate a schema revision. *)
+
+type direction =
+  | Higher_better  (** throughput-like: a drop beyond threshold regresses *)
+  | Lower_better  (** latency/cost-like: a rise beyond threshold regresses *)
+  | Info  (** compared for the report, never a regression *)
+
+type metric = {
+  path : string;
+  a : float;
+  b : float;
+  direction : direction;
+  threshold : float;  (** allowed relative change in the bad direction *)
+  delta_pct : float;  (** (b - a) / |a| * 100, 0 when a = 0 *)
+  regressed : bool;
+}
+
+type result = {
+  metrics : metric list;  (** shared numeric paths, in document order *)
+  regressions : metric list;
+  only_a : string list;
+  only_b : string list;
+}
+
+(* --- flattening ----------------------------------------------------------- *)
+
+(* Arrays of objects are keyed by a discriminating field when one exists
+   (phase, stream, label, metric, config), falling back to the index, so
+   reordering entries does not miscompare them. *)
+let key_fields = [ "phase"; "stream"; "label"; "metric"; "config"; "name" ]
+
+let element_key fields i =
+  let rec pick = function
+    | [] -> string_of_int i
+    | f :: rest -> (
+        match List.assoc_opt f fields with
+        | Some (Json.String s) -> s
+        | _ -> pick rest)
+  in
+  pick key_fields
+
+let flatten (doc : Json.t) : (string * float) list =
+  let out = ref [] in
+  let emit path v = out := (path, v) :: !out in
+  let join prefix k = if prefix = "" then k else prefix ^ "." ^ k in
+  let rec go prefix = function
+    | Json.Int i -> emit prefix (float_of_int i)
+    | Json.Float x -> emit prefix x
+    | Json.Bool _ | Json.String _ | Json.Null -> ()
+    | Json.Obj fields -> List.iter (fun (k, v) -> go (join prefix k) v) fields
+    | Json.List elems ->
+        List.iteri
+          (fun i e ->
+            match e with
+            | Json.Obj fields -> go (join prefix (element_key fields i)) e
+            | e -> go (join prefix (string_of_int i)) e)
+          elems
+  in
+  go "" doc;
+  List.rev !out
+
+(* --- classification ------------------------------------------------------- *)
+
+let has_suffix s suf = String.ends_with ~suffix:suf s
+
+let contains s sub =
+  let n = String.length sub in
+  let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+(* Defaults chosen for the repo's deterministic simulation: identical code
+   reproduces identical numbers, so thresholds only need to absorb genuine
+   behaviour changes between PRs, not run-to-run noise.  Throughput gets
+   15%, latency 25% (percentiles of log₂-bucketed histograms move in
+   steps), counts/seconds 25%. *)
+let default_throughput_threshold = 0.15
+let default_latency_threshold = 0.25
+
+let classify path =
+  let leaf =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  if contains path ".points." then
+    (* Time-series samples are instantaneous registry readings compared by
+       point index; a one-point phase shift between two PRs is not a
+       regression, so the whole section is informational. *)
+    (Info, 0.0)
+  else if
+    has_suffix leaf "_per_sec" || has_suffix leaf "_per_s"
+    || has_suffix leaf "speedup" || leaf = "ratio" || leaf = "mb_per_s"
+    || has_suffix leaf "kb_per_sec"
+  then (Higher_better, default_throughput_threshold)
+  else if
+    leaf = "seconds" || leaf = "requests_per_file" || has_suffix leaf "_ms"
+    || has_suffix leaf "_s"
+       && List.exists (fun p -> contains leaf p)
+            [ "p50"; "p95"; "p99"; "p90"; "sum"; "total" ]
+  then (Lower_better, default_latency_threshold)
+  else if
+    (* Population-shape statistics: a cache layer that absorbs most ops
+       leaves only the expensive misses in the histogram, raising the mean
+       and extremes while total time and percentiles of the remaining work
+       are unchanged.  Report them, never gate on them. *)
+    has_suffix leaf "_s"
+    && List.exists (fun p -> contains leaf p) [ "mean"; "max"; "min" ]
+  then (Info, 0.0)
+  else (Info, 0.0)
+
+(* --- comparison ----------------------------------------------------------- *)
+
+let compare_metric path a b =
+  let direction, threshold = classify path in
+  let delta_pct = if a = 0.0 then 0.0 else (b -. a) /. Float.abs a *. 100.0 in
+  let regressed =
+    (* Tiny absolute values are noise even in a deterministic simulation:
+       a percentile moving 1 µs should not gate a PR. *)
+    let material = Float.abs (b -. a) > 1e-5 && Float.abs a > 1e-6 in
+    material
+    &&
+    match direction with
+    | Higher_better -> b < a *. (1.0 -. threshold)
+    | Lower_better -> b > a *. (1.0 +. threshold)
+    | Info -> false
+  in
+  { path; a; b; direction; threshold; delta_pct; regressed }
+
+let diff (doc_a : Json.t) (doc_b : Json.t) : result =
+  let fa = flatten doc_a and fb = flatten doc_b in
+  let tb = Hashtbl.create 256 in
+  List.iter (fun (p, v) -> Hashtbl.replace tb p v) fb;
+  let ta = Hashtbl.create 256 in
+  List.iter (fun (p, v) -> Hashtbl.replace ta p v) fa;
+  let metrics =
+    List.filter_map
+      (fun (p, a) ->
+        match Hashtbl.find_opt tb p with
+        | Some b -> Some (compare_metric p a b)
+        | None -> None)
+      fa
+  in
+  {
+    metrics;
+    regressions = List.filter (fun m -> m.regressed) metrics;
+    only_a = List.filter_map (fun (p, _) ->
+        if Hashtbl.mem tb p then None else Some p) fa;
+    only_b = List.filter_map (fun (p, _) ->
+        if Hashtbl.mem ta p then None else Some p) fb;
+  }
+
+let clean r = r.regressions = []
+
+(* --- reporting ------------------------------------------------------------ *)
+
+let direction_name = function
+  | Higher_better -> "higher-better"
+  | Lower_better -> "lower-better"
+  | Info -> "info"
+
+let pp ?(verbose = false) ppf r =
+  let interesting m =
+    m.regressed || (m.direction <> Info && Float.abs m.delta_pct >= 5.0)
+  in
+  let shown = if verbose then r.metrics else List.filter interesting r.metrics in
+  Format.fprintf ppf "%d shared metrics, %d regressions@."
+    (List.length r.metrics) (List.length r.regressions);
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "  %s %-14s %-60s %14.6g -> %-14.6g %+.1f%%@."
+        (if m.regressed then "!" else " ")
+        (direction_name m.direction) m.path m.a m.b m.delta_pct)
+    shown;
+  if r.only_a <> [] then
+    Format.fprintf ppf "  only in A: %d paths%s@." (List.length r.only_a)
+      (if verbose then " (" ^ String.concat ", " r.only_a ^ ")" else "");
+  if r.only_b <> [] then
+    Format.fprintf ppf "  only in B: %d paths%s@." (List.length r.only_b)
+      (if verbose then " (" ^ String.concat ", " r.only_b ^ ")" else "")
+
+let to_json r =
+  let metric_json m =
+    Json.Obj
+      [
+        ("metric", Json.String m.path);
+        ("direction", Json.String (direction_name m.direction));
+        ("a", Json.Float m.a);
+        ("b", Json.Float m.b);
+        ("delta_pct", Json.Float m.delta_pct);
+        ("threshold_pct", Json.Float (m.threshold *. 100.0));
+        ("regressed", Json.Bool m.regressed);
+      ]
+  in
+  Json.Obj
+    [
+      ("shared_metrics", Json.Int (List.length r.metrics));
+      ("regressions", Json.List (List.map metric_json r.regressions));
+      ("only_a", Json.List (List.map (fun p -> Json.String p) r.only_a));
+      ("only_b", Json.List (List.map (fun p -> Json.String p) r.only_b));
+      ("clean", Json.Bool (clean r));
+    ]

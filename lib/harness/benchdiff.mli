@@ -1,0 +1,43 @@
+(** Benchmark regression gate: compare two telemetry JSON documents.
+
+    Flattens every numeric leaf of both documents to a dotted path (array
+    elements keyed by their [phase]/[stream]/[label]/[metric]/[config]
+    field when present), classifies each path by what "worse" means for it
+    — throughput-like suffixes are higher-better, latency/cost-like are
+    lower-better, everything else informational — and flags shared paths
+    that moved beyond their threshold in the bad direction.  Paths present
+    in only one document are reported but never regress, so the gate
+    tolerates schema evolution against an older committed baseline. *)
+
+type direction = Higher_better | Lower_better | Info
+
+type metric = {
+  path : string;
+  a : float;
+  b : float;
+  direction : direction;
+  threshold : float;  (** allowed relative change in the bad direction *)
+  delta_pct : float;  (** (b - a) / |a| * 100, 0 when a = 0 *)
+  regressed : bool;
+}
+
+type result = {
+  metrics : metric list;  (** shared numeric paths, in document order *)
+  regressions : metric list;
+  only_a : string list;
+  only_b : string list;
+}
+
+val flatten : Cffs_obs.Json.t -> (string * float) list
+val classify : string -> direction * float
+
+val diff : Cffs_obs.Json.t -> Cffs_obs.Json.t -> result
+(** [diff baseline candidate]. *)
+
+val clean : result -> bool
+
+val pp : ?verbose:bool -> Format.formatter -> result -> unit
+(** Default output shows regressions and shared metrics that moved ≥ 5%;
+    [~verbose:true] lists every shared metric and the schema-only paths. *)
+
+val to_json : result -> Cffs_obs.Json.t

@@ -446,7 +446,7 @@ let document ?(seed = 1) ?(points = 200) () =
   let _ops, counters = Telemetry.split_delta delta in
   Json.Obj
     [
-      ("schema", Json.String "cffs-telemetry-v1");
+      ("schema", Json.String "cffs-telemetry-v2");
       ("benchmark", Json.String "crashtest");
       ("seed", Json.Int seed);
       ("points", Json.Int points);

@@ -70,7 +70,7 @@ val fault_drill : unit -> unit
 
 val document : ?seed:int -> ?points:int -> unit -> Cffs_obs.Json.t
 (** Full matrix run plus {!fault_drill}, packaged as a
-    [cffs-telemetry-v1] document with benchmark ["crashtest"]. *)
+    [cffs-telemetry-v2] document with benchmark ["crashtest"]. *)
 
 val print_human : ?seed:int -> ?points:int -> unit -> unit
 (** Table on stdout; exits non-zero if any invariant was violated. *)

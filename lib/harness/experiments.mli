@@ -48,6 +48,11 @@ val fig7_size_sweep : scale -> Cffs_util.Tablefmt.t
 val fig8_aging : scale -> Cffs_util.Tablefmt.t
 (** E8: aging — cold-read throughput and grouping quality vs utilization. *)
 
+val fig8_decay : scale -> Cffs_util.Tablefmt.t
+(** E8 over time: grouping quality sampled on the simulated clock while
+    the churn runs (installed-sampler time series with a grouped-fraction
+    probe), at the highest utilization in [scale.aging_points]. *)
+
 val table3_apps : scale -> Cffs_util.Tablefmt.t
 (** E9 / software-development applications, with % improvement. *)
 

@@ -1,23 +1,46 @@
 module Registry = Cffs_obs.Registry
 module Json = Cffs_obs.Json
+module Sampler = Cffs_obs.Sampler
 module Env = Cffs_workload.Env
 module Smallfile = Cffs_workload.Smallfile
 module Tablefmt = Cffs_util.Tablefmt
+module Blockdev = Cffs_blockdev.Blockdev
+module Fs_intf = Cffs_vfs.Fs_intf
+module Obs_low = Cffs_vfs.Obs_low
+module Layout = Cffs_fsck.Layout
 
-let schema = "cffs-telemetry-v1"
+let schema = "cffs-telemetry-v2"
+
+(* Time-series capture: metric prefixes worth curves.  The op histograms
+   contribute [.count]/[.sum_s] series (rates by diffing points) and the
+   drive fcounters the mechanical-time split over time. *)
+let sample_prefixes = [ "drive."; "cffs.op."; "ffs.op." ]
 
 type config_run = {
   label : string;
   results : Smallfile.result list;
   delta : Registry.snapshot;  (** registry delta over the run *)
+  timeseries : Json.t;  (** sampler output captured during the run *)
 }
 
-let run_config ~nfiles ~file_bytes ~policy fs =
+let run_config ?(sample_interval_s = 0.5) ~nfiles ~file_bytes ~policy fs =
   let inst = Setup.instantiate (Setup.standard ~policy fs) in
   let before = Registry.snapshot () in
-  let results = Smallfile.run ~nfiles ~file_bytes inst.Setup.env in
+  let sampler =
+    Sampler.create ~prefixes:sample_prefixes ~interval_s:sample_interval_s
+      ~start:(Blockdev.now inst.Setup.env.Env.dev) ()
+  in
+  let results =
+    Sampler.with_sampler sampler (fun () ->
+        Smallfile.run ~nfiles ~file_bytes inst.Setup.env)
+  in
   let delta = Registry.diff (Registry.snapshot ()) before in
-  { label = Setup.fs_kind_label fs; results; delta }
+  {
+    label = Setup.fs_kind_label fs;
+    results;
+    delta;
+    timeseries = Sampler.to_json sampler;
+  }
 
 (* The two endpoints of the paper's comparison: both-techniques-off (the
    conventional FFS-style configuration) and both-techniques-on. *)
@@ -116,7 +139,7 @@ let integrity_json () =
        ])
 
 (* Same always-present contract for the dentry/attribute cache: every
-   [cffs-telemetry-v1] document carries the full namei key set, zeros
+   [cffs-telemetry-v2] document carries the full namei key set, zeros
    included, whether or not the run resolved a single name. *)
 let namei_counter_names =
   [
@@ -137,21 +160,135 @@ let namei_json ?snap () =
        (fun name -> (name, Json.Int (Registry.get_counter snap name)))
        namei_counter_names)
 
+(* --- grouping: the layout introspector on freshly populated images ------- *)
+
+(* The benchmark images are useless for layout analysis — smallfile's
+   delete phase empties them — so the grouping section formats a fresh
+   image per configuration, populates it with small files, and runs the
+   {!Cffs_fsck.Layout} introspector.  Always present: FFS and no-grouping
+   configurations report zero residency by construction, which is itself
+   the claim the section documents. *)
+let layout_of_populated ?(nfiles = 120) ?(files_per_dir = 40) ~policy
+    ~file_bytes fs =
+  let inst = Setup.instantiate (Setup.standard ~policy fs) in
+  let (Fs_intf.Packed ((module F), handle)) = inst.Setup.env.Env.fs in
+  let payload = Bytes.make file_bytes 'g' in
+  let check what = function
+    | Ok _ -> ()
+    | Error e ->
+        failwith
+          (Printf.sprintf "layout populate %s: %s" what
+             (Cffs_vfs.Errno.to_string e))
+  in
+  check "mkdir" (F.mkdir handle "/pop");
+  let ndirs = (nfiles + files_per_dir - 1) / files_per_dir in
+  for d = 0 to ndirs - 1 do
+    check "mkdir" (F.mkdir handle (Printf.sprintf "/pop/d%02d" d))
+  done;
+  for i = 0 to nfiles - 1 do
+    check "write"
+      (F.write_file handle
+         (Printf.sprintf "/pop/d%02d/f%04d" (i / files_per_dir) i)
+         payload)
+  done;
+  F.sync handle;
+  match (inst.Setup.cffs, inst.Setup.ffs) with
+  | Some fs, _ -> Layout.cffs_report fs
+  | None, Some fs -> Layout.ffs_report fs
+  | None, None -> assert false
+
+let grouping_json ?(policy = Cffs_cache.Cache.Sync_metadata)
+    ?(file_bytes = 1024) configs =
+  Json.Obj
+    [
+      ( "images",
+        Json.List
+          (List.map
+             (fun fs ->
+               Layout.to_json (layout_of_populated ~policy ~file_bytes fs))
+             configs) );
+    ]
+
+(* --- latency_breakdown: per-op-class percentiles and attribution --------- *)
+
+let op_classes = [ "lookup"; "create"; "unlink"; "read"; "write" ]
+let breakdown_prefixes = [ "cffs"; "ffs" ]
+
+(* Always-present contract: both prefixes and all five op classes appear
+   with the full key set, zeros where an op class never ran.  The
+   components are the obs_low attribution fcounters; the first
+   {!Obs_low.n_summed} of them sum to [total_s] (the invariant the
+   attribution property test asserts), [queue_wait_s] overlaps device
+   service and is reported alongside, and [other_s] is the residual. *)
+let latency_breakdown_json (delta : Registry.snapshot) =
+  let op_json prefix op =
+    let comps =
+      Array.to_list
+        (Array.map
+           (fun comp ->
+             ( comp ^ "_s",
+               Registry.get_fcounter delta
+                 (prefix ^ ".lat." ^ op ^ "." ^ comp ^ "_s") ))
+           Obs_low.component_names)
+    in
+    let count, total, p50, p95, p99 =
+      match Registry.get_histogram delta (prefix ^ ".op." ^ op ^ "_s") with
+      | Some h when h.Registry.count > 0 ->
+          ( h.Registry.count,
+            h.Registry.sum,
+            Registry.hist_percentile h 50.0,
+            Registry.hist_percentile h 95.0,
+            Registry.hist_percentile h 99.0 )
+      | _ -> (0, 0.0, 0.0, 0.0, 0.0)
+    in
+    let summed =
+      List.filteri (fun i _ -> i < Obs_low.n_summed) comps
+      |> List.fold_left (fun acc (_, v) -> acc +. v) 0.0
+    in
+    ( op,
+      Json.Obj
+        ([
+           ("count", Json.Int count);
+           ("total_s", Json.Float total);
+           ("p50_s", Json.Float p50);
+           ("p95_s", Json.Float p95);
+           ("p99_s", Json.Float p99);
+         ]
+        @ List.map (fun (k, v) -> (k, Json.Float v)) comps
+        @ [ ("other_s", Json.Float (total -. summed)) ]) )
+  in
+  Json.Obj
+    (List.map
+       (fun prefix -> (prefix, Json.Obj (List.map (op_json prefix) op_classes)))
+       breakdown_prefixes)
+
+(* --- timeseries: per-config sampler curves ------------------------------- *)
+
+let timeseries_json runs =
+  Json.Obj
+    [
+      ( "configs",
+        Json.List
+          (List.map
+             (fun run ->
+               match run.timeseries with
+               | Json.Obj fields ->
+                   Json.Obj (("label", Json.String run.label) :: fields)
+               | j -> j)
+             runs) );
+    ]
+
 (* The async-pipeline headline: the multi-client workload at queue depth 1
    under FCFS (a queueless disk) vs a deep C-LOOK window with coalescing,
    on the no-technique configuration — where the queue has the most
    headroom, since grouping already captures small-file locality
    synchronously. *)
-let concurrency_json () =
+let concurrency_json ?(nstreams = 4) ?(files_per_stream = 50) ?(large_mb = 2)
+    () =
   let module Mclient = Cffs_workload.Mclient in
   let module Scheduler = Cffs_disk.Scheduler in
   let params =
-    {
-      Mclient.default_params with
-      Mclient.nstreams = 4;
-      files_per_stream = 50;
-      large_mb = 2;
-    }
+    { Mclient.default_params with Mclient.nstreams; files_per_stream; large_mb }
   in
   let run ~qdepth ~sched ~coalesce =
     let inst =
@@ -176,8 +313,22 @@ let concurrency_json () =
     ]
 
 let document ?(nfiles = 400) ?(file_bytes = 1024)
-    ?(policy = Cffs_cache.Cache.Sync_metadata) ?(configs = default_pair) () =
-  let runs = List.map (run_config ~nfiles ~file_bytes ~policy) configs in
+    ?(policy = Cffs_cache.Cache.Sync_metadata) ?(configs = default_pair)
+    ?(sample_interval_s = 0.5) ?(mclient_files_per_stream = 50)
+    ?(mclient_large_mb = 2) () =
+  (* Sections are built in explicit sequence because the registry is
+     global: the latency breakdown covers exactly the config runs, not the
+     layout population or the concurrency experiment that follow. *)
+  let before = Registry.snapshot () in
+  let runs =
+    List.map (run_config ~sample_interval_s ~nfiles ~file_bytes ~policy) configs
+  in
+  let lat_delta = Registry.diff (Registry.snapshot ()) before in
+  let grouping = grouping_json ~policy ~file_bytes configs in
+  let concurrency =
+    concurrency_json ~files_per_stream:mclient_files_per_stream
+      ~large_mb:mclient_large_mb ()
+  in
   Json.Obj
     [
       ("schema", Json.String schema);
@@ -186,9 +337,12 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
       ("file_bytes", Json.Int file_bytes);
       ("policy", Json.String (Cffs_cache.Cache.policy_name policy));
       ("configs", Json.List (List.map config_to_json runs));
+      ("grouping", grouping);
+      ("latency_breakdown", latency_breakdown_json lat_delta);
+      ("timeseries", timeseries_json runs);
       ("integrity", integrity_json ());
       ("namei", namei_json ());
-      ("concurrency", concurrency_json ());
+      ("concurrency", concurrency);
       ("derived", Json.Obj (derived_json runs));
     ]
 
@@ -211,8 +365,19 @@ let statbench_run_json ~scale ~fs ~cached =
     if cached then Cffs_namei.Namei.config_default
     else Cffs_namei.Namei.config_disabled
   in
-  let results, delta = Experiments.run_statbench scale ~fs ~namei in
+  (* Fresh instances start their simulated clock at zero, so the sampler
+     can be armed before the run's device exists. *)
+  let sampler =
+    Sampler.create ~prefixes:sample_prefixes ~interval_s:0.5 ~start:0.0 ()
+  in
+  let results, delta =
+    Sampler.with_sampler sampler (fun () ->
+        Experiments.run_statbench scale ~fs ~namei)
+  in
   let ops, counters = split_delta delta in
+  let label =
+    Setup.fs_kind_label fs ^ ", namei " ^ if cached then "on" else "off"
+  in
   ( results,
     Json.Obj
       [
@@ -222,34 +387,44 @@ let statbench_run_json ~scale ~fs ~cached =
         ("namei_counters", namei_json ~snap:delta ());
         ("ops", Json.Obj ops);
         ("counters", Json.Obj counters);
-      ] )
+      ],
+    match Sampler.to_json sampler with
+    | Json.Obj fields -> Json.Obj (("label", Json.String label) :: fields)
+    | j -> j )
 
 let statbench_document ?(scale = Experiments.quick) () =
+  let statbench_fss = [ Setup.Ffs_baseline; Setup.Cffs_fs Cffs.config_default ] in
   let warm results =
     List.find
       (fun (r : Cffs_workload.Statbench.result) ->
         r.phase = Cffs_workload.Statbench.Stat_warm)
       results
   in
+  let before = Registry.snapshot () in
   let runs =
     List.concat_map
       (fun fs ->
-        let uncached_results, uncached = statbench_run_json ~scale ~fs ~cached:false in
-        let cached_results, cached = statbench_run_json ~scale ~fs ~cached:true in
+        let uncached_results, uncached, ts_u =
+          statbench_run_json ~scale ~fs ~cached:false
+        in
+        let cached_results, cached, ts_c =
+          statbench_run_json ~scale ~fs ~cached:true
+        in
         let speedup =
           let u = (warm uncached_results).Cffs_workload.Statbench.measure.Env.seconds in
           let c = (warm cached_results).Cffs_workload.Statbench.measure.Env.seconds in
           if c > 0.0 then u /. c else 0.0
         in
         [
-          (uncached, None);
-          (cached, Some (Setup.fs_kind_label fs, speedup));
+          (uncached, ts_u, None);
+          (cached, ts_c, Some (Setup.fs_kind_label fs, speedup));
         ])
-      [ Setup.Ffs_baseline; Setup.Cffs_fs Cffs.config_default ]
+      statbench_fss
   in
+  let lat_delta = Registry.diff (Registry.snapshot ()) before in
   let derived =
     List.filter_map
-      (fun (_, d) ->
+      (fun (_, _, d) ->
         Option.map
           (fun (label, speedup) ->
             (label ^ " warm_stat_speedup", Json.Float speedup))
@@ -264,7 +439,12 @@ let statbench_document ?(scale = Experiments.quick) () =
       ("files_per_dir", Json.Int scale.Experiments.stat_files_per_dir);
       ("repeats", Json.Int scale.Experiments.stat_repeats);
       ("cache_blocks", Json.Int scale.Experiments.stat_cache_blocks);
-      ("configs", Json.List (List.map fst runs));
+      ("configs", Json.List (List.map (fun (c, _, _) -> c) runs));
+      ("grouping", grouping_json statbench_fss);
+      ("latency_breakdown", latency_breakdown_json lat_delta);
+      ( "timeseries",
+        Json.Obj
+          [ ("configs", Json.List (List.map (fun (_, ts, _) -> ts) runs)) ] );
       ("integrity", integrity_json ());
       ("namei", namei_json ());
       ("derived", Json.Obj derived);

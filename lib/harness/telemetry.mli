@@ -3,17 +3,21 @@
     Runs the paper's headline workload on a pair of configurations
     (conventional vs full C-FFS by default) and packages everything the
     obs layer collected — per-phase device measures, per-op latency
-    histograms, and the full counter delta — into one JSON document with
-    schema ["cffs-telemetry-v1"].  [cffs_cli stats] and
-    [bench/main.exe --json] both emit this document, so the performance
-    trajectory of the repo is tracked in a diffable format from PR to
-    PR. *)
+    histograms, the full counter delta, the layout introspector's view of
+    freshly populated images ([grouping]), per-op-class latency
+    attribution ([latency_breakdown]), and sampled time-series curves
+    ([timeseries]) — into one JSON document with schema
+    ["cffs-telemetry-v2"].  [cffs_cli stats] and [bench/main.exe --json]
+    both emit this document, so the performance trajectory of the repo is
+    tracked in a diffable format from PR to PR (see {!Benchdiff}). *)
 
 type config_run = {
   label : string;
   results : Cffs_workload.Smallfile.result list;
   delta : Cffs_obs.Registry.snapshot;
       (** registry delta over the run (counters, fcounters, histograms) *)
+  timeseries : Cffs_obs.Json.t;
+      (** {!Cffs_obs.Sampler.to_json} output captured during the run *)
 }
 
 val split_delta :
@@ -21,16 +25,39 @@ val split_delta :
   (string * Cffs_obs.Json.t) list * (string * Cffs_obs.Json.t) list
 (** Split a registry delta into (per-op latency histograms, non-zero
     counters), each already rendered to JSON.  Shared by every
-    [cffs-telemetry-v1] emitter. *)
+    [cffs-telemetry-v2] emitter. *)
 
 val run_config :
+  ?sample_interval_s:float ->
   nfiles:int ->
   file_bytes:int ->
   policy:Cffs_cache.Cache.policy ->
   Setup.fs_kind ->
   config_run
-(** Format a fresh filesystem, run the small-file benchmark, and capture
-    the registry delta. *)
+(** Format a fresh filesystem, run the small-file benchmark under an
+    installed sampler (default period 0.5 s of simulated time), and
+    capture the registry delta. *)
+
+val layout_of_populated :
+  ?nfiles:int ->
+  ?files_per_dir:int ->
+  policy:Cffs_cache.Cache.policy ->
+  file_bytes:int ->
+  Setup.fs_kind ->
+  Cffs_fsck.Layout.report
+(** Format a fresh image, populate it with small files (default 120 of
+    [file_bytes] across a few directories), and run the layout
+    introspector on the result — the ["grouping"] section's per-image
+    evidence. *)
+
+val latency_breakdown_json :
+  Cffs_obs.Registry.snapshot -> Cffs_obs.Json.t
+(** The ["latency_breakdown"] section over a registry delta: for each of
+    [cffs]/[ffs] and each op class (lookup/create/unlink/read/write), the
+    count, total, p50/p95/p99, and the per-component attribution
+    (seek/rotation/transfer/overhead/cachehit/host, plus overlapping
+    queue_wait and the residual other).  Every key is present even when an
+    op class never ran. *)
 
 val default_pair : Setup.fs_kind list
 (** [C-FFS (none); C-FFS (EI+EG)] — the comparison the paper's Tables 2–4
@@ -52,13 +79,17 @@ val document :
   ?file_bytes:int ->
   ?policy:Cffs_cache.Cache.policy ->
   ?configs:Setup.fs_kind list ->
+  ?sample_interval_s:float ->
+  ?mclient_files_per_stream:int ->
+  ?mclient_large_mb:int ->
   unit ->
   Cffs_obs.Json.t
 (** The telemetry document.  Defaults: 400 files (the quick scale) of
-    1 KB under sync-metadata, over {!default_pair}. *)
+    1 KB under sync-metadata, over {!default_pair}; the mclient knobs
+    scale the concurrency experiment down for fast schema tests. *)
 
 val statbench_document : ?scale:Experiments.scale -> unit -> Cffs_obs.Json.t
-(** The stat-heavy benchmark as a [cffs-telemetry-v1] document: FFS and
+(** The stat-heavy benchmark as a [cffs-telemetry-v2] document: FFS and
     C-FFS (EI+EG), each with the namei caches off and on
     ({!Experiments.run_statbench} sizing, default {!Experiments.quick}),
     plus the derived warm repeated-stat speedup per file system. *)

@@ -1,9 +1,10 @@
-(** Minimal JSON document builder.
+(** Minimal JSON document builder and reader.
 
     The repository deliberately has no JSON dependency; this covers the
-    subset the telemetry exporters need: construction and serialisation
-    (no parsing).  Serialisation is deterministic — object fields are
-    emitted in construction order — so exported documents can be compared
+    subset the telemetry tooling needs: construction, serialisation, and
+    a small strict parser (for [benchdiff] reading committed baselines).
+    Serialisation is deterministic — object fields are emitted in
+    construction order — so exported documents can be compared
     byte-for-byte in golden tests. *)
 
 type t =
@@ -21,3 +22,9 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** Two-space-indented serialisation for human eyes. *)
+
+val parse : string -> (t, string) result
+(** Strict RFC-8259 parser over the whole input: numbers without a
+    fraction or exponent become [Int] (degrading to [Float] beyond native
+    int range), object field order is preserved, and trailing non-space
+    input is an error.  Errors carry a byte offset. *)

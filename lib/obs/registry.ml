@@ -262,10 +262,11 @@ let to_table ?title ?(drop_zero = true) snap =
               [
                 name;
                 string_of_int h.count;
-                Printf.sprintf "mean %s  p50 %s  p95 %s  max %s"
+                Printf.sprintf "mean %s  p50 %s  p95 %s  p99 %s  max %s"
                   (fmt_seconds (hist_mean h))
                   (fmt_seconds (hist_percentile h 50.0))
                   (fmt_seconds (hist_percentile h 95.0))
+                  (fmt_seconds (hist_percentile h 99.0))
                   (fmt_seconds h.max);
               ])
     snap;
@@ -280,7 +281,7 @@ let hist_to_json (h : hist_snapshot) =
       ("max_s", Json.Float h.max);
       ("mean_s", Json.Float (hist_mean h));
       ("p50_s", Json.Float (hist_percentile h 50.0));
-      ("p90_s", Json.Float (hist_percentile h 90.0));
+      ("p95_s", Json.Float (hist_percentile h 95.0));
       ("p99_s", Json.Float (hist_percentile h 99.0));
     ]
 

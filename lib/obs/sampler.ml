@@ -1,0 +1,97 @@
+(* Time-series sampler over the registry: capture scalar metric values at
+   a fixed cadence of *simulated* time, so a long benchmark or aging run
+   yields curves (throughput, grouping decay, cache occupancy) rather than
+   only endpoint aggregates.
+
+   Workload drivers call {!poll_current} from their op loops with the
+   device clock; the harness installs/uninstalls the active sampler around
+   a run.  Polling when no sampler is installed, or between interval
+   boundaries, is a cheap no-op — the drivers stay instrumented
+   unconditionally. *)
+
+type sample = { s_t : float; s_values : (string * float) list }
+
+type t = {
+  interval : float;
+  prefixes : string list option;
+  extra : (unit -> (string * float) list) option;
+  mutable next : float;
+  mutable rev_samples : sample list;
+}
+
+let create ?prefixes ?extra ~interval_s ~start () =
+  if interval_s <= 0.0 then invalid_arg "Sampler.create: interval";
+  { interval = interval_s; prefixes; extra; next = start; rev_samples = [] }
+
+let keep t name =
+  match t.prefixes with
+  | None -> true
+  | Some ps -> List.exists (fun p -> String.starts_with ~prefix:p name) ps
+
+(* Scalars only: counters, fcounters and gauges directly; histograms as
+   their count and sum (rates and means are recoverable by diffing
+   successive samples). *)
+let scalars t () =
+  List.concat_map
+    (fun (name, d) ->
+      if not (keep t name) then []
+      else
+        match (d : Registry.datum) with
+        | Registry.Counter v -> [ (name, float_of_int v) ]
+        | Registry.Fcounter v | Registry.Gauge v -> [ (name, v) ]
+        | Registry.Histogram h ->
+            [ (name ^ ".count", float_of_int h.Registry.count);
+              (name ^ ".sum_s", h.Registry.sum) ])
+    (Registry.snapshot ())
+
+let take t ~now =
+  let values =
+    scalars t () @ (match t.extra with None -> [] | Some f -> f ())
+  in
+  t.rev_samples <- { s_t = now; s_values = values } :: t.rev_samples
+
+let poll t ~now =
+  if now >= t.next then begin
+    take t ~now;
+    (* Re-arm relative to [now]: a workload phase that stalls past several
+       boundaries yields one sample on resume, not a backfilled burst. *)
+    t.next <- now +. t.interval
+  end
+
+let samples t =
+  List.rev_map (fun s -> (s.s_t, s.s_values)) t.rev_samples
+
+let interval t = t.interval
+
+let to_json t =
+  Json.Obj
+    [
+      ("interval_s", Json.Float t.interval);
+      ("samples", Json.Int (List.length t.rev_samples));
+      ( "points",
+        Json.List
+          (List.rev_map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("t_s", Json.Float s.s_t);
+                   ( "values",
+                     Json.Obj
+                       (List.map (fun (k, v) -> (k, Json.Float v)) s.s_values) );
+                 ])
+             t.rev_samples) );
+    ]
+
+(* --- the installed sampler ----------------------------------------------- *)
+
+let current : t option ref = ref None
+
+let set_current s = current := s
+
+let poll_current ~now =
+  match !current with None -> () | Some t -> poll t ~now
+
+let with_sampler t f =
+  let prev = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := prev) f

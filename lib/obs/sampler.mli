@@ -1,0 +1,50 @@
+(** Time-series sampling of the metrics registry on the simulated clock.
+
+    A sampler records the registry's scalar values every [interval_s]
+    seconds of simulated time.  Workload drivers poll the {e installed}
+    sampler from their op loops ({!poll_current} — a no-op when nothing is
+    installed), so any run bracketed by {!with_sampler} yields curves:
+    throughput over time, grouping decay under aging, cache occupancy.
+
+    Histograms contribute two series per metric, [<name>.count] and
+    [<name>.sum_s]; rates and running means are recovered by diffing
+    successive points. *)
+
+type t
+
+val create :
+  ?prefixes:string list ->
+  ?extra:(unit -> (string * float) list) ->
+  interval_s:float ->
+  start:float ->
+  unit ->
+  t
+(** [create ~interval_s ~start ()] samples at [start], [start+interval_s],
+    … of simulated time.  [prefixes] restricts captured metrics to those
+    with a matching name prefix; [extra] contributes derived series (e.g.
+    a grouped-fraction probe) evaluated at every sample point. *)
+
+val poll : t -> now:float -> unit
+(** Take a sample if [now] has reached the next boundary; re-arms relative
+    to [now] so a stall across several boundaries yields one sample, not a
+    backfilled burst. *)
+
+val samples : t -> (float * (string * float) list) list
+(** Chronological [(t_s, values)] points. *)
+
+val interval : t -> float
+
+val to_json : t -> Json.t
+(** [{"interval_s";"samples";"points":[{"t_s";"values":{...}}]}]. *)
+
+(** {1 The installed sampler}
+
+    Global, like the registry it samples: drivers poll whatever sampler
+    the harness has installed for the current run. *)
+
+val set_current : t option -> unit
+val poll_current : now:float -> unit
+
+val with_sampler : t -> (unit -> 'a) -> 'a
+(** Install [t] for the duration of the callback (restoring the previous
+    installation after), then read its {!samples}. *)

@@ -75,7 +75,9 @@ let run (env : Env.t) spec =
        mix hovers near 50/50, which maximises churn. *)
     let u = utilization (F.usage fs) in
     let p_create = if u >= spec.target_utilization then 0.3 else 0.92 in
-    if Prng.chance prng p_create || !nalive = 0 then create () else delete ()
+    if Prng.chance prng p_create || !nalive = 0 then create () else delete ();
+    Cffs_obs.Sampler.poll_current
+      ~now:(Cffs_blockdev.Blockdev.now env.Env.dev)
   done;
   F.sync fs;
   {

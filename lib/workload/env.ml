@@ -22,6 +22,8 @@ type measure = {
   seek_s : float;
   rotation_s : float;
   transfer_s : float;
+  overhead_s : float;
+  cachehit_s : float;
 }
 
 (* Measurement rides on obs-registry snapshots: request counts come from
@@ -50,6 +52,8 @@ let measured t f =
     seek_s = R.get_fcounter d "drive.seek_s";
     rotation_s = R.get_fcounter d "drive.rotation_s";
     transfer_s = R.get_fcounter d "drive.transfer_s";
+    overhead_s = R.get_fcounter d "drive.overhead_s";
+    cachehit_s = R.get_fcounter d "drive.cachehit_s";
   }
 
 let pp_measure ppf m =

@@ -31,6 +31,8 @@ type measure = {
   seek_s : float;  (** mechanical time split of the device activity *)
   rotation_s : float;
   transfer_s : float;
+  overhead_s : float;  (** controller command overhead *)
+  cachehit_s : float;  (** bus time of reads served from the drive cache *)
 }
 
 val measured : t -> (unit -> unit) -> measure

@@ -63,10 +63,10 @@ type result = {
   total_kb_per_sec : float;
   small_files_per_sec : float;
   measure : Env.measure;
-  qdepth_mean : float;  (** queued requests seen at each dispatch *)
-  qdepth_max : float;
-  wait_mean_ms : float;  (** submit-to-service latency *)
-  wait_p95_ms : float;
+  qdepth_mean : float option;  (** queued requests seen at each dispatch *)
+  qdepth_max : float option;
+  wait_mean_ms : float option;  (** submit-to-service latency *)
+  wait_p95_ms : float option;
   dispatches : int;
   coalesced : int;
 }
@@ -114,7 +114,10 @@ let run ?(params = default_params) ~cache (env : Env.t) =
          (Errno.to_string e))
   in
   let check what = function Ok _ -> () | Error e -> fail what e in
-  let op () = Blockdev.advance dev env.Env.cpu_per_op in
+  let op () =
+    Blockdev.advance dev env.Env.cpu_per_op;
+    Cffs_obs.Sampler.poll_current ~now:(Blockdev.now dev)
+  in
   let prng = Cffs_util.Prng.create p.prng_seed in
   let payload = Cffs_util.Prng.bytes prng p.file_bytes in
   let bsz = Blockdev.block_size dev in
@@ -273,12 +276,13 @@ let run ?(params = default_params) ~cache (env : Env.t) =
     small_files_per_sec =
       (if seconds <= 0.0 then 0.0 else float_of_int small_ops /. seconds);
     measure = m;
-    qdepth_mean = (match depth_h with Some h -> R.hist_mean h | None -> 0.0);
-    qdepth_max = (match depth_h with Some h -> h.R.max | None -> 0.0);
-    wait_mean_ms =
-      (match wait_h with Some h -> 1e3 *. R.hist_mean h | None -> 0.0);
-    wait_p95_ms =
-      (match wait_h with Some h -> 1e3 *. R.hist_percentile h 95.0 | None -> 0.0);
+    (* [None] means the histogram recorded no samples in the measured
+       window — "not observed", which is not the same claim as a latency
+       of 0.0. *)
+    qdepth_mean = Option.map R.hist_mean depth_h;
+    qdepth_max = Option.map (fun h -> h.R.max) depth_h;
+    wait_mean_ms = Option.map (fun h -> 1e3 *. R.hist_mean h) wait_h;
+    wait_p95_ms = Option.map (fun h -> 1e3 *. R.hist_percentile h 95.0) wait_h;
     dispatches = R.get_counter d "ioqueue.dispatched";
     coalesced = R.get_counter d "ioqueue.coalesced";
   }
@@ -287,6 +291,8 @@ let sched_name = function
   | Scheduler.Fcfs -> "fcfs"
   | Scheduler.Clook -> "clook"
   | Scheduler.Sstf -> "sstf"
+
+let opt_float = function None -> Json.Null | Some x -> Json.Float x
 
 let to_json r =
   let stream_json s =
@@ -314,10 +320,10 @@ let to_json r =
       ("large_kb_per_sec", Json.Float r.large_kb_per_sec);
       ("total_kb_per_sec", Json.Float r.total_kb_per_sec);
       ("small_files_per_sec", Json.Float r.small_files_per_sec);
-      ("qdepth_mean", Json.Float r.qdepth_mean);
-      ("qdepth_max", Json.Float r.qdepth_max);
-      ("wait_mean_ms", Json.Float r.wait_mean_ms);
-      ("wait_p95_ms", Json.Float r.wait_p95_ms);
+      ("qdepth_mean", opt_float r.qdepth_mean);
+      ("qdepth_max", opt_float r.qdepth_max);
+      ("wait_mean_ms", opt_float r.wait_mean_ms);
+      ("wait_p95_ms", opt_float r.wait_p95_ms);
       ("dispatches", Json.Int r.dispatches);
       ("coalesced", Json.Int r.coalesced);
       ("streams", Json.List (List.map stream_json r.streams));

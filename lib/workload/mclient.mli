@@ -41,10 +41,14 @@ type result = {
   total_kb_per_sec : float;
   small_files_per_sec : float;
   measure : Env.measure;
-  qdepth_mean : float;  (** queued requests seen at each dispatch *)
-  qdepth_max : float;
-  wait_mean_ms : float;  (** submit-to-service latency *)
-  wait_p95_ms : float;
+  qdepth_mean : float option;
+      (** queued requests seen at each dispatch; [None] when the depth
+          histogram recorded no samples in the measured window (as opposed
+          to an observed mean of 0.0) *)
+  qdepth_max : float option;
+  wait_mean_ms : float option;
+      (** submit-to-service latency; [None] when unobserved *)
+  wait_p95_ms : float option;
   dispatches : int;
   coalesced : int;
 }

@@ -43,7 +43,10 @@ let run ?(nfiles = 10000) ?(file_bytes = 1024) ?(files_per_dir = 100)
   let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
   let prng = Cffs_util.Prng.create prng_seed in
   let payload = Cffs_util.Prng.bytes prng file_bytes in
-  let op () = Blockdev.advance env.Env.dev env.Env.cpu_per_op in
+  let op () =
+    Blockdev.advance env.Env.dev env.Env.cpu_per_op;
+    Cffs_obs.Sampler.poll_current ~now:(Blockdev.now env.Env.dev)
+  in
   let fail phase e =
     failwith
       (Printf.sprintf "smallfile %s on %s: %s" (phase_name phase) (F.label fs)

@@ -47,7 +47,10 @@ let run ?(dirs = 32) ?(files_per_dir = 64) ?(file_bytes = 1024) ?(repeats = 5)
     order.(i) <- order.(j);
     order.(j) <- tmp
   done;
-  let op () = Blockdev.advance env.Env.dev env.Env.cpu_per_op in
+  let op () =
+    Blockdev.advance env.Env.dev env.Env.cpu_per_op;
+    Cffs_obs.Sampler.poll_current ~now:(Blockdev.now env.Env.dev)
+  in
   let fail what e =
     failwith
       (Printf.sprintf "statbench %s on %s: %s" what (F.label fs)

@@ -182,6 +182,39 @@ let test_json_golden () =
   check Alcotest.string "compact serialisation"
     {|{"a":1,"b":"x\"y\n","c":[0.5,true,null],"d":2.0}|} (Json.to_string j)
 
+let test_json_parse_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.String "x\"y\n");
+        ("c", Json.List [ Json.Float 0.5; Json.Bool true; Json.Null ]);
+        ("d", Json.Float 2.0);
+        ("e", Json.Obj [ ("nested", Json.List [ Json.Int (-3) ]) ]);
+      ]
+  in
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> check Alcotest.bool "roundtrip" true (j = j')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_parse_details () =
+  (* Ints stay ints; anything with a fraction or exponent becomes float. *)
+  (match Json.parse "[1, 1.0, 1e2, -4]" with
+  | Ok (Json.List [ Json.Int 1; Json.Float 1.0; Json.Float 100.0; Json.Int (-4) ]) -> ()
+  | Ok j -> Alcotest.fail ("unexpected " ^ Json.to_string j)
+  | Error e -> Alcotest.fail e);
+  (* Unicode escapes decode to UTF-8. *)
+  (match Json.parse {|"aéb"|} with
+  | Ok (Json.String s) -> check Alcotest.string "utf8" "a\xc3\xa9b" s
+  | _ -> Alcotest.fail "unicode escape");
+  (* Errors carry a byte offset; trailing garbage is rejected. *)
+  (match Json.parse "{\"a\":}" with
+  | Error e -> check Alcotest.bool "error mentions offset" true (e <> "")
+  | Ok _ -> Alcotest.fail "accepted malformed input");
+  match Json.parse "1 x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+
 let test_registry_json_golden () =
   Registry.incr ~by:3 (Registry.counter "testg.c");
   Registry.fadd (Registry.fcounter "testg.f") 1.5;
@@ -192,7 +225,7 @@ let test_registry_json_golden () =
   check Alcotest.string "snapshot json"
     ({|{"testg.c":3,"testg.f":1.5,"testg.h":{"count":2,"sum_s":0.002,|}
     ^ {|"min_s":0.001,"max_s":0.001,"mean_s":0.001,"p50_s":0.001,|}
-    ^ {|"p90_s":0.001,"p99_s":0.001}}|})
+    ^ {|"p95_s":0.001,"p99_s":0.001}}|})
     (Json.to_string (Registry.to_json snap))
 
 let test_event_json () =
@@ -263,11 +296,16 @@ let test_document_shape () =
       check Alcotest.bool ("document contains " ^ needle) true
         (contains s needle))
     [
-      {|"schema":"cffs-telemetry-v1"|};
+      {|"schema":"cffs-telemetry-v2"|};
       {|"benchmark":"smallfile"|};
       {|"phase":"create"|};
       {|"p50_s"|};
+      {|"p95_s"|};
       {|"p99_s"|};
+      {|"grouping"|};
+      {|"group_residency"|};
+      {|"latency_breakdown"|};
+      {|"timeseries"|};
       {|"drive.seek_s"|};
       {|"drive.rotation_s"|};
       {|"drive.transfer_s"|};
@@ -300,6 +338,10 @@ let () =
       ( "json",
         [
           Alcotest.test_case "json golden" `Quick test_json_golden;
+          Alcotest.test_case "json parse roundtrip" `Quick
+            test_json_parse_roundtrip;
+          Alcotest.test_case "json parse details" `Quick
+            test_json_parse_details;
           Alcotest.test_case "registry json golden" `Quick
             test_registry_json_golden;
           Alcotest.test_case "event json" `Quick test_event_json;

@@ -1,0 +1,407 @@
+(* Observability tests: the layout introspector's residency ordering
+   (fresh > aged > no-grouping), the per-op latency attribution invariant
+   (components sum to the op's clock time), the telemetry-v2 document
+   contract on both file systems across write policies, the sampler, and
+   the benchdiff regression gate. *)
+
+module Registry = Cffs_obs.Registry
+module Json = Cffs_obs.Json
+module Sampler = Cffs_obs.Sampler
+module Layout = Cffs_fsck.Layout
+module Benchdiff = Cffs_harness.Benchdiff
+module Telemetry = Cffs_harness.Telemetry
+module Setup = Cffs_harness.Setup
+module Env = Cffs_workload.Env
+module Smallfile = Cffs_workload.Smallfile
+module Aging = Cffs_workload.Aging
+module Fs_intf = Cffs_vfs.Fs_intf
+module Obs_low = Cffs_vfs.Obs_low
+module Profile = Cffs_disk.Profile
+module Cache = Cffs_cache.Cache
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Layout introspector *)
+
+(* A ~50 MB slice so aging at high utilization actually fragments it. *)
+let small_setup config =
+  {
+    (Setup.standard (Setup.Cffs_fs config)) with
+    Setup.profile = Profile.truncated Profile.seagate_st31200 ~cylinders:160;
+    Setup.cache_blocks = 4096;
+  }
+
+let populate inst ~nfiles =
+  let (Fs_intf.Packed ((module F), fs)) = inst.Setup.env.Env.fs in
+  let payload = Bytes.make 1024 'p' in
+  let ok what = function
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s: %s" what (Cffs_vfs.Errno.to_string e)
+  in
+  ok "mkdir" (F.mkdir fs "/fresh");
+  for d = 0 to (nfiles / 40) do
+    ok "mkdir" (F.mkdir fs (Printf.sprintf "/fresh/d%02d" d))
+  done;
+  for i = 0 to nfiles - 1 do
+    ok "write"
+      (F.write_file fs (Printf.sprintf "/fresh/d%02d/f%04d" (i / 40) i) payload)
+  done;
+  F.sync fs
+
+let cffs_layout inst =
+  match inst.Setup.cffs with
+  | Some fs -> Layout.cffs_report fs
+  | None -> Alcotest.fail "expected a C-FFS instance"
+
+(* The acceptance ordering: a fig8-style aged image reports small-file
+   group residency below a fresh image's and above (well, strictly: the
+   no-grouping configuration reports exactly zero by construction). *)
+let test_layout_residency_ordering () =
+  let fresh =
+    let inst = Setup.instantiate (small_setup Cffs.config_default) in
+    populate inst ~nfiles:150;
+    cffs_layout inst
+  in
+  let aged =
+    let inst = Setup.instantiate (small_setup Cffs.config_default) in
+    let spec =
+      { (Aging.default_spec 0.9) with Aging.operations = 6000; seed = 3 }
+    in
+    ignore (Aging.run inst.Setup.env spec);
+    populate inst ~nfiles:150;
+    cffs_layout inst
+  in
+  let ungrouped =
+    let inst =
+      Setup.instantiate
+        (small_setup { Cffs.config_default with Cffs.grouping = false })
+    in
+    populate inst ~nfiles:150;
+    cffs_layout inst
+  in
+  check Alcotest.bool
+    (Printf.sprintf "fresh residency high (%.3f)" fresh.Layout.group_residency)
+    true
+    (fresh.Layout.group_residency > 0.8);
+  check Alcotest.bool
+    (Printf.sprintf "aged (%.3f) < fresh (%.3f)" aged.Layout.group_residency
+       fresh.Layout.group_residency)
+    true
+    (aged.Layout.group_residency < fresh.Layout.group_residency);
+  check Alcotest.bool
+    (Printf.sprintf "aged (%.3f) > no-grouping" aged.Layout.group_residency)
+    true
+    (aged.Layout.group_residency > ungrouped.Layout.group_residency);
+  check (Alcotest.float 0.0) "no grouping -> zero residency" 0.0
+    ungrouped.Layout.group_residency;
+  check Alcotest.int "no grouping -> zero frames" 0
+    ungrouped.Layout.total_frames;
+  (* Embedded inodes are orthogonal to grouping and on in all three. *)
+  check Alcotest.bool "embedded inodes present" true
+    (fresh.Layout.embedded_inodes > 0 && fresh.Layout.external_inodes = 0)
+
+let test_layout_ffs_and_counts () =
+  let inst = Setup.instantiate (Setup.standard Setup.Ffs_baseline) in
+  let (Fs_intf.Packed ((module F), fs)) = inst.Setup.env.Env.fs in
+  let payload = Bytes.make 1024 'p' in
+  (match F.mkdir fs "/d" with Ok () -> () | Error _ -> Alcotest.fail "mkdir");
+  for i = 0 to 19 do
+    match F.write_file fs (Printf.sprintf "/d/f%02d" i) payload with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "write"
+  done;
+  F.sync fs;
+  let r =
+    match inst.Setup.ffs with
+    | Some fs -> Layout.ffs_report fs
+    | None -> Alcotest.fail "expected FFS"
+  in
+  check Alcotest.int "files" 20 r.Layout.files;
+  check Alcotest.int "dirs (root + /d)" 2 r.Layout.dirs;
+  check Alcotest.int "small files" 20 r.Layout.small_files;
+  check (Alcotest.float 0.0) "ffs residency zero" 0.0 r.Layout.group_residency;
+  check Alcotest.int "ffs embeds nothing" 0 r.Layout.embedded_inodes;
+  check Alcotest.bool "free extents seen" true
+    (r.Layout.free_ext.Layout.extents > 0
+    && r.Layout.free_ext.Layout.largest > 0);
+  (* JSON carries the full fixed key set. *)
+  match Layout.to_json r with
+  | Json.Obj fields ->
+      List.iter
+        (fun k ->
+          check Alcotest.bool ("layout json has " ^ k) true
+            (List.mem_assoc k fields))
+        [
+          "label"; "total_blocks"; "used_blocks"; "files"; "dirs";
+          "small_files"; "small_fully_grouped"; "group_residency";
+          "embedded_inodes"; "external_inodes"; "embedded_ratio";
+          "group_blocks"; "total_frames"; "frames_active"; "frames_free";
+          "frame_fill"; "grouped_fraction"; "free_extents";
+        ]
+  | _ -> Alcotest.fail "layout json is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Per-op latency attribution *)
+
+(* The invariant: for every op class, the summed component fcounters
+   (seek/rotation/transfer/overhead/cachehit/host) equal the op latency
+   histogram's total within 1%.  queue_wait overlaps device service and is
+   excluded from the sum. *)
+let attribution_for fs prefix =
+  let inst = Setup.instantiate (Setup.standard fs) in
+  let before = Registry.snapshot () in
+  ignore (Smallfile.run ~nfiles:80 ~file_bytes:1024 inst.Setup.env);
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  let checked = ref 0 in
+  List.iter
+    (fun op ->
+      match Registry.get_histogram delta (prefix ^ ".op." ^ op ^ "_s") with
+      | Some h when h.Registry.count > 0 && h.Registry.sum > 1e-9 ->
+          let total = h.Registry.sum in
+          let summed = ref 0.0 in
+          Array.iteri
+            (fun i comp ->
+              if i < Obs_low.n_summed then
+                summed :=
+                  !summed
+                  +. Registry.get_fcounter delta
+                       (prefix ^ ".lat." ^ op ^ "." ^ comp ^ "_s"))
+            Obs_low.component_names;
+          let rel = Float.abs (total -. !summed) /. total in
+          incr checked;
+          check Alcotest.bool
+            (Printf.sprintf "%s.%s: |%.6f - %.6f| / total = %.4f%% <= 1%%"
+               prefix op total !summed (rel *. 100.0))
+            true (rel <= 0.01)
+      | _ -> ())
+    [ "lookup"; "create"; "unlink"; "read"; "write" ];
+  !checked
+
+let test_attribution_sums () =
+  let n_cffs = attribution_for (Setup.Cffs_fs Cffs.config_default) "cffs" in
+  let n_ffs = attribution_for Setup.Ffs_baseline "ffs" in
+  check Alcotest.bool
+    (Printf.sprintf "enough op classes exercised (cffs %d, ffs %d)" n_cffs n_ffs)
+    true
+    (n_cffs >= 3 && n_ffs >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry document contract (v2) *)
+
+let assert_obj what = function
+  | Json.Obj fields -> fields
+  | _ -> Alcotest.failf "%s is not a JSON object" what
+
+let test_document_sections () =
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun policy ->
+          let doc =
+            Telemetry.document ~nfiles:40 ~file_bytes:1024 ~policy
+              ~configs:[ fs ] ~mclient_files_per_stream:8 ~mclient_large_mb:1
+              ()
+          in
+          let name =
+            Setup.fs_kind_label fs ^ "/" ^ Cache.policy_name policy ^ ": "
+          in
+          let fields = assert_obj "document" doc in
+          check Alcotest.string (name ^ "schema") "cffs-telemetry-v2"
+            (match List.assoc "schema" fields with
+            | Json.String s -> s
+            | _ -> "?");
+          (* Every documented section present and of the right shape. *)
+          List.iter
+            (fun k -> ignore (assert_obj (name ^ k) (List.assoc k fields)))
+            [
+              "grouping"; "latency_breakdown"; "timeseries"; "integrity";
+              "namei"; "concurrency"; "derived";
+            ];
+          (* grouping: one image per config, full layout key set. *)
+          (match List.assoc "grouping" fields with
+          | Json.Obj [ ("images", Json.List [ img ]) ] ->
+              let ifields = assert_obj (name ^ "image") img in
+              List.iter
+                (fun k ->
+                  check Alcotest.bool (name ^ "image has " ^ k) true
+                    (List.mem_assoc k ifields))
+                [ "group_residency"; "embedded_ratio"; "frame_fill";
+                  "free_extents" ]
+          | _ -> Alcotest.failf "%sgrouping shape" name);
+          (* latency_breakdown: both prefixes x all op classes x full keys,
+             including p50/p95/p99 (the unified percentile set). *)
+          let lb = assert_obj (name ^ "lb") (List.assoc "latency_breakdown" fields) in
+          List.iter
+            (fun prefix ->
+              let ops = assert_obj (name ^ prefix) (List.assoc prefix lb) in
+              List.iter
+                (fun op ->
+                  let o = assert_obj (name ^ op) (List.assoc op ops) in
+                  List.iter
+                    (fun k ->
+                      check Alcotest.bool
+                        (name ^ prefix ^ "." ^ op ^ " has " ^ k)
+                        true (List.mem_assoc k o))
+                    [
+                      "count"; "total_s"; "p50_s"; "p95_s"; "p99_s"; "seek_s";
+                      "rotation_s"; "transfer_s"; "overhead_s"; "cachehit_s";
+                      "host_s"; "queue_wait_s"; "other_s";
+                    ])
+                [ "lookup"; "create"; "unlink"; "read"; "write" ])
+            [ "cffs"; "ffs" ];
+          (* timeseries: one sampled config with points on the simulated
+             clock. *)
+          (match List.assoc "timeseries" fields with
+          | Json.Obj [ ("configs", Json.List [ Json.Obj ts ]) ] ->
+              check Alcotest.bool (name ^ "timeseries points") true
+                (match List.assoc_opt "points" ts with
+                | Some (Json.List (_ :: _)) -> true
+                | _ -> false)
+          | _ -> Alcotest.failf "%stimeseries shape" name);
+          (* The whole document survives a serialise/parse round-trip. *)
+          match Json.parse (Json.to_string doc) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%sreparse failed: %s" name e)
+        [ Cache.Sync_metadata; Cache.Delayed ])
+    [ Setup.Ffs_baseline; Setup.Cffs_fs Cffs.config_default ]
+
+(* ------------------------------------------------------------------ *)
+(* Sampler *)
+
+let test_sampler_polling () =
+  Registry.incr ~by:5 (Registry.counter "samp.c");
+  let s =
+    Sampler.create ~prefixes:[ "samp." ]
+      ~extra:(fun () -> [ ("samp.extra", 1.5) ])
+      ~interval_s:1.0 ~start:0.0 ()
+  in
+  Sampler.poll s ~now:0.0;
+  Sampler.poll s ~now:0.4;
+  (* below the next boundary: no sample *)
+  Registry.incr ~by:2 (Registry.counter "samp.c");
+  Sampler.poll s ~now:1.0;
+  (* a long stall yields one sample, not a backfilled burst *)
+  Sampler.poll s ~now:7.5;
+  let pts = Sampler.samples s in
+  check Alcotest.int "three samples" 3 (List.length pts);
+  (match pts with
+  | (t0, v0) :: (t1, v1) :: (t2, _) :: _ ->
+      check (Alcotest.float 1e-9) "t0" 0.0 t0;
+      check (Alcotest.float 1e-9) "t1" 1.0 t1;
+      check (Alcotest.float 1e-9) "t2" 7.5 t2;
+      check (Alcotest.float 1e-9) "counter at t0" 5.0 (List.assoc "samp.c" v0);
+      check (Alcotest.float 1e-9) "counter at t1" 7.0 (List.assoc "samp.c" v1);
+      check (Alcotest.float 1e-9) "extra series" 1.5
+        (List.assoc "samp.extra" v0)
+  | _ -> Alcotest.fail "unexpected samples");
+  (* poll_current is a no-op when nothing is installed. *)
+  Sampler.poll_current ~now:99.0;
+  Sampler.with_sampler s (fun () -> Sampler.poll_current ~now:9.0);
+  check Alcotest.int "installed sampler polled" 4
+    (List.length (Sampler.samples s))
+
+(* ------------------------------------------------------------------ *)
+(* Benchdiff *)
+
+let doc_of phases =
+  Json.Obj
+    [
+      ( "configs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("label", Json.String "C-FFS");
+                ( "phases",
+                  Json.List
+                    (List.map
+                       (fun (phase, fps, secs) ->
+                         Json.Obj
+                           [
+                             ("phase", Json.String phase);
+                             ("files_per_sec", Json.Float fps);
+                             ("seconds", Json.Float secs);
+                           ])
+                       phases) );
+              ];
+          ] );
+    ]
+
+let test_benchdiff_classify () =
+  let dir path = fst (Benchdiff.classify path) in
+  check Alcotest.bool "throughput is higher-better" true
+    (dir "configs.C-FFS.phases.read.files_per_sec" = Benchdiff.Higher_better);
+  check Alcotest.bool "seconds is lower-better" true
+    (dir "configs.C-FFS.phases.read.seconds" = Benchdiff.Lower_better);
+  check Alcotest.bool "percentile is lower-better" true
+    (dir "latency_breakdown.cffs.read.p95_s" = Benchdiff.Lower_better);
+  check Alcotest.bool "component totals are info" true
+    (dir "latency_breakdown.cffs.read.seek_s" = Benchdiff.Info);
+  check Alcotest.bool "counts are info" true
+    (dir "configs.C-FFS.counters.blockdev.reads" = Benchdiff.Info);
+  check Alcotest.bool "time-series samples are info" true
+    (dir "timeseries.configs.0.points.3.values.cffs.op.read_s.sum_s"
+    = Benchdiff.Info);
+  check Alcotest.bool "population-shape stats are info" true
+    (dir "configs.C-FFS.ops.cffs.op.lookup_s.mean_s" = Benchdiff.Info);
+  check Alcotest.bool "histogram totals stay lower-better" true
+    (dir "configs.C-FFS.ops.cffs.op.lookup_s.sum_s" = Benchdiff.Lower_better)
+
+let test_benchdiff_regressions () =
+  let a = doc_of [ ("read", 100.0, 2.0); ("create", 50.0, 4.0) ] in
+  (* read throughput -40% (beyond 15%), create seconds +50% (beyond 25%). *)
+  let b = doc_of [ ("read", 60.0, 2.0); ("create", 50.0, 6.0) ] in
+  let r = Benchdiff.diff a b in
+  check Alcotest.bool "dirty" false (Benchdiff.clean r);
+  check Alcotest.int "two regressions" 2 (List.length r.Benchdiff.regressions);
+  let paths = List.map (fun m -> m.Benchdiff.path) r.Benchdiff.regressions in
+  check Alcotest.bool "throughput drop flagged" true
+    (List.mem "configs.C-FFS.phases.read.files_per_sec" paths);
+  check Alcotest.bool "latency rise flagged" true
+    (List.mem "configs.C-FFS.phases.create.seconds" paths);
+  (* Improvements and small moves pass. *)
+  let c = doc_of [ ("read", 140.0, 1.0); ("create", 45.0, 4.5) ] in
+  check Alcotest.bool "improvement is clean" true
+    (Benchdiff.clean (Benchdiff.diff a c))
+
+let test_benchdiff_schema_drift () =
+  let a = doc_of [ ("read", 100.0, 2.0) ] in
+  let b =
+    match doc_of [ ("read", 100.0, 2.0) ] with
+    | Json.Obj fields ->
+        Json.Obj (fields @ [ ("new_section", Json.Obj [ ("x", Json.Int 1) ]) ])
+    | j -> j
+  in
+  let r = Benchdiff.diff a b in
+  check Alcotest.bool "drift is clean" true (Benchdiff.clean r);
+  check Alcotest.bool "drift reported" true
+    (List.mem "new_section.x" r.Benchdiff.only_b);
+  (* The committed-baseline gate itself: PR4's document vs itself. *)
+  check Alcotest.bool "self-diff has no only-paths" true
+    (let s = Benchdiff.diff a a in
+     s.Benchdiff.only_a = [] && s.Benchdiff.only_b = [])
+
+let () =
+  Alcotest.run "observability"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "residency ordering" `Quick
+            test_layout_residency_ordering;
+          Alcotest.test_case "ffs counts and json" `Quick
+            test_layout_ffs_and_counts;
+        ] );
+      ( "attribution",
+        [ Alcotest.test_case "components sum" `Quick test_attribution_sums ] );
+      ( "telemetry",
+        [ Alcotest.test_case "v2 sections" `Quick test_document_sections ] );
+      ( "sampler",
+        [ Alcotest.test_case "polling" `Quick test_sampler_polling ] );
+      ( "benchdiff",
+        [
+          Alcotest.test_case "classify" `Quick test_benchdiff_classify;
+          Alcotest.test_case "regressions" `Quick test_benchdiff_regressions;
+          Alcotest.test_case "schema drift" `Quick test_benchdiff_schema_drift;
+        ] );
+    ]
