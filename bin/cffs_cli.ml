@@ -23,18 +23,18 @@ let packed_of = function
   | M_cffs fs -> Fs_intf.Packed ((module Cffs), fs)
   | M_ffs fs -> Fs_intf.Packed ((module Ffs), fs)
 
-let mount_image path =
+let mount_image ?policy path =
   let dev = Blockdev.load_file path in
-  match Cffs.mount dev with
+  match Cffs.mount ?policy dev with
   | Some fs -> Ok (M_cffs fs, dev)
   | None -> begin
-      match Ffs.mount dev with
+      match Ffs.mount ?policy dev with
       | Some fs -> Ok (M_ffs fs, dev)
       | None -> Error (`Msg (path ^ ": no C-FFS or FFS superblock found"))
     end
 
-let with_image path f =
-  match mount_image path with
+let with_image ?policy path f =
+  match mount_image ?policy path with
   | Error (`Msg m) ->
       prerr_endline m;
       1
@@ -52,15 +52,48 @@ let with_image path f =
           1
     end
 
+(* One spelling per policy, everywhere: the converter goes through
+   [Cache.policy_of_name] (canonical snake_case names plus the documented
+   variants) and prints back via [Cache.policy_name]. *)
+let policy_conv =
+  let parse s =
+    match Cffs_cache.Cache.policy_of_name s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown policy %S; one of: %s" s
+                (String.concat ", "
+                   (List.map Cffs_cache.Cache.policy_name
+                      Cffs_cache.Cache.all_policies))))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Cffs_cache.Cache.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let policy_doc =
+  "Cache write policy: write_through, sync_metadata, delayed, soft_updates \
+   or journaled."
+
+let policy_arg default =
+  Arg.(value & opt policy_conv default
+       & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
+
+let policy_opt_arg =
+  Arg.(value & opt (some policy_conv) None
+       & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
+
 (* ------------------------------------------------------------------ *)
 (* mkfs *)
 
 let mkfs_cmd =
-  let run image size_mb fs_kind no_embed no_grouping group_kb integrity spares =
+  let run image size_mb fs_kind no_embed no_grouping group_kb integrity spares
+      policy =
     let nblocks = size_mb * 256 in
     let dev = Blockdev.memory ~block_size:4096 ~nblocks in
     (match fs_kind with
-    | "ffs" -> ignore (Ffs.format ~integrity ~spare_blocks:spares dev)
+    | "ffs" -> ignore (Ffs.format ?policy ~integrity ~spare_blocks:spares dev)
     | "cffs" ->
         let config =
           {
@@ -70,7 +103,7 @@ let mkfs_cmd =
             group_blocks = max 2 (group_kb / 4);
           }
         in
-        ignore (Cffs.format ~config ~integrity ~spare_blocks:spares dev)
+        ignore (Cffs.format ?policy ~config ~integrity ~spare_blocks:spares dev)
     | other -> failwith ("unknown file system: " ^ other));
     Blockdev.save_file dev image;
     Printf.printf "created %s: %d MB %s%s\n" image size_mb
@@ -111,7 +144,7 @@ let mkfs_cmd =
     (Cmd.info "mkfs" ~doc:"Create a fresh file-system image.")
     Term.(
       const run $ image $ size $ kind $ no_embed $ no_grouping $ group_kb
-      $ integrity $ spares)
+      $ integrity $ spares $ policy_opt_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fsck *)
@@ -370,8 +403,8 @@ let synth_trace_cmd =
     Term.(const run $ out $ ops $ seed)
 
 let replay_cmd =
-  let run image trace_file trace_cap =
-    with_image image (fun packed _ ->
+  let run image trace_file trace_cap policy =
+    with_image ?policy image (fun packed _ ->
         let module Otrace = Cffs_obs.Trace in
         let trace = Trace.load trace_file in
         let (Fs_intf.Packed ((module F), fs)) = packed in
@@ -416,17 +449,17 @@ let replay_cmd =
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a trace into an image.")
-    Term.(const run $ image_pos $ trace $ trace_cap)
+    Term.(const run $ image_pos $ trace $ trace_cap $ policy_opt_arg)
 
 let trace_bench_cmd =
-  let run trace_file =
+  let run trace_file policy =
     let trace = Trace.load trace_file in
     Printf.printf "%-16s %10s %10s %8s\n" "Configuration" "seconds" "requests" "failed";
     List.iter
       (fun kind ->
         let inst =
           Cffs_harness.Setup.instantiate
-            (Cffs_harness.Setup.standard ~policy:Cffs_cache.Cache.Soft_updates kind)
+            (Cffs_harness.Setup.standard ~policy kind)
         in
         let o = Trace.replay inst.Cffs_harness.Setup.env trace in
         Printf.printf "%-16s %10.2f %10d %8d\n"
@@ -440,7 +473,7 @@ let trace_bench_cmd =
   Cmd.v
     (Cmd.info "trace-bench"
        ~doc:"Replay a trace on the simulated testbed under every configuration.")
-    Term.(const run $ trace)
+    Term.(const run $ trace $ policy_arg Cffs_cache.Cache.Soft_updates)
 
 (* ------------------------------------------------------------------ *)
 (* dump: on-disk structure inspection *)
@@ -525,7 +558,7 @@ let layout_cmd =
 let experiment_names =
   [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "fig8decay"; "table3";
     "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead";
-    "concurrency"; "namei"; "all" ]
+    "concurrency"; "namei"; "journal"; "all" ]
 
 let experiment_cmd =
   let run name quick =
@@ -556,6 +589,7 @@ let experiment_cmd =
     | "readahead" -> p (Experiments.ablation_readahead scale)
     | "concurrency" -> p (Experiments.ablation_concurrency scale)
     | "namei" -> p (Experiments.ablation_namei scale)
+    | "journal" -> p (Experiments.ablation_journal scale)
     | "all" -> Experiments.run_all scale
     | other ->
         Printf.eprintf "unknown experiment %S; one of: %s\n" other
@@ -587,28 +621,13 @@ let disks_cmd =
 (* Observability *)
 
 let stats_cmd =
-  let run json nfiles policy_str =
-    match Cffs_cache.Cache.(
-        match String.lowercase_ascii policy_str with
-        | "write-through" -> Some Write_through
-        | "sync-metadata" -> Some Sync_metadata
-        | "delayed" -> Some Delayed
-        | "soft-updates" -> Some Soft_updates
-        | _ -> None)
-    with
-    | None ->
-        Printf.eprintf
-          "unknown policy %S; one of: write-through, sync-metadata, delayed, \
-           soft-updates\n"
-          policy_str;
-        1
-    | Some policy ->
-        if json then
-          print_endline
-            (Cffs_obs.Json.to_string_pretty
-               (Cffs_harness.Telemetry.document ~nfiles ~policy ()))
-        else Cffs_harness.Telemetry.print_human ~nfiles ~policy ();
-        0
+  let run json nfiles policy =
+    if json then
+      print_endline
+        (Cffs_obs.Json.to_string_pretty
+           (Cffs_harness.Telemetry.document ~nfiles ~policy ()))
+    else Cffs_harness.Telemetry.print_human ~nfiles ~policy ();
+    0
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON telemetry document.")
@@ -617,10 +636,7 @@ let stats_cmd =
     Arg.(value & opt int 400 & info [ "files" ] ~docv:"N"
            ~doc:"Small-file benchmark size.")
   in
-  let policy =
-    Arg.(value & opt string "sync-metadata" & info [ "policy" ] ~docv:"POLICY"
-           ~doc:"Cache write policy for the runs.")
-  in
+  let policy = policy_arg Cffs_cache.Cache.Sync_metadata in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
@@ -745,7 +761,7 @@ let benchdiff_cmd =
 let statbench_cmd =
   let module Statbench = Cffs_workload.Statbench in
   let module Namei = Cffs_namei.Namei in
-  let run json dirs files_per_dir repeats cache_blocks no_namei capacity =
+  let run json dirs files_per_dir repeats cache_blocks no_namei capacity policy =
     let scale =
       {
         Experiments.quick with
@@ -770,7 +786,7 @@ let statbench_cmd =
       List.iter
         (fun fs ->
           let results, delta =
-            Experiments.run_statbench scale ~fs ~namei
+            Experiments.run_statbench ?policy scale ~fs ~namei
           in
           let t =
             Cffs_util.Tablefmt.create
@@ -861,7 +877,7 @@ let statbench_cmd =
           document with the derived warm-stat speedup.")
     Term.(
       const run $ json $ dirs $ files_per_dir $ repeats $ cache_blocks
-      $ no_namei $ capacity)
+      $ no_namei $ capacity $ policy_opt_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-client benchmark *)
@@ -870,7 +886,7 @@ let mcbench_cmd =
   let module Mclient = Cffs_workload.Mclient in
   let module Scheduler = Cffs_disk.Scheduler in
   let run json qdepth sched_str streams files file_bytes large_mb no_coalesce
-      config_str =
+      config_str policy =
     let sched =
       match String.lowercase_ascii sched_str with
       | "fcfs" | "fifo" -> Some Scheduler.Fcfs
@@ -907,7 +923,8 @@ let mcbench_cmd =
         in
         let inst =
           Cffs_harness.Setup.instantiate
-            (Cffs_harness.Setup.standard (Cffs_harness.Setup.Cffs_fs config))
+            (Cffs_harness.Setup.standard ?policy
+               (Cffs_harness.Setup.Cffs_fs config))
         in
         let r =
           Mclient.run ~params
@@ -996,21 +1013,27 @@ let mcbench_cmd =
           throughput plus queue-depth and service-time statistics.")
     Term.(
       const run $ json $ qdepth $ sched $ streams $ files $ file_bytes
-      $ large_mb $ no_coalesce $ config)
+      $ large_mb $ no_coalesce $ config $ policy_opt_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Crash consistency *)
 
 let crashtest_cmd =
-  let run json seed points =
+  let run json seed points policy =
+    let matrix =
+      Option.map
+        (fun p ->
+          [ (Cffs_harness.Crashmc.Ffs_sel, p); (Cffs_harness.Crashmc.Cffs_sel, p) ])
+        policy
+    in
     if json then begin
       print_endline
         (Cffs_obs.Json.to_string_pretty
-           (Cffs_harness.Crashmc.document ~seed ~points ()));
+           (Cffs_harness.Crashmc.document ~seed ~points ?matrix ()));
       0
     end
     else begin
-      Cffs_harness.Crashmc.print_human ~seed ~points ();
+      Cffs_harness.Crashmc.print_human ~seed ~points ?matrix ();
       0
     end
   in
@@ -1030,8 +1053,9 @@ let crashtest_cmd =
           crash points from the device journal, remount and fsck every \
           crashed image, and verify the embedded-inode integrity claim \
           (no dangling embedded entries, fsck convergence, durability of \
-          synced data).")
-    Term.(const run $ json $ seed $ points)
+          synced data).  --policy restricts the matrix to one policy on \
+          both file systems.")
+    Term.(const run $ json $ seed $ points $ policy_opt_arg)
 
 (* ------------------------------------------------------------------ *)
 

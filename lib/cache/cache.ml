@@ -13,16 +13,38 @@ let m_evictions = Obs.counter "cache.evictions"
 let m_flushes = Obs.counter "cache.flushes"
 let m_retries = Obs.counter "blockdev.retries"
 let m_pinned = Obs.counter "cache.pinned_buffers"
+let m_checkpoints = Obs.counter "journal.checkpoints"
+let m_checkpoint_lag = Obs.counter "journal.checkpoint_lag_blocks"
+let m_overflow_syncs = Obs.counter "journal.overflow_syncs"
 
-type policy = Write_through | Sync_metadata | Delayed | Soft_updates
+type policy = Write_through | Sync_metadata | Delayed | Soft_updates | Journaled
 
+(* One canonical snake_case spelling per policy: CLI flags, Crashmc column
+   labels and telemetry JSON all round-trip through these two functions. *)
 let policy_name = function
-  | Write_through -> "write-through"
-  | Sync_metadata -> "sync-metadata"
-  | Delayed -> "delayed (soft-updates emulation)"
-  | Soft_updates -> "soft updates"
+  | Write_through -> "write_through"
+  | Sync_metadata -> "sync_metadata"
+  | Delayed -> "delayed"
+  | Soft_updates -> "soft_updates"
+  | Journaled -> "journaled"
 
-type kind = [ `Meta | `Data ]
+let policy_of_name s =
+  let canon =
+    String.lowercase_ascii s
+    |> String.map (function '-' | ' ' -> '_' | c -> c)
+  in
+  match canon with
+  | "write_through" -> Some Write_through
+  | "sync_metadata" | "sync" -> Some Sync_metadata
+  | "delayed" -> Some Delayed
+  | "soft_updates" | "soft" -> Some Soft_updates
+  | "journaled" | "journal" -> Some Journaled
+  | _ -> None
+
+let all_policies =
+  [ Write_through; Sync_metadata; Delayed; Soft_updates; Journaled ]
+
+type kind = [ `Meta | `Data | `Meta_delayed ]
 
 type stats = {
   mutable phys_hits : int;
@@ -49,6 +71,11 @@ type entry = {
   mutable dirty_seq : int;  (** order in which the block became dirty *)
   mutable pinned : bool;  (** writeback failed; never drop, keep retrying *)
   mutable ident : (int * int) option;
+  mutable meta : bool;  (** last written as metadata (journaled policies) *)
+  mutable logged : bool;
+      (** dirty contents are committed to the journal and not re-dirtied
+          since: the home block may be written at any time (replay would
+          produce the same bytes) *)
 }
 
 type clusterer =
@@ -69,6 +96,13 @@ type t = {
   mutable seq : int;
   deps : (int, int list) Hashtbl.t;
       (** block -> blocks that must be written no later than it *)
+  mutable journal : Journal.t option;
+  logged_in_log : (int, unit) Hashtbl.t;
+      (** blocks with an image in the live (not yet checkpointed) log;
+          freeing one of these demands a revoke record *)
+  revoked : (int, unit) Hashtbl.t;
+      (** revokes pending for the next commit: blocks freed (or demoted to
+          file data) while an image of theirs was live in the log *)
 }
 
 let create ?(policy = Sync_metadata) dev ~capacity_blocks =
@@ -94,6 +128,9 @@ let create ?(policy = Sync_metadata) dev ~capacity_blocks =
     observer = None;
     seq = 0;
     deps = Hashtbl.create 64;
+    journal = None;
+    logged_in_log = Hashtbl.create 64;
+    revoked = Hashtbl.create 16;
   }
 
 let set_clusterer t c = t.clusterer <- c
@@ -104,6 +141,19 @@ let notify t ev = match t.observer with None -> () | Some f -> f ev
 let device t = t.dev
 let set_integrity t ig = t.integ <- ig
 let integrity t = t.integ
+let set_journal t j = t.journal <- Some j
+let journal t = t.journal
+
+(* The journal only changes behaviour when both the policy and a log are
+   in place; [Journaled] without a log degrades to [Delayed]. *)
+let journaled_active t = t.policy = Journaled && t.journal <> None
+
+(* May this dirty block be written to its home location right now?  Under
+   an active journal, uncommitted metadata must never reach its home block
+   before its transaction commits (the write-ahead rule — otherwise a
+   crash prefix exposes a mid-operation state that replay cannot undo);
+   everything else may go at any time. *)
+let home_writable t e = (not (journaled_active t)) || (not e.meta) || e.logged
 
 (* All device I/O below funnels through these three, so attaching an
    integrity layer changes every read into a verified read and every write
@@ -174,11 +224,12 @@ let dirty_blocks t =
       if e.dirty then (blk, e.data) :: acc else acc)
 
 (* Form write units from the dirty set: physically adjacent dirty blocks
-   merge only when the clusterer allows it. *)
-let dirty_units t =
+   merge only when the clusterer allows it.  [want] narrows the dirty set
+   (the journaled flush path excludes uncommitted metadata). *)
+let dirty_units ?(want = fun _ -> true) t =
   let dirty =
     Lru.fold t.entries ~init:[] ~f:(fun acc blk e ->
-        if e.dirty then (blk, e) :: acc else acc)
+        if e.dirty && want e then (blk, e) :: acc else acc)
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   let rec build acc current = function
@@ -213,7 +264,8 @@ let mark_clean t blk =
   (match Lru.find t.entries blk with
   | Some e ->
       e.dirty <- false;
-      e.pinned <- false
+      e.pinned <- false;
+      e.logged <- false
   | None -> ());
   Hashtbl.remove t.deps blk
 
@@ -309,9 +361,130 @@ let writeback_units t units =
           acc + !wrote)
         0 units
 
+(* ---- Journaled policy machinery -------------------------------------- *)
+
+(* Committed dirty metadata, as block-sorted adjacent write units (no
+   clusterer consultation: these are metadata home-writes whose layout the
+   journal already decided). *)
+let logged_meta_units t =
+  let metas =
+    Lru.fold t.entries ~init:[] ~f:(fun acc blk e ->
+        if e.dirty && e.meta && e.logged then (blk, e.data) :: acc else acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let rec build acc current = function
+    | [] -> List.rev (match current with None -> acc | Some u -> u :: acc)
+    | (blk, data) :: rest -> begin
+        match current with
+        | Some (start, blocks) when blk = start + List.length blocks ->
+            build acc (Some (start, data :: blocks)) rest
+        | Some u -> build (u :: acc) (Some (blk, [ data ])) rest
+        | None -> build acc (Some (blk, [ data ])) rest
+      end
+  in
+  build [] None metas |> List.map (fun (start, blocks) -> (start, List.rev blocks))
+
+let dirty_meta_count t =
+  Lru.fold t.entries ~init:0 ~f:(fun acc _ e ->
+      if e.dirty && e.meta then acc + 1 else acc)
+
+(* Empty the log: home-write every committed metadata image, then — only
+   if no dirty metadata remains at all (an uncommitted dirty meta may have
+   an older committed image in the log that its home block still needs) —
+   persist the checksum region and reset the log.  The tag flush precedes
+   the reset so a crash between the two replays (harmlessly, idempotently)
+   rather than leaving fresh home blocks under stale at-rest tags. *)
+let checkpoint_journal t j =
+  let units = logged_meta_units t in
+  if units <> [] || Journal.head j > 0 then begin
+    Obs.incr m_checkpoints;
+    Obs.incr ~by:(Journal.head j) m_checkpoint_lag;
+    if units <> [] then begin
+      let n = writeback_units t units in
+      if n > 0 then notify t (Flush { nblocks = n })
+    end;
+    if dirty_meta_count t = 0 && Journal.head j > 0 then begin
+      (match t.integ with None -> () | Some ig -> Integrity.flush_tags ig);
+      match Journal.reset j with
+      | () ->
+          Hashtbl.reset t.logged_in_log;
+          Hashtbl.reset t.revoked
+      | exception Cffs_util.Io_error.E _ ->
+          (* The header write failed: the log stays live, images and
+             pending revokes stay tracked; a later checkpoint retries. *)
+          ()
+    end
+  end
+
+let checkpoint t =
+  match t.journal with
+  | Some j when t.policy = Journaled -> checkpoint_journal t j
+  | _ -> ()
+
+(* Degraded fallback when one transaction cannot fit even an empty log:
+   home-write all dirty metadata synchronously (the Sync_metadata-style
+   non-atomic window — counted, and unreachable for any workload whose
+   sync barriers dirty fewer metadata blocks than the log holds). *)
+let overflow_sync t j =
+  Obs.incr m_overflow_syncs;
+  let units =
+    dirty_units ~want:(fun e -> e.meta) t
+  in
+  if units <> [] then ignore (writeback_units t units);
+  if dirty_meta_count t = 0 && Journal.head j > 0 then begin
+    (match t.integ with None -> () | Some ig -> Integrity.flush_tags ig);
+    match Journal.reset j with
+    | () ->
+        Hashtbl.reset t.logged_in_log;
+        Hashtbl.reset t.revoked
+    | exception Cffs_util.Io_error.E _ -> ()
+  end
+
+(* Commit the sync barrier's metadata as one transaction: every dirty
+   uncommitted metadata block — a C-FFS cdir/embedded-inode update travels
+   with its bitmap and cg-header writes in the same commit record — plus
+   the pending revokes.  On success the blocks are marked [logged]; their
+   home writes happen at the next checkpoint (or eviction-path flush). *)
+let journal_commit t j =
+  let metas =
+    Lru.fold t.entries ~init:[] ~f:(fun acc blk e ->
+        if e.dirty && e.meta && not e.logged then (blk, e) :: acc else acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  (* A block re-imaged by this transaction needs no revoke: the new image
+     is exactly what replay should apply. *)
+  List.iter (fun (blk, _) -> Hashtbl.remove t.revoked blk) metas;
+  let revokes = Hashtbl.fold (fun blk () acc -> blk :: acc) t.revoked [] in
+  if metas = [] && (revokes = [] || Journal.head j = 0) then begin
+    (* Nothing to commit; pending revokes are moot over an empty log. *)
+    if Journal.head j = 0 then Hashtbl.reset t.revoked
+  end
+  else begin
+    let need = Journal.blocks_needed ~nimages:(List.length metas) in
+    if need > Journal.free_blocks j then checkpoint_journal t j;
+    if need > Journal.log_blocks j then overflow_sync t j
+    else
+      let images = List.map (fun (blk, e) -> (blk, e.data)) metas in
+      match Journal.commit j ~images ~revokes with
+      | Journal.Committed ->
+          List.iter
+            (fun (blk, e) ->
+              e.logged <- true;
+              Hashtbl.replace t.logged_in_log blk ())
+            metas;
+          Hashtbl.reset t.revoked
+      | Journal.No_space | Journal.Io_failed ->
+          (* Either the checkpoint could not free the log (pinned metadata)
+             or the device refused the append: fall back to direct
+             home-writes so the sync barrier still means durability. *)
+          overflow_sync t j
+  end
+
+(* ----------------------------------------------------------------------- *)
+
 let flush_dirty t =
   if t.policy <> Soft_updates || Hashtbl.length t.deps = 0 then begin
-    let n = writeback_units t (dirty_units t) in
+    let n = writeback_units t (dirty_units ~want:(home_writable t) t) in
     if n > 0 then notify t (Flush { nblocks = n });
     if dirty_count t = 0 then Hashtbl.reset t.deps
   end
@@ -360,7 +533,17 @@ let flush t =
   flush_dirty t;
   (* The flush is the sync barrier: re-encode the at-rest checksum region
      so a cold attach sees tags no staler than the last sync. *)
-  match t.integ with None -> () | Some ig -> Integrity.flush_tags ig
+  (match t.integ with None -> () | Some ig -> Integrity.flush_tags ig);
+  (* Under an active journal [flush_dirty] home-wrote only data and
+     already-committed metadata; the barrier's new metadata commits now, as
+     one transaction, strictly after the data (and its tags) are durable —
+     so an acknowledged sync never references unwritten data.  The log is
+     emptied opportunistically once it is half full. *)
+  match t.journal with
+  | Some j when t.policy = Journaled ->
+      journal_commit t j;
+      if 2 * Journal.head j >= Journal.log_blocks j then checkpoint_journal t j
+  | _ -> ()
 
 (* Make room for one more entry.  When the LRU victim is dirty, push the
    whole dirty set out as one scheduler-ordered batch first — the update
@@ -368,6 +551,7 @@ let flush t =
    single-block synchronous writes. *)
 let evict_if_full t =
   let stuck = ref false in
+  let tried_checkpoint = ref false in
   while (not !stuck) && Lru.length t.entries >= t.capacity do
     (match Lru.lru t.entries with
     | Some (_, e) when e.dirty ->
@@ -396,10 +580,20 @@ let evict_if_full t =
         t.stats.evictions <- t.stats.evictions + 1;
         Obs.incr m_evictions;
         notify t (Evict { blk })
-    | None -> stuck := true
+    | None ->
+        (* Every resident block is dirty.  Under an active journal the
+           eviction-path flush skips uncommitted metadata (the write-ahead
+           rule), so committed metadata may be the only reclaimable kind:
+           checkpoint once to home-write it, then retry.  If that frees
+           nothing either, grow past capacity rather than lose data. *)
+        if journaled_active t && not !tried_checkpoint then begin
+          tried_checkpoint := true;
+          checkpoint t
+        end
+        else stuck := true
   done
 
-let insert t blk data ~dirty =
+let insert ?(meta = false) t blk data ~dirty =
   evict_if_full t;
   if dirty then t.seq <- t.seq + 1;
   Lru.add t.entries blk
@@ -409,6 +603,8 @@ let insert t blk data ~dirty =
       dirty_seq = (if dirty then t.seq else 0);
       pinned = false;
       ident = None;
+      meta;
+      logged = false;
     }
 
 let resident_block t blk = Lru.mem t.entries blk
@@ -567,18 +763,28 @@ let write t ~kind blk data =
     match (t.policy, kind) with
     | Write_through, _ -> true
     | Sync_metadata, `Meta -> true
-    | Sync_metadata, `Data -> false
-    | (Delayed | Soft_updates), _ -> false
+    | Sync_metadata, (`Data | `Meta_delayed) -> false
+    | (Delayed | Soft_updates | Journaled), _ -> false
   in
+  let is_meta = match kind with `Meta | `Meta_delayed -> true | `Data -> false in
+  (* A block that carried a live journal image and is now rewritten as
+     file data was freed and reallocated: record a revoke so replay never
+     clobbers the new data with the stale metadata image. *)
+  if
+    (not is_meta) && journaled_active t
+    && Hashtbl.mem t.logged_in_log blk
+  then Hashtbl.replace t.revoked blk ();
   (match Lru.use t.entries blk with
   | Some e ->
       e.data <- data;
+      e.meta <- is_meta;
+      e.logged <- false;
       if (not sync) && not e.dirty then begin
         t.seq <- t.seq + 1;
         e.dirty_seq <- t.seq
       end;
       e.dirty <- not sync
-  | None -> insert t blk data ~dirty:(not sync));
+  | None -> insert t blk data ~dirty:(not sync) ~meta:is_meta);
   notify t (Write { blk; sync });
   if sync then begin
     match with_retry t (fun () -> dev_write t blk data) with
@@ -608,7 +814,12 @@ let write t ~kind blk data =
 
 let flush_limit t n =
   if t.policy <> Soft_updates then begin
-    let dirty = dirty_blocks t in
+    let dirty =
+      if journaled_active t then
+        Lru.fold t.entries ~init:[] ~f:(fun acc blk e ->
+            if e.dirty && home_writable t e then (blk, e.data) :: acc else acc)
+      else dirty_blocks t
+    in
     let chosen = List.filteri (fun i _ -> i < n) dirty in
     let written = ref 0 in
     List.iter
@@ -640,6 +851,10 @@ let flush_limit t n =
   end
 
 let invalidate t blk =
+  (* Freeing a block whose image is live in the log: revoke it, so replay
+     after a crash cannot resurrect it over whatever reuses the block. *)
+  if journaled_active t && Hashtbl.mem t.logged_in_log blk then
+    Hashtbl.replace t.revoked blk ();
   (match Lru.find t.entries blk with
   | Some e -> detach_logical t e
   | None -> ());
@@ -655,6 +870,9 @@ let drop_all t =
 
 let remount t =
   flush t;
+  (* An orderly remount leaves no replay work behind: checkpoint so the
+     home image is complete and the log empty. *)
+  checkpoint t;
   drop_all t;
   Blockdev.flush_device_cache t.dev
 

@@ -14,7 +14,9 @@
       discipline), data writes are delayed until {!flush};
     - [Delayed]: all writes are delayed — the paper's emulation of soft
       updates ("we emulate it by using delayed writes for all metadata
-      updates [Ganger94]"). *)
+      updates [Ganger94]");
+    and two that go beyond it: [Soft_updates] (real ordering) and
+    [Journaled] (a write-ahead metadata log, see {!Journal}). *)
 
 type t
 
@@ -29,10 +31,33 @@ type policy =
           [Ganger95] (which the paper only emulates with [Delayed]): the
           performance of delayed writes with the integrity invariants of
           synchronous metadata. *)
+  | Journaled
+      (** all writes delayed; at each {!flush} (the sync barrier) the
+          dirty metadata is committed to a write-ahead log as one CRC-
+          sealed transaction — strictly after the barrier's data home-
+          writes — and home-written lazily at checkpoints.  Mounting
+          replays committed transactions, so every crash prefix recovers
+          to the last acknowledged sync.  Requires a {!Journal.t} attached
+          with {!set_journal}; without one the policy degrades to
+          [Delayed]. *)
 
 val policy_name : policy -> string
+(** Canonical snake_case spelling ([e.g.] ["sync_metadata"]), shared by
+    the CLI, Crashmc's column labels and telemetry JSON. *)
 
-type kind = [ `Meta | `Data ]
+val policy_of_name : string -> policy option
+(** Inverse of {!policy_name}; also accepts hyphenated/space-separated
+    spellings and the shorthands ["sync"], ["soft"], ["journal"]. *)
+
+val all_policies : policy list
+(** All five policies, in declaration order. *)
+
+type kind = [ `Meta | `Data | `Meta_delayed ]
+(** [`Meta_delayed] marks metadata whose loss is tolerable enough that
+    even [Sync_metadata] (FFS's discipline) writes it delayed — indirect
+    pointer blocks, inode timestamp updates — but that a journal must
+    still log as metadata: under [Journaled] it commits with the rest of
+    the transaction instead of being home-written before it. *)
 
 type stats = {
   mutable phys_hits : int;
@@ -67,6 +92,21 @@ val set_integrity : t -> Cffs_blockdev.Integrity.t option -> unit
     the at-rest checksum region as part of the sync barrier. *)
 
 val integrity : t -> Cffs_blockdev.Integrity.t option
+
+val set_journal : t -> Journal.t -> unit
+(** Attach the write-ahead log the [Journaled] policy commits to.  The
+    file system attaches it at format/mount time; the journal's region
+    lies beyond the file system's own blocks. *)
+
+val journal : t -> Journal.t option
+
+val checkpoint : t -> unit
+(** Home-write every journal-committed metadata block and, once no dirty
+    metadata remains, empty the log.  A no-op unless [Journaled] with a
+    journal attached.  {!flush} checkpoints automatically when the log
+    passes half full; an orderly {!remount} checkpoints so the cold image
+    needs no replay. *)
+
 val policy : t -> policy
 val set_policy : t -> policy -> unit
 val stats : t -> stats

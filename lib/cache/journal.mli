@@ -1,0 +1,115 @@
+(** Write-ahead metadata journal: the on-disk log behind the [Journaled]
+    cache policy.
+
+    The journal owns the tail of the device's usable area:
+
+    {v [ file system blocks | log blocks | journal header ] v}
+
+    The header (one block, payload confined to the first 512-byte sector so
+    an update is sector-atomic under the torn-write model) records the log
+    geometry and the sequence number of the first live transaction.  The
+    log itself is a linear run of {e physical-redo} transactions, each laid
+    out as
+
+    {v [ descriptor | block image ... | commit ] v}
+
+    - the {b descriptor} names the home addresses of the images and carries
+      the transaction's revoke list (blocks whose images in {e earlier}
+      transactions must not be replayed — recorded when a journaled
+      metadata block is freed and reused for file data, so replay can never
+      clobber that data with a stale metadata image);
+    - the {b images} are complete block contents, so replay is idempotent;
+    - the {b commit} block (payload again in the first sector) seals the
+      transaction with a CRC-32 over the descriptor and every image.
+      A transaction is visible after a crash {e iff} its commit record is
+      present and the CRC matches: a tear anywhere in the descriptor/image
+      run breaks the CRC, and a tear of the commit block either keeps its
+      single-sector payload (the images before it are already complete —
+      the append is drained before the commit is issued) or loses the
+      record entirely.  Either way no transaction is ever half-applied.
+
+    Appends travel through the device's tagged queue as one scatter/gather
+    request (descriptor and images are physically contiguous), followed by
+    the commit write once the batch has drained — the drain is the barrier
+    that keeps the commit from overtaking the images.
+
+    The log is not circular: a {e checkpoint} (the cache home-writes every
+    committed image, then calls {!reset}) empties it by bumping the header's
+    base sequence number, which invalidates every recorded transaction at
+    once.  All journal I/O is raw block I/O — on replay the images are
+    home-written through the integrity layer when one is attached (so
+    remapped sectors and checksum tags are maintained), but the log region
+    itself is outside the file system proper and is never scrubbed or
+    checksum-verified. *)
+
+type t
+
+val recommended_blocks : usable:int -> int
+(** Log length (header excluded) carved for a device whose usable area is
+    [usable] blocks: [usable / 8] clamped to [32, 1024]. *)
+
+val format : Cffs_blockdev.Blockdev.t -> usable:int -> t
+(** Write a fresh header at block [usable - 1] and return an empty journal
+    whose log occupies the [recommended_blocks] below it.  The file system
+    must confine itself to {!fs_blocks}. *)
+
+val attach :
+  ?integ:Cffs_blockdev.Integrity.t ->
+  Cffs_blockdev.Blockdev.t ->
+  usable:int ->
+  t option
+(** Probe block [usable - 1] for a journal header; [None] if the device is
+    not journal-formatted.  When a header is found, every committed
+    transaction is replayed (home writes through [integ] when given, with
+    the checksum region re-flushed afterwards so cold tags match the
+    replayed contents) and the log is then emptied with {!reset} — mounting
+    is recovery. *)
+
+val replay_once :
+  ?integ:Cffs_blockdev.Integrity.t ->
+  Cffs_blockdev.Blockdev.t ->
+  usable:int ->
+  int
+(** Apply every committed transaction {e without} resetting the log, and
+    return how many were applied.  Replay is idempotent — applying the log
+    twice leaves the same media state as applying it once — and this entry
+    point exists so tests can prove exactly that (a crash in the middle of
+    recovery is just another crash).  [0] if no journal is present. *)
+
+(** {1 Geometry} *)
+
+val fs_blocks : t -> int
+(** First block of the log region = the number of blocks left to the file
+    system. *)
+
+val log_start : t -> int
+val log_blocks : t -> int
+
+val head : t -> int
+(** Log blocks occupied by live (committed, not yet checkpointed)
+    transactions. *)
+
+val free_blocks : t -> int
+
+val blocks_needed : nimages:int -> int
+(** Log blocks one transaction of [nimages] images costs (descriptor and
+    commit included). *)
+
+(** {1 Writing} *)
+
+type commit_result =
+  | Committed
+  | No_space  (** the transaction does not fit in the free log region *)
+  | Io_failed  (** a device fault stopped the append; nothing committed *)
+
+val commit : t -> images:(int * bytes) list -> revokes:int list -> commit_result
+(** Append one transaction.  [images] are (home block, full contents)
+    pairs; [revokes] are home blocks whose images in earlier transactions
+    must not be replayed.  The caller (the cache) checkpoints first when
+    {!free_blocks} is short. *)
+
+val reset : t -> unit
+(** Empty the log by persisting a header whose base sequence number is past
+    every recorded transaction.  Called after a checkpoint has home-written
+    all committed images (and after {!attach} has replayed them).  Raises
+    {!Cffs_util.Io_error.E} if the header write fails. *)

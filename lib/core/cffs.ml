@@ -1,6 +1,7 @@
 module Csb = Csb
 module Cdir = Cdir
 module Cache = Cffs_cache.Cache
+module Journal = Cffs_cache.Journal
 module Readahead = Cffs_cache.Readahead
 module Blockdev = Cffs_blockdev.Blockdev
 module Integrity = Cffs_blockdev.Integrity
@@ -132,7 +133,7 @@ let read_header t cg = read_meta_replicated t ~slot:(1 + cg) (header_block t cg)
 
 let write_header t cg b =
   Hashtbl.replace t.replica_dirty (1 + cg) ();
-  Cache.write t.cache ~kind:`Data (header_block t cg) b
+  Cache.write t.cache ~kind:`Meta_delayed (header_block t cg) b
 
 let read_sb_block t = read_meta_replicated t ~slot:0 0
 
@@ -395,7 +396,7 @@ let write_inode_raw t ino inode =
 let persist_sb t =
   let b = read_sb_block t in
   Csb.encode t.sb b;
-  write_sb_block t ~kind:`Data b
+  write_sb_block t ~kind:`Meta_delayed b
 
 let grow_ifile_to t slot =
   let ifile = read_resident t Csb.ifile_ino in
@@ -410,13 +411,13 @@ let grow_ifile_to t slot =
       if l > lblk then Ok ()
       else begin
         let* p = Bmap.alloc t.cache ifile l ~alloc in
-        Cache.write t.cache ~kind:`Data p (Bytes.make (bs t) '\000');
+        Cache.write t.cache ~kind:`Meta_delayed p (Bytes.make (bs t) '\000');
         grow (l + 1)
       end
     in
     let* () = grow (ifile.Inode.size / bs t) in
     ifile.Inode.size <- needed;
-    write_resident t Csb.ifile_ino ifile ~kind:`Data;
+    write_resident t Csb.ifile_ino ifile ~kind:`Meta_delayed;
     Ok ()
   end
 
@@ -502,7 +503,7 @@ let alloc_grouped t ~dir_ino ~dinode =
             spare.(i) <- spare.(i - 1)
           done;
           spare.(0) <- frame;
-          let* () = write_inode t dir_ino dinode ~kind:`Data in
+          let* () = write_inode t dir_ino dinode ~kind:`Meta_delayed in
           claim_block t frame;
           Ok frame
       | None -> begin
@@ -679,7 +680,7 @@ let write_ino t ~ino ~off data =
     let* () = loop 0 in
     inode.Inode.size <- max inode.Inode.size (off + len);
     inode.Inode.mtime <- mtime_now t;
-    write_inode t ino inode ~kind:`Data
+    write_inode t ino inode ~kind:`Meta_delayed
   end
 
 let drop_logical_range t ~ino ~nblocks =
@@ -1391,11 +1392,18 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
     ?(namei = Cffs_namei.Namei.config_default) dev =
   let block_size = Blockdev.block_size dev in
   let ig = if integrity then Some (Integrity.format ~spare_blocks dev) else None in
-  let nblocks =
+  let usable =
     match ig with
     | Some ig -> Integrity.data_blocks ig
     | None -> Blockdev.nblocks dev
   in
+  (* Under [Journaled] the write-ahead log owns the tail of the usable
+     area; the file system confines itself to the blocks below it. *)
+  let jr =
+    if policy = Some Cache.Journaled then Some (Journal.format dev ~usable)
+    else None
+  in
+  let nblocks = match jr with Some j -> Journal.fs_blocks j | None -> usable in
   let sb =
     Csb.mk ~block_size ~nblocks ~cg_size ~group_blocks:config.group_blocks
       ~embed_inodes:config.embed_inodes ~grouping:config.grouping
@@ -1404,6 +1412,7 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
   in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;
+  (match jr with Some j -> Cache.set_journal cache j | None -> ());
   Cache.set_clusterer cache (clusterer_of_sb sb);
   let t =
     {
@@ -1433,16 +1442,31 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
   Inode.encode ifile sbb Csb.ifile_inode_off;
   Cache.write cache ~kind:`Meta 0 sbb;
   Hashtbl.replace t.replica_dirty 0 ();
-  (* seed every replica slot, then flush (which persists the tag region) *)
+  (* seed every replica slot, then flush (which persists the tag region);
+     a journaled format additionally checkpoints, so the fresh image is
+     fully home-written with an empty log *)
   refresh_replicas t;
   Cache.flush cache;
+  Cache.checkpoint cache;
   t
 
 let mount ?policy ?(cache_blocks = 4096)
     ?(namei = Cffs_namei.Namei.config_default) dev =
   let ig = Integrity.attach dev in
+  let usable =
+    match ig with
+    | Some ig -> Integrity.data_blocks ig
+    | None -> Blockdev.nblocks dev
+  in
+  (* Mounting is recovery: probing the journal replays every committed
+     transaction before the superblock is even read.  An on-disk journal
+     also decides the policy — a journaled image must not be written under
+     any discipline that bypasses its log. *)
+  let jr = Journal.attach ?integ:ig dev ~usable in
+  let policy = match jr with Some _ -> Some Cache.Journaled | None -> policy in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;
+  (match jr with Some j -> Cache.set_journal cache j | None -> ());
   let sb_bytes =
     try Cache.read cache 0
     with Cffs_util.Io_error.E _ as e -> (

@@ -1,6 +1,7 @@
 module Layout = Layout
 module Dirent = Dirent
 module Cache = Cffs_cache.Cache
+module Journal = Cffs_cache.Journal
 module Blockdev = Cffs_blockdev.Blockdev
 module Codec = Cffs_util.Codec
 module Errno = Cffs_vfs.Errno
@@ -37,7 +38,7 @@ let header_block t cg = Layout.cg_start t.sb cg
 
 let read_header t cg = Cache.read t.cache (header_block t cg)
 
-let write_header t cg b = Cache.write t.cache ~kind:`Data (header_block t cg) b
+let write_header t cg b = Cache.write t.cache ~kind:`Meta_delayed (header_block t cg) b
 
 let get_bit b base i = Codec.get_u8 b (base + (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
@@ -291,7 +292,7 @@ let write_ino t ~ino ~off data =
     let blk, ioff = Layout.ino_location t.sb ino in
     let b = Cache.read t.cache blk in
     Inode.encode inode b ioff;
-    Cache.write t.cache ~kind:`Data blk b;
+    Cache.write t.cache ~kind:`Meta_delayed blk b;
     Ok ()
   end
 
@@ -723,14 +724,22 @@ let format ?(cg_size = 2048) ?(inodes_per_cg = 1024) ?policy ?(cache_blocks = 40
     if integrity then Some (Cffs_blockdev.Integrity.format ~spare_blocks dev)
     else None
   in
-  let nblocks =
+  let usable =
     match ig with
     | Some ig -> Cffs_blockdev.Integrity.data_blocks ig
     | None -> Blockdev.nblocks dev
   in
+  (* Under [Journaled] the write-ahead log owns the tail of the usable
+     area; the file system confines itself to the blocks below it. *)
+  let jr =
+    if policy = Some Cache.Journaled then Some (Journal.format dev ~usable)
+    else None
+  in
+  let nblocks = match jr with Some j -> Journal.fs_blocks j | None -> usable in
   let sb = Layout.mk_sb ~block_size ~nblocks ~cg_size ~inodes_per_cg in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;
+  (match jr with Some j -> Cache.set_journal cache j | None -> ());
   Cache.set_clusterer cache file_clusterer;
   let t =
     { cache; sb; dir_rotor = 0; namei = Cffs_namei.Namei.create ~config:namei () }
@@ -771,13 +780,26 @@ let format ?(cg_size = 2048) ?(inodes_per_cg = 1024) ?policy ?(cache_blocks = 40
       inode.Inode.size <- block_size;
       write_inode t root_ino inode);
   Cache.flush cache;
+  (* a journaled format checkpoints too: fresh image, empty log *)
+  Cache.checkpoint cache;
   t
 
 let mount ?policy ?(cache_blocks = 4096)
     ?(namei = Cffs_namei.Namei.config_default) dev =
   let ig = Cffs_blockdev.Integrity.attach dev in
+  let usable =
+    match ig with
+    | Some ig -> Cffs_blockdev.Integrity.data_blocks ig
+    | None -> Blockdev.nblocks dev
+  in
+  (* Mounting is recovery: probing the journal replays every committed
+     transaction before the superblock is read, and an on-disk journal
+     decides the policy. *)
+  let jr = Journal.attach ?integ:ig dev ~usable in
+  let policy = match jr with Some _ -> Some Cache.Journaled | None -> policy in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;
+  (match jr with Some j -> Cache.set_journal cache j | None -> ());
   Cache.set_clusterer cache file_clusterer;
   match Layout.decode_sb (Cache.read cache 0) with
   | None -> None

@@ -33,14 +33,8 @@ type fs_sel = Ffs_sel | Cffs_sel
 
 let fs_label = function Ffs_sel -> "ffs" | Cffs_sel -> "cffs"
 
-let policy_label = function
-  | Cache.Write_through -> "write_through"
-  | Cache.Sync_metadata -> "sync_metadata"
-  | Cache.Delayed -> "delayed"
-  | Cache.Soft_updates -> "soft_updates"
-
-let all_policies =
-  [ Cache.Write_through; Cache.Sync_metadata; Cache.Delayed; Cache.Soft_updates ]
+let policy_label = Cache.policy_name
+let all_policies = Cache.all_policies
 
 type outcome = {
   fs : fs_sel;
@@ -53,6 +47,11 @@ type outcome = {
   dup_states : int;
   unmountable : int;
   unconverged : int;
+  unclean_states : int;
+      (** images whose {e pre-repair} check was not perfectly clean —
+          counted as violations only under [Journaled], whose replay must
+          recover every crash prefix to a consistent state with no fsck
+          help at all *)
   durability_failures : int;
   repairs : int;  (** problems repaired, summed over images *)
   durable_reads : int;  (** synced files verified, summed over images *)
@@ -182,6 +181,7 @@ type image_verdict = {
   iv_dangling : int;
   iv_embedded : int;
   iv_dups : int;
+  iv_problems : int;  (** everything the pre-repair check reported *)
   iv_repaired : int;
   iv_converged : bool;
   iv_durable_checked : int;
@@ -260,6 +260,7 @@ let verify_image sel rec_ ~upto ~tear =
           iv_dangling = count_dangling pre;
           iv_embedded = count_embedded_dangles sel pre;
           iv_dups = count_dups pre;
+          iv_problems = List.length pre.Report.problems;
           iv_repaired = r1.Report.repaired;
           iv_converged = converged;
           iv_durable_checked = List.length durable;
@@ -308,6 +309,7 @@ let run_config ?(seed = 1) ?(points = 200) sel policy =
   and dup_states = ref 0
   and unmountable = ref 0
   and unconverged = ref 0
+  and unclean = ref 0
   and dur_failures = ref 0
   and repairs = ref 0
   and durable_reads = ref 0
@@ -336,6 +338,18 @@ let run_config ?(seed = 1) ?(points = 200) sel policy =
                  (if v.iv_embedded = 1 then "y" else "ies"))
           end;
           if v.iv_dups > 0 then incr dup_states;
+          (* The journal's contract is stronger than "fsck can repair it":
+             replay alone must land every crash prefix on a consistent
+             state, so under [Journaled] any pre-repair finding at all is a
+             violation. *)
+          if v.iv_problems > 0 then begin
+            incr unclean;
+            if policy = Cache.Journaled then
+              violate
+                (Printf.sprintf
+                   "%s: replayed image not clean (%d problem(s) before repair)"
+                   where v.iv_problems)
+          end;
           repairs := !repairs + v.iv_repaired;
           if not v.iv_converged then begin
             incr unconverged;
@@ -359,6 +373,7 @@ let run_config ?(seed = 1) ?(points = 200) sel policy =
     dup_states = !dup_states;
     unmountable = !unmountable;
     unconverged = !unconverged;
+    unclean_states = !unclean;
     durability_failures = !dur_failures;
     repairs = !repairs;
     durable_reads = !durable_reads;
@@ -425,22 +440,23 @@ let outcome_to_json o =
       ("dup_states", Json.Int o.dup_states);
       ("unmountable", Json.Int o.unmountable);
       ("unconverged", Json.Int o.unconverged);
+      ("unclean_states", Json.Int o.unclean_states);
       ("durability_failures", Json.Int o.durability_failures);
       ("repairs", Json.Int o.repairs);
       ("durable_reads", Json.Int o.durable_reads);
       ("violations", Json.List (List.map (fun s -> Json.String s) o.violations));
     ]
 
-let total_violations outcomes =
-  List.fold_left
-    (fun acc o ->
-      acc + o.embedded_dangles + o.unmountable + o.unconverged
-      + o.durability_failures)
-    0 outcomes
+let outcome_violations o =
+  o.embedded_dangles + o.unmountable + o.unconverged + o.durability_failures
+  + (if o.policy = Cache.Journaled then o.unclean_states else 0)
 
-let document ?(seed = 1) ?(points = 200) () =
+let total_violations outcomes =
+  List.fold_left (fun acc o -> acc + outcome_violations o) 0 outcomes
+
+let document ?(seed = 1) ?(points = 200) ?matrix () =
   let before = Registry.snapshot () in
-  let outcomes = run ~seed ~points () in
+  let outcomes = run ~seed ~points ?matrix () in
   fault_drill ();
   let delta = Registry.diff (Registry.snapshot ()) before in
   let _ops, counters = Telemetry.split_delta delta in
@@ -455,18 +471,18 @@ let document ?(seed = 1) ?(points = 200) () =
       ("counters", Json.Obj counters);
     ]
 
-let print_human ?(seed = 1) ?(points = 200) () =
-  let outcomes = run ~seed ~points () in
+let print_human ?(seed = 1) ?(points = 200) ?matrix () =
+  let outcomes = run ~seed ~points ?matrix () in
   Printf.printf "crash-consistency check: seed %d, up to %d points per config\n\n"
     seed points;
-  Printf.printf "%-6s %-14s %7s %5s %9s %9s %7s %7s %5s\n" "fs" "policy" "points"
-    "torn" "dangling" "embedded" "unconv" "dur-fail" "viol";
+  Printf.printf "%-6s %-14s %7s %5s %9s %9s %7s %7s %8s %5s\n" "fs" "policy"
+    "points" "torn" "dangling" "embedded" "unconv" "unclean" "dur-fail" "viol";
   List.iter
     (fun o ->
-      Printf.printf "%-6s %-14s %7d %5d %9d %9d %7d %8d %5d\n" (fs_label o.fs)
+      Printf.printf "%-6s %-14s %7d %5d %9d %9d %7d %7d %8d %5d\n" (fs_label o.fs)
         (policy_label o.policy) o.points o.torn_points o.dangling_states
-        o.embedded_dangles o.unconverged o.durability_failures
-        (o.embedded_dangles + o.unmountable + o.unconverged + o.durability_failures))
+        o.embedded_dangles o.unconverged o.unclean_states o.durability_failures
+        (outcome_violations o))
     outcomes;
   let bad = total_violations outcomes in
   Printf.printf "\n%s\n"

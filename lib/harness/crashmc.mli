@@ -19,7 +19,13 @@
     FFS under [Delayed] metadata is {e expected} to produce dangling
     entries (the baseline failure mode the embedded layout eliminates);
     these are counted but are not violations — fsck must still repair
-    them. *)
+    them.
+
+    [Journaled] is held to a stronger standard: mount-time replay alone —
+    no repair — must land every crash prefix on a perfectly clean state
+    (the pre-repair check reports {e zero} problems of any kind) with all
+    acknowledged syncs intact; any pre-repair finding counts as a
+    violation. *)
 
 type fs_sel = Ffs_sel | Cffs_sel
 
@@ -39,6 +45,9 @@ type outcome = {
   dup_states : int;  (** images with a doubly-claimed block *)
   unmountable : int;
   unconverged : int;
+  unclean_states : int;
+      (** images whose pre-repair check reported any problem at all; a
+          violation under [Journaled] only *)
   durability_failures : int;
   repairs : int;  (** problems repaired, summed over images *)
   durable_reads : int;  (** synced files verified, summed over images *)
@@ -62,15 +71,26 @@ val run :
   outcome list
 
 val total_violations : outcome list -> int
-(** Embedded dangles + unmountable + unconverged + durability failures. *)
+(** Embedded dangles + unmountable + unconverged + durability failures,
+    plus (under [Journaled]) unclean pre-repair states. *)
 
 val fault_drill : unit -> unit
 (** Exercise the live error path (transient read retries, a sticky bad
     sector) so retry and io-error counters appear in the registry. *)
 
-val document : ?seed:int -> ?points:int -> unit -> Cffs_obs.Json.t
-(** Full matrix run plus {!fault_drill}, packaged as a
-    [cffs-telemetry-v2] document with benchmark ["crashtest"]. *)
+val document :
+  ?seed:int ->
+  ?points:int ->
+  ?matrix:(fs_sel * Cffs_cache.Cache.policy) list ->
+  unit ->
+  Cffs_obs.Json.t
+(** Matrix run (default: the full matrix) plus {!fault_drill}, packaged
+    as a [cffs-telemetry-v2] document with benchmark ["crashtest"]. *)
 
-val print_human : ?seed:int -> ?points:int -> unit -> unit
+val print_human :
+  ?seed:int ->
+  ?points:int ->
+  ?matrix:(fs_sel * Cffs_cache.Cache.policy) list ->
+  unit ->
+  unit
 (** Table on stdout; exits non-zero if any invariant was violated. *)

@@ -759,10 +759,60 @@ let ablation_concurrency scale =
    inodes the attributes ride along in the directory blocks, while FFS
    pays one inode-table fetch per name. *)
 
-let run_statbench scale ~fs ~namei =
+(* ------------------------------------------------------------------ *)
+(* A6: write-policy churn.  Create/delete throughput (the metadata-bound
+   smallfile phases) and the multi-client small-file aggregate over every
+   write policy on full C-FFS.  The row that earns the table is
+   [journaled]: one sequential log append per barrier instead of one
+   synchronous scattered write per metadata block, at Sync_metadata-class
+   crash safety (Crashmc holds it to a stricter bar than the ordered
+   policies — see DESIGN.md §15). *)
+
+let ablation_journal scale =
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: write policy vs create/delete churn (%d x 1 KB files, \
+            C-FFS EI+EG)"
+           scale.smallfile_files)
+      [
+        ("Policy", Tablefmt.Left);
+        ("create files/s", Tablefmt.Right);
+        ("delete files/s", Tablefmt.Right);
+        ("create req/file", Tablefmt.Right);
+        ("mclient small KB/s", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun policy ->
+      let kind = Setup.Cffs_fs Cffs.config_default in
+      let inst = Setup.instantiate (Setup.standard ~policy kind) in
+      let results = Smallfile.run ~nfiles:scale.smallfile_files inst.Setup.env in
+      let phase p =
+        List.find (fun (r : Smallfile.result) -> r.Smallfile.phase = p) results
+      in
+      let create = phase Smallfile.Create and delete = phase Smallfile.Delete in
+      let minst = Setup.instantiate (Setup.standard ~policy kind) in
+      let m =
+        Mclient.run ~params:scale.mclient ~cache:(Setup.cache_of minst)
+          minst.Setup.env
+      in
+      Tablefmt.add_row t
+        [
+          Cache.policy_name policy;
+          f1 create.Smallfile.files_per_sec;
+          f1 delete.Smallfile.files_per_sec;
+          f2 create.Smallfile.requests_per_file;
+          f1 m.Mclient.small_kb_per_sec;
+        ])
+    Cache.all_policies;
+  t
+
+let run_statbench ?policy scale ~fs ~namei =
   let setup =
     {
-      (Setup.standard ~namei fs) with
+      (Setup.standard ?policy ~namei fs) with
       Setup.cache_blocks = scale.stat_cache_blocks;
     }
   in
@@ -859,6 +909,9 @@ let run_all scale =
   let tput, reqs = smallfile scale Cache.Soft_updates in
   p tput;
   p reqs;
+  let tput, reqs = smallfile scale Cache.Journaled in
+  p tput;
+  p reqs;
   p (fig7_size_sweep scale);
   p (fig8_aging scale);
   p (fig8_decay scale);
@@ -870,4 +923,5 @@ let run_all scale =
   p (ablation_group_size scale);
   p (ablation_readahead scale);
   p (ablation_concurrency scale);
-  p (ablation_namei scale)
+  p (ablation_namei scale);
+  p (ablation_journal scale)

@@ -95,13 +95,21 @@ val ablation_concurrency : scale -> Cffs_util.Tablefmt.t
     observed queue depth, service-wait percentiles, coalescing. *)
 
 val run_statbench :
+  ?policy:Cffs_cache.Cache.policy ->
   scale ->
   fs:Setup.fs_kind ->
   namei:Cffs_namei.Namei.config ->
   Cffs_workload.Statbench.result list * Cffs_obs.Registry.snapshot
 (** One stat-heavy run on a fresh instance with a
-    [scale.stat_cache_blocks]-block buffer cache, returning the per-phase
-    results and the registry delta over the run. *)
+    [scale.stat_cache_blocks]-block buffer cache (default write policy:
+    the testbed's [Sync_metadata]), returning the per-phase results and
+    the registry delta over the run. *)
+
+val ablation_journal : scale -> Cffs_util.Tablefmt.t
+(** A6: write-policy churn ablation — smallfile create/delete throughput
+    and the multi-client small-file aggregate across all five write
+    policies on full C-FFS, headlined by [journaled] (sequential log
+    appends at sync-metadata crash safety). *)
 
 val ablation_namei : scale -> Cffs_util.Tablefmt.t
 (** A5: the dentry/attribute cache ({!Cffs_namei.Namei}, our extension)

@@ -47,3 +47,39 @@ val run :
 
 val pp : Format.formatter -> outcome -> unit
 val to_string : outcome -> string
+
+(** {1 Power cut during journal flush and checkpoint}
+
+    The journaled-policy companion to {!run}: a write-ahead-logged,
+    integrity-formatted volume acknowledges a batch of files, is forced
+    through a checkpoint sweep (committed-image home writes, tag-region
+    flush, log reset), then acknowledges a second batch (whose sync is
+    the journal append + commit).  Every write-request boundary between
+    the first acknowledgement and the last — torn multi-sector variants
+    included, which cuts through the middle of the journal append itself
+    and the middle of the checkpoint — is materialized, remounted
+    (replaying the log), fsck-checked, scrubbed, and byte-verified:
+    phase-1 files must survive every boundary, phase-2 files every
+    boundary at or past their commit record. *)
+
+type checkpoint_cut_outcome = {
+  cc_boundaries : int;  (** crash images explored, torn variants included *)
+  cc_torn : int;
+  cc_files_phase1 : int;  (** files acknowledged before the checkpoint *)
+  cc_reads_verified : int;
+  cc_replays : int;  (** mount-time journal replays over all images *)
+  cc_violations : string list;
+}
+
+val run_checkpoint_cut :
+  ?seed:int ->
+  ?files:int ->
+  ?file_bytes:int ->
+  ?max_boundaries:int ->
+  unit ->
+  checkpoint_cut_outcome
+(** Defaults: seed 7, 24 two-KB phase-1 files (half that in phase 2), at
+    most 96 untorn boundaries (evenly thinned, both ends always kept).
+    Deterministic in [seed]; empty [cc_violations] is the pass bar. *)
+
+val pp_checkpoint_cut : Format.formatter -> checkpoint_cut_outcome -> unit

@@ -138,6 +138,31 @@ let integrity_json () =
          "scrub.blocks_verified";
        ])
 
+(* Same always-present contract for the write-ahead log: zeros included,
+   whether or not the run used the [Journaled] policy, so the benchdiff
+   gate and dashboard consumers can track journal traffic (records,
+   commits, replays, checkpoint lag) across documents unconditionally. *)
+let journal_counter_names =
+  [
+    "journal.records";
+    "journal.commits";
+    "journal.revokes";
+    "journal.replays";
+    "journal.replayed_txns";
+    "journal.replayed_blocks";
+    "journal.discarded_txns";
+    "journal.checkpoints";
+    "journal.checkpoint_lag_blocks";
+    "journal.overflow_syncs";
+  ]
+
+let journal_json () =
+  let snap = Registry.snapshot () in
+  Json.Obj
+    (List.map
+       (fun name -> (name, Json.Int (Registry.get_counter snap name)))
+       journal_counter_names)
+
 (* Same always-present contract for the dentry/attribute cache: every
    [cffs-telemetry-v2] document carries the full namei key set, zeros
    included, whether or not the run resolved a single name. *)
@@ -341,6 +366,7 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
       ("latency_breakdown", latency_breakdown_json lat_delta);
       ("timeseries", timeseries_json runs);
       ("integrity", integrity_json ());
+      ("journal", journal_json ());
       ("namei", namei_json ());
       ("concurrency", concurrency);
       ("derived", Json.Obj (derived_json runs));
@@ -446,6 +472,7 @@ let statbench_document ?(scale = Experiments.quick) () =
         Json.Obj
           [ ("configs", Json.List (List.map (fun (_, ts, _) -> ts) runs)) ] );
       ("integrity", integrity_json ());
+      ("journal", journal_json ());
       ("namei", namei_json ());
       ("derived", Json.Obj derived);
     ]

@@ -63,6 +63,18 @@ val default_pair : Setup.fs_kind list
 (** [C-FFS (none); C-FFS (EI+EG)] — the comparison the paper's Tables 2–4
     make. *)
 
+val journal_counter_names : string list
+(** The always-present keys of the document's ["journal"] section, in
+    order: write-ahead-log traffic (records, commits, revokes), recovery
+    (replays, replayed/discarded transactions) and checkpoint pressure
+    (checkpoints, cumulative lag in log blocks, overflow syncs). *)
+
+val journal_json : unit -> Cffs_obs.Json.t
+(** The write-ahead-log counters as an object with every key from
+    {!journal_counter_names} present (zeros included), read from the live
+    registry — same contract as the ["integrity"] section, whether or not
+    the run used the [Journaled] policy. *)
+
 val namei_counter_names : string list
 (** The always-present keys of the document's ["namei"] section, in
     order. *)

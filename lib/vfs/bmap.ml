@@ -68,7 +68,7 @@ let alloc cache (inode : Inode.t) lblk ~alloc =
       if inode.indirect <> 0 then Ok inode.indirect
       else begin
         let* b = fresh () in
-        Cache.write cache ~kind:`Data b (zero ());
+        Cache.write cache ~kind:`Meta_delayed b (zero ());
         inode.indirect <- b;
         Ok b
       end
@@ -80,7 +80,7 @@ let alloc cache (inode : Inode.t) lblk ~alloc =
     else begin
       let* b = fresh () in
       Codec.set_u32 ib off b;
-      Cache.write cache ~kind:`Data ind ib;
+      Cache.write cache ~kind:`Meta_delayed ind ib;
       Ok b
     end
   end
@@ -90,7 +90,7 @@ let alloc cache (inode : Inode.t) lblk ~alloc =
       if inode.dindirect <> 0 then Ok inode.dindirect
       else begin
         let* b = fresh () in
-        Cache.write cache ~kind:`Data b (zero ());
+        Cache.write cache ~kind:`Meta_delayed b (zero ());
         inode.dindirect <- b;
         Ok b
       end
@@ -102,9 +102,9 @@ let alloc cache (inode : Inode.t) lblk ~alloc =
       if p1 <> 0 then Ok p1
       else begin
         let* b = fresh () in
-        Cache.write cache ~kind:`Data b (zero ());
+        Cache.write cache ~kind:`Meta_delayed b (zero ());
         Codec.set_u32 b1 off1 b;
-        Cache.write cache ~kind:`Data dind b1;
+        Cache.write cache ~kind:`Meta_delayed dind b1;
         Ok b
       end
     in
@@ -115,7 +115,7 @@ let alloc cache (inode : Inode.t) lblk ~alloc =
     else begin
       let* b = fresh () in
       Codec.set_u32 b2 off2 b;
-      Cache.write cache ~kind:`Data ind b2;
+      Cache.write cache ~kind:`Meta_delayed ind b2;
       Ok b
     end
   end
@@ -143,7 +143,7 @@ let shrink cache (inode : Inode.t) ~keep_blocks ~free =
       end
     done;
     let rec empty i = i >= ppb || (Codec.get_u32 b (4 * i) = 0 && empty (i + 1)) in
-    if from > 0 then Cache.write cache ~kind:`Data blk b;
+    if from > 0 then Cache.write cache ~kind:`Meta_delayed blk b;
     empty 0
   in
   (* Single indirect. *)
@@ -181,7 +181,7 @@ let shrink cache (inode : Inode.t) ~keep_blocks ~free =
         end
       end
     end;
-    Cache.write cache ~kind:`Data inode.dindirect b1;
+    Cache.write cache ~kind:`Meta_delayed inode.dindirect b1;
     let rec empty i = i >= ppb || (Codec.get_u32 b1 (4 * i) = 0 && empty (i + 1)) in
     if empty 0 then begin
       free inode.dindirect;

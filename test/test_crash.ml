@@ -60,6 +60,30 @@ let test_ffs_delayed_dangles () =
   check Alcotest.int "but fsck always converges" 0 o.Crashmc.unconverged;
   check Alcotest.int "and nothing synced is lost" 0 o.Crashmc.durability_failures
 
+let test_journaled_recovers_clean () =
+  (* The journal's contract, both file systems: replay alone lands every
+     crash prefix (torn boundary requests included) on a state whose
+     pre-repair fsck check is perfectly clean, with every acknowledged
+     sync intact. *)
+  List.iter
+    (fun sel ->
+      let o = Crashmc.run_config ~seed ~points:100 sel Cache.Journaled in
+      fail_violations o;
+      let label what =
+        Printf.sprintf "%s/journaled: %s" (Crashmc.fs_label sel) what
+      in
+      check Alcotest.int (label "unclean pre-repair states") 0
+        o.Crashmc.unclean_states;
+      check Alcotest.int (label "unmountable") 0 o.Crashmc.unmountable;
+      check Alcotest.int (label "unconverged") 0 o.Crashmc.unconverged;
+      check Alcotest.int (label "durability failures") 0
+        o.Crashmc.durability_failures;
+      check Alcotest.bool (label "torn variants explored") true
+        (o.Crashmc.torn_points > 0);
+      check Alcotest.bool (label "durable files verified") true
+        (o.Crashmc.durable_reads > 0))
+    [ Crashmc.Ffs_sel; Crashmc.Cffs_sel ]
+
 let test_ffs_ordered_policies_hold () =
   (* Sync metadata and soft updates protect request boundaries; only
      torn requests may dangle (ordering is sub-request-blind). *)
@@ -83,5 +107,7 @@ let () =
             test_ffs_delayed_dangles;
           Alcotest.test_case "ffs ordered policies converge" `Quick
             test_ffs_ordered_policies_hold;
+          Alcotest.test_case "journaled: every crash prefix replays clean" `Quick
+            test_journaled_recovers_clean;
         ] );
     ]

@@ -375,8 +375,7 @@ module Run_cffs = Run (Cffs)
    memory devices keep Enospc out of reach of the generator's ~70 KB
    files. *)
 
-let policies =
-  [ Cache.Write_through; Cache.Sync_metadata; Cache.Delayed; Cache.Soft_updates ]
+let policies = Cache.all_policies
 
 let dev () = Blockdev.memory ~block_size:4096 ~nblocks:6144
 

@@ -54,6 +54,21 @@ let test_soak_deterministic () =
   check Alcotest.int "same checksum failures" a.Soak.checksum_failures
     b.Soak.checksum_failures
 
+(* --- Power cut during journal flush / checkpoint sweep ---------------- *)
+
+let test_checkpoint_cut_no_loss () =
+  let o = Soak.run_checkpoint_cut () in
+  if o.Soak.cc_violations <> [] then
+    Alcotest.failf "checkpoint-cut violations: %s"
+      (String.concat "; " o.Soak.cc_violations);
+  check Alcotest.bool "boundaries explored" true (o.Soak.cc_boundaries > 20);
+  check Alcotest.bool "torn variants explored" true (o.Soak.cc_torn > 0);
+  check Alcotest.bool "phase-1 files acknowledged" true
+    (o.Soak.cc_files_phase1 > 0);
+  check Alcotest.bool "reads verified" true (o.Soak.cc_reads_verified > 100);
+  check Alcotest.bool "mounts actually replayed the log" true
+    (o.Soak.cc_replays > 0)
+
 (* --- Remap persistence across power cuts ----------------------------- *)
 
 (* Never overwrite or delete an acknowledged file: then for any crash
@@ -155,6 +170,8 @@ let () =
             test_soak_no_violations;
           Alcotest.test_case "soak is deterministic in its seed" `Quick
             test_soak_deterministic;
+          Alcotest.test_case "power cut through journal flush and checkpoint"
+            `Quick test_checkpoint_cut_no_loss;
           prop_remap_persistence;
         ] );
       ( "telemetry",
