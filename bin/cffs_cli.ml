@@ -553,16 +553,64 @@ let layout_cmd =
     Term.(const run $ image_pos $ json)
 
 (* ------------------------------------------------------------------ *)
+(* regroup: the crash-safe online regrouper on a mounted image *)
+
+let regroup_cmd =
+  let module Regroup = Cffs_fsck.Regroup in
+  let run image max_moves json =
+    with_image image (fun _ m ->
+        match m with
+        | M_ffs _ ->
+            prerr_endline
+              (image ^ ": not a C-FFS image (FFS has no group frames)");
+            Error Errno.Einval
+        | M_cffs fs ->
+            let spec = { Regroup.default_spec with Regroup.max_moves } in
+            let o = Regroup.run ~spec fs in
+            if json then
+              print_endline
+                (Cffs_obs.Json.to_string_pretty (Regroup.to_json o))
+            else print_endline (Regroup.to_string o);
+            Ok true)
+  in
+  let max_moves =
+    Arg.(value & opt (some int) None
+         & info [ "max-moves" ] ~docv:"N"
+             ~doc:
+               "Stop after migrating $(docv) files; the pass checkpoints its \
+                cursor and a later run resumes where it stopped.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the outcome as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "regroup"
+       ~doc:
+         "Run one crash-safe online regrouping pass over a C-FFS image: walk \
+          the namespace, find small files whose blocks have strayed out of \
+          their directory's group frames, and migrate them back with the \
+          copy-forward-then-switch move protocol (new blocks written and \
+          synced before the inode pointers switch, sources freed only after \
+          the switch is durable).  Survives bad sectors (skips the file), \
+          aborts cleanly on ENOSPC, and resumes from its cursor file.")
+    Term.(const run $ image_pos $ max_moves $ json)
+
+(* ------------------------------------------------------------------ *)
 (* Experiments *)
 
 let experiment_names =
   [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "fig8decay"; "table3";
     "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead";
-    "concurrency"; "namei"; "journal"; "all" ]
+    "concurrency"; "namei"; "journal"; "regroup"; "all" ]
 
 let experiment_cmd =
-  let run name quick =
+  let run name quick seed =
     let scale = if quick then Experiments.quick else Experiments.full in
+    let scale =
+      match seed with
+      | Some s -> { scale with Experiments.aging_seed = s }
+      | None -> scale
+    in
     let p t = Cffs_util.Tablefmt.print t; print_newline () in
     (match name with
     | "table1" -> p (Experiments.table1_drives ())
@@ -590,6 +638,7 @@ let experiment_cmd =
     | "concurrency" -> p (Experiments.ablation_concurrency scale)
     | "namei" -> p (Experiments.ablation_namei scale)
     | "journal" -> p (Experiments.ablation_journal scale)
+    | "regroup" -> p (Experiments.ablation_regroup scale)
     | "all" -> Experiments.run_all scale
     | other ->
         Printf.eprintf "unknown experiment %S; one of: %s\n" other
@@ -601,10 +650,15 @@ let experiment_cmd =
            ~doc:"Which table/figure to regenerate.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small, fast variant.") in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Override the aging-churn PRNG seed (fig8, fig8decay, regroup).")
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures on the simulated disk.")
-    Term.(const run $ which $ quick)
+    Term.(const run $ which $ quick $ seed)
 
 let disks_cmd =
   let run () =
@@ -886,7 +940,7 @@ let mcbench_cmd =
   let module Mclient = Cffs_workload.Mclient in
   let module Scheduler = Cffs_disk.Scheduler in
   let run json qdepth sched_str streams files file_bytes large_mb no_coalesce
-      config_str policy =
+      config_str policy seed =
     let sched =
       match String.lowercase_ascii sched_str with
       | "fcfs" | "fifo" -> Some Scheduler.Fcfs
@@ -919,6 +973,7 @@ let mcbench_cmd =
             qdepth;
             sched;
             coalesce = not no_coalesce;
+            prng_seed = seed;
           }
         in
         let inst =
@@ -1004,6 +1059,11 @@ let mcbench_cmd =
                "File-system configuration: none (no techniques) or full \
                 (EI+EG).")
   in
+  let seed =
+    Arg.(value & opt int Mclient.default_params.Mclient.prng_seed
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"PRNG seed for the stream interleaving (reproducible runs).")
+  in
   Cmd.v
     (Cmd.info "mcbench"
        ~doc:
@@ -1013,7 +1073,7 @@ let mcbench_cmd =
           throughput plus queue-depth and service-time statistics.")
     Term.(
       const run $ json $ qdepth $ sched $ streams $ files $ file_bytes
-      $ large_mb $ no_coalesce $ config $ policy_opt_arg)
+      $ large_mb $ no_coalesce $ config $ policy_opt_arg $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* Crash consistency *)
@@ -1066,7 +1126,7 @@ let () =
     Cmd.group info
       [
         mkfs_cmd; fsck_cmd; scrub_cmd; ls_cmd; tree_cmd; cat_cmd; put_cmd; get_cmd; mkdir_cmd;
-        rm_cmd; mv_cmd; df_cmd; dump_cmd; layout_cmd; synth_trace_cmd; replay_cmd;
+        rm_cmd; mv_cmd; df_cmd; dump_cmd; layout_cmd; regroup_cmd; synth_trace_cmd; replay_cmd;
         trace_bench_cmd; experiment_cmd; disks_cmd; stats_cmd; trace_cmd;
         benchdiff_cmd; statbench_cmd; mcbench_cmd; crashtest_cmd;
       ]

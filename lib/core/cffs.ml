@@ -1385,6 +1385,238 @@ let grouped_fraction ?(under = "/") t =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Online regrouping: the copy-forward-then-switch move protocol.
+
+   The regrouper (Cffs_fsck.Regroup) repacks broken small files — regular
+   files of at most [group_file_blocks] blocks whose data no longer sits in
+   a single group frame — back into frames.  The pieces that must see the
+   allocator and the raw inode live here; pass orchestration (candidate
+   walk, cursor, batching, fault accounting) lives in the fsck library.
+
+   A move is split into four steps so the orchestrator can impose the
+   crash-ordering barrier appropriate to the write policy:
+
+     prepare   claim destination blocks inside one frame and write the
+               copied data into the cache (nothing references them yet);
+     commit    switch the inode's direct pointers to the destinations —
+               one inode record, one sector-atomic write;
+     finish    free the superseded source blocks;
+     abandon   free the claimed destinations instead (fault/ENOSPC path).
+
+   Under [Journaled] the orchestrator runs prepare/commit/finish for a
+   whole batch and syncs once: the claims, pointer switches and frees
+   commit as a single logged transaction (the copied data home-writes
+   before the commit record, per the journal's barrier), so every crash
+   prefix replays to entirely-old or entirely-new layout.  Under the other
+   policies it syncs between prepare and commit (data durable before any
+   pointer names it) and between commit and finish (the switch durable
+   before the old blocks can be reused); a crash can then leak
+   claimed-but-unreferenced blocks, which fsck repair reclaims, but no
+   pointer ever names a block whose contents are not on the media. *)
+
+type move_plan = {
+  mv_ino : int;
+  mv_frame : int;  (* destination frame start *)
+  mv_moves : (int * int * int) list;  (* (lblk, old physical, new physical) *)
+}
+
+let move_plan_frame p = p.mv_frame
+let move_plan_blocks p = List.length p.mv_moves
+
+let frame_free_count t frame =
+  let sb = t.sb in
+  let cg = Csb.cg_of_block sb frame in
+  let b = read_header t cg in
+  let base_rel = frame - Csb.cg_start sb cg in
+  let n = ref 0 in
+  for i = 0 to sb.Csb.group_blocks - 1 do
+    if not (get_bit b hdr_bbm (base_rel + i)) then incr n
+  done;
+  !n
+
+(* The physical home of an inode record, for soft-updates ordering. *)
+let inode_home_block t ino =
+  if ino = Csb.root_ino || ino = Csb.ifile_ino then Some 0
+  else if is_embedded_ino ino then Some (fst (embed_pos t ino))
+  else ext_ino_block t ino
+
+let regroup_prepare ?(dir_census = []) t ~dir ~ino =
+  let sb = t.sb in
+  if not sb.Csb.grouping then Ok `Ineligible
+  else begin
+    let* inode = read_inode t ino in
+    let* dinode = read_inode t dir in
+    let nblocks = (inode.Inode.size + bs t - 1) / bs t in
+    let limit = min sb.Csb.group_file_blocks Inode.n_direct in
+    if inode.Inode.kind <> Inode.Regular || nblocks < 1 || nblocks > limit then
+      Ok `Ineligible
+    else begin
+      let olds = Array.init nblocks (fun l -> inode.Inode.direct.(l)) in
+      if Array.exists (fun p -> p = 0) olds then Ok `Ineligible (* holes *)
+      else begin
+        let frames = Array.map (frame_of_block t) olds in
+        let resident =
+          match frames.(0) with
+          | Some f -> Array.for_all (fun g -> g = Some f) frames
+          | None -> false
+        in
+        (* Candidate destinations: the directory's remembered frames, the
+           caller's census of sibling frames, plus any frame already
+           holding some of this file's blocks (moving only the outliers).
+           Entries must be genuine frame starts — [spare] also carries the
+           mkdir affinity hint, which is not one.  Selection prefers the
+           frame already holding the most of the directory's other data
+           ([dir_census], explicit grouping's whole point), then the one
+           left tightest after the move.  Either way the sprawl drains:
+           sibling-heavy frames fill up and half-used ones empty out —
+           fewest-copies would leave every file marooned where it is. *)
+        let candidates =
+          List.sort_uniq compare
+            (List.filter
+               (fun f -> f <> 0 && frame_of_block t f = Some f)
+               (Array.to_list dinode.Inode.spare
+               @ List.map fst dir_census
+               @ List.filter_map Fun.id (Array.to_list frames)))
+        in
+        let inplace f =
+          Array.fold_left (fun acc g -> if g = Some f then acc + 1 else acc) 0 frames
+        in
+        (* Sibling blocks in [f]: the directory's small-file data there,
+           not counting this file's own. *)
+        let sib f =
+          (match List.assoc_opt f dir_census with Some n -> n | None -> 0)
+          - inplace f
+        in
+        let feasible =
+          List.filter_map
+            (fun f ->
+              let need = nblocks - inplace f in
+              if need > 0 && frame_free_count t f >= need then
+                Some (-sib f, frame_free_count t f - need, need, f)
+              else None)
+            candidates
+        in
+        let dest =
+          if resident then begin
+            match frames.(0) with
+            | None -> Ok None
+            | Some home ->
+                (* Consolidation: a file already wholly inside a frame
+                   still moves when a sibling frame offers strictly
+                   better company (more of its directory's data) or, at
+                   equal company, is strictly tighter than its home.
+                   Strict improvement keeps repeated passes polarizing
+                   the directory's frames instead of cycling. *)
+                let home_sib = sib home in
+                let home_free = frame_free_count t home in
+                let better =
+                  List.filter
+                    (fun (negsib, _, _, f) ->
+                      f <> home
+                      && (-negsib > home_sib
+                         || (-negsib = home_sib
+                            && frame_free_count t f < home_free)))
+                    feasible
+                in
+                (match List.sort compare better with
+                | (_, _, _, f) :: _ -> Ok (Some f)
+                | [] -> Ok None)
+          end
+          else
+            match List.sort compare feasible with
+            | (_, _, _, f) :: _ -> Ok (Some f)
+            | [] -> begin
+                (* Allocate a fresh frame (becoming the directory's
+                   most-recent hint, as [alloc_grouped] would) only when
+                   no existing frame can hold the whole file. *)
+                match alloc_frame t ~cg:(dir_affinity_cg t dinode) with
+                | Some frame ->
+                    for i = Inode.n_spare - 1 downto 1 do
+                      dinode.Inode.spare.(i) <- dinode.Inode.spare.(i - 1)
+                    done;
+                    dinode.Inode.spare.(0) <- frame;
+                    let* () = write_inode t dir dinode ~kind:`Meta_delayed in
+                    Ok (Some frame)
+                | None -> Error Enospc
+              end
+        in
+        let* dest = dest in
+        match dest with
+        | None -> Ok `Resident
+        | Some frame ->
+          let claimed = ref [] in
+          let unwind () = List.iter (fun b -> free_block t b) !claimed in
+          try
+            let moves = ref [] in
+            Array.iteri
+              (fun l old ->
+                if frames.(l) <> Some frame then begin
+                  match frame_free_block t frame with
+                  | None -> raise Exit
+                  | Some np ->
+                      claim_block t np;
+                      claimed := np :: !claimed;
+                      (* Copy forward: prefer the logically indexed cached
+                         copy; otherwise read the source block (transient
+                         faults retry inside the cache; a persistent fault
+                         raises and the whole move unwinds). *)
+                      let data =
+                        match Cache.find_logical t.cache ~ino ~lblk:l with
+                        | Some b -> Bytes.copy b
+                        | None -> Bytes.copy (Cache.read t.cache old)
+                      in
+                      Cache.write t.cache ~kind:`Data np data;
+                      moves := (l, old, np) :: !moves
+                end)
+              olds;
+            Ok (`Plan { mv_ino = ino; mv_frame = frame; mv_moves = List.rev !moves })
+          with
+          | Exit ->
+              unwind ();
+              Error Enospc
+          | Cffs_util.Io_error.E _ ->
+              unwind ();
+              Error Eio
+      end
+    end
+  end
+
+let regroup_commit t plan =
+  let* inode = read_inode t plan.mv_ino in
+  let stale =
+    inode.Inode.kind <> Inode.Regular
+    || List.exists
+         (fun (l, old, _) -> l >= Inode.n_direct || inode.Inode.direct.(l) <> old)
+         plan.mv_moves
+  in
+  if stale then Error Einval
+  else begin
+    List.iter (fun (l, _, np) -> inode.Inode.direct.(l) <- np) plan.mv_moves;
+    inode.Inode.flags <- inode.Inode.flags lor flag_grouped;
+    let* () = write_inode t plan.mv_ino inode ~kind:`Meta in
+    (* Soft updates: the copied data must reach the media no later than
+       the pointer switch that names it. *)
+    (match inode_home_block t plan.mv_ino with
+    | Some home ->
+        List.iter
+          (fun (_, _, np) -> Cache.order t.cache ~first:np ~second:home)
+          plan.mv_moves
+    | None -> ());
+    List.iter
+      (fun (l, _, np) ->
+        Cache.drop_logical t.cache ~ino:plan.mv_ino ~lblk:l;
+        Cache.set_logical t.cache np ~ino:plan.mv_ino ~lblk:l)
+      plan.mv_moves;
+    Ok ()
+  end
+
+let regroup_finish t plan =
+  List.iter (fun (_, old, _) -> free_block t old) plan.mv_moves
+
+let regroup_abandon t plan =
+  List.iter (fun (_, _, np) -> free_block t np) plan.mv_moves
+
+(* ------------------------------------------------------------------ *)
 (* Formatting and mounting. *)
 
 let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks = 4096)

@@ -117,6 +117,66 @@ val frame_of_block : t -> int -> int option
 (** Start of the aligned group frame containing a block, if the block lies
     in a frame-aligned region of its cylinder group. *)
 
+val frame_free_count : t -> int -> int
+(** Free blocks inside the frame starting at the given block — the room a
+    compaction plan can still place siblings into. *)
+
+(** {1 Online regrouping support}
+
+    The copy-forward-then-switch move protocol behind
+    [Cffs_fsck.Regroup]: destination blocks are claimed inside one group
+    frame and the data copied forward ({!regroup_prepare}); the inode's
+    direct pointers are switched in a single sector-atomic inode write
+    ({!regroup_commit}); only then are the source blocks freed
+    ({!regroup_finish}).  The orchestrator places sync barriers between
+    the steps (or, under [Journaled], around a whole batch, which then
+    commits as one logged transaction), so every crash prefix leaves
+    either the old or the new layout — never a torn file.
+    {!regroup_abandon} is the unwind path: it releases the claimed
+    destinations of a prepared-but-never-committed move. *)
+
+type move_plan
+
+val regroup_prepare :
+  ?dir_census:(int * int) list ->
+  t ->
+  dir:int ->
+  ino:int ->
+  [ `Plan of move_plan | `Resident | `Ineligible ] Cffs_vfs.Errno.result
+(** [`Resident]: the file already lies wholly in one frame and no sibling
+    frame offers strictly better company.
+    [`Ineligible]: not a small regular file the protocol covers (too many
+    blocks, holes, grouping off).  [Error Enospc]: no frame can hold the
+    file; [Error Eio]: a source block failed persistently mid-copy (the
+    claimed destinations were released).
+    [dir_census] maps frame starts to the number of data blocks the
+    directory's small files keep there.  It widens the destination
+    candidates beyond the directory's remembered [spare] frames and the
+    file's own, and drives placement: the feasible frame with the most
+    sibling data wins (then the tightest), so a directory's files pack
+    back together instead of each marooning itself in a fresh frame.
+    A resident file is re-homed only for a {e strict} improvement in
+    (sibling data, tightness) — repeated passes polarize a directory's
+    frames rather than cycle. *)
+
+val regroup_commit : t -> move_plan -> unit Cffs_vfs.Errno.result
+(** Switch the inode's block pointers to the plan's destinations and remap
+    the cache's logical identities.  [Error Einval] if the inode no longer
+    matches the plan (the destinations are then still claimed — abandon). *)
+
+val regroup_finish : t -> move_plan -> unit
+(** Free the superseded source blocks of a committed move. *)
+
+val regroup_abandon : t -> move_plan -> unit
+(** Free the claimed destination blocks of a move that will not commit. *)
+
+val move_plan_frame : move_plan -> int
+(** Destination frame start. *)
+
+val move_plan_blocks : move_plan -> int
+(** Blocks the plan copies (source blocks already in the destination frame
+    stay in place and are not counted). *)
+
 val grouped_fraction : ?under:string -> t -> float
 (** Fraction of regular-file data blocks currently placed inside a frame
     together only with blocks of files from the same directory — the

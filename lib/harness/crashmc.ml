@@ -28,6 +28,10 @@ module Errno = Cffs_vfs.Errno
 module Report = Cffs_fsck.Report
 module Fsck_ffs = Cffs_fsck.Fsck_ffs
 module Fsck_cffs = Cffs_fsck.Fsck_cffs
+module Layout = Cffs_fsck.Layout
+module Regroup = Cffs_fsck.Regroup
+module Env = Cffs_workload.Env
+module Aging = Cffs_workload.Aging
 
 type fs_sel = Ffs_sel | Cffs_sel
 
@@ -275,9 +279,10 @@ let point_name ~upto ~tear =
   | None -> Printf.sprintf "point %d" upto
   | Some k -> Printf.sprintf "point %d (torn, %d sectors kept)" upto k
 
-let run_config ?(seed = 1) ?(points = 200) sel policy =
-  let rec_ = run_workload sel policy in
-  let prng = Prng.create (seed lxor Hashtbl.hash (fs_label sel, policy_label policy)) in
+(* Sample crash boundaries (plus torn variants) out of a recorded run and
+   verify every sampled image.  Shared by the workload phase and the
+   regroup phase. *)
+let verify_sweep ~prng ~points sel policy rec_ =
   let total = Faultdev.journal_length rec_.fd in
   let entries = Array.of_list (Faultdev.journal rec_.fd) in
   let boundaries = Array.init (total + 1) Fun.id in
@@ -380,6 +385,73 @@ let run_config ?(seed = 1) ?(points = 200) sel policy =
     violations = List.rev !violations;
   }
 
+let run_config ?(seed = 1) ?(points = 200) sel policy =
+  let rec_ = run_workload sel policy in
+  let prng = Prng.create (seed lxor Hashtbl.hash (fs_label sel, policy_label policy)) in
+  verify_sweep ~prng ~points sel policy rec_
+
+(* ------------------------------------------------------------------ *)
+(* Regroup phase: crash at every sampled request boundary *while an
+   online regroup pass compacts an aged image*.  Every file on the image
+   was written and synced before the pass started, so at every crash
+   prefix the durable set is the whole tree: the copy-forward-then-switch
+   protocol must leave each file wholly old or wholly new, byte-identical
+   either way.  The cursor file the pass maintains is not part of the
+   contract and is excluded (it did not exist at snapshot time). *)
+
+let snapshot_tree fs =
+  let rec go acc path =
+    match Cffs.list_dir fs path with
+    | Error _ -> acc
+    | Ok names ->
+        List.fold_left
+          (fun acc name ->
+            let child = if path = "/" then "/" ^ name else path ^ "/" ^ name in
+            match Cffs.stat fs child with
+            | Ok st when st.Fs_intf.st_kind = Cffs_vfs.Inode.Directory ->
+                go acc child
+            | Ok _ -> (
+                match Cffs.read_file fs child with
+                | Ok data -> (child, data) :: acc
+                | Error _ -> acc)
+            | Error _ -> acc)
+          acc (List.sort compare names)
+  in
+  go [] "/"
+
+let run_regroup ?(seed = 1) ?(points = 200) policy =
+  let block_size, nblocks = geometry in
+  let dev = Blockdev.memory ~block_size ~nblocks in
+  let fs = Cffs.format ~cg_size ~policy dev in
+  let env = Env.make ~cpu_per_op:0.0 (Fs_intf.Packed ((module Cffs), fs)) dev in
+  let spec =
+    { (Aging.default_spec 0.8) with Aging.operations = 2500; Aging.dirs = 5 }
+  in
+  let (_ : Aging.outcome) = Aging.run env spec in
+  Cffs.sync fs;
+  let snapshot = snapshot_tree fs in
+  let residency_before = (Layout.cffs_report fs).Layout.group_residency in
+  (* Attach after the final sync: the journal base holds every file, so
+     even the zero-length prefix must read the whole tree back. *)
+  let fd = Faultdev.attach dev in
+  let o =
+    Regroup.run ~spec:{ Regroup.default_spec with Regroup.measure = false } fs
+  in
+  Faultdev.detach fd;
+  (* Sanity of the scenario itself (deterministic given the aging spec):
+     a pass that moved nothing would make the crash sweep vacuous, and a
+     pass that moved files without raising residency is a regrouper bug. *)
+  if o.Regroup.moved = 0 then
+    failwith "crashmc regroup: the pass moved nothing - aging spec too tame";
+  let residency_after = (Layout.cffs_report fs).Layout.group_residency in
+  if residency_after <= residency_before then
+    failwith
+      (Printf.sprintf "crashmc regroup: residency did not improve (%.3f -> %.3f)"
+         residency_before residency_after);
+  let rec_ = { fd; touches = []; syncs = [ (0, snapshot) ] } in
+  let prng = Prng.create (seed lxor Hashtbl.hash ("regroup", policy_label policy)) in
+  verify_sweep ~prng ~points Cffs_sel policy rec_
+
 let default_matrix =
   List.concat_map (fun sel -> List.map (fun p -> (sel, p)) all_policies)
     [ Ffs_sel; Cffs_sel ]
@@ -454,9 +526,17 @@ let outcome_violations o =
 let total_violations outcomes =
   List.fold_left (fun acc o -> acc + outcome_violations o) 0 outcomes
 
+(* The policies whose regroup phase the document and the human report
+   carry: the journaled transaction path and the strictest sync-ordered
+   path.  (The others share the sync-ordered barrier discipline.) *)
+let regroup_matrix = [ Cache.Journaled; Cache.Sync_metadata ]
+
 let document ?(seed = 1) ?(points = 200) ?matrix () =
   let before = Registry.snapshot () in
   let outcomes = run ~seed ~points ?matrix () in
+  let regroup_outcomes =
+    List.map (fun p -> run_regroup ~seed ~points p) regroup_matrix
+  in
   fault_drill ();
   let delta = Registry.diff (Registry.snapshot ()) before in
   let _ops, counters = Telemetry.split_delta delta in
@@ -467,23 +547,36 @@ let document ?(seed = 1) ?(points = 200) ?matrix () =
       ("seed", Json.Int seed);
       ("points", Json.Int points);
       ("configs", Json.List (List.map outcome_to_json outcomes));
-      ("total_violations", Json.Int (total_violations outcomes));
+      ("regroup", Json.List (List.map outcome_to_json regroup_outcomes));
+      ( "total_violations",
+        Json.Int (total_violations (outcomes @ regroup_outcomes)) );
       ("counters", Json.Obj counters);
     ]
 
 let print_human ?(seed = 1) ?(points = 200) ?matrix () =
   let outcomes = run ~seed ~points ?matrix () in
+  let regroup_outcomes =
+    List.map (fun p -> run_regroup ~seed ~points p) regroup_matrix
+  in
   Printf.printf "crash-consistency check: seed %d, up to %d points per config\n\n"
     seed points;
-  Printf.printf "%-6s %-14s %7s %5s %9s %9s %7s %7s %8s %5s\n" "fs" "policy"
+  Printf.printf "%-8s %-14s %7s %5s %9s %9s %7s %7s %8s %5s\n" "fs" "policy"
     "points" "torn" "dangling" "embedded" "unconv" "unclean" "dur-fail" "viol";
   List.iter
     (fun o ->
-      Printf.printf "%-6s %-14s %7d %5d %9d %9d %7d %7d %8d %5d\n" (fs_label o.fs)
+      Printf.printf "%-8s %-14s %7d %5d %9d %9d %7d %7d %8d %5d\n" (fs_label o.fs)
         (policy_label o.policy) o.points o.torn_points o.dangling_states
         o.embedded_dangles o.unconverged o.unclean_states o.durability_failures
         (outcome_violations o))
     outcomes;
+  List.iter
+    (fun o ->
+      Printf.printf "%-8s %-14s %7d %5d %9d %9d %7d %7d %8d %5d\n" "regroup"
+        (policy_label o.policy) o.points o.torn_points o.dangling_states
+        o.embedded_dangles o.unconverged o.unclean_states o.durability_failures
+        (outcome_violations o))
+    regroup_outcomes;
+  let outcomes = outcomes @ regroup_outcomes in
   let bad = total_violations outcomes in
   Printf.printf "\n%s\n"
     (if bad = 0 then "no invariant violations"

@@ -60,6 +60,19 @@ val run_config : ?seed:int -> ?points:int -> fs_sel -> Cffs_cache.Cache.policy -
     variants of multi-sector boundary requests (defaults: 200 points,
     seed 1). *)
 
+val run_regroup : ?seed:int -> ?points:int -> Cffs_cache.Cache.policy -> outcome
+(** The regroup phase: age a C-FFS image with create/delete churn, sync,
+    snapshot every file, then power-cut at sampled request boundaries
+    (plus torn variants) {e while an online regroup pass}
+    ({!Cffs_fsck.Regroup}) compacts it.  Every snapshot file was
+    acknowledged before the pass began, so at {e every} crash prefix the
+    whole tree must read back byte-identical (each file wholly old or
+    wholly new layout — the copy-forward-then-switch guarantee), the image
+    must mount, and fsck must converge; under [Journaled] every prefix
+    must additionally be clean before any repair.  Raises [Failure] if the
+    scenario itself is vacuous (the pass moved nothing) or the pass failed
+    to raise group residency on the live image. *)
+
 val default_matrix : (fs_sel * Cffs_cache.Cache.policy) list
 (** Both file systems under every cache policy. *)
 
@@ -84,8 +97,10 @@ val document :
   ?matrix:(fs_sel * Cffs_cache.Cache.policy) list ->
   unit ->
   Cffs_obs.Json.t
-(** Matrix run (default: the full matrix) plus {!fault_drill}, packaged
-    as a [cffs-telemetry-v2] document with benchmark ["crashtest"]. *)
+(** Matrix run (default: the full matrix) plus the regroup phase
+    ({!run_regroup} under [Journaled] and [Sync_metadata]) plus
+    {!fault_drill}, packaged as a [cffs-telemetry-v2] document with
+    benchmark ["crashtest"]. *)
 
 val print_human :
   ?seed:int ->

@@ -17,12 +17,16 @@ module Statbench = Cffs_workload.Statbench
 module Fs_intf = Cffs_vfs.Fs_intf
 module Registry = Cffs_obs.Registry
 module Sampler = Cffs_obs.Sampler
+module Layout = Cffs_fsck.Layout
+module Regroup = Cffs_fsck.Regroup
 
 type scale = {
   smallfile_files : int;
   sweep_cap_bytes : int;
   aging_ops : int;
   aging_points : float list;
+  aging_seed : int;
+  decay_ops : int;
   app_spec : Appbench.spec;
   large_mb : int;
   fig2_samples : int;
@@ -39,6 +43,8 @@ let full =
     sweep_cap_bytes = 16 * 1024 * 1024;
     aging_ops = 25000;
     aging_points = [ 0.1; 0.3; 0.5; 0.7; 0.9 ];
+    aging_seed = 0xA9ED;
+    decay_ops = 120_000;
     app_spec = Appbench.default_spec;
     large_mb = 64;
     fig2_samples = 1000;
@@ -61,6 +67,8 @@ let quick =
     sweep_cap_bytes = 1024 * 1024;
     aging_ops = 1500;
     aging_points = [ 0.3; 0.7 ];
+    aging_seed = 0xA9ED;
+    decay_ops = 2000;
     app_spec = { Appbench.default_spec with dirs = 4; files_per_dir = 8 };
     large_mb = 8;
     fig2_samples = 100;
@@ -279,7 +287,12 @@ let fig8_aging scale =
       in
       let inst = Setup.instantiate setup in
       let env = inst.Setup.env in
-      let spec = { (Aging.default_spec util) with Aging.operations = scale.aging_ops } in
+      let spec =
+        { (Aging.default_spec util) with
+          Aging.operations = scale.aging_ops;
+          seed = scale.aging_seed;
+        }
+      in
       let outcome = Aging.run env spec in
       (* Measure small-file behaviour on the aged file system. *)
       let nfiles = max 100 (scale.smallfile_files / 5) in
@@ -306,18 +319,21 @@ let fig8_aging scale =
     scale.aging_points;
   t
 
-(* The decay curve behind Figure 8: grouping quality sampled on the
-   simulated clock {e while} the churn runs, at the highest utilization
-   the scale asks for.  The aging driver polls the installed sampler from
-   its op loop; the extra probe walks [/aged] at every sample point. *)
+(* The decay-and-recovery curve behind Figure 8: grouping quality sampled
+   on the simulated clock {e while} the churn runs — [scale.decay_ops]
+   operations (10^5+ at full scale) toward the highest utilization the
+   scale asks for — and then while an online regroup pass repairs the
+   damage.  The aging driver and the regrouper both poll the installed
+   sampler; the extra probe walks [/aged] at every sample point. *)
 let fig8_decay scale =
   let util = List.fold_left max 0.0 scale.aging_points in
   let t =
     Tablefmt.create
       ~title:
         (Printf.sprintf
-           "Figure 8 (decay): grouping quality over simulated time while \
-            aging toward %.0f%% utilization"
+           "Figure 8 (decay + recovery): grouping quality over simulated \
+            time while aging toward %.0f%% utilization, then across an \
+            online regroup pass"
            (util *. 100.0))
       [
         ("t (sim s)", Tablefmt.Right);
@@ -347,8 +363,21 @@ let fig8_decay scale =
     Sampler.create ~prefixes:[ "cffs.op." ] ~extra:probe ~interval_s:2.0
       ~start:(Blockdev.now env.Env.dev) ()
   in
-  let spec = { (Aging.default_spec util) with Aging.operations = scale.aging_ops } in
-  ignore (Sampler.with_sampler sampler (fun () -> Aging.run env spec));
+  let spec =
+    { (Aging.default_spec util) with
+      Aging.operations = scale.decay_ops;
+      seed = scale.aging_seed;
+    }
+  in
+  Sampler.with_sampler sampler (fun () ->
+      let (_ : Aging.outcome) = Aging.run env spec in
+      (* Recovery: repack the decayed tree while sampling continues, so
+         the curve's tail shows the grouped fraction climbing back. *)
+      match inst.Setup.cffs with
+      | Some fs ->
+          let rspec = { Regroup.default_spec with Regroup.measure = false } in
+          ignore (Regroup.run ~spec:rspec fs)
+      | None -> ());
   let points = Sampler.samples sampler in
   (* The registry is global and cumulative, so op counts are shown as
      deltas from the first sample of this run. *)
@@ -891,6 +920,220 @@ let ablation_namei scale =
   t
 
 (* ------------------------------------------------------------------ *)
+(* A7: the online regrouper.  Fresh vs aged vs aged-then-regrouped on the
+   fig8 slice of the ST31200: does a regroup pass buy back the small-file
+   read throughput that aging cost, and does measured group residency
+   actually recover?  Every row gets an identical create-only probe tree
+   before measurement so the fresh row's residency is measured, not
+   assumed (a just-formatted image has no small files at all, and the
+   layout introspector would report zero residency for it). *)
+
+type regroup_stage = Fresh | Aged | Regrouped
+
+type regroup_recovery = {
+  fresh_read_s : float;
+  fresh_reqs_per_file : float;
+  fresh_residency : float;
+  aged_read_s : float;
+  aged_reqs_per_file : float;
+  aged_residency : float;
+  regrouped_read_s : float;
+  regrouped_reqs_per_file : float;
+  regrouped_residency : float;
+  regroup_outcome : Regroup.outcome option;
+}
+
+(* The A7 working set: multi-block small files (2..5 blocks at 4 KB) in a
+   shallow tree — the shapes the regrouper exists for.  Single-block files
+   are trivially frame-resident, so they would mask layout decay. *)
+let regroup_work_sizes = [| 6144; 9216; 14336; 20480; 8192; 13312 |]
+
+(* One A7 row: build the layout the stage asks for, then create the SAME
+   deterministic working set on whatever free space that stage left
+   behind.  On the fresh image it lands wholly in frames; created after
+   aging it fragments; the [Regrouped] stage then runs a pass over the
+   image (working set included) before measuring.  Residency is computed
+   over the working set alone so the three rows share a base, and the read
+   rate is a cold (post-remount) sweep of those same files. *)
+let regroup_row scale stage =
+  (* A deliberately small disk: aging must actually reach high utilization
+     for allocation pressure to fragment the working set, and a seek-true
+     drive model is what makes the read-rate recovery measurable. *)
+  let small_profile = Profile.truncated Profile.seagate_st31200 ~cylinders:40 in
+  let setup =
+    { (Setup.standard (Setup.Cffs_fs Cffs.config_default)) with
+      Setup.profile = small_profile;
+      Setup.cache_blocks = 4096;
+    }
+  in
+  let inst = Setup.instantiate setup in
+  let env = inst.Setup.env in
+  let fs =
+    match inst.Setup.cffs with
+    | Some fs -> fs
+    | None -> invalid_arg "regroup_row: C-FFS instance expected"
+  in
+  if stage <> Fresh then begin
+    let util = max 0.80 (List.fold_left max 0.0 scale.aging_points) in
+    let spec =
+      { (Aging.default_spec util) with
+        Aging.operations = max 2500 scale.aging_ops;
+        seed = scale.aging_seed;
+      }
+    in
+    let (_ : Aging.outcome) = Aging.run env spec in
+    ()
+  end;
+  let nfiles = max 60 (scale.smallfile_files / 25) in
+  let files_per_dir = 20 in
+  (match Cffs.mkdir fs "/work" with Ok () | Error _ -> ());
+  let work = ref [] in
+  for i = 0 to nfiles - 1 do
+    let dir = Printf.sprintf "/work/d%02d" (i / files_per_dir) in
+    if i mod files_per_dir = 0 then
+      (match Cffs.mkdir fs dir with Ok () | Error _ -> ());
+    let bytes = regroup_work_sizes.(i mod Array.length regroup_work_sizes) in
+    let path = Printf.sprintf "%s/f%04d" dir i in
+    match Cffs.write_file fs path (Bytes.make bytes (Char.chr (97 + (i mod 26)))) with
+    | Ok () -> work := path :: !work
+    | Error _ -> ()
+  done;
+  let work = List.rev !work in
+  Cffs.sync fs;
+  (* Compaction is incremental: early moves free scattered source blocks,
+     which later passes turn into destination frames.  Run to convergence
+     (bounded), as an online regrouper daemon would across idle periods. *)
+  let outcome =
+    if stage <> Regrouped then None
+    else begin
+      let rec converge last n =
+        if n = 0 then last
+        else
+          let o = Regroup.run fs in
+          if o.Regroup.moved = 0 then o else converge o (n - 1)
+      in
+      Some (converge (Regroup.run fs) 16)
+    end
+  in
+  let residency =
+    let small_blocks = (Cffs.superblock fs).Cffs.Csb.group_file_blocks in
+    let total = ref 0 and grouped = ref 0 in
+    List.iter
+      (fun path ->
+        match Cffs.file_runs fs path with
+        | Error _ -> ()
+        | Ok runs ->
+            let blocks =
+              List.concat_map (fun (s, n) -> List.init n (fun i -> s + i)) runs
+            in
+            let nb = List.length blocks in
+            if nb > 0 && nb <= small_blocks then begin
+              incr total;
+              match List.map (Cffs.frame_of_block fs) blocks with
+              | Some f :: rest when List.for_all (fun g -> g = Some f) rest ->
+                  incr grouped
+              | _ -> ()
+            end)
+      work;
+    if !total = 0 then 0.0
+    else float_of_int !grouped /. float_of_int !total
+  in
+  (* Cold reads of the working set, in a fixed shuffled order (identical
+     across the three stages): every file pays its own positioning cost,
+     so the measured difference is how many requests each file needs —
+     grouping quality — not the disk order the files happen to be in. *)
+  Cffs.remount fs;
+  let order =
+    let a = Array.of_list work in
+    let prng = Prng.create 0xA7 in
+    for i = Array.length a - 1 downto 1 do
+      let j = Prng.int prng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  let op () =
+    Blockdev.advance env.Env.dev env.Env.cpu_per_op;
+    Sampler.poll_current ~now:(Blockdev.now env.Env.dev)
+  in
+  let m =
+    Env.measured env (fun () ->
+        List.iter
+          (fun path ->
+            op ();
+            ignore (Cffs.read_file fs path))
+          order;
+        Cffs.sync fs)
+  in
+  let n = float_of_int (List.length work) in
+  let read_s = if m.Env.seconds <= 0.0 then 0.0 else n /. m.Env.seconds in
+  let reqs = if n = 0.0 then 0.0 else float_of_int m.Env.requests /. n in
+  (read_s, reqs, residency, outcome)
+
+let regroup_recovery scale =
+  let f_read, f_reqs, f_res, _ = regroup_row scale Fresh in
+  let a_read, a_reqs, a_res, _ = regroup_row scale Aged in
+  let r_read, r_reqs, r_res, outcome = regroup_row scale Regrouped in
+  {
+    fresh_read_s = f_read;
+    fresh_reqs_per_file = f_reqs;
+    fresh_residency = f_res;
+    aged_read_s = a_read;
+    aged_reqs_per_file = a_reqs;
+    aged_residency = a_res;
+    regrouped_read_s = r_read;
+    regrouped_reqs_per_file = r_reqs;
+    regrouped_residency = r_res;
+    regroup_outcome = outcome;
+  }
+
+let ablation_regroup scale =
+  let util = max 0.80 (List.fold_left max 0.0 scale.aging_points) in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "A7: online regrouping - working-set cold reads and residency, \
+            fresh vs aged (%.0f%% util) vs aged+regrouped"
+           (util *. 100.0))
+      [
+        ("Layout", Tablefmt.Left);
+        ("Residency", Tablefmt.Right);
+        ("Read files/s", Tablefmt.Right);
+        ("Read reqs/file", Tablefmt.Right);
+        ("vs fresh", Tablefmt.Right);
+        ("Moved", Tablefmt.Right);
+      ]
+  in
+  let rows =
+    List.map
+      (fun (label, stage) -> (label, regroup_row scale stage))
+      [ ("fresh", Fresh); ("aged", Aged); ("aged+regrouped", Regrouped) ]
+  in
+  let fresh_read =
+    match rows with (_, (r, _, _, _)) :: _ -> r | [] -> 0.0
+  in
+  List.iter
+    (fun (label, (read, reqs, res, outcome)) ->
+      Tablefmt.add_row t
+        [
+          label;
+          f2 res;
+          f1 read;
+          f2 reqs;
+          (if fresh_read > 0.0 then f2 (read /. fresh_read) ^ "x" else "-");
+          (match outcome with
+          | Some o ->
+              Printf.sprintf "%d (%d blk)" o.Regroup.moved
+                o.Regroup.blocks_copied
+          | None -> "-");
+        ])
+    rows;
+  t
+
+(* ------------------------------------------------------------------ *)
 
 let run_all scale =
   let p t =
@@ -924,4 +1167,5 @@ let run_all scale =
   p (ablation_readahead scale);
   p (ablation_concurrency scale);
   p (ablation_namei scale);
-  p (ablation_journal scale)
+  p (ablation_journal scale);
+  p (ablation_regroup scale)

@@ -10,6 +10,10 @@ type scale = {
   sweep_cap_bytes : int;  (** total payload cap for the file-size sweep *)
   aging_ops : int;
   aging_points : float list;  (** target utilizations *)
+  aging_seed : int;  (** PRNG seed for the aging churn (reproducible runs) *)
+  decay_ops : int;
+      (** operations for the decay-and-recovery time series ([fig8_decay]);
+          10^5+ at full scale *)
   app_spec : Cffs_workload.Appbench.spec;
   large_mb : int;
   fig2_samples : int;
@@ -51,7 +55,10 @@ val fig8_aging : scale -> Cffs_util.Tablefmt.t
 val fig8_decay : scale -> Cffs_util.Tablefmt.t
 (** E8 over time: grouping quality sampled on the simulated clock while
     the churn runs (installed-sampler time series with a grouped-fraction
-    probe), at the highest utilization in [scale.aging_points]. *)
+    probe), at the highest utilization in [scale.aging_points] for
+    [scale.decay_ops] operations — and then while an online regroup pass
+    ({!Cffs_fsck.Regroup}) repairs the damage, so the curve shows decay
+    {e and} recovery. *)
 
 val table3_apps : scale -> Cffs_util.Tablefmt.t
 (** E9 / software-development applications, with % improvement. *)
@@ -116,6 +123,35 @@ val ablation_namei : scale -> Cffs_util.Tablefmt.t
     on/off across FFS, C-FFS (none) and C-FFS (EI+EG) under the
     stat-heavy workload — per-phase times, warm stat rate and namei hit
     rates. *)
+
+(** A7 measurements: the online regrouper's recovery, one field set per
+    layout (fresh / aged / aged-then-regrouped).  Residency is the layout
+    introspector's whole-image group residency after planting an identical
+    create-only probe tree on each layout (so the fresh row's residency is
+    measured rather than assumed). *)
+type regroup_recovery = {
+  fresh_read_s : float;  (** smallfile cold-read files/s *)
+  fresh_reqs_per_file : float;
+  fresh_residency : float;
+  aged_read_s : float;
+  aged_reqs_per_file : float;
+  aged_residency : float;
+  regrouped_read_s : float;
+  regrouped_reqs_per_file : float;
+  regrouped_residency : float;
+  regroup_outcome : Cffs_fsck.Regroup.outcome option;
+      (** the pass that produced the regrouped row *)
+}
+
+val regroup_recovery : scale -> regroup_recovery
+(** Run the three A7 layouts and return the raw measurements (the recovery
+    acceptance criterion — regrouped reads within ~10% of fresh, residency
+    strictly increased — is asserted over this record by the test suite). *)
+
+val ablation_regroup : scale -> Cffs_util.Tablefmt.t
+(** A7: fresh vs aged vs aged+regrouped — group residency, smallfile read
+    throughput (absolute and vs fresh) and the multi-client small-file
+    aggregate. *)
 
 val run_all : scale -> unit
 (** Print every table above (E4 in both integrity modes). *)

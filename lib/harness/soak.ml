@@ -339,6 +339,167 @@ let run_checkpoint_cut ?(seed = 7) ?(files = 24) ?(file_bytes = 2048)
     cc_violations = List.rev !violations;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Power cut during an active regroup pass.
+
+   An integrity-formatted, journaled volume is aged with create/delete
+   churn until grouping has decayed, synced, and every surviving file
+   snapshotted — at that point the whole tree is acknowledged.  Then an
+   online regroup pass runs with the fault journal recording, and every
+   write-request boundary of the pass — plus torn variants of the
+   multi-sector requests — is materialized as a crash image, remounted
+   (= journal replay), fsck-checked (which must be clean with no repair:
+   the journaled standard), scrubbed (zero loss), and the whole snapshot
+   read back byte-identical.  This is the move protocol's contract made
+   end-to-end: a power cut anywhere in the pass leaves every file wholly
+   old or wholly new. *)
+
+type regroup_cut_outcome = {
+  rc_boundaries : int;  (** crash images explored, torn variants included *)
+  rc_torn : int;
+  rc_files : int;  (** acknowledged files verified per image *)
+  rc_moved : int;  (** files the regroup pass migrated *)
+  rc_reads_verified : int;
+  rc_replays : int;  (** mount-time journal replays over all images *)
+  rc_violations : string list;
+}
+
+let run_regroup_cut ?(seed = 11) ?(aging_ops = 1800) ?(max_boundaries = 96) () =
+  let prng = Prng.create seed in
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:4096 in
+  let fs = Cffs.format ~integrity:true ~policy:Cache.Journaled dev in
+  let env =
+    Cffs_workload.Env.make ~cpu_per_op:0.0
+      (Cffs_vfs.Fs_intf.Packed ((module Cffs), fs))
+      dev
+  in
+  let spec =
+    { (Cffs_workload.Aging.default_spec 0.8) with
+      Cffs_workload.Aging.operations = aging_ops;
+      Cffs_workload.Aging.dirs = 5;
+      Cffs_workload.Aging.seed = seed;
+    }
+  in
+  let (_ : Cffs_workload.Aging.outcome) = Cffs_workload.Aging.run env spec in
+  Cffs.sync fs;
+  (* Snapshot the acknowledged tree. *)
+  let snapshot =
+    let rec go acc path =
+      match Cffs.list_dir fs path with
+      | Error _ -> acc
+      | Ok names ->
+          List.fold_left
+            (fun acc name ->
+              let child = if path = "/" then "/" ^ name else path ^ "/" ^ name in
+              match Cffs.stat fs child with
+              | Ok st when st.Cffs_vfs.Fs_intf.st_kind = Inode.Directory ->
+                  go acc child
+              | Ok _ -> (child, ok (Cffs.read_file fs child)) :: acc
+              | Error _ -> acc)
+            acc (List.sort compare names)
+    in
+    go [] "/"
+  in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let before = Registry.snapshot () in
+  (* Attach after the final sync: the journal base is the aged,
+     fully-acknowledged image, so even the zero-length prefix carries the
+     whole tree. *)
+  let fdev = Faultdev.attach ~seed dev in
+  let o =
+    Cffs_fsck.Regroup.run
+      ~spec:
+        { Cffs_fsck.Regroup.default_spec with Cffs_fsck.Regroup.measure = false }
+      fs
+  in
+  Cffs.sync fs;
+  let jlen = Faultdev.journal_length fdev in
+  Faultdev.detach fdev;
+  if o.Cffs_fsck.Regroup.moved = 0 then
+    violate "regroup pass moved nothing - the crash sweep is vacuous";
+  let entries = Array.of_list (Faultdev.journal fdev) in
+  let all = List.init (jlen + 1) Fun.id in
+  let boundaries =
+    let n = List.length all in
+    if n <= max_boundaries then all
+    else
+      List.filteri
+        (fun i _ ->
+          i = 0 || i = n - 1
+          || i * max_boundaries / n <> (i - 1) * max_boundaries / n)
+        all
+  in
+  let torn =
+    List.filter_map
+      (fun upto ->
+        if upto >= jlen then None
+        else
+          let sectors = Faultdev.entry_sectors fdev entries.(upto) in
+          if sectors <= 1 then None
+          else Some (upto, 1 + Prng.int prng (sectors - 1)))
+      boundaries
+  in
+  let images =
+    List.map (fun u -> (u, None)) boundaries
+    @ List.map (fun (u, k) -> (u, Some k)) torn
+  in
+  let reads = ref 0 in
+  List.iter
+    (fun (upto, tear) ->
+      let where =
+        match tear with
+        | None -> Printf.sprintf "boundary %d" upto
+        | Some k -> Printf.sprintf "boundary %d (torn, %d sectors kept)" upto k
+      in
+      let img =
+        match tear with
+        | None -> Faultdev.materialize fdev ~upto
+        | Some k -> Faultdev.materialize ~tear:k fdev ~upto
+      in
+      match Cffs.mount img with
+      | None -> violate "%s: crashed image failed to mount" where
+      | Some fs2 ->
+          let report = Cffs_fsck.Fsck_cffs.check fs2 in
+          if not (Cffs_fsck.Report.is_clean report) then
+            violate "%s: replayed image not clean (%d problems)" where
+              (List.length report.Cffs_fsck.Report.problems);
+          (match Scrub.run_to_completion fs2 with
+          | None -> violate "%s: no integrity layer after replay" where
+          | Some r ->
+              if r.Scrub.lost > 0 then
+                violate "%s: scrub lost %d blocks" where r.Scrub.lost);
+          List.iter
+            (fun (path, data) ->
+              match Cffs.read_file fs2 path with
+              | Error e ->
+                  violate "%s: acknowledged file %s lost: %s" where path
+                    (Cffs_vfs.Errno.to_string e)
+              | Ok got ->
+                  incr reads;
+                  if not (Bytes.equal got data) then
+                    violate "%s: file %s torn across the move" where path)
+            snapshot)
+    images;
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  {
+    rc_boundaries = List.length images;
+    rc_torn = List.length torn;
+    rc_files = List.length snapshot;
+    rc_moved = o.Cffs_fsck.Regroup.moved;
+    rc_reads_verified = !reads;
+    rc_replays = Registry.get_counter delta "journal.replays";
+    rc_violations = List.rev !violations;
+  }
+
+let pp_regroup_cut ppf o =
+  Format.fprintf ppf
+    "regroup-cut: %d boundaries (%d torn), %d files x each image, %d moved, \
+     %d reads verified, %d replays, %d violations"
+    o.rc_boundaries o.rc_torn o.rc_files o.rc_moved o.rc_reads_verified
+    o.rc_replays
+    (List.length o.rc_violations)
+
 let pp_checkpoint_cut ppf o =
   Format.fprintf ppf
     "checkpoint-cut: %d boundaries (%d torn), %d phase-1 files, %d reads \

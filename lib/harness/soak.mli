@@ -83,3 +83,37 @@ val run_checkpoint_cut :
     Deterministic in [seed]; empty [cc_violations] is the pass bar. *)
 
 val pp_checkpoint_cut : Format.formatter -> checkpoint_cut_outcome -> unit
+
+(** {1 Power cut during an active regroup pass}
+
+    An integrity-formatted, journaled volume is aged with create/delete
+    churn, synced (acknowledging the whole tree), and snapshotted; then an
+    online regroup pass ({!Cffs_fsck.Regroup}) runs with the fault journal
+    recording.  Every write-request boundary of the pass — torn
+    multi-sector variants included — is materialized, remounted (replaying
+    the log), fsck-checked (clean with no repair: the journaled standard),
+    scrubbed (zero loss), and the whole snapshot byte-verified.  A power
+    cut anywhere in the pass must leave every file wholly old or wholly
+    new layout — never torn. *)
+
+type regroup_cut_outcome = {
+  rc_boundaries : int;  (** crash images explored, torn variants included *)
+  rc_torn : int;
+  rc_files : int;  (** acknowledged files verified per image *)
+  rc_moved : int;  (** files the regroup pass migrated *)
+  rc_reads_verified : int;
+  rc_replays : int;  (** mount-time journal replays over all images *)
+  rc_violations : string list;
+}
+
+val run_regroup_cut :
+  ?seed:int ->
+  ?aging_ops:int ->
+  ?max_boundaries:int ->
+  unit ->
+  regroup_cut_outcome
+(** Defaults: seed 11, 1800 aging operations toward 80% utilization, at
+    most 96 untorn boundaries (evenly thinned, both ends always kept).
+    Deterministic in [seed]; empty [rc_violations] is the pass bar. *)
+
+val pp_regroup_cut : Format.formatter -> regroup_cut_outcome -> unit

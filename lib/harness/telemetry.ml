@@ -185,6 +185,29 @@ let namei_json ?snap () =
        (fun name -> (name, Json.Int (Registry.get_counter snap name)))
        namei_counter_names)
 
+(* Same always-present contract for the online regrouper: zeros included,
+   whether or not a pass ran, so consumers can track compaction traffic
+   (passes, moves, copied blocks) and its fault handling (skips, ENOSPC
+   aborts, resumes) across documents unconditionally. *)
+let regroup_counter_names =
+  [
+    "regroup.passes";
+    "regroup.files_scanned";
+    "regroup.files_moved";
+    "regroup.blocks_copied";
+    "regroup.files_skipped_io";
+    "regroup.enospc_aborts";
+    "regroup.resumes";
+    "regroup.cursor_writes";
+  ]
+
+let regroup_json ?snap () =
+  let snap = match snap with Some s -> s | None -> Registry.snapshot () in
+  Json.Obj
+    (List.map
+       (fun name -> (name, Json.Int (Registry.get_counter snap name)))
+       regroup_counter_names)
+
 (* --- grouping: the layout introspector on freshly populated images ------- *)
 
 (* The benchmark images are useless for layout analysis — smallfile's
@@ -368,6 +391,7 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
       ("integrity", integrity_json ());
       ("journal", journal_json ());
       ("namei", namei_json ());
+      ("regroup", regroup_json ());
       ("concurrency", concurrency);
       ("derived", Json.Obj (derived_json runs));
     ]
@@ -474,6 +498,7 @@ let statbench_document ?(scale = Experiments.quick) () =
       ("integrity", integrity_json ());
       ("journal", journal_json ());
       ("namei", namei_json ());
+      ("regroup", regroup_json ());
       ("derived", Json.Obj derived);
     ]
 

@@ -86,6 +86,18 @@ val namei_json : ?snap:Cffs_obs.Registry.snapshot -> unit -> Cffs_obs.Json.t
     not the run resolved a single name.  Reads the live registry unless
     [?snap] (e.g. a per-run delta) is given. *)
 
+val regroup_counter_names : string list
+(** The always-present keys of the document's ["regroup"] section, in
+    order: compaction traffic (passes, files scanned/moved, blocks
+    copied) and fault handling (IO skips, ENOSPC aborts, cursor resumes
+    and writes). *)
+
+val regroup_json : ?snap:Cffs_obs.Registry.snapshot -> unit -> Cffs_obs.Json.t
+(** The online-regrouper counters as an object with every key from
+    {!regroup_counter_names} present (zeros included), read from the live
+    registry unless [?snap] is given — same contract as the ["journal"]
+    section, whether or not a regroup pass ran. *)
+
 val document :
   ?nfiles:int ->
   ?file_bytes:int ->

@@ -69,6 +69,21 @@ let test_checkpoint_cut_no_loss () =
   check Alcotest.bool "mounts actually replayed the log" true
     (o.Soak.cc_replays > 0)
 
+(* --- Power cut at every request boundary during active regroup -------- *)
+
+let test_regroup_cut_no_tear () =
+  let o = Soak.run_regroup_cut ~aging_ops:900 ~max_boundaries:48 () in
+  if o.Soak.rc_violations <> [] then
+    Alcotest.failf "regroup-cut violations: %s"
+      (String.concat "; " o.Soak.rc_violations);
+  check Alcotest.bool "boundaries explored" true (o.Soak.rc_boundaries > 10);
+  check Alcotest.bool "torn variants explored" true (o.Soak.rc_torn > 0);
+  check Alcotest.bool "the pass actually moved files" true (o.Soak.rc_moved > 0);
+  check Alcotest.bool "acknowledged files verified" true (o.Soak.rc_files > 0);
+  check Alcotest.bool "reads verified" true (o.Soak.rc_reads_verified > 100);
+  check Alcotest.bool "mounts actually replayed the log" true
+    (o.Soak.rc_replays > 0)
+
 (* --- Remap persistence across power cuts ----------------------------- *)
 
 (* Never overwrite or delete an acknowledged file: then for any crash
@@ -172,6 +187,8 @@ let () =
             test_soak_deterministic;
           Alcotest.test_case "power cut through journal flush and checkpoint"
             `Quick test_checkpoint_cut_no_loss;
+          Alcotest.test_case "power cut at every boundary of a regroup pass"
+            `Quick test_regroup_cut_no_tear;
           prop_remap_persistence;
         ] );
       ( "telemetry",
