@@ -601,7 +601,7 @@ let regroup_cmd =
 let experiment_names =
   [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "fig8decay"; "table3";
     "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead";
-    "concurrency"; "namei"; "journal"; "regroup"; "all" ]
+    "concurrency"; "namei"; "journal"; "regroup"; "dirindex"; "all" ]
 
 let experiment_cmd =
   let run name quick seed =
@@ -639,6 +639,7 @@ let experiment_cmd =
     | "namei" -> p (Experiments.ablation_namei scale)
     | "journal" -> p (Experiments.ablation_journal scale)
     | "regroup" -> p (Experiments.ablation_regroup scale)
+    | "dirindex" -> p (Experiments.ablation_dirindex scale)
     | "all" -> Experiments.run_all scale
     | other ->
         Printf.eprintf "unknown experiment %S; one of: %s\n" other
@@ -815,7 +816,8 @@ let benchdiff_cmd =
 let statbench_cmd =
   let module Statbench = Cffs_workload.Statbench in
   let module Namei = Cffs_namei.Namei in
-  let run json dirs files_per_dir repeats cache_blocks no_namei capacity policy =
+  let run json dirs files_per_dir repeats cache_blocks no_namei capacity policy
+      entries depth =
     let scale =
       {
         Experiments.quick with
@@ -828,7 +830,7 @@ let statbench_cmd =
     if json then begin
       print_endline
         (Cffs_obs.Json.to_string_pretty
-           (Cffs_harness.Telemetry.statbench_document ~scale ()));
+           (Cffs_harness.Telemetry.statbench_document ~scale ~entries ~depth ()));
       0
     end
     else begin
@@ -840,7 +842,7 @@ let statbench_cmd =
       List.iter
         (fun fs ->
           let results, delta =
-            Experiments.run_statbench ?policy scale ~fs ~namei
+            Experiments.run_statbench ?policy ~entries ~depth scale ~fs ~namei
           in
           let t =
             Cffs_util.Tablefmt.create
@@ -921,6 +923,23 @@ let statbench_cmd =
          & info [ "namei-capacity" ] ~docv:"N"
              ~doc:"Dentry and attribute cache capacity (table mode only).")
   in
+  let entries =
+    Arg.(value & opt int 0
+         & info [ "entries" ] ~docv:"N"
+             ~doc:
+               "Add the bigdir_cold phase: one flat directory of $(docv) \
+                names, cold-stat of a 200-name sample after a remount (the \
+                hashed directory index's O(1)-blocks-per-lookup claim).  0 \
+                skips the phase.")
+  in
+  let depth =
+    Arg.(value & opt int 0
+         & info [ "depth" ] ~docv:"D"
+             ~doc:
+               "Add the deep_warm phase: repeated warm stat of one file \
+                $(docv) directories down (the full-path shortcut's \
+                skip-the-walk claim).  0 skips the phase.")
+  in
   Cmd.v
     (Cmd.info "statbench"
        ~doc:
@@ -931,7 +950,7 @@ let statbench_cmd =
           document with the derived warm-stat speedup.")
     Term.(
       const run $ json $ dirs $ files_per_dir $ repeats $ cache_blocks
-      $ no_namei $ capacity $ policy_opt_arg)
+      $ no_namei $ capacity $ policy_opt_arg $ entries $ depth)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-client benchmark *)

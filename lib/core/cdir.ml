@@ -11,9 +11,18 @@ type entry = { chunk : int; name : string; embedded : bool; ext_ino : int }
 
 let init_block b = Bytes.fill b 0 (Bytes.length b) '\000'
 
+(* Chunk states: 0 free, 1 live entry, 2 overflow link (an indexed
+   directory's pointer to the next leaf of a bucket chain).  Anything
+   else is corruption; only state 1 is a decodable entry. *)
+let state_free = 0
+let state_entry = 1
+let state_overflow = 2
+
+let state b i = Codec.get_u8 b (chunk_off i)
+
 let read_entry b i =
   let off = chunk_off i in
-  if Codec.get_u8 b off = 0 then None
+  if Codec.get_u8 b off <> state_entry then None
   else begin
     (* Untrusted on-disk byte: clamp so a corrupt chunk cannot push the
        name read past the chunk's own name field. *)
@@ -51,11 +60,12 @@ let find b name =
   in
   loop 0
 
-let find_free b =
+let find_free ?limit b =
   let n = chunks_per_block ~block_size:(Bytes.length b) in
+  let n = match limit with Some l -> min l n | None -> n in
   let rec loop i =
     if i >= n then None
-    else if Codec.get_u8 b (chunk_off i) = 0 then Some i
+    else if Codec.get_u8 b (chunk_off i) = state_free then Some i
     else loop (i + 1)
   in
   loop 0
@@ -80,6 +90,16 @@ let set_external b i name ino =
   Codec.zero b (inode_off i) 128
 
 let clear b i = Codec.zero b (chunk_off i) chunk_bytes
+
+let set_overflow b i ~next =
+  let off = chunk_off i in
+  Codec.zero b off chunk_bytes;
+  Codec.set_u8 b off state_overflow;
+  Codec.set_u32 b (off + 4) next
+
+let get_overflow b i =
+  if state b i = state_overflow then Some (Codec.get_u32 b (chunk_off i + 4))
+  else None
 
 let read_inode b i = Inode.decode b (inode_off i)
 let write_inode b i inode = Inode.encode inode b (inode_off i)

@@ -5,7 +5,7 @@
     file's inode inline:
 
     {v
-      off   0  u8   state (0 free, 1 in use)
+      off   0  u8   state (0 free, 1 in use, 2 overflow link)
       off   1  u8   namelen
       off   2  u16  flags (bit 0: inode embedded in this chunk)
       off   4  u32  ext_ino (external inode number when not embedded)
@@ -42,8 +42,16 @@ type entry = {
 val iter : bytes -> (entry -> unit) -> unit
 val fold : bytes -> init:'a -> f:('a -> entry -> 'a) -> 'a
 val find : bytes -> string -> entry option
-val find_free : bytes -> int option
-(** Index of a free chunk. *)
+val find_free : ?limit:int -> bytes -> int option
+(** Index of a free chunk; [?limit] restricts the scan to chunks below it
+    (indexed leaves reserve the last chunk for the overflow link). *)
+
+val state_free : int
+val state_entry : int
+val state_overflow : int
+
+val state : bytes -> int -> int
+(** Raw state byte of chunk [i]. *)
 
 val live_count : bytes -> int
 
@@ -62,6 +70,15 @@ val set_external : bytes -> int -> string -> int -> unit
 val clear : bytes -> int -> unit
 (** Free a chunk (this destroys an embedded inode — which is exactly the
     single-write delete). *)
+
+val set_overflow : bytes -> int -> next:int -> unit
+(** Turn chunk [i] into an overflow link: state 2, with the physical block
+    number of the bucket chain's next leaf at offset 4.  {!iter} and
+    {!find} skip it; only an indexed directory's bucket walk follows it. *)
+
+val get_overflow : bytes -> int -> int option
+(** The next-leaf block an overflow-link chunk points to, if chunk [i] is
+    one. *)
 
 val read_inode : bytes -> int -> Cffs_vfs.Inode.t
 val write_inode : bytes -> int -> Cffs_vfs.Inode.t -> unit

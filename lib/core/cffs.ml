@@ -19,6 +19,7 @@ type config = {
   group_blocks : int;
   group_file_blocks : int;
   readahead_blocks : int;
+  dirindex_threshold : int;
 }
 
 let config_default =
@@ -28,6 +29,7 @@ let config_default =
     group_blocks = 16;
     group_file_blocks = 8;
     readahead_blocks = 0;
+    dirindex_threshold = 8;
   }
 
 let config_ffs_like = { config_default with embed_inodes = false; grouping = false }
@@ -72,6 +74,7 @@ let config t =
     group_blocks = t.sb.Csb.group_blocks;
     group_file_blocks = t.sb.Csb.group_file_blocks;
     readahead_blocks = t.sb.Csb.readahead_blocks;
+    dirindex_threshold = t.sb.Csb.dirindex_threshold;
   }
 
 let label t = config_label (config t)
@@ -80,6 +83,11 @@ let cpb t = Cdir.chunks_per_block ~block_size:(bs t)
 
 (* Inode flag bit: some of this file's data was group-allocated. *)
 let flag_grouped = 1
+
+(* Inode flag bit: this directory uses the hashed index format — its only
+   mapped block is the index root; leaves and table blocks are reached
+   through it by physical number. *)
+let flag_dirindex = 4
 
 let is_embedded_ino ino = ino >= Csb.embed_bit
 let is_external_ino ino = ino >= Csb.ext_base && ino < Csb.embed_bit
@@ -101,6 +109,12 @@ let m_group_reads = Obs.counter "cffs.group_reads"
 let m_readahead_reads = Obs.counter "cffs.readahead_reads"
 let m_group_fills = Obs.counter "cffs.group_fills"
 let m_frag_splits = Obs.counter "cffs.frag_splits"
+let m_idx_promotions = Obs.counter "dirindex.promotions"
+let m_idx_splits = Obs.counter "dirindex.leaf_splits"
+let m_idx_doublings = Obs.counter "dirindex.doublings"
+let m_idx_chains = Obs.counter "dirindex.overflow_chains"
+let m_idx_lookups = Obs.counter "dirindex.indexed_lookups"
+let m_idx_inserts = Obs.counter "dirindex.indexed_inserts"
 
 (* ------------------------------------------------------------------ *)
 (* Cylinder-group headers: free count + block bitmap. *)
@@ -329,7 +343,9 @@ let read_inode t ino : Inode.t Errno.result =
     if pblock <= 0 || pblock >= Csb.total_blocks t.sb || chunk >= cpb t then Error Einval
     else begin
       let b = Cache.read t.cache pblock in
-      if Codec.get_u8 b (Cdir.chunk_off chunk) = 0 then Error Enoent
+      (* Only a live entry chunk (state 1) holds an inode; free chunks and
+         overflow-link chunks alike answer ENOENT. *)
+      if Cdir.state b chunk <> Cdir.state_entry then Error Enoent
       else begin
         let inode = Cdir.read_inode b chunk in
         if inode.Inode.kind = Inode.Free then Error Enoent
@@ -429,6 +445,12 @@ let ext_ino_block t ino =
     | Ok (Some p) -> Some p
     | Ok None | Error _ -> None
   end
+
+(* The physical home of an inode record, for soft-updates ordering. *)
+let inode_home_block t ino =
+  if ino = Csb.root_ino || ino = Csb.ifile_ino then Some 0
+  else if is_embedded_ino ino then Some (fst (embed_pos t ino))
+  else ext_ino_block t ino
 
 let alloc_ext_ino t =
   match t.ext_free with
@@ -761,8 +783,500 @@ type found = {
   f_chunk : int; (* embed format only *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Hashed directory index.
+
+   A directory that outgrows [dirindex_threshold] linear blocks is
+   promoted: its inode then maps exactly one block — the index root —
+   and every entry lives in a leaf cdir page reached by physical number
+   through an extendible-hash table:
+
+     root    magic @0; table-block physical numbers (u32 each) @8;
+             global depth (u32) in the LAST sector (@bs-8) — a torn
+             root write therefore lands new table pointers before the
+             depth that makes them live
+     table   bs/4 leaf physical numbers, one per hash slot
+     leaf    an ordinary cdir page whose last chunk is reserved as an
+             overflow link (state 2) chaining same-bucket leaves once
+             the table cannot grow further
+
+   An entry whose name hashes to h lives under slot [h mod 2^depth]
+   (low bits, so doubling appends mirrored slots).  Cold lookup at any
+   size is root + table + leaf = 3 block reads; with the directory's
+   own inode block that is the ≤4 the scale experiments assert.
+   Embedded inodes keep positional numbers, so a split or promotion
+   renumbers the entries it moves — rename set that precedent; the
+   namei layer is flushed whenever it happens.
+
+   Crash ordering (DESIGN.md §17): a split writes the new leaf N, then
+   the repointed table slots T, then the old leaf O with the moved
+   chunks cleared.  Enumeration and lookup route strictly through the
+   table and filter entries by slot, so after any prefix {}, {N},
+   {N,T} the visible name set is exactly the pre-split set — nothing
+   dangles, nothing doubles. *)
+
+let idx_magic = 0x43444958 (* "CDIX" *)
+let idx_tbl_off = 8
+let idx_depth_off t = bs t - 8
+let idx_slots_per_tbl t = bs t / 4
+let idx_max_tables t = (bs t - 16) / 4
+let idx_chain_limit = 4096
+
+(* Largest global depth whose slot table fits the root's pointer area. *)
+let idx_max_depth t =
+  let cap = idx_max_tables t * idx_slots_per_tbl t in
+  let rec go d = if 1 lsl (d + 1) <= cap then go (d + 1) else d in
+  go 0
+
+(* FNV-1a, 32 bits: cheap, with the low-bit diffusion slot selection
+   needs for short names. *)
+let dir_hash name =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    name;
+  !h
+
+let dir_indexed t (dinode : Inode.t) =
+  t.sb.Csb.embed_inodes
+  && dinode.Inode.kind = Inode.Directory
+  && dinode.Inode.flags land flag_dirindex <> 0
+
+(* The index root is an indexed directory's only mapped block. *)
+let idx_root t (dinode : Inode.t) =
+  let root = dinode.Inode.direct.(0) in
+  if root <= 0 || root >= Csb.total_blocks t.sb then Error Eio
+  else if Codec.get_u32 (Cache.read t.cache root) 0 = idx_magic then Ok root
+  else Error Eio
+
+let idx_depth t b = Codec.get_u32 b (idx_depth_off t)
+let idx_table_pblock b j = Codec.get_u32 b (idx_tbl_off + (4 * j))
+
+let idx_leaf_of_slot t rb slot =
+  let spt = idx_slots_per_tbl t in
+  let tbuf = Cache.read t.cache (idx_table_pblock rb (slot / spt)) in
+  Codec.get_u32 tbuf (4 * (slot mod spt))
+
+(* Chunk [cpb-1] of every leaf is reserved for the overflow link, so an
+   insert can never displace (and thereby silently renumber) a live
+   entry to make room for one. *)
+let idx_link_chunk t = cpb t - 1
+let idx_leaf_next t b = Cdir.get_overflow b (idx_link_chunk t)
+
+let idx_alloc t ~cg ~hint =
+  match alloc_near t ~cg ~hint with Some b -> Ok b | None -> Error Enospc
+
+(* Leaves are grouped exactly like linear directory blocks (dir_grow):
+   they carry the same embedded inodes, so they belong in the
+   directory's frames and stream in frame-sized requests.  Root and
+   table blocks use plain placement — two cached blocks per directory
+   that re-read from memory on every operation. *)
+let idx_leaf_read t p =
+  (if t.sb.Csb.grouping && not (Cache.resident_block t.cache p) then
+     match frame_of_block t p with
+     | Some frame ->
+         if Cache.read_group t.cache frame t.sb.Csb.group_blocks then
+           Obs.incr m_group_reads
+     | None -> ());
+  Cache.read t.cache p
+
+let idx_find t dinode name =
+  Obs.incr m_idx_lookups;
+  let* root = idx_root t dinode in
+  let rb = Cache.read t.cache root in
+  let slot = dir_hash name land ((1 lsl idx_depth t rb) - 1) in
+  let rec walk p hops =
+    if p = 0 || hops > idx_chain_limit then Ok None
+    else begin
+      let b = idx_leaf_read t p in
+      match Cdir.find b name with
+      | Some e -> Ok (Some (p, e))
+      | None -> (
+          match idx_leaf_next t b with
+          | Some next -> walk next (hops + 1)
+          | None -> Ok None)
+    end
+  in
+  walk (idx_leaf_of_slot t rb slot) 0
+
+(* A leaf's local depth: while both depth-(l-1) buddy slot classes still
+   map to this same leaf, its effective depth is lower than l. *)
+let idx_local_depth t rb ~depth ~slot =
+  let me = idx_leaf_of_slot t rb slot in
+  let rec go l =
+    if l = 0 then 0
+    else begin
+      let half = 1 lsl (l - 1) in
+      let base = slot land (half - 1) in
+      if idx_leaf_of_slot t rb base = me && idx_leaf_of_slot t rb (base + half) = me
+      then go (l - 1)
+      else l
+    end
+  in
+  go depth
+
+(* Moving a chunk renumbers its embedded inode (positional numbers);
+   whatever the block cache indexed under the old number must go. *)
+let idx_drop_renumbered t b ~pblock (e : Cdir.entry) =
+  if e.Cdir.embedded then begin
+    let inode = Cdir.read_inode b e.Cdir.chunk in
+    drop_logical_range t
+      ~ino:(embed_ino t ~pblock ~chunk:e.Cdir.chunk)
+      ~nblocks:((inode.Inode.size + bs t - 1) / bs t)
+  end
+
+(* Split the full leaf serving [slot] at local depth [l]: entries whose
+   hash has bit [l] set move — keeping their chunk positions — to a new
+   leaf N; the table slots of the odd-bit-[l] half of O's slot class
+   repoint to N; only then are the moved chunks cleared from O.  See
+   the crash-ordering argument above. *)
+let idx_split t ~dir dinode rb ~depth ~slot ~l =
+  let o_pb = idx_leaf_of_slot t rb slot in
+  let o_buf = idx_leaf_read t o_pb in
+  let* n_pb = alloc_grouped t ~dir_ino:dir ~dinode in
+  let n_buf = Bytes.make (bs t) '\000' in
+  let moved = ref [] in
+  Cdir.iter o_buf (fun e ->
+      if (dir_hash e.Cdir.name lsr l) land 1 = 1 then begin
+        idx_drop_renumbered t o_buf ~pblock:o_pb e;
+        Bytes.blit o_buf (Cdir.chunk_off e.Cdir.chunk) n_buf
+          (Cdir.chunk_off e.Cdir.chunk) Cdir.chunk_bytes;
+        moved := e.Cdir.chunk :: !moved
+      end);
+  Cache.write t.cache ~kind:`Meta n_pb n_buf;
+  let spt = idx_slots_per_tbl t in
+  let base = slot land ((1 lsl l) - 1) lor (1 lsl l) in
+  let step = 1 lsl (l + 1) in
+  let touched = Hashtbl.create 4 in
+  let s = ref base in
+  while !s < 1 lsl depth do
+    let tb = idx_table_pblock rb (!s / spt) in
+    let tbuf =
+      match Hashtbl.find_opt touched tb with
+      | Some b -> b
+      | None ->
+          let b = Cache.read t.cache tb in
+          Hashtbl.replace touched tb b;
+          b
+    in
+    Codec.set_u32 tbuf (4 * (!s mod spt)) n_pb;
+    s := !s + step
+  done;
+  Hashtbl.iter
+    (fun tb tbuf ->
+      Cache.write t.cache ~kind:`Meta tb tbuf;
+      (* Soft updates: the new leaf before any pointer naming it... *)
+      Cache.order t.cache ~first:n_pb ~second:tb)
+    touched;
+  List.iter (fun c -> Cdir.clear o_buf c) !moved;
+  Cache.write t.cache ~kind:`Meta o_pb o_buf;
+  (* ...and the repointing before the old copies disappear. *)
+  Hashtbl.iter (fun tb _ -> Cache.order t.cache ~first:tb ~second:o_pb) touched;
+  if !moved <> [] then Cffs_namei.Namei.flush t.namei;
+  Obs.incr m_idx_splits;
+  Ok ()
+
+(* Double the table: depth d+1's new high-bit slots mirror their low
+   buddies, so every lookup lands where it did before.  New table
+   blocks are durable before the root write, and the depth lives in the
+   root's last sector — even a torn root write publishes the pointers
+   before the depth that makes them live. *)
+let idx_double t root_pb rb ~depth =
+  let spt = idx_slots_per_tbl t in
+  let old_slots = 1 lsl depth in
+  let rb' = Bytes.copy rb in
+  let* () =
+    if 2 * old_slots <= spt then begin
+      (* Still within table block 0: mirror in place. *)
+      let tb = idx_table_pblock rb 0 in
+      let tbuf = Cache.read t.cache tb in
+      for s = 0 to old_slots - 1 do
+        Codec.set_u32 tbuf (4 * (old_slots + s)) (Codec.get_u32 tbuf (4 * s))
+      done;
+      Cache.write t.cache ~kind:`Meta tb tbuf;
+      Cache.order t.cache ~first:tb ~second:root_pb;
+      Ok ()
+    end
+    else begin
+      let old_tbl = old_slots / spt in
+      let rec mirror j =
+        if j >= 2 * old_tbl then Ok ()
+        else begin
+          let src = idx_table_pblock rb (j - old_tbl) in
+          let* p = idx_alloc t ~cg:(Csb.cg_of_block t.sb root_pb) ~hint:src in
+          Cache.write t.cache ~kind:`Meta p (Bytes.copy (Cache.read t.cache src));
+          Cache.order t.cache ~first:p ~second:root_pb;
+          Codec.set_u32 rb' (idx_tbl_off + (4 * j)) p;
+          mirror (j + 1)
+        end
+      in
+      mirror old_tbl
+    end
+  in
+  Codec.set_u32 rb' (idx_depth_off t) (depth + 1);
+  Cache.write t.cache ~kind:`Meta root_pb rb';
+  Obs.incr m_idx_doublings;
+  Ok ()
+
+(* Grow a bucket chain: the new (empty) leaf is durable before the link
+   that makes it reachable. *)
+let idx_extend_chain t ~dir dinode last_pb =
+  let* n_pb = alloc_grouped t ~dir_ino:dir ~dinode in
+  Cache.write t.cache ~kind:`Meta n_pb (Bytes.make (bs t) '\000');
+  let lb = idx_leaf_read t last_pb in
+  Cdir.set_overflow lb (idx_link_chunk t) ~next:n_pb;
+  Cache.write t.cache ~kind:`Meta last_pb lb;
+  Cache.order t.cache ~first:n_pb ~second:last_pb;
+  Obs.incr m_idx_chains;
+  Ok ()
+
+(* Find (or make room for) a free chunk for [name]: the slot's leaf,
+   else the first free chunk down its chain, else split / double /
+   chain until one exists.  Every round strictly adds capacity on this
+   hash path, so the bound only turns a logic bug into an error instead
+   of a hang. *)
+let idx_reserve t ~dir dinode name =
+  Obs.incr m_idx_inserts;
+  let h = dir_hash name in
+  let rec attempt rounds =
+    if rounds > 4 * (idx_max_depth t + 2) then Error Eio
+    else begin
+      let* root_pb = idx_root t dinode in
+      let rb = Cache.read t.cache root_pb in
+      let depth = idx_depth t rb in
+      let slot = h land ((1 lsl depth) - 1) in
+      let primary = idx_leaf_of_slot t rb slot in
+      let rec free_in p hops =
+        if hops > idx_chain_limit then `Bad
+        else begin
+          let b = idx_leaf_read t p in
+          match Cdir.find_free ~limit:(idx_link_chunk t) b with
+          | Some c -> `Room (p, b, c)
+          | None -> (
+              match idx_leaf_next t b with
+              | Some next -> free_in next (hops + 1)
+              | None -> `Full p)
+        end
+      in
+      match free_in primary 0 with
+      | `Bad -> Error Eio
+      | `Room (p, b, c) -> Ok (p, b, c)
+      | `Full last ->
+          let chained = idx_leaf_next t (idx_leaf_read t primary) <> None in
+          let* () =
+            if chained then idx_extend_chain t ~dir dinode last
+            else begin
+              let l = idx_local_depth t rb ~depth ~slot in
+              if l < depth then idx_split t ~dir dinode rb ~depth ~slot ~l
+              else if depth < idx_max_depth t then idx_double t root_pb rb ~depth
+              else idx_extend_chain t ~dir dinode last
+            end
+          in
+          attempt (rounds + 1)
+    end
+  in
+  attempt 0
+
+(* Enumerate an indexed directory by slot.  A leaf reachable from many
+   slots (local depth < global) surfaces each entry once, because an
+   entry is emitted only for the slot its hash selects at the global
+   depth — the same filter that hides crash prefixes of a split.
+   [meta] sees every table block and each distinct leaf once; [bad]
+   sees unreadable or out-of-range pointers. *)
+let idx_iter t (dinode : Inode.t) ~entry ~meta ~bad =
+  match (try idx_root t dinode with Cffs_util.Io_error.E _ -> Error Eio) with
+  | Error _ -> if dinode.Inode.direct.(0) <> 0 then bad dinode.Inode.direct.(0)
+  | Ok root_pb ->
+      let rb = Cache.read t.cache root_pb in
+      let depth = idx_depth t rb in
+      let nslots = 1 lsl depth in
+      let spt = idx_slots_per_tbl t in
+      let ntbl = max 1 (nslots / spt) in
+      let tbl_bufs = Array.make ntbl None in
+      for j = 0 to ntbl - 1 do
+        let p = idx_table_pblock rb j in
+        meta p;
+        match Cache.read t.cache p with
+        | b -> tbl_bufs.(j) <- Some b
+        | exception Cffs_util.Io_error.E _ -> bad p
+      done;
+      let total = Csb.total_blocks t.sb in
+      let seen = Hashtbl.create 64 in
+      for slot = 0 to nslots - 1 do
+        let rec walk p hops =
+          if p <> 0 && hops <= idx_chain_limit then begin
+            if p < 0 || p >= total then bad p
+            else begin
+              match idx_leaf_read t p with
+              | exception Cffs_util.Io_error.E _ -> bad p
+              | b ->
+                  if not (Hashtbl.mem seen p) then begin
+                    Hashtbl.replace seen p ();
+                    meta p
+                  end;
+                  Cdir.iter b (fun e ->
+                      if dir_hash e.Cdir.name land (nslots - 1) = slot then
+                        entry ~pblock:p b e);
+                  (match idx_leaf_next t b with
+                  | Some next -> walk next (hops + 1)
+                  | None -> ())
+            end
+          end
+        in
+        match tbl_bufs.(slot / spt) with
+        | Some tb -> walk (Codec.get_u32 tb (4 * (slot mod spt))) 0
+        | None -> ()
+      done
+
+(* Release an indexed directory's table and leaf blocks on rmdir; the
+   root itself is in the inode's block map and freed with it. *)
+let free_index_blocks t (dinode : Inode.t) =
+  if dir_indexed t dinode then
+    idx_iter t dinode
+      ~entry:(fun ~pblock:_ _ _ -> ())
+      ~meta:(fun p -> free_block t p)
+      ~bad:(fun _ -> ())
+
+(* Promote a linear directory to the indexed format: copy every chunk
+   forward into hash-routed leaves, build the table and root, then
+   switch the inode over in one sector-atomic write.  The linear blocks
+   are freed only after the switch — a crash before it leaks
+   unreferenced blocks (fsck repair reclaims them), never entries. *)
+let idx_promote t ~dir (dinode : Inode.t) =
+  let entries = ref [] in
+  let* _none =
+    dir_scan t ~dir dinode (fun ~lblk:_ ~pblock b ->
+        Cdir.iter b (fun e ->
+            idx_drop_renumbered t b ~pblock e;
+            entries :=
+              ( dir_hash e.Cdir.name,
+                Bytes.sub b (Cdir.chunk_off e.Cdir.chunk) Cdir.chunk_bytes )
+              :: !entries);
+        None)
+  in
+  let n = List.length !entries in
+  let old_blocks = ref [] in
+  Bmap.iter t.cache dinode
+    ~data:(fun p -> old_blocks := p :: !old_blocks)
+    ~meta:(fun p -> old_blocks := p :: !old_blocks);
+  let old_nblocks = dir_nblocks t dinode in
+  (* Start around half-full so the first splits are a while away. *)
+  let rec depth_for d =
+    if d >= idx_max_depth t || (1 lsl d) * 8 >= n then d else depth_for (d + 1)
+  in
+  let depth = depth_for 3 in
+  let nslots = 1 lsl depth in
+  let buckets = Array.make nslots [] in
+  List.iter
+    (fun (h, chunk) ->
+      let s = h land (nslots - 1) in
+      buckets.(s) <- chunk :: buckets.(s))
+    !entries;
+  let cg = dir_affinity_cg t dinode in
+  let home = inode_home_block t dir in
+  let order_before_home p =
+    match home with
+    | Some h -> Cache.order t.cache ~first:p ~second:h
+    | None -> ()
+  in
+  let room = idx_link_chunk t in
+  (* One leaf per slot; an over-full bucket (hash pileup) chains at
+     birth rather than displacing anyone. *)
+  let rec write_bucket chunks =
+    let* p = alloc_grouped t ~dir_ino:dir ~dinode in
+    let b = Bytes.make (bs t) '\000' in
+    let rec place i = function
+      | [] -> []
+      | c :: rest when i < room ->
+          Bytes.blit c 0 b (Cdir.chunk_off i) Cdir.chunk_bytes;
+          place (i + 1) rest
+      | rest -> rest
+    in
+    let* () =
+      match place 0 chunks with
+      | [] -> Ok ()
+      | rest ->
+          let* next = write_bucket rest in
+          Cdir.set_overflow b (idx_link_chunk t) ~next;
+          Obs.incr m_idx_chains;
+          Ok ()
+    in
+    Cache.write t.cache ~kind:`Meta p b;
+    order_before_home p;
+    Ok p
+  in
+  let leaves = Array.make nslots 0 in
+  let rec fill_slots s =
+    if s >= nslots then Ok ()
+    else begin
+      let* p = write_bucket buckets.(s) in
+      leaves.(s) <- p;
+      fill_slots (s + 1)
+    end
+  in
+  let* () = fill_slots 0 in
+  let spt = idx_slots_per_tbl t in
+  let ntbl = max 1 (nslots / spt) in
+  let tbls = Array.make ntbl 0 in
+  let rec fill_tbls j =
+    if j >= ntbl then Ok ()
+    else begin
+      let* p = idx_alloc t ~cg ~hint:0 in
+      let b = Bytes.make (bs t) '\000' in
+      for k = 0 to min spt nslots - 1 do
+        Codec.set_u32 b (4 * k) leaves.((j * spt) + k)
+      done;
+      Cache.write t.cache ~kind:`Meta p b;
+      order_before_home p;
+      tbls.(j) <- p;
+      fill_tbls (j + 1)
+    end
+  in
+  let* () = fill_tbls 0 in
+  let* root = idx_alloc t ~cg ~hint:0 in
+  let rb = Bytes.make (bs t) '\000' in
+  Codec.set_u32 rb 0 idx_magic;
+  Array.iteri (fun j p -> Codec.set_u32 rb (idx_tbl_off + (4 * j)) p) tbls;
+  Codec.set_u32 rb (idx_depth_off t) depth;
+  Cache.write t.cache ~kind:`Meta root rb;
+  order_before_home root;
+  (* The switch: one inode record, one sector-atomic write. *)
+  drop_logical_range t ~ino:dir ~nblocks:old_nblocks;
+  dinode.Inode.direct.(0) <- root;
+  for i = 1 to Inode.n_direct - 1 do
+    dinode.Inode.direct.(i) <- 0
+  done;
+  dinode.Inode.indirect <- 0;
+  dinode.Inode.dindirect <- 0;
+  dinode.Inode.size <- bs t;
+  dinode.Inode.flags <- dinode.Inode.flags lor flag_dirindex;
+  dinode.Inode.mtime <- mtime_now t;
+  let* () = write_inode t dir dinode ~kind:`Meta in
+  List.iter (fun p -> free_block t p) !old_blocks;
+  (* Every embedded entry was renumbered with its move. *)
+  Cffs_namei.Namei.flush t.namei;
+  Obs.incr m_idx_promotions;
+  Ok ()
+
 let dir_find t ~dir dinode name =
-  if t.sb.Csb.embed_inodes then
+  if dir_indexed t dinode then begin
+    let* found = idx_find t dinode name in
+    match found with
+    | Some (pblock, e) ->
+        Ok
+          (Some
+             {
+               f_lblk = 0;
+               f_pblock = pblock;
+               f_ino =
+                 (if e.Cdir.embedded then embed_ino t ~pblock ~chunk:e.Cdir.chunk
+                  else e.Cdir.ext_ino);
+               f_embedded = e.Cdir.embedded;
+               f_chunk = e.Cdir.chunk;
+             })
+    | None -> Ok None
+  end
+  else if t.sb.Csb.embed_inodes then
     dir_scan t ~dir dinode (fun ~lblk ~pblock b ->
         match Cdir.find b name with
         | Some e ->
@@ -802,21 +1316,55 @@ let dir_grow t ~dir dinode =
   dinode.Inode.mtime <- mtime_now t;
   Ok (lblk, p, b)
 
-(* Find space for a new entry: an existing block with room, or a fresh one.
-   Returns (lblk, pblock, buffer, chunk, dinode_needs_write). *)
+(* Find space for a new entry: an existing block with room, or a fresh
+   one.  A linear embedded directory that is both full and past the
+   promotion threshold becomes indexed right here — the insert that
+   overflows it pays for the promotion.  [r_lblk] is the logical index
+   for the cache's logical map; index leaves live outside the
+   directory's logical block space ([None]). *)
+type reserve = {
+  r_lblk : int option;
+  r_pblock : int;
+  r_buf : bytes;
+  r_chunk : int;
+  r_dirty_dinode : bool;
+}
+
 let dir_reserve t ~dir dinode name =
   if t.sb.Csb.embed_inodes then begin
-    let* found =
-      dir_scan t ~dir dinode (fun ~lblk ~pblock b ->
-          match Cdir.find_free b with
-          | Some c -> Some (lblk, pblock, b, c)
-          | None -> None)
-    in
-    match found with
-    | Some (lblk, pblock, b, c) -> Ok (lblk, pblock, b, c, false)
-    | None ->
-        let* lblk, p, b = dir_grow t ~dir dinode in
-        Ok (lblk, p, b, 0, true)
+    if dir_indexed t dinode then begin
+      let* p, b, c = idx_reserve t ~dir dinode name in
+      Ok { r_lblk = None; r_pblock = p; r_buf = b; r_chunk = c; r_dirty_dinode = false }
+    end
+    else begin
+      let* found =
+        dir_scan t ~dir dinode (fun ~lblk ~pblock b ->
+            match Cdir.find_free b with
+            | Some c -> Some (lblk, pblock, b, c)
+            | None -> None)
+      in
+      match found with
+      | Some (lblk, pblock, b, c) ->
+          Ok
+            {
+              r_lblk = Some lblk;
+              r_pblock = pblock;
+              r_buf = b;
+              r_chunk = c;
+              r_dirty_dinode = false;
+            }
+      | None ->
+          let thr = t.sb.Csb.dirindex_threshold in
+          if thr > 0 && dir_nblocks t dinode >= thr then begin
+            let* () = idx_promote t ~dir dinode in
+            let* p, b, c = idx_reserve t ~dir dinode name in
+            Ok { r_lblk = None; r_pblock = p; r_buf = b; r_chunk = c; r_dirty_dinode = false }
+          end
+          else begin
+            let* lblk, p, b = dir_grow t ~dir dinode in
+            Ok { r_lblk = Some lblk; r_pblock = p; r_buf = b; r_chunk = 0; r_dirty_dinode = true }
+          end
+    end
   end
   else begin
     let* found =
@@ -826,31 +1374,102 @@ let dir_reserve t ~dir dinode name =
           else None)
     in
     match found with
-    | Some (lblk, pblock, b) -> Ok (lblk, pblock, b, 0, false)
+    | Some (lblk, pblock, b) ->
+        Ok { r_lblk = Some lblk; r_pblock = pblock; r_buf = b; r_chunk = 0; r_dirty_dinode = false }
     | None ->
         let* lblk, p, b = dir_grow t ~dir dinode in
-        Ok (lblk, p, b, 0, true)
+        Ok { r_lblk = Some lblk; r_pblock = p; r_buf = b; r_chunk = 0; r_dirty_dinode = true }
   end
 
 let dir_entries t ~dir dinode =
   let acc = ref [] in
-  let* _none =
-    dir_scan t ~dir dinode (fun ~lblk:_ ~pblock b ->
-        if t.sb.Csb.embed_inodes then
-          Cdir.iter b (fun e ->
-              let ino =
-                if e.Cdir.embedded then embed_ino t ~pblock ~chunk:e.Cdir.chunk
-                else e.Cdir.ext_ino
-              in
-              acc := (e.Cdir.name, ino) :: !acc)
-        else Dirent.iter b (fun ~off:_ ~ino name -> acc := (name, ino) :: !acc);
-        None)
-  in
-  Ok (List.rev !acc)
+  if dir_indexed t dinode then begin
+    idx_iter t dinode
+      ~entry:(fun ~pblock _ e ->
+        let ino =
+          if e.Cdir.embedded then embed_ino t ~pblock ~chunk:e.Cdir.chunk
+          else e.Cdir.ext_ino
+        in
+        acc := (e.Cdir.name, ino) :: !acc)
+      ~meta:(fun _ -> ())
+      ~bad:(fun _ -> ());
+    Ok (List.rev !acc)
+  end
+  else begin
+    let* _none =
+      dir_scan t ~dir dinode (fun ~lblk:_ ~pblock b ->
+          if t.sb.Csb.embed_inodes then
+            Cdir.iter b (fun e ->
+                let ino =
+                  if e.Cdir.embedded then embed_ino t ~pblock ~chunk:e.Cdir.chunk
+                  else e.Cdir.ext_ino
+                in
+                acc := (e.Cdir.name, ino) :: !acc)
+          else Dirent.iter b (fun ~off:_ ~ino name -> acc := (name, ino) :: !acc);
+          None)
+    in
+    Ok (List.rev !acc)
+  end
 
 let dir_live_entries t ~dir dinode =
   let* entries = dir_entries t ~dir dinode in
   Ok (List.length entries)
+
+(* ------------------------------------------------------------------ *)
+(* Index introspection (fsck, layout, tests). *)
+
+let index_walk = idx_iter
+
+let dir_index_depth t dinode =
+  if not (dir_indexed t dinode) then None
+  else
+    match (try idx_root t dinode with Cffs_util.Io_error.E _ -> Error Eio) with
+    | Error _ -> None
+    | Ok p -> Some (idx_depth t (Cache.read t.cache p))
+
+type index_stats = {
+  idx_dirs : int;
+  idx_blocks : int;  (** roots + table blocks + leaves *)
+  idx_leaves : int;
+  idx_leaf_fill : float;  (** live entries / leaf entry capacity *)
+}
+
+let index_stats t =
+  let dirs = ref 0 and blocks = ref 0 and live = ref 0 and leaves = ref 0 in
+  let room = idx_link_chunk t in
+  let rec walk dir =
+    match read_inode t dir with
+    | Error _ -> ()
+    | Ok dinode when dinode.Inode.kind = Inode.Directory ->
+        (if dir_indexed t dinode then begin
+           incr dirs;
+           let ntbl =
+             match dir_index_depth t dinode with
+             | Some d -> max 1 ((1 lsl d) / idx_slots_per_tbl t)
+             | None -> 0
+           in
+           let metas = ref 0 in
+           idx_iter t dinode
+             ~entry:(fun ~pblock:_ _ _ -> incr live)
+             ~meta:(fun _ -> incr metas)
+             ~bad:(fun _ -> ());
+           blocks := !blocks + 1 + !metas;
+           leaves := !leaves + max 0 (!metas - ntbl)
+         end);
+        (match dir_entries t ~dir dinode with
+        | Ok entries -> List.iter (fun (_, ino) -> walk ino) entries
+        | Error _ -> ())
+    | Ok _ -> ()
+  in
+  walk Csb.root_ino;
+  {
+    idx_dirs = !dirs;
+    idx_blocks = !blocks;
+    idx_leaves = !leaves;
+    idx_leaf_fill =
+      (if !leaves = 0 then 0.0
+       else float_of_int !live /. float_of_int (!leaves * room));
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Namespace operations. *)
@@ -893,17 +1512,19 @@ let mknod t ~dir name kind =
         inode.Inode.mtime <- mtime_now t;
         if kind = Inode.Directory then inode.Inode.spare.(1) <- dirpref t + 1;
         if t.sb.Csb.embed_inodes then begin
-          let* lblk, pblock, b, chunk, dirty_dinode = dir_reserve t ~dir dinode name in
-          Cdir.set_embedded b chunk name inode;
-          Cache.write t.cache ~kind:`Meta pblock b;
-          Cache.set_logical t.cache pblock ~ino:dir ~lblk;
-          let ino = embed_ino t ~pblock ~chunk in
+          let* r = dir_reserve t ~dir dinode name in
+          Cdir.set_embedded r.r_buf r.r_chunk name inode;
+          Cache.write t.cache ~kind:`Meta r.r_pblock r.r_buf;
+          (match r.r_lblk with
+          | Some lblk -> Cache.set_logical t.cache r.r_pblock ~ino:dir ~lblk
+          | None -> ());
+          let ino = embed_ino t ~pblock:r.r_pblock ~chunk:r.r_chunk in
           let* () =
             if kind = Inode.Directory then begin
               dinode.Inode.nlink <- dinode.Inode.nlink + 1;
               write_inode t dir dinode ~kind:`Meta
             end
-            else if dirty_dinode then write_inode t dir dinode ~kind:`Meta
+            else if r.r_dirty_dinode then write_inode t dir dinode ~kind:`Meta
             else Ok ()
           in
           Hashtbl.replace t.parents ino dir;
@@ -912,21 +1533,23 @@ let mknod t ~dir name kind =
         else begin
           let* ino = alloc_ext_ino t in
           let* () = write_inode t ino inode ~kind:`Meta in
-          let* lblk, pblock, b, _chunk, dirty_dinode = dir_reserve t ~dir dinode name in
-          if not (Dirent.insert b name ino) then Error Enospc
+          let* r = dir_reserve t ~dir dinode name in
+          if not (Dirent.insert r.r_buf name ino) then Error Enospc
           else begin
-            Cache.write t.cache ~kind:`Meta pblock b;
-            Cache.set_logical t.cache pblock ~ino:dir ~lblk;
+            Cache.write t.cache ~kind:`Meta r.r_pblock r.r_buf;
+            (match r.r_lblk with
+            | Some lblk -> Cache.set_logical t.cache r.r_pblock ~ino:dir ~lblk
+            | None -> ());
             (* Soft updates: initialised inode before the name. *)
             (match ext_ino_block t ino with
-            | Some iblk -> Cache.order t.cache ~first:iblk ~second:pblock
+            | Some iblk -> Cache.order t.cache ~first:iblk ~second:r.r_pblock
             | None -> ());
             let* () =
               if kind = Inode.Directory then begin
                 dinode.Inode.nlink <- dinode.Inode.nlink + 1;
                 write_inode t dir dinode ~kind:`Meta
               end
-              else if dirty_dinode then write_inode t dir dinode ~kind:`Meta
+              else if r.r_dirty_dinode then write_inode t dir dinode ~kind:`Meta
               else Ok ()
             in
             Hashtbl.replace t.parents ino dir;
@@ -968,6 +1591,9 @@ let remove t ~dir name ~rmdir =
         end
         else Ok ()
       in
+      (* A dying indexed directory surrenders its table and leaf blocks;
+         the root goes with the file blocks below. *)
+      if inode.Inode.kind = Inode.Directory then free_index_blocks t inode;
       let* () =
         if f.f_embedded then begin
           (* The inode died with the chunk; just release its blocks. *)
@@ -1050,22 +1676,26 @@ let hardlink t ~dir name ~ino =
         inode.Inode.nlink <- inode.Inode.nlink + 1;
         let* () = write_inode t ino inode ~kind:`Meta in
         if t.sb.Csb.embed_inodes then begin
-          let* lblk, pblock, b, chunk, dirty_dinode = dir_reserve t ~dir dinode name in
-          Cdir.set_external b chunk name ino;
-          Cache.write t.cache ~kind:`Meta pblock b;
-          Cache.set_logical t.cache pblock ~ino:dir ~lblk;
+          let* r = dir_reserve t ~dir dinode name in
+          Cdir.set_external r.r_buf r.r_chunk name ino;
+          Cache.write t.cache ~kind:`Meta r.r_pblock r.r_buf;
+          (match r.r_lblk with
+          | Some lblk -> Cache.set_logical t.cache r.r_pblock ~ino:dir ~lblk
+          | None -> ());
           let* () =
-            if dirty_dinode then write_inode t dir dinode ~kind:`Meta else Ok ()
+            if r.r_dirty_dinode then write_inode t dir dinode ~kind:`Meta else Ok ()
           in
           Ok ()
         end
         else begin
-          let* lblk, pblock, b, _chunk, dirty_dinode = dir_reserve t ~dir dinode name in
-          if not (Dirent.insert b name ino) then Error Enospc
+          let* r = dir_reserve t ~dir dinode name in
+          if not (Dirent.insert r.r_buf name ino) then Error Enospc
           else begin
-            Cache.write t.cache ~kind:`Meta pblock b;
-            Cache.set_logical t.cache pblock ~ino:dir ~lblk;
-            if dirty_dinode then write_inode t dir dinode ~kind:`Meta else Ok ()
+            Cache.write t.cache ~kind:`Meta r.r_pblock r.r_buf;
+            (match r.r_lblk with
+            | Some lblk -> Cache.set_logical t.cache r.r_pblock ~ino:dir ~lblk
+            | None -> ());
+            if r.r_dirty_dinode then write_inode t dir dinode ~kind:`Meta else Ok ()
           end
         end
       end
@@ -1097,26 +1727,33 @@ let rename t ~sdir ~sname ~ddir ~dname =
          the file never becomes unreachable. *)
       let* new_ino, dst_blk =
         if t.sb.Csb.embed_inodes then begin
-          let* lblk, pblock, b, chunk, dirty_dinode = dir_reserve t ~dir:ddir ddinode dname in
-          if f.f_embedded then Cdir.set_embedded b chunk dname inode
-          else Cdir.set_external b chunk dname f.f_ino;
-          Cache.write t.cache ~kind:`Meta pblock b;
-          Cache.set_logical t.cache pblock ~ino:ddir ~lblk;
+          let* r = dir_reserve t ~dir:ddir ddinode dname in
+          if f.f_embedded then Cdir.set_embedded r.r_buf r.r_chunk dname inode
+          else Cdir.set_external r.r_buf r.r_chunk dname f.f_ino;
+          Cache.write t.cache ~kind:`Meta r.r_pblock r.r_buf;
+          (match r.r_lblk with
+          | Some lblk -> Cache.set_logical t.cache r.r_pblock ~ino:ddir ~lblk
+          | None -> ());
           let* () =
-            if dirty_dinode then write_inode t ddir ddinode ~kind:`Meta else Ok ()
+            if r.r_dirty_dinode then write_inode t ddir ddinode ~kind:`Meta else Ok ()
           in
-          Ok ((if f.f_embedded then embed_ino t ~pblock ~chunk else f.f_ino), pblock)
+          Ok
+            ( (if f.f_embedded then embed_ino t ~pblock:r.r_pblock ~chunk:r.r_chunk
+               else f.f_ino),
+              r.r_pblock )
         end
         else begin
-          let* lblk, pblock, b, _chunk, dirty_dinode = dir_reserve t ~dir:ddir ddinode dname in
-          if not (Dirent.insert b dname f.f_ino) then Error Enospc
+          let* r = dir_reserve t ~dir:ddir ddinode dname in
+          if not (Dirent.insert r.r_buf dname f.f_ino) then Error Enospc
           else begin
-            Cache.write t.cache ~kind:`Meta pblock b;
-            Cache.set_logical t.cache pblock ~ino:ddir ~lblk;
+            Cache.write t.cache ~kind:`Meta r.r_pblock r.r_buf;
+            (match r.r_lblk with
+            | Some lblk -> Cache.set_logical t.cache r.r_pblock ~ino:ddir ~lblk
+            | None -> ());
             let* () =
-              if dirty_dinode then write_inode t ddir ddinode ~kind:`Meta else Ok ()
+              if r.r_dirty_dinode then write_inode t ddir ddinode ~kind:`Meta else Ok ()
             in
-            Ok (f.f_ino, pblock)
+            Ok (f.f_ino, r.r_pblock)
           end
         end
       in
@@ -1172,24 +1809,38 @@ let readdir_plus t ~dir =
   let* dinode = lookup_dir_inode t dir in
   if t.sb.Csb.embed_inodes then begin
     let acc = ref [] in
-    let* _none =
-      dir_scan t ~dir dinode (fun ~lblk:_ ~pblock b ->
-          Cdir.iter b (fun e ->
-              if e.Cdir.embedded then begin
-                let ino = embed_ino t ~pblock ~chunk:e.Cdir.chunk in
-                let inode = Cdir.read_inode b e.Cdir.chunk in
-                Obs.incr m_embedded_hits;
-                Hashtbl.replace t.parents ino dir;
-                acc := (e.Cdir.name, stat_of t ino inode) :: !acc
-              end
-              else begin
-                match read_inode t e.Cdir.ext_ino with
-                | Ok inode ->
-                    Hashtbl.replace t.parents e.Cdir.ext_ino dir;
-                    acc := (e.Cdir.name, stat_of t e.Cdir.ext_ino inode) :: !acc
-                | Error _ -> ()
-              end);
-          None)
+    let emit ~pblock b (e : Cdir.entry) =
+      if e.Cdir.embedded then begin
+        let ino = embed_ino t ~pblock ~chunk:e.Cdir.chunk in
+        let inode = Cdir.read_inode b e.Cdir.chunk in
+        Obs.incr m_embedded_hits;
+        Hashtbl.replace t.parents ino dir;
+        acc := (e.Cdir.name, stat_of t ino inode) :: !acc
+      end
+      else begin
+        match read_inode t e.Cdir.ext_ino with
+        | Ok inode ->
+            Hashtbl.replace t.parents e.Cdir.ext_ino dir;
+            acc := (e.Cdir.name, stat_of t e.Cdir.ext_ino inode) :: !acc
+        | Error _ -> ()
+      end
+    in
+    let* () =
+      if dir_indexed t dinode then begin
+        (* The indexed form streams leaves just the same: each leaf page
+           still carries its entries' inodes, so bulk stat stays one
+           pass with no external inode fetches. *)
+        idx_iter t dinode ~entry:emit ~meta:(fun _ -> ()) ~bad:(fun _ -> ());
+        Ok ()
+      end
+      else begin
+        let* _none =
+          dir_scan t ~dir dinode (fun ~lblk:_ ~pblock b ->
+              Cdir.iter b (fun e -> emit ~pblock b e);
+              None)
+        in
+        Ok ()
+      end
     in
     Ok (List.rev !acc)
   end
@@ -1434,12 +2085,6 @@ let frame_free_count t frame =
   done;
   !n
 
-(* The physical home of an inode record, for soft-updates ordering. *)
-let inode_home_block t ino =
-  if ino = Csb.root_ino || ino = Csb.ifile_ino then Some 0
-  else if is_embedded_ino ino then Some (fst (embed_pos t ino))
-  else ext_ino_block t ino
-
 let regroup_prepare ?(dir_census = []) t ~dir ~ino =
   let sb = t.sb in
   if not sb.Csb.grouping then Ok `Ineligible
@@ -1641,6 +2286,7 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
       ~embed_inodes:config.embed_inodes ~grouping:config.grouping
       ~group_file_blocks:config.group_file_blocks
       ~readahead_blocks:config.readahead_blocks
+      ~dirindex_threshold:config.dirindex_threshold
   in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;
@@ -1789,7 +2435,18 @@ let write_ino = Cached.write_ino
 let truncate_ino = Cached.truncate_ino
 let remount = Cached.remount
 
-module Pathops = Cffs_vfs.Pathfs.Make (Cached)
+(* Path resolution goes through the full-path shortcut cache: a warm
+   repeated path skips the component walk entirely, and a shortcut miss
+   still walks through [Cached], so it benefits from (and warms) the
+   dentry cache. *)
+module Pathops =
+  Cffs_vfs.Pathfs.MakeWith
+    (Cached)
+    (Cffs_namei.Namei.Resolver (struct
+      include Cached
+
+      let namei = namei
+    end))
 
 let resolve = Pathops.resolve
 let create = Pathops.create

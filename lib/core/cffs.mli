@@ -46,6 +46,12 @@ type config = {
           implementation "does not support prefetching"; this is the obvious
           extension, off (0) by default so the standard experiments stay
           paper-faithful.  See the read-ahead ablation. *)
+  dirindex_threshold : int;
+      (** linear directory blocks before promotion to the hashed index
+          (default 8, i.e. 128 entries at 4 KB blocks — past the paper's
+          100-files-per-directory benchmarks, which stay linear); 0
+          disables promotion, which keeps images byte-identical to the
+          pre-index format. *)
 }
 
 val config_default : config
@@ -183,5 +189,55 @@ val grouped_fraction : ?under:string -> t -> float
     grouping-quality metric the aging experiment reports.  Computed by a
     namespace walk from [under] (default the root); intended for
     experiments, not hot paths. *)
+
+(** {1 Hashed directory index}
+
+    A directory that outgrows [dirindex_threshold] linear blocks is
+    promoted to a bucketed format: its inode maps a single root block
+    holding an extendible-hash table of leaf cdir pages addressed by
+    physical block number, so lookup / create / unlink touch O(1)
+    blocks at any size (root + table + leaf; with the directory's
+    inode block, at most four reads cold).  Leaves are ordinary
+    {!Cdir} pages — embedded inodes stay byte-compatible — except that
+    the last chunk of each is reserved as an overflow link chaining
+    same-bucket leaves once the table is at maximum depth.  A full
+    leaf splits in place with new-leaf → table → old-leaf write
+    ordering; enumeration filters entries by slot, so every crash
+    prefix resolves the exact pre-split name set (DESIGN.md §17). *)
+
+val dir_hash : string -> int
+(** The 32-bit FNV-1a name hash the index buckets by (exposed so tests
+    can mine collisions). *)
+
+val dir_indexed : t -> Cffs_vfs.Inode.t -> bool
+(** Does this directory inode use the indexed format? *)
+
+val dir_index_depth : t -> Cffs_vfs.Inode.t -> int option
+(** Global hash depth of an indexed directory (the table has [2^depth]
+    slots); [None] when not indexed or the root is unreadable. *)
+
+val index_walk :
+  t ->
+  Cffs_vfs.Inode.t ->
+  entry:(pblock:int -> bytes -> Cdir.entry -> unit) ->
+  meta:(int -> unit) ->
+  bad:(int -> unit) ->
+  unit
+(** Walk an indexed directory: [entry] sees each live entry exactly once
+    (with the leaf it lives in), [meta] every table block and each
+    distinct leaf once (the root is in the inode's block map and not
+    reported), [bad] every unreadable or out-of-range pointer.  This is
+    the walk fsck, layout and the tests share. *)
+
+type index_stats = {
+  idx_dirs : int;
+  idx_blocks : int;  (** roots + table blocks + leaves *)
+  idx_leaves : int;
+  idx_leaf_fill : float;  (** live entries / leaf entry capacity *)
+}
+
+val index_stats : t -> index_stats
+(** Namespace-wide index census (layout introspection; walks every
+    directory). *)
 
 include Cffs_vfs.Fs_intf.S with type t := t

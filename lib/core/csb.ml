@@ -10,6 +10,7 @@ type t = {
   grouping : bool;
   group_file_blocks : int;
   readahead_blocks : int;
+  dirindex_threshold : int;
   mutable ext_high : int;
 }
 
@@ -22,7 +23,7 @@ let root_inode_off = 64
 let ifile_inode_off = 192
 
 let mk ~block_size ~nblocks ~cg_size ~group_blocks ~embed_inodes ~grouping
-    ~group_file_blocks ~readahead_blocks =
+    ~group_file_blocks ~readahead_blocks ~dirindex_threshold =
   if cg_size < 2 then invalid_arg "Csb.mk: group too small";
   if 8 + ((cg_size + 7) / 8) > block_size then
     invalid_arg "Csb.mk: block bitmap does not fit the header block";
@@ -39,6 +40,7 @@ let mk ~block_size ~nblocks ~cg_size ~group_blocks ~embed_inodes ~grouping
     grouping;
     group_file_blocks;
     readahead_blocks;
+    dirindex_threshold;
     ext_high = 0;
   }
 
@@ -54,7 +56,8 @@ let encode t b =
   Codec.set_u32 b 24 (flags_of t);
   Codec.set_u32 b 28 t.ext_high;
   Codec.set_u32 b 32 t.group_file_blocks;
-  Codec.set_u32 b 36 t.readahead_blocks
+  Codec.set_u32 b 36 t.readahead_blocks;
+  Codec.set_u32 b 40 t.dirindex_threshold
 
 let decode b =
   if Codec.get_u32 b 0 <> magic then None
@@ -76,6 +79,9 @@ let decode b =
           grouping = flags land 2 <> 0;
           group_file_blocks = Codec.get_u32 b 32;
           readahead_blocks = Codec.get_u32 b 36;
+          (* Images formatted before the index existed carry zeros here,
+             which decodes as "never promote" — byte-compatible. *)
+          dirindex_threshold = Codec.get_u32 b 40;
           ext_high = Codec.get_u32 b 28;
         }
     end

@@ -16,6 +16,8 @@
       off  28  u32  ext_high         (external-inode high watermark)
       off  32  u32  group_file_blocks (small-file threshold, in blocks)
       off  36  u32  readahead_blocks (sequential read-ahead window; 0 = off)
+      off  40  u32  dirindex_threshold (directory blocks before promotion
+                    to the hashed index; 0 = never — old images decode as 0)
       off  64       root inode (128 bytes)
       off 192       external-inode-file inode (128 bytes)
     v}
@@ -39,6 +41,9 @@ type t = {
   readahead_blocks : int;
       (** sequential read-ahead window for ungrouped data (our extension of
           the paper's future-work prefetching; 0 = off, paper-faithful) *)
+  dirindex_threshold : int;
+      (** directory size, in blocks, past which it is promoted to the
+          hashed index format; 0 disables promotion *)
   mutable ext_high : int;  (** external inode slots ever allocated *)
 }
 
@@ -68,6 +73,7 @@ val mk :
   grouping:bool ->
   group_file_blocks:int ->
   readahead_blocks:int ->
+  dirindex_threshold:int ->
   t
 
 val encode : t -> bytes -> unit

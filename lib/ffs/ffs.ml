@@ -859,7 +859,18 @@ let write_ino = Cached.write_ino
 let truncate_ino = Cached.truncate_ino
 let remount = Cached.remount
 
-module Pathops = Cffs_vfs.Pathfs.Make (Cached)
+(* Path resolution goes through the full-path shortcut cache: a warm
+   repeated path skips the component walk entirely, and a shortcut miss
+   still walks through [Cached], so it benefits from (and warms) the
+   dentry cache. *)
+module Pathops =
+  Cffs_vfs.Pathfs.MakeWith
+    (Cached)
+    (Cffs_namei.Namei.Resolver (struct
+      include Cached
+
+      let namei = namei
+    end))
 
 let resolve = Pathops.resolve
 let create = Pathops.create

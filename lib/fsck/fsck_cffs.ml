@@ -27,13 +27,14 @@ let block_in_data_area (sb : Csb.t) blk =
     blk - Csb.cg_start sb cg > 0
   end
 
+let mark_used sb survey ~ino blk =
+  if not (block_in_data_area sb blk) then
+    survey.out_of_range <- (ino, blk) :: survey.out_of_range
+  else if Hashtbl.mem survey.used blk then survey.dups <- (blk, ino) :: survey.dups
+  else Hashtbl.replace survey.used blk ino
+
 let note_blocks t sb survey ~ino inode =
-  let mark blk =
-    if not (block_in_data_area sb blk) then
-      survey.out_of_range <- (ino, blk) :: survey.out_of_range
-    else if Hashtbl.mem survey.used blk then survey.dups <- (blk, ino) :: survey.dups
-    else Hashtbl.replace survey.used blk ino
-  in
+  let mark blk = mark_used sb survey ~ino blk in
   Bmap.iter (Cffs.cache t) inode ~data:mark ~meta:mark
 
 (* Entries of one directory data block, under either on-disk format. *)
@@ -51,6 +52,29 @@ let block_entries t ~pblock b =
   else Dirent.fold b ~init:[] ~f:(fun acc ~ino name -> (name, ino) :: acc)
 
 let rec walk_dir t sb survey ~dir dinode =
+  if Cffs.dir_indexed t dinode then walk_indexed_dir t sb survey ~dir dinode
+  else walk_linear_dir t sb survey ~dir dinode
+
+(* An indexed directory's table blocks and leaves are reached through the
+   root's hash table, not the inode's block map, so the shared index walk
+   both enumerates entries and claims those blocks for the bitmap survey. *)
+and walk_indexed_dir t sb survey ~dir dinode =
+  let entries = ref [] in
+  Cffs.index_walk t dinode
+    ~entry:(fun ~pblock b e ->
+      let ino =
+        if e.Cdir.embedded then
+          Csb.embed_bit
+          + (pblock * Cdir.chunks_per_block ~block_size:(Bytes.length b))
+          + e.Cdir.chunk
+        else e.Cdir.ext_ino
+      in
+      entries := (e.Cdir.name, ino) :: !entries)
+    ~meta:(fun blk -> mark_used sb survey ~ino:dir blk)
+    ~bad:(fun blk -> survey.bad_dir_blocks <- (dir, blk) :: survey.bad_dir_blocks);
+  List.iter (fun (name, ino) -> visit t sb survey ~dir ~name ino) !entries
+
+and walk_linear_dir t sb survey ~dir dinode =
   let cache = Cffs.cache t in
   let bsz = sb.Csb.block_size in
   let nblocks = (dinode.Inode.size + bsz - 1) / bsz in
@@ -226,6 +250,21 @@ let remove_dangling t ~dir ~name =
   let cache = Cffs.cache t in
   match Cffs.read_inode t dir with
   | Error _ -> ()
+  | Ok dinode when Cffs.dir_indexed t dinode -> begin
+      let target = ref None in
+      Cffs.index_walk t dinode
+        ~entry:(fun ~pblock _b e ->
+          if !target = None && e.Cdir.name = name then
+            target := Some (pblock, e.Cdir.chunk))
+        ~meta:(fun _ -> ())
+        ~bad:(fun _ -> ());
+      match !target with
+      | None -> ()
+      | Some (p, chunk) ->
+          let b = Cache.read cache p in
+          Cdir.clear b chunk;
+          Cache.write cache ~kind:`Meta p b
+    end
   | Ok dinode ->
       let bsz = sb.Csb.block_size in
       let nblocks = (dinode.Inode.size + bsz - 1) / bsz in

@@ -40,6 +40,9 @@ type report = {
       (** [frame_fill.(k)] = frames with exactly [k+1] allocated blocks *)
   grouped_fraction : float;
       (** {!Cffs.grouped_fraction} same-directory co-location; 0 for FFS *)
+  indexed_dirs : int;  (** directories promoted to the hashed index *)
+  index_blocks : int;  (** root + table + leaf blocks of those indexes *)
+  index_leaf_fill : float;  (** live entries / leaf entry capacity *)
   free_ext : extent_stats;
 }
 
@@ -59,6 +62,7 @@ type source = {
   src_small_blocks : int;
   src_embedded : int -> bool;
   src_grouped_fraction : float;
+  src_index_stats : Cffs.index_stats;
   src_usage : Fs_intf.fs_usage;
 }
 
@@ -170,6 +174,9 @@ let build (src : source) =
     frames_free = total_frames - frames_active;
     frame_fill;
     grouped_fraction = src.src_grouped_fraction;
+    indexed_dirs = src.src_index_stats.Cffs.idx_dirs;
+    index_blocks = src.src_index_stats.Cffs.idx_blocks;
+    index_leaf_fill = src.src_index_stats.Cffs.idx_leaf_fill;
     free_ext =
       {
         free_blocks = !free_blocks;
@@ -205,6 +212,7 @@ let cffs_source (fs : Cffs.t) =
     src_small_blocks = sb.Csb.group_file_blocks;
     src_embedded = Cffs.is_embedded_ino;
     src_grouped_fraction = Cffs.grouped_fraction fs;
+    src_index_stats = Cffs.index_stats fs;
     src_usage = Cffs.usage fs;
   }
 
@@ -244,6 +252,8 @@ let ffs_source (fs : Ffs.t) =
     src_small_blocks = Cffs.config_default.Cffs.group_file_blocks;
     src_embedded = (fun _ -> false);
     src_grouped_fraction = 0.0;
+    src_index_stats =
+      { Cffs.idx_dirs = 0; idx_blocks = 0; idx_leaves = 0; idx_leaf_fill = 0.0 };
     src_usage = Ffs.usage fs;
   }
 
@@ -278,6 +288,9 @@ let to_json r =
         Json.List (Array.to_list (Array.map (fun n -> Json.Int n) r.frame_fill))
       );
       ("grouped_fraction", Json.Float r.grouped_fraction);
+      ("indexed_dirs", Json.Int r.indexed_dirs);
+      ("index_blocks", Json.Int r.index_blocks);
+      ("index_leaf_fill", Json.Float r.index_leaf_fill);
       ( "free_extents",
         Json.Obj
           [
@@ -302,6 +315,10 @@ let pp ppf r =
     r.small_fully_grouped r.small_files r.group_residency;
   Format.fprintf ppf "  grouped frac  %.2f (same-directory co-location)@."
     r.grouped_fraction;
+  if r.indexed_dirs > 0 then
+    Format.fprintf ppf
+      "  dir index     %d indexed dirs over %d blocks (leaf fill %.2f)@."
+      r.indexed_dirs r.index_blocks r.index_leaf_fill;
   if r.group_blocks > 0 then begin
     Format.fprintf ppf "  frames        %d-block frames: %d active, %d free of %d@."
       r.group_blocks r.frames_active r.frames_free r.total_frames;

@@ -37,6 +37,9 @@ type report = {
       (** [frame_fill.(k)] = frames with exactly [k+1] allocated blocks *)
   grouped_fraction : float;
       (** {!Cffs.grouped_fraction} same-directory co-location; 0 for FFS *)
+  indexed_dirs : int;  (** directories promoted to the hashed index *)
+  index_blocks : int;  (** root + table + leaf blocks of those indexes *)
+  index_leaf_fill : float;  (** live entries / leaf entry capacity *)
   free_ext : extent_stats;
 }
 

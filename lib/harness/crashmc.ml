@@ -57,6 +57,10 @@ type outcome = {
           recover every crash prefix to a consistent state with no fsck
           help at all *)
   durability_failures : int;
+  dir_errors : int;
+      (** duplicate or dangling names seen by the pre-repair directory
+          enumeration of the watched directory (dirindex phase only;
+          always a violation) *)
   repairs : int;  (** problems repaired, summed over images *)
   durable_reads : int;  (** synced files verified, summed over images *)
   violations : string list;  (** capped at {!max_violation_notes} *)
@@ -190,6 +194,7 @@ type image_verdict = {
   iv_converged : bool;
   iv_durable_checked : int;
   iv_durable_failed : string list;
+  iv_dir_errors : string list;
 }
 
 let count_dangling report =
@@ -224,7 +229,31 @@ let read_back (type a) (module F : Fs_intf.S with type t = a) (fs : a) durable =
       | Error e -> Some (p ^ ": " ^ Errno.to_string e))
     durable
 
-let verify_image sel rec_ ~upto ~tear =
+(* Pre-repair enumeration of one directory: every name must be unique and
+   every named inode must answer a stat — the split protocol's promise
+   that no crash prefix dangles or duplicates an entry. *)
+let enumerate_dir t path =
+  match Cffs.list_dir t path with
+  | Error e -> [ Printf.sprintf "readdir %s: %s" path (Errno.to_string e) ]
+  | Ok names ->
+      let seen = Hashtbl.create 97 in
+      let errs = ref [] in
+      List.iter
+        (fun n ->
+          if Hashtbl.mem seen n then
+            errs := Printf.sprintf "duplicate entry %s/%s" path n :: !errs
+          else Hashtbl.add seen n ();
+          match Cffs.stat t (path ^ "/" ^ n) with
+          | Ok _ -> ()
+          | Error e ->
+              errs :=
+                Printf.sprintf "entry %s/%s dangles: stat %s" path n
+                  (Errno.to_string e)
+                :: !errs)
+        names;
+      List.rev !errs
+
+let verify_image ?dircheck sel rec_ ~upto ~tear =
   let dev =
     match tear with
     | None -> Faultdev.materialize rec_.fd ~upto
@@ -239,7 +268,8 @@ let verify_image sel rec_ ~upto ~tear =
             Some
               ( (fun () -> Fsck_ffs.check t),
                 (fun () -> Fsck_ffs.repair t),
-                fun durable -> read_back (module Ffs) t durable ))
+                (fun durable -> read_back (module Ffs) t durable),
+                fun () -> [] ))
     | Cffs_sel -> (
         match Cffs.mount dev with
         | None -> None
@@ -247,11 +277,16 @@ let verify_image sel rec_ ~upto ~tear =
             Some
               ( (fun () -> Fsck_cffs.check t),
                 (fun () -> Fsck_cffs.repair t),
-                fun durable -> read_back (module Cffs) t durable ))
+                (fun durable -> read_back (module Cffs) t durable),
+                fun () ->
+                  match dircheck with
+                  | None -> []
+                  | Some path -> enumerate_dir t path ))
   in
   match mounted with
   | None -> Error `Unmountable
-  | Some (check, repair, read_durable) ->
+  | Some (check, repair, read_durable, dir_enumerate) ->
+      let dir_errors = dir_enumerate () in
       let pre = check () in
       let r1 = repair () in
       let post = check () in
@@ -269,6 +304,7 @@ let verify_image sel rec_ ~upto ~tear =
           iv_converged = converged;
           iv_durable_checked = List.length durable;
           iv_durable_failed = failed;
+          iv_dir_errors = dir_errors;
         }
 
 (* ------------------------------------------------------------------ *)
@@ -282,7 +318,7 @@ let point_name ~upto ~tear =
 (* Sample crash boundaries (plus torn variants) out of a recorded run and
    verify every sampled image.  Shared by the workload phase and the
    regroup phase. *)
-let verify_sweep ~prng ~points sel policy rec_ =
+let verify_sweep ?dircheck ~prng ~points sel policy rec_ =
   let total = Faultdev.journal_length rec_.fd in
   let entries = Array.of_list (Faultdev.journal rec_.fd) in
   let boundaries = Array.init (total + 1) Fun.id in
@@ -316,6 +352,7 @@ let verify_sweep ~prng ~points sel policy rec_ =
   and unconverged = ref 0
   and unclean = ref 0
   and dur_failures = ref 0
+  and dir_errors = ref 0
   and repairs = ref 0
   and durable_reads = ref 0
   and violations = ref [] in
@@ -326,7 +363,7 @@ let verify_sweep ~prng ~points sel policy rec_ =
   List.iter
     (fun (upto, tear) ->
       let where = point_name ~upto ~tear in
-      match verify_image sel rec_ ~upto ~tear with
+      match verify_image ?dircheck sel rec_ ~upto ~tear with
       | exception e ->
           incr unconverged;
           violate (Printf.sprintf "%s: fsck raised %s" where (Printexc.to_string e))
@@ -365,7 +402,12 @@ let verify_sweep ~prng ~points sel policy rec_ =
             (fun msg ->
               incr dur_failures;
               violate (Printf.sprintf "%s: synced file lost (%s)" where msg))
-            v.iv_durable_failed)
+            v.iv_durable_failed;
+          List.iter
+            (fun msg ->
+              incr dir_errors;
+              violate (Printf.sprintf "%s: %s" where msg))
+            v.iv_dir_errors)
     images;
   {
     fs = sel;
@@ -380,6 +422,7 @@ let verify_sweep ~prng ~points sel policy rec_ =
     unconverged = !unconverged;
     unclean_states = !unclean;
     durability_failures = !dur_failures;
+    dir_errors = !dir_errors;
     repairs = !repairs;
     durable_reads = !durable_reads;
     violations = List.rev !violations;
@@ -452,6 +495,73 @@ let run_regroup ?(seed = 1) ?(points = 200) policy =
   let prng = Prng.create (seed lxor Hashtbl.hash ("regroup", policy_label policy)) in
   verify_sweep ~prng ~points Cffs_sel policy rec_
 
+(* ------------------------------------------------------------------ *)
+(* Dirindex phase: crash at every sampled request boundary *while a
+   create burst splits the leaves of an indexed directory*.  The split
+   protocol (new leaf before table switch before old-leaf cleanup, the
+   depth word sector-atomic in the root's last sector) promises that no
+   crash prefix dangles, duplicates or loses an entry: every image must
+   enumerate the directory duplicate-free with every listed name
+   answering a stat, every pre-burst file must read back, the image must
+   mount, and fsck must converge.  [Delayed] is excluded: it makes no
+   intra-op ordering promise, so a table pointer may legitimately land
+   before the leaf it names. *)
+
+let dirindex_matrix = [ Cache.Sync_metadata; Cache.Soft_updates; Cache.Journaled ]
+
+let run_dirindex ?(seed = 1) ?(points = 200) policy =
+  let block_size, nblocks = geometry in
+  let dev = Blockdev.memory ~block_size ~nblocks in
+  (* A low promotion threshold (4 linear pages) keeps the directory small
+     enough for a memory-backed sweep while still promoting and then
+     splitting leaves during the burst. *)
+  let config = { Cffs.config_default with Cffs.dirindex_threshold = 4 } in
+  let fs = Cffs.format ~cg_size ~config ~policy dev in
+  let ok what = function
+    | Ok v -> v
+    | Error e ->
+        failwith
+          (Printf.sprintf "crashmc dirindex: %s: %s" what (Errno.to_string e))
+  in
+  let name i = Printf.sprintf "/big/x%04d" i in
+  let payload i = Bytes.make (40 + (i mod 160)) (Char.chr (97 + (i mod 26))) in
+  let pre_burst = 150 and burst = 240 in
+  ok "mkdir" (Cffs.mkdir fs "/big");
+  let before = Registry.snapshot () in
+  for i = 0 to pre_burst - 1 do
+    ok (name i) (Cffs.write_file fs (name i) (payload i))
+  done;
+  Cffs.sync fs;
+  let d = Registry.diff (Registry.snapshot ()) before in
+  if Registry.get_counter d "dirindex.promotions" = 0 then
+    failwith "crashmc dirindex: directory never promoted - threshold too high";
+  let snapshot = List.init pre_burst (fun i -> (name i, payload i)) in
+  (* Attach after the sync: the journal base holds the promoted directory
+     with every pre-burst file durable, so even the zero-length prefix
+     must read them all back. *)
+  let fd = Faultdev.attach dev in
+  let before = Registry.snapshot () in
+  for i = pre_burst to pre_burst + burst - 1 do
+    ok (name i) (Cffs.write_file fs (name i) (payload i))
+  done;
+  Cffs.sync fs;
+  let d = Registry.diff (Registry.snapshot ()) before in
+  if Registry.get_counter d "dirindex.leaf_splits" = 0 then
+    failwith "crashmc dirindex: the burst forced no leaf splits - vacuous sweep";
+  Faultdev.detach fd;
+  let all =
+    List.init (pre_burst + burst) (fun i -> (name i, payload i))
+  in
+  let rec_ =
+    {
+      fd;
+      touches = [];
+      syncs = [ (Faultdev.journal_length fd, all); (0, snapshot) ];
+    }
+  in
+  let prng = Prng.create (seed lxor Hashtbl.hash ("dirindex", policy_label policy)) in
+  verify_sweep ~dircheck:"/big" ~prng ~points Cffs_sel policy rec_
+
 let default_matrix =
   List.concat_map (fun sel -> List.map (fun p -> (sel, p)) all_policies)
     [ Ffs_sel; Cffs_sel ]
@@ -514,6 +624,7 @@ let outcome_to_json o =
       ("unconverged", Json.Int o.unconverged);
       ("unclean_states", Json.Int o.unclean_states);
       ("durability_failures", Json.Int o.durability_failures);
+      ("dir_errors", Json.Int o.dir_errors);
       ("repairs", Json.Int o.repairs);
       ("durable_reads", Json.Int o.durable_reads);
       ("violations", Json.List (List.map (fun s -> Json.String s) o.violations));
@@ -521,6 +632,7 @@ let outcome_to_json o =
 
 let outcome_violations o =
   o.embedded_dangles + o.unmountable + o.unconverged + o.durability_failures
+  + o.dir_errors
   + (if o.policy = Cache.Journaled then o.unclean_states else 0)
 
 let total_violations outcomes =
@@ -537,6 +649,9 @@ let document ?(seed = 1) ?(points = 200) ?matrix () =
   let regroup_outcomes =
     List.map (fun p -> run_regroup ~seed ~points p) regroup_matrix
   in
+  let dirindex_outcomes =
+    List.map (fun p -> run_dirindex ~seed ~points p) dirindex_matrix
+  in
   fault_drill ();
   let delta = Registry.diff (Registry.snapshot ()) before in
   let _ops, counters = Telemetry.split_delta delta in
@@ -548,8 +663,11 @@ let document ?(seed = 1) ?(points = 200) ?matrix () =
       ("points", Json.Int points);
       ("configs", Json.List (List.map outcome_to_json outcomes));
       ("regroup", Json.List (List.map outcome_to_json regroup_outcomes));
+      ("dirindex", Json.List (List.map outcome_to_json dirindex_outcomes));
       ( "total_violations",
-        Json.Int (total_violations (outcomes @ regroup_outcomes)) );
+        Json.Int
+          (total_violations
+             (outcomes @ regroup_outcomes @ dirindex_outcomes)) );
       ("counters", Json.Obj counters);
     ]
 
@@ -557,6 +675,9 @@ let print_human ?(seed = 1) ?(points = 200) ?matrix () =
   let outcomes = run ~seed ~points ?matrix () in
   let regroup_outcomes =
     List.map (fun p -> run_regroup ~seed ~points p) regroup_matrix
+  in
+  let dirindex_outcomes =
+    List.map (fun p -> run_dirindex ~seed ~points p) dirindex_matrix
   in
   Printf.printf "crash-consistency check: seed %d, up to %d points per config\n\n"
     seed points;
@@ -576,7 +697,14 @@ let print_human ?(seed = 1) ?(points = 200) ?matrix () =
         o.embedded_dangles o.unconverged o.unclean_states o.durability_failures
         (outcome_violations o))
     regroup_outcomes;
-  let outcomes = outcomes @ regroup_outcomes in
+  List.iter
+    (fun o ->
+      Printf.printf "%-8s %-14s %7d %5d %9d %9d %7d %7d %8d %5d\n" "dirindex"
+        (policy_label o.policy) o.points o.torn_points o.dangling_states
+        o.embedded_dangles o.unconverged o.unclean_states o.durability_failures
+        (outcome_violations o))
+    dirindex_outcomes;
+  let outcomes = outcomes @ regroup_outcomes @ dirindex_outcomes in
   let bad = total_violations outcomes in
   Printf.printf "\n%s\n"
     (if bad = 0 then "no invariant violations"

@@ -49,6 +49,10 @@ type outcome = {
       (** images whose pre-repair check reported any problem at all; a
           violation under [Journaled] only *)
   durability_failures : int;
+  dir_errors : int;
+      (** duplicate or dangling names seen by the pre-repair enumeration
+          of the watched directory ({!run_dirindex} only); always a
+          violation *)
   repairs : int;  (** problems repaired, summed over images *)
   durable_reads : int;  (** synced files verified, summed over images *)
   violations : string list;  (** human-readable notes, capped *)
@@ -73,6 +77,26 @@ val run_regroup : ?seed:int -> ?points:int -> Cffs_cache.Cache.policy -> outcome
     scenario itself is vacuous (the pass moved nothing) or the pass failed
     to raise group residency on the live image. *)
 
+val dirindex_matrix : Cffs_cache.Cache.policy list
+(** The policies the dirindex phase covers: [Sync_metadata],
+    [Soft_updates] and [Journaled].  [Delayed] is excluded — it makes no
+    intra-operation ordering promise, so a crash may legitimately land a
+    table pointer before the leaf it names. *)
+
+val run_dirindex :
+  ?seed:int -> ?points:int -> Cffs_cache.Cache.policy -> outcome
+(** The dirindex phase: format C-FFS with a low promotion threshold,
+    grow one directory past promotion, sync, then power-cut at sampled
+    request boundaries (plus torn variants) {e while a create burst
+    splits its leaves}.  At every crash prefix the image must mount, the
+    directory must enumerate duplicate-free with every listed name
+    answering a stat ([dir_errors] counts failures — the split
+    protocol's new-leaf-before-table-switch-before-cleanup ordering),
+    every pre-burst file must read back byte-identical, and fsck must
+    converge; under [Journaled] every prefix must additionally be clean
+    before any repair.  Raises [Failure] if the scenario is vacuous (the
+    directory never promoted or the burst forced no leaf split). *)
+
 val default_matrix : (fs_sel * Cffs_cache.Cache.policy) list
 (** Both file systems under every cache policy. *)
 
@@ -84,8 +108,9 @@ val run :
   outcome list
 
 val total_violations : outcome list -> int
-(** Embedded dangles + unmountable + unconverged + durability failures,
-    plus (under [Journaled]) unclean pre-repair states. *)
+(** Embedded dangles + unmountable + unconverged + durability failures +
+    directory-enumeration errors, plus (under [Journaled]) unclean
+    pre-repair states. *)
 
 val fault_drill : unit -> unit
 (** Exercise the live error path (transient read retries, a sticky bad
@@ -98,7 +123,8 @@ val document :
   unit ->
   Cffs_obs.Json.t
 (** Matrix run (default: the full matrix) plus the regroup phase
-    ({!run_regroup} under [Journaled] and [Sync_metadata]) plus
+    ({!run_regroup} under [Journaled] and [Sync_metadata]) plus the
+    dirindex phase ({!run_dirindex} over {!dirindex_matrix}) plus
     {!fault_drill}, packaged as a [cffs-telemetry-v2] document with
     benchmark ["crashtest"]. *)
 

@@ -35,6 +35,8 @@ type scale = {
   stat_files_per_dir : int;
   stat_repeats : int;
   stat_cache_blocks : int;
+  dirindex_entries : int list;
+      (** flat-directory sizes for the A8 linear-vs-indexed ablation *)
 }
 
 let full =
@@ -59,6 +61,7 @@ let full =
     stat_files_per_dir = 32;
     stat_repeats = 5;
     stat_cache_blocks = 128;
+    dirindex_entries = [ 1000; 10_000; 100_000; 1_000_000 ];
   }
 
 let quick =
@@ -83,6 +86,7 @@ let quick =
     stat_files_per_dir = 16;
     stat_repeats = 3;
     stat_cache_blocks = 48;
+    dirindex_entries = [ 1000; 10_000 ];
   }
 
 let f1 = Tablefmt.fmt_float ~decimals:1
@@ -838,7 +842,7 @@ let ablation_journal scale =
     Cache.all_policies;
   t
 
-let run_statbench ?policy scale ~fs ~namei =
+let run_statbench ?policy ?entries ?depth scale ~fs ~namei =
   let setup =
     {
       (Setup.standard ?policy ~namei fs) with
@@ -850,7 +854,7 @@ let run_statbench ?policy scale ~fs ~namei =
   let results =
     Statbench.run ~dirs:scale.stat_dirs
       ~files_per_dir:scale.stat_files_per_dir ~repeats:scale.stat_repeats
-      inst.Setup.env
+      ?entries ?depth inst.Setup.env
   in
   let delta = Registry.diff (Registry.snapshot ()) before in
   (results, delta)
@@ -1134,6 +1138,162 @@ let ablation_regroup scale =
   t
 
 (* ------------------------------------------------------------------ *)
+(* A8: hashed directory index - one flat directory, linear vs indexed. *)
+
+(* A linear directory pays a full scan per create (to prove the name
+   absent before appending), so populating one is quadratic in the entry
+   count: a 10^6-entry linear populate visits tens of billions of
+   directory blocks and is infeasible at any simulation scale.  Linear
+   rows past this cap are omitted from the table; the omission is itself
+   a result. *)
+let dirindex_linear_cap = 100_000
+let dirindex_probes = 200
+
+let dirindex_cell ~entries config =
+  (* Two cache sizes, deliberately different.  The populate runs behind a
+     generous cache (32 MB) with delayed writeback: the phase is a warm
+     in-memory churn in both formats, so the create/s column compares the
+     directory formats, not the populate's eviction pattern.  The probe
+     then remounts the same device behind a small cache (512 blocks =
+     2 MB, far below the big directory): the index's claim is about how
+     many blocks a *cold* lookup touches, and a cache that held the whole
+     directory would hide the linear re-scan after the first few
+     probes. *)
+  let populate_cache = 8192 in
+  let probe_cache = 512 in
+  let setup =
+    { (Setup.standard ~policy:Cache.Delayed (Setup.Cffs_fs config)) with
+      Setup.cache_blocks = populate_cache;
+    }
+  in
+  let inst = Setup.instantiate setup in
+  let env = inst.Setup.env in
+  let fs =
+    match inst.Setup.cffs with
+    | Some fs -> fs
+    | None -> invalid_arg "dirindex_cell: C-FFS instance expected"
+  in
+  let op () =
+    Blockdev.advance env.Env.dev env.Env.cpu_per_op;
+    Sampler.poll_current ~now:(Blockdev.now env.Env.dev)
+  in
+  let fail what e =
+    failwith
+      (Printf.sprintf "ablation_dirindex %s: %s" what
+         (Cffs_vfs.Errno.to_string e))
+  in
+  let name i = Printf.sprintf "/big/e%07d" i in
+  (match Cffs.mkdir fs "/big" with Ok () -> () | Error e -> fail "mkdir" e);
+  let before = Registry.snapshot () in
+  let m_pop =
+    Env.measured env (fun () ->
+        for i = 0 to entries - 1 do
+          op ();
+          match Cffs.create fs (name i) with
+          | Ok _ -> ()
+          | Error e -> fail (name i) e
+        done;
+        Cffs.sync fs)
+  in
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  let promotions = Registry.get_counter delta "dirindex.promotions" in
+  let splits = Registry.get_counter delta "dirindex.leaf_splits" in
+  let fs =
+    match Cffs.mount ~cache_blocks:probe_cache env.Env.dev with
+    | Some fs -> fs
+    | None -> failwith "ablation_dirindex: probe mount failed"
+  in
+  (* Stride-sampled, shuffled probe names: coverage of the whole entry
+     range without a sequential sweep the scheduler could exploit. *)
+  let nprobe = min entries dirindex_probes in
+  let stride = entries / nprobe in
+  let probe = Array.init nprobe (fun k -> k * stride) in
+  let prng = Prng.create 0xD1D8 in
+  for i = nprobe - 1 downto 1 do
+    let j = Prng.int prng (i + 1) in
+    let t = probe.(i) in
+    probe.(i) <- probe.(j);
+    probe.(j) <- t
+  done;
+  let m_probe =
+    Env.measured env (fun () ->
+        Array.iter
+          (fun i ->
+            op ();
+            match Cffs.stat fs (name i) with
+            | Ok _ -> ()
+            | Error e -> fail ("stat " ^ name i) e)
+          probe)
+  in
+  let per num seconds =
+    if seconds <= 0.0 then 0.0 else float_of_int num /. seconds
+  in
+  ( per entries m_pop.Env.seconds,
+    per nprobe m_probe.Env.seconds,
+    float_of_int m_probe.Env.reads /. float_of_int nprobe,
+    promotions,
+    splits )
+
+let ablation_dirindex scale =
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "A8: hashed directory index - one flat directory, linear vs \
+            indexed, cold stat of %d sampled names (512-block cache; \
+            linear omitted past %d entries: quadratic populate)"
+           dirindex_probes dirindex_linear_cap)
+      [
+        ("Entries", Tablefmt.Right);
+        ("Format", Tablefmt.Left);
+        ("Create/s", Tablefmt.Right);
+        ("Cold stat/s", Tablefmt.Right);
+        ("Reads/name", Tablefmt.Right);
+        ("Promotions", Tablefmt.Right);
+        ("Splits", Tablefmt.Right);
+        ("Stat speedup", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun entries ->
+      let linear =
+        if entries <= dirindex_linear_cap then
+          Some
+            (dirindex_cell ~entries
+               { Cffs.config_default with Cffs.dirindex_threshold = 0 })
+        else None
+      in
+      let indexed = dirindex_cell ~entries Cffs.config_default in
+      let row label (create_s, stat_s, reads, promotions, splits) speedup =
+        Tablefmt.add_row t
+          [
+            string_of_int entries;
+            label;
+            f1 create_s;
+            f1 stat_s;
+            f2 reads;
+            string_of_int promotions;
+            string_of_int splits;
+            speedup;
+          ]
+      in
+      (match linear with
+      | Some cell -> row "linear" cell "1.0x"
+      | None ->
+          Tablefmt.add_row t
+            [ string_of_int entries; "linear"; "-"; "-"; "-"; "-"; "-"; "-" ]);
+      let speedup =
+        match (linear, indexed) with
+        | Some (_, linear_stat_s, _, _, _), (_, indexed_stat_s, _, _, _)
+          when linear_stat_s > 0.0 ->
+            f1 (indexed_stat_s /. linear_stat_s) ^ "x"
+        | _ -> "-"
+      in
+      row "indexed" indexed speedup)
+    scale.dirindex_entries;
+  t
+
+(* ------------------------------------------------------------------ *)
 
 let run_all scale =
   let p t =
@@ -1168,4 +1328,5 @@ let run_all scale =
   p (ablation_concurrency scale);
   p (ablation_namei scale);
   p (ablation_journal scale);
-  p (ablation_regroup scale)
+  p (ablation_regroup scale);
+  p (ablation_dirindex scale)

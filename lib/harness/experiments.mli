@@ -25,6 +25,9 @@ type scale = {
       (** buffer cache for the namei ablation — deliberately smaller than
           the tree's metadata working set, so uncached warm resolution
           pays disk time *)
+  dirindex_entries : int list;
+      (** flat-directory sizes for the A8 linear-vs-indexed ablation
+          ([1000; 10_000; 100_000; 1_000_000] at full scale) *)
 }
 
 val full : scale
@@ -103,6 +106,8 @@ val ablation_concurrency : scale -> Cffs_util.Tablefmt.t
 
 val run_statbench :
   ?policy:Cffs_cache.Cache.policy ->
+  ?entries:int ->
+  ?depth:int ->
   scale ->
   fs:Setup.fs_kind ->
   namei:Cffs_namei.Namei.config ->
@@ -110,7 +115,9 @@ val run_statbench :
 (** One stat-heavy run on a fresh instance with a
     [scale.stat_cache_blocks]-block buffer cache (default write policy:
     the testbed's [Sync_metadata]), returning the per-phase results and
-    the registry delta over the run. *)
+    the registry delta over the run.  [?entries] / [?depth] enable the
+    optional namespace-scaling phases ({!Cffs_workload.Statbench.run}'s
+    [bigdir_cold] / [deep_warm]). *)
 
 val ablation_journal : scale -> Cffs_util.Tablefmt.t
 (** A6: write-policy churn ablation — smallfile create/delete throughput
@@ -152,6 +159,25 @@ val ablation_regroup : scale -> Cffs_util.Tablefmt.t
 (** A7: fresh vs aged vs aged+regrouped — group residency, smallfile read
     throughput (absolute and vs fresh) and the multi-client small-file
     aggregate. *)
+
+val dirindex_cell :
+  entries:int -> Cffs.config -> float * float * float * int * int
+(** One A8 cell: populate a fresh C-FFS instance's single flat directory
+    with [entries] empty files under the given config (behind a generous
+    cache with delayed writeback, so the create/s column compares
+    directory formats rather than eviction patterns), sync, then remount
+    the same device behind a deliberately small 512-block cache and
+    cold-stat a 200-name stride sample.  Returns
+    [(create_per_sec, cold_stat_per_sec, device_read_requests_per_name,
+      promotions, leaf_splits)]. *)
+
+val ablation_dirindex : scale -> Cffs_util.Tablefmt.t
+(** A8: hashed directory index — one flat directory per cell, linear
+    ([dirindex_threshold = 0]) vs indexed (default config) over
+    [scale.dirindex_entries].  Linear rows past 10^5 entries are omitted:
+    a linear create scans the whole directory to prove the name absent,
+    so populating is quadratic and a 10^6-entry linear populate is
+    infeasible — which is itself the result. *)
 
 val run_all : scale -> unit
 (** Print every table above (E4 in both integrity modes). *)

@@ -176,6 +176,10 @@ let namei_counter_names =
     "namei.readdirplus_warms";
     "namei.evictions";
     "namei.invalidations";
+    "namei.shortcut_hits";
+    "namei.shortcut_misses";
+    "namei.shortcut_negative_hits";
+    "namei.shortcut_stale";
   ]
 
 let namei_json ?snap () =
@@ -207,6 +211,28 @@ let regroup_json ?snap () =
     (List.map
        (fun name -> (name, Json.Int (Registry.get_counter snap name)))
        regroup_counter_names)
+
+(* Same always-present contract for the hashed directory index: zeros
+   included, whether or not any directory outgrew the promotion
+   threshold, so consumers can watch namespace-scaling traffic
+   (promotions, splits, table doublings, overflow chains) appear as a
+   volume's directories grow. *)
+let dirindex_counter_names =
+  [
+    "dirindex.promotions";
+    "dirindex.leaf_splits";
+    "dirindex.doublings";
+    "dirindex.overflow_chains";
+    "dirindex.indexed_lookups";
+    "dirindex.indexed_inserts";
+  ]
+
+let dirindex_json ?snap () =
+  let snap = match snap with Some s -> s | None -> Registry.snapshot () in
+  Json.Obj
+    (List.map
+       (fun name -> (name, Json.Int (Registry.get_counter snap name)))
+       dirindex_counter_names)
 
 (* --- grouping: the layout introspector on freshly populated images ------- *)
 
@@ -392,6 +418,7 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
       ("journal", journal_json ());
       ("namei", namei_json ());
       ("regroup", regroup_json ());
+      ("dirindex", dirindex_json ());
       ("concurrency", concurrency);
       ("derived", Json.Obj (derived_json runs));
     ]
@@ -410,7 +437,7 @@ let statbench_phase_json (r : Cffs_workload.Statbench.result) =
      ]
     @ measure_fields r.measure)
 
-let statbench_run_json ~scale ~fs ~cached =
+let statbench_run_json ~scale ~entries ~depth ~fs ~cached =
   let namei =
     if cached then Cffs_namei.Namei.config_default
     else Cffs_namei.Namei.config_disabled
@@ -422,7 +449,7 @@ let statbench_run_json ~scale ~fs ~cached =
   in
   let results, delta =
     Sampler.with_sampler sampler (fun () ->
-        Experiments.run_statbench scale ~fs ~namei)
+        Experiments.run_statbench ~entries ~depth scale ~fs ~namei)
   in
   let ops, counters = split_delta delta in
   let label =
@@ -442,7 +469,8 @@ let statbench_run_json ~scale ~fs ~cached =
     | Json.Obj fields -> Json.Obj (("label", Json.String label) :: fields)
     | j -> j )
 
-let statbench_document ?(scale = Experiments.quick) () =
+let statbench_document ?(scale = Experiments.quick) ?(entries = 0) ?(depth = 0)
+    () =
   let statbench_fss = [ Setup.Ffs_baseline; Setup.Cffs_fs Cffs.config_default ] in
   let warm results =
     List.find
@@ -455,10 +483,10 @@ let statbench_document ?(scale = Experiments.quick) () =
     List.concat_map
       (fun fs ->
         let uncached_results, uncached, ts_u =
-          statbench_run_json ~scale ~fs ~cached:false
+          statbench_run_json ~scale ~entries ~depth ~fs ~cached:false
         in
         let cached_results, cached, ts_c =
-          statbench_run_json ~scale ~fs ~cached:true
+          statbench_run_json ~scale ~entries ~depth ~fs ~cached:true
         in
         let speedup =
           let u = (warm uncached_results).Cffs_workload.Statbench.measure.Env.seconds in
@@ -489,6 +517,8 @@ let statbench_document ?(scale = Experiments.quick) () =
       ("files_per_dir", Json.Int scale.Experiments.stat_files_per_dir);
       ("repeats", Json.Int scale.Experiments.stat_repeats);
       ("cache_blocks", Json.Int scale.Experiments.stat_cache_blocks);
+      ("bigdir_entries", Json.Int entries);
+      ("deep_depth", Json.Int depth);
       ("configs", Json.List (List.map (fun (c, _, _) -> c) runs));
       ("grouping", grouping_json statbench_fss);
       ("latency_breakdown", latency_breakdown_json lat_delta);
@@ -499,6 +529,7 @@ let statbench_document ?(scale = Experiments.quick) () =
       ("journal", journal_json ());
       ("namei", namei_json ());
       ("regroup", regroup_json ());
+      ("dirindex", dirindex_json ());
       ("derived", Json.Obj derived);
     ]
 

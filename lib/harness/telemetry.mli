@@ -98,6 +98,17 @@ val regroup_json : ?snap:Cffs_obs.Registry.snapshot -> unit -> Cffs_obs.Json.t
     registry unless [?snap] is given — same contract as the ["journal"]
     section, whether or not a regroup pass ran. *)
 
+val dirindex_counter_names : string list
+(** The always-present keys of the document's ["dirindex"] section, in
+    order: promotions, leaf splits, table doublings, overflow chains, and
+    indexed lookup/insert traffic. *)
+
+val dirindex_json : ?snap:Cffs_obs.Registry.snapshot -> unit -> Cffs_obs.Json.t
+(** The hashed-directory-index counters as an object with every key from
+    {!dirindex_counter_names} present (zeros included), read from the
+    live registry unless [?snap] is given — same contract as the
+    ["regroup"] section, whether or not any directory was promoted. *)
+
 val document :
   ?nfiles:int ->
   ?file_bytes:int ->
@@ -112,11 +123,14 @@ val document :
     1 KB under sync-metadata, over {!default_pair}; the mclient knobs
     scale the concurrency experiment down for fast schema tests. *)
 
-val statbench_document : ?scale:Experiments.scale -> unit -> Cffs_obs.Json.t
+val statbench_document :
+  ?scale:Experiments.scale -> ?entries:int -> ?depth:int -> unit -> Cffs_obs.Json.t
 (** The stat-heavy benchmark as a [cffs-telemetry-v2] document: FFS and
     C-FFS (EI+EG), each with the namei caches off and on
     ({!Experiments.run_statbench} sizing, default {!Experiments.quick}),
-    plus the derived warm repeated-stat speedup per file system. *)
+    plus the derived warm repeated-stat speedup per file system.
+    [?entries] / [?depth] (default 0 = skipped) add the namespace-scaling
+    [bigdir_cold] / [deep_warm] phases to every run. *)
 
 val print_human :
   ?nfiles:int ->

@@ -32,6 +32,10 @@ let m_attr_misses = Registry.counter "namei.attr_misses"
 let m_readdirplus_warms = Registry.counter "namei.readdirplus_warms"
 let m_evictions = Registry.counter "namei.evictions"
 let m_invalidations = Registry.counter "namei.invalidations"
+let m_shortcut_hits = Registry.counter "namei.shortcut_hits"
+let m_shortcut_misses = Registry.counter "namei.shortcut_misses"
+let m_shortcut_negative_hits = Registry.counter "namei.shortcut_negative_hits"
+let m_shortcut_stale = Registry.counter "namei.shortcut_stale"
 
 (* ------------------------------------------------------------------ *)
 (* State: one per mount.
@@ -46,11 +50,23 @@ let m_invalidations = Registry.counter "namei.invalidations"
 
 type dentry = { target : int option; epoch : int }
 
+(* A full-path shortcut: the outcome of a whole resolution, keyed by
+   the canonical path.  [sc_deps] records every directory the walk
+   passed through, with that directory's generation at the time; the
+   entry is valid only while every recorded generation is unchanged.
+   Generations (unlike epochs, which only renames and rmdir bump) count
+   every namespace mutation in a directory, so a create anywhere along
+   the path kills the shortcuts through it — including the negative
+   ones proving the created name absent. *)
+type shortcut = { sc_target : int option; sc_deps : (int * int) list }
+
 type t = {
   config : config;
   dentries : (int * string, dentry) Lru.t;
   attrs : (int, Fs_intf.stat) Lru.t;
   epochs : (int, int) Hashtbl.t;
+  shortcuts : (string, shortcut) Lru.t;
+  gens : (int, int) Hashtbl.t;  (** per-directory namespace generation *)
 }
 
 let create ?(config = config_default) () =
@@ -59,6 +75,8 @@ let create ?(config = config_default) () =
     dentries = Lru.create ~size_hint:(min config.capacity 1024) ();
     attrs = Lru.create ~size_hint:(min config.attr_capacity 1024) ();
     epochs = Hashtbl.create 64;
+    shortcuts = Lru.create ~size_hint:(min config.capacity 1024) ();
+    gens = Hashtbl.create 64;
   }
 
 let config t = t.config
@@ -72,6 +90,9 @@ let bump_epoch t dir =
   Registry.incr m_invalidations;
   Hashtbl.replace t.epochs dir (epoch t dir + 1)
 
+let gen t dir = Option.value ~default:0 (Hashtbl.find_opt t.gens dir)
+let bump_gen t dir = Hashtbl.replace t.gens dir (gen t dir + 1)
+
 let rec drain lru =
   match Lru.pop_lru lru with Some _ -> drain lru | None -> ()
 
@@ -79,7 +100,9 @@ let flush t =
   Registry.incr m_invalidations;
   drain t.dentries;
   drain t.attrs;
-  Hashtbl.reset t.epochs
+  drain t.shortcuts;
+  Hashtbl.reset t.epochs;
+  Hashtbl.reset t.gens
 
 (* ------------------------------------------------------------------ *)
 (* Dentry cache primitives. *)
@@ -122,6 +145,36 @@ let insert_attr t ino st =
 
 let find_attr t ino = if enabled t then Lru.use t.attrs ino else None
 let remove_attr t ino = Lru.remove t.attrs ino
+
+(* ------------------------------------------------------------------ *)
+(* Full-path shortcut primitives. *)
+
+let insert_shortcut t key ~deps target =
+  if enabled t && (target <> None || t.config.negative) then begin
+    Lru.add t.shortcuts key { sc_target = target; sc_deps = deps };
+    if Lru.length t.shortcuts > t.config.capacity then begin
+      ignore (Lru.pop_lru t.shortcuts);
+      Registry.incr m_evictions
+    end
+  end
+
+(* [Some (Some ino)] positive hit, [Some None] negative hit, [None]
+   miss.  An entry whose recorded generations no longer all match is
+   stale — counted, dropped, and reported as a miss. *)
+let find_shortcut t key =
+  if not (enabled t) then None
+  else begin
+    match Lru.use t.shortcuts key with
+    | Some sc when List.for_all (fun (d, g) -> gen t d = g) sc.sc_deps ->
+        Some sc.sc_target
+    | Some _ ->
+        Registry.incr m_shortcut_stale;
+        Lru.remove t.shortcuts key;
+        None
+    | None -> None
+  end
+
+let shortcut_count t = Lru.length t.shortcuts
 
 (* ------------------------------------------------------------------ *)
 (* The caching interposer: a LOW over a LOW.
@@ -226,6 +279,7 @@ module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
       | Ok ino ->
           (* The new ino may be a reused (positional) number: purge any
              stale attrs from its previous life before anyone stats it. *)
+          bump_gen s dir;
           remove_attr s ino;
           insert_dentry s ~dir name (Some ino)
       | Error _ -> remove_dentry s ~dir name);
@@ -241,12 +295,16 @@ module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
       remove_attr s dir;
       (match r with
       | Ok () ->
+          bump_gen s dir;
           (match victim with
           | Some ino ->
               remove_attr s ino;
               (* The removed directory's number can be reused; negative
                  entries cached under it must not apply to the successor. *)
-              if rmdir then bump_epoch s ino
+              if rmdir then begin
+                bump_epoch s ino;
+                bump_gen s ino
+              end
           | None -> ());
           insert_dentry s ~dir name None
       | Error _ -> remove_dentry s ~dir name);
@@ -270,13 +328,16 @@ module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
       let r = F.rename fs ~sdir ~sname ~ddir ~dname in
       bump_epoch s sdir;
       bump_epoch s ddir;
+      bump_gen s sdir;
+      bump_gen s ddir;
       remove_attr s sdir;
       remove_attr s ddir;
       let stranded ino =
         remove_attr s ino;
         (* If [ino] was a directory its entries are keyed by a number that
            no longer exists (or, worse, will be reused). *)
-        bump_epoch s ino
+        bump_epoch s ino;
+        bump_gen s ino
       in
       Option.iter stranded src;
       Option.iter stranded dst;
@@ -336,4 +397,59 @@ module Make (F : SOURCE) : Fs_intf.LOW with type t = F.t = struct
     F.remount fs
 
   let usage = F.usage
+end
+
+(* ------------------------------------------------------------------ *)
+(* The full-path shortcut resolver: a {!Cffs_vfs.Pathfs.RESOLVER} over
+   the same SOURCE the interposer wraps.  A hit answers a whole
+   [resolve] in O(1) without touching a single directory; a miss walks
+   through [F.lookup] — and so through the dentry cache when [F] is the
+   caching interposer — recording each directory's generation, so the
+   shortcut dies the moment any ancestor's namespace changes (rename,
+   create, remove all bump the generations the walk recorded).  A
+   negative shortcut is inserted only for ENOENT at the final component:
+   an intermediate ENOENT means a whole subtree is missing, and a create
+   deep below it would not touch any directory the walk reached. *)
+module Resolver (F : SOURCE) = struct
+  type t = F.t
+
+  let plain_walk fs parts =
+    let rec walk ino = function
+      | [] -> Ok ino
+      | name :: rest -> (
+          match F.lookup fs ~dir:ino name with
+          | Ok next -> walk next rest
+          | Error _ as e -> e)
+    in
+    walk (F.root fs) parts
+
+  let resolve_rel fs key parts =
+    let s = F.namei fs in
+    if not (enabled s) then plain_walk fs parts
+    else begin
+      match find_shortcut s key with
+      | Some (Some ino) ->
+          Registry.incr m_shortcut_hits;
+          Ok ino
+      | Some None ->
+          Registry.incr m_shortcut_negative_hits;
+          Error Errno.Enoent
+      | None ->
+          Registry.incr m_shortcut_misses;
+          let deps = ref [] in
+          let rec walk ino = function
+            | [] ->
+                insert_shortcut s key ~deps:!deps (Some ino);
+                Ok ino
+            | name :: rest -> (
+                deps := (ino, gen s ino) :: !deps;
+                match F.lookup fs ~dir:ino name with
+                | Ok next -> walk next rest
+                | Error Errno.Enoent as e ->
+                    if rest = [] then insert_shortcut s key ~deps:!deps None;
+                    e
+                | Error _ as e -> e)
+          in
+          walk (F.root fs) parts
+    end
 end

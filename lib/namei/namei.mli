@@ -42,6 +42,10 @@ val dentry_count : t -> int
 val attr_count : t -> int
 (** Live attribute entries; never exceeds [config.attr_capacity]. *)
 
+val shortcut_count : t -> int
+(** Live full-path shortcut entries (see {!Resolver}); never exceeds
+    [config.capacity]. *)
+
 val flush : t -> unit
 (** Drop everything (remount, fsck repair, externalization). *)
 
@@ -59,3 +63,15 @@ module Make (F : SOURCE) : Cffs_vfs.Fs_intf.LOW with type t = F.t
     caches ([namei.dentry_hits] / [namei.attr_hits] / ...); failed
     lookups insert negative entries; [readdir] and [readdir_plus] warm
     the caches; every mutation invalidates as described above. *)
+
+module Resolver (F : SOURCE) : Cffs_vfs.Pathfs.RESOLVER with type t = F.t
+(** The full-path shortcut cache, for {!Cffs_vfs.Pathfs.MakeWith}: whole
+    resolutions keyed by the canonical path, validated against
+    per-directory namespace generations recorded at insert (any create,
+    remove or rename in any directory the walk passed through
+    invalidates the shortcut — [namei.shortcut_stale]).  Hits skip the
+    component walk entirely ([namei.shortcut_hits] /
+    [namei.shortcut_negative_hits]); misses walk through [F.lookup] and
+    so still benefit from the dentry cache.  Negative shortcuts are
+    cached only for ENOENT at the final component, gated by
+    [config.negative]. *)

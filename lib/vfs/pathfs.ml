@@ -3,20 +3,38 @@ open Errno
 let m_resolves = Cffs_obs.Registry.counter "vfs.resolves"
 let m_components = Cffs_obs.Registry.counter "vfs.path_components"
 
-module Make (F : Fs_intf.LOW) = struct
-  include F
+(* How [resolve] maps a split path to an inode.  The default walks one
+   component at a time; a file system can interpose a smarter resolver —
+   lib/namei's full-path shortcut cache keys on the canonical path and
+   skips the walk entirely on a hit — without this module caring how,
+   because the resolver receives the canonical key alongside the parts. *)
+module type RESOLVER = sig
+  type t
 
-  let resolve t p =
-    Cffs_obs.Registry.incr m_resolves;
-    let* parts = Path.split p in
-    Cffs_obs.Registry.incr ~by:(List.length parts) m_components;
+  val resolve_rel : t -> string -> string list -> int Errno.result
+end
+
+module Default (F : Fs_intf.LOW) = struct
+  type t = F.t
+
+  let resolve_rel t _key parts =
     let rec walk ino = function
       | [] -> Ok ino
       | name :: rest ->
           let* next = F.lookup t ~dir:ino name in
           walk next rest
     in
-    let* ino = walk (F.root t) parts in
+    walk (F.root t) parts
+end
+
+module MakeWith (F : Fs_intf.LOW) (R : RESOLVER with type t = F.t) = struct
+  include F
+
+  let resolve t p =
+    Cffs_obs.Registry.incr m_resolves;
+    let* parts = Path.split p in
+    Cffs_obs.Registry.incr ~by:(List.length parts) m_components;
+    let* ino = R.resolve_rel t ("/" ^ String.concat "/" parts) parts in
     (* "/a/" claims a is a directory; POSIX answers ENOTDIR when it is
        not.  The check lives here, above any name cache, so the errno is
        identical with caching on and off. *)
@@ -180,3 +198,5 @@ module Make (F : Fs_intf.LOW) = struct
     |> List.sort (fun (a, _) (b, _) -> compare a b)
     |> Result.ok
 end
+
+module Make (F : Fs_intf.LOW) = MakeWith (F) (Default (F))

@@ -2,15 +2,17 @@ module Fs_intf = Cffs_vfs.Fs_intf
 module Blockdev = Cffs_blockdev.Blockdev
 module Errno = Cffs_vfs.Errno
 
-type phase = Walk | Ls_warm | Stat_cold | Stat_warm
+type phase = Walk | Ls_warm | Stat_cold | Stat_warm | Bigdir_cold | Deep_warm
 
 let phase_name = function
   | Walk -> "walk"
   | Ls_warm -> "ls_warm"
   | Stat_cold -> "stat_cold"
   | Stat_warm -> "stat_warm"
+  | Bigdir_cold -> "bigdir_cold"
+  | Deep_warm -> "deep_warm"
 
-let phases = [ Walk; Ls_warm; Stat_cold; Stat_warm ]
+let phases = [ Walk; Ls_warm; Stat_cold; Stat_warm; Bigdir_cold; Deep_warm ]
 
 type result = {
   phase : phase;
@@ -31,8 +33,19 @@ let dir_path d = Printf.sprintf "/statbench/d%03d" d
 let file_path ~files_per_dir i =
   Printf.sprintf "/statbench/d%03d/f%05d" (i / files_per_dir) i
 
+let big_name i = Printf.sprintf "/statbench/big/e%06d" i
+
+let deep_path depth =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "/statbench/deep";
+  for level = 0 to depth - 1 do
+    Buffer.add_string b (Printf.sprintf "/p%02d" level)
+  done;
+  Buffer.add_string b "/leaf";
+  Buffer.contents b
+
 let run ?(dirs = 32) ?(files_per_dir = 64) ?(file_bytes = 1024) ?(repeats = 5)
-    ?(prng_seed = 11) (env : Env.t) =
+    ?(entries = 0) ?(depth = 0) ?(prng_seed = 11) (env : Env.t) =
   let (Fs_intf.Packed ((module F), fs)) = env.Env.fs in
   let nfiles = dirs * files_per_dir in
   let prng = Cffs_util.Prng.create prng_seed in
@@ -105,4 +118,57 @@ let run ?(dirs = 32) ?(files_per_dir = 64) ?(file_bytes = 1024) ?(repeats = 5)
       for _ = 1 to repeats do
         stat_sweep "stat_warm"
       done);
+  (* Optional namespace-scaling phases (the hashed-directory-index and
+     full-path-shortcut territory); both are skipped at the default 0. *)
+  if entries > 0 then begin
+    (* One directory of [entries] names, then a cold stat of a sample of
+       them after a remount.  On an indexed directory each probe touches
+       O(1) blocks whatever [entries] is; a linear directory pays a scan
+       of the whole thing per name. *)
+    check "mkdir big" (F.mkdir fs "/statbench/big");
+    for i = 0 to entries - 1 do
+      check "populate big" (F.create fs (big_name i))
+    done;
+    F.sync fs;
+    F.remount fs;
+    let nprobe = min entries 200 in
+    let stride = entries / nprobe in
+    let probe = Array.init nprobe (fun k -> k * stride) in
+    for i = nprobe - 1 downto 1 do
+      let j = Cffs_util.Prng.int prng (i + 1) in
+      let tmp = probe.(i) in
+      probe.(i) <- probe.(j);
+      probe.(j) <- tmp
+    done;
+    phase_run Bigdir_cold ~nops:nprobe (fun () ->
+        Array.iter
+          (fun i ->
+            op ();
+            check "bigdir stat" (F.stat fs (big_name i)))
+          probe)
+  end;
+  if depth > 0 then begin
+    (* Repeated stat of one file [depth] directories down: with the
+       full-path shortcut warm, the whole resolution is one cache probe
+       instead of a walk of [depth + 2] components. *)
+    let rec build prefix level =
+      if level < depth then begin
+        let dir = Printf.sprintf "%s/p%02d" prefix level in
+        check "mkdir deep" (F.mkdir fs dir);
+        build dir (level + 1)
+      end
+    in
+    check "mkdir deep" (F.mkdir fs "/statbench/deep");
+    build "/statbench/deep" 0;
+    let path = deep_path depth in
+    check "populate deep" (F.write_file fs path payload);
+    F.sync fs;
+    check "warm deep" (F.stat fs path);
+    let nops = max 100 (repeats * 100) in
+    phase_run Deep_warm ~nops (fun () ->
+        for _ = 1 to nops do
+          op ();
+          check "deep stat" (F.stat fs path)
+        done)
+  end;
   List.rev !results

@@ -15,7 +15,7 @@
     uncached mounts re-resolve every component — from disk, once the
     working set exceeds the buffer cache. *)
 
-type phase = Walk | Ls_warm | Stat_cold | Stat_warm
+type phase = Walk | Ls_warm | Stat_cold | Stat_warm | Bigdir_cold | Deep_warm
 
 val phase_name : phase -> string
 val phases : phase list
@@ -32,9 +32,18 @@ val run :
   ?files_per_dir:int ->
   ?file_bytes:int ->
   ?repeats:int ->
+  ?entries:int ->
+  ?depth:int ->
   ?prng_seed:int ->
   Env.t ->
   result list
 (** Populate the tree (unmeasured), then run the four phases in order,
     with a remount before [walk] and before [stat_cold].  Defaults:
-    32 directories × 64 files of 1 KB, 5 warm repeats. *)
+    32 directories × 64 files of 1 KB, 5 warm repeats.
+
+    Two optional namespace-scaling phases (skipped at the default 0):
+    [?entries > 0] adds {b bigdir_cold} — one directory of that many
+    names, cold-stat of a 200-name sample after a remount (the hashed
+    directory index's O(1)-blocks-per-lookup claim); [?depth > 0] adds
+    {b deep_warm} — repeated stat of one file that many directories
+    down (the full-path shortcut's skip-the-walk claim). *)

@@ -353,14 +353,16 @@ module Run (F : Fs_intf.S) = struct
     in
     walk "/"
 
-  let run mk_fs raw_ops =
+  let run_ops mk_fs ops =
     let fs = mk_fs () in
     let oracle = Oracle.create () in
-    List.iteri (fun i raw -> step fs oracle i (decode raw)) raw_ops;
+    List.iteri (fun i op -> step fs oracle i op) ops;
     compare_state "after sequence" fs oracle;
     F.remount fs;
     compare_state "after remount" fs oracle;
     true
+
+  let run mk_fs raw_ops = run_ops mk_fs (List.map decode raw_ops)
 end
 
 module Run_ffs = Run (Ffs)
@@ -420,6 +422,73 @@ let test_churn mk_fs run () =
   in
   ignore (run mk_fs ops)
 
+(* ------------------------------------------------------------------ *)
+(* Directory-size escalation: one directory grows far past the dirindex
+   promotion threshold with churn, syncs, remounts and readdirs along the
+   way, then unlinks all the way back down to an rmdir — the oracle must
+   agree at every step and the full state must be byte-identical before
+   and after a remount.  Runs on both file systems under every write
+   policy; C-FFS uses a low promotion threshold (4 linear pages = 64
+   entries) so the sequence crosses promotion, leaf splits and the
+   full-unlink collapse within the test budget. *)
+
+let escalation_ops =
+  let name i = Printf.sprintf "/d0/n%03d" i in
+  let ops = ref [ Mkdir "/d0" ] in
+  let push op = ops := op :: !ops in
+  for i = 0 to 179 do
+    push (Write (name i, 1 + (i * 37 mod 900), i));
+    (* Churn under the growth: unlink an older name (sometimes one that is
+       already gone — both sides must agree on the failure too). *)
+    if i mod 7 = 3 then push (Unlink (name (i / 2)));
+    if i mod 45 = 44 then push (Readdir "/d0");
+    if i mod 60 = 59 then push Sync;
+    if i mod 90 = 89 then push Remount
+  done;
+  (* All the way back down: every unlink agreed (present or not), then the
+     directory must be empty on both sides. *)
+  for i = 0 to 179 do
+    push (Unlink (name i))
+  done;
+  push (Readdir "/d0");
+  push (Rmdir "/d0");
+  push (Mkdir "/d0");
+  push (Readdir "/d0");
+  List.rev !ops
+
+let escalation_cffs_config =
+  { Cffs.config_default with Cffs.dirindex_threshold = 4 }
+
+let test_escalation_ffs policy () =
+  ignore
+    (Run_ffs.run_ops (fun () -> Ffs.format ~policy (dev ())) escalation_ops)
+
+let test_escalation_cffs policy () =
+  let before = Cffs_obs.Registry.snapshot () in
+  ignore
+    (Run_cffs.run_ops
+       (fun () -> Cffs.format ~config:escalation_cffs_config ~policy (dev ()))
+       escalation_ops);
+  (* The point of the suite is the indexed path: the run must actually
+     have promoted the directory and split leaves. *)
+  let delta = Cffs_obs.Registry.diff (Cffs_obs.Registry.snapshot ()) before in
+  if Cffs_obs.Registry.get_counter delta "dirindex.promotions" = 0 then
+    Alcotest.fail "escalation never promoted the directory";
+  if Cffs_obs.Registry.get_counter delta "dirindex.leaf_splits" = 0 then
+    Alcotest.fail "escalation never split a leaf"
+
+let escalation_tests =
+  List.concat_map
+    (fun policy ->
+      let pname = Cache.policy_name policy in
+      [
+        Alcotest.test_case (Printf.sprintf "ffs/%s escalation" pname) `Quick
+          (test_escalation_ffs policy);
+        Alcotest.test_case (Printf.sprintf "cffs/%s escalation" pname) `Quick
+          (test_escalation_cffs policy);
+      ])
+    policies
+
 let () =
   Alcotest.run "model"
     [
@@ -435,4 +504,5 @@ let () =
                    (dev ()))
                Run_cffs.run);
         ] );
+      ("escalation", escalation_tests);
     ]

@@ -113,8 +113,13 @@ let test_negative_purged_on_create () =
   let before = Registry.snapshot () in
   expect_errno "negative hit" (Some Errno.Enoent) (Cffs.stat fs "/d/f");
   let delta = Registry.diff (Registry.snapshot ()) before in
+  (* The ENOENT may be served by either negative layer: the full-path
+     shortcut (which answers before the dentry cache is consulted) or
+     the per-component dentry cache. *)
   check Alcotest.bool "negative entry served" true
-    (Registry.get_counter delta "namei.negative_hits" > 0);
+    (Registry.get_counter delta "namei.negative_hits"
+     + Registry.get_counter delta "namei.shortcut_negative_hits"
+     > 0);
   (* ...and create must purge it immediately. *)
   ok "create" (Cffs.write_file fs "/d/f" payload);
   ignore (ok "visible" (Cffs.stat fs "/d/f"))
@@ -252,6 +257,79 @@ let test_readdir_plus_matches_stat () =
     mounts
 
 (* ------------------------------------------------------------------ *)
+(* Full-path shortcuts: a repeated resolution is answered without a
+   walk, and any namespace mutation in any ancestor invalidates it
+   (the generation check covers every directory the walk recorded). *)
+
+let test_shortcut_hit_on_repeat () =
+  let fs = mk_fs () in
+  ok "mkdir" (Cffs.mkdir_p fs "/a/b/c");
+  ok "create" (Cffs.write_file fs "/a/b/c/f" payload);
+  ignore (ok "warm" (Cffs.stat fs "/a/b/c/f"));
+  let before = Registry.snapshot () in
+  ignore (ok "warm again" (Cffs.stat fs "/a/b/c/f"));
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  check Alcotest.bool "shortcut hit" true
+    (Registry.get_counter delta "namei.shortcut_hits" > 0);
+  check Alcotest.bool "shortcuts populated" true
+    (Namei.shortcut_count (Cffs.namei fs) > 0)
+
+let test_shortcut_stale_after_ancestor_rename () =
+  (* Renaming ANY ancestor must invalidate the shortcut of every path
+     through it: the warm path resolves the new truth, not the recorded
+     target — which, embedded inode numbers being positional, would not
+     merely be old but a different object. *)
+  let fs = mk_fs () in
+  ok "mkdir" (Cffs.mkdir_p fs "/a/b/c");
+  ok "create" (Cffs.write_file fs "/a/b/c/f" payload);
+  ignore (ok "warm" (Cffs.stat fs "/a/b/c/f"));
+  ignore (ok "warm" (Cffs.stat fs "/a/b/c/f"));
+  ok "rename ancestor" (Cffs.rename_path fs ~src:"/a/b" ~dst:"/a/b2");
+  let before = Registry.snapshot () in
+  expect_errno "old path gone" (Some Errno.Enoent) (Cffs.stat fs "/a/b/c/f");
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  check Alcotest.bool "stale shortcut detected" true
+    (Registry.get_counter delta "namei.shortcut_stale" > 0);
+  check Alcotest.string "content at new path" (Bytes.to_string payload)
+    (Bytes.to_string (ok "read" (Cffs.read_file fs "/a/b2/c/f")));
+  (* Rename back: the shortcut inserted for the old path's first life
+     must not resurface its renumbered target. *)
+  ok "rename back" (Cffs.rename_path fs ~src:"/a/b2" ~dst:"/a/b");
+  check Alcotest.string "content back at old path" (Bytes.to_string payload)
+    (Bytes.to_string (ok "read" (Cffs.read_file fs "/a/b/c/f")));
+  expect_errno "renamed-away path gone" (Some Errno.Enoent)
+    (Cffs.stat fs "/a/b2/c/f")
+
+let test_shortcut_stale_after_top_rename () =
+  (* The generation check is per segment, so the very first component —
+     a directory of the root — invalidates just as deep a path. *)
+  let fs = mk_fs () in
+  ok "mkdir" (Cffs.mkdir_p fs "/top/m/n");
+  ok "create" (Cffs.write_file fs "/top/m/n/f" payload);
+  ignore (ok "warm" (Cffs.stat fs "/top/m/n/f"));
+  ignore (ok "warm" (Cffs.stat fs "/top/m/n/f"));
+  ok "rename top" (Cffs.rename_path fs ~src:"/top" ~dst:"/newtop");
+  expect_errno "old path gone" (Some Errno.Enoent) (Cffs.stat fs "/top/m/n/f");
+  check Alcotest.string "content at new path" (Bytes.to_string payload)
+    (Bytes.to_string (ok "read" (Cffs.read_file fs "/newtop/m/n/f")))
+
+let test_shortcut_negative_purged_on_create () =
+  let fs = mk_fs () in
+  ok "mkdir" (Cffs.mkdir_p fs "/a/b");
+  expect_errno "miss" (Some Errno.Enoent) (Cffs.stat fs "/a/b/f");
+  let before = Registry.snapshot () in
+  expect_errno "negative shortcut" (Some Errno.Enoent) (Cffs.stat fs "/a/b/f");
+  let delta = Registry.diff (Registry.snapshot ()) before in
+  check Alcotest.bool "served by negative shortcut" true
+    (Registry.get_counter delta "namei.shortcut_negative_hits" > 0);
+  (* Create bumps the final directory's generation, so the negative
+     shortcut cannot be served again. *)
+  ok "create" (Cffs.write_file fs "/a/b/f" payload);
+  let st = ok "visible immediately" (Cffs.stat fs "/a/b/f") in
+  check Alcotest.int "fresh size" (Bytes.length payload)
+    st.Cffs_vfs.Fs_intf.st_size
+
+(* ------------------------------------------------------------------ *)
 (* Differential property: a cached mount and an uncached mount agree on
    every observation under random namespace churn. *)
 
@@ -358,6 +436,17 @@ let () =
             test_hardlink_coherence;
           Alcotest.test_case "remount flushes" `Quick test_remount_flushes;
           qcheck_cached_uncached_agree;
+        ] );
+      ( "shortcuts",
+        [
+          Alcotest.test_case "repeat resolution hits" `Quick
+            test_shortcut_hit_on_repeat;
+          Alcotest.test_case "stale after ancestor rename" `Quick
+            test_shortcut_stale_after_ancestor_rename;
+          Alcotest.test_case "stale after top-level rename" `Quick
+            test_shortcut_stale_after_top_rename;
+          Alcotest.test_case "negative purged on create" `Quick
+            test_shortcut_negative_purged_on_create;
         ] );
       ( "bounds",
         [

@@ -279,6 +279,86 @@ let test_trace_config_comparison () =
     (Printf.sprintf "C-FFS faster on the trace (%.2fs vs %.2fs)" cffs base)
     true (cffs < base)
 
+(* ------------------------------------------------------------------ *)
+(* Namespace scaling: the PR 9 acceptance criteria at workload level. *)
+
+module Registry = Cffs_obs.Registry
+
+let counter_delta before name =
+  Registry.get_counter (Registry.diff (Registry.snapshot ()) before) name
+
+(* A cold lookup in a 10^5-entry indexed directory costs at most 4 device
+   read requests: root + table + leaf chain, with the embedded inode
+   riding in the leaf's page and frame group-reads counting once. *)
+let test_bigdir_cold_lookup_bounded () =
+  let entries = 100_000 in
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:32768 in
+  (* Populate behind a generous delayed-writeback cache: the probe below,
+     not the populate, is what's under test. *)
+  let fs = Cffs.format ~policy:Cffs_cache.Cache.Delayed ~cache_blocks:16384 dev in
+  let name i = Printf.sprintf "/big/e%06d" i in
+  Cffs_vfs.Errno.get_ok "mkdir" (Cffs.mkdir fs "/big");
+  for i = 0 to entries - 1 do
+    Cffs_vfs.Errno.get_ok "create" (Cffs.create fs (name i))
+  done;
+  Cffs.sync fs;
+  check Alcotest.bool "directory is indexed" true
+    ((Cffs.index_stats fs).Cffs.idx_dirs > 0);
+  (* Cold probe: remount the same device behind a 512-block cache — far
+     smaller than the directory — and stat a spread sample. *)
+  let fs =
+    match Cffs.mount ~cache_blocks:512 dev with
+    | Some fs -> fs
+    | None -> Alcotest.fail "probe remount failed"
+  in
+  let probes = 200 in
+  let before = Registry.snapshot () in
+  for k = 0 to probes - 1 do
+    let (_ : Fs_intf.stat) =
+      Cffs_vfs.Errno.get_ok "stat" (Cffs.stat fs (name (k * (entries / probes))))
+    in
+    ()
+  done;
+  let reads = counter_delta before "blockdev.reads" in
+  let per = float_of_int reads /. float_of_int probes in
+  if per > 4.0 then
+    Alcotest.failf "cold indexed lookup costs %.2f read requests/name (> 4)" per
+
+(* Warm stats down a depth-8 path resolve through the full-path shortcut
+   cache at least 95% of the time. *)
+let test_deep_path_shortcut_hits () =
+  let dev = Blockdev.memory ~block_size:4096 ~nblocks:8192 in
+  let fs = Cffs.format dev in
+  let rec build path d =
+    if d > 8 then path
+    else begin
+      let p = Printf.sprintf "%s/w%d" path d in
+      Cffs_vfs.Errno.get_ok "mkdir" (Cffs.mkdir fs p);
+      build p (d + 1)
+    end
+  in
+  let dirp = build "" 1 in
+  let leaves = List.init 20 (fun i -> Printf.sprintf "%s/leaf%02d" dirp i) in
+  List.iter (fun p -> Cffs_vfs.Errno.get_ok "create" (Cffs.create fs p)) leaves;
+  let stat p =
+    let (_ : Fs_intf.stat) = Cffs_vfs.Errno.get_ok "stat" (Cffs.stat fs p) in
+    ()
+  in
+  (* One warming sweep fills the shortcut cache... *)
+  List.iter stat leaves;
+  (* ...then the measured window is warm traffic. *)
+  let before = Registry.snapshot () in
+  for _ = 1 to 10 do
+    List.iter stat leaves
+  done;
+  let hits = counter_delta before "namei.shortcut_hits" in
+  let misses = counter_delta before "namei.shortcut_misses" in
+  let ratio = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  check Alcotest.bool "shortcut traffic observed" true (hits > 0);
+  if ratio < 0.95 then
+    Alcotest.failf "warm deep-path stats: %.1f%% shortcut hits (< 95%%)"
+      (100.0 *. ratio)
+
 let () =
   Alcotest.run "cffs_workload"
     [
@@ -321,5 +401,12 @@ let () =
         [
           Alcotest.test_case "rates positive" `Quick test_largefile_rates;
           Alcotest.test_case "grouping neutral" `Quick test_largefile_grouping_neutral;
+        ] );
+      ( "dirindex",
+        [
+          Alcotest.test_case "cold lookup in 10^5-entry dir <= 4 reads" `Quick
+            test_bigdir_cold_lookup_bounded;
+          Alcotest.test_case "warm deep-path stats >= 95% shortcut hits" `Quick
+            test_deep_path_shortcut_hits;
         ] );
     ]
