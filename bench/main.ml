@@ -248,6 +248,44 @@ let () =
          latency_breakdown, timeseries)";
       exit 1
     end;
+    (* The multi-volume section: the A9 spindle-scaling sweep with
+       per-spindle counters must always be present, and every
+       multi-spindle point must actually carry its per-spindle
+       breakdown. *)
+    let volume_ok =
+      match doc with
+      | Cffs_obs.Json.Obj fields -> (
+          match List.assoc_opt "volume" fields with
+          | Some (Cffs_obs.Json.Obj section) -> (
+              List.mem_assoc "small_read_speedup" section
+              &&
+              match List.assoc_opt "points" section with
+              | Some (Cffs_obs.Json.List points) ->
+                  points <> []
+                  && List.for_all
+                       (fun p ->
+                         match p with
+                         | Cffs_obs.Json.Obj pf -> (
+                             match
+                               ( List.assoc_opt "drives" pf,
+                                 List.assoc_opt "spindles" pf )
+                             with
+                             | ( Some (Cffs_obs.Json.Int d),
+                                 Some (Cffs_obs.Json.List sp) ) ->
+                                 if d > 1 then List.length sp = d else sp = []
+                             | _ -> false)
+                         | _ -> false)
+                       points
+              | _ -> false)
+          | _ -> false)
+      | _ -> false
+    in
+    if not volume_ok then begin
+      prerr_endline
+        "telemetry document is missing the volume section (A9 scaling \
+         points with per-spindle counters)";
+      exit 1
+    end;
     print_endline (Cffs_obs.Json.to_string_pretty doc)
   end
   else begin

@@ -10,6 +10,8 @@ module Errno = Cffs_vfs.Errno
 module Fs_intf = Cffs_vfs.Fs_intf
 module Report = Cffs_fsck.Report
 module Experiments = Cffs_harness.Experiments
+module Setup = Cffs_harness.Setup
+module Volume = Cffs_volume.Volume
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -23,8 +25,7 @@ let packed_of = function
   | M_cffs fs -> Fs_intf.Packed ((module Cffs), fs)
   | M_ffs fs -> Fs_intf.Packed ((module Ffs), fs)
 
-let mount_image ?policy path =
-  let dev = Blockdev.load_file path in
+let mount_dev ?policy path dev =
   match Cffs.mount ?policy dev with
   | Some fs -> Ok (M_cffs fs, dev)
   | None -> begin
@@ -32,6 +33,37 @@ let mount_image ?policy path =
       | Some fs -> Ok (M_ffs fs, dev)
       | None -> Error (`Msg (path ^ ": no C-FFS or FFS superblock found"))
     end
+
+let mount_image ?policy path = mount_dev ?policy path (Blockdev.load_file path)
+
+(* --drives/--vol-layout on image commands re-host the flat image's blocks
+   onto a fresh N-spindle memory volume, so the command runs through the
+   composite device (per-spindle fault isolation included).  The image file
+   stays an ordinary flat image: [Blockdev.save_file] on a composite walks
+   the extent table back into logical order. *)
+let mount_volume ?policy ~drives ~vol_layout path =
+  let flat = Blockdev.load_file path in
+  match mount_dev ?policy path flat with
+  | Error _ as e -> e
+  | Ok (m, dev) ->
+      if drives <= 1 then Ok (m, dev, None)
+      else begin
+        let meta_per_chunk =
+          Setup.meta_per_chunk
+            (match m with
+            | M_ffs _ -> Setup.Ffs_baseline
+            | M_cffs _ -> Setup.Cffs_fs Cffs.config_default)
+        in
+        let v =
+          Volume.create_memory ~stripe_unit:Setup.stripe_unit ~meta_per_chunk
+            ~block_size:(Blockdev.block_size flat)
+            ~nblocks:(Blockdev.nblocks flat) ~drives ~layout:vol_layout ()
+        in
+        Blockdev.restore v.Volume.dev (Blockdev.snapshot flat);
+        match mount_dev ?policy path v.Volume.dev with
+        | Error _ as e -> e
+        | Ok (m, dev) -> Ok (m, dev, Some v)
+      end
 
 let with_image ?policy path f =
   match mount_image ?policy path with
@@ -84,16 +116,69 @@ let policy_opt_arg =
   Arg.(value & opt (some policy_conv) None
        & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
 
+(* The multi-volume flags, spelled the same on every command that takes
+   them (mkfs, stats, mcbench, statbench, layout, scrub). *)
+let vol_layout_conv =
+  let parse s =
+    match Volume.layout_of_name s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown volume layout %S; one of: striped, meta-split" s))
+  in
+  let print ppf l = Format.pp_print_string ppf (Volume.layout_name l) in
+  Arg.conv (parse, print)
+
+let drives_arg =
+  Arg.(value & opt int 1
+       & info [ "drives" ] ~docv:"N"
+           ~doc:
+             "Simulated spindles in the volume (1 = one plain drive, no \
+              volume layer).")
+
+let vol_layout_arg =
+  Arg.(value & opt vol_layout_conv Volume.Striped
+       & info [ "vol-layout" ] ~docv:"LAYOUT"
+           ~doc:
+             "Multi-drive layout: striped (group-aligned striping: each \
+              cylinder group's frames stay on one spindle) or meta-split \
+              (spindle 0 dedicated to metadata, CFS-style).  Ignored unless \
+              --drives exceeds 1.")
+
 (* ------------------------------------------------------------------ *)
 (* mkfs *)
 
 let mkfs_cmd =
   let run image size_mb fs_kind no_embed no_grouping group_kb integrity spares
-      policy =
+      policy drives vol_layout =
     let nblocks = size_mb * 256 in
-    let dev = Blockdev.memory ~block_size:4096 ~nblocks in
+    let drives = max 1 drives in
+    let layout = if drives <= 1 then Volume.Single else vol_layout in
+    (* Formatting through the composite exercises the volume mapping; the
+       layout choice is then recorded (descriptively) in the superblock. *)
+    let dev =
+      if drives <= 1 then Blockdev.memory ~block_size:4096 ~nblocks
+      else begin
+        let meta_per_chunk =
+          Setup.meta_per_chunk
+            (if fs_kind = "ffs" then Setup.Ffs_baseline
+             else Setup.Cffs_fs Cffs.config_default)
+        in
+        (Volume.create_memory ~stripe_unit:Setup.stripe_unit ~meta_per_chunk
+           ~block_size:4096 ~nblocks ~drives ~layout ())
+          .Volume.dev
+      end
+    in
+    let vol_drives = drives
+    and vol_layout = Volume.layout_code layout
+    and vol_stripe_unit = if drives > 1 then Setup.stripe_unit else 0 in
     (match fs_kind with
-    | "ffs" -> ignore (Ffs.format ?policy ~integrity ~spare_blocks:spares dev)
+    | "ffs" ->
+        ignore
+          (Ffs.format ?policy ~integrity ~spare_blocks:spares ~vol_drives
+             ~vol_layout ~vol_stripe_unit dev)
     | "cffs" ->
         let config =
           {
@@ -103,13 +188,19 @@ let mkfs_cmd =
             group_blocks = max 2 (group_kb / 4);
           }
         in
-        ignore (Cffs.format ?policy ~config ~integrity ~spare_blocks:spares dev)
+        ignore
+          (Cffs.format ?policy ~config ~integrity ~spare_blocks:spares
+             ~vol_drives ~vol_layout ~vol_stripe_unit dev)
     | other -> failwith ("unknown file system: " ^ other));
     Blockdev.save_file dev image;
-    Printf.printf "created %s: %d MB %s%s\n" image size_mb
+    Printf.printf "created %s: %d MB %s%s%s\n" image size_mb
       (if fs_kind = "ffs" then "FFS" else "C-FFS")
       (if integrity then
          Printf.sprintf " (integrity: checksums + %d spare blocks)" spares
+       else "")
+      (if drives > 1 then
+         Printf.sprintf " on %d spindles (%s)" drives
+           (Volume.layout_name layout)
        else "");
     0
   in
@@ -144,7 +235,7 @@ let mkfs_cmd =
     (Cmd.info "mkfs" ~doc:"Create a fresh file-system image.")
     Term.(
       const run $ image $ size $ kind $ no_embed $ no_grouping $ group_kb
-      $ integrity $ spares $ policy_opt_arg)
+      $ integrity $ spares $ policy_opt_arg $ drives_arg $ vol_layout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fsck *)
@@ -181,17 +272,17 @@ let fsck_cmd =
 (* scrub *)
 
 let scrub_cmd =
-  let run image json =
-    match mount_image image with
+  let run image json drives vol_layout =
+    match mount_volume ~drives ~vol_layout image with
     | Error (`Msg m) ->
         prerr_endline m;
         1
-    | Ok (M_ffs _, _) ->
+    | Ok (M_ffs _, _, _) ->
         prerr_endline
           (image
          ^ ": FFS images have no metadata replicas to scrub; run fsck instead");
         1
-    | Ok (M_cffs fs, dev) -> (
+    | Ok (M_cffs fs, dev, _) -> (
         match Cffs_fsck.Scrub.run_to_completion fs with
         | None ->
             prerr_endline
@@ -218,8 +309,10 @@ let scrub_cmd =
           against its checksum, restore damaged metadata from replicas, \
           refresh damaged replicas from primaries, remap sticky bad sectors, \
           and repair the remap table's on-disk copies.  Exits non-zero if any \
-          block was unrecoverable.")
-    Term.(const run $ image $ json)
+          block was unrecoverable.  --drives re-hosts the image on an \
+          N-spindle volume and scrubs through the composite device; the \
+          saved image stays an ordinary flat file.")
+    Term.(const run $ image $ json $ drives_arg $ vol_layout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Namespace commands *)
@@ -528,18 +621,87 @@ let dump_cmd =
 (* layout: the grouping introspector on a mounted image *)
 
 let layout_cmd =
-  let run image json =
-    with_image image (fun _ m ->
+  (* With --drives the introspection runs through the composite device and
+     the report gains the volume map: which spindle owns each chunk, and
+     the per-spindle block totals. *)
+  let vol_map v =
+    let caps =
+      Array.map Blockdev.nblocks (Blockdev.subdevices v.Volume.dev)
+    in
+    let extents =
+      Volume.plan v.Volume.layout ~drives:v.Volume.drives
+        ~stripe_unit:v.Volume.stripe_unit
+        ~meta_per_chunk:v.Volume.meta_per_chunk ~caps
+    in
+    let blocks = Array.make v.Volume.drives 0 in
+    let exts = Array.make v.Volume.drives 0 in
+    List.iter
+      (fun (_, len, sub, _) ->
+        blocks.(sub) <- blocks.(sub) + len;
+        exts.(sub) <- exts.(sub) + 1)
+      extents;
+    (blocks, exts)
+  in
+  let vol_map_json v =
+    let blocks, exts = vol_map v in
+    Cffs_obs.Json.Obj
+      [
+        ("drives", Cffs_obs.Json.Int v.Volume.drives);
+        ("layout", Cffs_obs.Json.String (Volume.layout_name v.Volume.layout));
+        ("stripe_unit", Cffs_obs.Json.Int v.Volume.stripe_unit);
+        ("meta_per_chunk", Cffs_obs.Json.Int v.Volume.meta_per_chunk);
+        ( "spindles",
+          Cffs_obs.Json.List
+            (List.init v.Volume.drives (fun i ->
+                 Cffs_obs.Json.Obj
+                   [
+                     ("spindle", Cffs_obs.Json.Int i);
+                     ("extents", Cffs_obs.Json.Int exts.(i));
+                     ("blocks", Cffs_obs.Json.Int blocks.(i));
+                   ])) );
+      ]
+  in
+  let run image json drives vol_layout =
+    match mount_volume ~drives ~vol_layout image with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        1
+    | Ok (m, _dev, vol) ->
         let report =
           match m with
           | M_cffs fs -> Cffs_fsck.Layout.cffs_report fs
           | M_ffs fs -> Cffs_fsck.Layout.ffs_report fs
         in
-        if json then
-          print_endline
-            (Cffs_obs.Json.to_string_pretty (Cffs_fsck.Layout.to_json report))
-        else Format.printf "%a@." Cffs_fsck.Layout.pp report;
-        Ok false)
+        let rjson = Cffs_fsck.Layout.to_json report in
+        (if json then
+           print_endline
+             (Cffs_obs.Json.to_string_pretty
+                (match vol with
+                | None -> rjson
+                | Some v ->
+                    Cffs_obs.Json.Obj
+                      [ ("layout", rjson); ("volume", vol_map_json v) ]))
+         else begin
+           Format.printf "%a@." Cffs_fsck.Layout.pp report;
+           match vol with
+           | None -> ()
+           | Some v ->
+               let blocks, exts = vol_map v in
+               Printf.printf
+                 "\nvolume: %d spindles, %s layout, %d-block stripe unit\n"
+                 v.Volume.drives
+                 (Volume.layout_name v.Volume.layout)
+                 v.Volume.stripe_unit;
+               Array.iteri
+                 (fun i b ->
+                   Printf.printf "  spindle %d: %4d extents, %8d blocks%s\n" i
+                     exts.(i) b
+                     (if v.Volume.layout = Volume.Meta_split && i = 0 then
+                        "  (metadata)"
+                      else ""))
+                 blocks
+         end);
+        0
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
@@ -549,8 +711,9 @@ let layout_cmd =
        ~doc:
          "Analyse an image's allocation layout: small-file group residency, \
           frame occupancy, embedded-vs-external inode split, and free-space \
-          fragmentation.")
-    Term.(const run $ image_pos $ json)
+          fragmentation.  --drives re-hosts the image on an N-spindle volume \
+          and adds the per-spindle chunk map.")
+    Term.(const run $ image_pos $ json $ drives_arg $ vol_layout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* regroup: the crash-safe online regrouper on a mounted image *)
@@ -601,7 +764,7 @@ let regroup_cmd =
 let experiment_names =
   [ "table1"; "fig2"; "table2"; "fig4"; "fig6"; "fig7"; "fig8"; "fig8decay"; "table3";
     "softupdates"; "dirsize"; "large"; "breakdown"; "sched"; "groupsize"; "readahead";
-    "concurrency"; "namei"; "journal"; "regroup"; "dirindex"; "all" ]
+    "concurrency"; "namei"; "journal"; "regroup"; "dirindex"; "volume"; "all" ]
 
 let experiment_cmd =
   let run name quick seed =
@@ -640,6 +803,7 @@ let experiment_cmd =
     | "journal" -> p (Experiments.ablation_journal scale)
     | "regroup" -> p (Experiments.ablation_regroup scale)
     | "dirindex" -> p (Experiments.ablation_dirindex scale)
+    | "volume" -> p (Experiments.ablation_volume scale)
     | "all" -> Experiments.run_all scale
     | other ->
         Printf.eprintf "unknown experiment %S; one of: %s\n" other
@@ -676,12 +840,26 @@ let disks_cmd =
 (* Observability *)
 
 let stats_cmd =
-  let run json nfiles policy =
+  let run json nfiles policy drives vol_layout =
+    (* --drives N widens (or narrows) the document's A9 volume sweep to the
+       powers of two up to N; --vol-layout picks the layout the sweep
+       points use (the contrast point then shows the other layout). *)
+    let vol_drives =
+      let rec up acc d = if d > max 1 drives then List.rev acc else up (d :: acc) (2 * d) in
+      match up [] 1 with [ _ ] -> None | ds -> Some ds
+    in
     if json then
       print_endline
         (Cffs_obs.Json.to_string_pretty
-           (Cffs_harness.Telemetry.document ~nfiles ~policy ()))
-    else Cffs_harness.Telemetry.print_human ~nfiles ~policy ();
+           (Cffs_harness.Telemetry.document ~nfiles ~policy ?vol_drives
+              ~vol_layout ()))
+    else begin
+      Cffs_harness.Telemetry.print_human ~nfiles ~policy ();
+      if drives > 1 then begin
+        Cffs_util.Tablefmt.print (Experiments.ablation_volume Experiments.quick);
+        print_newline ()
+      end
+    end;
     0
   in
   let json =
@@ -697,8 +875,9 @@ let stats_cmd =
        ~doc:
          "Run the small-file benchmark on conventional vs full C-FFS and \
           report the observability metrics (per-op latency percentiles, disk \
-          access counts, seek/rotation/transfer split, C-FFS counters).")
-    Term.(const run $ json $ nfiles $ policy)
+          access counts, seek/rotation/transfer split, C-FFS counters).  \
+          --drives widens the A9 multi-spindle sweep in the volume section.")
+    Term.(const run $ json $ nfiles $ policy $ drives_arg $ vol_layout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: span capture on the simulated testbed *)
@@ -817,7 +996,7 @@ let statbench_cmd =
   let module Statbench = Cffs_workload.Statbench in
   let module Namei = Cffs_namei.Namei in
   let run json dirs files_per_dir repeats cache_blocks no_namei capacity policy
-      entries depth =
+      entries depth drives vol_layout =
     let scale =
       {
         Experiments.quick with
@@ -830,7 +1009,8 @@ let statbench_cmd =
     if json then begin
       print_endline
         (Cffs_obs.Json.to_string_pretty
-           (Cffs_harness.Telemetry.statbench_document ~scale ~entries ~depth ()));
+           (Cffs_harness.Telemetry.statbench_document ~scale ~entries ~depth
+              ~drives ~vol_layout ()));
       0
     end
     else begin
@@ -842,7 +1022,8 @@ let statbench_cmd =
       List.iter
         (fun fs ->
           let results, delta =
-            Experiments.run_statbench ?policy ~entries ~depth scale ~fs ~namei
+            Experiments.run_statbench ?policy ~entries ~depth ~drives
+              ~vol_layout scale ~fs ~namei
           in
           let t =
             Cffs_util.Tablefmt.create
@@ -947,10 +1128,12 @@ let statbench_cmd =
           (readdir_plus) and repeated per-file stats on FFS and C-FFS, \
           exercising the dentry/attribute caches.  --json runs both file \
           systems with the caches off and on and emits the cffs-telemetry-v2 \
-          document with the derived warm-stat speedup.")
+          document with the derived warm-stat speedup.  --drives puts every \
+          instance on an N-spindle volume.")
     Term.(
       const run $ json $ dirs $ files_per_dir $ repeats $ cache_blocks
-      $ no_namei $ capacity $ policy_opt_arg $ entries $ depth)
+      $ no_namei $ capacity $ policy_opt_arg $ entries $ depth $ drives_arg
+      $ vol_layout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-client benchmark *)
@@ -959,7 +1142,7 @@ let mcbench_cmd =
   let module Mclient = Cffs_workload.Mclient in
   let module Scheduler = Cffs_disk.Scheduler in
   let run json qdepth sched_str streams files file_bytes large_mb no_coalesce
-      config_str policy seed =
+      config_str policy seed drives vol_layout =
     let sched =
       match String.lowercase_ascii sched_str with
       | "fcfs" | "fifo" -> Some Scheduler.Fcfs
@@ -997,7 +1180,7 @@ let mcbench_cmd =
         in
         let inst =
           Cffs_harness.Setup.instantiate
-            (Cffs_harness.Setup.standard ?policy
+            (Cffs_harness.Setup.standard ?policy ~drives ~vol_layout
                (Cffs_harness.Setup.Cffs_fs config))
         in
         let r =
@@ -1005,15 +1188,38 @@ let mcbench_cmd =
             ~cache:(Cffs_harness.Setup.cache_of inst)
             inst.Cffs_harness.Setup.env
         in
+        let spindles =
+          Volume.spindles inst.Cffs_harness.Setup.env.Cffs_workload.Env.dev
+        in
         if json then
-          print_endline (Cffs_obs.Json.to_string_pretty (Mclient.to_json r))
+          print_endline
+            (Cffs_obs.Json.to_string_pretty
+               (if drives <= 1 then Mclient.to_json r
+                else
+                  (* wrap only in multi-spindle mode so the single-drive
+                     shape stays what scripts already parse *)
+                  Cffs_obs.Json.Obj
+                    [
+                      ("drives", Cffs_obs.Json.Int drives);
+                      ( "vol_layout",
+                        Cffs_obs.Json.String (Volume.layout_name vol_layout) );
+                      ("result", Mclient.to_json r);
+                      ( "spindles",
+                        Cffs_obs.Json.List
+                          (List.map Cffs_harness.Telemetry.spindle_json
+                             spindles) );
+                    ]))
         else begin
           Printf.printf
             "%s — %d small-file streams (%d x %d B) + %d MB sequential, \
-             qdepth %d, %s%s\n\n"
+             qdepth %d, %s%s%s\n\n"
             r.Mclient.label streams files file_bytes large_mb qdepth
             (Mclient.sched_name sched)
-            (if not no_coalesce then " + coalescing" else "");
+            (if not no_coalesce then " + coalescing" else "")
+            (if drives > 1 then
+               Printf.sprintf ", %d spindles (%s)" drives
+                 (Volume.layout_name vol_layout)
+             else "");
           List.iter
             (fun (s : Mclient.stream_result) ->
               Printf.printf "  %-6s %6d ops %10d bytes %10.1f KB/s\n"
@@ -1033,7 +1239,19 @@ let mcbench_cmd =
              dispatches (%d coalesced)\n"
             (f2 r.Mclient.qdepth_mean) (f0 r.Mclient.qdepth_max)
             (f2 r.Mclient.wait_mean_ms) (f2 r.Mclient.wait_p95_ms)
-            r.Mclient.dispatches r.Mclient.coalesced
+            r.Mclient.dispatches r.Mclient.coalesced;
+          if spindles <> [] then begin
+            print_newline ();
+            List.iter
+              (fun (s : Volume.spindle) ->
+                Printf.printf
+                  "  spindle %d: %6d reads %6d writes, busy %8.3f s (seek \
+                   %.3f, rotation %.3f, transfer %.3f)\n"
+                  s.Volume.spindle s.Volume.s_reads s.Volume.s_writes
+                  s.Volume.s_busy_s s.Volume.s_seek_s s.Volume.s_rotation_s
+                  s.Volume.s_transfer_s)
+              spindles
+          end
         end;
         0
   in
@@ -1089,10 +1307,13 @@ let mcbench_cmd =
          "Multi-client benchmark on the simulated testbed: N small-file \
           streams and one large sequential stream interleaved over the \
           shared tagged device queue, reporting per-stream and aggregate \
-          throughput plus queue-depth and service-time statistics.")
+          throughput plus queue-depth and service-time statistics.  \
+          --drives N spreads the instance over N spindles (per-spindle \
+          tagged queues; the A9 scaling experiment).")
     Term.(
       const run $ json $ qdepth $ sched $ streams $ files $ file_bytes
-      $ large_mb $ no_coalesce $ config $ policy_opt_arg $ seed)
+      $ large_mb $ no_coalesce $ config $ policy_opt_arg $ seed $ drives_arg
+      $ vol_layout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Crash consistency *)

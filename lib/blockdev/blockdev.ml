@@ -10,19 +10,50 @@ let m_write_sectors = Cffs_obs.Registry.counter "blockdev.write_sectors"
 let m_io_errors = Cffs_obs.Registry.counter "blockdev.io_errors"
 let m_host = Cffs_obs.Registry.fcounter "blockdev.host_s"
 
-type backend =
-  | Memory of { mutable clock : float; stats : Request.Stats.s }
-  | Timed of { drive : Drive.t; policy : Scheduler.policy; host_overhead : float }
-
 type outcome = Proceed | Torn of int | Fail of Io_error.cause
 type injector = Io_error.op -> blk:int -> nblocks:int -> outcome
 type write_observer = blk:int -> data:bytes -> torn:int option -> unit
 
+type backend =
+  | Memory of { mutable clock : float; stats : Request.Stats.s }
+  | Timed of { drive : Drive.t; policy : Scheduler.policy; host_overhead : float }
+  | Multi of multi
+
+(* A composite device: logical blocks mapped onto N subdevices (simulated
+   spindles) by an extent table.  Each subdevice keeps its own Ioqueue, so
+   scheduling, tagged queuing, coalescing and fault isolation apply
+   per-spindle; the composite clock is the {e maximum} of the sub clocks
+   (spindles service their queues concurrently), which is what makes
+   multi-drain throughput scale.  Requests are split at extent boundaries
+   into per-spindle fragments and reassembled on completion. *)
+and multi = {
+  subs : t array;
+  extents : extent array;  (* sorted by lstart; tiles [0, nblocks) *)
+  sub_extents : extent array array;  (* per subdevice, sorted by pstart *)
+  frags : (int * int, frag) Hashtbl.t;  (* (sub index, sub tag) -> fragment *)
+  parents : (int, parent) Hashtbl.t;  (* composite tag -> assembly state *)
+  mutable next_tag : int;
+}
+
+and extent = { lstart : int; xlen : int; xsub : int; pstart : int }
+
+and frag = { fr_parent : int; fr_off : int (* blocks into the parent *); fr_len : int; fr_lblk : int }
+
+and parent = {
+  p_tag : int;
+  p_op : Io_error.op;
+  p_blk : int;
+  p_n : int;
+  p_data : bytes;  (* reads: assembly buffer; writes: empty *)
+  mutable p_left : int;  (* fragments outstanding *)
+  mutable p_err : Io_error.t option;  (* first fragment failure, logical blocks *)
+}
+
 (* Payload carried through the tagged queue: reads want data back, writes
    carry the data in. *)
-type qpayload = Pread | Pwrite of bytes
+and qpayload = Pread | Pwrite of bytes
 
-type cqe = {
+and cqe = {
   cq_tag : Ioqueue.tag;
   cq_op : Io_error.op;
   cq_blk : int;
@@ -31,7 +62,7 @@ type cqe = {
       (* [Ok data] for reads, [Ok Bytes.empty] for writes *)
 }
 
-type t = {
+and t = {
   backend : backend;
   store : (int, bytes) Hashtbl.t;
   block_size : int;
@@ -51,13 +82,58 @@ type t = {
   mutable tags_enabled : bool;
 }
 
-type image = {
+type flat_image = {
   img_blocks : (int, bytes) Hashtbl.t;
   img_tags : (int, int) Hashtbl.t;
   img_tags_enabled : bool;
 }
 
+type image =
+  | Iflat of flat_image
+  | Imulti of { parts : image array; iextents : extent array }
+
 let sectors_per_block t = t.block_size / Cffs_util.Units.sector_size
+
+(* --- extent mapping (composite devices) ---------------------------------- *)
+
+(* The extent holding logical block [lblk], plus the offset into it.
+   Extents tile the logical space, so the search always lands. *)
+let locate (m : multi) lblk =
+  let a = m.extents in
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if a.(mid).lstart <= lblk then lo := mid else hi := mid - 1
+  done;
+  let e = a.(!lo) in
+  (e, lblk - e.lstart)
+
+(* Split the logical range [blk, blk+n) into per-spindle fragments
+   [(sub, pstart, off_blocks, len)] in logical order. *)
+let frags_of m blk n =
+  let rec go acc blk n off =
+    if n = 0 then List.rev acc
+    else
+      let e, eoff = locate m blk in
+      let run = min n (e.xlen - eoff) in
+      go ((e.xsub, e.pstart + eoff, off, run) :: acc) (blk + run) (n - run)
+        (off + run)
+  in
+  go [] blk n 0
+
+(* The logical runs a {e physical} range on subdevice [i] covers:
+   [(off_blocks_into_request, logical_start, len)] in physical order.
+   Physical blocks outside every extent yield no run. *)
+let runs_of m i pblk n =
+  let a = m.sub_extents.(i) in
+  let pend = pblk + n in
+  let out = ref [] in
+  Array.iter
+    (fun e ->
+      let s = max pblk e.pstart and e' = min pend (e.pstart + e.xlen) in
+      if s < e' then out := (s - pblk, e.lstart + (s - e.pstart), e' - s) :: !out)
+    a;
+  List.rev !out
 
 let of_drive ?(policy = Scheduler.Clook) ?(host_overhead = 0.5e-3) drive ~block_size =
   if block_size <= 0 || block_size mod Cffs_util.Units.sector_size <> 0 then
@@ -95,11 +171,38 @@ let block_size t = t.block_size
 let nblocks t = t.nblocks
 let set_injector t inj = t.injector <- inj
 let set_write_observer t obs = t.write_observer <- obs
-let enable_tags t = t.tags_enabled <- true
+
+let subdevices t =
+  match t.backend with Multi m -> Array.copy m.subs | _ -> [||]
+
+(* Tags live with the media, so on a composite they live in the
+   subdevices' tables, keyed by physical block; the composite translates. *)
+let rec enable_tags t =
+  t.tags_enabled <- true;
+  match t.backend with
+  | Multi m -> Array.iter enable_tags m.subs
+  | _ -> ()
+
 let tags_enabled t = t.tags_enabled
-let tag t blk = Hashtbl.find_opt t.tags blk
-let set_tag t blk v = Hashtbl.replace t.tags blk v
-let tag_count t = Hashtbl.length t.tags
+
+let rec tag t blk =
+  match t.backend with
+  | Multi m ->
+      let e, off = locate m blk in
+      tag m.subs.(e.xsub) (e.pstart + off)
+  | _ -> Hashtbl.find_opt t.tags blk
+
+let rec set_tag t blk v =
+  match t.backend with
+  | Multi m ->
+      let e, off = locate m blk in
+      set_tag m.subs.(e.xsub) (e.pstart + off) v
+  | _ -> Hashtbl.replace t.tags blk v
+
+let rec tag_count t =
+  match t.backend with
+  | Multi m -> Array.fold_left (fun acc s -> acc + tag_count s) 0 m.subs
+  | _ -> Hashtbl.length t.tags
 
 let check_range t op blk n =
   if blk < 0 || n <= 0 || blk + n > t.nblocks then
@@ -189,9 +292,16 @@ let time_request t (req : Request.t) =
       Cffs_obs.Registry.fadd m_host host_overhead;
       Drive.advance drive host_overhead;
       ignore (Drive.service drive req)
+  | Multi _ -> assert false (* composites never service requests themselves *)
 
-let dev_now t =
-  match t.backend with Memory m -> m.clock | Timed { drive; _ } -> Drive.now drive
+let rec dev_now t =
+  match t.backend with
+  | Memory m -> m.clock
+  | Timed { drive; _ } -> Drive.now drive
+  | Multi m ->
+      (* the composite clock: spindles run concurrently, so elapsed time is
+         the maximum of the sub clocks, not their sum *)
+      Array.fold_left (fun acc s -> Float.max acc (dev_now s)) 0.0 m.subs
 
 let err op ~blk ~nblocks cause =
   { Io_error.op; blk; nblocks; cause; range = None }
@@ -280,12 +390,12 @@ let submit_write t blk data =
 
 let geom_of t =
   match t.backend with
-  | Memory _ -> None
+  | Memory _ | Multi _ -> None
   | Timed { drive; _ } -> Some (Drive.geometry drive)
 
 let head_cyl t =
   match t.backend with
-  | Memory _ -> 0
+  | Memory _ | Multi _ -> 0
   | Timed { drive; _ } -> Drive.current_cyl drive
 
 let push_cqe t c = t.completed <- c :: t.completed
@@ -452,23 +562,6 @@ let drain_tag t tag =
   in
   loop ()
 
-let read t blk n =
-  check_range t Io_error.Read blk n;
-  let tag = submit_read t blk n in
-  match (drain_tag t tag).cq_result with
-  | Ok data -> data
-  | Error e -> raise (Io_error.E e)
-
-let write t blk data =
-  let len = Bytes.length data in
-  if len mod t.block_size <> 0 then invalid_arg "Blockdev.write: partial block";
-  let n = len / t.block_size in
-  check_range t Io_error.Write blk n;
-  let tag = submit_write t blk data in
-  match (drain_tag t tag).cq_result with
-  | Ok _ -> ()
-  | Error e -> raise (Io_error.E e)
-
 (* Issue a set of contiguous units, each submitted as one tagged write and
    drained through the queue under the mount's scheduling policy.  Each
    request persists (and notifies the write observer) as it is serviced; on
@@ -532,6 +625,385 @@ let issue_units t units =
         (fun c -> match c.cq_result with Error e -> raise_first e | Ok _ -> ())
         ours
 
+(* --- multi-volume fan-out ------------------------------------------------- *)
+
+(* A dependent (synchronous) operation on the composite is a barrier: every
+   spindle must have reached the composite clock before new work is charged,
+   so idle spindles account their idle time.  Batched drains then let each
+   spindle advance independently — overlapping service is what produces the
+   near-linear scaling. *)
+let sub_advance s dt =
+  match s.backend with
+  | Memory mm -> mm.clock <- mm.clock +. dt
+  | Timed { drive; _ } -> Drive.advance drive dt
+  | Multi _ -> assert false
+
+let m_sync m =
+  let now = Array.fold_left (fun acc s -> Float.max acc (dev_now s)) 0.0 m.subs in
+  Array.iter
+    (fun s ->
+      let d = now -. dev_now s in
+      if d > 0.0 then sub_advance s d)
+    m.subs
+
+(* The per-spindle hooks installed at composite creation: a subdevice
+   consults/notifies the {e composite's} injector and observer with logical
+   addresses, so Faultdev and Integrity attach to the composite unchanged
+   (their journals and fault sets live in logical space, and a materialized
+   crash image is an ordinary flat device).  A physical request that spans
+   extents (possible only through sub-queue coalescing) is consulted one
+   logical run at a time: the first non-[Proceed] outcome wins, with torn
+   sector counts rebased to the physical request. *)
+let sub_injector comp m i : injector =
+ fun op ~blk ~nblocks ->
+  match comp.injector with
+  | None -> Proceed
+  | Some f ->
+      let spb = sectors_per_block comp in
+      let rec go sectors = function
+        | [] -> Proceed
+        | (_, lblk, len) :: rest -> (
+            match f op ~blk:lblk ~nblocks:len with
+            | Proceed -> go (sectors + (len * spb)) rest
+            | Torn k -> Torn (sectors + k)
+            | Fail c -> Fail c)
+      in
+      go 0 (runs_of m i blk nblocks)
+
+let sub_observer comp m i : write_observer =
+ fun ~blk ~data ~torn ->
+  match comp.write_observer with
+  | None -> ()
+  | Some f ->
+      let bs = comp.block_size in
+      let spb = sectors_per_block comp in
+      let n = Bytes.length data / bs in
+      List.iter
+        (fun (off, lblk, len) ->
+          let part = Bytes.sub data (off * bs) (len * bs) in
+          let torn =
+            match torn with
+            | None -> None
+            | Some k -> Some (max 0 (min (len * spb) (k - (off * spb))))
+          in
+          f ~blk:lblk ~data:part ~torn)
+        (runs_of m i blk n)
+
+(* Submit one logical request as per-spindle fragments.  All sub clocks are
+   synced first so queue-wait accounting starts from the composite now. *)
+let m_submit t m op blk n data =
+  check_range t op blk n;
+  m_sync m;
+  let tag = m.next_tag in
+  m.next_tag <- tag + 1;
+  let frl = frags_of m blk n in
+  let p =
+    {
+      p_tag = tag;
+      p_op = op;
+      p_blk = blk;
+      p_n = n;
+      p_data =
+        (match data with
+        | None -> Bytes.create (n * t.block_size)
+        | Some _ -> Bytes.empty);
+      p_left = List.length frl;
+      p_err = None;
+    }
+  in
+  Hashtbl.replace m.parents tag p;
+  List.iter
+    (fun (si, pblk, off, len) ->
+      let sub = m.subs.(si) in
+      let stag =
+        match data with
+        | None -> submit_read sub pblk len
+        | Some d ->
+            submit_write sub pblk
+              (Bytes.sub d (off * t.block_size) (len * t.block_size))
+      in
+      Hashtbl.replace m.frags (si, stag)
+        { fr_parent = tag; fr_off = off; fr_len = len; fr_lblk = blk + off })
+    frl;
+  tag
+
+(* Fold one spindle's completions into their parents; a parent whose last
+   fragment lands becomes a composite completion.  Fragment errors are
+   rebased to the fragment's logical range. *)
+let m_absorb t m si cqes =
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt m.frags (si, c.cq_tag) with
+      | None -> () (* direct submission to a subdevice; not ours *)
+      | Some fr -> (
+          Hashtbl.remove m.frags (si, c.cq_tag);
+          match Hashtbl.find_opt m.parents fr.fr_parent with
+          | None -> ()
+          | Some p ->
+              (match c.cq_result with
+              | Ok data ->
+                  if p.p_op = Io_error.Read && Bytes.length data > 0 then
+                    Bytes.blit data 0 p.p_data (fr.fr_off * t.block_size)
+                      (fr.fr_len * t.block_size)
+              | Error e ->
+                  if p.p_err = None then
+                    p.p_err <-
+                      Some
+                        {
+                          e with
+                          Io_error.blk = fr.fr_lblk;
+                          nblocks = fr.fr_len;
+                          range = None;
+                        });
+              p.p_left <- p.p_left - 1;
+              if p.p_left = 0 then begin
+                Hashtbl.remove m.parents p.p_tag;
+                let result =
+                  match p.p_err with
+                  | Some e -> Error e
+                  | None ->
+                      Ok (if p.p_op = Io_error.Read then p.p_data else Bytes.empty)
+                in
+                push_cqe t
+                  {
+                    cq_tag = p.p_tag;
+                    cq_op = p.p_op;
+                    cq_blk = p.p_blk;
+                    cq_nblocks = p.p_n;
+                    cq_result = result;
+                  }
+              end))
+    cqes
+
+let m_drain t m =
+  m_sync m;
+  Array.iteri (fun i s -> m_absorb t m i (drain s)) m.subs;
+  let out = List.rev t.completed in
+  t.completed <- [];
+  out
+
+(* Drain only the spindles holding fragments of [tag]; other spindles'
+   pending requests stay queued (and their clocks stay put). *)
+let m_drain_tag t m tag =
+  let find () =
+    match List.find_opt (fun c -> c.cq_tag = tag) t.completed with
+    | None -> None
+    | Some c ->
+        t.completed <- List.filter (fun x -> x != c) t.completed;
+        Some c
+  in
+  match find () with
+  | Some c -> c
+  | None ->
+      if not (Hashtbl.mem m.parents tag) then
+        invalid_arg "Blockdev.drain_tag: unknown tag";
+      m_sync m;
+      let needed = Array.make (Array.length m.subs) false in
+      Hashtbl.iter
+        (fun (si, _) fr -> if fr.fr_parent = tag then needed.(si) <- true)
+        m.frags;
+      Array.iteri
+        (fun i need -> if need then m_absorb t m i (drain m.subs.(i)))
+        needed;
+      (match find () with
+      | Some c -> c
+      | None -> invalid_arg "Blockdev.drain_tag: unknown tag")
+
+let m_reset t m =
+  let n = Array.fold_left (fun acc s -> acc + reset_queue s) 0 m.subs in
+  (* subdevices report their torn-down requests as completions on the next
+     drain; absorb them now so the composite's next drain reports the
+     failed parents, matching the single-device contract *)
+  Array.iteri (fun i s -> m_absorb t m i (drain s)) m.subs;
+  n
+
+(* Batched synchronous writes: every unit's fragments are submitted before
+   any spindle drains, so spindles service their shares concurrently.  A
+   power cut stops every spindle at the same global request boundary (the
+   injector goes dead for all of them); other faults stay confined to the
+   spindle that hit them.  The first failed unit's error is raised after
+   the drain, in submission order. *)
+let m_issue_units t m units =
+  match units with
+  | [] -> ()
+  | _ ->
+      List.iter
+        (fun (start, blocks) ->
+          check_range t Io_error.Write start (List.length blocks))
+        units;
+      let order = ref [] in
+      List.iter
+        (fun (start, blocks) ->
+          let n = List.length blocks in
+          let data = Bytes.create (n * t.block_size) in
+          List.iteri
+            (fun i b -> Bytes.blit b 0 data (i * t.block_size) t.block_size)
+            blocks;
+          order := m_submit t m Io_error.Write start n (Some data) :: !order)
+        units;
+      let mine = Hashtbl.create 16 in
+      List.iter (fun tag -> Hashtbl.replace mine tag ()) !order;
+      m_sync m;
+      Array.iteri (fun i s -> m_absorb t m i (drain s)) m.subs;
+      let ours, others =
+        List.partition (fun c -> Hashtbl.mem mine c.cq_tag) (List.rev t.completed)
+      in
+      t.completed <- List.rev others;
+      let failed =
+        List.filter_map
+          (fun tag ->
+            List.find_map
+              (fun c ->
+                if c.cq_tag = tag then
+                  match c.cq_result with Error e -> Some e | Ok _ -> None
+                else None)
+              ours)
+          (List.rev !order)
+      in
+      (match failed with e :: _ -> raise (Io_error.E e) | [] -> ())
+
+let multi ~subs ~extents =
+  if Array.length subs = 0 then invalid_arg "Blockdev.multi: no subdevices";
+  let block_size = subs.(0).block_size in
+  Array.iter
+    (fun s ->
+      if s.block_size <> block_size then
+        invalid_arg "Blockdev.multi: subdevice block sizes differ";
+      match s.backend with
+      | Multi _ -> invalid_arg "Blockdev.multi: nested composite"
+      | _ -> ())
+    subs;
+  let exts =
+    List.map (fun (lstart, xlen, xsub, pstart) -> { lstart; xlen; xsub; pstart })
+      extents
+    |> List.sort (fun a b -> compare a.lstart b.lstart)
+  in
+  let nblocks =
+    List.fold_left
+      (fun expect e ->
+        if e.lstart <> expect || e.xlen <= 0 then
+          invalid_arg "Blockdev.multi: extents must tile the logical space";
+        if e.xsub < 0 || e.xsub >= Array.length subs then
+          invalid_arg "Blockdev.multi: bad subdevice index";
+        if e.pstart < 0 || e.pstart + e.xlen > subs.(e.xsub).nblocks then
+          invalid_arg "Blockdev.multi: extent exceeds its subdevice";
+        expect + e.xlen)
+      0 exts
+  in
+  if nblocks = 0 then invalid_arg "Blockdev.multi: no extents";
+  let sub_extents =
+    Array.init (Array.length subs) (fun i ->
+        let mine =
+          List.filter (fun e -> e.xsub = i) exts
+          |> List.sort (fun a b -> compare a.pstart b.pstart)
+        in
+        ignore
+          (List.fold_left
+             (fun last e ->
+               if e.pstart < last then
+                 invalid_arg "Blockdev.multi: overlapping extents on a subdevice";
+               e.pstart + e.xlen)
+             0 mine);
+        Array.of_list mine)
+  in
+  let m =
+    {
+      subs;
+      extents = Array.of_list exts;
+      sub_extents;
+      frags = Hashtbl.create 64;
+      parents = Hashtbl.create 32;
+      next_tag = 1;
+    }
+  in
+  let t =
+    {
+      backend = Multi m;
+      store = Hashtbl.create 1;
+      block_size;
+      nblocks;
+      queue = Ioqueue.create ();
+      completed = [];
+      injector = None;
+      write_observer = None;
+      tags = Hashtbl.create 1;
+      tags_enabled = false;
+    }
+  in
+  Array.iteri
+    (fun i s ->
+      set_injector s (Some (sub_injector t m i));
+      set_write_observer s (Some (sub_observer t m i)))
+    subs;
+  t
+
+(* --- public pipeline operations, composite-aware -------------------------- *)
+
+let submit_read t blk n =
+  match t.backend with
+  | Multi m -> m_submit t m Io_error.Read blk n None
+  | _ -> submit_read t blk n
+
+let submit_write t blk data =
+  match t.backend with
+  | Multi m ->
+      let len = Bytes.length data in
+      if len = 0 || len mod t.block_size <> 0 then
+        invalid_arg "Blockdev.submit_write: partial block";
+      m_submit t m Io_error.Write blk (len / t.block_size) (Some data)
+  | _ -> submit_write t blk data
+
+let drain t = match t.backend with Multi m -> m_drain t m | _ -> drain t
+
+let drain_tag t tag =
+  match t.backend with Multi m -> m_drain_tag t m tag | _ -> drain_tag t tag
+
+let reset_queue t =
+  match t.backend with Multi m -> m_reset t m | _ -> reset_queue t
+
+let pending t =
+  match t.backend with
+  | Multi m -> Array.fold_left (fun acc s -> acc + pending s) 0 m.subs
+  | _ -> pending t
+
+let set_queue t ?depth ?policy ?coalesce () =
+  match t.backend with
+  | Multi m -> Array.iter (fun s -> set_queue s ?depth ?policy ?coalesce ()) m.subs
+  | _ -> set_queue t ?depth ?policy ?coalesce ()
+
+let queue_depth t =
+  match t.backend with Multi m -> queue_depth m.subs.(0) | _ -> queue_depth t
+
+let queue_policy t =
+  match t.backend with Multi m -> queue_policy m.subs.(0) | _ -> queue_policy t
+
+let queue_coalesce t =
+  match t.backend with
+  | Multi m -> queue_coalesce m.subs.(0)
+  | _ -> queue_coalesce t
+
+let issue_units t units =
+  match t.backend with
+  | Multi m -> m_issue_units t m units
+  | _ -> issue_units t units
+
+let read t blk n =
+  check_range t Io_error.Read blk n;
+  let tag = submit_read t blk n in
+  match (drain_tag t tag).cq_result with
+  | Ok data -> data
+  | Error e -> raise (Io_error.E e)
+
+let write t blk data =
+  let len = Bytes.length data in
+  if len mod t.block_size <> 0 then invalid_arg "Blockdev.write: partial block";
+  let n = len / t.block_size in
+  check_range t Io_error.Write blk n;
+  let tag = submit_write t blk data in
+  match (drain_tag t tag).cq_result with
+  | Ok _ -> ()
+  | Error e -> raise (Io_error.E e)
+
 let check_one_block t (blk, data) =
   if Bytes.length data <> t.block_size then
     invalid_arg "Blockdev.write_batch: data must be one block";
@@ -548,56 +1020,178 @@ let write_batch_units t units =
     units;
   issue_units t units
 
-let store_raw t blk data ~keep_sectors =
+let rec store_raw t blk data ~keep_sectors =
   let len = Bytes.length data in
   if len mod t.block_size <> 0 then invalid_arg "Blockdev.store_raw: partial block";
-  check_range t Io_error.Write blk (len / t.block_size);
-  persist_request t blk data ~keep_sectors
+  let n = len / t.block_size in
+  check_range t Io_error.Write blk n;
+  match t.backend with
+  | Multi m ->
+      let spb = sectors_per_block t in
+      List.iter
+        (fun (si, pblk, off, flen) ->
+          let keep =
+            match keep_sectors with
+            | None -> None
+            | Some k -> Some (max 0 (min (flen * spb) (k - (off * spb))))
+          in
+          store_raw m.subs.(si) pblk
+            (Bytes.sub data (off * t.block_size) (flen * t.block_size))
+            ~keep_sectors:keep)
+        (frags_of m blk n)
+  | _ -> persist_request t blk data ~keep_sectors
 
-let now t =
-  match t.backend with Memory m -> m.clock | Timed { drive; _ } -> Drive.now drive
+let now t = dev_now t
 
 let advance t dt =
   match t.backend with
   | Memory m -> m.clock <- m.clock +. dt
   | Timed { drive; _ } -> Drive.advance drive dt
+  | Multi m ->
+      (* think time passes for every spindle: sync to the composite clock,
+         then move the whole array forward together *)
+      let target = dev_now t +. dt in
+      Array.iter
+        (fun s ->
+          let d = target -. dev_now s in
+          if d > 0.0 then sub_advance s d)
+        m.subs
 
-let stats t =
+let rec stats t =
   match t.backend with
   | Memory m -> m.stats
   | Timed { drive; _ } -> Drive.stats drive
+  | Multi m ->
+      let open Request.Stats in
+      let acc = create () in
+      Array.iter
+        (fun sub ->
+          let s = stats sub in
+          acc.reads <- acc.reads + s.reads;
+          acc.writes <- acc.writes + s.writes;
+          acc.read_sectors <- acc.read_sectors + s.read_sectors;
+          acc.write_sectors <- acc.write_sectors + s.write_sectors;
+          acc.cache_hits <- acc.cache_hits + s.cache_hits;
+          acc.busy_time <- acc.busy_time +. s.busy_time;
+          acc.seek_time <- acc.seek_time +. s.seek_time;
+          acc.rotation_time <- acc.rotation_time +. s.rotation_time;
+          acc.transfer_time <- acc.transfer_time +. s.transfer_time;
+          acc.overhead_time <- acc.overhead_time +. s.overhead_time;
+          acc.cachehit_time <- acc.cachehit_time +. s.cachehit_time)
+        m.subs;
+      acc
 
-let drive t = match t.backend with Memory _ -> None | Timed { drive; _ } -> Some drive
+let drive t =
+  match t.backend with
+  | Memory _ | Multi _ -> None
+  | Timed { drive; _ } -> Some drive
 
-let flush_device_cache t =
-  match t.backend with Memory _ -> () | Timed { drive; _ } -> Drive.flush_cache drive
+let rec flush_device_cache t =
+  match t.backend with
+  | Memory _ -> ()
+  | Timed { drive; _ } -> Drive.flush_cache drive
+  | Multi m -> Array.iter flush_device_cache m.subs
 
-let snapshot t =
-  let blocks = Hashtbl.create (Hashtbl.length t.store) in
-  Hashtbl.iter (fun k v -> Hashtbl.replace blocks k (Bytes.copy v)) t.store;
-  {
-    img_blocks = blocks;
-    img_tags = Hashtbl.copy t.tags;
-    img_tags_enabled = t.tags_enabled;
-  }
+let rec snapshot t =
+  match t.backend with
+  | Multi m -> Imulti { parts = Array.map snapshot m.subs; iextents = m.extents }
+  | _ ->
+      let blocks = Hashtbl.create (Hashtbl.length t.store) in
+      Hashtbl.iter (fun k v -> Hashtbl.replace blocks k (Bytes.copy v)) t.store;
+      Iflat
+        {
+          img_blocks = blocks;
+          img_tags = Hashtbl.copy t.tags;
+          img_tags_enabled = t.tags_enabled;
+        }
 
-let restore t img =
-  Hashtbl.reset t.store;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.store k (Bytes.copy v)) img.img_blocks;
-  Hashtbl.reset t.tags;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.tags k v) img.img_tags;
-  t.tags_enabled <- t.tags_enabled || img.img_tags_enabled
+(* Flatten a composite image into logical space: the reverse extent walk
+   makes a crash image materialized from a multi-volume run an ordinary
+   flat device image, which is what mount/fsck consume. *)
+let rec flat_of_image img =
+  match img with
+  | Iflat f -> f
+  | Imulti { parts; iextents } ->
+      let blocks = Hashtbl.create 4096 in
+      let tags = Hashtbl.create 64 in
+      let enabled = ref false in
+      Array.iteri
+        (fun i part ->
+          let pf = flat_of_image part in
+          if pf.img_tags_enabled then enabled := true;
+          Array.iter
+            (fun e ->
+              if e.xsub = i then
+                for off = 0 to e.xlen - 1 do
+                  (match Hashtbl.find_opt pf.img_blocks (e.pstart + off) with
+                  | Some b -> Hashtbl.replace blocks (e.lstart + off) (Bytes.copy b)
+                  | None -> ());
+                  match Hashtbl.find_opt pf.img_tags (e.pstart + off) with
+                  | Some v -> Hashtbl.replace tags (e.lstart + off) v
+                  | None -> ()
+                done)
+            iextents)
+        parts;
+      { img_blocks = blocks; img_tags = tags; img_tags_enabled = !enabled }
 
-let blocks_written img = Hashtbl.length img.img_blocks
+let rec restore t img =
+  match (t.backend, img) with
+  | Multi m, Imulti { parts; _ } when Array.length parts = Array.length m.subs ->
+      Array.iteri (fun i p -> restore m.subs.(i) p) parts;
+      t.tags_enabled <-
+        t.tags_enabled || Array.exists (fun s -> s.tags_enabled) m.subs
+  | Multi m, _ ->
+      (* a flat (or differently shaped) image onto a composite: split each
+         logical block to its spindle *)
+      let f = flat_of_image img in
+      Array.iter
+        (fun s ->
+          Hashtbl.reset s.store;
+          Hashtbl.reset s.tags)
+        m.subs;
+      Hashtbl.iter
+        (fun blk b ->
+          let e, off = locate m blk in
+          store_block m.subs.(e.xsub) (e.pstart + off) (Bytes.copy b) 0)
+        f.img_blocks;
+      Hashtbl.iter
+        (fun blk v ->
+          let e, off = locate m blk in
+          Hashtbl.replace m.subs.(e.xsub).tags (e.pstart + off) v)
+        f.img_tags;
+      if f.img_tags_enabled then enable_tags t
+  | _, _ ->
+      let f = flat_of_image img in
+      Hashtbl.reset t.store;
+      Hashtbl.iter (fun k v -> Hashtbl.replace t.store k (Bytes.copy v)) f.img_blocks;
+      Hashtbl.reset t.tags;
+      Hashtbl.iter (fun k v -> Hashtbl.replace t.tags k v) f.img_tags;
+      t.tags_enabled <- t.tags_enabled || f.img_tags_enabled
+
+let rec blocks_written img =
+  match img with
+  | Iflat f -> Hashtbl.length f.img_blocks
+  | Imulti { parts; _ } ->
+      Array.fold_left (fun acc p -> acc + blocks_written p) 0 parts
 
 let write_torn t blk data ~keep_sectors =
   check_range t Io_error.Write blk 1;
   if Bytes.length data <> t.block_size then invalid_arg "Blockdev.write_torn";
-  persist_request t blk data ~keep_sectors:(Some keep_sectors)
+  match t.backend with
+  | Multi m ->
+      let e, off = locate m blk in
+      persist_request m.subs.(e.xsub) (e.pstart + off) data
+        ~keep_sectors:(Some keep_sectors)
+  | _ -> persist_request t blk data ~keep_sectors:(Some keep_sectors)
 
 let corrupt_block t blk prng =
   check_range t Io_error.Write blk 1;
-  Hashtbl.replace t.store blk (Cffs_util.Prng.bytes prng t.block_size)
+  match t.backend with
+  | Multi m ->
+      let e, off = locate m blk in
+      Hashtbl.replace m.subs.(e.xsub).store (e.pstart + off)
+        (Cffs_util.Prng.bytes prng t.block_size)
+  | _ -> Hashtbl.replace t.store blk (Cffs_util.Prng.bytes prng t.block_size)
 
 let save_file t path =
   let oc = open_out_bin path in
@@ -605,11 +1199,25 @@ let save_file t path =
      (* Fix the file's extent first so unwritten tails stay sparse. *)
      seek_out oc ((t.nblocks * t.block_size) - 1);
      output_char oc '\000';
-     Hashtbl.iter
-       (fun blk data ->
-         seek_out oc (blk * t.block_size);
-         output_bytes oc data)
-       t.store;
+     (match t.backend with
+     | Multi m ->
+         Array.iter
+           (fun e ->
+             let sub = m.subs.(e.xsub) in
+             for off = 0 to e.xlen - 1 do
+               match Hashtbl.find_opt sub.store (e.pstart + off) with
+               | Some data ->
+                   seek_out oc ((e.lstart + off) * t.block_size);
+                   output_bytes oc data
+               | None -> ()
+             done)
+           m.extents
+     | _ ->
+         Hashtbl.iter
+           (fun blk data ->
+             seek_out oc (blk * t.block_size);
+             output_bytes oc data)
+           t.store);
      close_out oc
    with e ->
      close_out_noerr oc;

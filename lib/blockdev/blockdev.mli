@@ -39,6 +39,37 @@ val of_drive :
 val memory : block_size:int -> nblocks:int -> t
 (** Untimed in-memory device. *)
 
+val multi : subs:t array -> extents:(int * int * int * int) list -> t
+(** [multi ~subs ~extents] builds a composite device presenting one logical
+    block space mapped onto the given subdevices (simulated spindles) by an
+    extent table.  Each extent is [(lstart, len, sub, pstart)]: logical
+    blocks [lstart, lstart+len) live at physical blocks [pstart, pstart+len)
+    of subdevice [sub].  Extents must tile the logical space contiguously
+    from 0 and must not overlap on any subdevice; subdevices must share one
+    block size and must not themselves be composites.
+
+    Each subdevice keeps its own tagged queue, so scheduling, coalescing and
+    fault isolation apply per-spindle; the composite clock is the {e maximum}
+    of the sub clocks (spindles service their queues concurrently), and a
+    synchronous operation on the composite first syncs every spindle to that
+    clock — so batched drains overlap across spindles while dependent
+    operations serialize.  Requests are split at extent boundaries and
+    reassembled on completion; a fragment failure fails only its parent.
+
+    The constructor installs translating fault hooks on every subdevice:
+    {!set_injector} / {!set_write_observer} on the composite see {e logical}
+    addresses regardless of which spindle serviced the request, so
+    {!Faultdev} and {!Integrity} attach to a composite unchanged, and a
+    materialized crash image is an ordinary flat device image (power cuts
+    stop every spindle at one global request boundary — the injector goes
+    dead for all of them).  Do not install hooks directly on a composite's
+    subdevices. *)
+
+val subdevices : t -> t array
+(** The composite's subdevices in extent order ([[||]] for plain devices) —
+    for per-spindle telemetry and tests; submitting I/O directly to a
+    subdevice that also serves a composite is not supported. *)
+
 val block_size : t -> int
 val nblocks : t -> int
 

@@ -110,6 +110,7 @@ let m_readahead_reads = Obs.counter "cffs.readahead_reads"
 let m_group_fills = Obs.counter "cffs.group_fills"
 let m_frag_splits = Obs.counter "cffs.frag_splits"
 let m_idx_promotions = Obs.counter "dirindex.promotions"
+let m_idx_demotions = Obs.counter "dirindex.demotions"
 let m_idx_splits = Obs.counter "dirindex.leaf_splits"
 let m_idx_doublings = Obs.counter "dirindex.doublings"
 let m_idx_chains = Obs.counter "dirindex.overflow_chains"
@@ -579,7 +580,16 @@ let file_block_read t ~ino inode lblk =
       | Error _ as e -> e
       | Ok None -> Ok None
       | Ok (Some p) ->
-          (match if group_read_applies t inode lblk then frame_of_block t p else None with
+          (* The frame fetch is a miss-path amplification: when the block
+             itself is already resident (group read of a sibling, prefetch)
+             there is no device read to amplify, so don't synchronously
+             fault in the rest of the frame. *)
+          (match
+             if group_read_applies t inode lblk
+                && not (Cache.resident_block t.cache p)
+             then frame_of_block t p
+             else None
+           with
           | Some frame ->
               if Cache.read_group t.cache frame t.sb.Csb.group_blocks then
                 Obs.incr m_group_reads
@@ -1258,6 +1268,80 @@ let idx_promote t ~dir (dinode : Inode.t) =
   Obs.incr m_idx_promotions;
   Ok ()
 
+(* Demote an indexed directory back to linear cdir pages — the promotion
+   in reverse, for a directory that emptied out under unlink churn
+   instead of waiting for rmdir to reclaim its index.  Crash ordering
+   mirrors [idx_promote]: the fresh linear pages are written and ordered
+   before the inode's home block, the switch is one sector-atomic inode
+   write (which also clears [flag_dirindex]), and the index's root,
+   table and leaf blocks are freed only after the switch — a crash
+   before it leaks unreferenced blocks (fsck repair reclaims them),
+   never entries. *)
+let idx_demote t ~dir (dinode : Inode.t) =
+  let* root_pb = idx_root t dinode in
+  let chunks = ref [] in
+  let old_meta = ref [] in
+  idx_iter t dinode
+    ~entry:(fun ~pblock b e ->
+      idx_drop_renumbered t b ~pblock e;
+      chunks :=
+        Bytes.sub b (Cdir.chunk_off e.Cdir.chunk) Cdir.chunk_bytes :: !chunks)
+    ~meta:(fun p -> old_meta := p :: !old_meta)
+    ~bad:(fun _ -> ());
+  let chunks = List.rev !chunks in
+  let nblocks = max 1 ((List.length chunks + cpb t - 1) / cpb t) in
+  if nblocks > Inode.n_direct then
+    (* Can't happen below the demotion watermark; refuse rather than
+       build a linear directory needing indirect blocks. *)
+    Ok ()
+  else begin
+    let home = inode_home_block t dir in
+    let order_before_home p =
+      match home with
+      | Some h -> Cache.order t.cache ~first:p ~second:h
+      | None -> ()
+    in
+    let rec write_pages lblk rest acc =
+      if lblk >= nblocks then Ok (List.rev acc)
+      else begin
+        let* p = alloc_grouped t ~dir_ino:dir ~dinode in
+        let b = Bytes.make (bs t) '\000' in
+        Cdir.init_block b;
+        let rec place i = function
+          | c :: more when i < cpb t ->
+              Bytes.blit c 0 b (Cdir.chunk_off i) Cdir.chunk_bytes;
+              place (i + 1) more
+          | more -> more
+        in
+        let rest = place 0 rest in
+        Cache.write t.cache ~kind:`Meta p b;
+        order_before_home p;
+        write_pages (lblk + 1) rest ((lblk, p) :: acc)
+      end
+    in
+    let* pages = write_pages 0 chunks [] in
+    (* The switch: one inode record, one sector-atomic write. *)
+    drop_logical_range t ~ino:dir ~nblocks:(dir_nblocks t dinode);
+    for i = 0 to Inode.n_direct - 1 do
+      dinode.Inode.direct.(i) <- 0
+    done;
+    List.iter (fun (lblk, p) -> dinode.Inode.direct.(lblk) <- p) pages;
+    dinode.Inode.indirect <- 0;
+    dinode.Inode.dindirect <- 0;
+    dinode.Inode.size <- nblocks * bs t;
+    dinode.Inode.flags <- dinode.Inode.flags land lnot flag_dirindex;
+    dinode.Inode.mtime <- mtime_now t;
+    let* () = write_inode t dir dinode ~kind:`Meta in
+    List.iter (fun p -> free_block t p) (root_pb :: !old_meta);
+    List.iter
+      (fun (lblk, p) -> Cache.set_logical t.cache p ~ino:dir ~lblk)
+      pages;
+    (* Every embedded entry was renumbered with its move. *)
+    Cffs_namei.Namei.flush t.namei;
+    Obs.incr m_idx_demotions;
+    Ok ()
+  end
+
 let dir_find t ~dir dinode name =
   if dir_indexed t dinode then begin
     let* found = idx_find t dinode name in
@@ -1414,6 +1498,24 @@ let dir_entries t ~dir dinode =
 let dir_live_entries t ~dir dinode =
   let* entries = dir_entries t ~dir dinode in
   Ok (List.length entries)
+
+(* Unlink hook: demotion is lazy — only an unlink that leaves its leaf
+   page empty pays for the full live-entry count, and only a count at or
+   below half the promotion threshold triggers the rewrite (hysteresis:
+   re-promotion needs the directory to fill the full threshold of linear
+   blocks again, so churn around the boundary cannot flap). *)
+let idx_maybe_demote t ~dir dinode ~leaf =
+  let thr = t.sb.Csb.dirindex_threshold in
+  if
+    (not (dir_indexed t dinode))
+    || thr <= 0
+    || Cdir.fold leaf ~init:false ~f:(fun _ _ -> true)
+  then Ok ()
+  else begin
+    let* live = dir_live_entries t ~dir dinode in
+    if live > cpb t * max 1 (thr / 2) then Ok ()
+    else idx_demote t ~dir dinode
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Index introspection (fsck, layout, tests). *)
@@ -1620,7 +1722,7 @@ let remove t ~dir name ~rmdir =
         end
       in
       Hashtbl.remove t.parents f.f_ino;
-      Ok ()
+      idx_maybe_demote t ~dir dinode ~leaf:b
 
 (* Externalize an embedded inode (needed before a second link can exist):
    move it to an inode-file slot and rewrite its directory entry as a
@@ -2266,7 +2368,8 @@ let regroup_abandon t plan =
 
 let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks = 4096)
     ?(integrity = false) ?(spare_blocks = 64)
-    ?(namei = Cffs_namei.Namei.config_default) dev =
+    ?(namei = Cffs_namei.Namei.config_default) ?(vol_drives = 1)
+    ?(vol_layout = 0) ?(vol_stripe_unit = 0) dev =
   let block_size = Blockdev.block_size dev in
   let ig = if integrity then Some (Integrity.format ~spare_blocks dev) else None in
   let usable =
@@ -2282,11 +2385,12 @@ let format ?(cg_size = 2048) ?(config = config_default) ?policy ?(cache_blocks =
   in
   let nblocks = match jr with Some j -> Journal.fs_blocks j | None -> usable in
   let sb =
-    Csb.mk ~block_size ~nblocks ~cg_size ~group_blocks:config.group_blocks
+    Csb.mk ~vol_drives ~vol_layout ~vol_stripe_unit ~block_size ~nblocks
+      ~cg_size ~group_blocks:config.group_blocks
       ~embed_inodes:config.embed_inodes ~grouping:config.grouping
       ~group_file_blocks:config.group_file_blocks
       ~readahead_blocks:config.readahead_blocks
-      ~dirindex_threshold:config.dirindex_threshold
+      ~dirindex_threshold:config.dirindex_threshold ()
   in
   let cache = Cache.create ?policy dev ~capacity_blocks:cache_blocks in
   Cache.set_integrity cache ig;

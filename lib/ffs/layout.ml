@@ -9,11 +9,15 @@ type sb = {
   inodes_per_cg : int;
   itable_blocks : int;
   root_ino : int;
+  vol_drives : int;
+  vol_layout : int;
+  vol_stripe_unit : int;
 }
 
 let magic = 0x46465331 (* "FFS1" *)
 
-let mk_sb ~block_size ~nblocks ~cg_size ~inodes_per_cg =
+let mk_sb ?(vol_drives = 1) ?(vol_layout = 0) ?(vol_stripe_unit = 0)
+    ~block_size ~nblocks ~cg_size ~inodes_per_cg () =
   let ipb = block_size / Inode.size_bytes in
   if inodes_per_cg mod ipb <> 0 then
     invalid_arg "Layout.mk_sb: inodes_per_cg must fill whole blocks";
@@ -25,7 +29,18 @@ let mk_sb ~block_size ~nblocks ~cg_size ~inodes_per_cg =
     invalid_arg "Layout.mk_sb: bitmaps do not fit the header block";
   let cg_count = (nblocks - 1) / cg_size in
   if cg_count < 1 then invalid_arg "Layout.mk_sb: device too small";
-  { block_size; nblocks; cg_count; cg_size; inodes_per_cg; itable_blocks; root_ino = 2 }
+  {
+    block_size;
+    nblocks;
+    cg_count;
+    cg_size;
+    inodes_per_cg;
+    itable_blocks;
+    root_ino = 2;
+    vol_drives = max 1 vol_drives;
+    vol_layout;
+    vol_stripe_unit;
+  }
 
 let encode_sb sb b =
   Codec.set_u32 b 0 magic;
@@ -35,7 +50,10 @@ let encode_sb sb b =
   Codec.set_u32 b 20 sb.cg_size;
   Codec.set_u32 b 24 sb.inodes_per_cg;
   Codec.set_u32 b 28 sb.itable_blocks;
-  Codec.set_u32 b 32 sb.root_ino
+  Codec.set_u32 b 32 sb.root_ino;
+  Codec.set_u32 b 36 sb.vol_drives;
+  Codec.set_u32 b 40 sb.vol_layout;
+  Codec.set_u32 b 44 sb.vol_stripe_unit
 
 let decode_sb b =
   if Codec.get_u32 b 0 <> magic then None
@@ -49,6 +67,11 @@ let decode_sb b =
         inodes_per_cg = Codec.get_u32 b 24;
         itable_blocks = Codec.get_u32 b 28;
         root_ino = Codec.get_u32 b 32;
+        (* descriptive mkfs-time provenance; old and flattened crash
+           images decode as a single drive *)
+        vol_drives = max 1 (Codec.get_u32 b 36);
+        vol_layout = Codec.get_u32 b 40;
+        vol_stripe_unit = Codec.get_u32 b 44;
       }
     in
     if sb.block_size <= 0 || sb.cg_size <= 0 || sb.cg_count <= 0 then None else Some sb

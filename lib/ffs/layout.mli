@@ -22,13 +22,31 @@ type sb = {
   inodes_per_cg : int;
   itable_blocks : int;  (** inode-table blocks per group *)
   root_ino : int;
+  vol_drives : int;
+      (** spindles the volume was formatted across (descriptive: mount
+          never reconstructs drives from it; 1 for plain devices and for
+          flattened crash images) *)
+  vol_layout : int;  (** volume layout code of the mkfs-time layout *)
+  vol_stripe_unit : int;  (** blocks per stripe chunk (0 when single) *)
 }
 
 val magic : int
 
-val mk_sb : block_size:int -> nblocks:int -> cg_size:int -> inodes_per_cg:int -> sb
+val mk_sb :
+  ?vol_drives:int ->
+  ?vol_layout:int ->
+  ?vol_stripe_unit:int ->
+  block_size:int ->
+  nblocks:int ->
+  cg_size:int ->
+  inodes_per_cg:int ->
+  unit ->
+  sb
 (** Derives group count and table sizes.  Raises [Invalid_argument] on
-    unusable parameters (e.g. a group too small for its metadata). *)
+    unusable parameters (e.g. a group too small for its metadata).
+    [?vol_drives] / [?vol_layout] / [?vol_stripe_unit] (defaults 1/0/0)
+    record the mkfs-time multi-volume shape — descriptive provenance
+    only. *)
 
 val encode_sb : sb -> bytes -> unit
 val decode_sb : bytes -> sb option

@@ -6,6 +6,7 @@ module Request = Cffs_disk.Request
 module Scheduler = Cffs_disk.Scheduler
 module Cache = Cffs_cache.Cache
 module Blockdev = Cffs_blockdev.Blockdev
+module Volume = Cffs_volume.Volume
 module Env = Cffs_workload.Env
 module Smallfile = Cffs_workload.Smallfile
 module Appbench = Cffs_workload.Appbench
@@ -715,11 +716,14 @@ let ablation_readahead scale =
    arrival-ordered service of a queueless disk; a deep C-LOOK window with
    write coalescing lets the device sort and merge across clients. *)
 
-let run_mclient ?(config = Cffs.config_ffs_like) scale ~qdepth ~sched ~coalesce =
+let run_mclient ?(config = Cffs.config_ffs_like) ?(drives = 1)
+    ?(vol_layout = Volume.Striped) scale ~qdepth ~sched ~coalesce =
   let params =
     { scale.mclient with Mclient.qdepth; sched; coalesce }
   in
-  let inst = Setup.instantiate (Setup.standard (Setup.Cffs_fs config)) in
+  let inst =
+    Setup.instantiate (Setup.standard ~drives ~vol_layout (Setup.Cffs_fs config))
+  in
   Mclient.run ~params ~cache:(Setup.cache_of inst) inst.Setup.env
 
 let concurrency_points =
@@ -779,6 +783,135 @@ let ablation_concurrency scale =
       ("C-FFS (none)", Cffs.config_ffs_like);
       ("C-FFS (EI+EG)", Cffs.config_default);
     ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* A9: multi-volume scaling (our extension).  The multi-client read
+   phase maps every stream's files to physical runs and submits each
+   round through one composite prefetch; with group-aligned striping
+   the streams' directories — and therefore their group frames — sit in
+   different cylinder groups, i.e. on different spindles, so one round
+   keeps every drive's queue busy at once and the drains overlap.  On
+   one spindle the same round serializes.  The meta-split point sends
+   group headers (and, for FFS, inode tables) to a dedicated spindle,
+   CFS-style, which helps metadata-heavy phases rather than grouped
+   data reads — it is the contrast, not the headline. *)
+
+type vol_point = {
+  vp_drives : int;
+  vp_layout : Volume.layout;
+  vp_result : Mclient.result;
+  vp_spindles : Volume.spindle list;
+}
+
+type volume_scaling = {
+  vol_points : vol_point list;
+  vol_meta_split : vol_point option;
+  vol_speedup : float;
+}
+
+let volume_point ?(config = Cffs.config_default) ?(qdepth = 16) scale ~drives
+    ~layout =
+  let inst =
+    Setup.instantiate
+      (Setup.standard ~drives ~vol_layout:layout (Setup.Cffs_fs config))
+  in
+  (* The A9 stream shape: at least as many client streams as the widest
+     sweep point has spindles (so every drive owns whole directories),
+     no large stream (its single extent lives in one cylinder group —
+     one spindle — and would serialize the phase), and files of exactly
+     the grouping threshold (8 blocks): the largest file that still
+     travels entirely in group frames, which keeps the measured phase
+     data-dominated rather than per-op-CPU-dominated. *)
+  let params =
+    {
+      scale.mclient with
+      Mclient.nstreams = max 8 scale.mclient.Mclient.nstreams;
+      file_bytes = 8 * 4096;
+      large_mb = 0;
+      qdepth;
+      sched = Scheduler.Clook;
+      coalesce = true;
+    }
+  in
+  let r = Mclient.run ~params ~cache:(Setup.cache_of inst) inst.Setup.env in
+  {
+    vp_drives = drives;
+    vp_layout = (if drives <= 1 then Volume.Single else layout);
+    vp_result = r;
+    vp_spindles = Volume.spindles inst.Setup.env.Env.dev;
+  }
+
+let volume_scaling ?(config = Cffs.config_default) ?(drives = [ 1; 2; 4 ])
+    ?(layout = Volume.Striped) scale =
+  let contrast =
+    match layout with
+    | Volume.Meta_split -> Volume.Striped
+    | _ -> Volume.Meta_split
+  in
+  let points =
+    List.map (fun n -> volume_point ~config scale ~drives:n ~layout) drives
+  in
+  let meta_split =
+    match List.rev drives with
+    | n :: _ when n >= 2 ->
+        Some (volume_point ~config scale ~drives:n ~layout:contrast)
+    | _ -> None
+  in
+  let speedup =
+    match (points, List.rev points) with
+    | first :: _, last :: _
+      when first.vp_result.Mclient.small_kb_per_sec > 0.0 ->
+        last.vp_result.Mclient.small_kb_per_sec
+        /. first.vp_result.Mclient.small_kb_per_sec
+    | _ -> 0.0
+  in
+  { vol_points = points; vol_meta_split = meta_split; vol_speedup = speedup }
+
+let ablation_volume scale =
+  let vs = volume_scaling scale in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: spindles per volume (%d small-file streams, C-FFS \
+            (EI+EG))"
+           (max 8 scale.mclient.Mclient.nstreams))
+      [
+        ("drives/layout", Tablefmt.Left);
+        ("small KB/s", Tablefmt.Right);
+        ("vs 1 drive", Tablefmt.Right);
+        ("files/s", Tablefmt.Right);
+        ("busy min s", Tablefmt.Right);
+        ("busy max s", Tablefmt.Right);
+      ]
+  in
+  let base =
+    match vs.vol_points with
+    | p :: _ -> p.vp_result.Mclient.small_kb_per_sec
+    | [] -> 0.0
+  in
+  let row p =
+    let busy = List.map (fun s -> s.Volume.s_busy_s) p.vp_spindles in
+    let fold f init = List.fold_left f init busy in
+    Tablefmt.add_row t
+      [
+        Printf.sprintf "%d %s" p.vp_drives (Volume.layout_name p.vp_layout);
+        f1 p.vp_result.Mclient.small_kb_per_sec;
+        (if base > 0.0 then
+           Printf.sprintf "%.2fx" (p.vp_result.Mclient.small_kb_per_sec /. base)
+         else "n/a");
+        f1 p.vp_result.Mclient.small_files_per_sec;
+        (if busy = [] then "n/a" else f2 (fold min infinity));
+        (if busy = [] then "n/a" else f2 (fold max 0.0));
+      ]
+  in
+  List.iter row vs.vol_points;
+  (match vs.vol_meta_split with
+  | Some p ->
+      Tablefmt.add_separator t;
+      row p
+  | None -> ());
   t
 
 (* ------------------------------------------------------------------ *)
@@ -842,10 +975,27 @@ let ablation_journal scale =
     Cache.all_policies;
   t
 
-let run_statbench ?policy ?entries ?depth scale ~fs ~namei =
+(* A linear directory pays a full scan per create (to prove the name
+   absent before appending), so populating one is quadratic in the entry
+   count: a 10^6-entry linear populate visits tens of billions of
+   directory blocks and is infeasible at any simulation scale.  Linear
+   rows past this cap are omitted from the A8 table — the omission is
+   itself a result — and statbench's big-directory phase clamps its
+   un-indexed configurations to it. *)
+let dirindex_linear_cap = 100_000
+
+let run_statbench ?policy ?entries ?depth ?(drives = 1)
+    ?(vol_layout = Volume.Striped) scale ~fs ~namei =
+  let entries =
+    match (entries, fs) with
+    | Some n, Setup.Ffs_baseline -> Some (min n dirindex_linear_cap)
+    | Some n, Setup.Cffs_fs c when c.Cffs.dirindex_threshold <= 0 ->
+        Some (min n dirindex_linear_cap)
+    | e, _ -> e
+  in
   let setup =
     {
-      (Setup.standard ?policy ~namei fs) with
+      (Setup.standard ?policy ~namei ~drives ~vol_layout fs) with
       Setup.cache_blocks = scale.stat_cache_blocks;
     }
   in
@@ -1140,13 +1290,6 @@ let ablation_regroup scale =
 (* ------------------------------------------------------------------ *)
 (* A8: hashed directory index - one flat directory, linear vs indexed. *)
 
-(* A linear directory pays a full scan per create (to prove the name
-   absent before appending), so populating one is quadratic in the entry
-   count: a 10^6-entry linear populate visits tens of billions of
-   directory blocks and is infeasible at any simulation scale.  Linear
-   rows past this cap are omitted from the table; the omission is itself
-   a result. *)
-let dirindex_linear_cap = 100_000
 let dirindex_probes = 200
 
 let dirindex_cell ~entries config =
@@ -1326,6 +1469,7 @@ let run_all scale =
   p (ablation_group_size scale);
   p (ablation_readahead scale);
   p (ablation_concurrency scale);
+  p (ablation_volume scale);
   p (ablation_namei scale);
   p (ablation_journal scale);
   p (ablation_regroup scale);

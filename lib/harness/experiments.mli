@@ -90,6 +90,8 @@ val ablation_readahead : scale -> Cffs_util.Tablefmt.t
 
 val run_mclient :
   ?config:Cffs.config ->
+  ?drives:int ->
+  ?vol_layout:Cffs_volume.Volume.layout ->
   scale ->
   qdepth:int ->
   sched:Cffs_disk.Scheduler.policy ->
@@ -97,17 +99,71 @@ val run_mclient :
   Cffs_workload.Mclient.result
 (** One multi-client run on a fresh C-FFS instance (default: the
     no-technique configuration, where the queue has the most headroom)
-    with the given queue configuration. *)
+    with the given queue configuration.  [?drives] / [?vol_layout]
+    (defaults 1 / striped) put the instance on a multi-spindle volume. *)
 
 val ablation_concurrency : scale -> Cffs_util.Tablefmt.t
 (** A4: the multi-client workload over queue depth × scheduling policy
     (the async-pipeline extension): aggregate and per-class throughput,
     observed queue depth, service-wait percentiles, coalescing. *)
 
+(** One A9 measurement: the multi-client workload on a volume of
+    [vp_drives] spindles, with the per-spindle counters the run left
+    behind (empty on a single plain drive). *)
+type vol_point = {
+  vp_drives : int;
+  vp_layout : Cffs_volume.Volume.layout;
+  vp_result : Cffs_workload.Mclient.result;
+  vp_spindles : Cffs_volume.Volume.spindle list;
+}
+
+type volume_scaling = {
+  vol_points : vol_point list;
+      (** group-aligned striping over [1; 2; 4] spindles *)
+  vol_meta_split : vol_point option;
+      (** the metadata/data-separation contrast at the widest point *)
+  vol_speedup : float;
+      (** small-file read throughput, widest striped point over one
+          drive — the A9 headline (near-linear: >= 3x at 4 drives) *)
+}
+
+val volume_point :
+  ?config:Cffs.config ->
+  ?qdepth:int ->
+  scale ->
+  drives:int ->
+  layout:Cffs_volume.Volume.layout ->
+  vol_point
+(** One A9 point: the multi-client workload (deep C-LOOK queue with
+    coalescing) on a fresh full-C-FFS instance over [drives] spindles. *)
+
+val volume_scaling :
+  ?config:Cffs.config ->
+  ?drives:int list ->
+  ?layout:Cffs_volume.Volume.layout ->
+  scale ->
+  volume_scaling
+(** Run the A9 sweep (default: full C-FFS over 1/2/4 striped spindles
+    plus a 4-spindle meta-split contrast) and return the raw
+    measurements — the scaling acceptance criterion is asserted over
+    this record by the test suite.  [?layout] swaps which layout the
+    sweep points use; [vol_meta_split] then holds the {e other} layout
+    at the widest point (each point's JSON names its layout, so the
+    contrast stays self-describing). *)
+
+val ablation_volume : scale -> Cffs_util.Tablefmt.t
+(** A9: spindles per volume — small-file read throughput vs drive count
+    under group-aligned striping, with the meta-split contrast and the
+    per-spindle busy-time spread.  The streams read files of exactly the
+    grouping threshold (8 blocks) with no large stream, so the phase is
+    data-dominated and every drive owns whole directories. *)
+
 val run_statbench :
   ?policy:Cffs_cache.Cache.policy ->
   ?entries:int ->
   ?depth:int ->
+  ?drives:int ->
+  ?vol_layout:Cffs_volume.Volume.layout ->
   scale ->
   fs:Setup.fs_kind ->
   namei:Cffs_namei.Namei.config ->
@@ -117,7 +173,11 @@ val run_statbench :
     the testbed's [Sync_metadata]), returning the per-phase results and
     the registry delta over the run.  [?entries] / [?depth] enable the
     optional namespace-scaling phases ({!Cffs_workload.Statbench.run}'s
-    [bigdir_cold] / [deep_warm]). *)
+    [bigdir_cold] / [deep_warm]); [?drives] / [?vol_layout] put the
+    instance on a multi-spindle volume.  Un-indexed configurations (FFS,
+    or C-FFS with [dirindex_threshold = 0]) clamp [entries] to the A8
+    linear cap (10^5): a linear populate is quadratic and infeasible past
+    it, so only the indexed configurations carry the full count. *)
 
 val ablation_journal : scale -> Cffs_util.Tablefmt.t
 (** A6: write-policy churn ablation — smallfile create/delete throughput

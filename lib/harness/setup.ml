@@ -1,5 +1,6 @@
 module Blockdev = Cffs_blockdev.Blockdev
 module Drive = Cffs_disk.Drive
+module Volume = Cffs_volume.Volume
 module Env = Cffs_workload.Env
 module Fs_intf = Cffs_vfs.Fs_intf
 
@@ -29,10 +30,13 @@ type t = {
   host_overhead : float;
   fs : fs_kind;
   namei : Cffs_namei.Namei.config;
+  drives : int;
+  vol_layout : Volume.layout;
 }
 
 let standard ?(policy = Cffs_cache.Cache.Sync_metadata)
-    ?(namei = Cffs_namei.Namei.config_default) fs =
+    ?(namei = Cffs_namei.Namei.config_default) ?(drives = 1)
+    ?(vol_layout = Volume.Striped) fs =
   {
     profile = Cffs_disk.Profile.seagate_st31200;
     block_size = 4096;
@@ -43,6 +47,8 @@ let standard ?(policy = Cffs_cache.Cache.Sync_metadata)
     host_overhead = 0.5e-3;
     fs;
     namei;
+    drives = max 1 drives;
+    vol_layout = (if drives <= 1 then Volume.Single else vol_layout);
   }
 
 type instance = {
@@ -52,17 +58,44 @@ type instance = {
   ffs : Ffs.t option;
 }
 
+(* The stripe unit matches the default cylinder-group span, so a striped
+   volume places whole groups on single spindles and a meta-split volume
+   splits each group at its metadata/data boundary: one header block for
+   C-FFS (embedded inodes ride the data blocks — the paper's point), the
+   header plus the static inode table for FFS. *)
+let stripe_unit = 2048
+
+let meta_per_chunk = function
+  | Ffs_baseline ->
+      (* mirror Ffs.format's defaults: 1024 inodes/cg, 128-byte slots *)
+      1 + (1024 / (4096 / 128))
+  | Cffs_fs _ -> 1
+
+let mkdev setup =
+  if setup.drives <= 1 || setup.vol_layout = Volume.Single then
+    Blockdev.of_drive ~policy:setup.scheduler
+      ~host_overhead:setup.host_overhead
+      (Drive.create setup.profile)
+      ~block_size:setup.block_size
+  else
+    let v =
+      Volume.create ~profile:setup.profile ~scheduler:setup.scheduler
+        ~host_overhead:setup.host_overhead ~block_size:setup.block_size
+        ~stripe_unit ~meta_per_chunk:(meta_per_chunk setup.fs)
+        ~drives:setup.drives ~layout:setup.vol_layout ()
+    in
+    v.Volume.dev
+
 let instantiate setup =
-  let drive = Drive.create setup.profile in
-  let dev =
-    Blockdev.of_drive ~policy:setup.scheduler ~host_overhead:setup.host_overhead
-      drive ~block_size:setup.block_size
-  in
+  let dev = mkdev setup in
+  let vol_drives = setup.drives in
+  let vol_layout = Volume.layout_code setup.vol_layout in
+  let vol_stripe_unit = if setup.drives > 1 then stripe_unit else 0 in
   match setup.fs with
   | Ffs_baseline ->
       let fs =
         Ffs.format ~policy:setup.policy ~cache_blocks:setup.cache_blocks
-          ~namei:setup.namei dev
+          ~namei:setup.namei ~vol_drives ~vol_layout ~vol_stripe_unit dev
       in
       let env =
         Env.make ~cpu_per_op:setup.cpu_per_op (Fs_intf.Packed ((module Ffs), fs)) dev
@@ -71,7 +104,7 @@ let instantiate setup =
   | Cffs_fs config ->
       let fs =
         Cffs.format ~config ~policy:setup.policy ~cache_blocks:setup.cache_blocks
-          ~namei:setup.namei dev
+          ~namei:setup.namei ~vol_drives ~vol_layout ~vol_stripe_unit dev
       in
       let env =
         Env.make ~cpu_per_op:setup.cpu_per_op (Fs_intf.Packed ((module Cffs), fs)) dev

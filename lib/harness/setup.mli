@@ -31,11 +31,30 @@ type t = {
   fs : fs_kind;
   namei : Cffs_namei.Namei.config;
       (** per-mount dentry/attribute cache knobs (default: enabled) *)
+  drives : int;
+      (** simulated spindles the volume spreads over (default 1: one
+          plain drive, no volume layer) *)
+  vol_layout : Cffs_volume.Volume.layout;
+      (** how block ranges map onto the spindles when [drives > 1]
+          (default {!Cffs_volume.Volume.Striped}: group-aligned striping;
+          forced to [Single] when [drives <= 1]) *)
 }
+
+val stripe_unit : int
+(** Blocks per volume chunk: the file systems' shared default
+    cylinder-group span, so group-aligned striping keeps each group's
+    frames on one spindle. *)
+
+val meta_per_chunk : fs_kind -> int
+(** Head-of-chunk blocks the meta-split layout pins to the metadata
+    spindle: the cg header for C-FFS (embedded inodes ride the data),
+    plus the static inode table for FFS. *)
 
 val standard :
   ?policy:Cffs_cache.Cache.policy ->
   ?namei:Cffs_namei.Namei.config ->
+  ?drives:int ->
+  ?vol_layout:Cffs_volume.Volume.layout ->
   fs_kind ->
   t
 

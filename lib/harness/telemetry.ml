@@ -5,6 +5,7 @@ module Env = Cffs_workload.Env
 module Smallfile = Cffs_workload.Smallfile
 module Tablefmt = Cffs_util.Tablefmt
 module Blockdev = Cffs_blockdev.Blockdev
+module Volume = Cffs_volume.Volume
 module Fs_intf = Cffs_vfs.Fs_intf
 module Obs_low = Cffs_vfs.Obs_low
 module Layout = Cffs_fsck.Layout
@@ -220,6 +221,7 @@ let regroup_json ?snap () =
 let dirindex_counter_names =
   [
     "dirindex.promotions";
+    "dirindex.demotions";
     "dirindex.leaf_splits";
     "dirindex.doublings";
     "dirindex.overflow_chains";
@@ -352,6 +354,57 @@ let timeseries_json runs =
              runs) );
     ]
 
+(* --- volume: per-spindle counters and the A9 spindle-scaling sweep ------ *)
+
+let spindle_json (s : Volume.spindle) =
+  Json.Obj
+    [
+      ("spindle", Json.Int s.Volume.spindle);
+      ("reads", Json.Int s.Volume.s_reads);
+      ("writes", Json.Int s.Volume.s_writes);
+      ("read_sectors", Json.Int s.Volume.s_read_sectors);
+      ("write_sectors", Json.Int s.Volume.s_write_sectors);
+      ("busy_s", Json.Float s.Volume.s_busy_s);
+      ("seek_s", Json.Float s.Volume.s_seek_s);
+      ("rotation_s", Json.Float s.Volume.s_rotation_s);
+      ("transfer_s", Json.Float s.Volume.s_transfer_s);
+      ("queue_pending", Json.Int s.Volume.s_pending);
+    ]
+
+let vol_point_json (p : Experiments.vol_point) =
+  let r = p.Experiments.vp_result in
+  Json.Obj
+    [
+      ("drives", Json.Int p.Experiments.vp_drives);
+      ("layout", Json.String (Volume.layout_name p.Experiments.vp_layout));
+      ("small_kb_per_sec", Json.Float r.Cffs_workload.Mclient.small_kb_per_sec);
+      ( "small_files_per_sec",
+        Json.Float r.Cffs_workload.Mclient.small_files_per_sec );
+      ("seconds", Json.Float r.Cffs_workload.Mclient.measure.Env.seconds);
+      ("requests", Json.Int r.Cffs_workload.Mclient.measure.Env.requests);
+      ( "spindles",
+        Json.List (List.map spindle_json p.Experiments.vp_spindles) );
+    ]
+
+(* Always-present contract, like the other subsystem sections: every
+   document carries the volume section with the full A9 sweep — the
+   striped 1/2/4-spindle points (each with its per-spindle
+   reads/writes/busy-time/queue-depth counters), the meta-split
+   contrast, and the headline speedup — so the benchdiff gate can watch
+   multi-spindle scaling across documents unconditionally. *)
+let volume_json ?(scale = Experiments.quick) ?drives ?layout () =
+  let vs = Experiments.volume_scaling ?drives ?layout scale in
+  Json.Obj
+    [
+      ( "points",
+        Json.List (List.map vol_point_json vs.Experiments.vol_points) );
+      ( "meta_split",
+        match vs.Experiments.vol_meta_split with
+        | Some p -> vol_point_json p
+        | None -> Json.Null );
+      ("small_read_speedup", Json.Float vs.Experiments.vol_speedup);
+    ]
+
 (* The async-pipeline headline: the multi-client workload at queue depth 1
    under FCFS (a queueless disk) vs a deep C-LOOK window with coalescing,
    on the no-technique configuration — where the queue has the most
@@ -389,7 +442,7 @@ let concurrency_json ?(nstreams = 4) ?(files_per_stream = 50) ?(large_mb = 2)
 let document ?(nfiles = 400) ?(file_bytes = 1024)
     ?(policy = Cffs_cache.Cache.Sync_metadata) ?(configs = default_pair)
     ?(sample_interval_s = 0.5) ?(mclient_files_per_stream = 50)
-    ?(mclient_large_mb = 2) () =
+    ?(mclient_large_mb = 2) ?vol_drives ?vol_layout () =
   (* Sections are built in explicit sequence because the registry is
      global: the latency breakdown covers exactly the config runs, not the
      layout population or the concurrency experiment that follow. *)
@@ -403,6 +456,7 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
     concurrency_json ~files_per_stream:mclient_files_per_stream
       ~large_mb:mclient_large_mb ()
   in
+  let volume = volume_json ?drives:vol_drives ?layout:vol_layout () in
   Json.Obj
     [
       ("schema", Json.String schema);
@@ -420,6 +474,7 @@ let document ?(nfiles = 400) ?(file_bytes = 1024)
       ("regroup", regroup_json ());
       ("dirindex", dirindex_json ());
       ("concurrency", concurrency);
+      ("volume", volume);
       ("derived", Json.Obj (derived_json runs));
     ]
 
@@ -437,7 +492,7 @@ let statbench_phase_json (r : Cffs_workload.Statbench.result) =
      ]
     @ measure_fields r.measure)
 
-let statbench_run_json ~scale ~entries ~depth ~fs ~cached =
+let statbench_run_json ~scale ~entries ~depth ~drives ~vol_layout ~fs ~cached =
   let namei =
     if cached then Cffs_namei.Namei.config_default
     else Cffs_namei.Namei.config_disabled
@@ -449,7 +504,8 @@ let statbench_run_json ~scale ~entries ~depth ~fs ~cached =
   in
   let results, delta =
     Sampler.with_sampler sampler (fun () ->
-        Experiments.run_statbench ~entries ~depth scale ~fs ~namei)
+        Experiments.run_statbench ~entries ~depth ~drives ~vol_layout scale ~fs
+          ~namei)
   in
   let ops, counters = split_delta delta in
   let label =
@@ -470,7 +526,7 @@ let statbench_run_json ~scale ~entries ~depth ~fs ~cached =
     | j -> j )
 
 let statbench_document ?(scale = Experiments.quick) ?(entries = 0) ?(depth = 0)
-    () =
+    ?(drives = 1) ?(vol_layout = Volume.Striped) () =
   let statbench_fss = [ Setup.Ffs_baseline; Setup.Cffs_fs Cffs.config_default ] in
   let warm results =
     List.find
@@ -483,10 +539,12 @@ let statbench_document ?(scale = Experiments.quick) ?(entries = 0) ?(depth = 0)
     List.concat_map
       (fun fs ->
         let uncached_results, uncached, ts_u =
-          statbench_run_json ~scale ~entries ~depth ~fs ~cached:false
+          statbench_run_json ~scale ~entries ~depth ~drives ~vol_layout ~fs
+            ~cached:false
         in
         let cached_results, cached, ts_c =
-          statbench_run_json ~scale ~entries ~depth ~fs ~cached:true
+          statbench_run_json ~scale ~entries ~depth ~drives ~vol_layout ~fs
+            ~cached:true
         in
         let speedup =
           let u = (warm uncached_results).Cffs_workload.Statbench.measure.Env.seconds in
@@ -519,6 +577,8 @@ let statbench_document ?(scale = Experiments.quick) ?(entries = 0) ?(depth = 0)
       ("cache_blocks", Json.Int scale.Experiments.stat_cache_blocks);
       ("bigdir_entries", Json.Int entries);
       ("deep_depth", Json.Int depth);
+      ("drives", Json.Int drives);
+      ("vol_layout", Json.String (Volume.layout_name (if drives <= 1 then Volume.Single else vol_layout)));
       ("configs", Json.List (List.map (fun (c, _, _) -> c) runs));
       ("grouping", grouping_json statbench_fss);
       ("latency_breakdown", latency_breakdown_json lat_delta);

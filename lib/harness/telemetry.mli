@@ -109,6 +109,24 @@ val dirindex_json : ?snap:Cffs_obs.Registry.snapshot -> unit -> Cffs_obs.Json.t
     live registry unless [?snap] is given — same contract as the
     ["regroup"] section, whether or not any directory was promoted. *)
 
+val spindle_json : Cffs_volume.Volume.spindle -> Cffs_obs.Json.t
+(** One spindle's counters (reads/writes, sectors, busy/seek/rotation/
+    transfer seconds, queued requests) as a JSON object. *)
+
+val volume_json :
+  ?scale:Experiments.scale ->
+  ?drives:int list ->
+  ?layout:Cffs_volume.Volume.layout ->
+  unit ->
+  Cffs_obs.Json.t
+(** The ["volume"] section: the A9 spindle-scaling sweep
+    ({!Experiments.volume_scaling}) — striped 1/2/4-drive points and the
+    meta-split contrast, each with per-spindle counters — plus the
+    headline [small_read_speedup].  Always present in the document, so
+    the benchdiff gate can track multi-spindle scaling across PRs.
+    [?drives] / [?layout] reshape the sweep ([cffs stats --drives N
+    --vol-layout L]); the defaults are what BENCH_PRn.json records. *)
+
 val document :
   ?nfiles:int ->
   ?file_bytes:int ->
@@ -117,20 +135,32 @@ val document :
   ?sample_interval_s:float ->
   ?mclient_files_per_stream:int ->
   ?mclient_large_mb:int ->
+  ?vol_drives:int list ->
+  ?vol_layout:Cffs_volume.Volume.layout ->
   unit ->
   Cffs_obs.Json.t
 (** The telemetry document.  Defaults: 400 files (the quick scale) of
     1 KB under sync-metadata, over {!default_pair}; the mclient knobs
-    scale the concurrency experiment down for fast schema tests. *)
+    scale the concurrency experiment down for fast schema tests;
+    [?vol_drives] / [?vol_layout] reshape the ["volume"] sweep (see
+    {!volume_json}). *)
 
 val statbench_document :
-  ?scale:Experiments.scale -> ?entries:int -> ?depth:int -> unit -> Cffs_obs.Json.t
+  ?scale:Experiments.scale ->
+  ?entries:int ->
+  ?depth:int ->
+  ?drives:int ->
+  ?vol_layout:Cffs_volume.Volume.layout ->
+  unit ->
+  Cffs_obs.Json.t
 (** The stat-heavy benchmark as a [cffs-telemetry-v2] document: FFS and
     C-FFS (EI+EG), each with the namei caches off and on
     ({!Experiments.run_statbench} sizing, default {!Experiments.quick}),
     plus the derived warm repeated-stat speedup per file system.
     [?entries] / [?depth] (default 0 = skipped) add the namespace-scaling
-    [bigdir_cold] / [deep_warm] phases to every run. *)
+    [bigdir_cold] / [deep_warm] phases to every run; [?drives] /
+    [?vol_layout] (default 1 / striped) put every instance on a
+    multi-spindle volume. *)
 
 val print_human :
   ?nfiles:int ->

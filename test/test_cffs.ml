@@ -28,7 +28,7 @@ let test_csb_roundtrip () =
   let sb =
     Csb.mk ~block_size:4096 ~nblocks:10000 ~cg_size:2048 ~group_blocks:16
       ~embed_inodes:true ~grouping:false ~group_file_blocks:8 ~readahead_blocks:0
-      ~dirindex_threshold:4
+      ~dirindex_threshold:4 ()
   in
   sb.Csb.ext_high <- 5;
   let b = Bytes.make 4096 '\000' in

@@ -244,6 +244,74 @@ let test_promotion_roundtrip () =
   check Alcotest.int "nothing to repair" 0 r.Report.repaired
 
 (* ------------------------------------------------------------------ *)
+(* Lazy demotion: promote -> drain -> demote -> re-promote.  A directory
+   emptied below half the promotion threshold by unlink churn folds back
+   to linear pages on the unlink that empties a leaf, instead of keeping
+   its index until rmdir; outgrowing the threshold again re-promotes.
+   Entries, contents and fsck must agree at every stage. *)
+
+let test_demotion_roundtrip () =
+  let fs = mkfs () in
+  let before = Registry.snapshot () in
+  ok "mkdir" (Cffs.mkdir fs "/d");
+  let payload i =
+    Bytes.make (80 + (37 * i mod 700)) (Char.chr (97 + (i mod 26)))
+  in
+  let names = List.init 120 (fun i -> Printf.sprintf "d%04d" i) in
+  List.iteri
+    (fun i n -> ok n (Cffs.write_file fs ("/d/" ^ n) (payload i)))
+    names;
+  check Alcotest.int "promoted once" 1
+    (counter_delta before "dirindex.promotions");
+  check Alcotest.int "one indexed dir" 1 (Cffs.index_stats fs).Cffs.idx_dirs;
+  (* Drain everything the promotion wrote before churning back down. *)
+  Cffs.sync fs;
+  check Alcotest.bool "fsck clean while indexed" true
+    (Report.is_clean (Fsck.check fs));
+  (* Unlink down to 8 survivors — far below the demotion watermark (half
+     the threshold, in entry capacity), so an unlink that empties a leaf
+     folds the index away without waiting for rmdir. *)
+  let survivors = List.filteri (fun i _ -> i mod 15 = 0) names in
+  let doomed = List.filter (fun n -> not (List.mem n survivors)) names in
+  List.iter (fun n -> ok ("unlink " ^ n) (Cffs.unlink fs ("/d/" ^ n))) doomed;
+  check Alcotest.bool "demoted" true
+    (counter_delta before "dirindex.demotions" >= 1);
+  check Alcotest.int "no indexed dirs after demotion" 0
+    (Cffs.index_stats fs).Cffs.idx_dirs;
+  check
+    (Alcotest.list Alcotest.string)
+    "survivors intact" (sorted survivors) (listing fs "/d");
+  List.iter
+    (fun n ->
+      let i = int_of_string (String.sub n 1 4) in
+      let got = ok ("read " ^ n) (Cffs.read_file fs ("/d/" ^ n)) in
+      if not (Bytes.equal got (payload i)) then
+        Alcotest.failf "%s: content changed across demotion" n)
+    survivors;
+  check Alcotest.bool "fsck clean after demotion" true
+    (Report.is_clean (Fsck.check fs));
+  (* The demoted directory is an ordinary linear directory again: it
+     must survive a remount and re-promote when it outgrows the
+     threshold a second time. *)
+  Cffs.sync fs;
+  Cffs.remount fs;
+  check
+    (Alcotest.list Alcotest.string)
+    "survivors after remount" (sorted survivors) (listing fs "/d");
+  let regrown = List.init 100 (fun i -> Printf.sprintf "g%04d" i) in
+  List.iter (fun n -> ok n (Cffs.create fs ("/d/" ^ n))) regrown;
+  check Alcotest.int "re-promoted" 2
+    (counter_delta before "dirindex.promotions");
+  check Alcotest.int "indexed again" 1 (Cffs.index_stats fs).Cffs.idx_dirs;
+  check
+    (Alcotest.list Alcotest.string)
+    "full set after re-promotion"
+    (sorted (survivors @ regrown))
+    (listing fs "/d");
+  check Alcotest.bool "fsck clean after re-promotion" true
+    (Report.is_clean (Fsck.check fs))
+
+(* ------------------------------------------------------------------ *)
 (* Indexed images through every maintenance tool: fsck, layout census,
    online regroup, media scrub (integrity-formatted volume). *)
 
@@ -325,7 +393,10 @@ let () =
       ( "collisions",
         [ Alcotest.test_case "chained buckets stay correct" `Quick test_collision_chains ] );
       ( "roundtrip",
-        [ Alcotest.test_case "promotion then unlink back down" `Quick test_promotion_roundtrip ] );
+        [
+          Alcotest.test_case "promotion then unlink back down" `Quick test_promotion_roundtrip;
+          Alcotest.test_case "promote, drain, demote, re-promote" `Quick test_demotion_roundtrip;
+        ] );
       ( "tools",
         [ Alcotest.test_case "fsck/layout/regroup/scrub over indexed images" `Quick test_tools_on_indexed_images ] );
       ("crash", crash_tests);

@@ -20,7 +20,7 @@ module Battery = Fs_battery.Make (Ffs)
 (* Layout *)
 
 let test_layout_sb_roundtrip () =
-  let sb = Layout.mk_sb ~block_size:4096 ~nblocks:10000 ~cg_size:2048 ~inodes_per_cg:1024 in
+  let sb = Layout.mk_sb ~block_size:4096 ~nblocks:10000 ~cg_size:2048 ~inodes_per_cg:1024 () in
   let b = Bytes.make 4096 '\000' in
   Layout.encode_sb sb b;
   check Alcotest.bool "roundtrip" true (Layout.decode_sb b = Some sb);
@@ -28,7 +28,7 @@ let test_layout_sb_roundtrip () =
   check Alcotest.bool "bad magic" true (Layout.decode_sb b = None)
 
 let test_layout_geometry () =
-  let sb = Layout.mk_sb ~block_size:4096 ~nblocks:10000 ~cg_size:2048 ~inodes_per_cg:1024 in
+  let sb = Layout.mk_sb ~block_size:4096 ~nblocks:10000 ~cg_size:2048 ~inodes_per_cg:1024 () in
   check Alcotest.int "cg count" 4 sb.Layout.cg_count;
   check Alcotest.int "cg 1 start" 2049 (Layout.cg_start sb 1);
   check Alcotest.int "cg of block" 1 (Layout.cg_of_block sb 2100);
@@ -45,9 +45,9 @@ let test_layout_geometry () =
 let test_layout_rejects_bad () =
   let reject f = try ignore (f ()); false with Invalid_argument _ -> true in
   check Alcotest.bool "tiny group" true
-    (reject (fun () -> Layout.mk_sb ~block_size:4096 ~nblocks:100 ~cg_size:10 ~inodes_per_cg:1024));
+    (reject (fun () -> Layout.mk_sb ~block_size:4096 ~nblocks:100 ~cg_size:10 ~inodes_per_cg:1024 ()));
   check Alcotest.bool "ragged itable" true
-    (reject (fun () -> Layout.mk_sb ~block_size:4096 ~nblocks:10000 ~cg_size:2048 ~inodes_per_cg:1000))
+    (reject (fun () -> Layout.mk_sb ~block_size:4096 ~nblocks:10000 ~cg_size:2048 ~inodes_per_cg:1000 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Directory block format *)
